@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full verification pipeline: what CI would run.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build =="
+cargo build --workspace --all-targets
+
+echo "== tests =="
+cargo test --workspace
+
+echo "== docs =="
+cargo doc --workspace --no-deps
+
+echo "== examples =="
+for ex in quickstart text_extraction hybrid_and_priorities; do
+    cargo run -q --example "$ex" > /dev/null
+done
+for ex in grocery_store life_goals scalability; do
+    cargo run -q --release --example "$ex" > /dev/null
+done
+
+echo "== repro smoke (test scale) =="
+cargo run -q --release -p goalrec-bench --bin repro -- stats table6 --scale test > /dev/null
+
+echo "OK"

@@ -1,0 +1,177 @@
+//! Item-based nearest-neighbour collaborative filtering.
+//!
+//! The classic complement to the paper's user-based CF-kNN: precompute an
+//! item-item similarity matrix from column co-occurrence (Tanimoto over
+//! the items' user sets), keep the top-`n` neighbours per item, and score
+//! candidates by their summed similarity to the activity's items. Not in
+//! the paper's comparison set, but the standard production variant — and
+//! a useful extra reference point for the overlap studies.
+
+use crate::similarity::SetSimilarity;
+use crate::training::TrainingSet;
+use goalrec_core::{Activity, ActionId, Recommender, Scored};
+use std::collections::HashMap;
+
+/// Item-based kNN with a precomputed truncated similarity matrix.
+#[derive(Debug, Clone)]
+pub struct ItemKnn {
+    /// Per item: its top neighbours as `(item, similarity)`, similarity
+    /// descending.
+    neighbours: Vec<Vec<(u32, f64)>>,
+}
+
+impl ItemKnn {
+    /// Builds the truncated item-item matrix from a training corpus.
+    ///
+    /// Cost: one pass over transactions to accumulate co-occurrence counts
+    /// (`O(Σ |t|²)`), then per-item similarity + truncation to
+    /// `neighbourhood` entries.
+    pub fn train(training: &TrainingSet, neighbourhood: usize, similarity: SetSimilarity) -> Self {
+        assert!(neighbourhood > 0, "neighbourhood must be positive");
+        let n = training.num_actions;
+        let mut item_count = vec![0u32; n];
+        let mut co: HashMap<(u32, u32), u32> = HashMap::new();
+        for t in &training.users {
+            let items = t.raw();
+            for (i, &a) in items.iter().enumerate() {
+                item_count[a as usize] += 1;
+                for &b in &items[i + 1..] {
+                    *co.entry((a, b)).or_insert(0) += 1;
+                }
+            }
+        }
+
+        let mut neighbours: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for (&(a, b), &both) in &co {
+            let (ca, cb) = (item_count[a as usize] as f64, item_count[b as usize] as f64);
+            let both = both as f64;
+            let sim = match similarity {
+                SetSimilarity::Tanimoto => both / (ca + cb - both),
+                SetSimilarity::Cosine => both / (ca * cb).sqrt(),
+                SetSimilarity::Overlap => both / ca.min(cb),
+            };
+            if sim > 0.0 {
+                neighbours[a as usize].push((b, sim));
+                neighbours[b as usize].push((a, sim));
+            }
+        }
+        for (item, list) in neighbours.iter_mut().enumerate() {
+            list.sort_by(|x, y| {
+                y.1.partial_cmp(&x.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| x.0.cmp(&y.0))
+            });
+            list.truncate(neighbourhood);
+            debug_assert!(list.iter().all(|&(b, _)| b as usize != item));
+        }
+        Self { neighbours }
+    }
+
+    /// The stored neighbours of one item.
+    pub fn neighbours_of(&self, a: ActionId) -> &[(u32, f64)] {
+        self.neighbours
+            .get(a.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+impl Recommender for ItemKnn {
+    fn name(&self) -> String {
+        "Item-kNN".to_owned()
+    }
+
+    fn recommend(&self, activity: &Activity, k: usize) -> Vec<Scored> {
+        if k == 0 || activity.is_empty() {
+            return Vec::new();
+        }
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        for a in activity.iter() {
+            for &(b, sim) in self.neighbours_of(a) {
+                if !activity.contains(ActionId::new(b)) {
+                    *scores.entry(b).or_insert(0.0) += sim;
+                }
+            }
+        }
+        goalrec_core::topk::top_k(
+            scores
+                .into_iter()
+                .map(|(a, s)| Scored::new(ActionId::new(a), s)),
+            k,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Items 0,1 always co-occur; 2 joins them half the time; 3,4 form a
+    /// separate pair.
+    fn training() -> TrainingSet {
+        let mut users = Vec::new();
+        for i in 0..8 {
+            let mut t = vec![0u32, 1];
+            if i % 2 == 0 {
+                t.push(2);
+            }
+            users.push(Activity::from_raw(t));
+        }
+        for _ in 0..4 {
+            users.push(Activity::from_raw([3u32, 4]));
+        }
+        TrainingSet::new(users, 6)
+    }
+
+    #[test]
+    fn similarity_matrix_structure() {
+        let m = ItemKnn::train(&training(), 5, SetSimilarity::Tanimoto);
+        let n0 = m.neighbours_of(ActionId::new(0));
+        // 0's best neighbour is 1 (sim 1.0), then 2 (4/(8+4-4)=0.5).
+        assert_eq!(n0[0], (1, 1.0));
+        assert!((n0[1].1 - 0.5).abs() < 1e-12);
+        // Cross-cluster pairs never co-occur.
+        assert!(n0.iter().all(|&(b, _)| b != 3 && b != 4));
+    }
+
+    #[test]
+    fn truncation_respects_neighbourhood() {
+        let m = ItemKnn::train(&training(), 1, SetSimilarity::Tanimoto);
+        assert_eq!(m.neighbours_of(ActionId::new(0)).len(), 1);
+    }
+
+    #[test]
+    fn recommends_within_cluster() {
+        let m = ItemKnn::train(&training(), 5, SetSimilarity::Tanimoto);
+        let recs = m.recommend(&Activity::from_raw([0]), 3);
+        let ids: Vec<u32> = recs.iter().map(|r| r.action.raw()).collect();
+        assert_eq!(ids[0], 1);
+        assert!(ids.contains(&2));
+        assert!(!ids.contains(&3) && !ids.contains(&4));
+    }
+
+    #[test]
+    fn scores_accumulate_over_activity_items() {
+        let m = ItemKnn::train(&training(), 5, SetSimilarity::Tanimoto);
+        // With H = {0, 1}, item 2's score is sim(0,2) + sim(1,2) = 1.0.
+        let recs = m.recommend(&Activity::from_raw([0, 1]), 1);
+        assert_eq!(recs[0].action, ActionId::new(2));
+        assert!((recs[0].score - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_cases() {
+        let m = ItemKnn::train(&training(), 5, SetSimilarity::Cosine);
+        assert!(m.recommend(&Activity::new(), 5).is_empty());
+        assert!(m.recommend(&Activity::from_raw([0]), 0).is_empty());
+        assert!(m.recommend(&Activity::from_raw([5]), 5).is_empty()); // isolated item
+        assert_eq!(m.name(), "Item-kNN");
+        assert!(m.neighbours_of(ActionId::new(99)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "neighbourhood")]
+    fn zero_neighbourhood_rejected() {
+        ItemKnn::train(&training(), 0, SetSimilarity::Tanimoto);
+    }
+}

@@ -1,0 +1,88 @@
+//! Baseline recommender benchmarks: training cost and per-request latency
+//! of CF-kNN, ALS-WR, Content and Apriori on FoodMart-shaped data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goalrec_baselines::{
+    AlsConfig, AlsWr, Apriori, AprioriConfig, CfKnn, ContentBased, ItemFeatures, Popularity,
+    TrainingSet,
+};
+use goalrec_core::Recommender;
+use goalrec_datasets::{FoodMart, FoodMartConfig};
+use std::hint::black_box;
+
+fn setup() -> (FoodMart, TrainingSet) {
+    let fm = FoodMart::generate(&FoodMartConfig::paper_scale().with_scale(0.05));
+    let training = TrainingSet::new(fm.carts.clone(), fm.library.num_actions());
+    (fm, training)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let (_, training) = setup();
+    let mut group = c.benchmark_group("baselines/train");
+    group.sample_size(10);
+    group.bench_function("als_wr", |b| {
+        b.iter(|| {
+            black_box(AlsWr::train(
+                &training,
+                AlsConfig {
+                    num_iterations: 3,
+                    ..AlsConfig::default()
+                },
+            ))
+        })
+    });
+    group.bench_function("apriori", |b| {
+        b.iter(|| {
+            black_box(Apriori::mine(
+                &training,
+                &AprioriConfig {
+                    min_support: 8,
+                    ..AprioriConfig::default()
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_recommend(c: &mut Criterion) {
+    let (fm, training) = setup();
+    let queries: Vec<_> = fm.carts.iter().take(20).cloned().collect();
+
+    let recs: Vec<Box<dyn Recommender>> = vec![
+        Box::new(CfKnn::tanimoto(training.clone(), 50)),
+        Box::new(AlsWr::train(
+            &training,
+            AlsConfig {
+                num_iterations: 5,
+                ..AlsConfig::default()
+            },
+        )),
+        Box::new(ContentBased::new(ItemFeatures::new(
+            fm.product_feature_vectors(),
+        ))),
+        Box::new(Apriori::mine(
+            &training,
+            &AprioriConfig {
+                min_support: 8,
+                ..AprioriConfig::default()
+            },
+        )),
+        Box::new(Popularity::from_training(&training)),
+    ];
+
+    let mut group = c.benchmark_group("baselines/recommend");
+    for rec in &recs {
+        group.bench_function(rec.name(), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(rec.recommend(q, 10));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_recommend);
+criterion_main!(benches);

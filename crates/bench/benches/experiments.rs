@@ -1,0 +1,66 @@
+//! One bench target per paper table/figure (DESIGN.md §4).
+//!
+//! Each benchmark runs the corresponding experiment end-to-end on the
+//! test-scale context, so `cargo bench --bench experiments` regenerates
+//! (and times) every table and figure. The shared context is built once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goalrec_eval::experiments::figure7::Figure7Config;
+use goalrec_eval::experiments::{
+    ablation, figure4, figure7, figures56, table2, table3, table4, table5, table6,
+};
+use goalrec_eval::{EvalConfig, EvalContext};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static EvalContext {
+    static CTX: OnceLock<EvalContext> = OnceLock::new();
+    CTX.get_or_init(|| EvalContext::build(EvalConfig::test_scale()))
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("table2_overlap", |b| b.iter(|| black_box(table2::run(ctx()))));
+    group.bench_function("table3_popularity_correlation", |b| {
+        b.iter(|| black_box(table3::run(ctx())))
+    });
+    group.bench_function("table4_figure3_usefulness", |b| {
+        b.iter(|| black_box(table4::run(ctx())))
+    });
+    group.bench_function("table5_pairwise_similarity", |b| {
+        b.iter(|| black_box(table5::run(ctx())))
+    });
+    group.bench_function("table6_goal_based_overlap", |b| {
+        b.iter(|| black_box(table6::run(ctx())))
+    });
+    group.bench_function("figure4_avg_tpr", |b| b.iter(|| black_box(figure4::run(ctx()))));
+    group.bench_function("figures5_6_frequency", |b| {
+        b.iter(|| black_box(figures56::run(ctx())))
+    });
+    group.bench_function("ablation_distance_metric", |b| {
+        b.iter(|| black_box(ablation::run(ctx())))
+    });
+    group.finish();
+
+    // Figure 7 is itself a timing harness; run it once under a coarse
+    // sample to keep the bench suite bounded.
+    let mut fig7 = c.benchmark_group("experiments/figure7");
+    fig7.sample_size(10);
+    fig7.bench_function("scalability_sweep", |b| {
+        b.iter(|| black_box(figure7::run(&Figure7Config::test_scale())))
+    });
+    fig7.finish();
+}
+
+fn bench_context_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments/context");
+    group.sample_size(10);
+    group.bench_function("build_test_scale", |b| {
+        b.iter(|| black_box(EvalContext::build(EvalConfig::test_scale())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments, bench_context_build);
+criterion_main!(benches);

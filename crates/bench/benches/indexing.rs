@@ -1,0 +1,43 @@
+//! Model construction and space-operation benchmarks.
+//!
+//! Measures what §4 claims the index structures buy: building the five
+//! indexes is one linear pass, and goal/action/implementation spaces
+//! resolve in posting-list time rather than by scanning the library.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goalrec_core::GoalModel;
+use goalrec_datasets::{FoodMart, FoodMartConfig};
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("indexing/build");
+    group.sample_size(10);
+    for &scale in &[0.02f64, 0.1, 0.25] {
+        let fm = FoodMart::generate(&FoodMartConfig::paper_scale().with_scale(scale));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}impls", fm.library.len())),
+            &fm,
+            |b, fm| b.iter(|| black_box(GoalModel::build(&fm.library).expect("non-empty"))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_spaces(c: &mut Criterion) {
+    let fm = FoodMart::generate(&FoodMartConfig::paper_scale().with_scale(0.1));
+    let model = GoalModel::build(&fm.library).expect("non-empty");
+    let cart = fm.carts[0].raw();
+
+    let mut group = c.benchmark_group("indexing/spaces");
+    group.bench_function("implementation_space", |b| {
+        b.iter(|| black_box(model.implementation_space(cart)))
+    });
+    group.bench_function("goal_space", |b| b.iter(|| black_box(model.goal_space(cart))));
+    group.bench_function("action_space", |b| {
+        b.iter(|| black_box(model.action_space(cart)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_spaces);
+criterion_main!(benches);

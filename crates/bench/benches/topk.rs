@@ -1,0 +1,36 @@
+//! Ablation bench (DESIGN.md §7): bounded-heap top-k vs full sort.
+//!
+//! Every strategy ends with "rank R and return the top k"; this measures
+//! the `O(n log k)` bounded heap against the `O(n log n)` sort at the
+//! candidate-pool sizes of both datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goalrec_core::topk::{rank_full, top_k, Scored};
+use goalrec_core::ActionId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn candidates(rng: &mut StdRng, n: usize) -> Vec<Scored> {
+    (0..n)
+        .map(|i| Scored::new(ActionId::new(i as u32), rng.gen::<f64>()))
+        .collect()
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("topk");
+    for &n in &[100usize, 1_500, 10_000, 100_000] {
+        let items = candidates(&mut rng, n);
+        group.bench_with_input(BenchmarkId::new("bounded_heap", n), &items, |b, items| {
+            b.iter(|| black_box(top_k(items.iter().copied(), 10)))
+        });
+        group.bench_with_input(BenchmarkId::new("full_sort", n), &items, |b, items| {
+            b.iter(|| black_box(rank_full(items.clone(), 10)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [EXPERIMENTS] [--scale test|medium|large|paper] [--json DIR]
+//!
+//! EXPERIMENTS  any of: stats table2 table3 table4 table5 table6
+//!              figure4 figure5 figure6 figure7 ablation
+//!              (default: all)
+//! --scale      dataset scale (default: medium)
+//! --json DIR   also write each result as JSON into DIR
+//! ```
+
+use goalrec_eval::experiments::figure7::Figure7Config;
+use goalrec_eval::experiments::{
+    ablation, extended, figure4, figure7, figures56, rerank, sessions, stability, table2, table3,
+    table4, table5, table6,
+};
+use goalrec_eval::{EvalConfig, EvalContext};
+use std::io::Write as _;
+use std::time::Instant;
+
+const ALL: &[&str] = &[
+    "stats", "table2", "table3", "table4", "table5", "table6", "figure4", "figure5", "figure6",
+    "figure7", "ablation", "extended", "stability", "rerank", "sessions",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = "medium".to_owned();
+    let mut json_dir: Option<std::path::PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => scale = it.next().unwrap_or_else(|| usage("missing value for --scale")),
+            "--json" => {
+                json_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("missing value for --json"))
+                        .into(),
+                )
+            }
+            "--help" | "-h" => usage(""),
+            other if ALL.contains(&other) => wanted.push(other.to_owned()),
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    if wanted.is_empty() {
+        wanted = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).expect("create --json directory");
+    }
+
+    let stability_cfg = match scale.as_str() {
+        // The stability sweep rebuilds the context per seed, so it always
+        // runs at test scale unless the user asked for the full thing.
+        "paper" | "large" => EvalConfig::medium_scale(),
+        _ => EvalConfig::test_scale(),
+    };
+    let (cfg, fig7cfg) = match scale.as_str() {
+        "test" => (EvalConfig::test_scale(), Figure7Config::test_scale()),
+        "medium" => (EvalConfig::medium_scale(), Figure7Config::medium_scale()),
+        "large" => (EvalConfig::large_scale(), Figure7Config::medium_scale()),
+        "paper" => (EvalConfig::paper_scale(), Figure7Config::paper_scale()),
+        other => usage(&format!("unknown scale: {other}")),
+    };
+
+    // figure7 is self-contained; only build the full context when needed.
+    let needs_ctx = wanted.iter().any(|w| w != "figure7" && w != "stability");
+    let ctx = needs_ctx.then(|| {
+        eprintln!("building evaluation context at {scale} scale…");
+        let t0 = Instant::now();
+        let ctx = EvalContext::build(cfg);
+        eprintln!("context ready in {:.1}s", t0.elapsed().as_secs_f64());
+        ctx
+    });
+
+    let mut stdout = std::io::stdout().lock();
+    for exp in &wanted {
+        let t0 = Instant::now();
+        let (text, json) = match exp.as_str() {
+            "stats" => stats(ctx.as_ref().expect("ctx")),
+            "table2" => show(table2::run(ctx.as_ref().expect("ctx"))),
+            "table3" => show(table3::run(ctx.as_ref().expect("ctx"))),
+            "table4" => show(table4::run(ctx.as_ref().expect("ctx"))),
+            "table5" => show(table5::run(ctx.as_ref().expect("ctx"))),
+            "table6" => show(table6::run(ctx.as_ref().expect("ctx"))),
+            "figure4" => show(figure4::run(ctx.as_ref().expect("ctx"))),
+            "figure5" | "figure6" => show(figures56::run(ctx.as_ref().expect("ctx"))),
+            "figure7" => show(figure7::run(&fig7cfg)),
+            "ablation" => show(ablation::run(ctx.as_ref().expect("ctx"))),
+            "extended" => show(extended::run(ctx.as_ref().expect("ctx"))),
+            "stability" => show(stability::run(&stability_cfg, &[1, 2, 3, 4, 5])),
+            "rerank" => show(rerank::run(ctx.as_ref().expect("ctx"))),
+            "sessions" => show(sessions::run(
+                ctx.as_ref().expect("ctx"),
+                &sessions::SessionConfig::default(),
+            )),
+            _ => unreachable!("validated above"),
+        };
+        writeln!(stdout, "{text}").expect("stdout");
+        eprintln!("[{exp} done in {:.1}s]", t0.elapsed().as_secs_f64());
+        if let Some(dir) = &json_dir {
+            std::fs::write(dir.join(format!("{exp}.json")), json).expect("write JSON result");
+        }
+    }
+}
+
+fn show<T: std::fmt::Display + serde::Serialize>(result: T) -> (String, String) {
+    let json = serde_json::to_string_pretty(&result).expect("serialise result");
+    (result.to_string(), json)
+}
+
+fn stats(ctx: &EvalContext) -> (String, String) {
+    let fm = ctx.foodmart.data.library.stats();
+    let ft = ctx.fortythree.data.library.stats();
+    let text = format!(
+        "Dataset statistics\n\
+         ------------------\n\
+         FoodMart : {} implementations, {} actions, {} goals, connectivity {:.1}, avg impl len {:.1}, {} carts, {} users\n\
+         43Things : {} implementations, {} actions, {} goals, connectivity {:.2} (distinct-goal {:.2}), avg impl len {:.1}, {} users\n",
+        fm.num_implementations,
+        fm.num_actions,
+        fm.num_goals,
+        fm.connectivity,
+        fm.avg_impl_len,
+        ctx.foodmart.data.carts.len(),
+        ctx.foodmart.data.num_users,
+        ft.num_implementations,
+        ft.num_actions,
+        ft.num_goals,
+        ft.connectivity,
+        ctx.fortythree.data.goal_connectivity(),
+        ft.avg_impl_len,
+        ctx.fortythree.data.full_activities.len(),
+    );
+    let json = serde_json::json!({ "foodmart": fm, "fortythree": ft }).to_string();
+    (text, json)
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro [EXPERIMENTS] [--scale test|medium|large|paper] [--json DIR]\n\
+         experiments: {}",
+        ALL.join(" ")
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,29 @@
+//! `goalrec` — command-line front end for the goal-based recommender.
+//!
+//! ```text
+//! goalrec generate  foodmart|fortythree [--scale test|paper] --out FILE
+//! goalrec extract   --stories FILE.json --out FILE.jsonl
+//! goalrec stats     --library FILE.jsonl [--actions N] [--goals N]
+//! goalrec recommend --library FILE.jsonl --activity a1,a2,…
+//!                   [--strategy breadth|best-match|focus-cmp|focus-cl]
+//!                   [-k N] [--explain]
+//! goalrec demo
+//! ```
+//!
+//! Libraries are exchanged as JSON-lines (`io::write_library_jsonl`);
+//! stories as a JSON array of `{"goal": …, "text": …}` objects.
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match commands::dispatch(&argv) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}

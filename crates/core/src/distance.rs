@@ -1,0 +1,163 @@
+//! Vector distances for the Best Match strategy (§5.3, Eq. 10).
+//!
+//! The paper ranks candidate actions by `dist(H⃗, a⃗)` with a "standard
+//! metric"; the metric is pluggable here. Cosine distance is the default
+//! because the profile magnitudes of user and candidate vectors differ by
+//! construction (the profile aggregates every action in `H`), and the
+//! ablation experiment compares all three.
+
+use serde::{Deserialize, Serialize};
+
+/// Supported distance metrics between sparse goal-space vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DistanceMetric {
+    /// `1 − cos(u, v)`: scale-invariant; the default.
+    #[default]
+    Cosine,
+    /// Euclidean (L2) distance.
+    Euclidean,
+    /// Manhattan (L1) distance.
+    Manhattan,
+}
+
+impl DistanceMetric {
+    /// Distance between two dense vectors of equal length.
+    ///
+    /// Both vectors live in the feature space `F_GS(H)` (one coordinate per
+    /// goal in the user's goal space), so equal length is an invariant of
+    /// the caller; debug builds assert it.
+    pub fn distance(self, u: &[f64], v: &[f64]) -> f64 {
+        debug_assert_eq!(u.len(), v.len());
+        match self {
+            DistanceMetric::Cosine => cosine_distance(u, v),
+            DistanceMetric::Euclidean => u
+                .iter()
+                .zip(v)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt(),
+            DistanceMetric::Manhattan => u.iter().zip(v).map(|(a, b)| (a - b).abs()).sum(),
+        }
+    }
+
+    /// Human-readable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DistanceMetric::Cosine => "cosine",
+            DistanceMetric::Euclidean => "euclidean",
+            DistanceMetric::Manhattan => "manhattan",
+        }
+    }
+
+    /// All metrics, for ablation sweeps.
+    pub const ALL: [DistanceMetric; 3] = [
+        DistanceMetric::Cosine,
+        DistanceMetric::Euclidean,
+        DistanceMetric::Manhattan,
+    ];
+}
+
+fn cosine_distance(u: &[f64], v: &[f64]) -> f64 {
+    let mut dot = 0.0;
+    let mut nu = 0.0;
+    let mut nv = 0.0;
+    for (a, b) in u.iter().zip(v) {
+        dot += a * b;
+        nu += a * a;
+        nv += b * b;
+    }
+    if nu == 0.0 || nv == 0.0 {
+        // A zero vector has no direction; treat it as maximally distant so
+        // candidates contributing to no user goal rank last.
+        return 1.0;
+    }
+    // Clamp for floating-point drift so the distance is always in [0, 1]
+    // for the non-negative count vectors used here.
+    1.0 - (dot / (nu.sqrt() * nv.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Cosine similarity between two dense vectors; used by the content-based
+/// baseline and the pairwise-similarity experiment (Table 5).
+pub fn cosine_similarity(u: &[f64], v: &[f64]) -> f64 {
+    1.0 - cosine_distance(u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cosine_identical_direction_is_zero() {
+        assert!(DistanceMetric::Cosine.distance(&[1.0, 2.0], &[2.0, 4.0]) < 1e-12);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_one() {
+        assert!((DistanceMetric::Cosine.distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_max_distance() {
+        assert_eq!(DistanceMetric::Cosine.distance(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+        assert_eq!(DistanceMetric::Cosine.distance(&[1.0, 1.0], &[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn euclidean_matches_hand_computation() {
+        assert!((DistanceMetric::Euclidean.distance(&[0.0, 3.0], &[4.0, 0.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_matches_hand_computation() {
+        assert!((DistanceMetric::Manhattan.distance(&[1.0, 2.0], &[3.0, 0.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_and_all() {
+        assert_eq!(DistanceMetric::default(), DistanceMetric::Cosine);
+        let names: Vec<_> = DistanceMetric::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["cosine", "euclidean", "manhattan"]);
+    }
+
+    #[test]
+    fn cosine_similarity_complementary() {
+        let u = [1.0, 2.0, 3.0];
+        let v = [2.0, 1.0, 0.5];
+        let d = DistanceMetric::Cosine.distance(&u, &v);
+        assert!((cosine_similarity(&u, &v) - (1.0 - d)).abs() < 1e-12);
+    }
+
+    fn vecs() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+        (1usize..20).prop_flat_map(|n| {
+            (
+                proptest::collection::vec(0.0f64..10.0, n),
+                proptest::collection::vec(0.0f64..10.0, n),
+            )
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_distances_nonnegative_and_symmetric((u, v) in vecs()) {
+            for m in DistanceMetric::ALL {
+                let d = m.distance(&u, &v);
+                prop_assert!(d >= 0.0, "{:?} gave negative distance", m);
+                prop_assert!((d - m.distance(&v, &u)).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_self_distance_zero(u in proptest::collection::vec(0.1f64..10.0, 1..20)) {
+            for m in DistanceMetric::ALL {
+                prop_assert!(m.distance(&u, &u) < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_cosine_bounded((u, v) in vecs()) {
+            let d = DistanceMetric::Cosine.distance(&u, &v);
+            prop_assert!((0.0..=1.0).contains(&d));
+        }
+    }
+}

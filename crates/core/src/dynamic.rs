@@ -1,0 +1,311 @@
+//! Incrementally updatable goal model.
+//!
+//! [`crate::GoalModel`] is an immutable compiled snapshot — ideal for
+//! serving, wrong for ingestion: real libraries grow continuously (new
+//! recipes, new success stories). [`DynamicGoalModel`] maintains the same
+//! five index structures as growable posting lists and supports
+//! * O(|A|) [`DynamicGoalModel::add_implementation`] — appends keep every
+//!   posting list sorted because implementation ids are handed out in
+//!   increasing order;
+//! * O(|A|) [`DynamicGoalModel::remove_implementation`] — tombstones the
+//!   implementation and purges it from the inverted lists;
+//! * O(total postings) [`DynamicGoalModel::compile`] — snapshots into an
+//!   immutable [`crate::GoalModel`] for the serving path.
+//!
+//! The epoch counter lets callers cheaply detect "has anything changed
+//! since my last snapshot".
+
+use crate::error::{Error, Result};
+use crate::ids::{ActionId, GoalId, ImplId};
+use crate::library::GoalLibrary;
+use crate::model::GoalModel;
+use crate::setops;
+
+/// A mutable, incrementally indexed goal implementation store.
+///
+/// ```
+/// use goalrec_core::{ActionId, DynamicGoalModel, GoalId};
+///
+/// let mut dm = DynamicGoalModel::new();
+/// dm.add_implementation(GoalId::new(0), vec![ActionId::new(0), ActionId::new(1)]).unwrap();
+/// let p = dm.add_implementation(GoalId::new(1), vec![ActionId::new(0)]).unwrap();
+/// assert_eq!(dm.goal_space(&[0]), vec![0, 1]);
+///
+/// dm.remove_implementation(p).unwrap();
+/// assert_eq!(dm.goal_space(&[0]), vec![0]);
+/// let snapshot = dm.compile().unwrap(); // immutable serving model
+/// assert_eq!(snapshot.num_impls(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DynamicGoalModel {
+    /// impl → sorted actions; empty slot = tombstone.
+    impl_actions: Vec<Vec<u32>>,
+    /// impl → goal id (undefined for tombstones).
+    impl_goal: Vec<u32>,
+    /// goal → sorted live implementation ids.
+    goal_impls: Vec<Vec<u32>>,
+    /// action → sorted live implementation ids.
+    action_impls: Vec<Vec<u32>>,
+    live: usize,
+    epoch: u64,
+}
+
+impl DynamicGoalModel {
+    /// Creates an empty dynamic model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seeds a dynamic model from an existing library.
+    pub fn from_library(library: &GoalLibrary) -> Self {
+        let mut dm = Self::new();
+        for imp in library.implementations() {
+            dm.add_implementation(imp.goal, imp.actions.clone())
+                .expect("library implementations are valid");
+        }
+        dm
+    }
+
+    /// Adds one implementation, growing the action/goal id spaces as
+    /// needed. Returns the new implementation's id.
+    pub fn add_implementation(&mut self, goal: GoalId, actions: Vec<ActionId>) -> Result<ImplId> {
+        let mut acts: Vec<u32> = actions.into_iter().map(ActionId::raw).collect();
+        setops::normalize(&mut acts);
+        if acts.is_empty() {
+            return Err(Error::EmptyImplementation {
+                goal: goal.to_string(),
+            });
+        }
+        let pid = self.impl_actions.len() as u32;
+        if goal.index() >= self.goal_impls.len() {
+            self.goal_impls.resize(goal.index() + 1, Vec::new());
+        }
+        let max_action = *acts.last().expect("non-empty") as usize;
+        if max_action >= self.action_impls.len() {
+            self.action_impls.resize(max_action + 1, Vec::new());
+        }
+        self.goal_impls[goal.index()].push(pid);
+        for &a in &acts {
+            self.action_impls[a as usize].push(pid);
+        }
+        self.impl_actions.push(acts);
+        self.impl_goal.push(goal.raw());
+        self.live += 1;
+        self.epoch += 1;
+        Ok(ImplId::new(pid))
+    }
+
+    /// Removes an implementation. Idempotent; unknown ids are an error.
+    pub fn remove_implementation(&mut self, id: ImplId) -> Result<()> {
+        let slot = self
+            .impl_actions
+            .get_mut(id.index())
+            .ok_or(Error::UnknownGoal(id.raw()))?;
+        if slot.is_empty() {
+            return Ok(()); // already tombstoned
+        }
+        let actions = std::mem::take(slot);
+        let goal = self.impl_goal[id.index()] as usize;
+        self.goal_impls[goal].retain(|&p| p != id.raw());
+        for &a in &actions {
+            self.action_impls[a as usize].retain(|&p| p != id.raw());
+        }
+        self.live -= 1;
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Number of live implementations.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no live implementation exists.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Monotonic change counter: bumps on every add/remove.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Implementation space of an action over the *live* set.
+    pub fn action_impls(&self, a: ActionId) -> &[u32] {
+        self.action_impls
+            .get(a.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Live implementations of a goal.
+    pub fn goal_impls(&self, g: GoalId) -> &[u32] {
+        self.goal_impls
+            .get(g.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Goal space of an activity over the live set (Eq. 1, fresh view).
+    pub fn goal_space(&self, activity: &[u32]) -> Vec<u32> {
+        let mut goals: Vec<u32> = Vec::new();
+        for &a in activity {
+            for &p in self.action_impls(ActionId::new(a)) {
+                goals.push(self.impl_goal[p as usize]);
+            }
+        }
+        setops::normalize(&mut goals);
+        goals
+    }
+
+    /// Compiles an immutable serving snapshot. Tombstoned slots are
+    /// *compacted away*: snapshot implementation ids are dense and need
+    /// not match dynamic ids.
+    pub fn compile(&self) -> Result<GoalModel> {
+        if self.live == 0 {
+            return Err(Error::EmptyLibrary);
+        }
+        let num_goals = self.goal_impls.len() as u32;
+        let num_actions = self.action_impls.len() as u32;
+        let impls: Vec<(GoalId, Vec<ActionId>)> = self
+            .impl_actions
+            .iter()
+            .zip(&self.impl_goal)
+            .filter(|(acts, _)| !acts.is_empty())
+            .map(|(acts, &g)| {
+                (
+                    GoalId::new(g),
+                    acts.iter().copied().map(ActionId::new).collect(),
+                )
+            })
+            .collect();
+        let library = GoalLibrary::from_id_implementations(num_actions, num_goals, impls)?;
+        GoalModel::build(&library)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::Activity;
+    use crate::recommend::{GoalRecommender, Recommender};
+    use crate::strategies::Breadth;
+    use std::sync::Arc;
+
+    fn ids(v: &[u32]) -> Vec<ActionId> {
+        v.iter().map(|&x| ActionId::new(x)).collect()
+    }
+
+    #[test]
+    fn add_grows_spaces_and_keeps_postings_sorted() {
+        let mut dm = DynamicGoalModel::new();
+        let p0 = dm.add_implementation(GoalId::new(0), ids(&[2, 0])).unwrap();
+        let p1 = dm.add_implementation(GoalId::new(1), ids(&[0, 5])).unwrap();
+        assert_eq!(p0, ImplId::new(0));
+        assert_eq!(p1, ImplId::new(1));
+        assert_eq!(dm.len(), 2);
+        assert_eq!(dm.action_impls(ActionId::new(0)), &[0, 1]);
+        assert!(setops::is_strictly_sorted(dm.action_impls(ActionId::new(0))));
+        assert_eq!(dm.goal_impls(GoalId::new(1)), &[1]);
+        assert_eq!(dm.epoch(), 2);
+    }
+
+    #[test]
+    fn rejects_empty_implementation() {
+        let mut dm = DynamicGoalModel::new();
+        assert!(dm.add_implementation(GoalId::new(0), vec![]).is_err());
+    }
+
+    #[test]
+    fn remove_tombstones_and_purges_postings() {
+        let mut dm = DynamicGoalModel::new();
+        let p0 = dm.add_implementation(GoalId::new(0), ids(&[0, 1])).unwrap();
+        dm.add_implementation(GoalId::new(0), ids(&[1, 2])).unwrap();
+        dm.remove_implementation(p0).unwrap();
+        assert_eq!(dm.len(), 1);
+        assert_eq!(dm.action_impls(ActionId::new(0)), &[] as &[u32]);
+        assert_eq!(dm.action_impls(ActionId::new(1)), &[1]);
+        assert_eq!(dm.goal_impls(GoalId::new(0)), &[1]);
+        // Idempotent.
+        let epoch = dm.epoch();
+        dm.remove_implementation(p0).unwrap();
+        assert_eq!(dm.epoch(), epoch);
+    }
+
+    #[test]
+    fn goal_space_reflects_updates_immediately() {
+        let mut dm = DynamicGoalModel::new();
+        dm.add_implementation(GoalId::new(0), ids(&[0, 1])).unwrap();
+        assert_eq!(dm.goal_space(&[0]), vec![0]);
+        let p = dm.add_implementation(GoalId::new(3), ids(&[0, 4])).unwrap();
+        assert_eq!(dm.goal_space(&[0]), vec![0, 3]);
+        dm.remove_implementation(p).unwrap();
+        assert_eq!(dm.goal_space(&[0]), vec![0]);
+    }
+
+    #[test]
+    fn compile_matches_static_build() {
+        let mut dm = DynamicGoalModel::new();
+        dm.add_implementation(GoalId::new(0), ids(&[0, 1])).unwrap();
+        dm.add_implementation(GoalId::new(0), ids(&[0, 2])).unwrap();
+        dm.add_implementation(GoalId::new(1), ids(&[0, 3, 4])).unwrap();
+        let model = dm.compile().unwrap();
+        assert_eq!(model.num_impls(), 3);
+        assert_eq!(model.action_impls(ActionId::new(0)), &[0, 1, 2]);
+        assert_eq!(model.goal_space(&[1]), vec![0]);
+    }
+
+    #[test]
+    fn compile_compacts_tombstones() {
+        let mut dm = DynamicGoalModel::new();
+        let p0 = dm.add_implementation(GoalId::new(0), ids(&[0])).unwrap();
+        dm.add_implementation(GoalId::new(1), ids(&[1])).unwrap();
+        dm.remove_implementation(p0).unwrap();
+        let model = dm.compile().unwrap();
+        assert_eq!(model.num_impls(), 1);
+        // The surviving implementation is re-id'd densely.
+        assert_eq!(model.impl_goal(ImplId::new(0)), GoalId::new(1));
+    }
+
+    #[test]
+    fn compile_empty_fails() {
+        let dm = DynamicGoalModel::new();
+        assert!(dm.compile().is_err());
+        let mut dm2 = DynamicGoalModel::new();
+        let p = dm2.add_implementation(GoalId::new(0), ids(&[0])).unwrap();
+        dm2.remove_implementation(p).unwrap();
+        assert!(dm2.compile().is_err());
+    }
+
+    #[test]
+    fn from_library_roundtrip() {
+        let mut b = crate::library::LibraryBuilder::new();
+        b.add_impl("g1", ["a", "b"]).unwrap();
+        b.add_impl("g2", ["b", "c"]).unwrap();
+        let lib = b.build().unwrap();
+        let dm = DynamicGoalModel::from_library(&lib);
+        assert_eq!(dm.len(), 2);
+        let recompiled = dm.compile().unwrap();
+        let original = GoalModel::build(&lib).unwrap();
+        assert_eq!(recompiled.goal_space(&[1]), original.goal_space(&[1]));
+    }
+
+    #[test]
+    fn ingest_then_serve_workflow() {
+        // The intended pattern: ingest updates, compile a snapshot, serve.
+        let mut dm = DynamicGoalModel::new();
+        dm.add_implementation(GoalId::new(0), ids(&[0, 1, 2])).unwrap();
+        dm.add_implementation(GoalId::new(1), ids(&[0, 3])).unwrap();
+        let snapshot = Arc::new(dm.compile().unwrap());
+        let rec = GoalRecommender::new(snapshot, Box::new(Breadth));
+        let before = rec.recommend_actions(&Activity::from_raw([0]), 5);
+
+        // New implementation arrives; old snapshot is unaffected until the
+        // next compile.
+        dm.add_implementation(GoalId::new(2), ids(&[0, 9])).unwrap();
+        assert_eq!(rec.recommend_actions(&Activity::from_raw([0]), 5), before);
+        let rec2 = GoalRecommender::new(Arc::new(dm.compile().unwrap()), Box::new(Breadth));
+        let after = rec2.recommend_actions(&Activity::from_raw([0]), 5);
+        assert!(after.contains(&ActionId::new(9)));
+    }
+}

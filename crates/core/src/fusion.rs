@@ -1,0 +1,265 @@
+//! Hybrid recommenders via rank/score fusion.
+//!
+//! The paper's conclusion names hybrid goal-based + content-based
+//! recommendation as the next step: "methodologies that enhance the
+//! goal-based mechanisms by considering the user preferences on certain
+//! domain-specific characteristics". [`Hybrid`] implements that as
+//! generic fusion over any set of [`Recommender`]s, with two classic
+//! combination rules:
+//!
+//! * [`FusionRule::WeightedScore`] — min-max normalise each method's
+//!   scores within the candidate pool, then take the weighted sum;
+//! * [`FusionRule::ReciprocalRank`] — RRF: `Σ w / (60 + rank)`, robust
+//!   when the methods' score scales are incomparable (which they are:
+//!   Breadth counts overlaps, Best Match negates distances, Content uses
+//!   cosines).
+
+use crate::activity::Activity;
+use crate::ids::ActionId;
+use crate::recommend::Recommender;
+use crate::topk::{top_k, Scored};
+use std::collections::HashMap;
+
+/// How the component lists are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FusionRule {
+    /// Min-max normalised weighted score sum.
+    WeightedScore,
+    /// Reciprocal-rank fusion (`k = 60`, the standard constant).
+    #[default]
+    ReciprocalRank,
+}
+
+/// The RRF damping constant (Cormack et al.'s standard 60).
+const RRF_K: f64 = 60.0;
+
+/// How many candidates each component contributes before fusion, as a
+/// multiple of the requested `k`. A deeper pool lets a candidate ranked
+/// just below another method's cut still be fused in.
+const POOL_FACTOR: usize = 3;
+
+/// A hybrid recommender fusing several components.
+pub struct Hybrid {
+    components: Vec<(Box<dyn Recommender>, f64)>,
+    rule: FusionRule,
+    name: String,
+}
+
+impl Hybrid {
+    /// Creates a hybrid from weighted components. Weights need not sum to
+    /// one; negative weights are rejected.
+    ///
+    /// # Panics
+    /// Panics if `components` is empty or any weight is negative/NaN.
+    pub fn new(components: Vec<(Box<dyn Recommender>, f64)>, rule: FusionRule) -> Self {
+        assert!(!components.is_empty(), "hybrid needs at least one component");
+        assert!(
+            components.iter().all(|(_, w)| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let name = format!(
+            "Hybrid({})",
+            components
+                .iter()
+                .map(|(r, w)| format!("{}:{w}", r.name()))
+                .collect::<Vec<_>>()
+                .join("+")
+        );
+        Self {
+            components,
+            rule,
+            name,
+        }
+    }
+
+    /// Equal-weight hybrid.
+    pub fn uniform(components: Vec<Box<dyn Recommender>>, rule: FusionRule) -> Self {
+        Self::new(components.into_iter().map(|c| (c, 1.0)).collect(), rule)
+    }
+}
+
+impl Recommender for Hybrid {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn recommend(&self, activity: &Activity, k: usize) -> Vec<Scored> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let pool = k.saturating_mul(POOL_FACTOR).max(k);
+        let mut fused: HashMap<ActionId, f64> = HashMap::new();
+        for (component, weight) in &self.components {
+            if *weight == 0.0 {
+                continue;
+            }
+            let list = component.recommend(activity, pool);
+            if list.is_empty() {
+                continue;
+            }
+            match self.rule {
+                FusionRule::ReciprocalRank => {
+                    for (rank, s) in list.iter().enumerate() {
+                        *fused.entry(s.action).or_insert(0.0) +=
+                            weight / (RRF_K + rank as f64 + 1.0);
+                    }
+                }
+                FusionRule::WeightedScore => {
+                    let max = list.first().map(|s| s.score).unwrap_or(0.0);
+                    let min = list.last().map(|s| s.score).unwrap_or(0.0);
+                    let span = (max - min).max(f64::EPSILON);
+                    for s in &list {
+                        let norm = (s.score - min) / span;
+                        *fused.entry(s.action).or_insert(0.0) += weight * norm;
+                    }
+                }
+            }
+        }
+        top_k(
+            fused.into_iter().map(|(a, s)| Scored::new(a, s)),
+            k,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fixed-list fake recommender for fusion arithmetic tests.
+    struct Fixed {
+        name: &'static str,
+        list: Vec<Scored>,
+    }
+
+    impl Recommender for Fixed {
+        fn name(&self) -> String {
+            self.name.to_owned()
+        }
+        fn recommend(&self, _h: &Activity, k: usize) -> Vec<Scored> {
+            self.list.iter().take(k).copied().collect()
+        }
+    }
+
+    fn fixed(name: &'static str, ids_scores: &[(u32, f64)]) -> Box<dyn Recommender> {
+        Box::new(Fixed {
+            name,
+            list: ids_scores
+                .iter()
+                .map(|&(a, s)| Scored::new(ActionId::new(a), s))
+                .collect(),
+        })
+    }
+
+    #[test]
+    fn rrf_prefers_items_ranked_well_everywhere() {
+        // Item 2 is rank 2 in both lists; items 1 and 3 are rank 1 in one
+        // list but absent from the other → 2 wins under RRF.
+        let h = Hybrid::uniform(
+            vec![
+                fixed("a", &[(1, 9.0), (2, 5.0)]),
+                fixed("b", &[(3, 9.0), (2, 5.0)]),
+            ],
+            FusionRule::ReciprocalRank,
+        );
+        let out = h.recommend(&Activity::new(), 3);
+        assert_eq!(out[0].action, ActionId::new(2));
+    }
+
+    #[test]
+    fn weighted_score_respects_weights() {
+        // Component b dominates with weight 10.
+        let h = Hybrid::new(
+            vec![
+                (fixed("a", &[(1, 1.0), (2, 0.5), (4, 0.1)]), 1.0),
+                (fixed("b", &[(3, 1.0), (2, 0.5), (4, 0.1)]), 10.0),
+            ],
+            FusionRule::WeightedScore,
+        );
+        let out = h.recommend(&Activity::new(), 1);
+        assert_eq!(out[0].action, ActionId::new(3));
+    }
+
+    #[test]
+    fn zero_weight_component_is_ignored() {
+        let h = Hybrid::new(
+            vec![
+                (fixed("a", &[(1, 1.0)]), 0.0),
+                (fixed("b", &[(2, 1.0)]), 1.0),
+            ],
+            FusionRule::ReciprocalRank,
+        );
+        let out = h.recommend(&Activity::new(), 2);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].action, ActionId::new(2));
+    }
+
+    #[test]
+    fn name_encodes_components() {
+        let h = Hybrid::uniform(
+            vec![fixed("Breadth", &[]), fixed("Content", &[])],
+            FusionRule::ReciprocalRank,
+        );
+        assert_eq!(h.name(), "Hybrid(Breadth:1+Content:1)");
+    }
+
+    #[test]
+    fn zero_k_and_empty_components_output() {
+        let h = Hybrid::uniform(vec![fixed("a", &[])], FusionRule::WeightedScore);
+        assert!(h.recommend(&Activity::new(), 0).is_empty());
+        assert!(h.recommend(&Activity::new(), 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_hybrid_rejected() {
+        Hybrid::uniform(vec![], FusionRule::ReciprocalRank);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        Hybrid::new(vec![(fixed("a", &[]), -1.0)], FusionRule::ReciprocalRank);
+    }
+
+    #[test]
+    fn single_constant_score_list_normalises_safely() {
+        // All scores equal → span 0 → must not divide by zero.
+        let h = Hybrid::uniform(
+            vec![fixed("a", &[(1, 0.5), (2, 0.5)])],
+            FusionRule::WeightedScore,
+        );
+        let out = h.recommend(&Activity::new(), 2);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|s| s.score.is_finite()));
+    }
+
+    #[test]
+    fn goal_plus_content_end_to_end() {
+        // The paper's future-work hybrid: combine Breadth with a
+        // content-flavoured second opinion (here another goal recommender
+        // for simplicity) over a real model.
+        use crate::library::LibraryBuilder;
+        use crate::recommend::GoalRecommender;
+        use crate::strategies::{BestMatch, Breadth};
+
+        let mut b = LibraryBuilder::new();
+        b.add_impl("g1", ["a", "b", "c"]).unwrap();
+        b.add_impl("g2", ["a", "d"]).unwrap();
+        let lib = b.build().unwrap();
+        let h = Activity::from_actions([lib.action_id("a").unwrap()]);
+
+        let hybrid = Hybrid::uniform(
+            vec![
+                Box::new(GoalRecommender::from_library(&lib, Box::new(Breadth)).unwrap()),
+                Box::new(
+                    GoalRecommender::from_library(&lib, Box::new(BestMatch::default())).unwrap(),
+                ),
+            ],
+            FusionRule::ReciprocalRank,
+        );
+        let out = hybrid.recommend(&h, 3);
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|s| s.action != lib.action_id("a").unwrap()));
+    }
+}

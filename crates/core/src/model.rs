@@ -1,0 +1,367 @@
+//! The association-based goal model (§4) — the compiled index structures.
+//!
+//! The paper materialises the library `L` into a set of indexes so that goal
+//! and action spaces can be formed "in real time" (Eq. 1–2):
+//!
+//! * `GI-A-idx` — implementation id → its activity (sorted action ids);
+//! * `GI-G-idx` — implementation id → its goal, plus the inverse goal →
+//!   implementation ids;
+//! * `A-GI-idx` — action id → the implementation ids it contributes to
+//!   (the action's *implementation space* `IS(a)`).
+//!
+//! [`GoalModel`] stores every posting list as a strictly increasing boxed
+//! `u32` slice, which makes the set algebra of [`crate::setops`] directly
+//! applicable and keeps the whole model in three flat allocations per index.
+
+use crate::error::{Error, Result};
+use crate::ids::{ActionId, GoalId, ImplId};
+use crate::library::{actions_as_raw, GoalLibrary};
+use crate::setops;
+
+/// The compiled association-based goal model.
+///
+/// Hypergraph reading (Fig. 2 of the paper): every implementation is a
+/// hyperedge connecting its actions, labelled by its goal. The model is
+/// immutable after construction; rebuilding after library changes is the
+/// intended workflow (construction is a single linear pass).
+#[derive(Debug, Clone)]
+pub struct GoalModel {
+    /// `GI-A-idx`: implementation → sorted actions.
+    impl_actions: Vec<Box<[u32]>>,
+    /// `GI-G-idx` (forward): implementation → goal.
+    impl_goal: Vec<u32>,
+    /// `GI-G-idx` (inverse): goal → sorted implementation ids.
+    goal_impls: Vec<Box<[u32]>>,
+    /// `A-GI-idx`: action → sorted implementation ids (`IS(a)`).
+    action_impls: Vec<Box<[u32]>>,
+    num_actions: usize,
+    num_goals: usize,
+}
+
+impl GoalModel {
+    /// Compiles the index structures from a library.
+    ///
+    /// Cost: `O(Σ|A_p|)` — one pass over every implementation's activity.
+    pub fn build(library: &GoalLibrary) -> Result<Self> {
+        if library.is_empty() {
+            return Err(Error::EmptyLibrary);
+        }
+        let num_actions = library.num_actions();
+        let num_goals = library.num_goals();
+        let impls = library.implementations();
+
+        let mut impl_actions = Vec::with_capacity(impls.len());
+        let mut impl_goal = Vec::with_capacity(impls.len());
+        let mut goal_counts = vec![0usize; num_goals];
+        let mut action_counts = vec![0usize; num_actions];
+
+        for imp in impls {
+            impl_actions.push(actions_as_raw(imp).to_vec().into_boxed_slice());
+            impl_goal.push(imp.goal.raw());
+            goal_counts[imp.goal.index()] += 1;
+            for a in &imp.actions {
+                action_counts[a.index()] += 1;
+            }
+        }
+
+        // Counting-sort style fill keeps the posting lists sorted because
+        // implementation ids are visited in increasing order.
+        let mut goal_impls: Vec<Vec<u32>> = goal_counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        let mut action_impls: Vec<Vec<u32>> =
+            action_counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for (pid, imp) in impls.iter().enumerate() {
+            let pid = pid as u32;
+            goal_impls[imp.goal.index()].push(pid);
+            for a in &imp.actions {
+                action_impls[a.index()].push(pid);
+            }
+        }
+
+        Ok(Self {
+            impl_actions,
+            impl_goal,
+            goal_impls: goal_impls.into_iter().map(Vec::into_boxed_slice).collect(),
+            action_impls: action_impls.into_iter().map(Vec::into_boxed_slice).collect(),
+            num_actions,
+            num_goals,
+        })
+    }
+
+    /// Number of implementations `|L|`.
+    #[inline]
+    pub fn num_impls(&self) -> usize {
+        self.impl_actions.len()
+    }
+
+    /// Number of actions `|𝒜|` (dictionary size, including actions that
+    /// participate in no implementation).
+    #[inline]
+    pub fn num_actions(&self) -> usize {
+        self.num_actions
+    }
+
+    /// Number of goals `|𝒢|`.
+    #[inline]
+    pub fn num_goals(&self) -> usize {
+        self.num_goals
+    }
+
+    /// `GI-A-idx[p]`: the activity of implementation `p`.
+    #[inline]
+    pub fn impl_actions(&self, p: ImplId) -> &[u32] {
+        &self.impl_actions[p.index()]
+    }
+
+    /// `GI-G-idx[p]`: the goal implementation `p` fulfils.
+    #[inline]
+    pub fn impl_goal(&self, p: ImplId) -> GoalId {
+        GoalId::new(self.impl_goal[p.index()])
+    }
+
+    /// Inverse `GI-G-idx`: all implementation ids for goal `g`.
+    #[inline]
+    pub fn goal_impls(&self, g: GoalId) -> &[u32] {
+        &self.goal_impls[g.index()]
+    }
+
+    /// `A-GI-idx[a]`: the implementation space `IS(a)` of action `a`.
+    #[inline]
+    pub fn action_impls(&self, a: ActionId) -> &[u32] {
+        &self.action_impls[a.index()]
+    }
+
+    /// The paper's *connectivity* of one action: `|IS(a)|`.
+    #[inline]
+    pub fn connectivity(&self, a: ActionId) -> usize {
+        self.action_impls[a.index()].len()
+    }
+
+    /// Validates that an action id belongs to the model.
+    pub fn check_action(&self, a: ActionId) -> Result<()> {
+        if a.index() < self.num_actions {
+            Ok(())
+        } else {
+            Err(Error::UnknownAction(a.raw()))
+        }
+    }
+
+    /// Validates that a goal id belongs to the model.
+    pub fn check_goal(&self, g: GoalId) -> Result<()> {
+        if g.index() < self.num_goals {
+            Ok(())
+        } else {
+            Err(Error::UnknownGoal(g.raw()))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Space operations (§4, Definitions 4.1–4.2, Eq. 1–2)
+    // ------------------------------------------------------------------
+
+    /// Implementation space of an activity: `IS(H) = ∪_{a∈H} IS(a)`,
+    /// i.e. every implementation associated with the user activity
+    /// (`A ∩ H ≠ ∅`).
+    pub fn implementation_space(&self, activity: &[u32]) -> Vec<u32> {
+        setops::union_many(
+            activity
+                .iter()
+                .filter(|&&a| (a as usize) < self.num_actions)
+                .map(|&a| &*self.action_impls[a as usize]),
+        )
+    }
+
+    /// Goal space of an activity (Definition 4.1 extended to sets, Eq. 1):
+    /// every goal some action of the activity contributes to.
+    pub fn goal_space(&self, activity: &[u32]) -> Vec<u32> {
+        let mut goals: Vec<u32> = self
+            .implementation_space(activity)
+            .into_iter()
+            .map(|p| self.impl_goal[p as usize])
+            .collect();
+        setops::normalize(&mut goals);
+        goals
+    }
+
+    /// Action space of an activity (Definition 4.2 extended to sets, Eq. 2):
+    /// every action co-contributing with an activity action through some
+    /// implementation, *excluding* the activity's own actions.
+    pub fn action_space(&self, activity: &[u32]) -> Vec<u32> {
+        let mut acts: Vec<u32> = Vec::new();
+        for p in self.implementation_space(activity) {
+            acts.extend_from_slice(&self.impl_actions[p as usize]);
+        }
+        setops::normalize(&mut acts);
+        setops::difference(&acts, activity)
+    }
+
+    /// Goal space of a single action: `GS(a)` (Definition 4.1).
+    pub fn goal_space_of_action(&self, a: ActionId) -> Vec<u32> {
+        let mut goals: Vec<u32> = self.action_impls[a.index()]
+            .iter()
+            .map(|&p| self.impl_goal[p as usize])
+            .collect();
+        setops::normalize(&mut goals);
+        goals
+    }
+
+    /// Action space of a single action: `AS(a)` (Definition 4.2) — all
+    /// co-contributors, excluding `a` itself.
+    pub fn action_space_of_action(&self, a: ActionId) -> Vec<u32> {
+        let mut acts: Vec<u32> = Vec::new();
+        for &p in self.action_impls[a.index()].iter() {
+            acts.extend_from_slice(&self.impl_actions[p as usize]);
+        }
+        setops::normalize(&mut acts);
+        acts.retain(|&x| x != a.raw());
+        acts
+    }
+
+    /// Completeness of a goal `g` for activity `H`: the best completeness
+    /// over all implementations of `g` (used by the usefulness metric of
+    /// §6.1.1 C.1.3, where goal completeness after following a
+    /// recommendation list is reported).
+    pub fn goal_completeness(&self, g: GoalId, activity: &[u32]) -> f64 {
+        self.goal_impls[g.index()]
+            .iter()
+            .map(|&p| {
+                let acts = &*self.impl_actions[p as usize];
+                setops::intersection_len(acts, activity) as f64 / acts.len() as f64
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Approximate heap footprint of the model in bytes. Reported by the
+    /// scalability experiment alongside Fig. 7 timings.
+    pub fn memory_bytes(&self) -> usize {
+        let posting = |v: &Vec<Box<[u32]>>| -> usize {
+            v.iter().map(|b| b.len() * 4 + std::mem::size_of::<Box<[u32]>>()).sum()
+        };
+        posting(&self.impl_actions)
+            + posting(&self.goal_impls)
+            + posting(&self.action_impls)
+            + self.impl_goal.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::LibraryBuilder;
+
+    /// Example 3.2 / Figure 1 library. Ids by insertion order:
+    /// actions a1..a6 → 0..5, goals g1,g2,g3,g5 → 0..3,
+    /// impls p1..p5 → 0..4.
+    fn model() -> GoalModel {
+        let mut b = LibraryBuilder::new();
+        b.add_impl("g1", ["a1", "a2"]).unwrap();
+        b.add_impl("g1", ["a1", "a3"]).unwrap();
+        b.add_impl("g2", ["a1", "a4", "a5"]).unwrap();
+        b.add_impl("g3", ["a4", "a6"]).unwrap();
+        b.add_impl("g5", ["a1", "a2", "a6"]).unwrap();
+        GoalModel::build(&b.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn dimensions() {
+        let m = model();
+        assert_eq!(m.num_impls(), 5);
+        assert_eq!(m.num_actions(), 6);
+        assert_eq!(m.num_goals(), 4);
+    }
+
+    #[test]
+    fn forward_indexes() {
+        let m = model();
+        assert_eq!(m.impl_actions(ImplId::new(0)), &[0, 1]);
+        assert_eq!(m.impl_actions(ImplId::new(2)), &[0, 3, 4]);
+        assert_eq!(m.impl_goal(ImplId::new(0)), GoalId::new(0));
+        assert_eq!(m.impl_goal(ImplId::new(4)), GoalId::new(3));
+    }
+
+    #[test]
+    fn inverse_goal_index() {
+        let m = model();
+        assert_eq!(m.goal_impls(GoalId::new(0)), &[0, 1]); // g1 via p1, p2
+        assert_eq!(m.goal_impls(GoalId::new(3)), &[4]);
+    }
+
+    #[test]
+    fn action_implementation_space_matches_example_4_3() {
+        let m = model();
+        // Example 4.3: IS(a1) = {p1, p2, p3, p5}
+        assert_eq!(m.action_impls(ActionId::new(0)), &[0, 1, 2, 4]);
+        assert_eq!(m.connectivity(ActionId::new(0)), 4);
+    }
+
+    #[test]
+    fn goal_space_matches_example_4_3() {
+        let m = model();
+        // GS(a1) = {g1, g2, g5} as ids {0, 1, 3}
+        assert_eq!(m.goal_space_of_action(ActionId::new(0)), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn action_space_matches_example_4_3() {
+        let m = model();
+        // AS(a1) = {a2, a3, a4, a5, a6} as ids {1, 2, 3, 4, 5}
+        assert_eq!(
+            m.action_space_of_action(ActionId::new(0)),
+            vec![1, 2, 3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn activity_spaces() {
+        let m = model();
+        // H = {a2} (id 1) participates in p1, p5.
+        assert_eq!(m.implementation_space(&[1]), vec![0, 4]);
+        assert_eq!(m.goal_space(&[1]), vec![0, 3]); // g1, g5
+        // AS({a2}) = actions of p1 ∪ p5 minus a2 = {a1, a6}.
+        assert_eq!(m.action_space(&[1]), vec![0, 5]);
+    }
+
+    #[test]
+    fn activity_space_of_unknown_or_empty_activity() {
+        let m = model();
+        assert!(m.implementation_space(&[]).is_empty());
+        assert!(m.goal_space(&[]).is_empty());
+        assert!(m.action_space(&[]).is_empty());
+        // Out-of-range ids are ignored rather than panicking: activities may
+        // legitimately contain actions the library never saw.
+        assert!(m.implementation_space(&[999]).is_empty());
+    }
+
+    #[test]
+    fn goal_completeness_takes_best_implementation() {
+        let m = model();
+        // g1 has p1={a1,a2}, p2={a1,a3}. H={a1,a2} completes p1 fully.
+        assert_eq!(m.goal_completeness(GoalId::new(0), &[0, 1]), 1.0);
+        // H={a1} gives 1/2 on both.
+        assert_eq!(m.goal_completeness(GoalId::new(0), &[0]), 0.5);
+        // g2 = p3 = {a1,a4,a5}; H={a1} → 1/3.
+        assert!((m.goal_completeness(GoalId::new(1), &[0]) - 1.0 / 3.0).abs() < 1e-12);
+        // No overlap → 0.
+        assert_eq!(m.goal_completeness(GoalId::new(2), &[0]), 0.0);
+    }
+
+    #[test]
+    fn check_bounds() {
+        let m = model();
+        assert!(m.check_action(ActionId::new(5)).is_ok());
+        assert!(m.check_action(ActionId::new(6)).is_err());
+        assert!(m.check_goal(GoalId::new(3)).is_ok());
+        assert!(m.check_goal(GoalId::new(4)).is_err());
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let m = model();
+        assert!(m.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn build_rejects_empty_library() {
+        let lib = crate::library::GoalLibrary::default();
+        assert!(GoalModel::build(&lib).is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Goal-based user and action representations (§5.3, Eq. 7–9, Alg. 3).
+//!
+//! Best Match represents both the user and every candidate action as count
+//! vectors in the feature space `F_GS(H)` — one coordinate per goal in the
+//! user's goal space. Coordinate `i` of an action vector counts the
+//! implementations through which the action contributes to goal `i`
+//! (Eq. 8); the user profile is the sum of the vectors of the actions in
+//! `H` (Eq. 9).
+
+use crate::ids::{ActionId, GoalId};
+use crate::model::GoalModel;
+use crate::setops;
+
+/// A dense vector in the goal feature space `F_GS(H)`, together with the
+/// goal ids that label each coordinate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoalVector {
+    /// Sorted goal ids labelling the coordinates.
+    pub goals: Vec<u32>,
+    /// Contribution counts, one per goal in `goals`.
+    pub counts: Vec<f64>,
+}
+
+impl GoalVector {
+    /// A zero vector over the given (sorted) goal space.
+    pub fn zeros(goal_space: &[u32]) -> Self {
+        Self {
+            goals: goal_space.to_vec(),
+            counts: vec![0.0; goal_space.len()],
+        }
+    }
+
+    /// Dimensionality `|GS(H)|`.
+    pub fn dim(&self) -> usize {
+        self.goals.len()
+    }
+
+    /// The count for a specific goal, if it is in the space.
+    pub fn get(&self, g: GoalId) -> Option<f64> {
+        self.goals
+            .binary_search(&g.raw())
+            .ok()
+            .map(|i| self.counts[i])
+    }
+
+    /// Adds `delta` to the coordinate of `g`; ignores goals outside the
+    /// space (a candidate action may contribute to goals the user has shown
+    /// no evidence for — Best Match deliberately disregards those).
+    pub fn add(&mut self, g: GoalId, delta: f64) {
+        if let Ok(i) = self.goals.binary_search(&g.raw()) {
+            self.counts[i] += delta;
+        }
+    }
+
+    /// Sum of all coordinates.
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// Whether every coordinate is zero.
+    pub fn is_zero(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0.0)
+    }
+}
+
+/// Builds the goal-based user profile `H⃗` (Algorithm 3,
+/// `Get-Goal-Based-Profile`).
+///
+/// For each action in the activity, every implementation in its
+/// implementation space contributes `+1` to the coordinate of that
+/// implementation's goal. The resulting vector captures "for each goal in
+/// `GS(H)`, how many (action, implementation) pairs of the user's activity
+/// contribute to it".
+pub fn user_profile(model: &GoalModel, activity: &[u32], goal_space: &[u32]) -> GoalVector {
+    let mut profile = GoalVector::zeros(goal_space);
+    for &a in activity {
+        if (a as usize) >= model.num_actions() {
+            continue;
+        }
+        for &p in model.action_impls(ActionId::new(a)) {
+            profile.add(model.impl_goal(crate::ids::ImplId::new(p)), 1.0);
+        }
+    }
+    profile
+}
+
+/// Builds the goal-based representation `a⃗` of one candidate action
+/// (Eq. 8): coordinate `g` counts the implementations `p = (g, A)` with
+/// `a ∈ A` and `g ∈ GS(H)`.
+pub fn action_vector(model: &GoalModel, action: ActionId, goal_space: &[u32]) -> GoalVector {
+    let mut vec = GoalVector::zeros(goal_space);
+    for &p in model.action_impls(action) {
+        vec.add(model.impl_goal(crate::ids::ImplId::new(p)), 1.0);
+    }
+    vec
+}
+
+/// Computes the goal space and user profile together, avoiding a second
+/// pass over the implementation space.
+pub fn goal_space_and_profile(model: &GoalModel, activity: &[u32]) -> (Vec<u32>, GoalVector) {
+    // First pass: collect (goal, +1) pairs.
+    let mut pairs: Vec<u32> = Vec::new();
+    for &a in activity {
+        if (a as usize) >= model.num_actions() {
+            continue;
+        }
+        for &p in model.action_impls(ActionId::new(a)) {
+            pairs.push(model.impl_goal(crate::ids::ImplId::new(p)).raw());
+        }
+    }
+    let mut space = pairs.clone();
+    setops::normalize(&mut space);
+    let mut profile = GoalVector::zeros(&space);
+    for g in pairs {
+        profile.add(GoalId::new(g), 1.0);
+    }
+    (space, profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::LibraryBuilder;
+    use crate::model::GoalModel;
+
+    /// Example 3.2 model: a1..a6 → 0..5, goals g1,g2,g3,g5 → 0..3.
+    fn model() -> GoalModel {
+        let mut b = LibraryBuilder::new();
+        b.add_impl("g1", ["a1", "a2"]).unwrap();
+        b.add_impl("g1", ["a1", "a3"]).unwrap();
+        b.add_impl("g2", ["a1", "a4", "a5"]).unwrap();
+        b.add_impl("g3", ["a4", "a6"]).unwrap();
+        b.add_impl("g5", ["a1", "a2", "a6"]).unwrap();
+        GoalModel::build(&b.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn zeros_and_accessors() {
+        let v = GoalVector::zeros(&[1, 4, 7]);
+        assert_eq!(v.dim(), 3);
+        assert!(v.is_zero());
+        assert_eq!(v.get(GoalId::new(4)), Some(0.0));
+        assert_eq!(v.get(GoalId::new(5)), None);
+    }
+
+    #[test]
+    fn add_ignores_goals_outside_space() {
+        let mut v = GoalVector::zeros(&[1, 4]);
+        v.add(GoalId::new(4), 2.0);
+        v.add(GoalId::new(9), 5.0); // outside — ignored
+        assert_eq!(v.get(GoalId::new(4)), Some(2.0));
+        assert_eq!(v.total(), 2.0);
+        assert!(!v.is_zero());
+    }
+
+    #[test]
+    fn paper_example_profile_for_a2_a3() {
+        // The paper's §5.3 example: H = {a2, a3}. a2 contributes to g1 (p1)
+        // and g5 (p5); a3 to g1 (p2). Goal space {g1, g5} = ids {0, 3};
+        // counts: g1 → 2 (p1 via a2, p2 via a3), g5 → 1.
+        // (The paper text renders the profile over the full goal layout as
+        // {3, 0, 2}-style counts for its figure ordering; the invariant is
+        // the per-goal counts, which we check directly.)
+        let m = model();
+        let h = [1u32, 2u32]; // a2 = id 1, a3 = id 2
+        let (space, profile) = goal_space_and_profile(&m, &h);
+        assert_eq!(space, vec![0, 3]); // g1, g5
+        assert_eq!(profile.get(GoalId::new(0)), Some(2.0));
+        assert_eq!(profile.get(GoalId::new(3)), Some(1.0));
+        assert_eq!(profile.total(), 3.0);
+    }
+
+    #[test]
+    fn user_profile_matches_combined_function() {
+        let m = model();
+        let h = [0u32, 5u32];
+        let space = m.goal_space(&h);
+        let p1 = user_profile(&m, &h, &space);
+        let (space2, p2) = goal_space_and_profile(&m, &h);
+        assert_eq!(space, space2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn action_vector_counts_implementations_per_goal() {
+        let m = model();
+        // a1 (id 0) contributes: g1 via p1 and p2 (count 2), g2 via p3,
+        // g5 via p5. Over the full goal space of H = {a1}:
+        let space = m.goal_space(&[0]);
+        assert_eq!(space, vec![0, 1, 3]);
+        let v = action_vector(&m, ActionId::new(0), &space);
+        assert_eq!(v.get(GoalId::new(0)), Some(2.0));
+        assert_eq!(v.get(GoalId::new(1)), Some(1.0));
+        assert_eq!(v.get(GoalId::new(3)), Some(1.0));
+    }
+
+    #[test]
+    fn action_vector_restricted_space_drops_other_goals() {
+        let m = model();
+        // Space containing only g3 (id 2): a1 contributes nothing there.
+        let v = action_vector(&m, ActionId::new(0), &[2]);
+        assert!(v.is_zero());
+        // a6 (id 5) contributes to g3 via p4.
+        let v6 = action_vector(&m, ActionId::new(5), &[2]);
+        assert_eq!(v6.get(GoalId::new(2)), Some(1.0));
+    }
+
+    #[test]
+    fn empty_activity_gives_empty_space_and_zero_profile() {
+        let m = model();
+        let (space, profile) = goal_space_and_profile(&m, &[]);
+        assert!(space.is_empty());
+        assert_eq!(profile.dim(), 0);
+        assert!(profile.is_zero());
+    }
+
+    #[test]
+    fn unknown_actions_in_activity_are_skipped() {
+        let m = model();
+        let (space, _) = goal_space_and_profile(&m, &[0, 999]);
+        assert_eq!(space, m.goal_space(&[0]));
+    }
+}

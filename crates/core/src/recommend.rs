@@ -1,0 +1,159 @@
+//! The recommender facade and the cross-method recommender abstraction.
+//!
+//! [`Recommender`] is the crate-agnostic interface the evaluation layer
+//! uses: goal-based strategies, collaborative filtering, content-based
+//! filtering and association-rule baselines all implement it, so the
+//! experiments of §6 can iterate over a homogeneous list of methods.
+//!
+//! [`GoalRecommender`] binds a [`GoalModel`] to the [`Strategy`]
+//! implementations of this crate and offers convenience entry points that
+//! resolve names through the library's dictionaries.
+
+use crate::activity::Activity;
+use crate::error::Result;
+use crate::ids::ActionId;
+use crate::library::GoalLibrary;
+use crate::model::GoalModel;
+use crate::strategies::{BestMatch, Breadth, Focus, FocusVariant, Strategy};
+use crate::topk::Scored;
+use std::sync::Arc;
+
+/// Anything that can produce a ranked top-k action list for an activity.
+///
+/// The contract mirrors [`Strategy`] but is self-contained (no model
+/// argument): implementors capture their data at construction. All methods
+/// must be deterministic and thread-safe — the batch driver fans requests
+/// out across threads.
+pub trait Recommender: Send + Sync {
+    /// Stable display name used in experiment tables.
+    fn name(&self) -> String;
+
+    /// Ranks candidate actions for `activity`, best first, at most `k`.
+    fn recommend(&self, activity: &Activity, k: usize) -> Vec<Scored>;
+
+    /// Convenience: just the action ids, best first.
+    fn recommend_actions(&self, activity: &Activity, k: usize) -> Vec<ActionId> {
+        self.recommend(activity, k)
+            .into_iter()
+            .map(|s| s.action)
+            .collect()
+    }
+}
+
+/// A goal-based recommender: a compiled model plus one strategy.
+#[derive(Clone)]
+pub struct GoalRecommender {
+    model: Arc<GoalModel>,
+    strategy: Arc<dyn Strategy>,
+}
+
+impl GoalRecommender {
+    /// Builds the model from a library and pairs it with a strategy.
+    pub fn from_library(library: &GoalLibrary, strategy: Box<dyn Strategy>) -> Result<Self> {
+        Ok(Self {
+            model: Arc::new(GoalModel::build(library)?),
+            strategy: strategy.into(),
+        })
+    }
+
+    /// Wraps an existing (shared) model.
+    pub fn new(model: Arc<GoalModel>, strategy: Box<dyn Strategy>) -> Self {
+        Self {
+            model,
+            strategy: strategy.into(),
+        }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &GoalModel {
+        &self.model
+    }
+
+    /// One recommender per paper mechanism, sharing a single model:
+    /// Best Match, Focus_cmp, Focus_cl, Breadth.
+    pub fn all_strategies(model: Arc<GoalModel>) -> Vec<GoalRecommender> {
+        vec![
+            GoalRecommender::new(Arc::clone(&model), Box::new(BestMatch::default())),
+            GoalRecommender::new(
+                Arc::clone(&model),
+                Box::new(Focus::new(FocusVariant::Completeness)),
+            ),
+            GoalRecommender::new(
+                Arc::clone(&model),
+                Box::new(Focus::new(FocusVariant::Closeness)),
+            ),
+            GoalRecommender::new(model, Box::new(Breadth)),
+        ]
+    }
+}
+
+impl Recommender for GoalRecommender {
+    fn name(&self) -> String {
+        self.strategy.name().to_owned()
+    }
+
+    fn recommend(&self, activity: &Activity, k: usize) -> Vec<Scored> {
+        self.strategy.rank(&self.model, activity, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::LibraryBuilder;
+
+    fn library() -> GoalLibrary {
+        let mut b = LibraryBuilder::new();
+        b.add_impl("g1", ["a1", "a2"]).unwrap();
+        b.add_impl("g1", ["a1", "a3"]).unwrap();
+        b.add_impl("g2", ["a1", "a4", "a5"]).unwrap();
+        b.add_impl("g3", ["a4", "a6"]).unwrap();
+        b.add_impl("g5", ["a1", "a2", "a6"]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn facade_matches_direct_strategy_call() {
+        let lib = library();
+        let model = Arc::new(GoalModel::build(&lib).unwrap());
+        let rec = GoalRecommender::new(Arc::clone(&model), Box::new(Breadth));
+        let h = Activity::from_raw([0]);
+        assert_eq!(rec.recommend(&h, 5), Breadth.rank(&model, &h, 5));
+        assert_eq!(rec.name(), "Breadth");
+    }
+
+    #[test]
+    fn from_library_builds_model() {
+        let rec =
+            GoalRecommender::from_library(&library(), Box::new(BestMatch::default())).unwrap();
+        assert_eq!(rec.model().num_impls(), 5);
+        assert!(!rec.recommend(&Activity::from_raw([0]), 3).is_empty());
+    }
+
+    #[test]
+    fn all_strategies_share_one_model() {
+        let model = Arc::new(GoalModel::build(&library()).unwrap());
+        let recs = GoalRecommender::all_strategies(model);
+        let names: Vec<String> = recs.iter().map(|r| r.name()).collect();
+        assert_eq!(names, vec!["BestMatch", "Focus_cmp", "Focus_cl", "Breadth"]);
+    }
+
+    #[test]
+    fn recommend_actions_strips_scores() {
+        let rec = GoalRecommender::from_library(&library(), Box::new(Breadth)).unwrap();
+        let h = Activity::from_raw([0]);
+        let with_scores = rec.recommend(&h, 3);
+        let ids = rec.recommend_actions(&h, 3);
+        assert_eq!(
+            ids,
+            with_scores.iter().map(|s| s.action).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn recommender_is_object_safe() {
+        let rec: Box<dyn Recommender> =
+            Box::new(GoalRecommender::from_library(&library(), Box::new(Breadth)).unwrap());
+        assert_eq!(rec.name(), "Breadth");
+    }
+}

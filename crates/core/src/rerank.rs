@@ -1,0 +1,193 @@
+//! Diversity-aware re-ranking (MMR).
+//!
+//! Table 5 of the paper measures how self-similar each method's lists are
+//! and flags Content-based filtering's homogeneity as a known drawback.
+//! Maximal Marginal Relevance (Carbonell & Goldstein, 1998) is the classic
+//! remedy: re-rank a candidate list by trading relevance against
+//! similarity to the items already picked,
+//!
+//! `MMR(a) = λ·score(a) − (1−λ)·max_{b ∈ picked} sim(a, b)`.
+//!
+//! The re-ranker is strategy-agnostic: it consumes any scored list (from a
+//! goal-based strategy, a baseline, or a hybrid) plus a pairwise
+//! similarity function, so applications can enforce a diversity floor on
+//! top of whatever policy they chose.
+
+use crate::ids::ActionId;
+use crate::topk::Scored;
+
+/// Re-ranks `candidates` with MMR and returns the top `k`.
+///
+/// * `lambda` ∈ [0, 1]: 1 keeps the original relevance order, 0 ranks
+///   purely by dissimilarity to the already-picked items.
+/// * `similarity(a, b)` should return a value in `[0, 1]`.
+///
+/// Relevance scores are min-max normalised over the candidate pool first,
+/// so `lambda` has the same meaning regardless of the strategy's score
+/// scale (overlap counts, negated distances, cosines …).
+///
+/// ```
+/// use goalrec_core::{mmr_rerank, ActionId, Scored};
+///
+/// // Items 0 and 1 are near-duplicates; 2 is different but less relevant.
+/// let pool = vec![
+///     Scored::new(ActionId::new(0), 0.9),
+///     Scored::new(ActionId::new(1), 0.8),
+///     Scored::new(ActionId::new(2), 0.5),
+/// ];
+/// let sim = |a: ActionId, b: ActionId| if a.raw() <= 1 && b.raw() <= 1 { 1.0 } else { 0.0 };
+/// let picks = mmr_rerank(&pool, 2, 0.5, sim);
+/// assert_eq!(picks[0].action, ActionId::new(0)); // most relevant first
+/// assert_eq!(picks[1].action, ActionId::new(2)); // diversity beats the duplicate
+/// ```
+///
+/// # Panics
+/// Panics if `lambda` is not in `[0, 1]` or NaN.
+pub fn mmr_rerank<F>(candidates: &[Scored], k: usize, lambda: f64, similarity: F) -> Vec<Scored>
+where
+    F: Fn(ActionId, ActionId) -> f64,
+{
+    assert!(
+        (0.0..=1.0).contains(&lambda),
+        "lambda must be within [0, 1]"
+    );
+    if candidates.is_empty() || k == 0 {
+        return Vec::new();
+    }
+
+    // Min-max normalise relevance.
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for c in candidates {
+        lo = lo.min(c.score);
+        hi = hi.max(c.score);
+    }
+    let span = (hi - lo).max(f64::EPSILON);
+    let relevance: Vec<f64> = candidates.iter().map(|c| (c.score - lo) / span).collect();
+
+    let mut picked: Vec<Scored> = Vec::with_capacity(k.min(candidates.len()));
+    let mut used = vec![false; candidates.len()];
+    while picked.len() < k.min(candidates.len()) {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, cand) in candidates.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let max_sim = picked
+                .iter()
+                .map(|p| similarity(cand.action, p.action))
+                .fold(0.0f64, f64::max);
+            let mmr = lambda * relevance[i] - (1.0 - lambda) * max_sim;
+            let better = match best {
+                None => true,
+                Some((bi, bs)) => {
+                    mmr > bs + 1e-12
+                        || ((mmr - bs).abs() <= 1e-12 && cand.action < candidates[bi].action)
+                }
+            };
+            if better {
+                best = Some((i, mmr));
+            }
+        }
+        let (i, mmr) = best.expect("unused candidate exists");
+        used[i] = true;
+        picked.push(Scored::new(candidates[i].action, mmr));
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(a: u32, sc: f64) -> Scored {
+        Scored::new(ActionId::new(a), sc)
+    }
+
+    /// Items 0,1 identical; 2 dissimilar to both.
+    fn sim(a: ActionId, b: ActionId) -> f64 {
+        let (a, b) = (a.raw(), b.raw());
+        if a == b || (a <= 1 && b <= 1) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    #[test]
+    fn lambda_one_keeps_relevance_order() {
+        let cands = vec![s(0, 0.9), s(1, 0.8), s(2, 0.1)];
+        let out = mmr_rerank(&cands, 3, 1.0, sim);
+        let ids: Vec<u32> = out.iter().map(|r| r.action.raw()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn diversity_pressure_promotes_dissimilar_item() {
+        // With λ = 0.5, after picking 0, item 1 (near-identical) is
+        // penalised by 0.5·1.0 while item 2 has no penalty — 2 jumps ahead
+        // despite lower relevance.
+        let cands = vec![s(0, 0.9), s(1, 0.8), s(2, 0.5)];
+        let out = mmr_rerank(&cands, 3, 0.5, sim);
+        let ids: Vec<u32> = out.iter().map(|r| r.action.raw()).collect();
+        assert_eq!(ids, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn first_pick_is_always_most_relevant() {
+        let cands = vec![s(5, 0.2), s(7, 0.95), s(9, 0.5)];
+        for lambda in [0.0, 0.3, 1.0] {
+            // With no picked items yet the similarity penalty is 0, so the
+            // top-relevance item leads for any λ > 0; at λ = 0 all MMR
+            // values are 0 and the id tie-break takes over.
+            let out = mmr_rerank(&cands, 1, lambda, |_, _| 0.0);
+            if lambda > 0.0 {
+                assert_eq!(out[0].action, ActionId::new(7), "λ = {lambda}");
+            }
+        }
+    }
+
+    #[test]
+    fn respects_k_and_empty_inputs() {
+        let cands = vec![s(0, 1.0), s(1, 0.5)];
+        assert_eq!(mmr_rerank(&cands, 1, 0.7, sim).len(), 1);
+        assert!(mmr_rerank(&cands, 0, 0.7, sim).is_empty());
+        assert!(mmr_rerank(&[], 5, 0.7, sim).is_empty());
+        assert_eq!(mmr_rerank(&cands, 10, 0.7, sim).len(), 2);
+    }
+
+    #[test]
+    fn constant_scores_fall_back_to_diversity_then_id() {
+        let cands = vec![s(0, 0.5), s(1, 0.5), s(2, 0.5)];
+        let out = mmr_rerank(&cands, 3, 0.5, sim);
+        // First pick: all MMR equal → lowest id (0). Second: 2 (dissimilar)
+        // beats 1 (identical to 0).
+        let ids: Vec<u32> = out.iter().map(|r| r.action.raw()).collect();
+        assert_eq!(ids, vec![0, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn invalid_lambda_rejected() {
+        mmr_rerank(&[s(0, 1.0)], 1, 1.5, sim);
+    }
+
+    #[test]
+    fn end_to_end_with_a_goal_strategy() {
+        use crate::activity::Activity;
+        use crate::library::LibraryBuilder;
+        use crate::model::GoalModel;
+        use crate::strategies::{Breadth, Strategy as _};
+
+        let mut b = LibraryBuilder::new();
+        b.add_impl("g1", ["a", "b", "c"]).unwrap();
+        b.add_impl("g2", ["a", "d"]).unwrap();
+        let lib = b.build().unwrap();
+        let model = GoalModel::build(&lib).unwrap();
+        let h = Activity::from_actions([lib.action_id("a").unwrap()]);
+        let base = Breadth.rank(&model, &h, 10);
+        let reranked = mmr_rerank(&base, 2, 0.7, |_, _| 0.0);
+        assert_eq!(reranked.len(), 2);
+        // With zero similarity the relevance order is preserved.
+        assert_eq!(reranked[0].action, base[0].action);
+    }
+}

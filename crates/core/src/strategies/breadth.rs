@@ -1,0 +1,281 @@
+//! The Breadth strategy (§5.2, Algorithm 2).
+//!
+//! Breadth evaluates a candidate action over *all* the implementations of
+//! the user's implementation space it participates in: the score of action
+//! `a` is `Σ_p |A_p ∩ H|` over implementations `p = (g, A_p)` with
+//! `A_p ∩ H ≠ ∅` and `a ∈ A_p` (Eq. 5–6). Actions that co-occur with many
+//! of the user's actions across many implementations rise to the top,
+//! keeping multiple goal "paths" open with the minimum number of extra
+//! actions.
+//!
+//! Algorithm 2 computes all scores in a single pass over the implementation
+//! space: for each associated implementation, add its overlap `|A ∩ H|` to
+//! the running score of every action it contains, rather than re-scanning
+//! per candidate. The ablation bench (`benches/strategies.rs`) compares
+//! this against the naive per-candidate rescan.
+
+use crate::activity::Activity;
+use crate::ids::{ActionId, ImplId};
+use crate::model::GoalModel;
+use crate::setops;
+use crate::strategies::Strategy;
+use crate::topk::{Scored, TopK};
+use std::collections::HashMap;
+
+/// The Breadth strategy. Stateless; see the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Breadth;
+
+impl Breadth {
+    /// Computes the full candidate→score map (Algorithm 2 lines 2–11)
+    /// without the final top-k cut. Exposed for the naive-vs-accumulating
+    /// ablation and for tests.
+    pub fn scores(model: &GoalModel, activity: &Activity) -> HashMap<u32, u64> {
+        let h = activity.raw();
+        let mut scores: HashMap<u32, u64> = HashMap::new();
+        for p in model.implementation_space(h) {
+            let actions = model.impl_actions(ImplId::new(p));
+            let comm = setops::intersection_len(actions, h) as u64;
+            debug_assert!(comm > 0, "IS(H) must only contain associated impls");
+            for &a in actions {
+                *scores.entry(a).or_insert(0) += comm;
+            }
+        }
+        // Candidates are actions *not* performed yet.
+        for &a in h {
+            scores.remove(&a);
+        }
+        scores
+    }
+
+    /// Reference implementation scoring each candidate independently by
+    /// Eq. 6 — O(|AS(H)| × connectivity). Used to cross-check Algorithm 2
+    /// and in the ablation bench.
+    pub fn scores_naive(model: &GoalModel, activity: &Activity) -> HashMap<u32, u64> {
+        let h = activity.raw();
+        let mut scores = HashMap::new();
+        for a in model.action_space(h) {
+            let mut sc = 0u64;
+            for &p in model.action_impls(ActionId::new(a)) {
+                let actions = model.impl_actions(ImplId::new(p));
+                let comm = setops::intersection_len(actions, h) as u64;
+                if comm > 0 {
+                    sc += comm;
+                }
+            }
+            if sc > 0 {
+                scores.insert(a, sc);
+            }
+        }
+        scores
+    }
+}
+
+impl Strategy for Breadth {
+    fn name(&self) -> &'static str {
+        "Breadth"
+    }
+
+    fn rank(&self, model: &GoalModel, activity: &Activity, k: usize) -> Vec<Scored> {
+        if k == 0 || activity.is_empty() {
+            return Vec::new();
+        }
+        // Hot path: a dense scoreboard with a dirty list. The accumulation
+        // touches each candidate many times (once per shared
+        // implementation), so a flat Vec beats hashing; the dirty list
+        // keeps iteration proportional to the touched candidates instead
+        // of |𝒜|. `benches/strategies.rs` (breadth_scoreboard group)
+        // quantifies the win over the HashMap in `Self::scores`.
+        let h = activity.raw();
+        let mut board = vec![0u64; model.num_actions()];
+        let mut touched: Vec<u32> = Vec::new();
+        for p in model.implementation_space(h) {
+            let actions = model.impl_actions(ImplId::new(p));
+            let comm = setops::intersection_len(actions, h) as u64;
+            for &a in actions {
+                let slot = &mut board[a as usize];
+                if *slot == 0 {
+                    touched.push(a);
+                }
+                *slot += comm;
+            }
+        }
+        let mut top = TopK::new(k);
+        for a in touched {
+            if setops::contains(h, a) {
+                continue;
+            }
+            top.push(Scored::new(ActionId::new(a), board[a as usize] as f64));
+        }
+        top.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::testutil::example_model;
+    use crate::strategies::Strategy;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scores_on_paper_example() {
+        let m = example_model();
+        // H = {a1} (id 0). IS(H) = {p1, p2, p3, p5}, each with comm = 1.
+        // a2 ∈ p1, p5 → 2; a3 ∈ p2 → 1; a4 ∈ p3 → 1; a5 ∈ p3 → 1;
+        // a6 ∈ p5 → 1 (p4 not associated).
+        let h = Activity::from_raw([0]);
+        let s = Breadth::scores(&m, &h);
+        assert_eq!(s.get(&1), Some(&2));
+        assert_eq!(s.get(&2), Some(&1));
+        assert_eq!(s.get(&3), Some(&1));
+        assert_eq!(s.get(&4), Some(&1));
+        assert_eq!(s.get(&5), Some(&1));
+        assert_eq!(s.get(&0), None); // performed action excluded
+    }
+
+    #[test]
+    fn overlap_weights_accumulate() {
+        let m = example_model();
+        // H = {a1, a2} (ids 0,1). comm: p1=2, p2=1, p3=1, p5=2.
+        // a6 ∈ p5 → 2; a3 ∈ p2 → 1; a4, a5 ∈ p3 → 1 each.
+        let h = Activity::from_raw([0, 1]);
+        let s = Breadth::scores(&m, &h);
+        assert_eq!(s.get(&5), Some(&2));
+        assert_eq!(s.get(&2), Some(&1));
+        assert_eq!(s.get(&3), Some(&1));
+        assert_eq!(s.get(&4), Some(&1));
+    }
+
+    #[test]
+    fn rank_orders_by_score_then_id() {
+        let m = example_model();
+        let h = Activity::from_raw([0]);
+        let recs = Breadth.rank(&m, &h, 10);
+        assert_eq!(recs[0].action, ActionId::new(1)); // a2, score 2
+        assert_eq!(recs[0].score, 2.0);
+        // The four score-1 actions follow in id order.
+        let rest: Vec<u32> = recs[1..].iter().map(|r| r.action.raw()).collect();
+        assert_eq!(rest, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn accumulating_matches_naive() {
+        let m = example_model();
+        for h in [
+            Activity::from_raw([0]),
+            Activity::from_raw([0, 1]),
+            Activity::from_raw([3]),
+            Activity::from_raw([1, 2, 5]),
+        ] {
+            assert_eq!(
+                Breadth::scores(&m, &h),
+                Breadth::scores_naive(&m, &h),
+                "mismatch for H={:?}",
+                h
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_zero_k() {
+        let m = example_model();
+        assert!(Breadth.rank(&m, &Activity::new(), 5).is_empty());
+        assert!(Breadth.rank(&m, &Activity::from_raw([0]), 0).is_empty());
+    }
+
+    #[test]
+    fn activity_covering_everything_leaves_no_candidates() {
+        let m = example_model();
+        let h = Activity::from_raw([0, 1, 2, 3, 4, 5]);
+        assert!(Breadth.rank(&m, &h, 10).is_empty());
+    }
+
+    #[test]
+    fn dense_scoreboard_rank_matches_hashmap_scores() {
+        let m = example_model();
+        for h in [
+            Activity::from_raw([0]),
+            Activity::from_raw([0, 1]),
+            Activity::from_raw([1, 2, 5]),
+        ] {
+            let via_map = crate::topk::top_k(
+                Breadth::scores(&m, &h)
+                    .into_iter()
+                    .map(|(a, s)| crate::topk::Scored::new(ActionId::new(a), s as f64)),
+                10,
+            );
+            assert_eq!(Breadth.rank(&m, &h, 10), via_map, "H = {h:?}");
+        }
+    }
+
+    proptest! {
+        /// The dense-scoreboard rank must agree with the HashMap reference
+        /// on random models.
+        #[test]
+        fn prop_rank_matches_scores(
+            impls in proptest::collection::vec(
+                (0u32..8, proptest::collection::btree_set(0u32..15, 1..6)),
+                1..25
+            ),
+            h in proptest::collection::btree_set(0u32..15, 0..8)
+        ) {
+            use crate::ids::GoalId;
+            use crate::library::GoalLibrary;
+            let lib = GoalLibrary::from_id_implementations(
+                15,
+                8,
+                impls
+                    .into_iter()
+                    .map(|(g, acts)| {
+                        (
+                            GoalId::new(g),
+                            acts.into_iter().map(ActionId::new).collect(),
+                        )
+                    })
+                    .collect(),
+            )
+            .unwrap();
+            let m = crate::model::GoalModel::build(&lib).unwrap();
+            let h = Activity::from_raw(h);
+            let via_map = crate::topk::top_k(
+                Breadth::scores(&m, &h)
+                    .into_iter()
+                    .map(|(a, s)| crate::topk::Scored::new(ActionId::new(a), s as f64)),
+                10,
+            );
+            prop_assert_eq!(Breadth.rank(&m, &h, 10), via_map);
+        }
+
+        /// Algorithm 2's single-pass accumulation must equal the Eq. 6
+        /// per-candidate definition on random small models.
+        #[test]
+        fn prop_accumulating_equals_naive(
+            impls in proptest::collection::vec(
+                (0u32..8, proptest::collection::btree_set(0u32..15, 1..6)),
+                1..25
+            ),
+            h in proptest::collection::btree_set(0u32..15, 0..8)
+        ) {
+            use crate::ids::{ActionId, GoalId};
+            use crate::library::GoalLibrary;
+            let lib = GoalLibrary::from_id_implementations(
+                15,
+                8,
+                impls
+                    .into_iter()
+                    .map(|(g, acts)| {
+                        (
+                            GoalId::new(g),
+                            acts.into_iter().map(ActionId::new).collect(),
+                        )
+                    })
+                    .collect(),
+            )
+            .unwrap();
+            let m = crate::model::GoalModel::build(&lib).unwrap();
+            let h = Activity::from_raw(h);
+            prop_assert_eq!(Breadth::scores(&m, &h), Breadth::scores_naive(&m, &h));
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Goal-prioritised variants of the three strategies.
+//!
+//! Each wrapper applies a [`GoalWeights`] multiplier to the goal-derived
+//! quantities of its base strategy (see the [`super::weights`] module
+//! docs for the exact semantics). With empty weights every wrapper is
+//! score-for-score identical to its base strategy — pinned by the
+//! equivalence tests below.
+
+use crate::activity::Activity;
+use crate::distance::DistanceMetric;
+use crate::ids::{ActionId, GoalId, ImplId};
+use crate::model::GoalModel;
+use crate::profile::GoalVector;
+use crate::setops;
+use crate::strategies::weights::GoalWeights;
+use crate::strategies::{Focus, FocusVariant, Strategy};
+use crate::topk::{Scored, TopK};
+use std::collections::HashMap;
+
+/// Focus with goal priorities: an implementation's completeness/closeness
+/// score is multiplied by its goal's weight before ranking.
+#[derive(Debug, Clone)]
+pub struct WeightedFocus {
+    base: Focus,
+    weights: GoalWeights,
+}
+
+impl WeightedFocus {
+    /// Creates a prioritised Focus strategy.
+    pub fn new(variant: FocusVariant, weights: GoalWeights) -> Self {
+        Self {
+            base: Focus::new(variant),
+            weights,
+        }
+    }
+}
+
+impl Strategy for WeightedFocus {
+    fn name(&self) -> &'static str {
+        match self.base.variant() {
+            FocusVariant::Completeness => "WFocus_cmp",
+            FocusVariant::Closeness => "WFocus_cl",
+        }
+    }
+
+    fn rank(&self, model: &GoalModel, activity: &Activity, k: usize) -> Vec<Scored> {
+        if k == 0 || activity.is_empty() {
+            return Vec::new();
+        }
+        let h = activity.raw();
+        let mut ranked: Vec<(f64, u32)> = Focus::candidate_impls(model, h)
+            .into_iter()
+            .filter_map(|p| {
+                let pid = ImplId::new(p);
+                let w = self.weights.get(model.impl_goal(pid));
+                if w == 0.0 {
+                    return None;
+                }
+                self.base
+                    .score_impl(model.impl_actions(pid), h)
+                    .map(|s| (s * w, p))
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.1.cmp(&b.1))
+        });
+
+        let mut out: Vec<Scored> = Vec::with_capacity(k);
+        let mut seen: Vec<u32> = h.to_vec();
+        let mut remaining = Vec::new();
+        for (score, p) in ranked {
+            setops::difference_into(model.impl_actions(ImplId::new(p)), &seen, &mut remaining);
+            for &a in &remaining {
+                out.push(Scored::new(ActionId::new(a), score));
+                let pos = seen.binary_search(&a).unwrap_err();
+                seen.insert(pos, a);
+                if out.len() == k {
+                    return out;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Breadth with goal priorities: each associated implementation's
+/// `|A ∩ H|` contribution is multiplied by its goal's weight.
+#[derive(Debug, Clone)]
+pub struct WeightedBreadth {
+    weights: GoalWeights,
+}
+
+impl WeightedBreadth {
+    /// Creates a prioritised Breadth strategy.
+    pub fn new(weights: GoalWeights) -> Self {
+        Self { weights }
+    }
+}
+
+impl Strategy for WeightedBreadth {
+    fn name(&self) -> &'static str {
+        "WBreadth"
+    }
+
+    fn rank(&self, model: &GoalModel, activity: &Activity, k: usize) -> Vec<Scored> {
+        if k == 0 || activity.is_empty() {
+            return Vec::new();
+        }
+        let h = activity.raw();
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        for p in model.implementation_space(h) {
+            let pid = ImplId::new(p);
+            let w = self.weights.get(model.impl_goal(pid));
+            if w == 0.0 {
+                continue;
+            }
+            let actions = model.impl_actions(pid);
+            let comm = setops::intersection_len(actions, h) as f64 * w;
+            for &a in actions {
+                *scores.entry(a).or_insert(0.0) += comm;
+            }
+        }
+        for &a in h {
+            scores.remove(&a);
+        }
+        let mut top = TopK::new(k);
+        for (a, sc) in scores {
+            top.push(Scored::new(ActionId::new(a), sc));
+        }
+        top.into_sorted()
+    }
+}
+
+/// Best Match with goal priorities: both the user profile and candidate
+/// vectors live in a weighted goal feature space.
+#[derive(Debug, Clone)]
+pub struct WeightedBestMatch {
+    metric: DistanceMetric,
+    weights: GoalWeights,
+}
+
+impl WeightedBestMatch {
+    /// Creates a prioritised Best Match strategy.
+    pub fn new(metric: DistanceMetric, weights: GoalWeights) -> Self {
+        Self { metric, weights }
+    }
+}
+
+impl Strategy for WeightedBestMatch {
+    fn name(&self) -> &'static str {
+        "WBestMatch"
+    }
+
+    fn rank(&self, model: &GoalModel, activity: &Activity, k: usize) -> Vec<Scored> {
+        if k == 0 || activity.is_empty() {
+            return Vec::new();
+        }
+        let h = activity.raw();
+        let (goal_space, mut profile) = crate::profile::goal_space_and_profile(model, h);
+        if goal_space.is_empty() {
+            return Vec::new();
+        }
+        let coord_weights: Vec<f64> = goal_space
+            .iter()
+            .map(|&g| self.weights.get(GoalId::new(g)))
+            .collect();
+        for (c, w) in profile.counts.iter_mut().zip(&coord_weights) {
+            *c *= w;
+        }
+
+        let mut top = TopK::new(k);
+        let mut vec = GoalVector::zeros(&goal_space);
+        for a in model.action_space(h) {
+            vec.counts.iter_mut().for_each(|c| *c = 0.0);
+            for &p in model.action_impls(ActionId::new(a)) {
+                vec.add(model.impl_goal(ImplId::new(p)), 1.0);
+            }
+            for (c, w) in vec.counts.iter_mut().zip(&coord_weights) {
+                *c *= w;
+            }
+            let dist = self.metric.distance(&profile.counts, &vec.counts);
+            top.push(Scored::new(ActionId::new(a), -dist));
+        }
+        top.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::testutil::example_model;
+    use crate::strategies::{BestMatch, Breadth};
+
+    fn empty() -> GoalWeights {
+        GoalWeights::new()
+    }
+
+    #[test]
+    fn empty_weights_reproduce_base_strategies() {
+        let m = example_model();
+        for h in [
+            Activity::from_raw([0]),
+            Activity::from_raw([0, 1]),
+            Activity::from_raw([1, 2, 5]),
+        ] {
+            for variant in [FocusVariant::Completeness, FocusVariant::Closeness] {
+                assert_eq!(
+                    WeightedFocus::new(variant, empty()).rank(&m, &h, 10),
+                    Focus::new(variant).rank(&m, &h, 10),
+                    "focus {variant:?}"
+                );
+            }
+            assert_eq!(
+                WeightedBreadth::new(empty()).rank(&m, &h, 10),
+                Breadth.rank(&m, &h, 10)
+            );
+            assert_eq!(
+                WeightedBestMatch::new(DistanceMetric::Cosine, empty()).rank(&m, &h, 10),
+                BestMatch::default().rank(&m, &h, 10)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_excludes_a_goal_everywhere() {
+        let m = example_model();
+        // H = {a1} (id 0); zero out g1 (id 0, served by p1 and p2).
+        let w = GoalWeights::new().with(GoalId::new(0), 0.0);
+        let h = Activity::from_raw([0]);
+
+        // Focus: no recommendation may come from p1/p2 exclusively — a3
+        // (id 2) only appears in p2, so it must vanish.
+        let recs = WeightedFocus::new(FocusVariant::Completeness, w.clone()).rank(&m, &h, 10);
+        assert!(recs.iter().all(|r| r.action != ActionId::new(2)), "{recs:?}");
+
+        // Breadth: a3's only contribution path is p2 → absent.
+        let recs = WeightedBreadth::new(w.clone()).rank(&m, &h, 10);
+        assert!(recs.iter().all(|r| r.action != ActionId::new(2)), "{recs:?}");
+    }
+
+    #[test]
+    fn heavy_weight_promotes_a_goals_actions() {
+        let m = example_model();
+        // H = {a1}: unweighted Breadth ranks a2 first (score 2). Boosting
+        // g2 (id 1, impl p3 = {a1,a4,a5}) by 10 must lift a4/a5 above a2.
+        let w = GoalWeights::new().with(GoalId::new(1), 10.0);
+        let recs = WeightedBreadth::new(w).rank(&m, &Activity::from_raw([0]), 2);
+        let ids: Vec<u32> = recs.iter().map(|r| r.action.raw()).collect();
+        assert_eq!(ids, vec![3, 4], "{recs:?}");
+    }
+
+    #[test]
+    fn weighted_focus_reorders_implementations() {
+        let m = example_model();
+        // H = {a1, a2}: base Focus_cmp picks p5's a6 first. Boost g1 so p2
+        // (missing a3) outranks p5.
+        let w = GoalWeights::new().with(GoalId::new(0), 5.0);
+        let recs = WeightedFocus::new(FocusVariant::Completeness, w)
+            .rank(&m, &Activity::from_raw([0, 1]), 1);
+        assert_eq!(recs[0].action, ActionId::new(2)); // a3 from p2
+    }
+
+    #[test]
+    fn weighted_best_match_shifts_toward_boosted_goal() {
+        let m = example_model();
+        // H = {a2, a3} (profile g1:2, g5:1). Unweighted winner is a1
+        // (pattern (2,1)). Zeroing g1 makes the space effectively
+        // one-dimensional on g5, where a6's (0,1) pattern matches the
+        // profile direction as well as a1's.
+        let w = GoalWeights::new().with(GoalId::new(0), 0.0);
+        let recs = WeightedBestMatch::new(DistanceMetric::Cosine, w)
+            .rank(&m, &Activity::from_raw([1, 2]), 2);
+        // Both candidates now have distance 0 on the surviving axis; the
+        // tie breaks by id → a1 (0) then a6 (5), both at score ≈ 0.
+        assert_eq!(recs.len(), 2);
+        assert!(recs.iter().all(|r| r.score.abs() < 1e-9), "{recs:?}");
+    }
+
+    #[test]
+    fn names_and_edge_cases() {
+        let m = example_model();
+        assert_eq!(
+            WeightedFocus::new(FocusVariant::Completeness, empty()).name(),
+            "WFocus_cmp"
+        );
+        assert_eq!(
+            WeightedFocus::new(FocusVariant::Closeness, empty()).name(),
+            "WFocus_cl"
+        );
+        assert_eq!(WeightedBreadth::new(empty()).name(), "WBreadth");
+        assert_eq!(
+            WeightedBestMatch::new(DistanceMetric::Cosine, empty()).name(),
+            "WBestMatch"
+        );
+        for s in [
+            Box::new(WeightedBreadth::new(empty())) as Box<dyn Strategy>,
+            Box::new(WeightedFocus::new(FocusVariant::Closeness, empty())),
+            Box::new(WeightedBestMatch::new(DistanceMetric::Cosine, empty())),
+        ] {
+            assert!(s.rank(&m, &Activity::new(), 5).is_empty());
+            assert!(s.rank(&m, &Activity::from_raw([0]), 0).is_empty());
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Goal priorities.
+//!
+//! §3 of the paper observes that "users have to reason on the priorities
+//! between the goals they try to achieve", but its strategies treat every
+//! goal in the goal space equally. [`GoalWeights`] operationalises
+//! priorities: a sparse per-goal multiplier applied to each strategy's
+//! goal-derived quantities —
+//!
+//! * Focus: an implementation's score is multiplied by its goal's weight;
+//! * Breadth: each implementation's `|A ∩ H|` contribution is multiplied
+//!   by its goal's weight;
+//! * Best Match: the goal-space coordinates of both the user profile and
+//!   the candidate vectors are scaled by the weight (a weighted feature
+//!   space).
+//!
+//! A weight of `0` removes a goal from consideration entirely; the
+//! default weight is `1`, so an empty [`GoalWeights`] reproduces the
+//! unweighted strategies exactly (pinned by tests in each strategy
+//! module).
+
+use crate::ids::GoalId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Sparse per-goal priority multipliers.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GoalWeights {
+    weights: HashMap<u32, f64>,
+}
+
+impl GoalWeights {
+    /// Creates an empty weighting (every goal at 1.0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the weight of one goal.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite weights.
+    pub fn set(&mut self, goal: GoalId, weight: f64) -> &mut Self {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "goal weights must be finite and non-negative"
+        );
+        self.weights.insert(goal.raw(), weight);
+        self
+    }
+
+    /// Builder-style [`GoalWeights::set`].
+    pub fn with(mut self, goal: GoalId, weight: f64) -> Self {
+        self.set(goal, weight);
+        self
+    }
+
+    /// The weight of a goal (1.0 unless set).
+    #[inline]
+    pub fn get(&self, goal: GoalId) -> f64 {
+        self.weights.get(&goal.raw()).copied().unwrap_or(1.0)
+    }
+
+    /// Whether any non-default weight is present.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Number of explicitly weighted goals.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_one() {
+        let w = GoalWeights::new();
+        assert!(w.is_empty());
+        assert_eq!(w.get(GoalId::new(5)), 1.0);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let w = GoalWeights::new()
+            .with(GoalId::new(1), 2.5)
+            .with(GoalId::new(2), 0.0);
+        assert_eq!(w.get(GoalId::new(1)), 2.5);
+        assert_eq!(w.get(GoalId::new(2)), 0.0);
+        assert_eq!(w.get(GoalId::new(3)), 1.0);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        GoalWeights::new().with(GoalId::new(0), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_weight_rejected() {
+        GoalWeights::new().with(GoalId::new(0), f64::NAN);
+    }
+}

@@ -1,0 +1,224 @@
+//! Bounded top-k selection with deterministic tie-breaking.
+//!
+//! Every strategy ends by ranking a candidate pool and returning the best
+//! `k` (Algorithms 1, 2 and 4 all end with "rank R on score and return the
+//! top k"). A bounded binary heap keeps that step `O(n log k)` instead of a
+//! full `O(n log n)` sort; the ablation bench `benches/topk.rs` measures the
+//! difference.
+//!
+//! Ties are broken by ascending id so that identical inputs always produce
+//! identical lists — the overlap experiments (Tables 2 and 6) compare lists
+//! across methods and would be noise without deterministic output.
+
+use crate::ids::ActionId;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scored item. Higher `score` means more recommendable for every
+/// strategy in this crate (distance-based strategies negate their distance).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scored {
+    /// The recommended action.
+    pub action: ActionId,
+    /// The strategy-specific score; higher is better.
+    pub score: f64,
+}
+
+impl Scored {
+    /// Convenience constructor.
+    pub fn new(action: ActionId, score: f64) -> Self {
+        Self { action, score }
+    }
+}
+
+/// Total order used for ranking: score descending, then id ascending.
+/// NaN scores sort last (treated as −∞), so a pathological distance
+/// computation can never crowd out real candidates.
+fn rank_cmp(a: &Scored, b: &Scored) -> Ordering {
+    let sa = if a.score.is_nan() { f64::NEG_INFINITY } else { a.score };
+    let sb = if b.score.is_nan() { f64::NEG_INFINITY } else { b.score };
+    sb.partial_cmp(&sa)
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| a.action.cmp(&b.action))
+}
+
+/// Min-heap wrapper: the *worst* of the kept k sits on top.
+struct HeapItem(Scored);
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        rank_cmp(&self.0, &other.0) == Ordering::Equal
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap and rank_cmp orders best-first (Less =
+        // better), so using rank_cmp directly puts the rank-worst item on
+        // top, which is exactly the eviction candidate.
+        rank_cmp(&self.0, &other.0)
+    }
+}
+
+/// Bounded top-k accumulator.
+#[derive(Default)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<HeapItem>,
+}
+
+impl TopK {
+    /// Creates an accumulator keeping the best `k` items.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k.saturating_add(1)),
+        }
+    }
+
+    /// Offers one candidate.
+    pub fn push(&mut self, item: Scored) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(HeapItem(item));
+            return;
+        }
+        // Full: replace the current worst if the newcomer ranks better.
+        if let Some(worst) = self.heap.peek() {
+            if rank_cmp(&item, &worst.0) == Ordering::Less {
+                self.heap.pop();
+                self.heap.push(HeapItem(item));
+            }
+        }
+    }
+
+    /// Finalises into a list sorted best-first.
+    pub fn into_sorted(self) -> Vec<Scored> {
+        let mut v: Vec<Scored> = self.heap.into_iter().map(|h| h.0).collect();
+        v.sort_by(rank_cmp);
+        v
+    }
+
+    /// Number of items currently held (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing has been kept.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Ranks a full candidate vector (used by the sort-based ablation and by
+/// callers that already own a Vec).
+pub fn rank_full(mut items: Vec<Scored>, k: usize) -> Vec<Scored> {
+    items.sort_by(rank_cmp);
+    items.truncate(k);
+    items
+}
+
+/// Selects top-k from an iterator via the bounded heap.
+pub fn top_k<I: IntoIterator<Item = Scored>>(items: I, k: usize) -> Vec<Scored> {
+    let mut acc = TopK::new(k);
+    for it in items {
+        acc.push(it);
+    }
+    acc.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn s(a: u32, sc: f64) -> Scored {
+        Scored::new(ActionId::new(a), sc)
+    }
+
+    #[test]
+    fn keeps_best_k_sorted() {
+        let got = top_k(vec![s(1, 0.5), s(2, 0.9), s(3, 0.1), s(4, 0.7)], 2);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].action, ActionId::new(2));
+        assert_eq!(got[1].action, ActionId::new(4));
+    }
+
+    #[test]
+    fn ties_break_by_ascending_id() {
+        let got = top_k(vec![s(9, 1.0), s(3, 1.0), s(5, 1.0)], 2);
+        assert_eq!(got[0].action, ActionId::new(3));
+        assert_eq!(got[1].action, ActionId::new(5));
+    }
+
+    #[test]
+    fn fewer_items_than_k() {
+        let got = top_k(vec![s(1, 0.2)], 10);
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn k_zero_yields_empty() {
+        let got = top_k(vec![s(1, 0.2), s(2, 0.8)], 0);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn nan_scores_rank_last() {
+        let got = top_k(vec![s(1, f64::NAN), s(2, 0.1), s(3, 0.2)], 2);
+        assert_eq!(got[0].action, ActionId::new(3));
+        assert_eq!(got[1].action, ActionId::new(2));
+    }
+
+    #[test]
+    fn accumulator_len_tracking() {
+        let mut t = TopK::new(2);
+        assert!(t.is_empty());
+        t.push(s(1, 1.0));
+        t.push(s(2, 2.0));
+        t.push(s(3, 3.0));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn rank_full_agrees_on_small_input() {
+        let items = vec![s(1, 0.5), s(2, 0.9), s(3, 0.5)];
+        let a = rank_full(items.clone(), 2);
+        let b = top_k(items, 2);
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_heap_equals_full_sort(
+            scores in proptest::collection::vec((0u32..200, -100.0f64..100.0), 0..200),
+            k in 0usize..20
+        ) {
+            let items: Vec<Scored> = scores.iter().map(|&(a, sc)| s(a, sc)).collect();
+            let heap = top_k(items.clone(), k);
+            let sorted = rank_full(items, k);
+            prop_assert_eq!(heap, sorted);
+        }
+
+        #[test]
+        fn prop_output_is_rank_sorted(
+            scores in proptest::collection::vec((0u32..200, -100.0f64..100.0), 0..200),
+            k in 1usize..20
+        ) {
+            let items: Vec<Scored> = scores.iter().map(|&(a, sc)| s(a, sc)).collect();
+            let got = top_k(items, k);
+            for w in got.windows(2) {
+                prop_assert!(rank_cmp(&w[0], &w[1]) != Ordering::Greater);
+            }
+        }
+    }
+}

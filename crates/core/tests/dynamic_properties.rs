@@ -1,0 +1,146 @@
+//! Property tests for the incremental model: a random interleaving of
+//! add/remove operations must leave [`DynamicGoalModel`] equivalent to a
+//! naive reference (a plain map of live implementations).
+
+use goalrec_core::{ActionId, DynamicGoalModel, GoalId, ImplId};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Add an implementation for `goal` over the action set.
+    Add(u32, Vec<u32>),
+    /// Remove the `n`-th previously added implementation (mod count).
+    Remove(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (
+                0u32..6,
+                proptest::collection::btree_set(0u32..15, 1..5)
+            )
+                .prop_map(|(g, acts)| Op::Add(g, acts.into_iter().collect())),
+            1 => (0usize..64).prop_map(Op::Remove),
+        ],
+        1..40,
+    )
+}
+
+/// Naive reference: live implementations by id.
+#[derive(Default)]
+struct Reference {
+    live: BTreeMap<u32, (u32, Vec<u32>)>,
+    next_id: u32,
+}
+
+impl Reference {
+    fn add(&mut self, goal: u32, actions: Vec<u32>) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.live.insert(id, (goal, actions));
+        id
+    }
+
+    fn remove(&mut self, id: u32) {
+        self.live.remove(&id);
+    }
+
+    fn action_impls(&self, a: u32) -> Vec<u32> {
+        self.live
+            .iter()
+            .filter(|(_, (_, acts))| acts.contains(&a))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    fn goal_impls(&self, g: u32) -> Vec<u32> {
+        self.live
+            .iter()
+            .filter(|(_, (goal, _))| *goal == g)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    fn goal_space(&self, h: &[u32]) -> Vec<u32> {
+        let mut goals: Vec<u32> = self
+            .live
+            .values()
+            .filter(|(_, acts)| acts.iter().any(|a| h.contains(a)))
+            .map(|(g, _)| *g)
+            .collect();
+        goals.sort_unstable();
+        goals.dedup();
+        goals
+    }
+}
+
+proptest! {
+    #[test]
+    fn dynamic_model_matches_reference(ops in ops(), probe in 0u32..15) {
+        let mut dm = DynamicGoalModel::new();
+        let mut reference = Reference::default();
+        let mut added: Vec<u32> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Add(goal, actions) => {
+                    let id = dm
+                        .add_implementation(
+                            GoalId::new(goal),
+                            actions.iter().map(|&a| ActionId::new(a)).collect(),
+                        )
+                        .unwrap();
+                    let ref_id = reference.add(goal, actions);
+                    prop_assert_eq!(id.raw(), ref_id);
+                    added.push(ref_id);
+                }
+                Op::Remove(n) => {
+                    if added.is_empty() {
+                        continue;
+                    }
+                    let id = added[n % added.len()];
+                    dm.remove_implementation(ImplId::new(id)).unwrap();
+                    reference.remove(id);
+                }
+            }
+        }
+
+        prop_assert_eq!(dm.len(), reference.live.len());
+        prop_assert_eq!(
+            dm.action_impls(ActionId::new(probe)).to_vec(),
+            reference.action_impls(probe)
+        );
+        for g in 0..6u32 {
+            prop_assert_eq!(
+                dm.goal_impls(GoalId::new(g)).to_vec(),
+                reference.goal_impls(g),
+                "goal {}", g
+            );
+        }
+        prop_assert_eq!(dm.goal_space(&[probe]), reference.goal_space(&[probe]));
+
+        // The snapshot compiles iff something is live, and preserves the
+        // live multiset of (goal, actions) pairs.
+        match dm.compile() {
+            Ok(model) => {
+                prop_assert_eq!(model.num_impls(), reference.live.len());
+                let mut snap: Vec<(u32, Vec<u32>)> = (0..model.num_impls() as u32)
+                    .map(|p| {
+                        (
+                            model.impl_goal(ImplId::new(p)).raw(),
+                            model.impl_actions(ImplId::new(p)).to_vec(),
+                        )
+                    })
+                    .collect();
+                let mut expect: Vec<(u32, Vec<u32>)> =
+                    reference.live.values().cloned().collect();
+                snap.sort();
+                expect.sort();
+                prop_assert_eq!(snap, expect);
+            }
+            Err(_) => prop_assert!(reference.live.is_empty()),
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests for the association-based goal model: the structural
+//! invariants of §4 must hold for *any* library, not just the worked
+//! examples.
+
+use goalrec_core::{ActionId, GoalId, GoalLibrary, GoalModel, ImplId};
+use proptest::prelude::*;
+
+const MAX_ACTIONS: u32 = 20;
+const MAX_GOALS: u32 = 8;
+
+/// Random small libraries: 1–30 implementations over bounded id spaces.
+fn library() -> impl Strategy<Value = GoalLibrary> {
+    proptest::collection::vec(
+        (
+            0..MAX_GOALS,
+            proptest::collection::btree_set(0..MAX_ACTIONS, 1..6),
+        ),
+        1..30,
+    )
+    .prop_map(|impls| {
+        GoalLibrary::from_id_implementations(
+            MAX_ACTIONS,
+            MAX_GOALS,
+            impls
+                .into_iter()
+                .map(|(g, acts)| {
+                    (
+                        GoalId::new(g),
+                        acts.into_iter().map(ActionId::new).collect(),
+                    )
+                })
+                .collect(),
+        )
+        .expect("generator emits valid libraries")
+    })
+}
+
+proptest! {
+    /// A-GI-idx is the exact inverse of GI-A-idx: `p ∈ IS(a) ⟺ a ∈ A_p`.
+    #[test]
+    fn action_impls_inverts_impl_actions(lib in library()) {
+        let m = GoalModel::build(&lib).unwrap();
+        for a in 0..m.num_actions() as u32 {
+            for &p in m.action_impls(ActionId::new(a)) {
+                prop_assert!(m.impl_actions(ImplId::new(p)).binary_search(&a).is_ok());
+            }
+        }
+        for p in 0..m.num_impls() as u32 {
+            for &a in m.impl_actions(ImplId::new(p)) {
+                prop_assert!(m.action_impls(ActionId::new(a)).binary_search(&p).is_ok());
+            }
+        }
+    }
+
+    /// The inverse goal index partitions the implementation ids.
+    #[test]
+    fn goal_impls_partition_implementations(lib in library()) {
+        let m = GoalModel::build(&lib).unwrap();
+        let mut seen = vec![false; m.num_impls()];
+        for g in 0..m.num_goals() as u32 {
+            for &p in m.goal_impls(GoalId::new(g)) {
+                prop_assert_eq!(m.impl_goal(ImplId::new(p)), GoalId::new(g));
+                prop_assert!(!seen[p as usize], "impl listed under two goals");
+                seen[p as usize] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    /// Co-contribution is symmetric: `a' ∈ AS(a) ⟺ a ∈ AS(a')`.
+    #[test]
+    fn action_space_symmetry(lib in library()) {
+        let m = GoalModel::build(&lib).unwrap();
+        for a in 0..m.num_actions() as u32 {
+            for b in m.action_space_of_action(ActionId::new(a)) {
+                let back = m.action_space_of_action(ActionId::new(b));
+                prop_assert!(back.binary_search(&a).is_ok(), "{a} ∈ AS({b}) missing");
+            }
+        }
+    }
+
+    /// Set-extension laws (Eq. 1–2): the spaces of an activity are the
+    /// unions of the single-action spaces.
+    #[test]
+    fn activity_spaces_are_unions(
+        lib in library(),
+        h in proptest::collection::btree_set(0..MAX_ACTIONS, 0..6)
+    ) {
+        let m = GoalModel::build(&lib).unwrap();
+        let h: Vec<u32> = h.into_iter().collect();
+
+        let mut union_is: Vec<u32> = Vec::new();
+        let mut union_gs: Vec<u32> = Vec::new();
+        let mut union_as: Vec<u32> = Vec::new();
+        for &a in &h {
+            union_is.extend_from_slice(m.action_impls(ActionId::new(a)));
+            union_gs.extend(m.goal_space_of_action(ActionId::new(a)));
+            union_as.extend(m.action_space_of_action(ActionId::new(a)));
+        }
+        goalrec_core::setops::normalize(&mut union_is);
+        goalrec_core::setops::normalize(&mut union_gs);
+        goalrec_core::setops::normalize(&mut union_as);
+        // AS(A) additionally removes the activity's own actions.
+        let union_as = goalrec_core::setops::difference(&union_as, &h);
+
+        prop_assert_eq!(m.implementation_space(&h), union_is);
+        prop_assert_eq!(m.goal_space(&h), union_gs);
+        prop_assert_eq!(m.action_space(&h), union_as);
+    }
+
+    /// Goal completeness is monotone in the activity and bounded in [0,1];
+    /// a full activity completes every associated goal.
+    #[test]
+    fn completeness_monotone_and_bounded(
+        lib in library(),
+        h in proptest::collection::btree_set(0..MAX_ACTIONS, 0..6),
+        extra in 0..MAX_ACTIONS
+    ) {
+        let m = GoalModel::build(&lib).unwrap();
+        let h: Vec<u32> = h.into_iter().collect();
+        let mut h2 = h.clone();
+        h2.push(extra);
+        goalrec_core::setops::normalize(&mut h2);
+
+        for g in 0..m.num_goals() as u32 {
+            let c1 = m.goal_completeness(GoalId::new(g), &h);
+            let c2 = m.goal_completeness(GoalId::new(g), &h2);
+            prop_assert!((0.0..=1.0).contains(&c1));
+            prop_assert!(c2 >= c1 - 1e-12, "completeness decreased: {c1} → {c2}");
+        }
+
+        let all: Vec<u32> = (0..MAX_ACTIONS).collect();
+        for g in 0..m.num_goals() as u32 {
+            let gid = GoalId::new(g);
+            let c = m.goal_completeness(gid, &all);
+            if m.goal_impls(gid).is_empty() {
+                prop_assert_eq!(c, 0.0);
+            } else {
+                prop_assert!((c - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Model compilation is stable: building twice yields identical
+    /// answers for every query surface.
+    #[test]
+    fn build_is_deterministic(lib in library()) {
+        let m1 = GoalModel::build(&lib).unwrap();
+        let m2 = GoalModel::build(&lib).unwrap();
+        for a in 0..m1.num_actions() as u32 {
+            prop_assert_eq!(
+                m1.action_impls(ActionId::new(a)),
+                m2.action_impls(ActionId::new(a))
+            );
+        }
+        for g in 0..m1.num_goals() as u32 {
+            prop_assert_eq!(m1.goal_impls(GoalId::new(g)), m2.goal_impls(GoalId::new(g)));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests for the recommendation strategies: the §5 contracts
+//! must hold for any library and any activity.
+
+use goalrec_core::strategies::default_strategies;
+use goalrec_core::{Activity, ActionId, GoalId, GoalLibrary, GoalModel, ImplId, Scored};
+use proptest::prelude::*;
+
+const MAX_ACTIONS: u32 = 18;
+const MAX_GOALS: u32 = 7;
+
+fn model_and_activity() -> impl Strategy<Value = (GoalModel, Activity)> {
+    (
+        proptest::collection::vec(
+            (
+                0..MAX_GOALS,
+                proptest::collection::btree_set(0..MAX_ACTIONS, 1..6),
+            ),
+            1..25,
+        ),
+        proptest::collection::btree_set(0..MAX_ACTIONS, 0..7),
+    )
+        .prop_map(|(impls, h)| {
+            let lib = GoalLibrary::from_id_implementations(
+                MAX_ACTIONS,
+                MAX_GOALS,
+                impls
+                    .into_iter()
+                    .map(|(g, acts)| {
+                        (
+                            GoalId::new(g),
+                            acts.into_iter().map(ActionId::new).collect(),
+                        )
+                    })
+                    .collect(),
+            )
+            .unwrap();
+            (
+                GoalModel::build(&lib).unwrap(),
+                Activity::from_raw(h),
+            )
+        })
+}
+
+/// Scores must never increase down the list. For the heap-ranked
+/// strategies ties additionally break by ascending action id; Focus
+/// instead emits whole implementations in rank order (§6.1.2: it "pops
+/// out all the actions of the goal implementation on which it has
+/// selected to focus"), so equal-scored actions follow implementation
+/// order there.
+fn assert_ranked(list: &[Scored], strict_ties: bool) {
+    for w in list.windows(2) {
+        let ok = if strict_ties {
+            w[0].score > w[1].score
+                || (w[0].score == w[1].score && w[0].action < w[1].action)
+        } else {
+            w[0].score >= w[1].score
+        };
+        assert!(ok, "not rank-sorted: {w:?}");
+    }
+}
+
+proptest! {
+    /// Universal strategy contract: bounded by k, candidates only, unique,
+    /// rank-sorted, prefix-consistent, and every candidate is in AS(H).
+    #[test]
+    fn strategy_contract((m, h) in model_and_activity(), k in 0usize..12) {
+        let action_space = m.action_space(h.raw());
+        for s in default_strategies() {
+            let list = s.rank(&m, &h, k);
+            prop_assert!(list.len() <= k, "{}", s.name());
+            assert_ranked(&list, !s.name().starts_with("Focus"));
+
+            let mut ids: Vec<u32> = list.iter().map(|r| r.action.raw()).collect();
+            let n = ids.len();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), n, "{} produced duplicates", s.name());
+
+            for r in &list {
+                prop_assert!(!h.contains(r.action), "{} recommended performed", s.name());
+                prop_assert!(
+                    action_space.binary_search(&r.action.raw()).is_ok()
+                        || s.name().starts_with("Focus"),
+                    "{} went outside AS(H)", s.name()
+                );
+                // Focus may leave AS(H) (implementations of shared goals
+                // with zero overlap), but never outside the action space of
+                // the goal space's implementations — checked below.
+            }
+
+            // Prefix property: smaller k is a prefix of larger k.
+            if k >= 2 {
+                let shorter = s.rank(&m, &h, k - 1);
+                prop_assert_eq!(&list[..shorter.len()], &shorter[..], "{} prefix", s.name());
+            }
+        }
+    }
+
+    /// Focus candidates always come from implementations whose goal is in
+    /// the user's goal space.
+    #[test]
+    fn focus_stays_within_goal_space((m, h) in model_and_activity()) {
+        use goalrec_core::{Focus, FocusVariant, Strategy as _};
+        let gs = m.goal_space(h.raw());
+        for variant in [FocusVariant::Completeness, FocusVariant::Closeness] {
+            for r in Focus::new(variant).rank(&m, &h, 12) {
+                // The recommended action must appear in some implementation
+                // of a goal-space goal.
+                let ok = m.action_impls(r.action).iter().any(|&p| {
+                    gs.binary_search(&m.impl_goal(ImplId::new(p)).raw()).is_ok()
+                });
+                prop_assert!(ok, "{variant:?} left the goal space");
+            }
+        }
+    }
+
+    /// Breadth's score for the top recommendation never exceeds
+    /// `|IS(H)| × |H|` (every associated implementation contributing the
+    /// maximum possible overlap).
+    #[test]
+    fn breadth_score_upper_bound((m, h) in model_and_activity()) {
+        use goalrec_core::{Breadth, Strategy as _};
+        let bound = (m.implementation_space(h.raw()).len() * h.len()) as f64;
+        for r in Breadth.rank(&m, &h, 12) {
+            prop_assert!(r.score <= bound + 1e-9);
+            prop_assert!(r.score >= 1.0 - 1e-9, "scores are positive overlap sums");
+        }
+    }
+
+    /// Best Match scores are negated distances: within [-max_distance, 0]
+    /// for every metric.
+    #[test]
+    fn best_match_score_ranges((m, h) in model_and_activity()) {
+        use goalrec_core::{BestMatch, DistanceMetric, Strategy as _};
+        for metric in DistanceMetric::ALL {
+            for r in BestMatch::new(metric).rank(&m, &h, 12) {
+                prop_assert!(r.score <= 1e-9, "{metric:?}");
+                if metric == DistanceMetric::Cosine {
+                    prop_assert!(r.score >= -1.0 - 1e-9, "cosine bounded");
+                }
+            }
+        }
+    }
+
+    /// Extending the activity with one of its recommendations never makes
+    /// that same action reappear (stability of the candidate exclusion).
+    #[test]
+    fn following_a_recommendation_consumes_it((m, h) in model_and_activity()) {
+        for s in default_strategies() {
+            if let Some(first) = s.rank(&m, &h, 5).first().copied() {
+                let extended = h.extended([first.action]);
+                let again = s.rank(&m, &extended, 10);
+                prop_assert!(
+                    again.iter().all(|r| r.action != first.action),
+                    "{} re-recommended a performed action", s.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Compact binary library format.
+//!
+//! JSON-lines (see [`crate::io`]) is the friendly interchange format, but
+//! at Fig. 7 scale (millions of implementations) it parses slowly and
+//! triples the size. This module defines `GRLB` ("goalrec library"), a
+//! little-endian binary format:
+//!
+//! ```text
+//! magic   b"GRLB"        4 bytes
+//! version u32            currently 1
+//! actions u32            |𝒜|
+//! goals   u32            |𝒢|
+//! impls   u32            |L|
+//! per implementation: goal u32, len u32, len × action u32
+//! checksum u64           FNV-1a over everything after the magic
+//! ```
+//!
+//! The trailing checksum catches truncation and corruption; names are not
+//! stored (use the JSON sidecar of `goalrec-cli extract` when names
+//! matter).
+
+use goalrec_core::{ActionId, GoalId, GoalLibrary};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"GRLB";
+const VERSION: u32 = 1;
+
+/// FNV-1a, the classic 64-bit variant — cheap, order-sensitive, good
+/// enough for corruption (not adversary) detection.
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+struct CountingWriter<W: Write> {
+    inner: W,
+    hash: Fnv,
+}
+
+impl<W: Write> CountingWriter<W> {
+    fn put_u32(&mut self, v: u32) -> io::Result<()> {
+        let b = v.to_le_bytes();
+        self.hash.update(&b);
+        self.inner.write_all(&b)
+    }
+}
+
+/// Writes a library in `GRLB` format.
+pub fn write_library_binary(library: &GoalLibrary, path: &Path) -> io::Result<()> {
+    let file = BufWriter::new(File::create(path)?);
+    let mut w = CountingWriter {
+        inner: file,
+        hash: Fnv::new(),
+    };
+    w.inner.write_all(MAGIC)?;
+    w.put_u32(VERSION)?;
+    w.put_u32(library.num_actions() as u32)?;
+    w.put_u32(library.num_goals() as u32)?;
+    w.put_u32(library.len() as u32)?;
+    for imp in library.implementations() {
+        w.put_u32(imp.goal.raw())?;
+        w.put_u32(imp.actions.len() as u32)?;
+        for a in &imp.actions {
+            w.put_u32(a.raw())?;
+        }
+    }
+    let digest = w.hash.0;
+    w.inner.write_all(&digest.to_le_bytes())?;
+    w.inner.flush()
+}
+
+struct CountingReader<R: Read> {
+    inner: R,
+    hash: Fnv,
+}
+
+impl<R: Read> CountingReader<R> {
+    fn get_u32(&mut self) -> io::Result<u32> {
+        let mut b = [0u8; 4];
+        self.inner.read_exact(&mut b)?;
+        self.hash.update(&b);
+        Ok(u32::from_le_bytes(b))
+    }
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+/// Reads a `GRLB` library, validating magic, version and checksum.
+pub fn read_library_binary(path: &Path) -> io::Result<GoalLibrary> {
+    let file = BufReader::new(File::open(path)?);
+    let mut r = CountingReader {
+        inner: file,
+        hash: Fnv::new(),
+    };
+    let mut magic = [0u8; 4];
+    r.inner.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(invalid("not a GRLB file (bad magic)"));
+    }
+    let version = r.get_u32()?;
+    if version != VERSION {
+        return Err(invalid("unsupported GRLB version"));
+    }
+    let num_actions = r.get_u32()?;
+    let num_goals = r.get_u32()?;
+    let num_impls = r.get_u32()?;
+
+    let mut impls = Vec::with_capacity(num_impls as usize);
+    for _ in 0..num_impls {
+        let goal = r.get_u32()?;
+        let len = r.get_u32()?;
+        if len as usize > num_actions as usize {
+            return Err(invalid("implementation longer than the action universe"));
+        }
+        let mut actions = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            actions.push(ActionId::new(r.get_u32()?));
+        }
+        impls.push((GoalId::new(goal), actions));
+    }
+
+    let expected = r.hash.0;
+    let mut tail = [0u8; 8];
+    r.inner.read_exact(&mut tail)?;
+    if u64::from_le_bytes(tail) != expected {
+        return Err(invalid("checksum mismatch (file corrupted or truncated)"));
+    }
+    // Reject trailing garbage.
+    let mut extra = [0u8; 1];
+    if r.inner.read(&mut extra)? != 0 {
+        return Err(invalid("trailing bytes after checksum"));
+    }
+
+    GoalLibrary::from_id_implementations(num_actions, num_goals, impls)
+        .map_err(|e| invalid(&e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::foodmart::{FoodMart, FoodMartConfig};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("goalrec-binary-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_preserves_implementations() {
+        let fm = FoodMart::generate(&FoodMartConfig::test_scale());
+        let path = tmp("lib.grlb");
+        write_library_binary(&fm.library, &path).unwrap();
+        let back = read_library_binary(&path).unwrap();
+        assert_eq!(back.implementations(), fm.library.implementations());
+        assert_eq!(back.num_actions(), fm.library.num_actions());
+        assert_eq!(back.num_goals(), fm.library.num_goals());
+    }
+
+    #[test]
+    fn binary_is_smaller_than_jsonl() {
+        let fm = FoodMart::generate(&FoodMartConfig::test_scale());
+        let bin = tmp("size.grlb");
+        let jsonl = tmp("size.jsonl");
+        write_library_binary(&fm.library, &bin).unwrap();
+        crate::io::write_library_jsonl(&fm.library, &jsonl).unwrap();
+        let bin_len = std::fs::metadata(&bin).unwrap().len();
+        let jsonl_len = std::fs::metadata(&jsonl).unwrap().len();
+        // At test scale ids are 1–3 text digits, so the margin is modest;
+        // it grows with id width at Fig. 7 scale.
+        assert!(bin_len < jsonl_len, "binary {bin_len} vs jsonl {jsonl_len}");
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let fm = FoodMart::generate(&FoodMartConfig::test_scale());
+        let path = tmp("corrupt.grlb");
+        write_library_binary(&fm.library, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_library_binary(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn detects_truncation_and_bad_magic() {
+        let fm = FoodMart::generate(&FoodMartConfig::test_scale());
+        let path = tmp("trunc.grlb");
+        write_library_binary(&fm.library, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(read_library_binary(&path).is_err());
+
+        let bad = tmp("magic.grlb");
+        std::fs::write(&bad, b"NOPE").unwrap();
+        let err = read_library_binary(&bad).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let fm = FoodMart::generate(&FoodMartConfig::test_scale());
+        let path = tmp("trail.grlb");
+        write_library_binary(&fm.library, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.push(0);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_library_binary(&path).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn reloaded_library_recommends_identically() {
+        use goalrec_core::{Activity, GoalRecommender, Recommender};
+        let fm = FoodMart::generate(&FoodMartConfig::test_scale());
+        let path = tmp("rec.grlb");
+        write_library_binary(&fm.library, &path).unwrap();
+        let back = read_library_binary(&path).unwrap();
+        let a = GoalRecommender::from_library(&fm.library, Box::new(goalrec_core::Breadth))
+            .unwrap();
+        let b = GoalRecommender::from_library(&back, Box::new(goalrec_core::Breadth)).unwrap();
+        for cart in fm.carts.iter().take(10) {
+            assert_eq!(a.recommend(cart, 10), b.recommend(cart, 10));
+        }
+        let _ = Activity::new();
+    }
+}

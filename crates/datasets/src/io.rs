@@ -1,0 +1,112 @@
+//! Dataset persistence: JSON for whole datasets, JSON-lines for libraries.
+//!
+//! Generating the paper-scale worlds takes a few seconds; persisting them
+//! lets examples and the `repro` harness share identical inputs across
+//! runs, and gives downstream users a concrete interchange format for real
+//! goal-implementation data.
+
+use goalrec_core::{GoalLibrary, Implementation};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Writes any serialisable dataset as pretty JSON.
+pub fn write_json<T: Serialize>(value: &T, path: &Path) -> std::io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    serde_json::to_writer(&mut w, value)?;
+    w.flush()
+}
+
+/// Reads a JSON dataset written by [`write_json`].
+pub fn read_json<T: DeserializeOwned>(path: &Path) -> std::io::Result<T> {
+    let f = BufReader::new(File::open(path)?);
+    Ok(serde_json::from_reader(f)?)
+}
+
+/// Writes a library as JSON-lines: one implementation per line, so large
+/// libraries stream without a giant in-memory document.
+pub fn write_library_jsonl(library: &GoalLibrary, path: &Path) -> std::io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for imp in library.implementations() {
+        serde_json::to_writer(&mut w, imp)?;
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Reads implementations from a JSON-lines file and rebuilds a library.
+/// `num_actions`/`num_goals` bound the id spaces (as in
+/// [`GoalLibrary::from_id_implementations`]).
+pub fn read_library_jsonl(
+    path: &Path,
+    num_actions: u32,
+    num_goals: u32,
+) -> std::io::Result<GoalLibrary> {
+    let f = BufReader::new(File::open(path)?);
+    let mut impls = Vec::new();
+    for line in f.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let imp: Implementation = serde_json::from_str(&line)?;
+        impls.push((imp.goal, imp.actions));
+    }
+    GoalLibrary::from_id_implementations(num_actions, num_goals, impls)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::foodmart::{FoodMart, FoodMartConfig};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("goalrec-io-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn json_roundtrip_of_full_dataset() {
+        let fm = FoodMart::generate(&FoodMartConfig::test_scale());
+        let path = tmp("foodmart.json");
+        write_json(&fm, &path).unwrap();
+        let mut back: FoodMart = read_json(&path).unwrap();
+        back.library.rebuild_lookups();
+        assert_eq!(back.carts, fm.carts);
+        assert_eq!(back.library.implementations(), fm.library.implementations());
+        assert_eq!(back.cart_user, fm.cart_user);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_of_library() {
+        let fm = FoodMart::generate(&FoodMartConfig::test_scale());
+        let path = tmp("library.jsonl");
+        write_library_jsonl(&fm.library, &path).unwrap();
+        let back = read_library_jsonl(
+            &path,
+            fm.library.num_actions() as u32,
+            fm.library.num_goals() as u32,
+        )
+        .unwrap();
+        assert_eq!(back.implementations(), fm.library.implementations());
+    }
+
+    #[test]
+    fn jsonl_read_rejects_out_of_range_ids() {
+        let fm = FoodMart::generate(&FoodMartConfig::test_scale());
+        let path = tmp("library-bad.jsonl");
+        write_library_jsonl(&fm.library, &path).unwrap();
+        let err = read_library_jsonl(&path, 1, 1).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn read_missing_file_errors() {
+        let err = read_json::<FoodMart>(&tmp("does-not-exist.json")).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+}

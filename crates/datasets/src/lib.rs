@@ -1,0 +1,32 @@
+//! # goalrec-datasets
+//!
+//! Synthetic dataset generators calibrated to the two evaluation scenarios
+//! of the paper (§6), the hide-split evaluation protocol, and dataset IO.
+//!
+//! * [`foodmart`] — the grocery scenario: high-connectivity recipe library
+//!   plus customer carts.
+//! * [`fortythree`] — the 43Things life-goal scenario: low-connectivity,
+//!   family-local library plus user goal activities.
+//! * [`split`] — the 30 %-visible / 70 %-hidden evaluation protocol.
+//! * [`zipf`] — the skewed samplers both generators share.
+//! * [`io`] — JSON / JSON-lines persistence; [`binary`] — the compact
+//!   checksummed `GRLB` format for large libraries.
+//!
+//! Both real sources are gone (the FoodMart mirror and food ontology, and
+//! the 43Things site); DESIGN.md §3 documents how the synthetic stand-ins
+//! preserve the statistics that drive the paper's results.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod binary;
+pub mod foodmart;
+pub mod fortythree;
+pub mod io;
+pub mod split;
+pub mod zipf;
+
+pub use foodmart::{FoodMart, FoodMartConfig};
+pub use fortythree::{FortyThings, FortyThingsConfig};
+pub use split::{hide_split, hide_split_all, SplitActivity};
+pub use zipf::Zipf;

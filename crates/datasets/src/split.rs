@@ -1,0 +1,156 @@
+//! The hide-split evaluation protocol of §6 (Table 1 discussion).
+//!
+//! 43Things activities record *everything* a user did for their goals, so
+//! before evaluating a recommender the paper concatenates the user's
+//! implementation actions, shuffles, keeps 30 % as the *known* activity fed
+//! to the recommender, and hides the remaining 70 % for evaluation (the Avg
+//! TPR study of Fig. 4 checks how many recommended actions fall in the
+//! hidden part).
+
+use goalrec_core::{Activity, ActionId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A hide-split of one activity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitActivity {
+    /// The visible 30 % — the recommender's input.
+    pub visible: Activity,
+    /// The hidden 70 % — ground truth for TPR-style metrics, as a sorted
+    /// action set.
+    pub hidden: Vec<ActionId>,
+}
+
+impl SplitActivity {
+    /// Whether `a` is in the hidden part.
+    pub fn is_hidden(&self, a: ActionId) -> bool {
+        self.hidden.binary_search(&a).is_ok()
+    }
+}
+
+/// Splits one activity: shuffle, keep `ceil(visible_fraction · n)` actions
+/// visible (at least one for non-empty input), hide the rest.
+pub fn hide_split(full: &Activity, visible_fraction: f64, rng: &mut StdRng) -> SplitActivity {
+    assert!(
+        (0.0..=1.0).contains(&visible_fraction),
+        "fraction must be in [0, 1]"
+    );
+    let mut ids: Vec<u32> = full.raw().to_vec();
+    for i in (1..ids.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        ids.swap(i, j);
+    }
+    let n_visible = if full.is_empty() {
+        0
+    } else {
+        ((full.len() as f64 * visible_fraction).ceil() as usize).clamp(1, full.len())
+    };
+    let visible = Activity::from_raw(ids[..n_visible].iter().copied());
+    let mut hidden: Vec<ActionId> = ids[n_visible..].iter().map(|&a| ActionId::new(a)).collect();
+    hidden.sort_unstable();
+    SplitActivity { visible, hidden }
+}
+
+/// Splits a batch of activities with a single seed, deterministically.
+pub fn hide_split_all(
+    activities: &[Activity],
+    visible_fraction: f64,
+    seed: u64,
+) -> Vec<SplitActivity> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    activities
+        .iter()
+        .map(|h| hide_split(h, visible_fraction, &mut rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn partition_is_exact() {
+        let full = Activity::from_raw(0..20u32);
+        let split = hide_split(&full, 0.3, &mut rng());
+        assert_eq!(split.visible.len(), 6); // ceil(20 × 0.3)
+        assert_eq!(split.hidden.len(), 14);
+        // Union restores the original set; intersection is empty.
+        let mut all: Vec<u32> = split.visible.raw().to_vec();
+        all.extend(split.hidden.iter().map(|a| a.raw()));
+        all.sort_unstable();
+        assert_eq!(all, (0..20u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_activities_keep_at_least_one_visible() {
+        let full = Activity::from_raw([7u32]);
+        let split = hide_split(&full, 0.3, &mut rng());
+        assert_eq!(split.visible.len(), 1);
+        assert!(split.hidden.is_empty());
+    }
+
+    #[test]
+    fn empty_activity_splits_to_empty() {
+        let split = hide_split(&Activity::new(), 0.3, &mut rng());
+        assert!(split.visible.is_empty());
+        assert!(split.hidden.is_empty());
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let full = Activity::from_raw(0..10u32);
+        let all_visible = hide_split(&full, 1.0, &mut rng());
+        assert_eq!(all_visible.visible.len(), 10);
+        let minimal = hide_split(&full, 0.0, &mut rng());
+        assert_eq!(minimal.visible.len(), 1); // clamped to ≥1
+        assert_eq!(minimal.hidden.len(), 9);
+    }
+
+    #[test]
+    fn is_hidden_lookup() {
+        let full = Activity::from_raw(0..10u32);
+        let split = hide_split(&full, 0.3, &mut rng());
+        for a in &split.hidden {
+            assert!(split.is_hidden(*a));
+        }
+        for a in split.visible.iter() {
+            assert!(!split.is_hidden(a));
+        }
+    }
+
+    #[test]
+    fn batch_split_is_deterministic() {
+        let acts: Vec<Activity> = (0..30)
+            .map(|i| Activity::from_raw(i..i + 12))
+            .collect();
+        assert_eq!(hide_split_all(&acts, 0.3, 5), hide_split_all(&acts, 0.3, 5));
+        assert_ne!(hide_split_all(&acts, 0.3, 5), hide_split_all(&acts, 0.3, 6));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_split_partitions_input(
+            ids in proptest::collection::btree_set(0u32..500, 0..60),
+            frac in 0.0f64..1.0,
+            seed in 0u64..100
+        ) {
+            let full = Activity::from_raw(ids.iter().copied());
+            let mut r = StdRng::seed_from_u64(seed);
+            let split = hide_split(&full, frac, &mut r);
+            prop_assert_eq!(split.visible.len() + split.hidden.len(), full.len());
+            for a in split.visible.iter() {
+                prop_assert!(full.contains(a));
+                prop_assert!(!split.is_hidden(a));
+            }
+            for &a in &split.hidden {
+                prop_assert!(full.contains(a));
+            }
+        }
+    }
+}

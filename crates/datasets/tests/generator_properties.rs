@@ -1,0 +1,114 @@
+//! Property tests for the dataset generators: any reasonable configuration
+//! must produce a structurally valid world — the paper-calibrated presets
+//! are just two points in that space.
+
+use goalrec_datasets::{
+    hide_split_all, FoodMart, FoodMartConfig, FortyThings, FortyThingsConfig,
+};
+use proptest::prelude::*;
+
+fn foodmart_cfg() -> impl Strategy<Value = FoodMartConfig> {
+    (
+        20usize..80,   // products
+        2usize..8,     // subcategories
+        20usize..120,  // recipes
+        5usize..40,    // carts
+        2usize..5,     // recipe len min
+        0.0f64..0.9,   // cuisine affinity
+        0u64..50,      // seed
+    )
+        .prop_map(|(products, subcats, recipes, carts, len_min, affinity, seed)| {
+            FoodMartConfig {
+                num_products: products,
+                num_subcategories: subcats,
+                num_classes: 2,
+                num_recipes: recipes,
+                num_carts: carts,
+                max_carts_per_user: 3,
+                recipe_len: (len_min, (len_min + 4).min(products)),
+                cart_len: (2, 6),
+                ingredient_skew: 0.7,
+                num_cuisines: 3,
+                cuisine_affinity: affinity,
+                noise_skew: 1.2,
+                alt_impl_probability: 0.2,
+                dish_skew: 0.8,
+                dishes_per_user: (2, 3),
+                dish_coverage: 0.5,
+                noise_fraction: 0.3,
+                seed,
+            }
+        })
+}
+
+fn fortythree_cfg() -> impl Strategy<Value = FortyThingsConfig> {
+    (
+        5usize..40,   // goals
+        10usize..80,  // actions
+        1usize..4,    // impls multiplier
+        5usize..60,   // users
+        1usize..6,    // families
+        0u64..50,     // seed
+    )
+        .prop_map(|(goals, actions, mult, users, families, seed)| FortyThingsConfig {
+            num_goals: goals,
+            num_actions: actions,
+            num_impls: goals * mult,
+            num_users: users,
+            num_families: families.min(goals),
+            impl_len: (1, 5),
+            family_leak: 0.1,
+            goal_count_weights: [5.0, 2.0, 1.0, 1.0],
+            many_goals: (4, 5),
+            goal_skew: 0.7,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn foodmart_structurally_valid(cfg in foodmart_cfg()) {
+        let fm = FoodMart::generate(&cfg);
+        prop_assert_eq!(fm.library.len(), cfg.num_recipes);
+        prop_assert_eq!(fm.carts.len(), cfg.num_carts);
+        prop_assert!(fm.num_users >= 1);
+        // Every cart references valid products and is non-empty.
+        for cart in &fm.carts {
+            prop_assert!(!cart.is_empty());
+            prop_assert!(cart.iter().all(|a| a.index() < cfg.num_products));
+        }
+        // The model always compiles.
+        let model = goalrec_core::GoalModel::build(&fm.library).unwrap();
+        prop_assert_eq!(model.num_impls(), cfg.num_recipes);
+        // Implementation lengths within bounds.
+        for imp in fm.library.implementations() {
+            prop_assert!(!imp.is_empty() && imp.len() <= cfg.recipe_len.1);
+        }
+    }
+
+    #[test]
+    fn fortythree_structurally_valid(cfg in fortythree_cfg()) {
+        let ft = FortyThings::generate(&cfg);
+        prop_assert_eq!(ft.library.len(), cfg.num_impls);
+        prop_assert_eq!(ft.full_activities.len(), cfg.num_users);
+        for (goals, impls) in ft.user_goals.iter().zip(&ft.user_impls) {
+            prop_assert!(!goals.is_empty());
+            prop_assert_eq!(goals.len(), impls.len());
+            for (g, p) in goals.iter().zip(impls) {
+                prop_assert_eq!(ft.library.implementations()[p.index()].goal, *g);
+            }
+        }
+        let _ = goalrec_core::GoalModel::build(&ft.library).unwrap();
+    }
+
+    #[test]
+    fn splits_partition_any_generated_world(cfg in fortythree_cfg(), frac in 0.1f64..0.9) {
+        let ft = FortyThings::generate(&cfg);
+        let splits = hide_split_all(&ft.full_activities, frac, cfg.seed);
+        for (full, split) in ft.full_activities.iter().zip(&splits) {
+            prop_assert_eq!(split.visible.len() + split.hidden.len(), full.len());
+        }
+    }
+}

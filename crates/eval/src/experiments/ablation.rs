@@ -1,0 +1,105 @@
+//! Ablation: the Best Match distance metric (DESIGN.md §7).
+//!
+//! Eq. 10 leaves the distance metric open ("a standard metric"). This
+//! experiment swaps cosine for Euclidean and Manhattan and reports how the
+//! lists shift (overlap with the cosine lists) and whether usefulness
+//! moves — quantifying how sensitive the strategy is to that choice.
+
+use crate::context::EvalContext;
+use crate::metrics::completeness::usefulness;
+use crate::metrics::overlap::mean_overlap;
+use crate::report::{f3, pct, TextTable};
+use goalrec_core::{
+    batch::recommend_batch_actions, BestMatch, DistanceMetric, GoalRecommender,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// One metric's outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Metric name.
+    pub metric: String,
+    /// Mean overlap of this metric's lists with the cosine lists.
+    pub overlap_with_cosine: f64,
+    /// Usefulness (AvgAvg goal completeness) on the FoodMart inputs.
+    pub usefulness_avg: f64,
+}
+
+/// Full ablation result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistanceAblation {
+    /// One row per metric, cosine first.
+    pub rows: Vec<AblationRow>,
+}
+
+/// Runs the ablation on the FoodMart bundle.
+pub fn run(ctx: &EvalContext) -> DistanceAblation {
+    let fm = &ctx.foodmart;
+    let goals: Vec<Vec<u32>> = fm
+        .inputs
+        .iter()
+        .map(|h| fm.model.goal_space(h.raw()))
+        .collect();
+
+    let lists_for = |metric: DistanceMetric| {
+        let rec = GoalRecommender::new(Arc::clone(&fm.model), Box::new(BestMatch::new(metric)));
+        recommend_batch_actions(&rec, &fm.inputs, ctx.cfg.k)
+    };
+
+    let cosine_lists = lists_for(DistanceMetric::Cosine);
+    let rows = DistanceMetric::ALL
+        .iter()
+        .map(|&metric| {
+            let lists = if metric == DistanceMetric::Cosine {
+                cosine_lists.clone()
+            } else {
+                lists_for(metric)
+            };
+            AblationRow {
+                metric: metric.name().to_owned(),
+                overlap_with_cosine: mean_overlap(&lists, &cosine_lists),
+                usefulness_avg: usefulness(&fm.model, &fm.inputs, &lists, &goals).avg_avg,
+            }
+        })
+        .collect();
+    DistanceAblation { rows }
+}
+
+impl fmt::Display for DistanceAblation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TextTable::new(
+            "Ablation (FoodMart): Best Match distance metric",
+            &["Metric", "Overlap with cosine", "Usefulness AvgAvg"],
+        );
+        for row in &self.rows {
+            t.row(vec![
+                row.metric.clone(),
+                pct(row.overlap_with_cosine),
+                f3(row.usefulness_avg),
+            ]);
+        }
+        write!(f, "{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::EvalConfig;
+
+    #[test]
+    fn cosine_row_is_the_identity() {
+        let ctx = EvalContext::build(EvalConfig::test_scale());
+        let ab = run(&ctx);
+        assert_eq!(ab.rows.len(), 3);
+        assert_eq!(ab.rows[0].metric, "cosine");
+        assert!((ab.rows[0].overlap_with_cosine - 1.0).abs() < 1e-12);
+        for row in &ab.rows {
+            assert!((0.0..=1.0).contains(&row.overlap_with_cosine));
+            assert!((0.0..=1.0).contains(&row.usefulness_avg));
+        }
+        assert!(ab.to_string().contains("Ablation"));
+    }
+}

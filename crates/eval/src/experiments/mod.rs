@@ -1,0 +1,19 @@
+//! Per-table / per-figure experiment drivers (§6).
+//!
+//! Each module reduces the precomputed lists of an
+//! [`crate::context::EvalContext`] into one published table or figure; the
+//! DESIGN.md experiment index maps each to its bench target.
+
+pub mod ablation;
+pub mod figure4;
+pub mod figure7;
+pub mod extended;
+pub mod figures56;
+pub mod rerank;
+pub mod sessions;
+pub mod stability;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;

@@ -1,0 +1,130 @@
+//! Table 2: overlap of the goal-based top-10 lists with the standard
+//! recommenders' lists, per dataset.
+//!
+//! Paper shape: all entries are tiny (≲2.5 % against Content, ≲0.9 %
+//! against CF-MF, ≲0.4 % against CF-kNN on FoodMart) — the approaches are
+//! fundamentally different.
+
+use crate::context::{method, EvalContext};
+use crate::metrics::overlap::mean_overlap;
+use crate::report::{pct, TextTable};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One cell: goal-based method × standard method → mean overlap.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// The goal-based method.
+    pub goal_method: String,
+    /// Mean overlap with each standard method, keyed by name.
+    pub overlaps: Vec<(String, f64)>,
+}
+
+/// Table 2 for one dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Dataset {
+    /// Dataset label ("FoodMart" / "43Things").
+    pub dataset: String,
+    /// Standard method names forming the columns.
+    pub standard_methods: Vec<String>,
+    /// One row per goal-based method.
+    pub rows: Vec<Table2Row>,
+}
+
+/// Full Table 2 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2 {
+    /// Per-dataset tables.
+    pub datasets: Vec<Table2Dataset>,
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &EvalContext) -> Table2 {
+    let mut datasets = Vec::new();
+
+    for (label, methods) in [
+        ("FoodMart", &ctx.foodmart.methods),
+        ("43Things", &ctx.fortythree.methods),
+    ] {
+        let standard: Vec<&crate::context::MethodLists> = methods
+            .iter()
+            .filter(|m| {
+                matches!(
+                    m.name.as_str(),
+                    method::CONTENT | method::CF_KNN | method::CF_MF
+                )
+            })
+            .collect();
+        let rows = methods
+            .iter()
+            .filter(|m| m.goal_based)
+            .map(|gm| Table2Row {
+                goal_method: gm.name.clone(),
+                overlaps: standard
+                    .iter()
+                    .map(|sm| (sm.name.clone(), mean_overlap(&gm.lists, &sm.lists)))
+                    .collect(),
+            })
+            .collect();
+        datasets.push(Table2Dataset {
+            dataset: label.to_owned(),
+            standard_methods: standard.iter().map(|m| m.name.clone()).collect(),
+            rows,
+        });
+    }
+
+    Table2 { datasets }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for ds in &self.datasets {
+            let mut header = vec!["Method"];
+            let cols: Vec<String> = ds
+                .standard_methods
+                .iter()
+                .map(|m| format!("vs {m}"))
+                .collect();
+            header.extend(cols.iter().map(String::as_str));
+            let mut t = TextTable::new(
+                format!("Table 2 ({}): top-10 overlap, goal-based vs standard", ds.dataset),
+                &header,
+            );
+            for row in &ds.rows {
+                let mut cells = vec![row.goal_method.clone()];
+                cells.extend(row.overlaps.iter().map(|(_, v)| pct(*v)));
+                t.row(cells);
+            }
+            writeln!(f, "{}", t.render())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::EvalConfig;
+
+    #[test]
+    fn table2_shape_and_bounds() {
+        let ctx = EvalContext::build(EvalConfig::test_scale());
+        let t = run(&ctx);
+        assert_eq!(t.datasets.len(), 2);
+        let fm = &t.datasets[0];
+        assert_eq!(fm.dataset, "FoodMart");
+        assert_eq!(fm.standard_methods.len(), 3); // Content, CF-kNN, CF-MF
+        assert_eq!(fm.rows.len(), 4);
+        for row in &fm.rows {
+            for (_, v) in &row.overlaps {
+                assert!((0.0..=1.0).contains(v));
+            }
+        }
+        // 43Things has no Content column.
+        assert_eq!(t.datasets[1].standard_methods.len(), 2);
+        // Rendering works.
+        let s = t.to_string();
+        assert!(s.contains("Table 2 (FoodMart)"));
+        assert!(s.contains("Breadth"));
+    }
+}

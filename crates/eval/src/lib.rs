@@ -1,0 +1,22 @@
+//! # goalrec-eval
+//!
+//! Metrics and experiment drivers reproducing the evaluation section (§6)
+//! of *"Modeling and Exploiting Goal and Action Associations for
+//! Recommendations"* (EDBT 2018).
+//!
+//! The entry point is [`context::EvalContext::build`]: it generates both
+//! synthetic datasets, trains every method (the four goal-based strategies
+//! plus CF-kNN, CF-MF, Content, Apriori and Popularity), and precomputes
+//! all top-k recommendation lists. Each module under [`experiments`]
+//! reduces those lists into one of the paper's tables or figures; the
+//! [`metrics`] modules hold the underlying measures.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod context;
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+
+pub use context::{EvalConfig, EvalContext};

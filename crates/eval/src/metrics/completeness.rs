@@ -1,0 +1,154 @@
+//! Usefulness: goal completeness after following the recommendations
+//! (Table 4 / Figure 3, §6.1.1 C.1.3).
+//!
+//! For each input, extend the activity with the recommended actions and
+//! compute the completeness of every goal under consideration (the user's
+//! declared goals for 43Things, the whole goal space for FoodMart). Report
+//! per-list min / avg / max, then average each over all lists.
+
+use goalrec_core::{Activity, ActionId, GoalId, GoalModel};
+use serde::{Deserialize, Serialize};
+
+/// Aggregated usefulness statistics over a batch of lists.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Usefulness {
+    /// Mean over lists of the per-list *average* goal completeness.
+    pub avg_avg: f64,
+    /// Mean over lists of the per-list *minimum* goal completeness.
+    pub min_avg: f64,
+    /// Mean over lists of the per-list *maximum* goal completeness.
+    pub max_avg: f64,
+}
+
+/// Per-list completeness triple for one input.
+fn list_completeness(
+    model: &GoalModel,
+    activity: &Activity,
+    recommendations: &[ActionId],
+    goals: &[u32],
+) -> Option<(f64, f64, f64)> {
+    if goals.is_empty() {
+        return None;
+    }
+    let extended = activity.extended(recommendations.iter().copied());
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    for &g in goals {
+        let c = model.goal_completeness(GoalId::new(g), extended.raw());
+        min = min.min(c);
+        max = max.max(c);
+        sum += c;
+    }
+    Some((min, sum / goals.len() as f64, max))
+}
+
+/// Computes [`Usefulness`] over a batch.
+///
+/// `goals_per_input[i]` is the goal id set evaluated for input `i`; inputs
+/// with an empty goal set are skipped (no evidence to score against).
+pub fn usefulness(
+    model: &GoalModel,
+    activities: &[Activity],
+    lists: &[Vec<ActionId>],
+    goals_per_input: &[Vec<u32>],
+) -> Usefulness {
+    assert_eq!(activities.len(), lists.len());
+    assert_eq!(activities.len(), goals_per_input.len());
+    let mut n = 0usize;
+    let (mut s_min, mut s_avg, mut s_max) = (0.0, 0.0, 0.0);
+    for ((h, list), goals) in activities.iter().zip(lists).zip(goals_per_input) {
+        if let Some((min, avg, max)) = list_completeness(model, h, list, goals) {
+            s_min += min;
+            s_avg += avg;
+            s_max += max;
+            n += 1;
+        }
+    }
+    let n = n.max(1) as f64;
+    Usefulness {
+        avg_avg: s_avg / n,
+        min_avg: s_min / n,
+        max_avg: s_max / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goalrec_core::{GoalLibrary, GoalModel};
+
+    /// g0: {0,1,2}; g1: {0,3}; g2: {4,5}.
+    fn model() -> GoalModel {
+        let lib = GoalLibrary::from_id_implementations(
+            6,
+            3,
+            vec![
+                (GoalId::new(0), vec![0, 1, 2].into_iter().map(ActionId::new).collect()),
+                (GoalId::new(1), vec![0, 3].into_iter().map(ActionId::new).collect()),
+                (GoalId::new(2), vec![4, 5].into_iter().map(ActionId::new).collect()),
+            ],
+        )
+        .unwrap();
+        GoalModel::build(&lib).unwrap()
+    }
+
+    #[test]
+    fn recommendations_raise_completeness() {
+        let m = model();
+        let h = Activity::from_raw([0]);
+        let goals = vec![0u32, 1];
+        let before = usefulness(
+            &m,
+            std::slice::from_ref(&h),
+            &[vec![]],
+            std::slice::from_ref(&goals),
+        );
+        let after = usefulness(
+            &m,
+            &[h],
+            &[vec![ActionId::new(1), ActionId::new(3)]],
+            &[goals],
+        );
+        assert!(after.avg_avg > before.avg_avg);
+        // g1 fully completed by action 3 → max hits 1.0.
+        assert_eq!(after.max_avg, 1.0);
+    }
+
+    #[test]
+    fn exact_values_for_hand_example() {
+        let m = model();
+        // H = {0}, recommend {1}: g0 completeness = 2/3, g1 = 1/2.
+        let u = usefulness(
+            &m,
+            &[Activity::from_raw([0])],
+            &[vec![ActionId::new(1)]],
+            &[vec![0u32, 1]],
+        );
+        assert!((u.avg_avg - (2.0 / 3.0 + 0.5) / 2.0).abs() < 1e-12);
+        assert!((u.min_avg - 0.5).abs() < 1e-12);
+        assert!((u.max_avg - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inputs_without_goals_are_skipped() {
+        let m = model();
+        let u = usefulness(
+            &m,
+            &[Activity::from_raw([0]), Activity::from_raw([4])],
+            &[vec![ActionId::new(1)], vec![ActionId::new(5)]],
+            &[vec![], vec![2u32]],
+        );
+        // Only the second input counts; g2 fully complete → all 1.0.
+        assert_eq!(u.avg_avg, 1.0);
+        assert_eq!(u.min_avg, 1.0);
+        assert_eq!(u.max_avg, 1.0);
+    }
+
+    #[test]
+    fn all_empty_is_zero() {
+        let m = model();
+        let u = usefulness(&m, &[], &[], &[]);
+        assert_eq!(u.avg_avg, 0.0);
+    }
+}

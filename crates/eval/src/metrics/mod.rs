@@ -1,0 +1,10 @@
+//! Evaluation metrics used by the §6 experiments.
+
+pub mod completeness;
+pub mod correlation;
+pub mod frequency;
+pub mod novelty;
+pub mod overlap;
+pub mod pairwise;
+pub mod ranking;
+pub mod tpr;

@@ -1,0 +1,150 @@
+//! Building a goal implementation library from a story corpus.
+//!
+//! A *story* is a user-contributed description of how a goal was fulfilled
+//! (43Things-style: a goal title plus free text). [`build_library`] runs
+//! the action extractor over every story and assembles a
+//! [`GoalLibrary`]: one implementation per story, goal = story goal,
+//! activity = the extracted action set. Stories yielding no action are
+//! skipped (and reported), mirroring the paper's 18k-extraction pipeline.
+
+use crate::extract::ActionExtractor;
+use goalrec_core::{GoalLibrary, LibraryBuilder};
+
+/// One success story.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Story {
+    /// The goal the story is about, e.g. "lose weight".
+    pub goal: String,
+    /// The free-text description of what the user did.
+    pub text: String,
+}
+
+impl Story {
+    /// Convenience constructor.
+    pub fn new(goal: impl Into<String>, text: impl Into<String>) -> Self {
+        Self {
+            goal: goal.into(),
+            text: text.into(),
+        }
+    }
+}
+
+/// Outcome of a corpus build.
+#[derive(Debug)]
+pub struct CorpusBuild {
+    /// The assembled library.
+    pub library: GoalLibrary,
+    /// Indexes of stories that yielded no extractable action.
+    pub skipped: Vec<usize>,
+}
+
+/// Extracts actions from every story and builds the library.
+///
+/// Returns `Err` only when *no* story yields an action (empty library).
+pub fn build_library(
+    stories: &[Story],
+    extractor: &ActionExtractor,
+) -> goalrec_core::Result<CorpusBuild> {
+    let mut builder = LibraryBuilder::new();
+    let mut skipped = Vec::new();
+    for (i, story) in stories.iter().enumerate() {
+        let actions: Vec<String> = extractor
+            .extract(&story.text)
+            .into_iter()
+            .map(|a| a.key)
+            .collect();
+        if actions.is_empty() {
+            skipped.push(i);
+            continue;
+        }
+        builder.add_impl(&story.goal, actions)?;
+    }
+    Ok(CorpusBuild {
+        library: builder.build()?,
+        skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stories() -> Vec<Story> {
+        vec![
+            Story::new(
+                "lose weight",
+                "1. join a gym\n2. stop eating at restaurants\n3. drink more water",
+            ),
+            Story::new(
+                "lose weight",
+                "I started jogging every morning. I quit soda.",
+            ),
+            Story::new(
+                "learn english",
+                "I enrolled in an evening class. I watched films without subtitles.",
+            ),
+            Story::new("be happy", "The weather was lovely."), // no actions
+        ]
+    }
+
+    #[test]
+    fn builds_one_impl_per_productive_story() {
+        let build = build_library(&stories(), &ActionExtractor::default()).unwrap();
+        assert_eq!(build.library.len(), 3);
+        assert_eq!(build.skipped, vec![3]);
+        assert_eq!(build.library.num_goals(), 2); // "be happy" never enters
+    }
+
+    #[test]
+    fn alternative_implementations_share_a_goal() {
+        let build = build_library(&stories(), &ActionExtractor::default()).unwrap();
+        let g = build.library.goal_id("lose weight").unwrap();
+        let count = build
+            .library
+            .implementations()
+            .iter()
+            .filter(|i| i.goal == g)
+            .count();
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn actions_are_shared_across_stories_via_normalised_keys() {
+        let mut s = stories();
+        s.push(Story::new(
+            "get fit",
+            "I joined a gym. Started jogging too.",
+        ));
+        let build = build_library(&s, &ActionExtractor::default()).unwrap();
+        // "join gym" appears in story 0 and the new one → same ActionId.
+        let a = build.library.action_id("join gym").unwrap();
+        let users: usize = build
+            .library
+            .implementations()
+            .iter()
+            .filter(|i| i.actions.contains(&a))
+            .count();
+        assert_eq!(users, 2);
+    }
+
+    #[test]
+    fn all_skipped_yields_error() {
+        let s = vec![Story::new("g", "no verbs here whatsoever")];
+        assert!(build_library(&s, &ActionExtractor::default()).is_err());
+    }
+
+    #[test]
+    fn extracted_library_supports_recommendation() {
+        use goalrec_core::{Activity, GoalRecommender, Recommender, strategies::Breadth};
+        let build = build_library(&stories(), &ActionExtractor::default()).unwrap();
+        let lib = &build.library;
+        let rec = GoalRecommender::from_library(lib, Box::new(Breadth)).unwrap();
+        let h = Activity::from_actions([lib.action_id("join gym").unwrap()]);
+        let top = rec.recommend_actions(&h, 3);
+        assert!(!top.is_empty());
+        // Recommendations come from "lose weight" implementations.
+        let names: Vec<String> = top.iter().map(|&a| lib.action_name(a)).collect();
+        assert!(names.iter().any(|n| n.contains("stop eat") || n.contains("drink")),
+            "unexpected recs: {names:?}");
+    }
+}

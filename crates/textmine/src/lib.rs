@@ -1,0 +1,38 @@
+//! # goalrec-textmine
+//!
+//! Extraction of goal implementations from free-text success stories — the
+//! pipeline §3 of the paper describes for turning 43Things-style
+//! user-generated descriptions into a structured implementation library.
+//!
+//! The pipeline: [`tokenize`] splits a story into sentence / list-item
+//! segments; [`extract`] anchors each segment on a lexicon verb
+//! ([`lexicon`]) and normalises the phrase with a from-scratch Porter
+//! stemmer ([`mod@stem`]); [`corpus`] assembles the extracted action sets into
+//! a [`goalrec_core::GoalLibrary`].
+//!
+//! ```
+//! use goalrec_textmine::{build_library, ActionExtractor, Story};
+//!
+//! let stories = vec![
+//!     Story::new("lose weight", "1. join a gym\n2. stop eating at restaurants"),
+//!     Story::new("lose weight", "I quit soda. I started jogging."),
+//! ];
+//! let build = build_library(&stories, &ActionExtractor::default()).unwrap();
+//! assert_eq!(build.library.len(), 2);
+//! assert!(build.library.action_id("join gym").is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod corpus;
+pub mod extract;
+pub mod lexicon;
+pub mod stem;
+pub mod synth;
+pub mod tokenize;
+
+pub use corpus::{build_library, CorpusBuild, Story};
+pub use extract::{ActionExtractor, ExtractedAction, ExtractorConfig};
+pub use stem::stem;
+pub use synth::{generate as generate_stories, SynthConfig, SynthCorpus};

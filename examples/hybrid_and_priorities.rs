@@ -1,0 +1,90 @@
+//! Extensions tour: goal priorities, hybrid fusion, explanations, and
+//! live library updates — the features layered on top of the paper's
+//! model (DESIGN.md §2, extension rows).
+//!
+//! Run with: `cargo run --example hybrid_and_priorities`
+
+use goalrec::core::{
+    explain, Activity, DynamicGoalModel, FusionRule, GoalRecommender, GoalWeights, Hybrid,
+    LibraryBuilder, Recommender, WeightedBreadth,
+};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small life-goal library.
+    let mut b = LibraryBuilder::new();
+    b.add_impl("lose weight", ["join gym", "drink water", "cut sugar"])?;
+    b.add_impl("lose weight", ["start jogging", "cook at home"])?;
+    b.add_impl("save money", ["cook at home", "track expenses", "cut subscriptions"])?;
+    b.add_impl("learn spanish", ["enroll class", "watch films", "read novels"])?;
+    let lib = b.build()?;
+    let model = Arc::new(goalrec::core::GoalModel::build(&lib)?);
+
+    let me = Activity::from_actions([lib.action_id("cook at home").unwrap()]);
+    println!("activity: cook at home\n");
+
+    // 1. Plain Breadth treats both reachable goals equally.
+    let plain = GoalRecommender::new(Arc::clone(&model), Box::new(goalrec::core::Breadth));
+    show(&lib, "Breadth", &plain.recommend(&me, 4));
+
+    // 2. Goal priorities: this user cares mostly about money.
+    let weights = GoalWeights::new().with(lib.goal_id("save money").unwrap(), 5.0);
+    let weighted = GoalRecommender::new(
+        Arc::clone(&model),
+        Box::new(WeightedBreadth::new(weights)),
+    );
+    show(&lib, "WBreadth(save money ×5)", &weighted.recommend(&me, 4));
+
+    // 3. Hybrid: fuse Breadth with Best Match via reciprocal-rank fusion
+    //    (the paper's future-work direction, §7).
+    let hybrid = Hybrid::uniform(
+        vec![
+            Box::new(plain.clone()) as Box<dyn Recommender>,
+            Box::new(GoalRecommender::new(
+                Arc::clone(&model),
+                Box::new(goalrec::core::BestMatch::default()),
+            )),
+        ],
+        FusionRule::ReciprocalRank,
+    );
+    show(&lib, "Hybrid(Breadth+BestMatch)", &hybrid.recommend(&me, 4));
+
+    // 4. Explanations for the top weighted pick.
+    if let Some(top) = weighted.recommend(&me, 1).first() {
+        println!("\nwhy '{}'?", lib.action_name(top.action));
+        for j in explain(&model, &me, top.action, 3).justifications {
+            println!(
+                "  {} {:.0}% → {:.0}%",
+                lib.goal_name(j.goal),
+                j.completeness_before * 100.0,
+                j.completeness_after * 100.0
+            );
+        }
+    }
+
+    // 5. Live updates: a new implementation arrives, recompile, re-serve.
+    let mut dynamic = DynamicGoalModel::from_library(&lib);
+    let new_goal = lib.goal_id("save money").unwrap();
+    dynamic.add_implementation(
+        new_goal,
+        vec![
+            lib.action_id("cook at home").unwrap(),
+            lib.action_id("cut sugar").unwrap(), // shared with lose-weight
+        ],
+    )?;
+    let refreshed = GoalRecommender::new(
+        Arc::new(dynamic.compile()?),
+        Box::new(goalrec::core::Breadth),
+    );
+    println!("\nafter adding a new save-money implementation:");
+    show(&lib, "Breadth (updated)", &refreshed.recommend(&me, 4));
+    Ok(())
+}
+
+fn show(lib: &goalrec::core::GoalLibrary, label: &str, recs: &[goalrec::core::Scored]) {
+    let names: Vec<String> = recs
+        .iter()
+        .map(|s| format!("{} ({:.2})", lib.action_name(s.action), s.score))
+        .collect();
+    println!("{label:>28}: {}", names.join(", "));
+}

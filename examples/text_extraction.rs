@@ -1,0 +1,69 @@
+//! From free text to recommendations: the §3 pipeline.
+//!
+//! 43Things-style success stories are plain text. The textmine crate
+//! segments them, anchors each segment on an action verb, normalises the
+//! phrase with a Porter stemmer, and assembles a goal implementation
+//! library — which the core recommender then consumes directly.
+//!
+//! Run with: `cargo run --example text_extraction`
+
+use goalrec::core::{strategies::Breadth, Activity, GoalRecommender, Recommender};
+use goalrec::textmine::{build_library, ActionExtractor, Story};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let stories = vec![
+        Story::new(
+            "lose weight",
+            "Here is what worked for me.\n\
+             1. join a gym\n\
+             2. stop eating at restaurants\n\
+             3. drink more water\n\
+             4. track calories daily",
+        ),
+        Story::new(
+            "lose weight",
+            "I started jogging every morning. I quit soda. \
+             Then I joined a gym near my office.",
+        ),
+        Story::new(
+            "get fit",
+            "I joined a gym. I started jogging. I lifted weights twice weekly.",
+        ),
+        Story::new(
+            "learn english",
+            "- enroll in an evening class\n\
+             - watch films without subtitles\n\
+             - read one novel per month",
+        ),
+        Story::new("be happy", "The weather was lovely that summer."),
+    ];
+
+    let extractor = ActionExtractor::default();
+    let build = build_library(&stories, &extractor)?;
+    let lib = &build.library;
+    println!(
+        "extracted {} implementations, {} goals, {} distinct actions ({} story skipped)\n",
+        lib.len(),
+        lib.num_goals(),
+        lib.num_actions(),
+        build.skipped.len()
+    );
+    for imp in lib.implementations() {
+        let acts: Vec<String> = imp.actions.iter().map(|a| lib.action_name(*a)).collect();
+        println!("  {:<14} ← [{}]", lib.goal_name(imp.goal), acts.join(", "));
+    }
+
+    // A user who joined a gym: which goals does that hint at, and what
+    // should they do next?
+    let joined = lib.action_id("join gym").expect("extracted action");
+    let user = Activity::from_actions([joined]);
+    let rec = GoalRecommender::from_library(lib, Box::new(Breadth))?;
+    let next: Vec<String> = rec
+        .recommend_actions(&user, 4)
+        .iter()
+        .map(|&a| lib.action_name(a))
+        .collect();
+    println!("\nuser has done: join gym");
+    println!("recommended next: {}", next.join(", "));
+    Ok(())
+}

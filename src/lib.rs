@@ -1,0 +1,27 @@
+//! # goalrec — goal-based recommendations
+//!
+//! Umbrella crate for the reproduction of *"Modeling and Exploiting Goal
+//! and Action Associations for Recommendations"* (Papadimitriou,
+//! Velegrakis, Koutrika — EDBT 2018). It re-exports the workspace crates
+//! under one roof and hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`).
+//!
+//! * [`core`] — the association-based goal model and the Focus / Breadth /
+//!   Best Match strategies.
+//! * [`baselines`] — CF-kNN, ALS-WR, content-based, Apriori, popularity.
+//! * [`datasets`] — synthetic FoodMart and 43Things generators, the
+//!   hide-split protocol, dataset IO.
+//! * [`textmine`] — free-text goal-implementation extraction.
+//! * [`eval`] — metrics and the per-table/figure experiments of §6.
+//!
+//! See `README.md` for a guided tour and `DESIGN.md` for the system
+//! inventory; `cargo run --release -p goalrec-bench --bin repro`
+//! regenerates every table and figure.
+
+#![warn(missing_docs)]
+
+pub use goalrec_baselines as baselines;
+pub use goalrec_core as core;
+pub use goalrec_datasets as datasets;
+pub use goalrec_eval as eval;
+pub use goalrec_textmine as textmine;

@@ -1,0 +1,122 @@
+//! Contract tests: every recommender in the workspace — the four
+//! goal-based strategies and all five baselines — honours the
+//! [`Recommender`] contract on both generated datasets:
+//! deterministic output, never recommending performed actions, respecting
+//! `k`, and valid action ids.
+
+use goalrec::baselines::{
+    AlsConfig, AlsWr, Apriori, AprioriConfig, CfKnn, ContentBased, ItemFeatures, Popularity,
+    TrainingSet,
+};
+use goalrec::core::{Activity, GoalModel, GoalRecommender, Recommender};
+use goalrec::datasets::{FoodMart, FoodMartConfig, FortyThings, FortyThingsConfig};
+use std::sync::Arc;
+
+fn foodmart_methods() -> (Vec<Box<dyn Recommender>>, Vec<Activity>, usize) {
+    let fm = FoodMart::generate(&FoodMartConfig::test_scale());
+    let n_actions = fm.library.num_actions();
+    let model = Arc::new(GoalModel::build(&fm.library).unwrap());
+    let training = TrainingSet::new(fm.carts.clone(), n_actions);
+    let mut methods: Vec<Box<dyn Recommender>> = GoalRecommender::all_strategies(model)
+        .into_iter()
+        .map(|r| Box::new(r) as Box<dyn Recommender>)
+        .collect();
+    methods.push(Box::new(ContentBased::new(ItemFeatures::new(
+        fm.product_feature_vectors(),
+    ))));
+    methods.push(Box::new(CfKnn::tanimoto(training.clone(), 10)));
+    methods.push(Box::new(AlsWr::train(
+        &training,
+        AlsConfig {
+            num_factors: 8,
+            num_iterations: 3,
+            ..AlsConfig::default()
+        },
+    )));
+    methods.push(Box::new(Apriori::mine(
+        &training,
+        &AprioriConfig {
+            min_support: 3,
+            min_confidence: 0.2,
+            max_itemset_size: 2,
+        },
+    )));
+    methods.push(Box::new(Popularity::from_training(&training)));
+    let inputs = fm.carts.into_iter().take(25).collect();
+    (methods, inputs, n_actions)
+}
+
+fn fortythree_methods() -> (Vec<Box<dyn Recommender>>, Vec<Activity>, usize) {
+    let ft = FortyThings::generate(&FortyThingsConfig::test_scale());
+    let n_actions = ft.library.num_actions();
+    let model = Arc::new(GoalModel::build(&ft.library).unwrap());
+    let training = TrainingSet::new(ft.full_activities.clone(), n_actions);
+    let mut methods: Vec<Box<dyn Recommender>> = GoalRecommender::all_strategies(model)
+        .into_iter()
+        .map(|r| Box::new(r) as Box<dyn Recommender>)
+        .collect();
+    methods.push(Box::new(CfKnn::tanimoto(training.clone(), 10)));
+    methods.push(Box::new(Popularity::from_training(&training)));
+    let inputs = ft.full_activities.into_iter().take(25).collect();
+    (methods, inputs, n_actions)
+}
+
+fn check_contract(methods: &[Box<dyn Recommender>], inputs: &[Activity], n_actions: usize) {
+    for m in methods {
+        for h in inputs {
+            let a = m.recommend(h, 10);
+            let b = m.recommend(h, 10);
+            assert_eq!(a, b, "{} must be deterministic", m.name());
+            assert!(a.len() <= 10, "{} exceeded k", m.name());
+            for s in &a {
+                assert!(!h.contains(s.action), "{} recommended performed", m.name());
+                assert!(
+                    s.action.index() < n_actions,
+                    "{} produced out-of-range id",
+                    m.name()
+                );
+                assert!(!s.score.is_nan(), "{} produced NaN score", m.name());
+            }
+            // Scores are non-increasing down the list.
+            for w in a.windows(2) {
+                assert!(
+                    w[0].score >= w[1].score,
+                    "{} scores out of order: {:?}",
+                    m.name(),
+                    w
+                );
+            }
+            // Prefix property: top-3 is the head of top-10.
+            let top3 = m.recommend(h, 3);
+            assert_eq!(&a[..a.len().min(3)], &top3[..], "{} prefix", m.name());
+            // Zero-k and empty-activity edge cases.
+            assert!(m.recommend(h, 0).is_empty());
+        }
+        assert!(m.recommend(&Activity::new(), 10).len() <= 10);
+    }
+}
+
+#[test]
+fn foodmart_contract() {
+    let (methods, inputs, n) = foodmart_methods();
+    assert_eq!(methods.len(), 9);
+    check_contract(&methods, &inputs, n);
+}
+
+#[test]
+fn fortythree_contract() {
+    let (methods, inputs, n) = fortythree_methods();
+    assert_eq!(methods.len(), 6);
+    check_contract(&methods, &inputs, n);
+}
+
+#[test]
+fn batch_matches_sequential_for_all_methods() {
+    let (methods, inputs, _) = foodmart_methods();
+    for m in &methods {
+        let batched = goalrec::core::batch::recommend_batch(m.as_ref(), &inputs, 5);
+        for (h, got) in inputs.iter().zip(&batched) {
+            assert_eq!(got, &m.recommend(h, 5), "{} batch mismatch", m.name());
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Integration: free-text corpus → extraction → library → model →
+//! recommendation, mirroring how the authors produced the 43Things
+//! dataset (§3).
+
+use goalrec::core::{Activity, GoalRecommender, Recommender};
+use goalrec::textmine::{build_library, ActionExtractor, Story};
+
+fn corpus() -> Vec<Story> {
+    vec![
+        Story::new(
+            "lose weight",
+            "1. join a gym\n2. stop eating at restaurants\n3. drink more water",
+        ),
+        Story::new("lose weight", "I quit soda. I started jogging. I joined a gym."),
+        Story::new("get fit", "I joined a gym. I started jogging. I lifted weights."),
+        Story::new(
+            "save money",
+            "- stop eating at restaurants\n- track expenses\n- cut subscriptions",
+        ),
+        Story::new("save money", "I sold my car. I started cooking at home."),
+        Story::new("learn spanish", "I enrolled in a class. I watched films in spanish."),
+    ]
+}
+
+#[test]
+fn extracted_library_has_cross_goal_action_sharing() {
+    let build = build_library(&corpus(), &ActionExtractor::default()).unwrap();
+    let lib = &build.library;
+    assert!(build.skipped.is_empty());
+    assert_eq!(lib.len(), 6);
+    assert_eq!(lib.num_goals(), 4);
+
+    // "stop eat restaur" serves both lose-weight and save-money — the
+    // cross-goal association that makes goal-based recommendation
+    // interesting.
+    let shared = lib.action_id("stop eat restaur").unwrap();
+    let goals: std::collections::HashSet<_> = lib
+        .implementations()
+        .iter()
+        .filter(|i| i.actions.contains(&shared))
+        .map(|i| i.goal)
+        .collect();
+    assert_eq!(goals.len(), 2);
+}
+
+#[test]
+fn recommendations_respect_goal_families() {
+    let build = build_library(&corpus(), &ActionExtractor::default()).unwrap();
+    let lib = &build.library;
+    let rec = GoalRecommender::from_library(lib, Box::new(goalrec::core::Breadth)).unwrap();
+
+    // A user who joined a gym gets fitness actions, not spanish classes.
+    let h = Activity::from_actions([lib.action_id("join gym").unwrap()]);
+    let names: Vec<String> = rec
+        .recommend_actions(&h, 5)
+        .iter()
+        .map(|&a| lib.action_name(a))
+        .collect();
+    assert!(!names.is_empty());
+    assert!(
+        !names.iter().any(|n| n.contains("spanish") || n.contains("enrol")),
+        "unrelated goal leaked into {names:?}"
+    );
+}
+
+#[test]
+fn cross_goal_action_bridges_recommendations() {
+    let build = build_library(&corpus(), &ActionExtractor::default()).unwrap();
+    let lib = &build.library;
+    let rec = GoalRecommender::from_library(lib, Box::new(goalrec::core::Breadth)).unwrap();
+
+    // "stop eat restaur" gives evidence for BOTH lose-weight and
+    // save-money, so recommendations may draw from both families.
+    let h = Activity::from_actions([lib.action_id("stop eat restaur").unwrap()]);
+    let names: Vec<String> = rec
+        .recommend_actions(&h, 8)
+        .iter()
+        .map(|&a| lib.action_name(a))
+        .collect();
+    let has_weight = names.iter().any(|n| n.contains("gym") || n.contains("water"));
+    let has_money = names
+        .iter()
+        .any(|n| n.contains("track expens") || n.contains("cut subscript"));
+    assert!(
+        has_weight && has_money,
+        "expected actions from both goal families, got {names:?}"
+    );
+}
+
+#[test]
+fn stemming_unifies_story_variants() {
+    // Same action phrased differently across stories maps to one id.
+    let stories = vec![
+        Story::new("g1", "I stopped eating at restaurants."),
+        Story::new("g2", "stop eating at the restaurant"),
+    ];
+    let build = build_library(&stories, &ActionExtractor::default()).unwrap();
+    assert_eq!(build.library.num_actions(), 1);
+}
