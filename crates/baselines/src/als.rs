@@ -15,7 +15,7 @@
 
 use crate::linalg::{cholesky_solve, dot, Matrix};
 use crate::training::TrainingSet;
-use goalrec_core::{Activity, ActionId, Recommender, Scored};
+use goalrec_core::{ActionId, Activity, Recommender, Scored};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -82,14 +82,7 @@ impl AlsWr {
             let item_gram = gram(&items);
             let new_users: Vec<Vec<f64>> = (0..n_users)
                 .into_par_iter()
-                .map(|u| {
-                    solve_side(
-                        training.users[u].raw(),
-                        &items,
-                        &item_gram,
-                        &cfg,
-                    )
-                })
+                .map(|u| solve_side(training.users[u].raw(), &items, &item_gram, &cfg))
                 .collect();
             for (u, row) in new_users.into_iter().enumerate() {
                 users.row_mut(u).copy_from_slice(&row);
@@ -99,9 +92,7 @@ impl AlsWr {
             let user_gram = gram(&users);
             let new_items: Vec<Vec<f64>> = (0..n_items)
                 .into_par_iter()
-                .map(|i| {
-                    solve_side(&item_users[i], &users, &user_gram, &cfg)
-                })
+                .map(|i| solve_side(&item_users[i], &users, &user_gram, &cfg))
                 .collect();
             for (i, row) in new_items.into_iter().enumerate() {
                 items.row_mut(i).copy_from_slice(&row);

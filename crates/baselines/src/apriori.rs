@@ -8,7 +8,7 @@
 //! tested empirically.
 
 use crate::training::TrainingSet;
-use goalrec_core::{setops, Activity, ActionId, Recommender, Scored};
+use goalrec_core::{setops, ActionId, Activity, Recommender, Scored};
 use std::collections::HashMap;
 
 /// Mining parameters.
@@ -72,8 +72,7 @@ impl Apriori {
             .collect();
         frequent.sort_by(|a, b| a.0.cmp(&b.0));
 
-        let mut support_of: HashMap<Vec<u32>, usize> =
-            frequent.iter().cloned().collect();
+        let mut support_of: HashMap<Vec<u32>, usize> = frequent.iter().cloned().collect();
         let mut level = frequent;
 
         for _size in 2..=cfg.max_itemset_size {
@@ -226,9 +225,7 @@ impl Recommender for Apriori {
             if activity.contains(ActionId::new(rule.consequent)) {
                 continue;
             }
-            if setops::intersection_len(&rule.antecedent, activity.raw())
-                == rule.antecedent.len()
-            {
+            if setops::intersection_len(&rule.antecedent, activity.raw()) == rule.antecedent.len() {
                 let score = rule.confidence + (rule.support as f64).min(1e6) * 1e-9;
                 let e = best.entry(rule.consequent).or_insert(0.0);
                 if score > *e {

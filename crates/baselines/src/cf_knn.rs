@@ -8,7 +8,7 @@
 
 use crate::similarity::SetSimilarity;
 use crate::training::TrainingSet;
-use goalrec_core::{Activity, ActionId, Recommender, Scored};
+use goalrec_core::{ActionId, Activity, Recommender, Scored};
 use std::collections::HashMap;
 
 /// User-based kNN collaborative filtering.
@@ -139,10 +139,7 @@ mod tests {
         let cf = CfKnn::tanimoto(training(), 4);
         let h = Activity::from_raw([0, 1]);
         for rec in cf.recommend(&h, 8) {
-            let in_some_neighbour = training()
-                .users
-                .iter()
-                .any(|u| u.contains(rec.action));
+            let in_some_neighbour = training().users.iter().any(|u| u.contains(rec.action));
             assert!(in_some_neighbour);
         }
     }

@@ -7,7 +7,7 @@
 //! This is the method whose recommendation lists are maximally
 //! self-similar (Table 5: average pairwise similarity ≈ 0.8).
 
-use goalrec_core::{Activity, ActionId, Recommender, Scored};
+use goalrec_core::{ActionId, Activity, Recommender, Scored};
 use std::collections::BTreeMap;
 
 /// Sparse feature vectors, one per action.
@@ -183,9 +183,18 @@ mod tests {
     #[test]
     fn pairwise_similarity_values() {
         let f = features();
-        assert_eq!(f.pairwise_similarity(ActionId::new(0), ActionId::new(1)), 1.0);
-        assert_eq!(f.pairwise_similarity(ActionId::new(0), ActionId::new(3)), 0.0);
-        assert_eq!(f.pairwise_similarity(ActionId::new(0), ActionId::new(5)), 0.0);
+        assert_eq!(
+            f.pairwise_similarity(ActionId::new(0), ActionId::new(1)),
+            1.0
+        );
+        assert_eq!(
+            f.pairwise_similarity(ActionId::new(0), ActionId::new(3)),
+            0.0
+        );
+        assert_eq!(
+            f.pairwise_similarity(ActionId::new(0), ActionId::new(5)),
+            0.0
+        );
         // Item 2 has an extra feature dim, so similarity to 0 is < 1.
         let s = f.pairwise_similarity(ActionId::new(0), ActionId::new(2));
         assert!(s > 0.8 && s < 1.0);

@@ -9,7 +9,7 @@
 
 use crate::similarity::SetSimilarity;
 use crate::training::TrainingSet;
-use goalrec_core::{Activity, ActionId, Recommender, Scored};
+use goalrec_core::{ActionId, Activity, Recommender, Scored};
 use std::collections::HashMap;
 
 /// Item-based kNN with a precomputed truncated similarity matrix.

@@ -41,7 +41,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -67,9 +71,7 @@ impl Matrix {
     /// `self · v` for a column vector `v`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols);
-        (0..self.rows)
-            .map(|i| dot(self.row(i), v))
-            .collect()
+        (0..self.rows).map(|i| dot(self.row(i), v)).collect()
     }
 
     /// Adds `alpha · x xᵀ` (symmetric rank-1 update); `self` must be square

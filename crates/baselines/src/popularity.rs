@@ -6,7 +6,7 @@
 //! what "perpetuating collective behaviour" looks like.
 
 use crate::training::TrainingSet;
-use goalrec_core::{Activity, ActionId, Recommender, Scored};
+use goalrec_core::{ActionId, Activity, Recommender, Scored};
 
 /// Most-popular recommender.
 #[derive(Debug, Clone)]

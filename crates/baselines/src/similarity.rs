@@ -69,7 +69,11 @@ mod tests {
 
     #[test]
     fn empty_sets_score_zero() {
-        for s in [SetSimilarity::Tanimoto, SetSimilarity::Cosine, SetSimilarity::Overlap] {
+        for s in [
+            SetSimilarity::Tanimoto,
+            SetSimilarity::Cosine,
+            SetSimilarity::Overlap,
+        ] {
             assert_eq!(s.compute(&[], &[1]), 0.0);
             assert_eq!(s.compute(&[1], &[]), 0.0);
         }

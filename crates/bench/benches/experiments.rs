@@ -21,7 +21,9 @@ fn ctx() -> &'static EvalContext {
 fn bench_experiments(c: &mut Criterion) {
     let mut group = c.benchmark_group("experiments");
     group.sample_size(10);
-    group.bench_function("table2_overlap", |b| b.iter(|| black_box(table2::run(ctx()))));
+    group.bench_function("table2_overlap", |b| {
+        b.iter(|| black_box(table2::run(ctx())))
+    });
     group.bench_function("table3_popularity_correlation", |b| {
         b.iter(|| black_box(table3::run(ctx())))
     });
@@ -34,7 +36,9 @@ fn bench_experiments(c: &mut Criterion) {
     group.bench_function("table6_goal_based_overlap", |b| {
         b.iter(|| black_box(table6::run(ctx())))
     });
-    group.bench_function("figure4_avg_tpr", |b| b.iter(|| black_box(figure4::run(ctx()))));
+    group.bench_function("figure4_avg_tpr", |b| {
+        b.iter(|| black_box(figure4::run(ctx())))
+    });
     group.bench_function("figures5_6_frequency", |b| {
         b.iter(|| black_box(figures56::run(ctx())))
     });

@@ -32,7 +32,9 @@ fn bench_spaces(c: &mut Criterion) {
     group.bench_function("implementation_space", |b| {
         b.iter(|| black_box(model.implementation_space(cart)))
     });
-    group.bench_function("goal_space", |b| b.iter(|| black_box(model.goal_space(cart))));
+    group.bench_function("goal_space", |b| {
+        b.iter(|| black_box(model.goal_space(cart)))
+    });
     group.bench_function("action_space", |b| {
         b.iter(|| black_box(model.action_space(cart)))
     });

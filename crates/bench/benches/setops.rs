@@ -23,7 +23,12 @@ fn sorted_set(rng: &mut StdRng, len: usize, universe: u32) -> Vec<u32> {
 fn bench_intersection(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(42);
     let mut group = c.benchmark_group("setops/intersection_len");
-    for &(small, large) in &[(10usize, 30usize), (10, 1_000), (200, 1_000), (1_000, 1_000)] {
+    for &(small, large) in &[
+        (10usize, 30usize),
+        (10, 1_000),
+        (200, 1_000),
+        (1_000, 1_000),
+    ] {
         let a = sorted_set(&mut rng, small, 10_000);
         let b = sorted_set(&mut rng, large, 10_000);
         let ha: HashSet<u32> = a.iter().copied().collect();
@@ -67,11 +72,18 @@ fn bench_union_many(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(44);
     // |H| = 10 posting lists of 1 000 ids each — the IS(H) union of a
     // FoodMart-like query.
-    let lists: Vec<Vec<u32>> = (0..10).map(|_| sorted_set(&mut rng, 1_000, 100_000)).collect();
+    let lists: Vec<Vec<u32>> = (0..10)
+        .map(|_| sorted_set(&mut rng, 1_000, 100_000))
+        .collect();
     c.bench_function("setops/union_many/10x1000", |bench| {
         bench.iter(|| black_box(setops::union_many(lists.iter().map(Vec::as_slice)).len()))
     });
 }
 
-criterion_group!(benches, bench_intersection, bench_difference, bench_union_many);
+criterion_group!(
+    benches,
+    bench_intersection,
+    bench_difference,
+    bench_union_many
+);
 criterion_main!(benches);

@@ -16,12 +16,26 @@ use goalrec_eval::experiments::{
     table4, table5, table6,
 };
 use goalrec_eval::{EvalConfig, EvalContext};
+use goalrec_obs as obs;
 use std::io::Write as _;
 use std::time::Instant;
 
 const ALL: &[&str] = &[
-    "stats", "table2", "table3", "table4", "table5", "table6", "figure4", "figure5", "figure6",
-    "figure7", "ablation", "extended", "stability", "rerank", "sessions",
+    "stats",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "ablation",
+    "extended",
+    "stability",
+    "rerank",
+    "sessions",
 ];
 
 fn main() {
@@ -33,7 +47,11 @@ fn main() {
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--scale" => scale = it.next().unwrap_or_else(|| usage("missing value for --scale")),
+            "--scale" => {
+                scale = it
+                    .next()
+                    .unwrap_or_else(|| usage("missing value for --scale"))
+            }
             "--json" => {
                 json_dir = Some(
                     it.next()
@@ -80,6 +98,7 @@ fn main() {
     let mut stdout = std::io::stdout().lock();
     for exp in &wanted {
         let t0 = Instant::now();
+        let span = obs::Timer::scoped(&format!("eval.{exp}.wall"));
         let (text, json) = match exp.as_str() {
             "stats" => stats(ctx.as_ref().expect("ctx")),
             "table2" => show(table2::run(ctx.as_ref().expect("ctx"))),
@@ -100,11 +119,28 @@ fn main() {
             )),
             _ => unreachable!("validated above"),
         };
+        drop(span);
         writeln!(stdout, "{text}").expect("stdout");
         eprintln!("[{exp} done in {:.1}s]", t0.elapsed().as_secs_f64());
         if let Some(dir) = &json_dir {
             std::fs::write(dir.join(format!("{exp}.json")), json).expect("write JSON result");
         }
+    }
+    drop(stdout);
+
+    // Everything above recorded into the global registry: model builds,
+    // per-strategy serving, batch wall clocks, and the per-experiment
+    // spans. Print the snapshot and persist it next to the JSON results
+    // (cwd when --json was not given) as BENCH_obs.json.
+    let report = obs::snapshot();
+    if !report.is_empty() {
+        println!("{report}");
+        let obs_path = json_dir
+            .as_deref()
+            .unwrap_or_else(|| std::path::Path::new("."))
+            .join("BENCH_obs.json");
+        std::fs::write(&obs_path, report.to_json()).expect("write BENCH_obs.json");
+        eprintln!("metrics snapshot → {}", obs_path.display());
     }
 }
 

@@ -79,7 +79,14 @@ mod tests {
 
     #[test]
     fn positionals_and_flags() {
-        let a = parse(&["recommend", "--library", "lib.jsonl", "-k", "5", "--explain"]);
+        let a = parse(&[
+            "recommend",
+            "--library",
+            "lib.jsonl",
+            "-k",
+            "5",
+            "--explain",
+        ]);
         assert_eq!(a.positional(0), Some("recommend"));
         assert_eq!(a.flag("library"), Some("lib.jsonl"));
         assert_eq!(a.num("k", 10).unwrap(), 5);

@@ -2,8 +2,7 @@
 
 use crate::args::Args;
 use goalrec_core::{
-    explain, Activity, GoalModel, GoalRecommender, LibraryBuilder, Recommender,
-    Strategy,
+    explain, Activity, GoalModel, GoalRecommender, LibraryBuilder, Recommender, Strategy,
 };
 use goalrec_datasets::{io as dsio, FoodMart, FoodMartConfig, FortyThings, FortyThingsConfig};
 use goalrec_textmine::{build_library, ActionExtractor, Story};
@@ -33,7 +32,7 @@ const USAGE: &str = "usage:\n  \
     goalrec synth     --out FILE.json [--stories N] [--seed N]\n  \
     goalrec extract   --stories FILE.json --out FILE.jsonl\n  \
     goalrec convert   --library FILE.jsonl --out FILE.grlb (and back)\n  \
-    goalrec stats     --library FILE.jsonl [--actions N] [--goals N]\n  \
+    goalrec stats     --library FILE.jsonl [--json] [--metrics] [--actions N] [--goals N]\n  \
     goalrec recommend --library FILE.jsonl --activity a1,a2,... \
 [--strategy breadth|best-match|focus-cmp|focus-cl] [--k N] [--explain]\n  \
     goalrec demo";
@@ -104,8 +103,11 @@ fn synth(args: &Args) -> CmdResult {
         .iter()
         .map(|s| serde_json::json!({"goal": s.goal, "text": s.text}))
         .collect();
-    std::fs::write(out, serde_json::to_string_pretty(&json).map_err(|e| e.to_string())?)
-        .map_err(|e| e.to_string())?;
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&json).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
     println!("wrote {} synthetic stories → {out}", corpus.stories.len());
     Ok(())
 }
@@ -119,8 +121,7 @@ fn extract(args: &Args) -> CmdResult {
         .into_iter()
         .map(|s| Story::new(s.goal, s.text))
         .collect();
-    let build =
-        build_library(&stories, &ActionExtractor::default()).map_err(|e| e.to_string())?;
+    let build = build_library(&stories, &ActionExtractor::default()).map_err(|e| e.to_string())?;
     dsio::write_library_jsonl(&build.library, Path::new(out)).map_err(|e| e.to_string())?;
     println!(
         "extracted {} implementations / {} goals / {} actions from {} stories ({} skipped) → {out}",
@@ -175,22 +176,47 @@ fn convert(args: &Args) -> CmdResult {
     } else {
         dsio::write_library_jsonl(&lib, Path::new(out)).map_err(|e| e.to_string())?;
     }
-    println!(
-        "converted {} implementations → {out}",
-        lib.len()
-    );
+    println!("converted {} implementations → {out}", lib.len());
     Ok(())
 }
 
+/// Prints library statistics. `--json` emits a machine-readable object;
+/// `--metrics` additionally compiles the model so the `model.build.*`
+/// spans populate, then appends the metrics snapshot.
 fn stats(args: &Args) -> CmdResult {
     let lib = load_library(args)?;
     let s = lib.stats();
+    let metrics = if args.has("metrics") {
+        // Building the model is what produces the build-span timings.
+        let _ = GoalModel::build(&lib).map_err(|e| e.to_string())?;
+        Some(goalrec_obs::snapshot())
+    } else {
+        None
+    };
+    if args.has("json") {
+        let doc = serde_json::json!({ "stats": s, "metrics": metrics });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
     println!("implementations : {}", s.num_implementations);
     println!("actions         : {}", s.num_actions);
     println!("goals           : {}", s.num_goals);
-    println!("connectivity    : {:.2} (max {})", s.connectivity, s.max_connectivity);
-    println!("avg impl length : {:.2} (max {})", s.avg_impl_len, s.max_impl_len);
+    println!(
+        "connectivity    : {:.2} (max {})",
+        s.connectivity, s.max_connectivity
+    );
+    println!(
+        "avg impl length : {:.2} (max {})",
+        s.avg_impl_len, s.max_impl_len
+    );
     println!("impls per goal  : {:.2}", s.avg_impls_per_goal);
+    if let Some(report) = metrics {
+        println!();
+        println!("{report}");
+    }
     Ok(())
 }
 
@@ -273,7 +299,11 @@ fn demo() -> CmdResult {
         .map_err(|e| e.to_string())?;
     println!("cart: potatoes, carrots\n");
     for s in rec.recommend(&cart, 3) {
-        println!("recommend {} (score {})", lib.action_name(s.action), s.score);
+        println!(
+            "recommend {} (score {})",
+            lib.action_name(s.action),
+            s.score
+        );
         let ex = explain(&model, &cart, s.action, 2);
         for j in &ex.justifications {
             println!(
@@ -320,6 +350,31 @@ mod tests {
         let ft = FortyThings::generate(&FortyThingsConfig::test_scale());
         dsio::write_library_jsonl(&ft.library, &lib_path).unwrap();
         run(&["stats", "--library", lib_path.to_str().unwrap()]).unwrap();
+    }
+
+    #[test]
+    fn stats_json_and_metrics_modes() {
+        let lib_path = tmpdir().join("ft-stats.jsonl");
+        let ft = FortyThings::generate(&FortyThingsConfig::test_scale());
+        dsio::write_library_jsonl(&ft.library, &lib_path).unwrap();
+        let p = lib_path.to_str().unwrap();
+        run(&["stats", "--library", p, "--json"]).unwrap();
+        run(&["stats", "--library", p, "--metrics"]).unwrap();
+        run(&["stats", "--library", p, "--json", "--metrics"]).unwrap();
+        // --metrics compiles the model, so the build spans must be live.
+        let report = goalrec_obs::snapshot();
+        for span in [
+            "model.build.a_idx",
+            "model.build.g_idx",
+            "model.build.gi_a_idx",
+            "model.build.gi_g_idx",
+            "model.build.a_gi_idx",
+        ] {
+            assert!(
+                report.histogram(span).is_some_and(|h| h.count >= 1),
+                "span {span} not recorded by stats --metrics"
+            );
+        }
     }
 
     #[test]
@@ -370,7 +425,14 @@ mod tests {
     fn synth_extract_recommend_full_pipeline() {
         let dir = tmpdir();
         let stories = dir.join("synth-stories.json");
-        run(&["synth", "--out", stories.to_str().unwrap(), "--stories", "30"]).unwrap();
+        run(&[
+            "synth",
+            "--out",
+            stories.to_str().unwrap(),
+            "--stories",
+            "30",
+        ])
+        .unwrap();
         let lib = dir.join("synth-lib.jsonl");
         run(&[
             "extract",

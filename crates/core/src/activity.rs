@@ -140,7 +140,9 @@ mod tests {
 
     #[test]
     fn from_iterator_and_from_vec() {
-        let h: Activity = vec![ActionId::new(2), ActionId::new(1)].into_iter().collect();
+        let h: Activity = vec![ActionId::new(2), ActionId::new(1)]
+            .into_iter()
+            .collect();
         assert_eq!(h.raw(), &[1, 2]);
         let h2: Activity = vec![7u32, 7, 0].into();
         assert_eq!(h2.raw(), &[0, 7]);

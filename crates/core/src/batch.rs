@@ -9,7 +9,41 @@
 use crate::activity::Activity;
 use crate::recommend::Recommender;
 use crate::topk::Scored;
+use goalrec_obs as obs;
 use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Observes one batch run: request count, per-request latency recorded
+/// from inside the rayon workers, the method's batch wall clock
+/// (`batch.<method>.wall` — the per-method wall time the evaluation
+/// drivers report), and the resulting throughput gauge.
+fn observed_batch<T, F: Fn(&Activity) -> T + Sync>(
+    method: &str,
+    activities: &[Activity],
+    per_request: F,
+) -> Vec<T>
+where
+    T: Send,
+{
+    obs::counter("batch.requests").inc_by(activities.len() as u64);
+    let latency = obs::histogram_ns("batch.latency");
+    let wall =
+        obs::Timer::into_histogram(obs::global().histogram_ns(&format!("batch.{method}.wall")));
+    let out: Vec<T> = activities
+        .par_iter()
+        .map(|h| {
+            let span = obs::Timer::into_histogram(Arc::clone(&latency));
+            let result = per_request(h);
+            drop(span);
+            result
+        })
+        .collect();
+    let elapsed = wall.stop().as_secs_f64();
+    if elapsed > 0.0 {
+        obs::gauge("batch.throughput_rps").set(activities.len() as f64 / elapsed);
+    }
+    out
+}
 
 /// Runs `recommender` over every activity, preserving input order.
 pub fn recommend_batch<R: Recommender + ?Sized>(
@@ -17,10 +51,9 @@ pub fn recommend_batch<R: Recommender + ?Sized>(
     activities: &[Activity],
     k: usize,
 ) -> Vec<Vec<Scored>> {
-    activities
-        .par_iter()
-        .map(|h| recommender.recommend(h, k))
-        .collect()
+    observed_batch(&recommender.name(), activities, |h| {
+        recommender.recommend(h, k)
+    })
 }
 
 /// Like [`recommend_batch`] but keeps only the action ids — the shape most
@@ -30,10 +63,9 @@ pub fn recommend_batch_actions<R: Recommender + ?Sized>(
     activities: &[Activity],
     k: usize,
 ) -> Vec<Vec<crate::ids::ActionId>> {
-    activities
-        .par_iter()
-        .map(|h| recommender.recommend_actions(h, k))
-        .collect()
+    observed_batch(&recommender.name(), activities, |h| {
+        recommender.recommend_actions(h, k)
+    })
 }
 
 #[cfg(test)]
@@ -54,9 +86,7 @@ mod tests {
     #[test]
     fn batch_matches_sequential_and_preserves_order() {
         let rec = recommender();
-        let activities: Vec<Activity> = (0..40)
-            .map(|i| Activity::from_raw([i % 4]))
-            .collect();
+        let activities: Vec<Activity> = (0..40).map(|i| Activity::from_raw([i % 4])).collect();
         let batched = recommend_batch(&rec, &activities, 3);
         assert_eq!(batched.len(), activities.len());
         for (h, got) in activities.iter().zip(&batched) {

@@ -99,8 +99,14 @@ mod tests {
 
     #[test]
     fn cosine_zero_vector_is_max_distance() {
-        assert_eq!(DistanceMetric::Cosine.distance(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
-        assert_eq!(DistanceMetric::Cosine.distance(&[1.0, 1.0], &[0.0, 0.0]), 1.0);
+        assert_eq!(
+            DistanceMetric::Cosine.distance(&[0.0, 0.0], &[1.0, 1.0]),
+            1.0
+        );
+        assert_eq!(
+            DistanceMetric::Cosine.distance(&[1.0, 1.0], &[0.0, 0.0]),
+            1.0
+        );
     }
 
     #[test]

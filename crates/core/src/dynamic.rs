@@ -205,7 +205,9 @@ mod tests {
         assert_eq!(p1, ImplId::new(1));
         assert_eq!(dm.len(), 2);
         assert_eq!(dm.action_impls(ActionId::new(0)), &[0, 1]);
-        assert!(setops::is_strictly_sorted(dm.action_impls(ActionId::new(0))));
+        assert!(setops::is_strictly_sorted(
+            dm.action_impls(ActionId::new(0))
+        ));
         assert_eq!(dm.goal_impls(GoalId::new(1)), &[1]);
         assert_eq!(dm.epoch(), 2);
     }
@@ -248,7 +250,8 @@ mod tests {
         let mut dm = DynamicGoalModel::new();
         dm.add_implementation(GoalId::new(0), ids(&[0, 1])).unwrap();
         dm.add_implementation(GoalId::new(0), ids(&[0, 2])).unwrap();
-        dm.add_implementation(GoalId::new(1), ids(&[0, 3, 4])).unwrap();
+        dm.add_implementation(GoalId::new(1), ids(&[0, 3, 4]))
+            .unwrap();
         let model = dm.compile().unwrap();
         assert_eq!(model.num_impls(), 3);
         assert_eq!(model.action_impls(ActionId::new(0)), &[0, 1, 2]);
@@ -294,7 +297,8 @@ mod tests {
     fn ingest_then_serve_workflow() {
         // The intended pattern: ingest updates, compile a snapshot, serve.
         let mut dm = DynamicGoalModel::new();
-        dm.add_implementation(GoalId::new(0), ids(&[0, 1, 2])).unwrap();
+        dm.add_implementation(GoalId::new(0), ids(&[0, 1, 2]))
+            .unwrap();
         dm.add_implementation(GoalId::new(1), ids(&[0, 3])).unwrap();
         let snapshot = Arc::new(dm.compile().unwrap());
         let rec = GoalRecommender::new(snapshot, Box::new(Breadth));

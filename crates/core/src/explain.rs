@@ -181,13 +181,16 @@ mod tests {
         // 1.0), 1 (g1 alt, after 1.0), 2 (g2, after 1.0) — all complete;
         // order falls back to implementation id.
         let h = Activity::from_actions(
-            ["b", "c", "d", "e"].iter().map(|n| lib.action_id(n).unwrap()),
+            ["b", "c", "d", "e"]
+                .iter()
+                .map(|n| lib.action_id(n).unwrap()),
         );
         let ex = explain(&m, &h, lib.action_id("a").unwrap(), 0);
         assert_eq!(ex.justifications.len(), 3);
-        assert!(ex.justifications.windows(2).all(|w| {
-            w[0].completeness_after >= w[1].completeness_after
-        }));
+        assert!(ex
+            .justifications
+            .windows(2)
+            .all(|w| { w[0].completeness_after >= w[1].completeness_after }));
         assert_eq!(ex.num_goals(), 2);
         assert_eq!(ex.completing().count(), 3);
     }
@@ -196,7 +199,9 @@ mod tests {
     fn cap_limits_output() {
         let (m, lib) = model();
         let h = Activity::from_actions(
-            ["b", "c", "d", "e"].iter().map(|n| lib.action_id(n).unwrap()),
+            ["b", "c", "d", "e"]
+                .iter()
+                .map(|n| lib.action_id(n).unwrap()),
         );
         let ex = explain(&m, &h, lib.action_id("a").unwrap(), 2);
         assert_eq!(ex.justifications.len(), 2);

@@ -52,7 +52,10 @@ impl Hybrid {
     /// # Panics
     /// Panics if `components` is empty or any weight is negative/NaN.
     pub fn new(components: Vec<(Box<dyn Recommender>, f64)>, rule: FusionRule) -> Self {
-        assert!(!components.is_empty(), "hybrid needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "hybrid needs at least one component"
+        );
         assert!(
             components.iter().all(|(_, w)| w.is_finite() && *w >= 0.0),
             "weights must be finite and non-negative"
@@ -115,10 +118,7 @@ impl Recommender for Hybrid {
                 }
             }
         }
-        top_k(
-            fused.into_iter().map(|(a, s)| Scored::new(a, s)),
-            k,
-        )
+        top_k(fused.into_iter().map(|(a, s)| Scored::new(a, s)), k)
     }
 }
 

@@ -68,14 +68,16 @@ pub mod topk;
 pub use activity::Activity;
 pub use distance::DistanceMetric;
 pub use dynamic::DynamicGoalModel;
+pub use error::{Error, Result};
 pub use explain::{explain, Explanation, Justification};
 pub use fusion::{FusionRule, Hybrid};
-pub use error::{Error, Result};
 pub use ids::{ActionId, GoalId, ImplId, Interner};
 pub use library::{GoalLibrary, Implementation, LibraryBuilder, LibraryStats};
 pub use model::GoalModel;
 pub use recommend::{GoalRecommender, Recommender};
 pub use rerank::mmr_rerank;
-pub use strategies::{BestMatch, Breadth, Focus, FocusVariant, GoalWeights, Strategy,
-    WeightedBestMatch, WeightedBreadth, WeightedFocus};
+pub use strategies::{
+    BestMatch, Breadth, Focus, FocusVariant, GoalWeights, Strategy, WeightedBestMatch,
+    WeightedBreadth, WeightedFocus,
+};
 pub use topk::Scored;

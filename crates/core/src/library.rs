@@ -324,7 +324,8 @@ mod tests {
         // p5 = (g5, {a1, a2, a6})      g5 = hiking
         b.add_impl("meeting friends", ["a1", "a2"]).unwrap();
         b.add_impl("meeting friends", ["a1", "a3"]).unwrap();
-        b.add_impl("going to the office", ["a1", "a4", "a5"]).unwrap();
+        b.add_impl("going to the office", ["a1", "a4", "a5"])
+            .unwrap();
         b.add_impl("be warm", ["a4", "a6"]).unwrap();
         b.add_impl("hiking", ["a1", "a2", "a6"]).unwrap();
         b.build().unwrap()
@@ -356,13 +357,18 @@ mod tests {
     #[test]
     fn builder_rejects_empty_implementation() {
         let mut b = LibraryBuilder::new();
-        let err = b.add_impl::<&str, _>("goal", std::iter::empty()).unwrap_err();
+        let err = b
+            .add_impl::<&str, _>("goal", std::iter::empty())
+            .unwrap_err();
         assert!(matches!(err, Error::EmptyImplementation { .. }));
     }
 
     #[test]
     fn builder_rejects_empty_library() {
-        assert_eq!(LibraryBuilder::new().build().unwrap_err(), Error::EmptyLibrary);
+        assert_eq!(
+            LibraryBuilder::new().build().unwrap_err(),
+            Error::EmptyLibrary
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::error::{Error, Result};
 use crate::ids::{ActionId, GoalId, ImplId};
 use crate::library::{actions_as_raw, GoalLibrary};
 use crate::setops;
+use goalrec_obs::{self as obs, Timer};
 
 /// The compiled association-based goal model.
 ///
@@ -41,50 +42,92 @@ pub struct GoalModel {
 impl GoalModel {
     /// Compiles the index structures from a library.
     ///
-    /// Cost: `O(Σ|A_p|)` — one pass over every implementation's activity.
+    /// Cost: `O(Σ|A_p|)` per phase — a linear pass per index. Each phase
+    /// records a `model.build.<index>` span in the metrics registry
+    /// (`a_idx`, `g_idx`, `gi_a_idx`, `gi_g_idx`, `a_gi_idx`), with the
+    /// whole build under `model.build.total`.
     pub fn build(library: &GoalLibrary) -> Result<Self> {
         if library.is_empty() {
             return Err(Error::EmptyLibrary);
         }
+        let _total = Timer::scoped("model.build.total");
+        obs::counter("model.builds").inc();
         let num_actions = library.num_actions();
         let num_goals = library.num_goals();
         let impls = library.implementations();
 
-        let mut impl_actions = Vec::with_capacity(impls.len());
-        let mut impl_goal = Vec::with_capacity(impls.len());
-        let mut goal_counts = vec![0usize; num_goals];
+        // A-idx: per-action occurrence counts, sizing the A-GI posting
+        // lists so the fill below never reallocates.
+        let span = Timer::scoped("model.build.a_idx");
         let mut action_counts = vec![0usize; num_actions];
-
         for imp in impls {
-            impl_actions.push(actions_as_raw(imp).to_vec().into_boxed_slice());
-            impl_goal.push(imp.goal.raw());
-            goal_counts[imp.goal.index()] += 1;
             for a in &imp.actions {
                 action_counts[a.index()] += 1;
             }
         }
+        drop(span);
 
-        // Counting-sort style fill keeps the posting lists sorted because
-        // implementation ids are visited in increasing order.
-        let mut goal_impls: Vec<Vec<u32>> = goal_counts.iter().map(|&c| Vec::with_capacity(c)).collect();
-        let mut action_impls: Vec<Vec<u32>> =
-            action_counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        // G-idx: per-goal implementation counts, sizing the inverse
+        // GI-G posting lists.
+        let span = Timer::scoped("model.build.g_idx");
+        let mut goal_counts = vec![0usize; num_goals];
+        for imp in impls {
+            goal_counts[imp.goal.index()] += 1;
+        }
+        drop(span);
+
+        // GI-A-idx: forward implementation → activity index.
+        let span = Timer::scoped("model.build.gi_a_idx");
+        let impl_actions: Vec<Box<[u32]>> = impls
+            .iter()
+            .map(|imp| actions_as_raw(imp).to_vec().into_boxed_slice())
+            .collect();
+        drop(span);
+
+        // GI-G-idx: forward goal labels plus the inverse goal →
+        // implementation lists. The counting-sort style fill keeps the
+        // posting lists sorted because implementation ids are visited in
+        // increasing order.
+        let span = Timer::scoped("model.build.gi_g_idx");
+        let mut impl_goal = Vec::with_capacity(impls.len());
+        let mut goal_impls: Vec<Vec<u32>> =
+            goal_counts.iter().map(|&c| Vec::with_capacity(c)).collect();
         for (pid, imp) in impls.iter().enumerate() {
-            let pid = pid as u32;
-            goal_impls[imp.goal.index()].push(pid);
+            impl_goal.push(imp.goal.raw());
+            goal_impls[imp.goal.index()].push(pid as u32);
+        }
+        drop(span);
+
+        // A-GI-idx: action → implementation lists (`IS(a)`), same
+        // counting-sort fill.
+        let span = Timer::scoped("model.build.a_gi_idx");
+        let mut action_impls: Vec<Vec<u32>> = action_counts
+            .iter()
+            .map(|&c| Vec::with_capacity(c))
+            .collect();
+        for (pid, imp) in impls.iter().enumerate() {
             for a in &imp.actions {
-                action_impls[a.index()].push(pid);
+                action_impls[a.index()].push(pid as u32);
             }
         }
+        drop(span);
 
-        Ok(Self {
+        let model = Self {
             impl_actions,
             impl_goal,
             goal_impls: goal_impls.into_iter().map(Vec::into_boxed_slice).collect(),
-            action_impls: action_impls.into_iter().map(Vec::into_boxed_slice).collect(),
+            action_impls: action_impls
+                .into_iter()
+                .map(Vec::into_boxed_slice)
+                .collect(),
             num_actions,
             num_goals,
-        })
+        };
+        obs::gauge("model.impls").set(model.num_impls() as f64);
+        obs::gauge("model.actions").set(num_actions as f64);
+        obs::gauge("model.goals").set(num_goals as f64);
+        obs::gauge("model.memory_bytes").set(model.memory_bytes() as f64);
+        Ok(model)
     }
 
     /// Number of implementations `|L|`.
@@ -234,7 +277,9 @@ impl GoalModel {
     /// scalability experiment alongside Fig. 7 timings.
     pub fn memory_bytes(&self) -> usize {
         let posting = |v: &Vec<Box<[u32]>>| -> usize {
-            v.iter().map(|b| b.len() * 4 + std::mem::size_of::<Box<[u32]>>()).sum()
+            v.iter()
+                .map(|b| b.len() * 4 + std::mem::size_of::<Box<[u32]>>())
+                .sum()
         };
         posting(&self.impl_actions)
             + posting(&self.goal_impls)
@@ -316,7 +361,7 @@ mod tests {
         // H = {a2} (id 1) participates in p1, p5.
         assert_eq!(m.implementation_space(&[1]), vec![0, 4]);
         assert_eq!(m.goal_space(&[1]), vec![0, 3]); // g1, g5
-        // AS({a2}) = actions of p1 ∪ p5 minus a2 = {a1, a6}.
+                                                    // AS({a2}) = actions of p1 ∪ p5 minus a2 = {a1, a6}.
         assert_eq!(m.action_space(&[1]), vec![0, 5]);
     }
 

@@ -16,6 +16,7 @@ use crate::library::GoalLibrary;
 use crate::model::GoalModel;
 use crate::strategies::{BestMatch, Breadth, Focus, FocusVariant, Strategy};
 use crate::topk::Scored;
+use goalrec_obs as obs;
 use std::sync::Arc;
 
 /// Anything that can produce a ranked top-k action list for an activity.
@@ -41,26 +42,36 @@ pub trait Recommender: Send + Sync {
 }
 
 /// A goal-based recommender: a compiled model plus one strategy.
+///
+/// Every request is observed under the strategy's metric namespace:
+/// `strategy.<name>.requests` (counter), `strategy.<name>.latency`
+/// (nanosecond histogram) and `strategy.<name>.candidates` (pre-truncation
+/// candidate-set size). The handles are resolved once at construction so
+/// the per-request cost is a clock read and a few atomic adds.
 #[derive(Clone)]
 pub struct GoalRecommender {
     model: Arc<GoalModel>,
     strategy: Arc<dyn Strategy>,
+    requests: Arc<obs::Counter>,
+    latency: Arc<obs::Histogram>,
+    candidates: Arc<obs::Histogram>,
 }
 
 impl GoalRecommender {
     /// Builds the model from a library and pairs it with a strategy.
     pub fn from_library(library: &GoalLibrary, strategy: Box<dyn Strategy>) -> Result<Self> {
-        Ok(Self {
-            model: Arc::new(GoalModel::build(library)?),
-            strategy: strategy.into(),
-        })
+        Ok(Self::new(Arc::new(GoalModel::build(library)?), strategy))
     }
 
     /// Wraps an existing (shared) model.
     pub fn new(model: Arc<GoalModel>, strategy: Box<dyn Strategy>) -> Self {
+        let name = strategy.name();
         Self {
             model,
             strategy: strategy.into(),
+            requests: obs::counter(&format!("strategy.{name}.requests")),
+            latency: obs::histogram_ns(&format!("strategy.{name}.latency")),
+            candidates: obs::histogram(&format!("strategy.{name}.candidates")),
         }
     }
 
@@ -93,7 +104,12 @@ impl Recommender for GoalRecommender {
     }
 
     fn recommend(&self, activity: &Activity, k: usize) -> Vec<Scored> {
-        self.strategy.rank(&self.model, activity, k)
+        self.requests.inc();
+        let span = obs::Timer::into_histogram(Arc::clone(&self.latency));
+        let (ranked, num_candidates) = self.strategy.rank_observed(&self.model, activity, k);
+        drop(span);
+        self.candidates.record(num_candidates as u64);
+        ranked
     }
 }
 

@@ -40,17 +40,27 @@ impl Strategy for BestMatch {
     }
 
     fn rank(&self, model: &GoalModel, activity: &Activity, k: usize) -> Vec<Scored> {
+        self.rank_observed(model, activity, k).0
+    }
+
+    fn rank_observed(
+        &self,
+        model: &GoalModel,
+        activity: &Activity,
+        k: usize,
+    ) -> (Vec<Scored>, usize) {
         if k == 0 || activity.is_empty() {
-            return Vec::new();
+            return (Vec::new(), 0);
         }
         let h = activity.raw();
         let (goal_space, profile) = goal_space_and_profile(model, h);
         if goal_space.is_empty() {
-            return Vec::new();
+            return (Vec::new(), 0);
         }
 
         // Algorithm 4: CA = AS(H) − H (action_space already excludes H).
         let candidates = model.action_space(h);
+        let num_candidates = candidates.len();
         let mut top = TopK::new(k);
         let mut vec = GoalVector::zeros(&goal_space);
         for a in candidates {
@@ -63,7 +73,7 @@ impl Strategy for BestMatch {
             // Scores are higher-is-better across the crate; negate distance.
             top.push(Scored::new(ActionId::new(a), -dist));
         }
-        top.into_sorted()
+        (top.into_sorted(), num_candidates)
     }
 }
 
@@ -126,7 +136,9 @@ mod tests {
     #[test]
     fn empty_activity_and_zero_k() {
         let m = example_model();
-        assert!(BestMatch::default().rank(&m, &Activity::new(), 5).is_empty());
+        assert!(BestMatch::default()
+            .rank(&m, &Activity::new(), 5)
+            .is_empty());
         assert!(BestMatch::default()
             .rank(&m, &Activity::from_raw([0]), 0)
             .is_empty());

@@ -77,8 +77,17 @@ impl Strategy for Breadth {
     }
 
     fn rank(&self, model: &GoalModel, activity: &Activity, k: usize) -> Vec<Scored> {
+        self.rank_observed(model, activity, k).0
+    }
+
+    fn rank_observed(
+        &self,
+        model: &GoalModel,
+        activity: &Activity,
+        k: usize,
+    ) -> (Vec<Scored>, usize) {
         if k == 0 || activity.is_empty() {
-            return Vec::new();
+            return (Vec::new(), 0);
         }
         // Hot path: a dense scoreboard with a dirty list. The accumulation
         // touches each candidate many times (once per shared
@@ -100,6 +109,7 @@ impl Strategy for Breadth {
                 *slot += comm;
             }
         }
+        let num_candidates = touched.len();
         let mut top = TopK::new(k);
         for a in touched {
             if setops::contains(h, a) {
@@ -107,7 +117,7 @@ impl Strategy for Breadth {
             }
             top.push(Scored::new(ActionId::new(a), board[a as usize] as f64));
         }
-        top.into_sorted()
+        (top.into_sorted(), num_candidates)
     }
 }
 

@@ -87,8 +87,17 @@ impl Strategy for Focus {
     }
 
     fn rank(&self, model: &GoalModel, activity: &Activity, k: usize) -> Vec<Scored> {
+        self.rank_observed(model, activity, k).0
+    }
+
+    fn rank_observed(
+        &self,
+        model: &GoalModel,
+        activity: &Activity,
+        k: usize,
+    ) -> (Vec<Scored>, usize) {
         if k == 0 || activity.is_empty() {
-            return Vec::new();
+            return (Vec::new(), 0);
         }
         let h = activity.raw();
 
@@ -106,23 +115,25 @@ impl Strategy for Focus {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.1.cmp(&b.1))
         });
+        // Focus scores implementations, not actions: report those.
+        let num_candidates = ranked.len();
 
         // Pop the remaining actions of each implementation in rank order.
         let mut out: Vec<Scored> = Vec::with_capacity(k);
         let mut seen: Vec<u32> = h.to_vec(); // sorted set of excluded actions
         let mut remaining = Vec::new();
-        for (score, p) in ranked {
+        'fill: for (score, p) in ranked {
             setops::difference_into(model.impl_actions(ImplId::new(p)), &seen, &mut remaining);
             for &a in &remaining {
                 out.push(Scored::new(ActionId::new(a), score));
                 let pos = seen.binary_search(&a).unwrap_err();
                 seen.insert(pos, a);
                 if out.len() == k {
-                    return out;
+                    break 'fill;
                 }
             }
         }
-        out
+        (out, num_candidates)
     }
 }
 

@@ -39,6 +39,25 @@ pub trait Strategy: Send + Sync {
     /// Ranks candidate actions (actions not in `activity`) and returns the
     /// top `k`, best first.
     fn rank(&self, model: &GoalModel, activity: &Activity, k: usize) -> Vec<Scored>;
+
+    /// Like [`Strategy::rank`], additionally reporting the number of
+    /// candidates the strategy scored *before* top-k truncation — actions
+    /// for Best Match and Breadth, implementations for Focus. The
+    /// observability layer feeds this into the per-strategy
+    /// `strategy.<name>.candidates` histogram.
+    ///
+    /// The default falls back to the truncated result length; strategies
+    /// override it where the true candidate count is available for free.
+    fn rank_observed(
+        &self,
+        model: &GoalModel,
+        activity: &Activity,
+        k: usize,
+    ) -> (Vec<Scored>, usize) {
+        let ranked = self.rank(model, activity, k);
+        let candidates = ranked.len();
+        (ranked, candidates)
+    }
 }
 
 /// The paper's four goal-based mechanisms with default settings, in the

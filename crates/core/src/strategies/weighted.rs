@@ -233,11 +233,17 @@ mod tests {
         // Focus: no recommendation may come from p1/p2 exclusively — a3
         // (id 2) only appears in p2, so it must vanish.
         let recs = WeightedFocus::new(FocusVariant::Completeness, w.clone()).rank(&m, &h, 10);
-        assert!(recs.iter().all(|r| r.action != ActionId::new(2)), "{recs:?}");
+        assert!(
+            recs.iter().all(|r| r.action != ActionId::new(2)),
+            "{recs:?}"
+        );
 
         // Breadth: a3's only contribution path is p2 → absent.
         let recs = WeightedBreadth::new(w.clone()).rank(&m, &h, 10);
-        assert!(recs.iter().all(|r| r.action != ActionId::new(2)), "{recs:?}");
+        assert!(
+            recs.iter().all(|r| r.action != ActionId::new(2)),
+            "{recs:?}"
+        );
     }
 
     #[test]
@@ -257,8 +263,11 @@ mod tests {
         // H = {a1, a2}: base Focus_cmp picks p5's a6 first. Boost g1 so p2
         // (missing a3) outranks p5.
         let w = GoalWeights::new().with(GoalId::new(0), 5.0);
-        let recs = WeightedFocus::new(FocusVariant::Completeness, w)
-            .rank(&m, &Activity::from_raw([0, 1]), 1);
+        let recs = WeightedFocus::new(FocusVariant::Completeness, w).rank(
+            &m,
+            &Activity::from_raw([0, 1]),
+            1,
+        );
         assert_eq!(recs[0].action, ActionId::new(2)); // a3 from p2
     }
 
@@ -270,8 +279,11 @@ mod tests {
         // one-dimensional on g5, where a6's (0,1) pattern matches the
         // profile direction as well as a1's.
         let w = GoalWeights::new().with(GoalId::new(0), 0.0);
-        let recs = WeightedBestMatch::new(DistanceMetric::Cosine, w)
-            .rank(&m, &Activity::from_raw([1, 2]), 2);
+        let recs = WeightedBestMatch::new(DistanceMetric::Cosine, w).rank(
+            &m,
+            &Activity::from_raw([1, 2]),
+            2,
+        );
         // Both candidates now have distance 0 on the surviving axis; the
         // tie breaks by id → a1 (0) then a6 (5), both at score ≈ 0.
         assert_eq!(recs.len(), 2);

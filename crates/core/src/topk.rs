@@ -36,8 +36,16 @@ impl Scored {
 /// NaN scores sort last (treated as −∞), so a pathological distance
 /// computation can never crowd out real candidates.
 fn rank_cmp(a: &Scored, b: &Scored) -> Ordering {
-    let sa = if a.score.is_nan() { f64::NEG_INFINITY } else { a.score };
-    let sb = if b.score.is_nan() { f64::NEG_INFINITY } else { b.score };
+    let sa = if a.score.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        a.score
+    };
+    let sb = if b.score.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        b.score
+    };
     sb.partial_cmp(&sa)
         .unwrap_or(Ordering::Equal)
         .then_with(|| a.action.cmp(&b.action))

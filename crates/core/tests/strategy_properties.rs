@@ -2,7 +2,7 @@
 //! must hold for any library and any activity.
 
 use goalrec_core::strategies::default_strategies;
-use goalrec_core::{Activity, ActionId, GoalId, GoalLibrary, GoalModel, ImplId, Scored};
+use goalrec_core::{ActionId, Activity, GoalId, GoalLibrary, GoalModel, ImplId, Scored};
 use proptest::prelude::*;
 
 const MAX_ACTIONS: u32 = 18;
@@ -34,10 +34,7 @@ fn model_and_activity() -> impl Strategy<Value = (GoalModel, Activity)> {
                     .collect(),
             )
             .unwrap();
-            (
-                GoalModel::build(&lib).unwrap(),
-                Activity::from_raw(h),
-            )
+            (GoalModel::build(&lib).unwrap(), Activity::from_raw(h))
         })
 }
 
@@ -50,8 +47,7 @@ fn model_and_activity() -> impl Strategy<Value = (GoalModel, Activity)> {
 fn assert_ranked(list: &[Scored], strict_ties: bool) {
     for w in list.windows(2) {
         let ok = if strict_ties {
-            w[0].score > w[1].score
-                || (w[0].score == w[1].score && w[0].action < w[1].action)
+            w[0].score > w[1].score || (w[0].score == w[1].score && w[0].action < w[1].action)
         } else {
             w[0].score >= w[1].score
         };

@@ -232,8 +232,8 @@ mod tests {
         let path = tmp("rec.grlb");
         write_library_binary(&fm.library, &path).unwrap();
         let back = read_library_binary(&path).unwrap();
-        let a = GoalRecommender::from_library(&fm.library, Box::new(goalrec_core::Breadth))
-            .unwrap();
+        let a =
+            GoalRecommender::from_library(&fm.library, Box::new(goalrec_core::Breadth)).unwrap();
         let b = GoalRecommender::from_library(&back, Box::new(goalrec_core::Breadth)).unwrap();
         for cart in fm.carts.iter().take(10) {
             assert_eq!(a.recommend(cart, 10), b.recommend(cart, 10));

@@ -22,7 +22,7 @@
 //!   baselines genuine co-occurrence structure.
 
 use crate::zipf::{sample_weighted, Zipf};
-use goalrec_core::{Activity, ActionId, GoalId, GoalLibrary};
+use goalrec_core::{ActionId, Activity, GoalId, GoalLibrary};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -233,15 +233,15 @@ impl FoodMart {
             }
             impls.push((
                 dish,
-                ingredients.into_iter().map(ActionId::new).collect::<Vec<_>>(),
+                ingredients
+                    .into_iter()
+                    .map(ActionId::new)
+                    .collect::<Vec<_>>(),
             ));
         }
-        let library = GoalLibrary::from_id_implementations(
-            cfg.num_products as u32,
-            next_dish.max(1),
-            impls,
-        )
-        .expect("generator produces valid implementations");
+        let library =
+            GoalLibrary::from_id_implementations(cfg.num_products as u32, next_dish.max(1), impls)
+                .expect("generator produces valid implementations");
 
         // Users and carts. Noise items follow a steeper popularity curve
         // than recipe membership: staples land in most carts.
@@ -477,7 +477,10 @@ mod tests {
         let with_variants = per_goal.values().filter(|&&c| c > 1).count();
         // ~15% of recipes are variants, so a healthy number of dishes have
         // more than one implementation.
-        assert!(with_variants > 10, "only {with_variants} dishes with variants");
+        assert!(
+            with_variants > 10,
+            "only {with_variants} dishes with variants"
+        );
         // Goal ids are dense: every goal below num_goals() has an impl.
         assert_eq!(per_goal.len(), fm.library.num_goals());
     }

@@ -22,7 +22,7 @@
 //! [`FortyThings::goal_connectivity`].
 
 use crate::zipf::{sample_weighted, Zipf};
-use goalrec_core::{Activity, ActionId, GoalId, GoalLibrary, ImplId};
+use goalrec_core::{ActionId, Activity, GoalId, GoalLibrary, ImplId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};

@@ -7,7 +7,7 @@
 //! TPR study of Fig. 4 checks how many recommended actions fall in the
 //! hidden part).
 
-use goalrec_core::{Activity, ActionId};
+use goalrec_core::{ActionId, Activity};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -126,9 +126,7 @@ mod tests {
 
     #[test]
     fn batch_split_is_deterministic() {
-        let acts: Vec<Activity> = (0..30)
-            .map(|i| Activity::from_raw(i..i + 12))
-            .collect();
+        let acts: Vec<Activity> = (0..30).map(|i| Activity::from_raw(i..i + 12)).collect();
         assert_eq!(hide_split_all(&acts, 0.3, 5), hide_split_all(&acts, 0.3, 5));
         assert_ne!(hide_split_all(&acts, 0.3, 5), hide_split_all(&acts, 0.3, 6));
     }

@@ -2,23 +2,21 @@
 //! must produce a structurally valid world — the paper-calibrated presets
 //! are just two points in that space.
 
-use goalrec_datasets::{
-    hide_split_all, FoodMart, FoodMartConfig, FortyThings, FortyThingsConfig,
-};
+use goalrec_datasets::{hide_split_all, FoodMart, FoodMartConfig, FortyThings, FortyThingsConfig};
 use proptest::prelude::*;
 
 fn foodmart_cfg() -> impl Strategy<Value = FoodMartConfig> {
     (
-        20usize..80,   // products
-        2usize..8,     // subcategories
-        20usize..120,  // recipes
-        5usize..40,    // carts
-        2usize..5,     // recipe len min
-        0.0f64..0.9,   // cuisine affinity
-        0u64..50,      // seed
+        20usize..80,  // products
+        2usize..8,    // subcategories
+        20usize..120, // recipes
+        5usize..40,   // carts
+        2usize..5,    // recipe len min
+        0.0f64..0.9,  // cuisine affinity
+        0u64..50,     // seed
     )
-        .prop_map(|(products, subcats, recipes, carts, len_min, affinity, seed)| {
-            FoodMartConfig {
+        .prop_map(
+            |(products, subcats, recipes, carts, len_min, affinity, seed)| FoodMartConfig {
                 num_products: products,
                 num_subcategories: subcats,
                 num_classes: 2,
@@ -37,32 +35,34 @@ fn foodmart_cfg() -> impl Strategy<Value = FoodMartConfig> {
                 dish_coverage: 0.5,
                 noise_fraction: 0.3,
                 seed,
-            }
-        })
+            },
+        )
 }
 
 fn fortythree_cfg() -> impl Strategy<Value = FortyThingsConfig> {
     (
-        5usize..40,   // goals
-        10usize..80,  // actions
-        1usize..4,    // impls multiplier
-        5usize..60,   // users
-        1usize..6,    // families
-        0u64..50,     // seed
+        5usize..40,  // goals
+        10usize..80, // actions
+        1usize..4,   // impls multiplier
+        5usize..60,  // users
+        1usize..6,   // families
+        0u64..50,    // seed
     )
-        .prop_map(|(goals, actions, mult, users, families, seed)| FortyThingsConfig {
-            num_goals: goals,
-            num_actions: actions,
-            num_impls: goals * mult,
-            num_users: users,
-            num_families: families.min(goals),
-            impl_len: (1, 5),
-            family_leak: 0.1,
-            goal_count_weights: [5.0, 2.0, 1.0, 1.0],
-            many_goals: (4, 5),
-            goal_skew: 0.7,
-            seed,
-        })
+        .prop_map(
+            |(goals, actions, mult, users, families, seed)| FortyThingsConfig {
+                num_goals: goals,
+                num_actions: actions,
+                num_impls: goals * mult,
+                num_users: users,
+                num_families: families.min(goals),
+                impl_len: (1, 5),
+                family_leak: 0.1,
+                goal_count_weights: [5.0, 2.0, 1.0, 1.0],
+                many_goals: (4, 5),
+                goal_skew: 0.7,
+                seed,
+            },
+        )
 }
 
 proptest! {

@@ -12,7 +12,7 @@ use goalrec_baselines::{
     TrainingSet,
 };
 use goalrec_core::{
-    batch::recommend_batch_actions, Activity, ActionId, GoalModel, GoalRecommender, Recommender,
+    batch::recommend_batch_actions, ActionId, Activity, GoalModel, GoalRecommender, Recommender,
 };
 use goalrec_datasets::{
     hide_split_all, FoodMart, FoodMartConfig, FortyThings, FortyThingsConfig, SplitActivity,
@@ -214,8 +214,15 @@ impl EvalContext {
     /// Generates both datasets, trains every method, and precomputes all
     /// recommendation lists.
     pub fn build(cfg: EvalConfig) -> Self {
-        let foodmart = build_foodmart(&cfg);
-        let fortythree = build_fortythree(&cfg);
+        let _span = goalrec_obs::Timer::scoped("eval.context.build");
+        let foodmart = {
+            let _span = goalrec_obs::Timer::scoped("eval.context.foodmart");
+            build_foodmart(&cfg)
+        };
+        let fortythree = {
+            let _span = goalrec_obs::Timer::scoped("eval.context.fortythree");
+            build_fortythree(&cfg)
+        };
         Self {
             cfg,
             foodmart,
@@ -362,11 +369,7 @@ fn build_fortythree(cfg: &EvalConfig) -> FortyThreeEval {
     }
 }
 
-fn goal_based_methods(
-    model: &Arc<GoalModel>,
-    inputs: &[Activity],
-    k: usize,
-) -> Vec<MethodLists> {
+fn goal_based_methods(model: &Arc<GoalModel>, inputs: &[Activity], k: usize) -> Vec<MethodLists> {
     GoalRecommender::all_strategies(Arc::clone(model))
         .into_iter()
         .map(|rec| MethodLists {

@@ -9,9 +9,7 @@ use crate::context::EvalContext;
 use crate::metrics::completeness::usefulness;
 use crate::metrics::overlap::mean_overlap;
 use crate::report::{f3, pct, TextTable};
-use goalrec_core::{
-    batch::recommend_batch_actions, BestMatch, DistanceMetric, GoalRecommender,
-};
+use goalrec_core::{batch::recommend_batch_actions, BestMatch, DistanceMetric, GoalRecommender};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;

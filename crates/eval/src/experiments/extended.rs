@@ -127,9 +127,18 @@ impl fmt::Display for Extended {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for ds in &self.datasets {
             let mut t = TextTable::new(
-                format!("Extended evaluation ({}): beyond-accuracy + ranking", ds.dataset),
+                format!(
+                    "Extended evaluation ({}): beyond-accuracy + ranking",
+                    ds.dataset
+                ),
                 &[
-                    "Method", "Novelty", "ILD", "Coverage", "Serendip.", "NDCG@10", "P@10",
+                    "Method",
+                    "Novelty",
+                    "ILD",
+                    "Coverage",
+                    "Serendip.",
+                    "NDCG@10",
+                    "P@10",
                     "R@10",
                 ],
             );

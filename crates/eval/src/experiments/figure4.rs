@@ -38,10 +38,7 @@ pub struct Figure4 {
     pub datasets: Vec<Figure4Dataset>,
 }
 
-fn rows_for(
-    methods: &[crate::context::MethodLists],
-    truths: &[Vec<ActionId>],
-) -> Vec<Figure4Row> {
+fn rows_for(methods: &[crate::context::MethodLists], truths: &[Vec<ActionId>]) -> Vec<Figure4Row> {
     methods
         .iter()
         .map(|m| {
@@ -92,10 +89,8 @@ impl fmt::Display for Figure4 {
                 t.row(vec![row.method.clone(), pct(row.top5), pct(row.top10)]);
             }
             writeln!(f, "{}", t.render())?;
-            let mut chart = BarChart::new(
-                format!("Figure 4 ({}): Avg TPR, top-10", ds.dataset),
-                40,
-            );
+            let mut chart =
+                BarChart::new(format!("Figure 4 ({}): Avg TPR, top-10", ds.dataset), 40);
             for row in &ds.rows {
                 chart.bar(row.method.clone(), row.top10);
             }

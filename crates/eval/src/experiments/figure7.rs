@@ -12,7 +12,7 @@
 //! constant `|L|`.
 
 use crate::report::TextTable;
-use goalrec_core::{Activity, ActionId, GoalId, GoalLibrary, GoalModel};
+use goalrec_core::{ActionId, Activity, GoalId, GoalLibrary, GoalModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -201,7 +201,14 @@ impl fmt::Display for Figure7 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut t = TextTable::new(
             "Figure 7: per-request latency of the goal-based strategies",
-            &["Sweep", "|L|", "Connectivity", "Model MiB", "Strategy", "Avg µs/request"],
+            &[
+                "Sweep",
+                "|L|",
+                "Connectivity",
+                "Model MiB",
+                "Strategy",
+                "Avg µs/request",
+            ],
         );
         for p in &self.points {
             t.row(vec![
@@ -246,7 +253,10 @@ mod tests {
             .map(|p| p.connectivity)
             .collect();
         assert_eq!(conns.len(), 2);
-        assert!(conns[1] > conns[0] * 2.0, "connectivity sweep flat: {conns:?}");
+        assert!(
+            conns[1] > conns[0] * 2.0,
+            "connectivity sweep flat: {conns:?}"
+        );
     }
 
     #[test]

@@ -69,8 +69,7 @@ pub fn run(ctx: &EvalContext) -> Figures56 {
         .iter()
         .filter(|m| m.goal_based)
         .map(|m| {
-            let hist =
-                figure5_histogram(&m.lists, ft.model.num_actions(), NUM_BUCKETS);
+            let hist = figure5_histogram(&m.lists, ft.model.num_actions(), NUM_BUCKETS);
             (m.name.clone(), hist.max_frequency)
         })
         .collect();
@@ -89,7 +88,13 @@ fn render(
 ) -> fmt::Result {
     let bounds: Vec<String> = rows
         .first()
-        .map(|r| r.histogram.bounds.iter().map(|b| format!("≤{b:.1}")).collect())
+        .map(|r| {
+            r.histogram
+                .bounds
+                .iter()
+                .map(|b| format!("≤{b:.1}"))
+                .collect()
+        })
         .unwrap_or_default();
     let mut header = vec!["Method"];
     header.extend(bounds.iter().map(String::as_str));
@@ -151,7 +156,12 @@ mod tests {
             }
         }
         for row in &figs.figure5 {
-            assert!((0.0..=1.0).contains(&row.gini), "{}: {}", row.method, row.gini);
+            assert!(
+                (0.0..=1.0).contains(&row.gini),
+                "{}: {}",
+                row.method,
+                row.gini
+            );
         }
         assert_eq!(figs.fortythree_max_frequency.len(), 4);
         for (m, v) in &figs.fortythree_max_frequency {

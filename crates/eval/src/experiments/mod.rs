@@ -5,9 +5,9 @@
 //! DESIGN.md experiment index maps each to its bench target.
 
 pub mod ablation;
+pub mod extended;
 pub mod figure4;
 pub mod figure7;
-pub mod extended;
 pub mod figures56;
 pub mod rerank;
 pub mod sessions;

@@ -20,7 +20,7 @@
 
 use crate::context::{EvalConfig, EvalContext};
 use crate::report::{f3, TextTable};
-use goalrec_core::{Activity, ActionId, GoalRecommender, ImplId, Recommender};
+use goalrec_core::{ActionId, Activity, GoalRecommender, ImplId, Recommender};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -167,11 +167,7 @@ fn simulate_user(
 }
 
 /// Number of the user's chosen implementations fully covered by `h`.
-fn completed_goals(
-    model: &goalrec_core::GoalModel,
-    true_impls: &[ImplId],
-    h: &Activity,
-) -> usize {
+fn completed_goals(model: &goalrec_core::GoalModel, true_impls: &[ImplId], h: &Activity) -> usize {
     true_impls
         .iter()
         .filter(|p| {
@@ -273,8 +269,22 @@ mod tests {
     #[test]
     fn simulation_progress_is_monotone_in_rounds() {
         let ctx = EvalContext::build(EvalConfig::test_scale());
-        let short = run(&ctx, &SessionConfig { k: 5, rounds: 1, max_users: Some(40) });
-        let long = run(&ctx, &SessionConfig { k: 5, rounds: 6, max_users: Some(40) });
+        let short = run(
+            &ctx,
+            &SessionConfig {
+                k: 5,
+                rounds: 1,
+                max_users: Some(40),
+            },
+        );
+        let long = run(
+            &ctx,
+            &SessionConfig {
+                k: 5,
+                rounds: 6,
+                max_users: Some(40),
+            },
+        );
         for (a, b) in short.rows.iter().zip(&long.rows) {
             assert!(
                 b.mean_goals_completed >= a.mean_goals_completed - 1e-9,

@@ -126,7 +126,12 @@ mod tests {
         assert_eq!(st.seeds.len(), 3);
         assert!(st.rows.iter().any(|r| r.method == method::FOCUS_CMP));
         for row in &st.rows {
-            assert!((0.0..=1.0).contains(&row.mean), "{}: {}", row.method, row.mean);
+            assert!(
+                (0.0..=1.0).contains(&row.mean),
+                "{}: {}",
+                row.method,
+                row.mean
+            );
             assert!(row.std >= 0.0);
             // Re-rolled worlds must not swing usefulness wildly.
             assert!(row.std < 0.2, "{} unstable: std {}", row.method, row.std);

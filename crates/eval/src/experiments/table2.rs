@@ -87,7 +87,10 @@ impl fmt::Display for Table2 {
                 .collect();
             header.extend(cols.iter().map(String::as_str));
             let mut t = TextTable::new(
-                format!("Table 2 ({}): top-10 overlap, goal-based vs standard", ds.dataset),
+                format!(
+                    "Table 2 ({}): top-10 overlap, goal-based vs standard",
+                    ds.dataset
+                ),
                 &header,
             );
             for row in &ds.rows {

@@ -98,7 +98,12 @@ mod tests {
             for i in 0..4 {
                 // Diagonal = self-overlap; 1.0 whenever any list is
                 // non-empty (0 only in the degenerate all-empty case).
-                assert!(ds.matrix[i][i] > 0.5, "{} diag {}", ds.dataset, ds.matrix[i][i]);
+                assert!(
+                    ds.matrix[i][i] > 0.5,
+                    "{} diag {}",
+                    ds.dataset,
+                    ds.matrix[i][i]
+                );
                 for j in 0..4 {
                     assert!((ds.matrix[i][j] - ds.matrix[j][i]).abs() < 1e-12);
                     assert!((0.0..=1.0).contains(&ds.matrix[i][j]));

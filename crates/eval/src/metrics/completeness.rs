@@ -6,7 +6,7 @@
 //! declared goals for 43Things, the whole goal space for FoodMart). Report
 //! per-list min / avg / max, then average each over all lists.
 
-use goalrec_core::{Activity, ActionId, GoalId, GoalModel};
+use goalrec_core::{ActionId, Activity, GoalId, GoalModel};
 use serde::{Deserialize, Serialize};
 
 /// Aggregated usefulness statistics over a batch of lists.
@@ -84,9 +84,18 @@ mod tests {
             6,
             3,
             vec![
-                (GoalId::new(0), vec![0, 1, 2].into_iter().map(ActionId::new).collect()),
-                (GoalId::new(1), vec![0, 3].into_iter().map(ActionId::new).collect()),
-                (GoalId::new(2), vec![4, 5].into_iter().map(ActionId::new).collect()),
+                (
+                    GoalId::new(0),
+                    vec![0, 1, 2].into_iter().map(ActionId::new).collect(),
+                ),
+                (
+                    GoalId::new(1),
+                    vec![0, 3].into_iter().map(ActionId::new).collect(),
+                ),
+                (
+                    GoalId::new(2),
+                    vec![4, 5].into_iter().map(ActionId::new).collect(),
+                ),
             ],
         )
         .unwrap();

@@ -217,10 +217,7 @@ mod tests {
         let lib = GoalLibrary::from_id_implementations(
             2,
             2,
-            vec![
-                (GoalId::new(0), ids(&[0, 1])),
-                (GoalId::new(1), ids(&[0])),
-            ],
+            vec![(GoalId::new(0), ids(&[0, 1])), (GoalId::new(1), ids(&[0]))],
         )
         .unwrap();
         let model = GoalModel::build(&lib).unwrap();

@@ -125,11 +125,7 @@ mod tests {
 
     #[test]
     fn diversity_complements_similarity() {
-        let features = ItemFeatures::new(vec![
-            vec![(0, 1.0)],
-            vec![(0, 1.0)],
-            vec![(1, 1.0)],
-        ]);
+        let features = ItemFeatures::new(vec![vec![(0, 1.0)], vec![(0, 1.0)], vec![(1, 1.0)]]);
         assert_eq!(intra_list_diversity(&features, &[ids(&[0, 1])]), 0.0);
         assert_eq!(intra_list_diversity(&features, &[ids(&[0, 2])]), 1.0);
         // Short lists skipped.

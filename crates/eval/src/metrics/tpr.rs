@@ -31,7 +31,10 @@ pub fn avg_tpr(lists: &[Vec<ActionId>], truths: &[Vec<ActionId>]) -> f64 {
         if truth.is_empty() {
             continue;
         }
-        debug_assert!(truth.windows(2).all(|w| w[0] < w[1]), "truth must be sorted");
+        debug_assert!(
+            truth.windows(2).all(|w| w[0] < w[1]),
+            "truth must be sorted"
+        );
         sum += list_tpr(list, truth);
         n += 1;
     }

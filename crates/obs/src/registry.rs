@@ -1,0 +1,224 @@
+//! The metric registry: named handles with a process-global instance.
+
+use crate::histogram::{Histogram, Unit};
+use crate::report::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsReport};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A monotonically increasing event counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.inc_by(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn inc_by(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins `f64` metric (stored as bit pattern in an atomic).
+#[derive(Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.0.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Interns metric handles by name and snapshots them into reports.
+///
+/// Handle lookup takes a read lock; registration (first use of a name)
+/// briefly takes the write lock. Handles are `Arc`s — hot call sites keep
+/// them around and never touch the lock again.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn intern<T>(
+    map: &RwLock<BTreeMap<String, Arc<T>>>,
+    name: &str,
+    make: impl FnOnce() -> T,
+) -> Arc<T> {
+    if let Some(found) = map.read().expect("metric registry poisoned").get(name) {
+        return Arc::clone(found);
+    }
+    let mut write = map.write().expect("metric registry poisoned");
+    Arc::clone(
+        write
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(make())),
+    )
+}
+
+impl Registry {
+    /// A fresh, empty registry (tests; production code uses [`global`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counter handle, registered on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        intern(&self.counters, name, Counter::default)
+    }
+
+    /// Gauge handle, registered on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        intern(&self.gauges, name, Gauge::default)
+    }
+
+    /// Count-unit histogram handle, registered on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        intern(&self.histograms, name, || Histogram::new(Unit::Count))
+    }
+
+    /// Nanosecond-unit histogram handle, registered on first use.
+    ///
+    /// The unit is fixed at registration: if the name already exists the
+    /// existing histogram is returned regardless of unit.
+    pub fn histogram_ns(&self, name: &str) -> Arc<Histogram> {
+        intern(&self.histograms, name, || Histogram::new(Unit::Nanos))
+    }
+
+    /// A point-in-time, serializable copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsReport {
+        let counters = self
+            .counters
+            .read()
+            .expect("metric registry poisoned")
+            .iter()
+            .map(|(name, c)| CounterSnapshot {
+                name: name.clone(),
+                value: c.get(),
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .expect("metric registry poisoned")
+            .iter()
+            .map(|(name, g)| GaugeSnapshot {
+                name: name.clone(),
+                value: g.get(),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("metric registry poisoned")
+            .iter()
+            .map(|(name, h)| HistogramSnapshot::of(name, h))
+            .collect();
+        MetricsReport {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Zeroes every registered metric in place. Outstanding handles stay
+    /// bound to their metrics and keep recording.
+    pub fn reset(&self) {
+        for c in self
+            .counters
+            .read()
+            .expect("metric registry poisoned")
+            .values()
+        {
+            c.reset();
+        }
+        for g in self
+            .gauges
+            .read()
+            .expect("metric registry poisoned")
+            .values()
+        {
+            g.reset();
+        }
+        for h in self
+            .histograms
+            .read()
+            .expect("metric registry poisoned")
+            .values()
+        {
+            h.reset();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_interned() {
+        let r = Registry::new();
+        r.counter("x").inc();
+        r.counter("x").inc();
+        assert_eq!(r.counter("x").get(), 2);
+        assert!(Arc::ptr_eq(&r.counter("x"), &r.counter("x")));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("b.count").inc();
+        r.counter("a.count").inc_by(5);
+        r.gauge("z.rate").set(1.25);
+        r.histogram_ns("m.latency").record(100);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["a.count", "b.count"]);
+        assert_eq!(snap.gauges[0].value, 1.25);
+        assert_eq!(snap.histograms[0].count, 1);
+    }
+
+    #[test]
+    fn reset_keeps_registrations() {
+        let r = Registry::new();
+        let c = r.counter("keep");
+        c.inc_by(9);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(r.snapshot().counter("keep"), Some(1));
+    }
+}

@@ -1,0 +1,83 @@
+//! RAII span timing into nanosecond histograms.
+
+use crate::histogram::Histogram;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Times a scope and records the elapsed nanoseconds when dropped.
+///
+/// ```
+/// use goalrec_obs::Timer;
+/// {
+///     let _span = Timer::scoped("model.build.a_idx");
+///     // ... work measured until end of scope ...
+/// }
+/// assert_eq!(goalrec_obs::snapshot().histogram("model.build.a_idx").unwrap().count, 1);
+/// ```
+pub struct Timer {
+    hist: Option<Arc<Histogram>>,
+    start: Instant,
+}
+
+impl Timer {
+    /// Starts a span recording into the global registry's nanosecond
+    /// histogram `name`.
+    pub fn scoped(name: &str) -> Timer {
+        Timer::into_histogram(crate::global().histogram_ns(name))
+    }
+
+    /// Starts a span recording into a pre-resolved histogram handle
+    /// (hot paths that avoid the registry lookup).
+    pub fn into_histogram(hist: Arc<Histogram>) -> Timer {
+        Timer {
+            hist: Some(hist),
+            start: Instant::now(),
+        }
+    }
+
+    /// Stops the span early, recording it and returning the elapsed time.
+    pub fn stop(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        if let Some(hist) = self.hist.take() {
+            hist.record_duration(elapsed);
+        }
+        elapsed
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if let Some(hist) = self.hist.take() {
+            hist.record_duration(self.start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Registry, Unit};
+
+    #[test]
+    fn drop_records_once() {
+        let r = Registry::new();
+        let h = r.histogram_ns("span");
+        {
+            let _t = Timer::into_histogram(Arc::clone(&h));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.max() >= 1_000_000, "recorded {}ns", h.max());
+        assert_eq!(h.unit(), Unit::Nanos);
+    }
+
+    #[test]
+    fn stop_records_once_and_returns_elapsed() {
+        let r = Registry::new();
+        let h = r.histogram_ns("span");
+        let t = Timer::into_histogram(Arc::clone(&h));
+        let elapsed = t.stop();
+        assert_eq!(h.count(), 1, "stop then drop must not double-record");
+        assert!(elapsed.as_nanos() > 0);
+    }
+}

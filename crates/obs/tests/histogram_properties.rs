@@ -1,0 +1,113 @@
+//! Property tests for the log2 histogram: bucket geometry, percentile
+//! accuracy relative to exact quantiles, and lossless concurrent recording.
+
+use goalrec_obs::{Histogram, Unit};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn bucket_boundaries_are_monotone_and_tile_u64() {
+    // Lower bounds strictly increase, each bucket's upper bound is one
+    // below the next bucket's lower bound, and together they tile
+    // [0, u64::MAX] with no gaps or overlaps.
+    for i in 1..=64usize {
+        assert!(
+            Histogram::bucket_lower(i) > Histogram::bucket_lower(i - 1),
+            "lower bounds not strictly increasing at bucket {i}"
+        );
+        assert!(
+            Histogram::bucket_upper(i) >= Histogram::bucket_lower(i),
+            "bucket {i} is empty"
+        );
+        assert_eq!(
+            Histogram::bucket_upper(i - 1).wrapping_add(1),
+            Histogram::bucket_lower(i),
+            "gap or overlap between buckets {} and {i}",
+            i - 1
+        );
+    }
+    assert_eq!(Histogram::bucket_lower(0), 0);
+    assert_eq!(Histogram::bucket_upper(64), u64::MAX);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn values_land_in_their_bucket(v in 0u64..=u64::MAX) {
+        let i = Histogram::bucket_index(v);
+        prop_assert!(Histogram::bucket_lower(i) <= v);
+        prop_assert!(v <= Histogram::bucket_upper(i));
+    }
+
+    #[test]
+    fn percentiles_within_one_bucket_of_exact_quantiles(
+        mut values in proptest::collection::vec(0u64..1_000_000, 1..400),
+        q_permille in 10u32..=1000,
+    ) {
+        let q = q_permille as f64 / 1000.0;
+        let h = Histogram::new(Unit::Count);
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        // Exact nearest-rank quantile over the raw values.
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1];
+        let estimate = h.quantile(q);
+        let (be, bx) = (Histogram::bucket_index(estimate), Histogram::bucket_index(exact));
+        prop_assert!(
+            be.abs_diff(bx) <= 1,
+            "q={q}: estimate {estimate} (bucket {be}) vs exact {exact} (bucket {bx})"
+        );
+    }
+
+    #[test]
+    fn count_sum_min_max_match_reference(values in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let h = Histogram::new(Unit::Count);
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+    }
+}
+
+#[test]
+fn concurrent_recording_loses_no_counts() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+    let h = Arc::new(Histogram::new(Unit::Nanos));
+    std::thread::scope(|s| {
+        for t in 0..THREADS as u64 {
+            let h = Arc::clone(&h);
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Distinct per-thread value streams across many buckets.
+                    h.record(t * 1_000 + (i % 17) * (i % 1021));
+                }
+            });
+        }
+    });
+    assert_eq!(h.count(), THREADS as u64 * PER_THREAD);
+    // Replaying the same values sequentially must produce identical state:
+    // no increment was lost or double-counted in any bucket.
+    let reference = Histogram::new(Unit::Nanos);
+    for t in 0..THREADS as u64 {
+        for i in 0..PER_THREAD {
+            reference.record(t * 1_000 + (i % 17) * (i % 1021));
+        }
+    }
+    assert_eq!(h.sum(), reference.sum());
+    assert_eq!(h.min(), reference.min());
+    assert_eq!(h.max(), reference.max());
+    for q in [0.5, 0.95, 0.99] {
+        assert_eq!(
+            h.quantile(q),
+            reference.quantile(q),
+            "quantile {q} diverged"
+        );
+    }
+}

@@ -135,7 +135,7 @@ mod tests {
 
     #[test]
     fn extracted_library_supports_recommendation() {
-        use goalrec_core::{Activity, GoalRecommender, Recommender, strategies::Breadth};
+        use goalrec_core::{strategies::Breadth, Activity, GoalRecommender, Recommender};
         let build = build_library(&stories(), &ActionExtractor::default()).unwrap();
         let lib = &build.library;
         let rec = GoalRecommender::from_library(lib, Box::new(Breadth)).unwrap();
@@ -144,7 +144,11 @@ mod tests {
         assert!(!top.is_empty());
         // Recommendations come from "lose weight" implementations.
         let names: Vec<String> = top.iter().map(|&a| lib.action_name(a)).collect();
-        assert!(names.iter().any(|n| n.contains("stop eat") || n.contains("drink")),
-            "unexpected recs: {names:?}");
+        assert!(
+            names
+                .iter()
+                .any(|n| n.contains("stop eat") || n.contains("drink")),
+            "unexpected recs: {names:?}"
+        );
     }
 }

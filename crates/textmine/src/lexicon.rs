@@ -12,30 +12,110 @@ use std::sync::OnceLock;
 /// Common action verbs in goal-fulfilment stories (stored unstemmed here;
 /// compare via [`is_action_verb`], which stems both sides).
 const ACTION_VERBS: &[&str] = &[
-    "add", "ask", "attend", "avoid", "bake", "become", "begin", "book", "build", "buy", "call",
-    "change", "check", "choose", "clean", "close", "commit", "complete", "cook", "count",
-    "create", "cut", "decide", "download", "drink", "eat", "enroll", "exercise", "find",
-    "finish", "follow", "get", "give", "go", "grow", "hire", "install", "join", "jog", "keep",
-    "learn", "leave", "limit", "listen", "lift", "make", "measure", "meditate", "meet", "move",
-    "open", "organize", "pay", "plan", "practice", "prepare", "quit", "read", "record",
-    "reduce", "register", "remove", "run", "save", "schedule", "set", "sign", "sleep", "speak",
-    "start", "stop", "stretch", "study", "swim", "take", "talk", "track", "train", "travel",
-    "try", "turn", "update", "use", "visit", "volunteer", "wake", "walk", "watch", "write",
+    "add",
+    "ask",
+    "attend",
+    "avoid",
+    "bake",
+    "become",
+    "begin",
+    "book",
+    "build",
+    "buy",
+    "call",
+    "change",
+    "check",
+    "choose",
+    "clean",
+    "close",
+    "commit",
+    "complete",
+    "cook",
+    "count",
+    "create",
+    "cut",
+    "decide",
+    "download",
+    "drink",
+    "eat",
+    "enroll",
+    "exercise",
+    "find",
+    "finish",
+    "follow",
+    "get",
+    "give",
+    "go",
+    "grow",
+    "hire",
+    "install",
+    "join",
+    "jog",
+    "keep",
+    "learn",
+    "leave",
+    "limit",
+    "listen",
+    "lift",
+    "make",
+    "measure",
+    "meditate",
+    "meet",
+    "move",
+    "open",
+    "organize",
+    "pay",
+    "plan",
+    "practice",
+    "prepare",
+    "quit",
+    "read",
+    "record",
+    "reduce",
+    "register",
+    "remove",
+    "run",
+    "save",
+    "schedule",
+    "set",
+    "sign",
+    "sleep",
+    "speak",
+    "start",
+    "stop",
+    "stretch",
+    "study",
+    "swim",
+    "take",
+    "talk",
+    "track",
+    "train",
+    "travel",
+    "try",
+    "turn",
+    "update",
+    "use",
+    "visit",
+    "volunteer",
+    "wake",
+    "walk",
+    "watch",
+    "write",
 ];
 
 /// English stopwords dropped from action phrases (pronouns, articles,
 /// auxiliaries, common prepositions).
 const STOPWORDS: &[&str] = &[
     "a", "about", "after", "again", "all", "also", "am", "an", "and", "any", "are", "as", "at",
-    "be", "because", "been", "before", "being", "but", "by", "can", "could", "did", "do",
-    "does", "doing", "down", "each", "every", "few", "finally", "first", "for", "from", "had",
-    "has", "have", "having", "he", "her", "here", "him", "his", "how", "i", "if", "in", "into",
-    "is", "it", "its", "just", "me", "more", "most", "my", "myself", "next", "no", "not",
-    "now", "of", "off", "on", "once", "only", "or", "other", "our", "out", "over", "own",
-    "really", "she", "should", "so", "some", "soon", "such", "than", "that", "the", "their",
-    "them", "then", "there", "these", "they", "this", "those", "through", "to", "too", "under",
-    "until", "up", "very", "was", "we", "were", "what", "when", "where", "which", "while",
-    "who", "why", "will", "with", "would", "you", "your",
+    "be", "because", "been", "before", "being", "but", "by", "can", "could", "did", "do", "does",
+    "doing", "down", "each", "every", "few", "finally", "first", "for", "from", "had", "has",
+    "have", "having", "he", "her", "here", "him", "his", "how", "i", "if", "in", "into", "is",
+    "it", "its", "just", "me", "more", "most", "my", "myself", "next", "no", "not", "now", "of",
+    "off", "on", "once", "only", "or", "other", "our", "out", "over", "own", "really", "she",
+    "should", "so", "some", "soon", "such", "than", "that", "the", "their", "them", "then",
+    "there", "these", "they", "this", "those", "through", "to", "too", "under", "until", "up",
+    "very", "was", "we", "were", "what", "when", "where", "which", "while", "who", "why", "will",
+    "with", "would", "you", "your",
 ];
 
 fn verb_stems() -> &'static HashSet<String> {

@@ -216,10 +216,7 @@ fn step_4(w: &mut Vec<u8>) {
     }
     if ends_with(w, "ion") {
         let stem_len = w.len() - 3;
-        if stem_len > 0
-            && matches!(w[stem_len - 1], b's' | b't')
-            && measure(w, stem_len) > 1
-        {
+        if stem_len > 0 && matches!(w[stem_len - 1], b's' | b't') && measure(w, stem_len) > 1 {
             w.truncate(stem_len);
         }
         return;

@@ -121,12 +121,7 @@ const FILLERS: &[&str] = &[
 pub fn generate(cfg: &SynthConfig) -> SynthCorpus {
     let catalog: Vec<(String, Vec<String>)> = default_catalog()
         .into_iter()
-        .map(|(g, acts)| {
-            (
-                g.to_owned(),
-                acts.into_iter().map(str::to_owned).collect(),
-            )
-        })
+        .map(|(g, acts)| (g.to_owned(), acts.into_iter().map(str::to_owned).collect()))
         .collect();
     generate_with_catalog(cfg, &catalog)
 }
@@ -137,10 +132,7 @@ pub fn generate(cfg: &SynthConfig) -> SynthCorpus {
 /// Panics if the catalog is empty, any goal has no actions, or any action
 /// phrase does not start with a lexicon verb (it could never be
 /// extracted, making the ground truth unsatisfiable).
-pub fn generate_with_catalog(
-    cfg: &SynthConfig,
-    catalog: &[(String, Vec<String>)],
-) -> SynthCorpus {
+pub fn generate_with_catalog(cfg: &SynthConfig, catalog: &[(String, Vec<String>)]) -> SynthCorpus {
     assert!(!catalog.is_empty(), "catalog must not be empty");
     for (goal, actions) in catalog {
         assert!(!actions.is_empty(), "goal {goal} has no actions");
@@ -224,9 +216,7 @@ fn render_prose(actions: &[String], filler_probability: f64, rng: &mut StdRng) -
 /// Whether the inflected phrase stems back to the base phrase's verb —
 /// the precondition for the extractor to unify the two surface forms.
 fn conflates(base: &str, inflected: &str) -> bool {
-    let v = |p: &str| {
-        crate::stem::stem(p.split_whitespace().next().unwrap_or(""))
-    };
+    let v = |p: &str| crate::stem::stem(p.split_whitespace().next().unwrap_or(""));
     v(base) == v(inflected)
 }
 
@@ -317,7 +307,11 @@ mod tests {
         // Shared actions across goals exist ("join a gym" serves both
         // lose-weight and get-fit).
         let stats = build.library.stats();
-        assert!(stats.connectivity > 1.5, "connectivity {}", stats.connectivity);
+        assert!(
+            stats.connectivity > 1.5,
+            "connectivity {}",
+            stats.connectivity
+        );
     }
 
     #[test]

@@ -55,10 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Show which recipes the best goal-based pick advances.
     let model = GoalModel::build(&fm.library)?;
-    let breadth = GoalRecommender::from_library(
-        &fm.library,
-        Box::new(goalrec::core::strategies::Breadth),
-    )?;
+    let breadth =
+        GoalRecommender::from_library(&fm.library, Box::new(goalrec::core::strategies::Breadth))?;
     if let Some(first) = breadth.recommend_actions(cart, 1).first() {
         let goals = model.goal_space_of_action(*first);
         println!(

@@ -15,8 +15,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut b = LibraryBuilder::new();
     b.add_impl("lose weight", ["join gym", "drink water", "cut sugar"])?;
     b.add_impl("lose weight", ["start jogging", "cook at home"])?;
-    b.add_impl("save money", ["cook at home", "track expenses", "cut subscriptions"])?;
-    b.add_impl("learn spanish", ["enroll class", "watch films", "read novels"])?;
+    b.add_impl(
+        "save money",
+        ["cook at home", "track expenses", "cut subscriptions"],
+    )?;
+    b.add_impl(
+        "learn spanish",
+        ["enroll class", "watch films", "read novels"],
+    )?;
     let lib = b.build()?;
     let model = Arc::new(goalrec::core::GoalModel::build(&lib)?);
 
@@ -29,10 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Goal priorities: this user cares mostly about money.
     let weights = GoalWeights::new().with(lib.goal_id("save money").unwrap(), 5.0);
-    let weighted = GoalRecommender::new(
-        Arc::clone(&model),
-        Box::new(WeightedBreadth::new(weights)),
-    );
+    let weighted =
+        GoalRecommender::new(Arc::clone(&model), Box::new(WeightedBreadth::new(weights)));
     show(&lib, "WBreadth(save money ×5)", &weighted.recommend(&me, 4));
 
     // 3. Hybrid: fuse Breadth with Best Match via reciprocal-rank fusion

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     builder.add_impl("mashed potatoes", ["potatoes", "butter", "milk", "nutmeg"])?;
     builder.add_impl("pan-fried carrots", ["carrots", "butter", "nutmeg"])?;
     builder.add_impl("greek salad", ["tomatoes", "cucumber", "feta", "olives"])?;
-    builder.add_impl("carrot cake", ["carrots", "flour", "eggs", "sugar", "nutmeg"])?;
+    builder.add_impl(
+        "carrot cake",
+        ["carrots", "flour", "eggs", "sugar", "nutmeg"],
+    )?;
     let library = builder.build()?;
 
     // The customer's cart.

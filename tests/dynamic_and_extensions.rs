@@ -15,11 +15,11 @@ fn dynamic_ingestion_converges_to_static_model() {
     // Ingest the whole library one implementation at a time.
     let mut dm = DynamicGoalModel::new();
     for imp in ft.library.implementations() {
-        dm.add_implementation(imp.goal, imp.actions.clone()).unwrap();
+        dm.add_implementation(imp.goal, imp.actions.clone())
+            .unwrap();
     }
     let dynamic_model = Arc::new(dm.compile().unwrap());
-    let static_model =
-        Arc::new(goalrec::core::GoalModel::build(&ft.library).unwrap());
+    let static_model = Arc::new(goalrec::core::GoalModel::build(&ft.library).unwrap());
 
     let dyn_rec = GoalRecommender::new(dynamic_model, Box::new(goalrec::core::Breadth));
     let stat_rec = GoalRecommender::new(static_model, Box::new(goalrec::core::Breadth));
@@ -102,10 +102,12 @@ fn goal_priorities_steer_recommendations_toward_the_boosted_goal() {
     // boosted goal is in the visible activity's goal space at all.
     let gs = model.goal_space(visible.raw());
     if gs.binary_search(&boosted.raw()).is_ok() {
-        let contributes = model
-            .goal_impls(boosted)
-            .iter()
-            .any(|&p| model.impl_actions(goalrec::core::ImplId::new(p)).binary_search(&top[0].raw()).is_ok());
+        let contributes = model.goal_impls(boosted).iter().any(|&p| {
+            model
+                .impl_actions(goalrec::core::ImplId::new(p))
+                .binary_search(&top[0].raw())
+                .is_ok()
+        });
         assert!(contributes, "top pick does not serve the boosted goal");
     }
 }

@@ -50,12 +50,7 @@ fn recommendations_strictly_increase_goal_completeness() {
     let rec = GoalRecommender::new(Arc::clone(&model), Box::new(goalrec::core::Breadth));
     let lists = goalrec::core::batch::recommend_batch_actions(&rec, &inputs, 10);
 
-    let before = usefulness(
-        &model,
-        &inputs,
-        &vec![Vec::new(); inputs.len()],
-        &goals,
-    );
+    let before = usefulness(&model, &inputs, &vec![Vec::new(); inputs.len()], &goals);
     let after = usefulness(&model, &inputs, &lists, &goals);
     assert!(
         after.avg_avg > before.avg_avg + 0.05,
@@ -78,10 +73,7 @@ fn ranking_metrics_agree_with_tpr_ordering() {
     let goal = GoalRecommender::new(Arc::clone(&model), Box::new(goalrec::core::Breadth));
     let goal_lists = goalrec::core::batch::recommend_batch_actions(&goal, &inputs, 10);
 
-    let training = goalrec::baselines::TrainingSet::new(
-        inputs.clone(),
-        ft.library.num_actions(),
-    );
+    let training = goalrec::baselines::TrainingSet::new(inputs.clone(), ft.library.num_actions());
     let pop = goalrec::baselines::Popularity::from_training(&training);
     let pop_lists = goalrec::core::batch::recommend_batch_actions(&pop, &inputs, 10);
 
@@ -117,8 +109,7 @@ fn model_rebuild_roundtrip_through_disk() {
 
     let rec_a =
         GoalRecommender::from_library(&ft.library, Box::new(goalrec::core::Breadth)).unwrap();
-    let rec_b =
-        GoalRecommender::from_library(&reloaded, Box::new(goalrec::core::Breadth)).unwrap();
+    let rec_b = GoalRecommender::from_library(&reloaded, Box::new(goalrec::core::Breadth)).unwrap();
     for h in ft.full_activities.iter().take(20) {
         assert_eq!(rec_a.recommend(h, 10), rec_b.recommend(h, 10));
     }

@@ -14,7 +14,8 @@ fn example_library() -> goalrec::core::GoalLibrary {
     let mut b = LibraryBuilder::new();
     b.add_impl("meeting friends", ["a1", "a2"]).unwrap();
     b.add_impl("meeting friends", ["a1", "a3"]).unwrap();
-    b.add_impl("going to the office", ["a1", "a4", "a5"]).unwrap();
+    b.add_impl("going to the office", ["a1", "a4", "a5"])
+        .unwrap();
     b.add_impl("be warm", ["a4", "a6"]).unwrap();
     b.add_impl("hiking", ["a1", "a2", "a6"]).unwrap();
     b.build().unwrap()
@@ -35,7 +36,10 @@ fn example_4_3_spaces_of_a1() {
         .into_iter()
         .map(|g| lib.goal_name(goalrec::core::GoalId::new(g)))
         .collect();
-    assert_eq!(goals, vec!["meeting friends", "going to the office", "hiking"]);
+    assert_eq!(
+        goals,
+        vec!["meeting friends", "going to the office", "hiking"]
+    );
 
     // AS(a1) = {a2, a3, a4, a5, a6}.
     let acts: Vec<String> = model
@@ -71,10 +75,7 @@ fn section_5_3_best_match_ranks_a1_closest() {
     // the space) mirrors the user's effort.
     let lib = example_library();
     let rec = GoalRecommender::from_library(&lib, Box::new(BestMatch::default())).unwrap();
-    let h = Activity::from_actions([
-        lib.action_id("a2").unwrap(),
-        lib.action_id("a3").unwrap(),
-    ]);
+    let h = Activity::from_actions([lib.action_id("a2").unwrap(), lib.action_id("a3").unwrap()]);
     let top = rec.recommend_actions(&h, 5);
     assert_eq!(lib.action_name(top[0]), "a1");
 }
@@ -85,9 +86,12 @@ fn intro_scenario_recommends_pickles_and_nutmeg() {
     // salad) and nutmeg (mashed potatoes / pan-fried carrots) — items no
     // similarity-based method would justify.
     let mut b = LibraryBuilder::new();
-    b.add_impl("olivier salad", ["potatoes", "carrots", "pickles"]).unwrap();
-    b.add_impl("mashed potatoes", ["potatoes", "nutmeg"]).unwrap();
-    b.add_impl("pan-fried carrots", ["carrots", "nutmeg"]).unwrap();
+    b.add_impl("olivier salad", ["potatoes", "carrots", "pickles"])
+        .unwrap();
+    b.add_impl("mashed potatoes", ["potatoes", "nutmeg"])
+        .unwrap();
+    b.add_impl("pan-fried carrots", ["carrots", "nutmeg"])
+        .unwrap();
     let lib = b.build().unwrap();
     let cart = Activity::from_actions([
         lib.action_id("potatoes").unwrap(),

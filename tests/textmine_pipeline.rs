@@ -11,14 +11,23 @@ fn corpus() -> Vec<Story> {
             "lose weight",
             "1. join a gym\n2. stop eating at restaurants\n3. drink more water",
         ),
-        Story::new("lose weight", "I quit soda. I started jogging. I joined a gym."),
-        Story::new("get fit", "I joined a gym. I started jogging. I lifted weights."),
+        Story::new(
+            "lose weight",
+            "I quit soda. I started jogging. I joined a gym.",
+        ),
+        Story::new(
+            "get fit",
+            "I joined a gym. I started jogging. I lifted weights.",
+        ),
         Story::new(
             "save money",
             "- stop eating at restaurants\n- track expenses\n- cut subscriptions",
         ),
         Story::new("save money", "I sold my car. I started cooking at home."),
-        Story::new("learn spanish", "I enrolled in a class. I watched films in spanish."),
+        Story::new(
+            "learn spanish",
+            "I enrolled in a class. I watched films in spanish.",
+        ),
     ]
 }
 
@@ -58,7 +67,9 @@ fn recommendations_respect_goal_families() {
         .collect();
     assert!(!names.is_empty());
     assert!(
-        !names.iter().any(|n| n.contains("spanish") || n.contains("enrol")),
+        !names
+            .iter()
+            .any(|n| n.contains("spanish") || n.contains("enrol")),
         "unrelated goal leaked into {names:?}"
     );
 }
@@ -77,7 +88,9 @@ fn cross_goal_action_bridges_recommendations() {
         .iter()
         .map(|&a| lib.action_name(a))
         .collect();
-    let has_weight = names.iter().any(|n| n.contains("gym") || n.contains("water"));
+    let has_weight = names
+        .iter()
+        .any(|n| n.contains("gym") || n.contains("water"));
     let has_money = names
         .iter()
         .any(|n| n.contains("track expens") || n.contains("cut subscript"));

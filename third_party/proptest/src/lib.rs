@@ -1,0 +1,492 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Random-case property testing with the API subset this workspace uses:
+//! the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! [`Strategy`] implemented for numeric ranges, tuples, and
+//! character-class string patterns, the `prop_map` combinator,
+//! [`prop_oneof!`], [`collection::vec`] and [`collection::btree_set`],
+//! and the `prop_assert*` macros.
+//!
+//! Differences from the real crate: failing cases are **not shrunk**
+//! (the panic message carries the case number and seed instead), and
+//! `.proptest-regressions` files are ignored. Case generation is
+//! deterministic per test name, so failures reproduce run to run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Overrides the number of cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps debug-build suites quick
+        // while still exercising the space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Draws from `self`, then from the strategy `f` builds from that draw.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Boxes a strategy behind `dyn Strategy` (used by [`prop_oneof!`]).
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// The `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The `prop_flat_map` adapter.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A0: 0),
+    (A0: 0, A1: 1),
+    (A0: 0, A1: 1, A2: 2),
+    (A0: 0, A1: 1, A2: 2, A3: 3),
+    (A0: 0, A1: 1, A2: 2, A3: 3, A4: 4),
+    (A0: 0, A1: 1, A2: 2, A3: 3, A4: 4, A5: 5),
+    (A0: 0, A1: 1, A2: 2, A3: 3, A4: 4, A5: 5, A6: 6),
+    (A0: 0, A1: 1, A2: 2, A3: 3, A4: 4, A5: 5, A6: 6, A7: 7),
+);
+
+/// Character-class string pattern, e.g. `"[a-z]{1,15}"`.
+///
+/// Only the shape `[class]{min,max}` is supported (optionally `{n}`),
+/// which covers the patterns the workspace uses.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (chars, min, max) = parse_char_class_pattern(self);
+        let len = rng.gen_range(min..=max);
+        (0..len)
+            .map(|_| chars[rng.gen_range(0..chars.len())])
+            .collect()
+    }
+}
+
+fn parse_char_class_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+    let inner = pat
+        .strip_prefix('[')
+        .and_then(|rest| rest.split_once(']'))
+        .unwrap_or_else(|| panic!("unsupported string pattern `{pat}`: expected [class]{{m,n}}"));
+    let (class, rep) = inner;
+    let mut chars = Vec::new();
+    let cs: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < cs.len() {
+        if i + 2 < cs.len() && cs[i + 1] == '-' {
+            let (lo, hi) = (cs[i], cs[i + 2]);
+            assert!(lo <= hi, "bad char range in `{pat}`");
+            for c in lo..=hi {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(cs[i]);
+            i += 1;
+        }
+    }
+    assert!(!chars.is_empty(), "empty char class in `{pat}`");
+    let rep = rep
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition in `{pat}`"));
+    let (min, max) = match rep.split_once(',') {
+        Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+        None => {
+            let n = rep.trim().parse().unwrap();
+            (n, n)
+        }
+    };
+    (chars, min, max)
+}
+
+/// Weighted union of strategies with one output type.
+pub struct OneOf<V> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+    total: u64,
+}
+
+impl<V> OneOf<V> {
+    /// Builds from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        OneOf { arms, total }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, strat) in &self.arms {
+            if pick < *w as u64 {
+                return strat.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights exhausted");
+    }
+}
+
+/// Collection strategies (`vec`, `btree_set`).
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+
+    /// Strategy for `Vec<T>` with random length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>` with random cardinality in `size`.
+    ///
+    /// When the element space is smaller than the requested cardinality the
+    /// set saturates (generation is attempt-bounded, matching the real
+    /// crate's rejection behaviour).
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 20 + 32 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    impl SizeRange {
+        pub(crate) fn pick(&self, rng: &mut StdRng) -> usize {
+            if self.min >= self.max_exclusive {
+                self.min
+            } else {
+                rng.gen_range(self.min..self.max_exclusive)
+            }
+        }
+    }
+}
+
+/// Collection size specification: an exact length or a half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_exclusive: n,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+/// Seeds one test case deterministically from the test name and index.
+#[doc(hidden)]
+pub fn __case_rng(test_name: &str, case: u32) -> StdRng {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    test_name.hash(&mut h);
+    case.hash(&mut h);
+    StdRng::seed_from_u64(h.finish())
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` body runs
+/// for `cases` random bindings (no shrinking on failure).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::__case_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Weighted choice between strategies producing one type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $( ($weight as u32, $crate::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $( (1u32, $crate::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// The catch-all import surface of the real crate.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        boxed, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, OneOf, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, f in -1.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn collections_respect_size(
+            v in collection::vec(0u32..100, 2..6),
+            s in collection::btree_set(0u32..1000, 1..8),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(!s.is_empty() && s.len() < 8);
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![3 => (0u32..5).prop_map(|v| v as u64), 1 => Just(99u64)]) {
+            prop_assert!(x < 5 || x == 99);
+        }
+
+        #[test]
+        fn string_patterns(word in "[a-z]{1,15}") {
+            prop_assert!(!word.is_empty() && word.len() <= 15);
+            prop_assert!(word.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn deterministic_cases() {
+        let a = crate::__case_rng("t", 0);
+        let b = crate::__case_rng("t", 0);
+        let (mut a, mut b) = (a, b);
+        use rand::Rng;
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+}

@@ -1,0 +1,339 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses, with no dependency on `syn` or
+//! `quote` (neither is available offline): parsing walks the raw
+//! [`proc_macro::TokenStream`] and code generation goes through string
+//! templates parsed back into a token stream.
+//!
+//! Supported shapes:
+//! * named-field structs (field-level `#[serde(skip)]` honoured:
+//!   skipped on serialize, `Default::default()` on deserialize);
+//! * tuple structs — single-field ("newtype") structs serialize
+//!   transparently (matching serde's default and `#[serde(transparent)]`),
+//!   wider tuples serialize as arrays;
+//! * unit structs (serialize as `null`);
+//! * enums with unit variants only (serialize as the variant name string).
+//!
+//! Generics and data-carrying enum variants are intentionally rejected
+//! with a compile-time panic: nothing in the workspace needs them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Input {
+    name: String,
+    is_enum: bool,
+    variants: Vec<String>,
+    shape: Shape,
+}
+
+/// Derives the stand-in `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    let body = if input.is_enum {
+        let arms: String = input
+            .variants
+            .iter()
+            .map(|v| {
+                format!(
+                    "{n}::{v} => ::serde::Value::Str(\"{v}\".to_string()),",
+                    n = input.name,
+                    v = v
+                )
+            })
+            .collect();
+        format!("match *self {{ {arms} }}")
+    } else {
+        match &input.shape {
+            Shape::Named(fields) => {
+                let one = fields.iter().filter(|f| !f.skip).collect::<Vec<_>>();
+                let pushes: String = one
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "fields.push((\"{0}\".to_string(), \
+                             ::serde::Serialize::to_value(&self.{0})));",
+                            f.name
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let mut fields: Vec<(String, ::serde::Value)> = Vec::new(); \
+                     {pushes} ::serde::Value::Object(fields)"
+                )
+            }
+            Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+            Shape::Unit => "::serde::Value::Null".to_string(),
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{ \
+             fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}",
+        name = input.name
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the stand-in `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    let body = if input.is_enum {
+        let arms: String = input
+            .variants
+            .iter()
+            .map(|v| format!("\"{v}\" => Ok({n}::{v}),", n = input.name, v = v))
+            .collect();
+        format!(
+            "match v {{ \
+                 ::serde::Value::Str(s) => match s.as_str() {{ \
+                     {arms} \
+                     other => Err(::serde::Error::msg(format!( \
+                         \"unknown variant `{{other}}`\"))), \
+                 }}, \
+                 _ => Err(::serde::Error::msg(\"expected string variant\")), \
+             }}"
+        )
+    } else {
+        match &input.shape {
+            Shape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        if f.skip {
+                            format!("{}: ::core::default::Default::default()", f.name)
+                        } else {
+                            format!("{0}: ::serde::__field(v, \"{0}\")?", f.name)
+                        }
+                    })
+                    .collect();
+                format!("Ok(Self {{ {} }})", inits.join(", "))
+            }
+            Shape::Tuple(1) => "Ok(Self(::serde::Deserialize::from_value(v)?))".to_string(),
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::__element(v, {i})?"))
+                    .collect();
+                format!("Ok(Self({}))", items.join(", "))
+            }
+            Shape::Unit => "Ok(Self)".to_string(),
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{ \
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{ \
+                 {body} \
+             }} \
+         }}",
+        name = input.name
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}
+
+/// True when an attribute group body (the tokens inside `#[...]`) is a
+/// `serde(...)` list containing the word `word`.
+fn serde_attr_contains(tokens: &[TokenTree], word: &str) -> bool {
+    let mut it = tokens.iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(w) if w.to_string() == word))
+        }
+        _ => false,
+    }
+}
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (doc comments, #[serde(...)], #[repr(...)], …).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive stand-in does not support generic types ({name})");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+                name,
+                is_enum: false,
+                variants: Vec::new(),
+                shape: Shape::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Input {
+                name,
+                is_enum: false,
+                variants: Vec::new(),
+                shape: Shape::Tuple(count_tuple_fields(g.stream())),
+            },
+            _ => Input {
+                name,
+                is_enum: false,
+                variants: Vec::new(),
+                shape: Shape::Unit,
+            },
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+                name,
+                is_enum: true,
+                variants: parse_unit_variants(g.stream()),
+                shape: Shape::Unit,
+            },
+            other => panic!("serde derive: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Field attributes.
+        let mut skip = false;
+        loop {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if serde_attr_contains(&inner, "skip") {
+                            skip = true;
+                        }
+                    }
+                    i += 2;
+                }
+                TokenTree::Ident(id) if id.to_string() == "pub" => {
+                    i += 1;
+                    if matches!(&tokens.get(i), Some(TokenTree::Group(g))
+                        if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected field name, found {other}"),
+        };
+        i += 1; // name
+        i += 1; // ':'
+                // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for t in stream {
+        any = true;
+        trailing_comma = false;
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_unit_variants(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                let v = id.to_string();
+                i += 1;
+                match tokens.get(i) {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+                    Some(other) => panic!(
+                        "serde derive stand-in supports unit enum variants only; \
+                         variant `{v}` is followed by {other}"
+                    ),
+                }
+                variants.push(v);
+            }
+            other => panic!("serde derive: unexpected token in enum body: {other}"),
+        }
+    }
+    variants
+}
