@@ -6,6 +6,9 @@ cd "$(dirname "$0")"
 echo "== build =="
 cargo build --workspace --all-targets
 
+echo "== static analysis =="
+cargo run -q -p goalrec-lint --bin goalrec-lint
+
 echo "== tests =="
 cargo test --workspace
 

@@ -154,10 +154,12 @@ impl Apriori {
             for (pos, &consequent) in itemset.iter().enumerate() {
                 let mut antecedent = itemset.clone();
                 antecedent.remove(pos);
-                let ante_support = support_of
-                    .get(&antecedent)
-                    .copied()
-                    .expect("subsets of frequent sets are frequent");
+                // Subsets of frequent sets are frequent (the a-priori
+                // property), so the antecedent is always present; skip the
+                // rule rather than abort if that invariant ever breaks.
+                let Some(ante_support) = support_of.get(&antecedent).copied() else {
+                    continue;
+                };
                 let confidence = support as f64 / ante_support as f64;
                 if confidence >= cfg.min_confidence {
                     rules.push(Rule {

@@ -98,7 +98,7 @@ fn main() {
     let mut stdout = std::io::stdout().lock();
     for exp in &wanted {
         let t0 = Instant::now();
-        let span = obs::Timer::scoped(&format!("eval.{exp}.wall"));
+        let span = obs::Timer::scoped(&obs::names::eval_experiment_wall(exp));
         let (text, json) = match exp.as_str() {
             "stats" => stats(ctx.as_ref().expect("ctx")),
             "table2" => show(table2::run(ctx.as_ref().expect("ctx"))),

@@ -364,11 +364,11 @@ mod tests {
         // --metrics compiles the model, so the build spans must be live.
         let report = goalrec_obs::snapshot();
         for span in [
-            "model.build.a_idx",
-            "model.build.g_idx",
-            "model.build.gi_a_idx",
-            "model.build.gi_g_idx",
-            "model.build.a_gi_idx",
+            goalrec_obs::names::MODEL_BUILD_A_IDX,
+            goalrec_obs::names::MODEL_BUILD_G_IDX,
+            goalrec_obs::names::MODEL_BUILD_GI_A_IDX,
+            goalrec_obs::names::MODEL_BUILD_GI_G_IDX,
+            goalrec_obs::names::MODEL_BUILD_A_GI_IDX,
         ] {
             assert!(
                 report.histogram(span).is_some_and(|h| h.count >= 1),

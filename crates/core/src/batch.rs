@@ -9,7 +9,7 @@
 use crate::activity::Activity;
 use crate::recommend::Recommender;
 use crate::topk::Scored;
-use goalrec_obs as obs;
+use goalrec_obs::{self as obs, names};
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -25,10 +25,10 @@ fn observed_batch<T, F: Fn(&Activity) -> T + Sync>(
 where
     T: Send,
 {
-    obs::counter("batch.requests").inc_by(activities.len() as u64);
-    let latency = obs::histogram_ns("batch.latency");
+    obs::counter(names::BATCH_REQUESTS).inc_by(activities.len() as u64);
+    let latency = obs::histogram_ns(names::BATCH_LATENCY);
     let wall =
-        obs::Timer::into_histogram(obs::global().histogram_ns(&format!("batch.{method}.wall")));
+        obs::Timer::into_histogram(obs::global().histogram_ns(&names::batch_method_wall(method)));
     let out: Vec<T> = activities
         .par_iter()
         .map(|h| {
@@ -40,7 +40,7 @@ where
         .collect();
     let elapsed = wall.stop().as_secs_f64();
     if elapsed > 0.0 {
-        obs::gauge("batch.throughput_rps").set(activities.len() as f64 / elapsed);
+        obs::gauge(names::BATCH_THROUGHPUT_RPS).set(activities.len() as f64 / elapsed);
     }
     out
 }

@@ -57,13 +57,12 @@ impl DynamicGoalModel {
     }
 
     /// Seeds a dynamic model from an existing library.
-    pub fn from_library(library: &GoalLibrary) -> Self {
+    pub fn from_library(library: &GoalLibrary) -> Result<Self> {
         let mut dm = Self::new();
         for imp in library.implementations() {
-            dm.add_implementation(imp.goal, imp.actions.clone())
-                .expect("library implementations are valid");
+            dm.add_implementation(imp.goal, imp.actions.clone())?;
         }
-        dm
+        Ok(dm)
     }
 
     /// Adds one implementation, growing the action/goal id spaces as
@@ -71,16 +70,16 @@ impl DynamicGoalModel {
     pub fn add_implementation(&mut self, goal: GoalId, actions: Vec<ActionId>) -> Result<ImplId> {
         let mut acts: Vec<u32> = actions.into_iter().map(ActionId::raw).collect();
         setops::normalize(&mut acts);
-        if acts.is_empty() {
+        let Some(&last_action) = acts.last() else {
             return Err(Error::EmptyImplementation {
                 goal: goal.to_string(),
             });
-        }
+        };
         let pid = self.impl_actions.len() as u32;
         if goal.index() >= self.goal_impls.len() {
             self.goal_impls.resize(goal.index() + 1, Vec::new());
         }
-        let max_action = *acts.last().expect("non-empty") as usize;
+        let max_action = last_action as usize;
         if max_action >= self.action_impls.len() {
             self.action_impls.resize(max_action + 1, Vec::new());
         }
@@ -286,7 +285,7 @@ mod tests {
         b.add_impl("g1", ["a", "b"]).unwrap();
         b.add_impl("g2", ["b", "c"]).unwrap();
         let lib = b.build().unwrap();
-        let dm = DynamicGoalModel::from_library(&lib);
+        let dm = DynamicGoalModel::from_library(&lib).unwrap();
         assert_eq!(dm.len(), 2);
         let recompiled = dm.compile().unwrap();
         let original = GoalModel::build(&lib).unwrap();

@@ -18,6 +18,13 @@ pub enum Error {
     UnknownGoal(u32),
     /// The library contains no implementations, so no model can be built.
     EmptyLibrary,
+    /// The compiled index structures disagree about the library contents.
+    /// Raised by `GoalModel::validate`, the cross-consistency check over
+    /// the five indexes; seeing this means a construction bug.
+    CorruptModel {
+        /// Human-readable description of the first inconsistency found.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -29,6 +36,9 @@ impl fmt::Display for Error {
             Error::UnknownAction(a) => write!(f, "unknown action id a{a}"),
             Error::UnknownGoal(g) => write!(f, "unknown goal id g{g}"),
             Error::EmptyLibrary => write!(f, "goal implementation library is empty"),
+            Error::CorruptModel { detail } => {
+                write!(f, "goal model indexes are inconsistent: {detail}")
+            }
         }
     }
 }
@@ -53,6 +63,13 @@ mod tests {
         assert_eq!(
             Error::EmptyLibrary.to_string(),
             "goal implementation library is empty"
+        );
+        assert_eq!(
+            Error::CorruptModel {
+                detail: "boom".into()
+            }
+            .to_string(),
+            "goal model indexes are inconsistent: boom"
         );
     }
 

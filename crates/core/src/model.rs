@@ -17,7 +17,7 @@ use crate::error::{Error, Result};
 use crate::ids::{ActionId, GoalId, ImplId};
 use crate::library::{actions_as_raw, GoalLibrary};
 use crate::setops;
-use goalrec_obs::{self as obs, Timer};
+use goalrec_obs::{self as obs, names, Timer};
 
 /// The compiled association-based goal model.
 ///
@@ -50,15 +50,15 @@ impl GoalModel {
         if library.is_empty() {
             return Err(Error::EmptyLibrary);
         }
-        let _total = Timer::scoped("model.build.total");
-        obs::counter("model.builds").inc();
+        let _total = Timer::scoped(names::MODEL_BUILD_TOTAL);
+        obs::counter(names::MODEL_BUILDS).inc();
         let num_actions = library.num_actions();
         let num_goals = library.num_goals();
         let impls = library.implementations();
 
         // A-idx: per-action occurrence counts, sizing the A-GI posting
         // lists so the fill below never reallocates.
-        let span = Timer::scoped("model.build.a_idx");
+        let span = Timer::scoped(names::MODEL_BUILD_A_IDX);
         let mut action_counts = vec![0usize; num_actions];
         for imp in impls {
             for a in &imp.actions {
@@ -69,7 +69,7 @@ impl GoalModel {
 
         // G-idx: per-goal implementation counts, sizing the inverse
         // GI-G posting lists.
-        let span = Timer::scoped("model.build.g_idx");
+        let span = Timer::scoped(names::MODEL_BUILD_G_IDX);
         let mut goal_counts = vec![0usize; num_goals];
         for imp in impls {
             goal_counts[imp.goal.index()] += 1;
@@ -77,7 +77,7 @@ impl GoalModel {
         drop(span);
 
         // GI-A-idx: forward implementation → activity index.
-        let span = Timer::scoped("model.build.gi_a_idx");
+        let span = Timer::scoped(names::MODEL_BUILD_GI_A_IDX);
         let impl_actions: Vec<Box<[u32]>> = impls
             .iter()
             .map(|imp| actions_as_raw(imp).to_vec().into_boxed_slice())
@@ -88,7 +88,7 @@ impl GoalModel {
         // implementation lists. The counting-sort style fill keeps the
         // posting lists sorted because implementation ids are visited in
         // increasing order.
-        let span = Timer::scoped("model.build.gi_g_idx");
+        let span = Timer::scoped(names::MODEL_BUILD_GI_G_IDX);
         let mut impl_goal = Vec::with_capacity(impls.len());
         let mut goal_impls: Vec<Vec<u32>> =
             goal_counts.iter().map(|&c| Vec::with_capacity(c)).collect();
@@ -100,7 +100,7 @@ impl GoalModel {
 
         // A-GI-idx: action → implementation lists (`IS(a)`), same
         // counting-sort fill.
-        let span = Timer::scoped("model.build.a_gi_idx");
+        let span = Timer::scoped(names::MODEL_BUILD_A_GI_IDX);
         let mut action_impls: Vec<Vec<u32>> = action_counts
             .iter()
             .map(|&c| Vec::with_capacity(c))
@@ -123,10 +123,12 @@ impl GoalModel {
             num_actions,
             num_goals,
         };
-        obs::gauge("model.impls").set(model.num_impls() as f64);
-        obs::gauge("model.actions").set(num_actions as f64);
-        obs::gauge("model.goals").set(num_goals as f64);
-        obs::gauge("model.memory_bytes").set(model.memory_bytes() as f64);
+        obs::gauge(names::MODEL_IMPLS).set(model.num_impls() as f64);
+        obs::gauge(names::MODEL_ACTIONS).set(num_actions as f64);
+        obs::gauge(names::MODEL_GOALS).set(num_goals as f64);
+        obs::gauge(names::MODEL_MEMORY_BYTES).set(model.memory_bytes() as f64);
+        #[cfg(debug_assertions)]
+        model.validate()?;
         Ok(model)
     }
 
@@ -273,6 +275,101 @@ impl GoalModel {
             .fold(0.0, f64::max)
     }
 
+    /// Cross-checks that the five index structures describe one library.
+    ///
+    /// The compiled model stores the same `(g, A)` pairs five ways (A-idx
+    /// and G-idx as the dense id spaces, plus the three GI posting-list
+    /// indexes); any drift between them — ids out of range, unsorted
+    /// posting lists, a forward edge without its inverse — is a
+    /// construction bug that would otherwise surface as silently wrong
+    /// recommendations. `build` runs this check in debug builds.
+    ///
+    /// Cost: `O(Σ|A_p| · log)` — a membership probe per posting.
+    pub fn validate(&self) -> Result<()> {
+        let corrupt = |detail: String| Err(Error::CorruptModel { detail });
+        if self.impl_goal.len() != self.impl_actions.len() {
+            return corrupt(format!(
+                "GI-G-idx covers {} impls but GI-A-idx covers {}",
+                self.impl_goal.len(),
+                self.impl_actions.len()
+            ));
+        }
+        let num_impls = self.num_impls();
+        for (pid, actions) in self.impl_actions.iter().enumerate() {
+            if actions.is_empty() {
+                return corrupt(format!("GI-A-idx[p{pid}] is empty"));
+            }
+            if !setops::is_strictly_sorted(actions) {
+                return corrupt(format!("GI-A-idx[p{pid}] is not a strictly sorted set"));
+            }
+            for &a in actions.iter() {
+                if a as usize >= self.num_actions {
+                    return corrupt(format!("GI-A-idx[p{pid}] references unknown action a{a}"));
+                }
+                if !setops::contains(&self.action_impls[a as usize], pid as u32) {
+                    return corrupt(format!("A-GI-idx[a{a}] is missing p{pid} from GI-A-idx"));
+                }
+            }
+            let g = self.impl_goal[pid];
+            if g as usize >= self.num_goals {
+                return corrupt(format!("GI-G-idx[p{pid}] references unknown goal g{g}"));
+            }
+            if !setops::contains(&self.goal_impls[g as usize], pid as u32) {
+                return corrupt(format!("inverse GI-G-idx[g{g}] is missing p{pid}"));
+            }
+        }
+        for (g, impls) in self.goal_impls.iter().enumerate() {
+            if !setops::is_strictly_sorted(impls) {
+                return corrupt(format!("GI-G-idx[g{g}] is not a strictly sorted set"));
+            }
+            for &p in impls.iter() {
+                if p as usize >= num_impls {
+                    return corrupt(format!("GI-G-idx[g{g}] references unknown impl p{p}"));
+                }
+                if self.impl_goal[p as usize] != g as u32 {
+                    return corrupt(format!(
+                        "GI-G-idx[g{g}] lists p{p}, but p{p} fulfils g{}",
+                        self.impl_goal[p as usize]
+                    ));
+                }
+            }
+        }
+        for (a, impls) in self.action_impls.iter().enumerate() {
+            if !setops::is_strictly_sorted(impls) {
+                return corrupt(format!("A-GI-idx[a{a}] is not a strictly sorted set"));
+            }
+            for &p in impls.iter() {
+                if p as usize >= num_impls {
+                    return corrupt(format!("A-GI-idx[a{a}] references unknown impl p{p}"));
+                }
+                if !setops::contains(&self.impl_actions[p as usize], a as u32) {
+                    return corrupt(format!("A-GI-idx[a{a}] lists p{p}, which omits a{a}"));
+                }
+            }
+        }
+        if self.goal_impls.len() != self.num_goals {
+            return corrupt(format!(
+                "inverse GI-G-idx covers {} goals, G-idx declares {}",
+                self.goal_impls.len(),
+                self.num_goals
+            ));
+        }
+        if self.action_impls.len() != self.num_actions {
+            return corrupt(format!(
+                "A-GI-idx covers {} actions, A-idx declares {}",
+                self.action_impls.len(),
+                self.num_actions
+            ));
+        }
+        let goal_postings: usize = self.goal_impls.iter().map(|v| v.len()).sum();
+        if goal_postings != num_impls {
+            return corrupt(format!(
+                "inverse GI-G-idx holds {goal_postings} postings for {num_impls} impls"
+            ));
+        }
+        Ok(())
+    }
+
     /// Approximate heap footprint of the model in bytes. Reported by the
     /// scalability experiment alongside Fig. 7 timings.
     pub fn memory_bytes(&self) -> usize {
@@ -408,5 +505,35 @@ mod tests {
     fn build_rejects_empty_library() {
         let lib = crate::library::GoalLibrary::default();
         assert!(GoalModel::build(&lib).is_err());
+    }
+
+    #[test]
+    fn validate_accepts_freshly_built_model() {
+        assert_eq!(model().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_detects_a_corrupted_index() {
+        // Corrupt each index structure in turn; every corruption must be
+        // caught as a cross-consistency violation.
+        let mut m = model();
+        m.impl_goal[0] = 3; // p1 claims g5, inverse index still lists it under g1
+        assert!(matches!(m.validate(), Err(Error::CorruptModel { .. })));
+
+        let mut m = model();
+        m.goal_impls[0] = vec![0].into_boxed_slice(); // drop p2 from g1's inverse list
+        assert!(matches!(m.validate(), Err(Error::CorruptModel { .. })));
+
+        let mut m = model();
+        m.action_impls[0] = vec![0, 1, 2].into_boxed_slice(); // drop p5 from IS(a1)
+        assert!(matches!(m.validate(), Err(Error::CorruptModel { .. })));
+
+        let mut m = model();
+        m.impl_actions[2] = vec![3, 0, 4].into_boxed_slice(); // unsorted activity
+        assert!(matches!(m.validate(), Err(Error::CorruptModel { .. })));
+
+        let mut m = model();
+        m.num_actions = 3; // A-idx disagrees with the posting tables
+        assert!(matches!(m.validate(), Err(Error::CorruptModel { .. })));
     }
 }

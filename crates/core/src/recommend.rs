@@ -16,7 +16,7 @@ use crate::library::GoalLibrary;
 use crate::model::GoalModel;
 use crate::strategies::{BestMatch, Breadth, Focus, FocusVariant, Strategy};
 use crate::topk::Scored;
-use goalrec_obs as obs;
+use goalrec_obs::{self as obs, names};
 use std::sync::Arc;
 
 /// Anything that can produce a ranked top-k action list for an activity.
@@ -69,9 +69,9 @@ impl GoalRecommender {
         Self {
             model,
             strategy: strategy.into(),
-            requests: obs::counter(&format!("strategy.{name}.requests")),
-            latency: obs::histogram_ns(&format!("strategy.{name}.latency")),
-            candidates: obs::histogram(&format!("strategy.{name}.candidates")),
+            requests: obs::counter(&names::strategy_requests(name)),
+            latency: obs::histogram_ns(&names::strategy_latency(name)),
+            candidates: obs::histogram(&names::strategy_candidates(name)),
         }
     }
 

@@ -88,7 +88,11 @@ where
                 best = Some((i, mmr));
             }
         }
-        let (i, mmr) = best.expect("unused candidate exists");
+        let Some((i, mmr)) = best else {
+            // Unreachable while picked.len() < candidates.len(), but running
+            // out of candidates should end the selection, not the process.
+            break;
+        };
         used[i] = true;
         picked.push(Scored::new(candidates[i].action, mmr));
     }

@@ -44,8 +44,17 @@ impl Strategy for WeightedFocus {
     }
 
     fn rank(&self, model: &GoalModel, activity: &Activity, k: usize) -> Vec<Scored> {
+        self.rank_observed(model, activity, k).0
+    }
+
+    fn rank_observed(
+        &self,
+        model: &GoalModel,
+        activity: &Activity,
+        k: usize,
+    ) -> (Vec<Scored>, usize) {
         if k == 0 || activity.is_empty() {
-            return Vec::new();
+            return (Vec::new(), 0);
         }
         let h = activity.raw();
         let mut ranked: Vec<(f64, u32)> = Focus::candidate_impls(model, h)
@@ -66,22 +75,24 @@ impl Strategy for WeightedFocus {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.1.cmp(&b.1))
         });
+        // Like Focus: the strategy scores implementations, so report those.
+        let num_candidates = ranked.len();
 
         let mut out: Vec<Scored> = Vec::with_capacity(k);
         let mut seen: Vec<u32> = h.to_vec();
         let mut remaining = Vec::new();
-        for (score, p) in ranked {
+        'fill: for (score, p) in ranked {
             setops::difference_into(model.impl_actions(ImplId::new(p)), &seen, &mut remaining);
             for &a in &remaining {
                 out.push(Scored::new(ActionId::new(a), score));
                 let pos = seen.binary_search(&a).unwrap_err();
                 seen.insert(pos, a);
                 if out.len() == k {
-                    return out;
+                    break 'fill;
                 }
             }
         }
-        out
+        (out, num_candidates)
     }
 }
 
@@ -105,8 +116,17 @@ impl Strategy for WeightedBreadth {
     }
 
     fn rank(&self, model: &GoalModel, activity: &Activity, k: usize) -> Vec<Scored> {
+        self.rank_observed(model, activity, k).0
+    }
+
+    fn rank_observed(
+        &self,
+        model: &GoalModel,
+        activity: &Activity,
+        k: usize,
+    ) -> (Vec<Scored>, usize) {
         if k == 0 || activity.is_empty() {
-            return Vec::new();
+            return (Vec::new(), 0);
         }
         let h = activity.raw();
         let mut scores: HashMap<u32, f64> = HashMap::new();
@@ -125,11 +145,14 @@ impl Strategy for WeightedBreadth {
         for &a in h {
             scores.remove(&a);
         }
+        // Like Breadth: every touched candidate action counts, weighted
+        // down to the ones that survive the zero-weight filter.
+        let num_candidates = scores.len();
         let mut top = TopK::new(k);
         for (a, sc) in scores {
             top.push(Scored::new(ActionId::new(a), sc));
         }
-        top.into_sorted()
+        (top.into_sorted(), num_candidates)
     }
 }
 
@@ -154,13 +177,22 @@ impl Strategy for WeightedBestMatch {
     }
 
     fn rank(&self, model: &GoalModel, activity: &Activity, k: usize) -> Vec<Scored> {
+        self.rank_observed(model, activity, k).0
+    }
+
+    fn rank_observed(
+        &self,
+        model: &GoalModel,
+        activity: &Activity,
+        k: usize,
+    ) -> (Vec<Scored>, usize) {
         if k == 0 || activity.is_empty() {
-            return Vec::new();
+            return (Vec::new(), 0);
         }
         let h = activity.raw();
         let (goal_space, mut profile) = crate::profile::goal_space_and_profile(model, h);
         if goal_space.is_empty() {
-            return Vec::new();
+            return (Vec::new(), 0);
         }
         let coord_weights: Vec<f64> = goal_space
             .iter()
@@ -170,9 +202,12 @@ impl Strategy for WeightedBestMatch {
             *c *= w;
         }
 
+        // Like Best Match: candidates are the full action space of H.
+        let candidates = model.action_space(h);
+        let num_candidates = candidates.len();
         let mut top = TopK::new(k);
         let mut vec = GoalVector::zeros(&goal_space);
-        for a in model.action_space(h) {
+        for a in candidates {
             vec.counts.iter_mut().for_each(|c| *c = 0.0);
             for &p in model.action_impls(ActionId::new(a)) {
                 vec.add(model.impl_goal(ImplId::new(p)), 1.0);
@@ -183,7 +218,7 @@ impl Strategy for WeightedBestMatch {
             let dist = self.metric.distance(&profile.counts, &vec.counts);
             top.push(Scored::new(ActionId::new(a), -dist));
         }
-        top.into_sorted()
+        (top.into_sorted(), num_candidates)
     }
 }
 
@@ -288,6 +323,22 @@ mod tests {
         // tie breaks by id → a1 (0) then a6 (5), both at score ≈ 0.
         assert_eq!(recs.len(), 2);
         assert!(recs.iter().all(|r| r.score.abs() < 1e-9), "{recs:?}");
+    }
+
+    #[test]
+    fn rank_observed_matches_rank_and_reports_candidates() {
+        let m = example_model();
+        let h = Activity::from_raw([0]);
+        let strategies: Vec<Box<dyn Strategy>> = vec![
+            Box::new(WeightedFocus::new(FocusVariant::Completeness, empty())),
+            Box::new(WeightedBreadth::new(empty())),
+            Box::new(WeightedBestMatch::new(DistanceMetric::Cosine, empty())),
+        ];
+        for s in strategies {
+            let (ranked, candidates) = s.rank_observed(&m, &h, 3);
+            assert_eq!(ranked, s.rank(&m, &h, 3), "{}", s.name());
+            assert!(candidates >= ranked.len(), "{}", s.name());
+        }
     }
 
     #[test]

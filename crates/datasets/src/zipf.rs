@@ -38,7 +38,9 @@ impl Zipf {
             *c /= total;
         }
         // Guard against floating point leaving the last entry below 1.0.
-        *cdf.last_mut().expect("n > 0") = 1.0;
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
         Self { cdf }
     }
 

@@ -214,13 +214,13 @@ impl EvalContext {
     /// Generates both datasets, trains every method, and precomputes all
     /// recommendation lists.
     pub fn build(cfg: EvalConfig) -> Self {
-        let _span = goalrec_obs::Timer::scoped("eval.context.build");
+        let _span = goalrec_obs::Timer::scoped(goalrec_obs::names::EVAL_CONTEXT_BUILD);
         let foodmart = {
-            let _span = goalrec_obs::Timer::scoped("eval.context.foodmart");
+            let _span = goalrec_obs::Timer::scoped(goalrec_obs::names::EVAL_CONTEXT_FOODMART);
             build_foodmart(&cfg)
         };
         let fortythree = {
-            let _span = goalrec_obs::Timer::scoped("eval.context.fortythree");
+            let _span = goalrec_obs::Timer::scoped(goalrec_obs::names::EVAL_CONTEXT_FORTYTHREE);
             build_fortythree(&cfg)
         };
         Self {
@@ -253,6 +253,7 @@ impl FortyThreeEval {
 
 fn build_foodmart(cfg: &EvalConfig) -> FoodmartEval {
     let data = FoodMart::generate(&cfg.foodmart);
+    // goalrec-lint:allow(no-panic-paths): generated eval libraries are never empty, and the context builder has no error channel
     let model = Arc::new(GoalModel::build(&data.library).expect("non-empty library"));
 
     let n_inputs = cfg
@@ -315,6 +316,7 @@ fn build_foodmart(cfg: &EvalConfig) -> FoodmartEval {
 
 fn build_fortythree(cfg: &EvalConfig) -> FortyThreeEval {
     let data = FortyThings::generate(&cfg.fortythree);
+    // goalrec-lint:allow(no-panic-paths): generated eval libraries are never empty, and the context builder has no error channel
     let model = Arc::new(GoalModel::build(&data.library).expect("non-empty library"));
 
     let n_inputs = cfg

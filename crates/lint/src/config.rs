@@ -1,0 +1,167 @@
+//! `lint.toml` allowlist parsing.
+//!
+//! The workspace is registry-less, so instead of a TOML dependency this
+//! module parses the strict subset the allowlist needs:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "raw-id-cast"
+//! path = "crates/core/src/model.rs"
+//! reason = "posting lists are raw u32 by design"
+//! ```
+//!
+//! Every entry requires all three keys; `reason` must be non-empty. `path`
+//! is a workspace-relative prefix, so a directory allows a whole subtree.
+//! Unknown keys, unknown sections and malformed lines are hard errors —
+//! the allowlist is part of the lint's trusted configuration, so it fails
+//! closed.
+
+/// One allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule identifier the entry applies to.
+    pub rule: String,
+    /// Workspace-relative path prefix the entry covers.
+    pub path: String,
+    /// Mandatory human-readable justification.
+    pub reason: String,
+}
+
+impl AllowEntry {
+    /// Whether this entry covers a finding of `rule` in `file`.
+    pub fn covers(&self, rule: &str, file: &str) -> bool {
+        self.rule == rule && file.starts_with(&self.path)
+    }
+}
+
+/// Parses the `lint.toml` allowlist. `source_name` labels error messages.
+pub fn parse_allowlist(text: &str, source_name: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<(Option<String>, Option<String>, Option<String>)> = None;
+
+    let finish = |slot: Option<(Option<String>, Option<String>, Option<String>)>,
+                  entries: &mut Vec<AllowEntry>,
+                  line_no: usize|
+     -> Result<(), String> {
+        let Some((rule, path, reason)) = slot else {
+            return Ok(());
+        };
+        let entry = AllowEntry {
+            rule: rule.ok_or_else(|| {
+                format!("{source_name}:{line_no}: [[allow]] entry is missing `rule`")
+            })?,
+            path: path.ok_or_else(|| {
+                format!("{source_name}:{line_no}: [[allow]] entry is missing `path`")
+            })?,
+            reason: reason.ok_or_else(|| {
+                format!("{source_name}:{line_no}: [[allow]] entry is missing `reason`")
+            })?,
+        };
+        if entry.reason.trim().is_empty() {
+            return Err(format!(
+                "{source_name}:{line_no}: allowlist entry for `{}` has an empty reason",
+                entry.rule
+            ));
+        }
+        entries.push(entry);
+        Ok(())
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(current.take(), &mut entries, line_no)?;
+            current = Some((None, None, None));
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "{source_name}:{line_no}: unknown section {line}; only [[allow]] is supported"
+            ));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "{source_name}:{line_no}: expected `key = \"value\"`"
+            ));
+        };
+        let value = value.trim();
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| {
+                format!("{source_name}:{line_no}: value must be a double-quoted string")
+            })?;
+        let Some(slot) = current.as_mut() else {
+            return Err(format!(
+                "{source_name}:{line_no}: key outside of an [[allow]] entry"
+            ));
+        };
+        match key.trim() {
+            "rule" => slot.0 = Some(value.to_owned()),
+            "path" => slot.1 = Some(value.to_owned()),
+            "reason" => slot.2 = Some(value.to_owned()),
+            other => {
+                return Err(format!(
+                    "{source_name}:{line_no}: unknown key `{other}` in [[allow]] entry"
+                ));
+            }
+        }
+    }
+    finish(current.take(), &mut entries, text.lines().count())?;
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_prefix_matching() {
+        let toml = r#"
+# workspace allowlist
+[[allow]]
+rule = "raw-id-cast"
+path = "crates/core/src/model.rs"
+reason = "posting lists are raw u32 by design"
+
+[[allow]]
+rule = "no-panic-paths"
+path = "crates/eval/src/experiments/"
+reason = "offline drivers may abort"
+"#;
+        let entries = parse_allowlist(toml, "lint.toml").unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].covers("raw-id-cast", "crates/core/src/model.rs"));
+        assert!(!entries[0].covers("raw-id-cast", "crates/core/src/dynamic.rs"));
+        assert!(entries[1].covers("no-panic-paths", "crates/eval/src/experiments/table2.rs"));
+        assert!(!entries[1].covers("raw-id-cast", "crates/eval/src/experiments/table2.rs"));
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let toml = "[[allow]]\nrule = \"raw-id-cast\"\npath = \"crates/\"\n";
+        assert!(parse_allowlist(toml, "lint.toml").is_err());
+        let toml = "[[allow]]\nrule = \"x\"\npath = \"y\"\nreason = \"  \"\n";
+        assert!(parse_allowlist(toml, "lint.toml").is_err());
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(parse_allowlist("[deny]\n", "lint.toml").is_err());
+        assert!(parse_allowlist("rule = \"x\"\n", "lint.toml").is_err());
+        assert!(parse_allowlist("[[allow]]\nbogus = \"x\"\n", "lint.toml").is_err());
+        assert!(parse_allowlist("[[allow]]\nrule = unquoted\n", "lint.toml").is_err());
+    }
+
+    #[test]
+    fn empty_config_is_fine() {
+        assert!(parse_allowlist("", "lint.toml").unwrap().is_empty());
+        assert!(parse_allowlist("# only comments\n", "lint.toml")
+            .unwrap()
+            .is_empty());
+    }
+}

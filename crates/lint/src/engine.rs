@@ -1,0 +1,283 @@
+//! The lint driver: walks the workspace, runs the rules, applies inline
+//! suppressions and the `lint.toml` allowlist, and cross-checks the metric
+//! registry against the README.
+
+use crate::config::{parse_allowlist, AllowEntry};
+use crate::lexer::{lex, Lexed};
+use crate::rules::{
+    readme_metrics, registry_names, registry_namespaces, source_rules, Finding,
+    METRIC_NAME_REGISTRY, METRIC_REGISTRY_PATH, RULES, SUPPRESSION_FORMAT,
+};
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Everything one lint run produced.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Surviving findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lints the workspace rooted at `root`. Configuration problems (missing
+/// registry, malformed `lint.toml`, unreadable files) are `Err`s, distinct
+/// from findings.
+pub fn run_workspace(root: &Path) -> Result<RunResult, String> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(format!(
+            "{} has no crates/ directory; pass the workspace root via --root",
+            root.display()
+        ));
+    }
+
+    let allowlist = load_allowlist(root)?;
+
+    // The registry is the source of truth for metric names; a workspace
+    // without it cannot satisfy the metric-name-registry rule at all.
+    let registry_src = read(&root.join(METRIC_REGISTRY_PATH))?;
+    let registry = registry_names(&lex(&registry_src));
+    let namespaces = registry_namespaces(&registry);
+
+    let readme = read(&root.join("README.md"))?;
+    let documented = readme_metrics(&readme);
+
+    let files = collect_rs_files(root, &crates_dir)?;
+    let mut findings = Vec::new();
+    for (rel, abs) in &files {
+        let lexed = lex(&read(abs)?);
+        let raw = source_rules(rel, &lexed, &namespaces);
+        findings.extend(apply_suppressions(rel, &lexed, raw));
+    }
+
+    registry_readme_drift(&registry, &documented, &mut findings);
+
+    findings.retain(|f| !allowlist.iter().any(|e| e.covers(f.rule, &f.file)));
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    Ok(RunResult {
+        findings,
+        files_scanned: files.len(),
+    })
+}
+
+fn load_allowlist(root: &Path) -> Result<Vec<AllowEntry>, String> {
+    let path = root.join("lint.toml");
+    if !path.is_file() {
+        return Ok(Vec::new());
+    }
+    let entries = parse_allowlist(&read(&path)?, "lint.toml")?;
+    for e in &entries {
+        if !RULES.contains(&e.rule.as_str()) {
+            return Err(format!(
+                "lint.toml: unknown rule `{}` in allowlist (known: {})",
+                e.rule,
+                RULES.join(", ")
+            ));
+        }
+    }
+    Ok(entries)
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+}
+
+/// All `.rs` files under `crates/*/src/`, as (workspace-relative, absolute)
+/// pairs in deterministic order.
+fn collect_rs_files(root: &Path, crates_dir: &Path) -> Result<Vec<(String, PathBuf)>, String> {
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(crates_dir)
+        .map_err(|e| format!("cannot list {}: {e}", crates_dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut out = Vec::new();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            walk(&src, root, &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<(String, PathBuf)>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry
+            .map_err(|e| format!("cannot list {}: {e}", dir.display()))?
+            .path();
+        if path.is_dir() {
+            walk(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|_| format!("{} escapes the workspace root", path.display()))?
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+/// Drops findings covered by a well-formed inline directive on the same or
+/// the preceding line, and reports malformed directives as findings of
+/// their own (which never suppress anything).
+fn apply_suppressions(file: &str, lexed: &Lexed, raw: Vec<Finding>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for s in &lexed.suppressions {
+        let unknown: Vec<&String> = s
+            .rules
+            .iter()
+            .filter(|r| !RULES.contains(&r.as_str()))
+            .collect();
+        if s.rules.is_empty() || !unknown.is_empty() {
+            out.push(Finding {
+                rule: SUPPRESSION_FORMAT,
+                file: file.to_owned(),
+                line: s.line,
+                message: format!(
+                    "suppression names no known rule (known: {}); it has no effect",
+                    RULES.join(", ")
+                ),
+            });
+        } else if s.justification.is_empty() {
+            out.push(Finding {
+                rule: SUPPRESSION_FORMAT,
+                file: file.to_owned(),
+                line: s.line,
+                message: "suppression is missing its justification — write \
+                          `// goalrec-lint:allow(<rule>): <why this is safe>`"
+                    .to_owned(),
+            });
+        }
+    }
+    for f in raw {
+        let suppressed = lexed.suppressions.iter().any(|s| {
+            !s.justification.is_empty()
+                && s.rules.iter().all(|r| RULES.contains(&r.as_str()))
+                && s.rules.iter().any(|r| r == f.rule)
+                && (s.line == f.line || s.line + 1 == f.line)
+        });
+        if !suppressed {
+            out.push(f);
+        }
+    }
+    out
+}
+
+/// The README half of `metric-name-registry`: every registered name must
+/// appear in the README's Observability table and vice versa.
+fn registry_readme_drift(
+    registry: &[(String, u32)],
+    documented: &[(String, u32)],
+    findings: &mut Vec<Finding>,
+) {
+    let documented_set: BTreeSet<&str> = documented.iter().map(|(n, _)| n.as_str()).collect();
+    let registry_set: BTreeSet<&str> = registry.iter().map(|(n, _)| n.as_str()).collect();
+    for (name, line) in registry {
+        if !documented_set.contains(name.as_str()) {
+            findings.push(Finding {
+                rule: METRIC_NAME_REGISTRY,
+                file: METRIC_REGISTRY_PATH.to_owned(),
+                line: *line,
+                message: format!(
+                    "registered metric \"{name}\" is missing from the README's \
+                     Observability table"
+                ),
+            });
+        }
+    }
+    for (name, line) in documented {
+        if !registry_set.contains(name.as_str()) {
+            findings.push(Finding {
+                rule: METRIC_NAME_REGISTRY,
+                file: "README.md".to_owned(),
+                line: *line,
+                message: format!(
+                    "README documents metric \"{name}\" which is not registered in \
+                     {METRIC_REGISTRY_PATH}"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            file: file.to_owned(),
+            line,
+            message: "m".to_owned(),
+        }
+    }
+
+    #[test]
+    fn suppression_covers_same_and_next_line() {
+        let src = "\
+// goalrec-lint:allow(no-panic-paths): boundary checked above
+x.unwrap();
+y.unwrap(); // goalrec-lint:allow(no-panic-paths): cannot be empty here
+
+z.unwrap();
+";
+        let lexed = lex(src);
+        let raw = vec![
+            finding(crate::rules::NO_PANIC_PATHS, "f.rs", 2),
+            finding(crate::rules::NO_PANIC_PATHS, "f.rs", 3),
+            finding(crate::rules::NO_PANIC_PATHS, "f.rs", 5),
+        ];
+        let kept = apply_suppressions("f.rs", &lexed, raw);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].line, 5);
+    }
+
+    #[test]
+    fn bad_directives_become_findings_and_do_not_suppress() {
+        let src = "\
+x.unwrap(); // goalrec-lint:allow(no-panic-paths)
+y.unwrap(); // goalrec-lint:allow(no-such-rule): justified
+";
+        let lexed = lex(src);
+        let raw = vec![
+            finding(crate::rules::NO_PANIC_PATHS, "f.rs", 1),
+            finding(crate::rules::NO_PANIC_PATHS, "f.rs", 2),
+        ];
+        let kept = apply_suppressions("f.rs", &lexed, raw);
+        // Two directive findings plus the two unsuppressed originals.
+        assert_eq!(kept.len(), 4);
+        assert_eq!(
+            kept.iter().filter(|f| f.rule == SUPPRESSION_FORMAT).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn drift_is_reported_in_both_directions() {
+        let registry = vec![
+            ("model.builds".to_owned(), 10),
+            ("model.orphan".to_owned(), 11),
+        ];
+        let documented = vec![
+            ("model.builds".to_owned(), 5),
+            ("model.ghost".to_owned(), 6),
+        ];
+        let mut findings = Vec::new();
+        registry_readme_drift(&registry, &documented, &mut findings);
+        assert_eq!(findings.len(), 2);
+        assert!(findings[0].message.contains("model.orphan"));
+        assert_eq!(findings[1].file, "README.md");
+        assert!(findings[1].message.contains("model.ghost"));
+    }
+}

@@ -1,0 +1,27 @@
+//! goalrec-lint: in-tree static analysis for the goalrec workspace.
+//!
+//! Four deny-by-default rules over a hand-rolled, string/comment/attribute
+//! aware token scan (the container is registry-less, so no external parser
+//! crates):
+//!
+//! * `no-panic-paths` — no `unwrap`/`expect`/`panic!`-family calls in
+//!   non-test library-crate code;
+//! * `raw-id-cast` — no raw `as u32`/`as usize` casts in files importing
+//!   the `core::ids` newtypes;
+//! * `metric-name-registry` — metric names live in
+//!   `crates/obs/src/names.rs` and stay in sync with the README's
+//!   Observability table (drift reported in both directions);
+//! * `strategy-surface` — every `Strategy` impl overrides `rank_observed`.
+//!
+//! Escapes: an inline `goalrec-lint:allow` comment directive — the rule
+//! in parentheses, then a mandatory `: justification` tail, covering its
+//! own line and the next — or a `lint.toml` `[[allow]]` entry (rule +
+//! path prefix + reason).
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{run_workspace, RunResult};
+pub use rules::{Finding, RULES};

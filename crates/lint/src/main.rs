@@ -1,0 +1,124 @@
+//! CLI entry point. Exit codes: 0 clean, 1 findings, 2 usage/config error.
+
+use goalrec_lint::{run_workspace, Finding};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+goalrec-lint — workspace static analysis
+
+USAGE:
+    goalrec-lint [--root DIR] [--json]
+
+OPTIONS:
+    --root DIR   Workspace root to lint (default: current directory)
+    --json       Emit findings as JSON on stdout
+    -h, --help   Show this help
+
+EXIT CODES:
+    0  no findings
+    1  findings reported
+    2  usage or configuration error";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("goalrec-lint: --root needs a directory argument\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("goalrec-lint: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let result = match run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("goalrec-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", to_json(&result.findings));
+    } else {
+        for f in &result.findings {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        if result.findings.is_empty() {
+            println!(
+                "goalrec-lint: clean ({} files scanned)",
+                result.files_scanned
+            );
+        } else {
+            println!(
+                "goalrec-lint: {} finding(s) in {} files scanned",
+                result.findings.len(),
+                result.files_scanned
+            );
+        }
+    }
+
+    if result.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Stable JSON output; fields in a fixed order, findings pre-sorted by the
+/// engine. Hand-built because the workspace is registry-less.
+fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"count\": ");
+    out.push_str(&findings.len().to_string());
+    out.push_str(",\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"file\": \"");
+        out.push_str(&json_escape(&f.file));
+        out.push_str("\", \"line\": ");
+        out.push_str(&f.line.to_string());
+        out.push_str(", \"rule\": \"");
+        out.push_str(&json_escape(f.rule));
+        out.push_str("\", \"message\": \"");
+        out.push_str(&json_escape(&f.message));
+        out.push_str("\"}");
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

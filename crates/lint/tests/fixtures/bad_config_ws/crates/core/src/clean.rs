@@ -1,0 +1,5 @@
+//! Nothing to report; the lint.toml is the problem.
+
+pub fn id(x: u64) -> u64 {
+    x
+}

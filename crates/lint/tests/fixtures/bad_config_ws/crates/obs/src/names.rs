@@ -1,0 +1,3 @@
+//! Registry for the bad-config fixture.
+
+pub const MODEL_BUILDS: &str = "model.builds";

@@ -1,0 +1,5 @@
+//! This workspace has no metric registry; linting it is a config error.
+
+pub fn id(x: u64) -> u64 {
+    x
+}

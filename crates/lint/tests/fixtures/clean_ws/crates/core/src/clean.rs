@@ -1,0 +1,5 @@
+//! Nothing to report.
+
+pub fn double(x: u64) -> u64 {
+    x.saturating_mul(2)
+}

@@ -1,0 +1,3 @@
+//! Clean fixture registry.
+
+pub const MODEL_BUILDS: &str = "model.builds";

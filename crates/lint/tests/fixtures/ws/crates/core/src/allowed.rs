@@ -1,0 +1,16 @@
+//! Suppression and allowlist behavior.
+
+use goalrec_core::ids::GoalId;
+
+pub fn suppressed(x: Option<u32>) -> u32 {
+    // goalrec-lint:allow(no-panic-paths): fixture boundary, the caller checked
+    x.unwrap()
+}
+
+pub fn unjustified(y: Option<u32>) -> u32 {
+    y.unwrap() // goalrec-lint:allow(no-panic-paths)
+}
+
+pub fn toml_covered(g: GoalId) -> usize {
+    g.raw() as usize
+}

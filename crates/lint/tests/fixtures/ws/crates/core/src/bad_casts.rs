@@ -1,0 +1,7 @@
+//! Known-bad: raw id casts with the newtypes imported.
+
+use goalrec_core::ids::ActionId;
+
+pub fn slot(a: ActionId) -> usize {
+    a.raw() as usize
+}

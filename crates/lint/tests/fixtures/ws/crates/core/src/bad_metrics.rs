@@ -1,0 +1,7 @@
+//! Known-bad: inline metric-name literal.
+
+pub fn bump() {
+    record("model.builds");
+}
+
+fn record(_name: &str) {}

@@ -1,0 +1,24 @@
+//! Known-bad: panic paths in non-test code.
+
+pub fn first(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn second() {
+    panic!("boom");
+}
+
+pub fn third() -> u32 {
+    todo!()
+}
+
+pub fn lookalike(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn exempt(x: Option<u32>) -> u32 {
+        x.unwrap()
+    }
+}

@@ -1,0 +1,19 @@
+//! Known-bad: a Strategy impl without rank_observed.
+
+pub trait Strategy {
+    fn rank(&self);
+    fn rank_observed(&self) {}
+}
+
+pub struct NoObserved;
+
+impl Strategy for NoObserved {
+    fn rank(&self) {}
+}
+
+pub struct HasObserved;
+
+impl Strategy for HasObserved {
+    fn rank(&self) {}
+    fn rank_observed(&self) {}
+}

@@ -1,0 +1,5 @@
+//! Fixture metric registry.
+
+pub const MODEL_BUILDS: &str = "model.builds";
+pub const STRATEGY_LATENCY: &str = "strategy.<name>.latency";
+pub const MODEL_ORPHAN: &str = "model.orphan";

@@ -42,6 +42,7 @@
 //! [`counter`]/[`gauge`]/[`histogram`] to skip the lookup entirely.
 
 mod histogram;
+pub mod names;
 mod registry;
 mod report;
 mod timer;

@@ -1,0 +1,196 @@
+//! Central registry of every metric name the workspace records.
+//!
+//! All metric names recorded through `goalrec-obs` MUST be declared here —
+//! either as a concrete constant or as a `<placeholder>` pattern expanded
+//! through one of the helper functions. The `goalrec-lint`
+//! `metric-name-registry` rule enforces both directions:
+//!
+//! * call sites outside this module may not pass metric-name string
+//!   literals to the recording functions;
+//! * the README "Observability" table and this registry must list exactly
+//!   the same names (drift is reported either way).
+//!
+//! Keep [`ALL`] in sync when adding a name: the lint's README cross-check
+//! and the unit tests below read it.
+
+// ---------------------------------------------------------------------
+// Model construction (`GoalModel::build`).
+// ---------------------------------------------------------------------
+
+/// Counter: number of model compilations.
+pub const MODEL_BUILDS: &str = "model.builds";
+/// Histogram (ns): whole-build wall time.
+pub const MODEL_BUILD_TOTAL: &str = "model.build.total";
+/// Histogram (ns): `A-idx` phase (per-action occurrence counts).
+pub const MODEL_BUILD_A_IDX: &str = "model.build.a_idx";
+/// Histogram (ns): `G-idx` phase (per-goal implementation counts).
+pub const MODEL_BUILD_G_IDX: &str = "model.build.g_idx";
+/// Histogram (ns): `GI-A-idx` phase (implementation → activity).
+pub const MODEL_BUILD_GI_A_IDX: &str = "model.build.gi_a_idx";
+/// Histogram (ns): `GI-G-idx` phase (implementation ↔ goal).
+pub const MODEL_BUILD_GI_G_IDX: &str = "model.build.gi_g_idx";
+/// Histogram (ns): `A-GI-idx` phase (action → implementations).
+pub const MODEL_BUILD_A_GI_IDX: &str = "model.build.a_gi_idx";
+/// Gauge: `|L|` of the most recently built model.
+pub const MODEL_IMPLS: &str = "model.impls";
+/// Gauge: `|𝒜|` of the most recently built model.
+pub const MODEL_ACTIONS: &str = "model.actions";
+/// Gauge: `|𝒢|` of the most recently built model.
+pub const MODEL_GOALS: &str = "model.goals";
+/// Gauge: approximate heap footprint of the most recently built model.
+pub const MODEL_MEMORY_BYTES: &str = "model.memory_bytes";
+
+// ---------------------------------------------------------------------
+// Per-strategy serving (`GoalRecommender::recommend`).
+// ---------------------------------------------------------------------
+
+/// Pattern — counter: requests served by one strategy.
+pub const STRATEGY_REQUESTS: &str = "strategy.<name>.requests";
+/// Pattern — histogram (ns): per-request latency of one strategy.
+pub const STRATEGY_LATENCY: &str = "strategy.<name>.latency";
+/// Pattern — histogram: pre-truncation candidate-set size per request.
+pub const STRATEGY_CANDIDATES: &str = "strategy.<name>.candidates";
+
+/// `strategy.<name>.requests` for a concrete strategy name.
+pub fn strategy_requests(name: &str) -> String {
+    expand(STRATEGY_REQUESTS, name)
+}
+
+/// `strategy.<name>.latency` for a concrete strategy name.
+pub fn strategy_latency(name: &str) -> String {
+    expand(STRATEGY_LATENCY, name)
+}
+
+/// `strategy.<name>.candidates` for a concrete strategy name.
+pub fn strategy_candidates(name: &str) -> String {
+    expand(STRATEGY_CANDIDATES, name)
+}
+
+// ---------------------------------------------------------------------
+// Batch serving (`recommend_batch{,_actions}`).
+// ---------------------------------------------------------------------
+
+/// Counter: total batch requests across all methods.
+pub const BATCH_REQUESTS: &str = "batch.requests";
+/// Histogram (ns): per-request latency inside the batch workers.
+pub const BATCH_LATENCY: &str = "batch.latency";
+/// Gauge: requests per second of the most recent batch run.
+pub const BATCH_THROUGHPUT_RPS: &str = "batch.throughput_rps";
+/// Pattern — histogram (ns): one method's batch wall clock.
+pub const BATCH_METHOD_WALL: &str = "batch.<method>.wall";
+
+/// `batch.<method>.wall` for a concrete method name.
+pub fn batch_method_wall(method: &str) -> String {
+    expand(BATCH_METHOD_WALL, method)
+}
+
+// ---------------------------------------------------------------------
+// Evaluation harness (eval context + `repro`).
+// ---------------------------------------------------------------------
+
+/// Histogram (ns): full evaluation-context build.
+pub const EVAL_CONTEXT_BUILD: &str = "eval.context.build";
+/// Histogram (ns): FoodMart side of the context build.
+pub const EVAL_CONTEXT_FOODMART: &str = "eval.context.foodmart";
+/// Histogram (ns): 43Things side of the context build.
+pub const EVAL_CONTEXT_FORTYTHREE: &str = "eval.context.fortythree";
+/// Pattern — histogram (ns): one experiment's wall clock in `repro`.
+pub const EVAL_EXPERIMENT_WALL: &str = "eval.<experiment>.wall";
+
+/// `eval.<experiment>.wall` for a concrete experiment name.
+pub fn eval_experiment_wall(experiment: &str) -> String {
+    expand(EVAL_EXPERIMENT_WALL, experiment)
+}
+
+/// Every registered metric name and pattern, in README table order.
+pub const ALL: &[&str] = &[
+    MODEL_BUILDS,
+    MODEL_BUILD_TOTAL,
+    MODEL_BUILD_A_IDX,
+    MODEL_BUILD_G_IDX,
+    MODEL_BUILD_GI_A_IDX,
+    MODEL_BUILD_GI_G_IDX,
+    MODEL_BUILD_A_GI_IDX,
+    MODEL_IMPLS,
+    MODEL_ACTIONS,
+    MODEL_GOALS,
+    MODEL_MEMORY_BYTES,
+    STRATEGY_REQUESTS,
+    STRATEGY_LATENCY,
+    STRATEGY_CANDIDATES,
+    BATCH_REQUESTS,
+    BATCH_LATENCY,
+    BATCH_THROUGHPUT_RPS,
+    BATCH_METHOD_WALL,
+    EVAL_CONTEXT_BUILD,
+    EVAL_CONTEXT_FOODMART,
+    EVAL_CONTEXT_FORTYTHREE,
+    EVAL_EXPERIMENT_WALL,
+];
+
+/// Substitutes the single `<placeholder>` segment of a pattern constant.
+///
+/// Patterns without a placeholder come back unchanged, so the helpers can
+/// never produce a name outside the registered shape.
+fn expand(pattern: &str, value: &str) -> String {
+    match (pattern.find('<'), pattern.rfind('>')) {
+        (Some(start), Some(end)) if start < end => {
+            let mut out = String::with_capacity(pattern.len() + value.len());
+            out.push_str(&pattern[..start]);
+            out.push_str(value);
+            out.push_str(&pattern[end + 1..]);
+            out
+        }
+        _ => pattern.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_duplicate_free_and_complete() {
+        let mut seen = std::collections::HashSet::new();
+        for name in ALL {
+            assert!(seen.insert(*name), "duplicate registry entry {name}");
+        }
+        assert_eq!(ALL.len(), 22);
+    }
+
+    #[test]
+    fn names_follow_the_dotted_lowercase_scheme() {
+        for name in ALL {
+            assert!(name.contains('.'), "{name} has no namespace");
+            for segment in name.split('.') {
+                assert!(!segment.is_empty(), "{name} has an empty segment");
+                let pattern = segment.starts_with('<') && segment.ends_with('>');
+                let inner = if pattern {
+                    &segment[1..segment.len() - 1]
+                } else {
+                    segment
+                };
+                assert!(
+                    inner
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                    "{name}: segment {segment} breaks the naming scheme"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn helpers_expand_their_patterns() {
+        assert_eq!(strategy_requests("Breadth"), "strategy.Breadth.requests");
+        assert_eq!(strategy_latency("Focus_cmp"), "strategy.Focus_cmp.latency");
+        assert_eq!(strategy_candidates("X"), "strategy.X.candidates");
+        assert_eq!(batch_method_wall("Breadth"), "batch.Breadth.wall");
+        assert_eq!(eval_experiment_wall("table6"), "eval.table6.wall");
+    }
+
+    #[test]
+    fn expand_without_placeholder_is_identity() {
+        assert_eq!(expand(BATCH_REQUESTS, "x"), BATCH_REQUESTS);
+    }
+}

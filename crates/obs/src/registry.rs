@@ -66,15 +66,25 @@ pub struct Registry {
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
 }
 
+// Poisoned locks are recovered with `PoisonError::into_inner` throughout:
+// the maps only ever grow and their values are atomics, so a panic while
+// holding a guard cannot leave them inconsistent — and telemetry must never
+// take the process down.
 fn intern<T>(
     map: &RwLock<BTreeMap<String, Arc<T>>>,
     name: &str,
     make: impl FnOnce() -> T,
 ) -> Arc<T> {
-    if let Some(found) = map.read().expect("metric registry poisoned").get(name) {
+    if let Some(found) = map
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(name)
+    {
         return Arc::clone(found);
     }
-    let mut write = map.write().expect("metric registry poisoned");
+    let mut write = map
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     Arc::clone(
         write
             .entry(name.to_string())
@@ -116,7 +126,7 @@ impl Registry {
         let counters = self
             .counters
             .read()
-            .expect("metric registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(name, c)| CounterSnapshot {
                 name: name.clone(),
@@ -126,7 +136,7 @@ impl Registry {
         let gauges = self
             .gauges
             .read()
-            .expect("metric registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(name, g)| GaugeSnapshot {
                 name: name.clone(),
@@ -136,7 +146,7 @@ impl Registry {
         let histograms = self
             .histograms
             .read()
-            .expect("metric registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(name, h)| HistogramSnapshot::of(name, h))
             .collect();
@@ -153,7 +163,7 @@ impl Registry {
         for c in self
             .counters
             .read()
-            .expect("metric registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .values()
         {
             c.reset();
@@ -161,7 +171,7 @@ impl Registry {
         for g in self
             .gauges
             .read()
-            .expect("metric registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .values()
         {
             g.reset();
@@ -169,7 +179,7 @@ impl Registry {
         for h in self
             .histograms
             .read()
-            .expect("metric registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .values()
         {
             h.reset();

@@ -15,7 +15,7 @@ pub fn stem(word: &str) -> String {
         .map(|b| b.to_ascii_lowercase())
         .collect();
     if w.len() <= 2 {
-        return String::from_utf8(w).expect("ascii");
+        return String::from_utf8_lossy(&w).into_owned();
     }
     step_1a(&mut w);
     step_1b(&mut w);
@@ -25,7 +25,7 @@ pub fn stem(word: &str) -> String {
     step_4(&mut w);
     step_5a(&mut w);
     step_5b(&mut w);
-    String::from_utf8(w).expect("ascii")
+    String::from_utf8_lossy(&w).into_owned()
 }
 
 fn is_consonant(w: &[u8], i: usize) -> bool {

@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 5. Live updates: a new implementation arrives, recompile, re-serve.
-    let mut dynamic = DynamicGoalModel::from_library(&lib);
+    let mut dynamic = DynamicGoalModel::from_library(&lib)?;
     let new_goal = lib.goal_id("save money").unwrap();
     dynamic.add_implementation(
         new_goal,

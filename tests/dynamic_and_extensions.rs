@@ -31,7 +31,7 @@ fn dynamic_ingestion_converges_to_static_model() {
 #[test]
 fn removing_an_implementation_removes_its_unique_recommendations() {
     let ft = FortyThings::generate(&FortyThingsConfig::test_scale());
-    let mut dm = DynamicGoalModel::from_library(&ft.library);
+    let mut dm = DynamicGoalModel::from_library(&ft.library).unwrap();
 
     // Take some user's chosen implementation and remove it; actions unique
     // to that implementation must stop being recommendable from it.
