@@ -26,4 +26,7 @@ done
 echo "== repro smoke (test scale) =="
 cargo run -q --release -p goalrec-bench --bin repro -- stats table6 --scale test > /dev/null
 
+echo "== server smoke (healthz + recommend + SIGTERM drain) =="
+cargo run -q --release -p goalrec-bench --bin loadgen -- --smoke
+
 echo "OK"

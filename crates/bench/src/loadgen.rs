@@ -1,0 +1,392 @@
+//! `loadgen` — closed-loop load generator for `goalrec-server`.
+//!
+//! ```text
+//! loadgen [--clients N] [--seconds S] [--out FILE] [--smoke]
+//!
+//! --clients N   keep-alive client threads for the throughput phase (default 8)
+//! --seconds S   measurement window per phase, seconds (default 3)
+//! --out FILE    where to write the JSON report (default BENCH_serve.json)
+//! --smoke       CI mode: probe /healthz and /v1/recommend against an
+//!               in-process server, raise a real SIGTERM, assert a clean
+//!               drain, exit 0 — no load, no report
+//! ```
+//!
+//! Two measurement phases, both against an in-process server on an
+//! ephemeral loopback port (no network noise, no fixed-port races):
+//!
+//! 1. **throughput** — N keep-alive clients hammer `POST /v1/recommend`
+//!    at the default queue depth; reports req/s and p50/p95/p99 latency.
+//! 2. **queue-depth sweep** — connection-per-request clients outnumber
+//!    the workers at queue depths {1, 16, 256}; reports the reject (503)
+//!    rate at each depth, demonstrating admission control under overload.
+
+use goalrec_core::LibraryBuilder;
+use goalrec_server::{shutdown, start, ServerConfig, Shutdown};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A synthetic goal library big enough to make ranking do real work:
+/// 200 goals over a 300-action vocabulary, 6 actions per implementation.
+fn synthetic_library() -> goalrec_core::GoalLibrary {
+    let mut builder = LibraryBuilder::new();
+    let mut seed = 0x9e37_79b9_u64;
+    let mut next = move |m: u64| {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (seed >> 33) % m
+    };
+    for g in 0..200 {
+        let actions: Vec<String> = (0..6).map(|_| format!("action-{}", next(300))).collect();
+        let refs: Vec<&str> = actions.iter().map(String::as_str).collect();
+        builder
+            .add_impl(&format!("goal-{g}"), refs)
+            .expect("synthetic library");
+    }
+    builder.build().expect("synthetic library")
+}
+
+fn config(workers: usize, queue_depth: usize) -> ServerConfig {
+    ServerConfig {
+        port: 0,
+        workers,
+        queue_depth,
+        deadline: Duration::from_millis(1000),
+        idle_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    }
+}
+
+const RECOMMEND_BODY: &str = r#"{"activity": [1, 2, 3, 4], "strategy": "breadth", "k": 10}"#;
+
+fn recommend_request(keep_alive: bool) -> Vec<u8> {
+    format!(
+        "POST /v1/recommend HTTP/1.1\r\nhost: loadgen\r\ncontent-length: {}\r\n\
+         connection: {}\r\n\r\n{RECOMMEND_BODY}",
+        RECOMMEND_BODY.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )
+    .into_bytes()
+}
+
+/// Reads one response off `stream`; returns its status code.
+fn read_status(stream: &mut TcpStream, buf: &mut Vec<u8>) -> std::io::Result<u16> {
+    buf.clear();
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]);
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or(std::io::ErrorKind::InvalidData)?;
+    let len: usize = head
+        .lines()
+        .filter_map(|l| l.split_once(':'))
+        .find(|(n, _)| n.trim().eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse().ok())
+        .unwrap_or(0);
+    let mut have = buf.len() - header_end;
+    while have < len {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        have += n;
+    }
+    Ok(status)
+}
+
+#[derive(Default)]
+struct ClientTally {
+    latencies_ns: Vec<u64>,
+    ok: u64,
+    rejected: u64,
+    other: u64,
+    errors: u64,
+}
+
+/// One keep-alive client: a single connection reused for every request.
+fn keep_alive_client(addr: SocketAddr, stop: Arc<AtomicBool>) -> ClientTally {
+    let mut tally = ClientTally::default();
+    let request = recommend_request(true);
+    let mut buf = Vec::with_capacity(8192);
+    'reconnect: while !stop.load(Ordering::Relaxed) {
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            tally.errors += 1;
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        while !stop.load(Ordering::Relaxed) {
+            let t0 = Instant::now();
+            if stream.write_all(&request).is_err() {
+                tally.errors += 1;
+                continue 'reconnect;
+            }
+            match read_status(&mut stream, &mut buf) {
+                Ok(200) => {
+                    tally.ok += 1;
+                    tally
+                        .latencies_ns
+                        .push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                }
+                Ok(503) => {
+                    tally.rejected += 1;
+                    continue 'reconnect; // 503s close the connection
+                }
+                Ok(_) => {
+                    tally.other += 1;
+                    continue 'reconnect;
+                }
+                Err(_) => {
+                    tally.errors += 1;
+                    continue 'reconnect;
+                }
+            }
+        }
+        break;
+    }
+    tally
+}
+
+/// One connection-per-request client: reconnects for every request, so
+/// concurrent clients pile up in the admission queue.
+fn reconnect_client(addr: SocketAddr, stop: Arc<AtomicBool>) -> ClientTally {
+    let mut tally = ClientTally::default();
+    let request = recommend_request(false);
+    let mut buf = Vec::with_capacity(8192);
+    while !stop.load(Ordering::Relaxed) {
+        let t0 = Instant::now();
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            tally.errors += 1;
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        if stream.write_all(&request).is_err() {
+            tally.errors += 1;
+            continue;
+        }
+        match read_status(&mut stream, &mut buf) {
+            Ok(200) => {
+                tally.ok += 1;
+                tally
+                    .latencies_ns
+                    .push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            }
+            Ok(503) => tally.rejected += 1,
+            Ok(_) => tally.other += 1,
+            Err(_) => tally.errors += 1,
+        }
+    }
+    tally
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[rank.min(sorted_ns.len() - 1)] as f64 / 1_000.0
+}
+
+/// Runs `clients` copies of `client` against a fresh server for `seconds`,
+/// merges the tallies, and returns the phase report.
+fn run_phase(
+    workers: usize,
+    queue_depth: usize,
+    clients: usize,
+    seconds: f64,
+    client: fn(SocketAddr, Arc<AtomicBool>) -> ClientTally,
+) -> (serde_json::Value, String) {
+    let handle = start(synthetic_library(), config(workers, queue_depth)).expect("start server");
+    let addr = handle.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || client(addr, stop))
+        })
+        .collect();
+    std::thread::sleep(Duration::from_secs_f64(seconds));
+    stop.store(true, Ordering::Relaxed);
+    let mut merged = ClientTally::default();
+    for t in threads {
+        let tally = t.join().expect("client thread");
+        merged.latencies_ns.extend(tally.latencies_ns);
+        merged.ok += tally.ok;
+        merged.rejected += tally.rejected;
+        merged.other += tally.other;
+        merged.errors += tally.errors;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    handle.shutdown();
+
+    merged.latencies_ns.sort_unstable();
+    let total = merged.ok + merged.rejected + merged.other + merged.errors;
+    let req_per_s = if elapsed > 0.0 {
+        merged.ok as f64 / elapsed
+    } else {
+        0.0
+    };
+    let reject_rate = if total > 0 {
+        merged.rejected as f64 / total as f64
+    } else {
+        0.0
+    };
+    let summary = format!(
+        "{:.0} req/s ok, reject rate {:.3}, p50 {:.0} µs, p95 {:.0} µs, p99 {:.0} µs",
+        req_per_s,
+        reject_rate,
+        percentile_us(&merged.latencies_ns, 50.0),
+        percentile_us(&merged.latencies_ns, 95.0),
+        percentile_us(&merged.latencies_ns, 99.0),
+    );
+    let value = serde_json::json!({
+        "workers": workers,
+        "queue_depth": queue_depth,
+        "clients": clients,
+        "seconds": (elapsed * 100.0).round() / 100.0,
+        "requests": total,
+        "ok": merged.ok,
+        "rejected_503": merged.rejected,
+        "other_status": merged.other,
+        "transport_errors": merged.errors,
+        "reject_rate": reject_rate,
+        "req_per_s": req_per_s,
+        "p50_us": percentile_us(&merged.latencies_ns, 50.0),
+        "p95_us": percentile_us(&merged.latencies_ns, 95.0),
+        "p99_us": percentile_us(&merged.latencies_ns, 99.0),
+    });
+    (value, summary)
+}
+
+/// CI smoke: boot, probe every route once, then exercise the *real*
+/// SIGTERM path and require a clean drain.
+fn smoke() {
+    shutdown::install_signal_handlers();
+    let token = Shutdown::watching_signals();
+    let handle = goalrec_server::start_with_shutdown(synthetic_library(), config(2, 16), token)
+        .expect("start server");
+    let addr = handle.local_addr();
+    let mut buf = Vec::new();
+
+    let mut health = TcpStream::connect(addr).expect("connect /healthz");
+    health
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: smoke\r\nconnection: close\r\n\r\n")
+        .expect("write /healthz");
+    assert_eq!(
+        read_status(&mut health, &mut buf).expect("read /healthz"),
+        200
+    );
+    eprintln!("smoke: /healthz ok");
+
+    let mut rec = TcpStream::connect(addr).expect("connect /v1/recommend");
+    rec.write_all(&recommend_request(false))
+        .expect("write /v1/recommend");
+    assert_eq!(
+        read_status(&mut rec, &mut buf).expect("read /v1/recommend"),
+        200
+    );
+    eprintln!("smoke: /v1/recommend ok");
+
+    // Real signal, real drain: the accept loop and both workers must exit.
+    shutdown::raise_signal(shutdown::SIGTERM);
+    let drained = std::thread::spawn(move || handle.wait());
+    std::thread::sleep(Duration::from_millis(50));
+    drained.join().expect("graceful drain after SIGTERM");
+    eprintln!("smoke: SIGTERM drained cleanly");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut clients = 8usize;
+    let mut seconds = 3.0f64;
+    let mut out = std::path::PathBuf::from("BENCH_serve.json");
+    let mut is_smoke = false;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("missing value for {name}")))
+        };
+        match arg.as_str() {
+            "--clients" => {
+                clients = value("--clients")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--clients expects a number"))
+            }
+            "--seconds" => {
+                seconds = value("--seconds")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seconds expects a number"))
+            }
+            "--out" => out = value("--out").into(),
+            "--smoke" => is_smoke = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    if is_smoke {
+        smoke();
+        println!("loadgen --smoke: all probes ok, graceful drain ok");
+        return;
+    }
+
+    eprintln!("phase 1/2: throughput — {clients} keep-alive clients, default queue depth");
+    let (throughput, summary) = run_phase(
+        ServerConfig::default().workers,
+        ServerConfig::default().queue_depth,
+        clients,
+        seconds,
+        keep_alive_client,
+    );
+    eprintln!("  {summary}");
+
+    let mut sweep = Vec::new();
+    for depth in [1usize, 16, 256] {
+        eprintln!(
+            "phase 2/2: overload sweep — queue depth {depth}, 2 workers, 16 reconnecting clients"
+        );
+        let (phase, summary) = run_phase(2, depth, 16, seconds.min(2.0), reconnect_client);
+        eprintln!("  {summary}");
+        sweep.push(phase);
+    }
+
+    let report = serde_json::json!({
+        "bench": "goalrec-serve loadgen",
+        "throughput": throughput,
+        "queue_depth_sweep": sweep,
+    });
+    let text = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write(&out, &text).expect("write report");
+    println!("{text}");
+    eprintln!("report → {}", out.display());
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!("usage: loadgen [--clients N] [--seconds S] [--out FILE] [--smoke]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

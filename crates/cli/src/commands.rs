@@ -2,7 +2,8 @@
 
 use crate::args::Args;
 use goalrec_core::{
-    explain, Activity, GoalModel, GoalRecommender, LibraryBuilder, Recommender, Strategy,
+    explain, Activity, GoalModel, GoalRecommender, LibraryBuilder, Recommender, StatsReport,
+    Strategy,
 };
 use goalrec_datasets::{io as dsio, FoodMart, FoodMartConfig, FortyThings, FortyThingsConfig};
 use goalrec_textmine::{build_library, ActionExtractor, Story};
@@ -21,6 +22,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         Some("convert") => convert(&args),
         Some("stats") => stats(&args),
         Some("recommend") => recommend(&args),
+        Some("serve") => serve(&args),
         Some("demo") => demo(),
         Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
         None => Err(USAGE.to_owned()),
@@ -35,6 +37,8 @@ const USAGE: &str = "usage:\n  \
     goalrec stats     --library FILE.jsonl [--json] [--metrics] [--actions N] [--goals N]\n  \
     goalrec recommend --library FILE.jsonl --activity a1,a2,... \
 [--strategy breadth|best-match|focus-cmp|focus-cl] [--k N] [--explain]\n  \
+    goalrec serve     --library FILE.jsonl [--addr HOST] [--port N] [--workers N] \
+[--queue-depth N] [--deadline-ms N] [--idle-ms N]\n  \
     goalrec demo";
 
 fn generate(args: &Args) -> CmdResult {
@@ -194,11 +198,8 @@ fn stats(args: &Args) -> CmdResult {
         None
     };
     if args.has("json") {
-        let doc = serde_json::json!({ "stats": s, "metrics": metrics });
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?
-        );
+        // Shared shape with the server's GET /v1/stats — see StatsReport.
+        println!("{}", StatsReport::new(s, metrics).to_json_pretty());
         return Ok(());
     }
     println!("implementations : {}", s.num_implementations);
@@ -279,6 +280,27 @@ fn recommend(args: &Args) -> CmdResult {
         }
     }
     Ok(())
+}
+
+/// Runs the HTTP server over a library file: a thin wrapper around
+/// `goalrec_server::run_blocking` so `goalrec serve` and the standalone
+/// `goalrec-serve` binary behave identically.
+fn serve(args: &Args) -> CmdResult {
+    use std::time::Duration;
+    let lib = load_library(args)?;
+    let mut cfg = goalrec_server::ServerConfig::default();
+    if let Some(addr) = args.flag("addr") {
+        cfg.addr = addr.to_owned();
+    }
+    cfg.port = u16::try_from(args.num("port", usize::from(cfg.port))?)
+        .map_err(|_| "--port must fit in 16 bits".to_owned())?;
+    cfg.workers = args.num("workers", cfg.workers)?;
+    cfg.queue_depth = args.num("queue-depth", cfg.queue_depth)?;
+    cfg.deadline =
+        Duration::from_millis(u64::try_from(args.num("deadline-ms", 1000)?).unwrap_or(u64::MAX));
+    cfg.idle_timeout =
+        Duration::from_millis(u64::try_from(args.num("idle-ms", 5000)?).unwrap_or(u64::MAX));
+    goalrec_server::run_blocking(lib, cfg).map_err(|e| e.to_string())
 }
 
 fn demo() -> CmdResult {

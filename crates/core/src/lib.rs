@@ -72,7 +72,7 @@ pub use error::{Error, Result};
 pub use explain::{explain, Explanation, Justification};
 pub use fusion::{FusionRule, Hybrid};
 pub use ids::{ActionId, GoalId, ImplId, Interner};
-pub use library::{GoalLibrary, Implementation, LibraryBuilder, LibraryStats};
+pub use library::{GoalLibrary, Implementation, LibraryBuilder, LibraryStats, StatsReport};
 pub use model::GoalModel;
 pub use recommend::{GoalRecommender, Recommender};
 pub use rerank::mmr_rerank;

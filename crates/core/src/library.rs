@@ -309,6 +309,33 @@ pub(crate) fn actions_as_raw(imp: &Implementation) -> &[u32] {
     cast_ids(&imp.actions)
 }
 
+/// The one serialization shape shared by every stats surface.
+///
+/// `goalrec stats --json` and the server's `GET /v1/stats` both emit this
+/// struct verbatim, so the two surfaces cannot drift: a field added here
+/// appears in both, with identical names and nesting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Library shape statistics.
+    pub stats: LibraryStats,
+    /// Metrics snapshot, when the caller wants one alongside the stats
+    /// (serialized as `null` otherwise).
+    pub metrics: Option<goalrec_obs::MetricsReport>,
+}
+
+impl StatsReport {
+    /// Bundles precomputed stats with an optional metrics snapshot.
+    pub fn new(stats: LibraryStats, metrics: Option<goalrec_obs::MetricsReport>) -> Self {
+        StatsReport { stats, metrics }
+    }
+
+    /// Pretty-printed JSON — the exact bytes both consumers emit.
+    pub fn to_json_pretty(&self) -> String {
+        // goalrec-lint:allow(no-panic-paths): serializing a plain struct of names and numbers cannot fail; an error here is a serializer bug, not input
+        serde_json::to_string_pretty(self).expect("stats serialization is infallible")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

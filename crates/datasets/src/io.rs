@@ -36,6 +36,33 @@ pub fn write_library_jsonl(library: &GoalLibrary, path: &Path) -> std::io::Resul
     w.flush()
 }
 
+/// Reads a library from `path`, choosing the format by extension
+/// (`.grlb` binary, JSON-lines otherwise) and inferring the action/goal
+/// id spaces from the data itself. This is the one-argument loader the
+/// server binary and CLI share.
+pub fn read_library_auto(path: &Path) -> std::io::Result<GoalLibrary> {
+    if path.extension().is_some_and(|e| e == "grlb") {
+        return crate::binary::read_library_binary(path);
+    }
+    let f = BufReader::new(File::open(path)?);
+    let mut impls = Vec::new();
+    let (mut max_action, mut max_goal) = (0u32, 0u32);
+    for line in f.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let imp: Implementation = serde_json::from_str(&line)?;
+        max_goal = max_goal.max(imp.goal.raw());
+        for a in &imp.actions {
+            max_action = max_action.max(a.raw());
+        }
+        impls.push((imp.goal, imp.actions));
+    }
+    GoalLibrary::from_id_implementations(max_action + 1, max_goal + 1, impls)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
 /// Reads implementations from a JSON-lines file and rebuilds a library.
 /// `num_actions`/`num_goals` bound the id spaces (as in
 /// [`GoalLibrary::from_id_implementations`]).

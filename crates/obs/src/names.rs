@@ -85,6 +85,30 @@ pub fn batch_method_wall(method: &str) -> String {
 }
 
 // ---------------------------------------------------------------------
+// HTTP serving (`goalrec-serve`, crates/server).
+// ---------------------------------------------------------------------
+
+/// Counter: requests that received a response (any status).
+pub const SERVER_REQUESTS: &str = "server.requests";
+/// Counter: connections refused with 503 because the accept queue was full.
+pub const SERVER_REJECTED: &str = "server.rejected";
+/// Counter: requests answered 408 because the per-request deadline expired.
+pub const SERVER_TIMEOUTS: &str = "server.timeouts";
+/// Counter: connections accepted into the queue.
+pub const SERVER_CONNECTIONS: &str = "server.connections";
+/// Histogram (ns): wall time from dequeue/first byte to response written.
+pub const SERVER_LATENCY: &str = "server.latency";
+/// Gauge: requests currently being parsed, routed, or written.
+pub const SERVER_INFLIGHT: &str = "server.inflight";
+/// Pattern — counter: requests dispatched to one route.
+pub const SERVER_ROUTE_REQUESTS: &str = "server.route.<route>.requests";
+
+/// `server.route.<route>.requests` for a concrete route name.
+pub fn server_route_requests(route: &str) -> String {
+    expand(SERVER_ROUTE_REQUESTS, route)
+}
+
+// ---------------------------------------------------------------------
 // Evaluation harness (eval context + `repro`).
 // ---------------------------------------------------------------------
 
@@ -122,6 +146,13 @@ pub const ALL: &[&str] = &[
     BATCH_LATENCY,
     BATCH_THROUGHPUT_RPS,
     BATCH_METHOD_WALL,
+    SERVER_REQUESTS,
+    SERVER_REJECTED,
+    SERVER_TIMEOUTS,
+    SERVER_CONNECTIONS,
+    SERVER_LATENCY,
+    SERVER_INFLIGHT,
+    SERVER_ROUTE_REQUESTS,
     EVAL_CONTEXT_BUILD,
     EVAL_CONTEXT_FOODMART,
     EVAL_CONTEXT_FORTYTHREE,
@@ -155,7 +186,7 @@ mod tests {
         for name in ALL {
             assert!(seen.insert(*name), "duplicate registry entry {name}");
         }
-        assert_eq!(ALL.len(), 22);
+        assert_eq!(ALL.len(), 29);
     }
 
     #[test]
@@ -186,6 +217,10 @@ mod tests {
         assert_eq!(strategy_latency("Focus_cmp"), "strategy.Focus_cmp.latency");
         assert_eq!(strategy_candidates("X"), "strategy.X.candidates");
         assert_eq!(batch_method_wall("Breadth"), "batch.Breadth.wall");
+        assert_eq!(
+            server_route_requests("healthz"),
+            "server.route.healthz.requests"
+        );
         assert_eq!(eval_experiment_wall("table6"), "eval.table6.wall");
     }
 

@@ -1,0 +1,290 @@
+//! # goalrec-server
+//!
+//! A hand-rolled, std-only HTTP/1.1 serving layer for the goal-based
+//! recommender — the long-lived counterpart to the one-shot CLI. The
+//! design is the classic bounded-queue pipeline:
+//!
+//! ```text
+//!           accept loop            bounded MPMC queue         N workers
+//!   TCP ──▶ nonblocking accept ──▶ [Conn|Conn|Conn|…] ──▶ parse → route → write
+//!              │ queue full?                                   │
+//!              └──▶ 503 + Retry-After (admission control)      └──▶ Arc<GoalModel>
+//! ```
+//!
+//! * **Admission control** — the queue capacity bounds accepted-but-unserved
+//!   connections; beyond it the accept loop answers `503` immediately
+//!   instead of letting latency collapse.
+//! * **Deadlines** — each request carries a deadline (first request: from
+//!   accept, so queue wait counts); expiry answers `408`.
+//! * **Graceful shutdown** — on `SIGTERM`/`SIGINT` (or a programmatic
+//!   [`ServerHandle::shutdown`]) the accept loop drains the OS backlog,
+//!   closes the queue, and the workers finish every admitted request
+//!   before exiting. No admitted request is dropped.
+//!
+//! Everything is instrumented through `goalrec-obs` (`server.*` metrics)
+//! and every failure is a typed [`ServerError`] — the crate is held to the
+//! `goalrec-lint` `no-panic-paths` invariant like the model crates.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod http;
+mod pool;
+pub mod queue;
+pub mod router;
+pub mod shutdown;
+
+pub use error::ServerError;
+pub use http::{Limits, Request, Response};
+pub use router::{AppState, STRATEGY_NAMES};
+pub use shutdown::Shutdown;
+
+use pool::{Conn, ConnPolicy, ServerMetrics};
+use queue::{Bounded, TryPush};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Interface to bind.
+    pub addr: String,
+    /// Port to bind; `0` asks the OS for an ephemeral port.
+    pub port: u16,
+    /// Worker threads draining the admission queue.
+    pub workers: usize,
+    /// Admission-queue capacity (see the crate docs).
+    pub queue_depth: usize,
+    /// Per-request deadline; expiry answers `408`.
+    pub deadline: Duration,
+    /// How long an idle keep-alive connection may hold a worker.
+    pub idle_timeout: Duration,
+    /// Request parsing caps.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1".to_owned(),
+            port: 7878,
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+                .min(8),
+            queue_depth: 256,
+            deadline: Duration::from_millis(1000),
+            idle_timeout: Duration::from_secs(5),
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// A running server: join handles plus the shutdown token.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Shutdown,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the OS-chosen port when `port` was `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A clone of the shutdown token, e.g. to trip it from another thread.
+    pub fn shutdown_token(&self) -> Shutdown {
+        self.shutdown.clone()
+    }
+
+    /// Requests shutdown and blocks until the accept loop and every
+    /// worker have drained and exited.
+    pub fn shutdown(mut self) {
+        self.shutdown.request();
+        self.join_threads();
+    }
+
+    /// Blocks until the shutdown token trips (signal or another thread),
+    /// then drains exactly like [`ServerHandle::shutdown`].
+    pub fn wait(mut self) {
+        self.shutdown.wait();
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Builds the model from `library` and starts serving with a fresh
+/// (programmatic-only) shutdown token.
+pub fn start(
+    library: goalrec_core::GoalLibrary,
+    config: ServerConfig,
+) -> Result<ServerHandle, ServerError> {
+    start_with_shutdown(library, config, Shutdown::new())
+}
+
+/// [`start`], but wired to a caller-provided shutdown token — pass one
+/// from [`Shutdown::watching_signals`] to drain on `SIGTERM`/`SIGINT`.
+pub fn start_with_shutdown(
+    library: goalrec_core::GoalLibrary,
+    config: ServerConfig,
+    shutdown: Shutdown,
+) -> Result<ServerHandle, ServerError> {
+    let state = Arc::new(AppState::new(library)?);
+    let bind_addr = format!("{}:{}", config.addr, config.port);
+    let listener = TcpListener::bind(&bind_addr).map_err(|e| ServerError::Bind {
+        addr: bind_addr.clone(),
+        detail: e.to_string(),
+    })?;
+    let addr = listener.local_addr().map_err(|e| ServerError::Bind {
+        addr: bind_addr,
+        detail: e.to_string(),
+    })?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| ServerError::Io {
+            context: "configuring listener",
+            detail: e.to_string(),
+        })?;
+
+    let queue: Arc<Bounded<Conn>> = Arc::new(Bounded::new(config.queue_depth));
+    let metrics = Arc::new(ServerMetrics::new());
+    let policy = ConnPolicy {
+        deadline: config.deadline,
+        idle_timeout: config.idle_timeout,
+        limits: config.limits.clone(),
+    };
+
+    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|i| {
+            let state = Arc::clone(&state);
+            let queue = Arc::clone(&queue);
+            let shutdown = shutdown.clone();
+            let metrics = Arc::clone(&metrics);
+            let policy = policy.clone();
+            std::thread::Builder::new()
+                .name(format!("goalrec-worker-{i}"))
+                .spawn(move || pool::worker_loop(state, queue, shutdown, metrics, policy))
+                .map_err(|e| ServerError::Io {
+                    context: "spawning worker thread",
+                    detail: e.to_string(),
+                })
+        })
+        .collect::<Result<_, _>>()?;
+
+    let accept = {
+        let queue = Arc::clone(&queue);
+        let shutdown = shutdown.clone();
+        let metrics = Arc::clone(&metrics);
+        std::thread::Builder::new()
+            .name("goalrec-accept".to_owned())
+            .spawn(move || accept_loop(listener, queue, shutdown, metrics))
+            .map_err(|e| ServerError::Io {
+                context: "spawning accept thread",
+                detail: e.to_string(),
+            })?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+/// How many backlog connections the accept loop still admits after the
+/// shutdown token trips, so a connect flood cannot stall the drain.
+const DRAIN_ACCEPT_BUDGET: usize = 1024;
+
+fn accept_loop(
+    listener: TcpListener,
+    queue: Arc<Bounded<Conn>>,
+    shutdown: Shutdown,
+    metrics: Arc<ServerMetrics>,
+) {
+    let mut drain_budget = DRAIN_ACCEPT_BUDGET;
+    loop {
+        let stopping = shutdown.is_set();
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stopping {
+                    if drain_budget == 0 {
+                        reject(stream, &metrics);
+                        break;
+                    }
+                    drain_budget -= 1;
+                }
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                match queue.try_push(Conn {
+                    stream,
+                    accepted: Instant::now(),
+                }) {
+                    TryPush::Admitted => metrics.connections.inc(),
+                    TryPush::Full(conn) | TryPush::Closed(conn) => {
+                        reject(conn.stream, &metrics);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if stopping {
+                    // The OS backlog is drained; nothing else was admitted.
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    queue.close();
+}
+
+/// Best-effort `503` for a connection that was never admitted.
+fn reject(mut stream: TcpStream, metrics: &ServerMetrics) {
+    metrics.rejected.inc();
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    if let Some(resp) = Response::from_error(&ServerError::QueueFull) {
+        let mut out = Vec::new();
+        if resp.write_to(&mut out, false).is_ok() {
+            let _ = stream.write_all(&out);
+        }
+    }
+}
+
+/// Loads nothing, owns nothing: binds, prints the endpoints, serves until
+/// `SIGTERM`/`SIGINT`, then drains. This is the body of both the
+/// `goalrec-serve` binary and the `goalrec serve` subcommand.
+pub fn run_blocking(
+    library: goalrec_core::GoalLibrary,
+    config: ServerConfig,
+) -> Result<(), ServerError> {
+    shutdown::install_signal_handlers();
+    let token = Shutdown::watching_signals();
+    let handle = start_with_shutdown(library, config, token)?;
+    println!("goalrec-serve listening on http://{}", handle.local_addr());
+    println!("  POST /v1/recommend   {{\"activity\": [ids…], \"strategy\": name, \"k\": n}}");
+    println!("  GET  /v1/stats       library statistics + metrics snapshot (JSON)");
+    println!("  GET  /metrics        metrics snapshot (text)");
+    println!("  GET  /healthz        liveness probe");
+    println!("stop with SIGTERM or ctrl-c; in-flight requests drain before exit");
+    handle.wait();
+    eprintln!("goalrec-serve: drained, bye");
+    Ok(())
+}

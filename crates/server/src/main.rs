@@ -1,0 +1,123 @@
+//! `goalrec-serve` — the standalone server binary.
+//!
+//! ```text
+//! goalrec-serve --library FILE[.jsonl|.grlb]
+//!               [--addr HOST] [--port N] [--workers N]
+//!               [--queue-depth N] [--deadline-ms N] [--idle-ms N]
+//! ```
+//!
+//! Loads the library once, compiles the [`goalrec_core::GoalModel`], and
+//! serves until `SIGTERM`/ctrl-c, draining in-flight requests before
+//! exit. The `goalrec serve` CLI subcommand is a thin wrapper over the
+//! same [`goalrec_server::run_blocking`] entry point.
+
+use goalrec_server::ServerConfig;
+use std::time::Duration;
+
+const USAGE: &str = "usage: goalrec-serve --library FILE[.jsonl|.grlb] \
+    [--addr HOST] [--port N] [--workers N] [--queue-depth N] \
+    [--deadline-ms N] [--idle-ms N]";
+
+fn parse_args(argv: &[String]) -> Result<(String, ServerConfig), String> {
+    let mut config = ServerConfig::default();
+    let mut library: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("missing value for {flag}\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--library" => library = Some(value("--library")?.to_owned()),
+            "--addr" => config.addr = value("--addr")?.to_owned(),
+            "--port" => config.port = parse_num(value("--port")?, "--port")?,
+            "--workers" => config.workers = parse_num(value("--workers")?, "--workers")?,
+            "--queue-depth" => {
+                config.queue_depth = parse_num(value("--queue-depth")?, "--queue-depth")?
+            }
+            "--deadline-ms" => {
+                config.deadline =
+                    Duration::from_millis(parse_num(value("--deadline-ms")?, "--deadline-ms")?)
+            }
+            "--idle-ms" => {
+                config.idle_timeout =
+                    Duration::from_millis(parse_num(value("--idle-ms")?, "--idle-ms")?)
+            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    let library = library.ok_or_else(|| format!("missing required --library\n{USAGE}"))?;
+    Ok((library, config))
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("{flag} expects a number, got '{raw}'"))
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (library_path, config) = parse_args(&argv)?;
+    let library = goalrec_datasets::io::read_library_auto(std::path::Path::new(&library_path))
+        .map_err(|e| format!("cannot load library {library_path}: {e}"))?;
+    let stats = library.stats();
+    eprintln!(
+        "loaded {library_path}: {} implementations, {} goals, {} actions",
+        stats.num_implementations, stats.num_goals, stats.num_actions
+    );
+    goalrec_server::run_blocking(library, config).map_err(|e| e.to_string())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_the_full_flag_set() {
+        let (lib, cfg) = parse_args(&args(&[
+            "--library",
+            "x.jsonl",
+            "--addr",
+            "0.0.0.0",
+            "--port",
+            "9000",
+            "--workers",
+            "3",
+            "--queue-depth",
+            "17",
+            "--deadline-ms",
+            "250",
+            "--idle-ms",
+            "750",
+        ]))
+        .unwrap();
+        assert_eq!(lib, "x.jsonl");
+        assert_eq!(cfg.addr, "0.0.0.0");
+        assert_eq!(cfg.port, 9000);
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.queue_depth, 17);
+        assert_eq!(cfg.deadline, Duration::from_millis(250));
+        assert_eq!(cfg.idle_timeout, Duration::from_millis(750));
+    }
+
+    #[test]
+    fn rejects_missing_library_and_bad_numbers() {
+        assert!(parse_args(&args(&["--port", "1"])).is_err());
+        assert!(parse_args(&args(&["--library", "x", "--port", "hi"])).is_err());
+        assert!(parse_args(&args(&["--library", "x", "--bogus"])).is_err());
+        assert!(parse_args(&args(&["--library"])).is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! The worker pool: N threads draining the admission queue, each owning a
+//! handle to the shared [`AppState`] and serving whole keep-alive
+//! connections.
+//!
+//! Time discipline per connection:
+//!
+//! * the **first** request's clock starts at *accept* time, so time spent
+//!   waiting in the admission queue counts against the deadline — a
+//!   request that aged out in the queue is answered `408` without even
+//!   being parsed;
+//! * each subsequent keep-alive request's clock starts when its first
+//!   byte arrives;
+//! * while a request is being read, every socket read is capped by the
+//!   remaining deadline (see [`ConnStream`]), so a slow sender cannot pin
+//!   a worker past the deadline;
+//! * between requests the worker waits in short slices, polling the
+//!   shutdown token and the idle budget, so an idle keep-alive connection
+//!   neither blocks shutdown nor holds a worker forever.
+
+use crate::error::ServerError;
+use crate::http::{self, HttpReader, Limits, Response};
+use crate::queue::{Bounded, Pop};
+use crate::router::{self, AppState};
+use crate::shutdown::Shutdown;
+use goalrec_obs::{self as obs, names};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a worker blocks on the queue before re-checking for close.
+const QUEUE_POLL: Duration = Duration::from_millis(50);
+/// Idle-wait slice between keep-alive requests.
+const IDLE_SLICE: Duration = Duration::from_millis(25);
+/// Cap on any single blocking read, even far from the deadline.
+const MAX_READ_SLICE: Duration = Duration::from_secs(5);
+/// How long a response write may block before the connection is dropped.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// One admitted connection, stamped with its accept time so queue wait
+/// counts against the first request's deadline.
+pub(crate) struct Conn {
+    pub stream: TcpStream,
+    pub accepted: Instant,
+}
+
+/// Per-connection timing knobs handed to each worker.
+#[derive(Clone)]
+pub(crate) struct ConnPolicy {
+    pub deadline: Duration,
+    pub idle_timeout: Duration,
+    pub limits: Limits,
+}
+
+/// The serving metrics, resolved once and shared by every thread.
+pub(crate) struct ServerMetrics {
+    pub requests: Arc<obs::Counter>,
+    pub rejected: Arc<obs::Counter>,
+    pub timeouts: Arc<obs::Counter>,
+    pub connections: Arc<obs::Counter>,
+    pub latency: Arc<obs::Histogram>,
+    inflight_gauge: Arc<obs::Gauge>,
+    inflight: AtomicI64,
+}
+
+impl ServerMetrics {
+    pub fn new() -> Self {
+        ServerMetrics {
+            requests: obs::counter(names::SERVER_REQUESTS),
+            rejected: obs::counter(names::SERVER_REJECTED),
+            timeouts: obs::counter(names::SERVER_TIMEOUTS),
+            connections: obs::counter(names::SERVER_CONNECTIONS),
+            latency: obs::histogram_ns(names::SERVER_LATENCY),
+            inflight_gauge: obs::gauge(names::SERVER_INFLIGHT),
+            inflight: AtomicI64::new(0),
+        }
+    }
+
+    fn enter_inflight(&self) {
+        let now = self.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        self.inflight_gauge.set(now as f64);
+    }
+
+    fn exit_inflight(&self) {
+        let now = self.inflight.fetch_sub(1, Ordering::SeqCst) - 1;
+        self.inflight_gauge.set(now as f64);
+    }
+}
+
+/// A [`TcpStream`] whose reads respect an optional absolute deadline.
+///
+/// With a deadline set, each read blocks at most until the deadline (and
+/// reports [`std::io::ErrorKind::TimedOut`] once it has passed); without
+/// one, reads block in [`IDLE_SLICE`] increments so the caller can poll
+/// shutdown and idle budgets between slices.
+pub(crate) struct ConnStream {
+    stream: TcpStream,
+    pub deadline: Option<Instant>,
+}
+
+impl ConnStream {
+    fn new(stream: TcpStream) -> Self {
+        ConnStream {
+            stream,
+            deadline: None,
+        }
+    }
+}
+
+impl Read for ConnStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let slice = match self.deadline {
+            Some(d) => {
+                let remaining = d.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(std::io::Error::from(std::io::ErrorKind::TimedOut));
+                }
+                remaining.min(MAX_READ_SLICE)
+            }
+            None => IDLE_SLICE,
+        };
+        self.stream
+            .set_read_timeout(Some(slice.max(Duration::from_millis(1))))?;
+        self.stream.read(buf)
+    }
+}
+
+impl Write for ConnStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.stream.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.stream.flush()
+    }
+}
+
+/// The worker thread body: drain connections until the queue is closed
+/// *and* empty — exactly the graceful-drain contract.
+pub(crate) fn worker_loop(
+    state: Arc<AppState>,
+    queue: Arc<Bounded<Conn>>,
+    shutdown: Shutdown,
+    metrics: Arc<ServerMetrics>,
+    policy: ConnPolicy,
+) {
+    loop {
+        match queue.pop(QUEUE_POLL) {
+            Pop::Item(conn) => handle_connection(conn, &state, &shutdown, &metrics, &policy),
+            Pop::Empty => {}
+            Pop::Closed => break,
+        }
+    }
+}
+
+/// Writes one response and maintains the request/latency metrics.
+/// Returns whether the socket is still usable.
+fn respond(
+    reader: &mut HttpReader<ConnStream>,
+    response: &Response,
+    keep_alive: bool,
+    t0: Instant,
+    metrics: &ServerMetrics,
+) -> bool {
+    let ok = response.write_to(reader.get_mut(), keep_alive).is_ok();
+    metrics.requests.inc();
+    metrics
+        .latency
+        .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    ok && keep_alive && !response.close
+}
+
+/// Serves every request of one connection.
+fn handle_connection(
+    conn: Conn,
+    state: &AppState,
+    shutdown: &Shutdown,
+    metrics: &ServerMetrics,
+    policy: &ConnPolicy,
+) {
+    let stream = conn.stream;
+    let _ = stream.set_nodelay(true);
+    if stream.set_write_timeout(Some(WRITE_TIMEOUT)).is_err() {
+        return;
+    }
+    let mut reader = HttpReader::new(ConnStream::new(stream));
+    // The first request is accounted from accept time (queue wait included).
+    let mut pending_t0 = Some(conn.accepted);
+
+    loop {
+        // --- idle phase: wait for the first byte of the next request ----
+        let idle_started = Instant::now();
+        let got_data = loop {
+            if reader.has_buffered() {
+                break true;
+            }
+            if shutdown.is_set() {
+                // Draining: wait (at most one deadline) for the first
+                // request of an admitted connection, but take no further
+                // requests from idle keep-alive connections.
+                match pending_t0 {
+                    None => break false,
+                    Some(t) if t.elapsed() >= policy.deadline => break false,
+                    Some(_) => {}
+                }
+            }
+            reader.get_mut().deadline = None;
+            match reader.fill_once() {
+                Ok(0) => break false,
+                Ok(_) => break true,
+                Err(ServerError::Timeout) => {
+                    if idle_started.elapsed() >= policy.idle_timeout {
+                        break false;
+                    }
+                }
+                Err(_) => break false,
+            }
+        };
+        if !got_data {
+            break;
+        }
+
+        let t0 = pending_t0.take().unwrap_or(idle_started);
+        metrics.enter_inflight();
+
+        // Queue-aged admission: the deadline may already be gone before a
+        // single byte is parsed.
+        if t0.elapsed() >= policy.deadline {
+            metrics.timeouts.inc();
+            if let Some(resp) = Response::from_error(&ServerError::Timeout) {
+                let _ = respond(&mut reader, &resp, false, t0, metrics);
+            }
+            metrics.exit_inflight();
+            break;
+        }
+
+        // --- parse phase: every read capped by the remaining deadline ---
+        reader.get_mut().deadline = Some(t0 + policy.deadline);
+        let parsed = http::read_request(&mut reader, &policy.limits);
+        reader.get_mut().deadline = None;
+
+        let alive = match parsed {
+            Ok(None) => {
+                metrics.exit_inflight();
+                break;
+            }
+            Ok(Some(request)) => {
+                let keep = request.keep_alive && !shutdown.is_set();
+                if t0.elapsed() >= policy.deadline {
+                    metrics.timeouts.inc();
+                    match Response::from_error(&ServerError::Timeout) {
+                        Some(resp) => respond(&mut reader, &resp, false, t0, metrics),
+                        None => false,
+                    }
+                } else {
+                    let response = match router::handle(state, &request) {
+                        Ok(resp) => resp,
+                        Err(err) => match Response::from_error(&err) {
+                            Some(resp) => resp,
+                            None => {
+                                metrics.exit_inflight();
+                                break;
+                            }
+                        },
+                    };
+                    respond(&mut reader, &response, keep, t0, metrics)
+                }
+            }
+            Err(err) => {
+                if matches!(err, ServerError::Timeout) {
+                    metrics.timeouts.inc();
+                }
+                match Response::from_error(&err) {
+                    Some(resp) => respond(&mut reader, &resp, false, t0, metrics),
+                    None => {
+                        metrics.exit_inflight();
+                        break;
+                    }
+                }
+            }
+        };
+        metrics.exit_inflight();
+        if !alive {
+            break;
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Route dispatch: maps parsed requests onto the serving API.
+//!
+//! Endpoints:
+//!
+//! | Route | Method | Response |
+//! |---|---|---|
+//! | `/healthz` | GET | `200 ok` (liveness probe) |
+//! | `/metrics` | GET | `goalrec-obs` snapshot, text form |
+//! | `/v1/stats` | GET | [`StatsReport`] JSON (same shape as `goalrec stats --json`) |
+//! | `/v1/recommend` | POST | ranked actions for an activity |
+//!
+//! The recommend body is `{"activity": [u32, …], "strategy": "breadth" |
+//! "best-match" | "focus-cmp" | "focus-cl", "k": usize}` with `strategy`
+//! and `k` optional. Every handler returns `Result<Response, ServerError>`
+//! and the connection layer turns errors into their status-coded JSON
+//! envelopes, so nothing in here can abort a worker.
+
+use crate::error::ServerError;
+use crate::http::{Request, Response};
+use goalrec_core::ids::ActionId;
+use goalrec_core::{
+    Activity, BestMatch, Breadth, Focus, FocusVariant, GoalLibrary, GoalModel, GoalRecommender,
+    LibraryStats, Recommender, StatsReport,
+};
+use goalrec_obs::{self as obs, names};
+use serde_json::Value;
+use std::sync::Arc;
+
+/// The strategy names the API accepts, in documentation order.
+pub const STRATEGY_NAMES: &[&str] = &["breadth", "best-match", "focus-cmp", "focus-cl"];
+
+/// Everything a worker needs to answer requests: the shared model, the
+/// library (for names and stats), and one pre-built recommender per
+/// strategy so per-request work is just the strategy's ranking pass.
+pub struct AppState {
+    library: Arc<GoalLibrary>,
+    model: Arc<GoalModel>,
+    stats: LibraryStats,
+    recommenders: Vec<(&'static str, GoalRecommender)>,
+}
+
+impl AppState {
+    /// Compiles the model and the per-strategy recommenders.
+    pub fn new(library: GoalLibrary) -> Result<Self, ServerError> {
+        let model = Arc::new(GoalModel::build(&library)?);
+        let stats = library.stats();
+        let recommenders = vec![
+            (
+                "breadth",
+                GoalRecommender::new(Arc::clone(&model), Box::new(Breadth)),
+            ),
+            (
+                "best-match",
+                GoalRecommender::new(Arc::clone(&model), Box::new(BestMatch::default())),
+            ),
+            (
+                "focus-cmp",
+                GoalRecommender::new(
+                    Arc::clone(&model),
+                    Box::new(Focus::new(FocusVariant::Completeness)),
+                ),
+            ),
+            (
+                "focus-cl",
+                GoalRecommender::new(
+                    Arc::clone(&model),
+                    Box::new(Focus::new(FocusVariant::Closeness)),
+                ),
+            ),
+        ];
+        Ok(AppState {
+            library: Arc::new(library),
+            model,
+            stats,
+            recommenders,
+        })
+    }
+
+    /// The shared model.
+    pub fn model(&self) -> &Arc<GoalModel> {
+        &self.model
+    }
+
+    /// The library behind the model.
+    pub fn library(&self) -> &Arc<GoalLibrary> {
+        &self.library
+    }
+
+    fn recommender(&self, strategy: &str) -> Result<&GoalRecommender, ServerError> {
+        self.recommenders
+            .iter()
+            .find(|(name, _)| *name == strategy)
+            .map(|(_, r)| r)
+            .ok_or_else(|| ServerError::UnknownStrategy(strategy.to_owned()))
+    }
+}
+
+/// Dispatches one request. The per-route counters are recorded here so
+/// they count exactly the requests that reached routing.
+pub fn handle(state: &AppState, request: &Request) -> Result<Response, ServerError> {
+    let route = match (request.method.as_str(), request.path.as_str()) {
+        (_, "/healthz") => "healthz",
+        (_, "/metrics") => "metrics",
+        (_, "/v1/stats") => "stats",
+        (_, "/v1/recommend") => "recommend",
+        _ => "other",
+    };
+    obs::counter(&names::server_route_requests(route)).inc();
+
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Ok(Response::text(200, "ok\n".to_owned())),
+        ("GET", "/metrics") => Ok(Response::text(200, obs::snapshot().to_string())),
+        ("GET", "/v1/stats") => {
+            let report = StatsReport::new(state.stats.clone(), Some(obs::snapshot()));
+            Ok(Response::json(200, report.to_json_pretty()))
+        }
+        ("POST", "/v1/recommend") => recommend(state, request),
+        (_, "/healthz") | (_, "/metrics") | (_, "/v1/stats") => {
+            Err(ServerError::MethodNotAllowed {
+                path: request.path.clone(),
+                allowed: "GET",
+            })
+        }
+        (_, "/v1/recommend") => Err(ServerError::MethodNotAllowed {
+            path: request.path.clone(),
+            allowed: "POST",
+        }),
+        _ => Err(ServerError::NotFound(request.path.clone())),
+    }
+}
+
+/// Parsed `/v1/recommend` body.
+struct RecommendParams {
+    activity: Vec<u32>,
+    strategy: String,
+    k: usize,
+}
+
+fn parse_recommend_body(body: &[u8]) -> Result<RecommendParams, ServerError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ServerError::BadRequest("body is not valid UTF-8".to_owned()))?;
+    if text.trim().is_empty() {
+        return Err(ServerError::BadRequest(
+            "empty body; expected {\"activity\": [..], \"strategy\": .., \"k\": ..}".to_owned(),
+        ));
+    }
+    let doc: Value = serde_json::from_str(text)
+        .map_err(|e| ServerError::BadRequest(format!("invalid JSON body: {e}")))?;
+
+    let activity = match doc.get("activity") {
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .and_then(|u| u32::try_from(u).ok())
+                    .ok_or_else(|| {
+                        ServerError::BadRequest(
+                            "'activity' must be an array of non-negative action ids".to_owned(),
+                        )
+                    })
+            })
+            .collect::<Result<Vec<u32>, ServerError>>()?,
+        _ => {
+            return Err(ServerError::BadRequest(
+                "missing 'activity' (array of action ids)".to_owned(),
+            ))
+        }
+    };
+
+    let strategy = match doc.get("strategy") {
+        None | Some(Value::Null) => "breadth".to_owned(),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| ServerError::BadRequest("'strategy' must be a string".to_owned()))?
+            .to_owned(),
+    };
+
+    let k = match doc.get("k") {
+        None | Some(Value::Null) => 10,
+        Some(v) => v
+            .as_u64()
+            .and_then(|u| usize::try_from(u).ok())
+            .filter(|&k| k > 0)
+            .ok_or_else(|| ServerError::BadRequest("'k' must be a positive integer".to_owned()))?,
+    };
+
+    Ok(RecommendParams {
+        activity,
+        strategy,
+        k,
+    })
+}
+
+fn recommend(state: &AppState, request: &Request) -> Result<Response, ServerError> {
+    let params = parse_recommend_body(&request.body)?;
+    for &id in &params.activity {
+        state.model.check_action(ActionId::new(id))?;
+    }
+    let recommender = state.recommender(&params.strategy)?;
+    let activity = Activity::from_raw(params.activity.iter().copied());
+    let ranked = recommender.recommend(&activity, params.k);
+
+    let items: Vec<Value> = ranked
+        .iter()
+        .map(|s| {
+            serde_json::json!({
+                "action": s.action.raw(),
+                "name": state.library.action_name(s.action),
+                "score": s.score,
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "strategy": params.strategy,
+        "k": params.k,
+        "activity": activity.raw().to_vec(),
+        "recommendations": items,
+    });
+    Ok(Response::json(200, doc.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goalrec_core::LibraryBuilder;
+
+    fn state() -> AppState {
+        let mut b = LibraryBuilder::new();
+        b.add_impl("olivier salad", ["potatoes", "carrots", "pickles"])
+            .unwrap();
+        b.add_impl("mashed potatoes", ["potatoes", "nutmeg", "butter"])
+            .unwrap();
+        b.add_impl("pan-fried carrots", ["carrots", "nutmeg"])
+            .unwrap();
+        AppState::new(b.build().unwrap()).unwrap()
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".to_owned(),
+            path: path.to_owned(),
+            query: None,
+            headers: Vec::new(),
+            body: Vec::new(),
+            keep_alive: true,
+        }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_owned(),
+            body: body.as_bytes().to_vec(),
+            ..get(path)
+        }
+    }
+
+    #[test]
+    fn healthz_and_metrics_and_stats() {
+        let st = state();
+        assert_eq!(handle(&st, &get("/healthz")).unwrap().status, 200);
+        let metrics = handle(&st, &get("/metrics")).unwrap();
+        assert_eq!(metrics.content_type, "text/plain; charset=utf-8");
+        let stats = handle(&st, &get("/v1/stats")).unwrap();
+        assert_eq!(stats.content_type, "application/json");
+        let text = String::from_utf8(stats.body).unwrap();
+        assert!(text.contains("num_implementations"), "{text}");
+        assert!(text.contains("\"metrics\""), "{text}");
+    }
+
+    #[test]
+    fn recommend_ranks_completions() {
+        let st = state();
+        // potatoes + carrots → pickles / nutmeg complete the open goals.
+        let resp = handle(
+            &st,
+            &post("/v1/recommend", r#"{"activity": [0, 1], "k": 2}"#),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(
+            text.contains("pickles") || text.contains("nutmeg"),
+            "{text}"
+        );
+        assert!(text.contains("\"strategy\""), "{text}");
+    }
+
+    #[test]
+    fn every_strategy_name_is_servable() {
+        let st = state();
+        for name in STRATEGY_NAMES {
+            let body = format!("{{\"activity\": [0], \"strategy\": \"{name}\"}}");
+            let resp = handle(&st, &post("/v1/recommend", &body)).unwrap();
+            assert_eq!(resp.status, 200, "strategy {name}");
+        }
+    }
+
+    #[test]
+    fn recommend_rejects_bad_payloads() {
+        let st = state();
+        let cases = [
+            ("", "empty body"),
+            ("{not json", "invalid JSON"),
+            (r#"{"k": 3}"#, "missing activity"),
+            (r#"{"activity": "zero"}"#, "non-array activity"),
+            (r#"{"activity": [-1]}"#, "negative id"),
+            (r#"{"activity": [0], "k": 0}"#, "zero k"),
+            (r#"{"activity": [0], "strategy": 7}"#, "non-string strategy"),
+        ];
+        for (body, why) in cases {
+            assert!(
+                matches!(
+                    handle(&st, &post("/v1/recommend", body)),
+                    Err(ServerError::BadRequest(_))
+                ),
+                "case: {why}"
+            );
+        }
+        assert!(matches!(
+            handle(
+                &st,
+                &post(
+                    "/v1/recommend",
+                    r#"{"activity": [0], "strategy": "voodoo"}"#
+                )
+            ),
+            Err(ServerError::UnknownStrategy(_))
+        ));
+        assert!(matches!(
+            handle(&st, &post("/v1/recommend", r#"{"activity": [999]}"#)),
+            Err(ServerError::Recommend(goalrec_core::Error::UnknownAction(
+                999
+            )))
+        ));
+    }
+
+    #[test]
+    fn routing_rejects_wrong_methods_and_unknown_paths() {
+        let st = state();
+        assert!(matches!(
+            handle(&st, &post("/healthz", "")),
+            Err(ServerError::MethodNotAllowed { .. })
+        ));
+        assert!(matches!(
+            handle(&st, &get("/v1/recommend")),
+            Err(ServerError::MethodNotAllowed { .. })
+        ));
+        assert!(matches!(
+            handle(&st, &get("/nope")),
+            Err(ServerError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn route_counters_tick() {
+        let st = state();
+        let before = goalrec_obs::snapshot()
+            .counter(&names::server_route_requests("healthz"))
+            .unwrap_or(0);
+        handle(&st, &get("/healthz")).unwrap();
+        let after = goalrec_obs::snapshot()
+            .counter(&names::server_route_requests("healthz"))
+            .unwrap_or(0);
+        assert_eq!(after, before + 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! End-to-end tests over real sockets: round-trips for every route,
+//! admission control under a saturated queue, deadline expiry, and the
+//! zero-drop graceful-drain guarantee.
+
+use goalrec_core::LibraryBuilder;
+use goalrec_server::{start, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A small recipe library with enough structure for every strategy.
+fn tiny_library() -> goalrec_core::GoalLibrary {
+    let mut b = LibraryBuilder::new();
+    b.add_impl("olivier salad", ["potatoes", "carrots", "pickles", "peas"])
+        .unwrap();
+    b.add_impl("mashed potatoes", ["potatoes", "nutmeg", "butter"])
+        .unwrap();
+    b.add_impl("pan-fried carrots", ["carrots", "nutmeg", "butter"])
+        .unwrap();
+    b.add_impl("pea soup", ["peas", "carrots", "onion"])
+        .unwrap();
+    b.build().unwrap()
+}
+
+fn config(workers: usize, queue_depth: usize, deadline_ms: u64) -> ServerConfig {
+    ServerConfig {
+        port: 0, // ephemeral: tests never race over a fixed port
+        workers,
+        queue_depth,
+        deadline: Duration::from_millis(deadline_ms),
+        idle_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    }
+}
+
+/// One parsed response: status code, headers (lowercased names), body.
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads exactly one response off `stream` (keep-alive friendly: stops at
+/// content-length instead of waiting for EOF).
+fn read_reply(stream: &mut TcpStream) -> Reply {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let n = stream.read(&mut buf).expect("read response head");
+        assert!(n > 0, "connection closed before a full response head");
+        raw.extend_from_slice(&buf[..n]);
+    };
+
+    let head = String::from_utf8_lossy(&raw[..header_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line '{status_line}'"));
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_owned()))
+        .collect();
+
+    let len: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+    let mut body = raw[header_end..].to_vec();
+    while body.len() < len {
+        let n = stream.read(&mut buf).expect("read response body");
+        assert!(n > 0, "connection closed mid-body");
+        body.extend_from_slice(&buf[..n]);
+    }
+    body.truncate(len);
+    Reply {
+        status,
+        headers,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    }
+}
+
+/// Connection-per-request helper: send `raw`, read one reply.
+fn roundtrip(addr: SocketAddr, raw: &str) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("write request");
+    read_reply(&mut stream)
+}
+
+fn get(addr: SocketAddr, path: &str) -> Reply {
+    roundtrip(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n"),
+    )
+}
+
+fn post_json(addr: SocketAddr, path: &str, body: &str) -> Reply {
+    roundtrip(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nhost: t\r\ncontent-type: application/json\r\n\
+             content-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+#[test]
+fn routes_round_trip() {
+    let handle = start(tiny_library(), config(2, 16, 2_000)).unwrap();
+    let addr = handle.local_addr();
+
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, "ok\n");
+
+    let stats = get(addr, "/v1/stats");
+    assert_eq!(stats.status, 200);
+    assert_eq!(stats.header("content-type"), Some("application/json"));
+    assert!(stats.body.contains("\"stats\""), "body: {}", stats.body);
+
+    let rec = post_json(
+        addr,
+        "/v1/recommend",
+        r#"{"activity": [0, 1], "strategy": "breadth", "k": 3}"#,
+    );
+    assert_eq!(rec.status, 200, "body: {}", rec.body);
+    assert!(
+        rec.body.contains("\"recommendations\""),
+        "body: {}",
+        rec.body
+    );
+
+    // Defaults: no strategy/k keys.
+    let rec = post_json(addr, "/v1/recommend", r#"{"activity": [0]}"#);
+    assert_eq!(rec.status, 200, "body: {}", rec.body);
+
+    let metrics = get(addr, "/metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(
+        metrics.body.contains("server.requests"),
+        "body: {}",
+        metrics.body
+    );
+
+    assert_eq!(get(addr, "/nope").status, 404);
+    assert_eq!(get(addr, "/v1/recommend").status, 405);
+    assert_eq!(
+        post_json(addr, "/v1/recommend", r#"{"activity": [999]}"#).status,
+        400
+    );
+    assert_eq!(post_json(addr, "/v1/recommend", "{not json").status, 400);
+
+    handle.shutdown();
+}
+
+#[test]
+fn saturated_queue_answers_503_not_hangs() {
+    // One worker, queue depth one: a pinned keep-alive connection occupies
+    // the worker, a second fills the queue, a third must be turned away.
+    let handle = start(tiny_library(), config(1, 1, 2_000)).unwrap();
+    let addr = handle.local_addr();
+
+    let mut pinned = TcpStream::connect(addr).expect("connect pinned");
+    pinned
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n")
+        .unwrap();
+    let first = read_reply(&mut pinned);
+    assert_eq!(first.status, 200);
+    // `pinned` is now a live keep-alive session holding the only worker.
+
+    let mut queued = TcpStream::connect(addr).expect("connect queued");
+    queued
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(150)); // let it land in the queue
+
+    let rejected = get(addr, "/healthz");
+    assert_eq!(rejected.status, 503, "expected admission-control rejection");
+    assert_eq!(rejected.header("retry-after"), Some("1"));
+
+    // Releasing the worker lets the queued connection get served.
+    drop(pinned);
+    let second = read_reply(&mut queued);
+    assert_eq!(second.status, 200);
+
+    handle.shutdown();
+}
+
+#[test]
+fn slow_request_gets_408() {
+    let handle = start(tiny_library(), config(1, 4, 300)).unwrap();
+    let addr = handle.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    // A forever-unfinished request line: the deadline must fire.
+    stream.write_all(b"GET /heal").unwrap();
+    let reply = read_reply(&mut stream);
+    assert_eq!(reply.status, 408);
+
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_drain_drops_no_admitted_request() {
+    let handle = start(tiny_library(), config(2, 64, 5_000)).unwrap();
+    let addr = handle.local_addr();
+
+    // Eight clients connect and send a full request each, *then* shutdown
+    // is requested. Every one of them must still get a 200.
+    let clients: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                let body = format!(r#"{{"activity": [{}], "k": 2}}"#, i % 4);
+                stream
+                    .write_all(
+                        format!(
+                            "POST /v1/recommend HTTP/1.1\r\nhost: t\r\n\
+                             content-length: {}\r\nconnection: close\r\n\r\n{body}",
+                            body.len()
+                        )
+                        .as_bytes(),
+                    )
+                    .expect("write request");
+                read_reply(&mut stream).status
+            })
+        })
+        .collect();
+
+    // Give the requests time to hit the OS backlog, then drain.
+    std::thread::sleep(Duration::from_millis(100));
+    handle.shutdown();
+
+    for client in clients {
+        let status = client.join().expect("client thread");
+        assert_eq!(status, 200, "an admitted request was dropped during drain");
+    }
+}
