@@ -29,4 +29,7 @@ cargo run -q --release -p goalrec-bench --bin repro -- stats table6 --scale test
 echo "== server smoke (healthz + recommend + SIGTERM drain) =="
 cargo run -q --release -p goalrec-bench --bin loadgen -- --smoke
 
+echo "== chaos-reload smoke (faulted reloads roll back under live traffic) =="
+cargo run -q --release -p goalrec-bench --bin loadgen -- --chaos-smoke
+
 echo "OK"

@@ -1,14 +1,19 @@
 //! `loadgen` — closed-loop load generator for `goalrec-server`.
 //!
 //! ```text
-//! loadgen [--clients N] [--seconds S] [--out FILE] [--smoke]
+//! loadgen [--clients N] [--seconds S] [--out FILE] [--smoke] [--chaos-smoke]
 //!
-//! --clients N   keep-alive client threads for the throughput phase (default 8)
-//! --seconds S   measurement window per phase, seconds (default 3)
-//! --out FILE    where to write the JSON report (default BENCH_serve.json)
-//! --smoke       CI mode: probe /healthz and /v1/recommend against an
-//!               in-process server, raise a real SIGTERM, assert a clean
-//!               drain, exit 0 — no load, no report
+//! --clients N     keep-alive client threads for the throughput phase (default 8)
+//! --seconds S     measurement window per phase, seconds (default 3)
+//! --out FILE      where to write the JSON report (default BENCH_serve.json)
+//! --smoke         CI mode: probe /healthz and /v1/recommend against an
+//!                 in-process server, raise a real SIGTERM, assert a clean
+//!                 drain, exit 0 — no load, no report
+//! --chaos-smoke   CI mode: drive recommend traffic while hot reloads go
+//!                 through injected fault plans (IO error, torn write,
+//!                 slow read); assert every faulted reload rolls back,
+//!                 no request is dropped or 5xx'd, and a clean reload
+//!                 then bumps the model generation
 //! ```
 //!
 //! Two measurement phases, both against an in-process server on an
@@ -315,12 +320,182 @@ fn smoke() {
     eprintln!("smoke: SIGTERM drained cleanly");
 }
 
+/// Fetches one full response: status plus body text.
+fn fetch(addr: SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("chaos: connect");
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    stream.write_all(raw.as_bytes()).expect("chaos: write");
+    let mut raw_reply = Vec::new();
+    stream.read_to_end(&mut raw_reply).expect("chaos: read");
+    let text = String::from_utf8_lossy(&raw_reply).into_owned();
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("chaos: status line");
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// The serving generation as reported by `/healthz`.
+fn generation(addr: SocketAddr) -> u64 {
+    let (status, body) = fetch(
+        addr,
+        "GET /healthz HTTP/1.1\r\nhost: chaos\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200, "/healthz must stay green, body: {body}");
+    body.split("\"generation\":")
+        .nth(1)
+        .and_then(|rest| {
+            rest.chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .ok()
+        })
+        .unwrap_or_else(|| panic!("no generation in /healthz body: {body}"))
+}
+
+/// `POST /v1/admin/reload` with `body`; returns the status code.
+fn admin_reload(addr: SocketAddr, body: &str) -> u16 {
+    let raw = format!(
+        "POST /v1/admin/reload HTTP/1.1\r\nhost: chaos\r\ncontent-length: {}\r\n\
+         connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    fetch(addr, &raw).0
+}
+
+/// Chaos smoke: recommend traffic flows continuously while reload
+/// attempts are pushed through injected fault plans. Every faulted
+/// attempt must answer 500 and leave the last good generation serving;
+/// the traffic tally must show zero non-200 responses and zero transport
+/// errors; and once the chaos stops, a clean reload must bump the
+/// generation.
+fn chaos_smoke() {
+    use goalrec_faults::{with_plan, FaultPlan};
+
+    let dir = std::env::temp_dir().join("goalrec-chaos-smoke");
+    std::fs::create_dir_all(&dir).expect("chaos: temp dir");
+    let serving = dir.join("chaos-serving.grlb");
+    goalrec_datasets::binary::write_library_binary(&synthetic_library(), &serving)
+        .expect("chaos: seed library");
+    let good_bytes = std::fs::read(&serving).expect("chaos: read seed");
+
+    // Each keep-alive client pins a worker for the whole window, so give
+    // the probes and the admin endpoint headroom beyond the 4 clients.
+    let mut cfg = config(8, 64);
+    cfg.library_path = Some(serving.clone());
+    let handle = start(synthetic_library(), cfg).expect("chaos: start server");
+    let addr = handle.local_addr();
+
+    // Continuous recommend traffic for the whole chaos window.
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || keep_alive_client(addr, stop))
+        })
+        .collect();
+
+    assert_eq!(generation(addr), 1);
+
+    // Faulted attempt 1: the library read dies with an injected IO error.
+    with_plan(
+        FaultPlan::parse("path=chaos-serving;read-error@byte=8").expect("chaos: plan"),
+        || {
+            assert_eq!(admin_reload(addr, ""), 500, "faulted reload must 500");
+        },
+    );
+    assert_eq!(generation(addr), 1, "failed reload must roll back");
+    eprintln!("chaos: reload under injected read error rolled back, generation 1 serving");
+
+    // Faulted attempt 2: a torn-write artifact — the partial file a
+    // non-crash-safe writer would leave behind — must be rejected whole.
+    let torn = dir.join("chaos-torn.grlb");
+    std::fs::write(&torn, &good_bytes[..good_bytes.len() * 3 / 5]).expect("chaos: torn file");
+    assert_eq!(
+        admin_reload(addr, &format!(r#"{{"path": "{}"}}"#, torn.display())),
+        500,
+        "a torn library file must never be swapped in"
+    );
+    assert_eq!(generation(addr), 1, "torn-file reload must roll back");
+    // And the crate's own writer cannot produce such a file: a torn write
+    // through the crash-safe writer leaves the serving file untouched.
+    with_plan(
+        FaultPlan::parse("path=chaos-serving;torn-write@byte=64").expect("chaos: plan"),
+        || {
+            assert!(
+                goalrec_datasets::binary::write_library_binary(&synthetic_library(), &serving)
+                    .is_err(),
+                "torn write must fail the writer"
+            );
+        },
+    );
+    assert_eq!(
+        std::fs::read(&serving).expect("chaos: reread"),
+        good_bytes,
+        "crash-safe writer must leave the target byte-identical after a torn write"
+    );
+    eprintln!("chaos: torn-write artifact rejected, crash-safe writer kept the target intact");
+
+    // Faulted attempt 3: a slow read that then errors mid-file.
+    with_plan(
+        FaultPlan::parse("path=chaos-serving;stall-50ms@op=1;read-error@byte=512")
+            .expect("chaos: plan"),
+        || {
+            assert_eq!(admin_reload(addr, ""), 500, "slow faulted reload must 500");
+        },
+    );
+    assert_eq!(generation(addr), 1, "slow faulted reload must roll back");
+    eprintln!("chaos: reload under stalled-then-failing read rolled back, generation 1 serving");
+
+    // Chaos over: a clean reload must go through and bump the generation.
+    assert_eq!(admin_reload(addr, ""), 200, "clean reload must succeed");
+    assert_eq!(generation(addr), 2, "clean reload must bump the generation");
+    eprintln!("chaos: clean reload bumped to generation 2");
+
+    stop.store(true, Ordering::Relaxed);
+    let mut merged = ClientTally::default();
+    for c in clients {
+        let tally = c.join().expect("chaos: client thread");
+        merged.ok += tally.ok;
+        merged.rejected += tally.rejected;
+        merged.other += tally.other;
+        merged.errors += tally.errors;
+    }
+    handle.shutdown();
+
+    assert!(
+        merged.ok > 0,
+        "chaos traffic produced no successful requests"
+    );
+    assert_eq!(
+        (merged.other, merged.errors, merged.rejected),
+        (0, 0, 0),
+        "chaos reloads must not fail, drop, or shed recommend traffic \
+         (ok {}, non-200 {}, transport errors {}, 503s {})",
+        merged.ok,
+        merged.other,
+        merged.errors,
+        merged.rejected
+    );
+    eprintln!(
+        "chaos: {} recommend requests answered 200, zero dropped, zero 5xx, zero 503",
+        merged.ok
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut clients = 8usize;
     let mut seconds = 3.0f64;
     let mut out = std::path::PathBuf::from("BENCH_serve.json");
     let mut is_smoke = false;
+    let mut is_chaos = false;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -341,9 +516,19 @@ fn main() {
             }
             "--out" => out = value("--out").into(),
             "--smoke" => is_smoke = true,
+            "--chaos-smoke" => is_chaos = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument: {other}")),
         }
+    }
+
+    if is_chaos {
+        chaos_smoke();
+        println!(
+            "loadgen --chaos-smoke: faulted reloads rolled back, traffic unharmed, \
+             clean reload bumped the generation"
+        );
+        return;
     }
 
     if is_smoke {
@@ -387,6 +572,6 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
     }
-    eprintln!("usage: loadgen [--clients N] [--seconds S] [--out FILE] [--smoke]");
+    eprintln!("usage: loadgen [--clients N] [--seconds S] [--out FILE] [--smoke] [--chaos-smoke]");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

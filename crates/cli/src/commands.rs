@@ -300,6 +300,8 @@ fn serve(args: &Args) -> CmdResult {
         Duration::from_millis(u64::try_from(args.num("deadline-ms", 1000)?).unwrap_or(u64::MAX));
     cfg.idle_timeout =
         Duration::from_millis(u64::try_from(args.num("idle-ms", 5000)?).unwrap_or(u64::MAX));
+    // SIGHUP and path-less admin reloads re-read the same file.
+    cfg.library_path = args.required("library").ok().map(std::path::PathBuf::from);
     goalrec_server::run_blocking(lib, cfg).map_err(|e| e.to_string())
 }
 

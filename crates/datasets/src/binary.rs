@@ -21,7 +21,7 @@
 
 use goalrec_core::{ActionId, GoalId, GoalLibrary};
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufReader, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"GRLB";
@@ -57,28 +57,29 @@ impl<W: Write> CountingWriter<W> {
     }
 }
 
-/// Writes a library in `GRLB` format.
+/// Writes a library in `GRLB` format, crash-safely (temp file + fsync +
+/// atomic rename, via [`crate::io::atomic_write`]).
 pub fn write_library_binary(library: &GoalLibrary, path: &Path) -> io::Result<()> {
-    let file = BufWriter::new(File::create(path)?);
-    let mut w = CountingWriter {
-        inner: file,
-        hash: Fnv::new(),
-    };
-    w.inner.write_all(MAGIC)?;
-    w.put_u32(VERSION)?;
-    w.put_u32(library.num_actions() as u32)?;
-    w.put_u32(library.num_goals() as u32)?;
-    w.put_u32(library.len() as u32)?;
-    for imp in library.implementations() {
-        w.put_u32(imp.goal.raw())?;
-        w.put_u32(imp.actions.len() as u32)?;
-        for a in &imp.actions {
-            w.put_u32(a.raw())?;
+    crate::io::atomic_write(path, |out| {
+        let mut w = CountingWriter {
+            inner: out,
+            hash: Fnv::new(),
+        };
+        w.inner.write_all(MAGIC)?;
+        w.put_u32(VERSION)?;
+        w.put_u32(library.num_actions() as u32)?;
+        w.put_u32(library.num_goals() as u32)?;
+        w.put_u32(library.len() as u32)?;
+        for imp in library.implementations() {
+            w.put_u32(imp.goal.raw())?;
+            w.put_u32(imp.actions.len() as u32)?;
+            for a in &imp.actions {
+                w.put_u32(a.raw())?;
+            }
         }
-    }
-    let digest = w.hash.0;
-    w.inner.write_all(&digest.to_le_bytes())?;
-    w.inner.flush()
+        let digest = w.hash.0;
+        w.inner.write_all(&digest.to_le_bytes())
+    })
 }
 
 struct CountingReader<R: Read> {
@@ -99,9 +100,16 @@ fn invalid(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
 }
 
-/// Reads a `GRLB` library, validating magic, version and checksum.
+/// Cap on speculative pre-allocation from length fields read off disk: a
+/// corrupted count must not translate into a multi-gigabyte allocation
+/// before the checksum gets a chance to reject the file.
+const PREALLOC_CAP: usize = 1 << 16;
+
+/// Reads a `GRLB` library, validating magic, version and checksum. The
+/// file handle goes through `goalrec-faults`, so chaos plans can fail,
+/// stall, or truncate this read path on demand.
 pub fn read_library_binary(path: &Path) -> io::Result<GoalLibrary> {
-    let file = BufReader::new(File::open(path)?);
+    let file = BufReader::new(goalrec_faults::read_wrap(path, File::open(path)?));
     let mut r = CountingReader {
         inner: file,
         hash: Fnv::new(),
@@ -113,20 +121,22 @@ pub fn read_library_binary(path: &Path) -> io::Result<GoalLibrary> {
     }
     let version = r.get_u32()?;
     if version != VERSION {
-        return Err(invalid("unsupported GRLB version"));
+        return Err(invalid(&format!(
+            "unsupported GRLB version {version} (this reader supports version {VERSION})"
+        )));
     }
     let num_actions = r.get_u32()?;
     let num_goals = r.get_u32()?;
     let num_impls = r.get_u32()?;
 
-    let mut impls = Vec::with_capacity(num_impls as usize);
+    let mut impls = Vec::with_capacity((num_impls as usize).min(PREALLOC_CAP));
     for _ in 0..num_impls {
         let goal = r.get_u32()?;
         let len = r.get_u32()?;
         if len as usize > num_actions as usize {
             return Err(invalid("implementation longer than the action universe"));
         }
-        let mut actions = Vec::with_capacity(len as usize);
+        let mut actions = Vec::with_capacity((len as usize).min(PREALLOC_CAP));
         for _ in 0..len {
             actions.push(ActionId::new(r.get_u32()?));
         }
@@ -145,8 +155,10 @@ pub fn read_library_binary(path: &Path) -> io::Result<GoalLibrary> {
         return Err(invalid("trailing bytes after checksum"));
     }
 
-    GoalLibrary::from_id_implementations(num_actions, num_goals, impls)
-        .map_err(|e| invalid(&e.to_string()))
+    GoalLibrary::from_id_implementations(num_actions, num_goals, impls).map_err(|e| match e {
+        goalrec_core::Error::EmptyLibrary => crate::io::empty_library(path),
+        other => invalid(&other.to_string()),
+    })
 }
 
 #[cfg(test)]
@@ -211,6 +223,91 @@ mod tests {
         std::fs::write(&bad, b"NOPE").unwrap();
         let err = read_library_binary(&bad).unwrap_err();
         assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn version_mismatch_reports_the_found_version() {
+        let fm = FoodMart::generate(&FoodMartConfig::test_scale());
+        let path = tmp("version.grlb");
+        write_library_binary(&fm.library, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // The version field sits right after the 4-byte magic.
+        bytes[4..8].copy_from_slice(&7u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_library_binary(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("version 7") && msg.contains("supports version 1"),
+            "error must name the found version: {msg}"
+        );
+    }
+
+    /// A small, irregular library for the byte-level property tests.
+    fn tiny_library() -> GoalLibrary {
+        use goalrec_core::LibraryBuilder;
+        let mut b = LibraryBuilder::new();
+        b.add_impl("salad", ["potatoes", "carrots", "pickles"])
+            .unwrap();
+        b.add_impl("mash", ["potatoes", "butter"]).unwrap();
+        b.add_impl("soup", ["peas", "carrots", "onion", "salt"])
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn every_truncation_prefix_is_an_error_never_a_panic() {
+        let path = tmp("prefix.grlb");
+        write_library_binary(&tiny_library(), &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let trunc = tmp("prefix-cut.grlb");
+        for cut in 0..bytes.len() {
+            std::fs::write(&trunc, &bytes[..cut]).unwrap();
+            assert!(
+                read_library_binary(&trunc).is_err(),
+                "prefix of {cut}/{} bytes parsed as Ok",
+                bytes.len()
+            );
+        }
+        // The untruncated file still parses, so the loop above proved
+        // something about truncation, not about the fixture being broken.
+        std::fs::write(&trunc, &bytes).unwrap();
+        assert!(read_library_binary(&trunc).is_ok());
+    }
+
+    #[test]
+    fn every_single_bit_flip_in_the_body_is_caught() {
+        let path = tmp("bitflip.grlb");
+        write_library_binary(&tiny_library(), &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let flipped = tmp("bitflip-mut.grlb");
+        // The body: everything after magic+header, checksum included —
+        // the FNV checksum (or a bounds check it feeds) must catch every
+        // single-bit corruption.
+        for byte_idx in 4..bytes.len() {
+            for bit in 0..8 {
+                let mut copy = bytes.clone();
+                copy[byte_idx] ^= 1 << bit;
+                std::fs::write(&flipped, &copy).unwrap();
+                assert!(
+                    read_library_binary(&flipped).is_err(),
+                    "bit {bit} of byte {byte_idx} flipped and the file still parsed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_count_fields_do_not_preallocate_gigabytes() {
+        let path = tmp("hugecount.grlb");
+        write_library_binary(&tiny_library(), &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // impls count is the 4th u32 after the magic (magic, version,
+        // actions, goals, impls): offset 4 + 3*4 = 16.
+        bytes[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        // Must fail fast on EOF/checksum, not abort allocating 4Gi entries.
+        assert!(read_library_binary(&path).is_err());
     }
 
     #[test]

@@ -4,81 +4,217 @@
 //! lets examples and the `repro` harness share identical inputs across
 //! runs, and gives downstream users a concrete interchange format for real
 //! goal-implementation data.
+//!
+//! Two robustness properties hold for everything in this module:
+//!
+//! * **Crash safety** — every writer goes through [`atomic_write`]: bytes
+//!   land in a same-directory temp file, are fsynced, and only then
+//!   atomically renamed over the target. A crash, full disk, or injected
+//!   torn write never leaves a half-written file where a good one stood.
+//! * **Fault injectability** — every file handle is wrapped through
+//!   `goalrec-faults`, so chaos tests can schedule IO errors, short reads,
+//!   stalls and torn writes against these exact code paths. With no plan
+//!   armed the wrappers are passthrough.
 
 use goalrec_core::{GoalLibrary, Implementation};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
+use std::fmt;
 use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::path::Path;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Writes any serialisable dataset as pretty JSON.
+/// Typed payload of the "library file contains no implementations" load
+/// error. Surfaced at load time by [`read_library_auto`] so callers (the
+/// server boot path, hot reload) can answer with a precise message instead
+/// of a confusing downstream model-build failure. Retrieve it through
+/// [`is_empty_library`].
+#[derive(Debug)]
+pub struct EmptyLibraryError {
+    /// The file that held no implementations.
+    pub path: PathBuf,
+}
+
+impl fmt::Display for EmptyLibraryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} contains no implementations (empty library)",
+            self.path.display()
+        )
+    }
+}
+
+impl std::error::Error for EmptyLibraryError {}
+
+/// Whether `err` is the typed empty-library error raised by
+/// [`read_library_auto`].
+pub fn is_empty_library(err: &io::Error) -> bool {
+    err.get_ref().is_some_and(|e| e.is::<EmptyLibraryError>())
+}
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A process-unique temp sibling of `path`, in the same directory so the
+/// final rename cannot cross filesystems.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "library".to_owned());
+    let n = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    parent.join(format!(".{name}.tmp.{}.{n}", std::process::id()))
+}
+
+/// Crash-safe file replacement: runs `write` against a same-directory
+/// temp file, fsyncs it, and atomically renames it over `path`. On any
+/// failure the temp file is removed and the previous contents of `path`
+/// remain untouched — a reader can never observe a partially-written
+/// file at the target path.
+///
+/// The writer handed to `write` is fault-wrapped against the *target*
+/// path, so chaos plans name the file being persisted, not the temp name.
+pub fn atomic_write(
+    path: &Path,
+    write: impl FnOnce(&mut dyn Write) -> io::Result<()>,
+) -> io::Result<()> {
+    let tmp = tmp_sibling(path);
+    let result = (|| -> io::Result<()> {
+        let file = File::create(&tmp)?;
+        let mut w = BufWriter::new(goalrec_faults::write_wrap(path, file));
+        write(&mut w)?;
+        w.flush()?;
+        // Durability point: the temp file's bytes must be on disk before
+        // the rename makes them the library.
+        w.get_ref().get_ref().sync_all()
+    })();
+    if let Err(e) = result {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })?;
+    // Best-effort directory sync so the rename itself survives a crash.
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Opens `path` for reading through the fault-injection layer.
+fn open_read(path: &Path) -> io::Result<BufReader<goalrec_faults::FaultyRead<File>>> {
+    Ok(BufReader::new(goalrec_faults::read_wrap(
+        path,
+        File::open(path)?,
+    )))
+}
+
+/// Writes any serialisable dataset as JSON, crash-safely.
 pub fn write_json<T: Serialize>(value: &T, path: &Path) -> std::io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    serde_json::to_writer(&mut w, value)?;
-    w.flush()
+    atomic_write(path, |w| {
+        serde_json::to_writer(&mut *w, value)?;
+        Ok(())
+    })
 }
 
 /// Reads a JSON dataset written by [`write_json`].
 pub fn read_json<T: DeserializeOwned>(path: &Path) -> std::io::Result<T> {
-    let f = BufReader::new(File::open(path)?);
+    let f = open_read(path)?;
     Ok(serde_json::from_reader(f)?)
 }
 
-/// Writes a library as JSON-lines: one implementation per line, so large
-/// libraries stream without a giant in-memory document.
+/// Writes a library as JSON-lines, crash-safely: one implementation per
+/// line, so large libraries stream without a giant in-memory document.
 pub fn write_library_jsonl(library: &GoalLibrary, path: &Path) -> std::io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    for imp in library.implementations() {
-        serde_json::to_writer(&mut w, imp)?;
-        writeln!(w)?;
-    }
-    w.flush()
+    atomic_write(path, |w| {
+        for imp in library.implementations() {
+            serde_json::to_writer(&mut *w, imp)?;
+            writeln!(w)?;
+        }
+        Ok(())
+    })
+}
+
+/// An `InvalidData` error pinned to a 1-based line of a JSONL file.
+fn invalid_line(path: &Path, line: usize, detail: impl fmt::Display) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{}:{line}: {detail}", path.display()),
+    )
 }
 
 /// Reads a library from `path`, choosing the format by extension
 /// (`.grlb` binary, JSON-lines otherwise) and inferring the action/goal
 /// id spaces from the data itself. This is the one-argument loader the
-/// server binary and CLI share.
+/// server binary, hot reload, and CLI share.
+///
+/// A file with zero implementations is rejected here with the typed
+/// [`EmptyLibraryError`] (see [`is_empty_library`]) instead of letting an
+/// empty library surface as a confusing model-build failure downstream.
+/// JSON parse failures report the offending line number.
 pub fn read_library_auto(path: &Path) -> std::io::Result<GoalLibrary> {
     if path.extension().is_some_and(|e| e == "grlb") {
         return crate::binary::read_library_binary(path);
     }
-    let f = BufReader::new(File::open(path)?);
+    let f = open_read(path)?;
     let mut impls = Vec::new();
     let (mut max_action, mut max_goal) = (0u32, 0u32);
-    for line in f.lines() {
+    for (idx, line) in f.lines().enumerate() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let imp: Implementation = serde_json::from_str(&line)?;
+        let imp: Implementation = serde_json::from_str(&line)
+            .map_err(|e| invalid_line(path, idx + 1, format_args!("invalid JSON: {e}")))?;
         max_goal = max_goal.max(imp.goal.raw());
         for a in &imp.actions {
             max_action = max_action.max(a.raw());
         }
         impls.push((imp.goal, imp.actions));
     }
+    if impls.is_empty() {
+        return Err(empty_library(path));
+    }
     GoalLibrary::from_id_implementations(max_action + 1, max_goal + 1, impls)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// The typed empty-library `InvalidData` error for `path`.
+pub(crate) fn empty_library(path: &Path) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        EmptyLibraryError {
+            path: path.to_path_buf(),
+        },
+    )
 }
 
 /// Reads implementations from a JSON-lines file and rebuilds a library.
 /// `num_actions`/`num_goals` bound the id spaces (as in
-/// [`GoalLibrary::from_id_implementations`]).
+/// [`GoalLibrary::from_id_implementations`]). JSON parse failures report
+/// the offending line number.
 pub fn read_library_jsonl(
     path: &Path,
     num_actions: u32,
     num_goals: u32,
 ) -> std::io::Result<GoalLibrary> {
-    let f = BufReader::new(File::open(path)?);
+    let f = open_read(path)?;
     let mut impls = Vec::new();
-    for line in f.lines() {
+    for (idx, line) in f.lines().enumerate() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let imp: Implementation = serde_json::from_str(&line)?;
+        let imp: Implementation = serde_json::from_str(&line)
+            .map_err(|e| invalid_line(path, idx + 1, format_args!("invalid JSON: {e}")))?;
         impls.push((imp.goal, imp.actions));
     }
     GoalLibrary::from_id_implementations(num_actions, num_goals, impls)
@@ -135,5 +271,63 @@ mod tests {
     fn read_missing_file_errors() {
         let err = read_json::<FoodMart>(&tmp("does-not-exist.json")).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn auto_read_rejects_empty_library_with_typed_error() {
+        let path = tmp("empty.jsonl");
+        std::fs::write(&path, "\n  \n").unwrap();
+        let err = read_library_auto(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(is_empty_library(&err), "expected typed EmptyLibraryError");
+        assert!(err.to_string().contains("empty library"), "{err}");
+        // A normal InvalidData error is *not* classified as empty.
+        let plain = io::Error::new(io::ErrorKind::InvalidData, "other");
+        assert!(!is_empty_library(&plain));
+    }
+
+    #[test]
+    fn auto_read_reports_the_failing_line_number() {
+        let fm = FoodMart::generate(&FoodMartConfig::test_scale());
+        let path = tmp("bad-line.jsonl");
+        write_library_jsonl(&fm.library, &path).unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        // Corrupt the third line.
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 3, "need at least three implementations");
+        let mut doctored: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+        doctored[2] = "{not valid json".to_owned();
+        text = doctored.join("\n");
+        std::fs::write(&path, &text).unwrap();
+        let err = read_library_auto(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains(":3:"), "no line number in: {err}");
+        let err = read_library_jsonl(&path, 1000, 1000).unwrap_err();
+        assert!(err.to_string().contains(":3:"), "no line number in: {err}");
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_files_behind() {
+        let dir = std::env::temp_dir().join("goalrec-io-tests-atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clean.jsonl");
+        let fm = FoodMart::generate(&FoodMartConfig::test_scale());
+        write_library_jsonl(&fm.library, &path).unwrap();
+        // A failing writer must also clean up.
+        let err = atomic_write(&dir.join("failing.json"), |_w| {
+            Err(io::Error::other("writer bailed"))
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("writer bailed"));
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
     }
 }

@@ -40,6 +40,7 @@ pub const LIBRARY_CRATES: &[&str] = &[
     "core",
     "datasets",
     "eval",
+    "faults",
     "obs",
     "server",
     "textmine",

@@ -102,6 +102,16 @@ pub const SERVER_LATENCY: &str = "server.latency";
 pub const SERVER_INFLIGHT: &str = "server.inflight";
 /// Pattern — counter: requests dispatched to one route.
 pub const SERVER_ROUTE_REQUESTS: &str = "server.route.<route>.requests";
+/// Counter: hot-reload attempts (admin endpoint or `SIGHUP`).
+pub const SERVER_RELOAD_ATTEMPTS: &str = "server.reload.attempts";
+/// Counter: hot-reload attempts that failed and rolled back.
+pub const SERVER_RELOAD_FAILURES: &str = "server.reload.failures";
+/// Histogram (ns): wall time of one reload attempt (load + validate +
+/// recommender rebuild + swap).
+pub const SERVER_RELOAD_LATENCY: &str = "server.reload.latency";
+/// Gauge: generation of the model currently serving (bumps on every
+/// successful reload).
+pub const SERVER_MODEL_GENERATION: &str = "server.model_generation";
 
 /// `server.route.<route>.requests` for a concrete route name.
 pub fn server_route_requests(route: &str) -> String {
@@ -153,6 +163,10 @@ pub const ALL: &[&str] = &[
     SERVER_LATENCY,
     SERVER_INFLIGHT,
     SERVER_ROUTE_REQUESTS,
+    SERVER_RELOAD_ATTEMPTS,
+    SERVER_RELOAD_FAILURES,
+    SERVER_RELOAD_LATENCY,
+    SERVER_MODEL_GENERATION,
     EVAL_CONTEXT_BUILD,
     EVAL_CONTEXT_FOODMART,
     EVAL_CONTEXT_FORTYTHREE,
@@ -186,7 +200,7 @@ mod tests {
         for name in ALL {
             assert!(seen.insert(*name), "duplicate registry entry {name}");
         }
-        assert_eq!(ALL.len(), 29);
+        assert_eq!(ALL.len(), 33);
     }
 
     #[test]

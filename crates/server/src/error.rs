@@ -54,6 +54,8 @@ pub enum ServerError {
     UnknownStrategy(String),
     /// The recommendation core rejected the request (unknown ids, …).
     Recommend(goalrec_core::Error),
+    /// A hot reload attempt failed; the previous model keeps serving.
+    ReloadFailed(String),
     /// A bug on the server side.
     Internal(String),
 }
@@ -76,6 +78,7 @@ impl ServerError {
             ServerError::QueueFull => Some(503),
             ServerError::NotFound(_) => Some(404),
             ServerError::MethodNotAllowed { .. } => Some(405),
+            ServerError::ReloadFailed(_) => Some(500),
             ServerError::Internal(_) => Some(500),
         }
     }
@@ -121,6 +124,9 @@ impl fmt::Display for ServerError {
                 "unknown strategy '{name}' (expected breadth | best-match | focus-cmp | focus-cl)"
             ),
             ServerError::Recommend(e) => write!(f, "recommendation rejected: {e}"),
+            ServerError::ReloadFailed(msg) => {
+                write!(f, "reload failed (previous model keeps serving): {msg}")
+            }
             ServerError::Internal(msg) => write!(f, "internal server error: {msg}"),
         }
     }
@@ -156,6 +162,7 @@ mod tests {
             Some(405)
         );
         assert_eq!(ServerError::Internal("bug".into()).status(), Some(500));
+        assert_eq!(ServerError::ReloadFailed("torn".into()).status(), Some(500));
         assert_eq!(ServerError::ConnectionClosed.status(), None);
     }
 

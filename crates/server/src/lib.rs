@@ -32,18 +32,21 @@ pub mod error;
 pub mod http;
 mod pool;
 pub mod queue;
+pub mod reload;
 pub mod router;
 pub mod shutdown;
 
 pub use error::ServerError;
 pub use http::{Limits, Request, Response};
-pub use router::{AppState, STRATEGY_NAMES};
+pub use reload::{ReloadHandle, StateCell};
+pub use router::{AppState, ServeCtx, STRATEGY_NAMES};
 pub use shutdown::Shutdown;
 
 use pool::{Conn, ConnPolicy, ServerMetrics};
 use queue::{Bounded, TryPush};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -65,6 +68,12 @@ pub struct ServerConfig {
     pub idle_timeout: Duration,
     /// Request parsing caps.
     pub limits: Limits,
+    /// The library file the server was started from, when there is one.
+    /// It is the default target of `SIGHUP` and path-less
+    /// `POST /v1/admin/reload` requests; `None` (e.g. when serving a
+    /// synthetic in-memory library) makes those reloads require an
+    /// explicit path.
+    pub library_path: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +89,7 @@ impl Default for ServerConfig {
             deadline: Duration::from_millis(1000),
             idle_timeout: Duration::from_secs(5),
             limits: Limits::default(),
+            library_path: None,
         }
     }
 }
@@ -90,6 +100,8 @@ pub struct ServerHandle {
     shutdown: Shutdown,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    reload: ReloadHandle,
+    reloader: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -101,6 +113,11 @@ impl ServerHandle {
     /// A clone of the shutdown token, e.g. to trip it from another thread.
     pub fn shutdown_token(&self) -> Shutdown {
         self.shutdown.clone()
+    }
+
+    /// The reload supervisor, e.g. to trigger a programmatic hot reload.
+    pub fn reload_handle(&self) -> ReloadHandle {
+        self.reload.clone()
     }
 
     /// Requests shutdown and blocks until the accept loop and every
@@ -124,6 +141,11 @@ impl ServerHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Last: the reload supervisor answers any queued jobs, then exits.
+        self.reload.close();
+        if let Some(reloader) = self.reloader.take() {
+            let _ = reloader.join();
+        }
     }
 }
 
@@ -143,7 +165,7 @@ pub fn start_with_shutdown(
     config: ServerConfig,
     shutdown: Shutdown,
 ) -> Result<ServerHandle, ServerError> {
-    let state = Arc::new(AppState::new(library)?);
+    let states = Arc::new(StateCell::new(AppState::new(library)?));
     let bind_addr = format!("{}:{}", config.addr, config.port);
     let listener = TcpListener::bind(&bind_addr).map_err(|e| ServerError::Bind {
         addr: bind_addr.clone(),
@@ -160,6 +182,13 @@ pub fn start_with_shutdown(
             detail: e.to_string(),
         })?;
 
+    let (reload, reloader) = reload::spawn_reloader(
+        Arc::clone(&states),
+        shutdown.clone(),
+        config.library_path.clone(),
+    )?;
+    let ctx = Arc::new(ServeCtx::new(states, Some(reload.clone())));
+
     let queue: Arc<Bounded<Conn>> = Arc::new(Bounded::new(config.queue_depth));
     let metrics = Arc::new(ServerMetrics::new());
     let policy = ConnPolicy {
@@ -170,14 +199,14 @@ pub fn start_with_shutdown(
 
     let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
         .map(|i| {
-            let state = Arc::clone(&state);
+            let ctx = Arc::clone(&ctx);
             let queue = Arc::clone(&queue);
             let shutdown = shutdown.clone();
             let metrics = Arc::clone(&metrics);
             let policy = policy.clone();
             std::thread::Builder::new()
                 .name(format!("goalrec-worker-{i}"))
-                .spawn(move || pool::worker_loop(state, queue, shutdown, metrics, policy))
+                .spawn(move || pool::worker_loop(ctx, queue, shutdown, metrics, policy))
                 .map_err(|e| ServerError::Io {
                     context: "spawning worker thread",
                     detail: e.to_string(),
@@ -203,6 +232,8 @@ pub fn start_with_shutdown(
         shutdown,
         accept: Some(accept),
         workers,
+        reload,
+        reloader: Some(reloader),
     })
 }
 
@@ -279,11 +310,12 @@ pub fn run_blocking(
     let token = Shutdown::watching_signals();
     let handle = start_with_shutdown(library, config, token)?;
     println!("goalrec-serve listening on http://{}", handle.local_addr());
-    println!("  POST /v1/recommend   {{\"activity\": [ids…], \"strategy\": name, \"k\": n}}");
-    println!("  GET  /v1/stats       library statistics + metrics snapshot (JSON)");
-    println!("  GET  /metrics        metrics snapshot (text)");
-    println!("  GET  /healthz        liveness probe");
-    println!("stop with SIGTERM or ctrl-c; in-flight requests drain before exit");
+    println!("  POST /v1/recommend     {{\"activity\": [ids…], \"strategy\": name, \"k\": n}}");
+    println!("  POST /v1/admin/reload  hot-swap the model ({{\"path\": file}} or startup file)");
+    println!("  GET  /v1/stats         library statistics + metrics snapshot (JSON)");
+    println!("  GET  /metrics          metrics snapshot (text)");
+    println!("  GET  /healthz          liveness JSON (generation, model age)");
+    println!("reload with SIGHUP; stop with SIGTERM or ctrl-c (in-flight requests drain)");
     handle.wait();
     eprintln!("goalrec-serve: drained, bye");
     Ok(())

@@ -59,9 +59,11 @@ fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
 
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let (library_path, config) = parse_args(&argv)?;
+    let (library_path, mut config) = parse_args(&argv)?;
     let library = goalrec_datasets::io::read_library_auto(std::path::Path::new(&library_path))
         .map_err(|e| format!("cannot load library {library_path}: {e}"))?;
+    // SIGHUP and path-less admin reloads re-read the same file.
+    config.library_path = Some(std::path::PathBuf::from(&library_path));
     let stats = library.stats();
     eprintln!(
         "loaded {library_path}: {} implementations, {} goals, {} actions",

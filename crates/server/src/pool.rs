@@ -1,6 +1,7 @@
 //! The worker pool: N threads draining the admission queue, each owning a
-//! handle to the shared [`AppState`] and serving whole keep-alive
-//! connections.
+//! handle to the shared [`ServeCtx`] and serving whole keep-alive
+//! connections. Each request loads one `AppState` snapshot through the
+//! context, so hot reloads never swap the model under a request.
 //!
 //! Time discipline per connection:
 //!
@@ -20,7 +21,7 @@
 use crate::error::ServerError;
 use crate::http::{self, HttpReader, Limits, Response};
 use crate::queue::{Bounded, Pop};
-use crate::router::{self, AppState};
+use crate::router::{self, ServeCtx};
 use crate::shutdown::Shutdown;
 use goalrec_obs::{self as obs, names};
 use std::io::{Read, Write};
@@ -139,7 +140,7 @@ impl Write for ConnStream {
 /// The worker thread body: drain connections until the queue is closed
 /// *and* empty — exactly the graceful-drain contract.
 pub(crate) fn worker_loop(
-    state: Arc<AppState>,
+    ctx: Arc<ServeCtx>,
     queue: Arc<Bounded<Conn>>,
     shutdown: Shutdown,
     metrics: Arc<ServerMetrics>,
@@ -147,7 +148,7 @@ pub(crate) fn worker_loop(
 ) {
     loop {
         match queue.pop(QUEUE_POLL) {
-            Pop::Item(conn) => handle_connection(conn, &state, &shutdown, &metrics, &policy),
+            Pop::Item(conn) => handle_connection(conn, &ctx, &shutdown, &metrics, &policy),
             Pop::Empty => {}
             Pop::Closed => break,
         }
@@ -174,7 +175,7 @@ fn respond(
 /// Serves every request of one connection.
 fn handle_connection(
     conn: Conn,
-    state: &AppState,
+    ctx: &ServeCtx,
     shutdown: &Shutdown,
     metrics: &ServerMetrics,
     policy: &ConnPolicy,
@@ -254,7 +255,7 @@ fn handle_connection(
                         None => false,
                     }
                 } else {
-                    let response = match router::handle(state, &request) {
+                    let response = match router::handle(ctx, &request) {
                         Ok(resp) => resp,
                         Err(err) => match Response::from_error(&err) {
                             Some(resp) => resp,

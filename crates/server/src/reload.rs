@@ -1,0 +1,350 @@
+//! Hot model reload with rollback.
+//!
+//! The serving state lives behind a [`StateCell`] — a `RwLock` around an
+//! `Arc<AppState>`. Workers `load()` one `Arc` clone per request, so a
+//! request that started on generation *n* finishes on generation *n* even
+//! if a swap lands mid-flight; the old state is freed when the last
+//! in-flight request drops its clone.
+//!
+//! Reloads are serialized through a single supervisor thread:
+//!
+//! ```text
+//!   POST /v1/admin/reload ──▶ [job queue] ──▶ reloader thread ──▶ swap
+//!   SIGHUP (signal counter) ──────────────▶      │ load + validate
+//!                                                └─ on error: keep old
+//! ```
+//!
+//! An attempt loads the library file (through the fault-injectable
+//! `goalrec-datasets` readers), rebuilds the model and all four
+//! recommenders, and runs [`goalrec_core::GoalModel::validate`] — all
+//! **off** the request path. Only a fully validated state is swapped in;
+//! any failure (missing file, torn write, injected fault, corrupt model)
+//! leaves the previous generation serving. The `server.reload.*` metrics
+//! and the `server.model_generation` gauge record every attempt.
+
+use crate::error::ServerError;
+use crate::queue::{Bounded, Pop, TryPush};
+use crate::router::AppState;
+use crate::shutdown::{self, Shutdown};
+use goalrec_obs::{self as obs, names};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long the supervisor blocks on its queue before re-checking the
+/// `SIGHUP` counter and the shutdown token.
+const RELOAD_POLL: Duration = Duration::from_millis(50);
+/// Upper bound a caller of [`ReloadHandle::reload_blocking`] waits for
+/// the supervisor to report back before giving up.
+const MAX_RELOAD_WAIT: Duration = Duration::from_secs(60);
+/// Pending reload requests beyond this are refused, not queued — piling
+/// up identical reloads helps nobody.
+const RELOAD_QUEUE_DEPTH: usize = 4;
+
+/// The generation-swappable serving state.
+pub struct StateCell {
+    slot: RwLock<Arc<AppState>>,
+}
+
+impl StateCell {
+    /// Wraps the initial state (generation 1 at startup).
+    pub fn new(initial: AppState) -> Self {
+        StateCell {
+            slot: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    /// The state serving right now. Callers hold the returned `Arc` for
+    /// the duration of one request, so a concurrent swap never changes
+    /// the model under a request already being answered.
+    pub fn load(&self) -> Arc<AppState> {
+        // A poisoned lock only means some thread panicked while holding
+        // it; the Arc inside is still intact, so recover and serve.
+        Arc::clone(&self.slot.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    fn swap(&self, next: Arc<AppState>) {
+        *self.slot.write().unwrap_or_else(PoisonError::into_inner) = next;
+    }
+}
+
+type ReloadResult = Result<u64, ServerError>;
+/// One-shot mailbox a blocking requester waits on.
+type DoneSlot = Arc<(Mutex<Option<ReloadResult>>, Condvar)>;
+
+/// One queued reload request. `done` is `None` for fire-and-forget
+/// requests (`SIGHUP`), `Some` when a caller is waiting for the outcome.
+struct ReloadJob {
+    path: PathBuf,
+    done: Option<DoneSlot>,
+}
+
+/// Client side of the reload supervisor, shared by every worker.
+#[derive(Clone)]
+pub struct ReloadHandle {
+    queue: Arc<Bounded<ReloadJob>>,
+    default_path: Option<PathBuf>,
+}
+
+impl ReloadHandle {
+    /// The library file the server was started from, if it was started
+    /// from a file — the target of `SIGHUP` and path-less admin reloads.
+    pub fn default_path(&self) -> Option<&Path> {
+        self.default_path.as_deref()
+    }
+
+    /// Submits a reload of `path` and blocks until the supervisor reports
+    /// the outcome: the new generation on success, the error (with the
+    /// old generation still serving) on failure.
+    pub fn reload_blocking(&self, path: PathBuf) -> ReloadResult {
+        let done: DoneSlot = Arc::new((Mutex::new(None), Condvar::new()));
+        let job = ReloadJob {
+            path,
+            done: Some(Arc::clone(&done)),
+        };
+        match self.queue.try_push(job) {
+            TryPush::Admitted => {}
+            TryPush::Full(_) => {
+                return Err(ServerError::ReloadFailed(
+                    "too many reloads already queued, try again shortly".to_owned(),
+                ))
+            }
+            TryPush::Closed(_) => {
+                return Err(ServerError::ReloadFailed(
+                    "server is shutting down".to_owned(),
+                ))
+            }
+        }
+        let (slot, ready) = &*done;
+        let mut outcome = slot.lock().unwrap_or_else(PoisonError::into_inner);
+        let deadline = Instant::now() + MAX_RELOAD_WAIT;
+        while outcome.is_none() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ServerError::ReloadFailed(
+                    "reload did not finish in time; previous model keeps serving".to_owned(),
+                ));
+            }
+            let (guard, _timed_out) = ready
+                .wait_timeout(outcome, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            outcome = guard;
+        }
+        outcome.take().unwrap_or_else(|| {
+            Err(ServerError::ReloadFailed(
+                "reload outcome was lost".to_owned(),
+            ))
+        })
+    }
+
+    /// Closes the job queue so the supervisor drains and exits; pending
+    /// jobs are still answered.
+    pub(crate) fn close(&self) {
+        self.queue.close();
+    }
+}
+
+/// Starts the reload supervisor for `cell`. `default_path` is what
+/// `SIGHUP` (and path-less admin requests) reload.
+pub(crate) fn spawn_reloader(
+    cell: Arc<StateCell>,
+    shutdown: Shutdown,
+    default_path: Option<PathBuf>,
+) -> Result<(ReloadHandle, JoinHandle<()>), ServerError> {
+    let queue: Arc<Bounded<ReloadJob>> = Arc::new(Bounded::new(RELOAD_QUEUE_DEPTH));
+    let handle = ReloadHandle {
+        queue: Arc::clone(&queue),
+        default_path: default_path.clone(),
+    };
+    let thread = std::thread::Builder::new()
+        .name("goalrec-reload".to_owned())
+        .spawn(move || reloader_loop(cell, queue, shutdown, default_path))
+        .map_err(|e| ServerError::Io {
+            context: "spawning reload thread",
+            detail: e.to_string(),
+        })?;
+    Ok((handle, thread))
+}
+
+/// Per-thread handles to the reload metrics, resolved once.
+struct ReloadMetrics {
+    attempts: Arc<obs::Counter>,
+    failures: Arc<obs::Counter>,
+    latency: Arc<obs::Histogram>,
+    generation: Arc<obs::Gauge>,
+}
+
+impl ReloadMetrics {
+    fn new() -> Self {
+        ReloadMetrics {
+            attempts: obs::counter(names::SERVER_RELOAD_ATTEMPTS),
+            failures: obs::counter(names::SERVER_RELOAD_FAILURES),
+            latency: obs::histogram_ns(names::SERVER_RELOAD_LATENCY),
+            generation: obs::gauge(names::SERVER_MODEL_GENERATION),
+        }
+    }
+}
+
+fn reloader_loop(
+    cell: Arc<StateCell>,
+    queue: Arc<Bounded<ReloadJob>>,
+    shutdown: Shutdown,
+    default_path: Option<PathBuf>,
+) {
+    let metrics = ReloadMetrics::new();
+    metrics.generation.set(cell.load().generation() as f64);
+    let mut seen_hups = shutdown::reload_signal_count();
+    loop {
+        match queue.pop(RELOAD_POLL) {
+            Pop::Item(job) => {
+                let result = attempt(&cell, &job.path, &metrics);
+                if let Some(done) = job.done {
+                    let (slot, ready) = &*done;
+                    *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+                    ready.notify_all();
+                }
+            }
+            Pop::Empty => {
+                let hups = shutdown::reload_signal_count();
+                if hups != seen_hups {
+                    seen_hups = hups;
+                    match &default_path {
+                        Some(path) => {
+                            let _ = attempt(&cell, path, &metrics);
+                        }
+                        None => eprintln!(
+                            "goalrec-serve: SIGHUP received but no library file is \
+                             configured; ignoring"
+                        ),
+                    }
+                }
+                if shutdown.is_set() {
+                    // Stop taking new jobs; the next iterations drain
+                    // whatever is already queued, then observe Closed.
+                    queue.close();
+                }
+            }
+            Pop::Closed => break,
+        }
+    }
+}
+
+/// One reload attempt: build-and-validate off to the side, swap only on
+/// success, roll back (i.e. do nothing) on any failure.
+fn attempt(cell: &Arc<StateCell>, path: &Path, metrics: &ReloadMetrics) -> ReloadResult {
+    metrics.attempts.inc();
+    let t0 = Instant::now();
+    let loaded = load_state(cell, path);
+    metrics
+        .latency
+        .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    match loaded {
+        Ok(next) => {
+            let generation = next.generation();
+            cell.swap(next);
+            metrics.generation.set(generation as f64);
+            eprintln!(
+                "goalrec-serve: reloaded {} (generation {generation})",
+                path.display()
+            );
+            Ok(generation)
+        }
+        Err(err) => {
+            metrics.failures.inc();
+            let serving = cell.load().generation();
+            eprintln!(
+                "goalrec-serve: reload of {} failed ({err}); generation {serving} keeps serving",
+                path.display()
+            );
+            Err(err)
+        }
+    }
+}
+
+fn load_state(cell: &StateCell, path: &Path) -> Result<Arc<AppState>, ServerError> {
+    let library = goalrec_datasets::io::read_library_auto(path)
+        .map_err(|e| ServerError::ReloadFailed(format!("cannot load {}: {e}", path.display())))?;
+    let next_generation = cell.load().generation() + 1;
+    let state = AppState::with_generation(library, next_generation)
+        .map_err(|e| ServerError::ReloadFailed(format!("model rebuild failed: {e}")))?;
+    state
+        .model()
+        .validate()
+        .map_err(|e| ServerError::ReloadFailed(format!("model failed validation: {e}")))?;
+    Ok(Arc::new(state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goalrec_core::LibraryBuilder;
+
+    fn library(tag: &str) -> goalrec_core::GoalLibrary {
+        let mut b = LibraryBuilder::new();
+        b.add_impl(&format!("goal-{tag}"), ["potatoes", "carrots"])
+            .unwrap();
+        b.add_impl("mash", ["potatoes", "butter"]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("goalrec-reload-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn state_cell_swaps_without_disturbing_held_arcs() {
+        let cell = StateCell::new(AppState::new(library("a")).unwrap());
+        let held = cell.load();
+        assert_eq!(held.generation(), 1);
+        cell.swap(Arc::new(
+            AppState::with_generation(library("b"), 2).unwrap(),
+        ));
+        // The held clone still answers from generation 1...
+        assert_eq!(held.generation(), 1);
+        // ...while new loads see generation 2.
+        assert_eq!(cell.load().generation(), 2);
+    }
+
+    #[test]
+    fn successful_reload_bumps_generation_and_failure_rolls_back() {
+        let good = tmp("reload-good.jsonl");
+        goalrec_datasets::io::write_library_jsonl(&library("fresh"), &good).unwrap();
+        let cell = Arc::new(StateCell::new(AppState::new(library("old")).unwrap()));
+        let shutdown = Shutdown::new();
+        let (handle, thread) = spawn_reloader(Arc::clone(&cell), shutdown.clone(), None).unwrap();
+
+        let generation = handle.reload_blocking(good).unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(cell.load().generation(), 2);
+
+        // A missing file must fail the attempt and leave generation 2.
+        let err = handle
+            .reload_blocking(tmp("reload-no-such-file.jsonl"))
+            .unwrap_err();
+        assert!(matches!(err, ServerError::ReloadFailed(_)), "{err}");
+        assert_eq!(cell.load().generation(), 2);
+
+        // A corrupt file likewise.
+        let bad = tmp("reload-corrupt.jsonl");
+        std::fs::write(&bad, b"{definitely not a library}\n").unwrap();
+        assert!(handle.reload_blocking(bad).is_err());
+        assert_eq!(cell.load().generation(), 2);
+
+        shutdown.request();
+        handle.close();
+        let _ = thread.join();
+    }
+
+    #[test]
+    fn closed_supervisor_refuses_new_reloads() {
+        let cell = Arc::new(StateCell::new(AppState::new(library("x")).unwrap()));
+        let shutdown = Shutdown::new();
+        let (handle, thread) = spawn_reloader(cell, shutdown, None).unwrap();
+        handle.close();
+        let _ = thread.join();
+        assert!(handle.reload_blocking(tmp("never.jsonl")).is_err());
+    }
+}

@@ -4,19 +4,25 @@
 //!
 //! | Route | Method | Response |
 //! |---|---|---|
-//! | `/healthz` | GET | `200 ok` (liveness probe) |
+//! | `/healthz` | GET | `{"status", "generation", "model_age_ms"}` liveness JSON |
 //! | `/metrics` | GET | `goalrec-obs` snapshot, text form |
 //! | `/v1/stats` | GET | [`StatsReport`] JSON (same shape as `goalrec stats --json`) |
 //! | `/v1/recommend` | POST | ranked actions for an activity |
+//! | `/v1/admin/reload` | POST | hot-swap the model from `{"path": …}` (or the startup file) |
 //!
 //! The recommend body is `{"activity": [u32, …], "strategy": "breadth" |
 //! "best-match" | "focus-cmp" | "focus-cl", "k": usize}` with `strategy`
 //! and `k` optional. Every handler returns `Result<Response, ServerError>`
 //! and the connection layer turns errors into their status-coded JSON
 //! envelopes, so nothing in here can abort a worker.
+//!
+//! Workers hand requests to [`handle`] with a [`ServeCtx`]; the handler
+//! loads one [`AppState`] snapshot up front, so a hot reload landing
+//! mid-request never changes the model a request is being answered from.
 
 use crate::error::ServerError;
 use crate::http::{Request, Response};
+use crate::reload::{ReloadHandle, StateCell};
 use goalrec_core::ids::ActionId;
 use goalrec_core::{
     Activity, BestMatch, Breadth, Focus, FocusVariant, GoalLibrary, GoalModel, GoalRecommender,
@@ -24,7 +30,9 @@ use goalrec_core::{
 };
 use goalrec_obs::{self as obs, names};
 use serde_json::Value;
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The strategy names the API accepts, in documentation order.
 pub const STRATEGY_NAMES: &[&str] = &["breadth", "best-match", "focus-cmp", "focus-cl"];
@@ -37,11 +45,20 @@ pub struct AppState {
     model: Arc<GoalModel>,
     stats: LibraryStats,
     recommenders: Vec<(&'static str, GoalRecommender)>,
+    generation: u64,
+    built_at: Instant,
 }
 
 impl AppState {
-    /// Compiles the model and the per-strategy recommenders.
+    /// Compiles the model and the per-strategy recommenders as the
+    /// initial serving state (generation 1).
     pub fn new(library: GoalLibrary) -> Result<Self, ServerError> {
+        AppState::with_generation(library, 1)
+    }
+
+    /// [`AppState::new`] with an explicit generation — what the reload
+    /// supervisor uses to stamp each successor state.
+    pub fn with_generation(library: GoalLibrary, generation: u64) -> Result<Self, ServerError> {
         let model = Arc::new(GoalModel::build(&library)?);
         let stats = library.stats();
         let recommenders = vec![
@@ -73,6 +90,8 @@ impl AppState {
             model,
             stats,
             recommenders,
+            generation,
+            built_at: Instant::now(),
         })
     }
 
@@ -86,6 +105,18 @@ impl AppState {
         &self.library
     }
 
+    /// Which reload generation this state is: 1 at startup, +1 per
+    /// successful hot reload.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// How long ago this state was built — `/healthz` reports it as
+    /// `model_age_ms` so operators can tell a reload actually took.
+    pub fn model_age(&self) -> Duration {
+        self.built_at.elapsed()
+    }
+
     fn recommender(&self, strategy: &str) -> Result<&GoalRecommender, ServerError> {
         self.recommenders
             .iter()
@@ -95,38 +126,128 @@ impl AppState {
     }
 }
 
+/// Everything the routing layer needs: the swappable serving state plus
+/// the reload supervisor (absent in contexts that never reload, e.g.
+/// unit tests).
+pub struct ServeCtx {
+    states: Arc<StateCell>,
+    reload: Option<ReloadHandle>,
+}
+
+impl ServeCtx {
+    /// Wires a state cell to an optional reload supervisor.
+    pub fn new(states: Arc<StateCell>, reload: Option<ReloadHandle>) -> Self {
+        ServeCtx { states, reload }
+    }
+
+    /// A reload-less context over a fixed state — test and embedding aid.
+    pub fn fixed(state: AppState) -> Self {
+        ServeCtx {
+            states: Arc::new(StateCell::new(state)),
+            reload: None,
+        }
+    }
+
+    /// One consistent snapshot of the serving state.
+    pub fn state(&self) -> Arc<AppState> {
+        self.states.load()
+    }
+
+    /// The reload supervisor, when hot reload is enabled.
+    pub fn reload(&self) -> Option<&ReloadHandle> {
+        self.reload.as_ref()
+    }
+}
+
 /// Dispatches one request. The per-route counters are recorded here so
 /// they count exactly the requests that reached routing.
-pub fn handle(state: &AppState, request: &Request) -> Result<Response, ServerError> {
+pub fn handle(ctx: &ServeCtx, request: &Request) -> Result<Response, ServerError> {
     let route = match (request.method.as_str(), request.path.as_str()) {
         (_, "/healthz") => "healthz",
         (_, "/metrics") => "metrics",
         (_, "/v1/stats") => "stats",
         (_, "/v1/recommend") => "recommend",
+        (_, "/v1/admin/reload") => "admin_reload",
         _ => "other",
     };
     obs::counter(&names::server_route_requests(route)).inc();
 
+    // One snapshot per request: a hot reload that lands after this line
+    // does not change what this request is answered from.
+    let state = ctx.state();
+
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => Ok(Response::text(200, "ok\n".to_owned())),
+        ("GET", "/healthz") => {
+            let doc = serde_json::json!({
+                "status": "ok",
+                "generation": state.generation(),
+                "model_age_ms":
+                    u64::try_from(state.model_age().as_millis()).unwrap_or(u64::MAX),
+            });
+            Ok(Response::json(200, doc.to_string()))
+        }
         ("GET", "/metrics") => Ok(Response::text(200, obs::snapshot().to_string())),
         ("GET", "/v1/stats") => {
             let report = StatsReport::new(state.stats.clone(), Some(obs::snapshot()));
             Ok(Response::json(200, report.to_json_pretty()))
         }
-        ("POST", "/v1/recommend") => recommend(state, request),
+        ("POST", "/v1/recommend") => recommend(&state, request),
+        ("POST", "/v1/admin/reload") => admin_reload(ctx, request),
         (_, "/healthz") | (_, "/metrics") | (_, "/v1/stats") => {
             Err(ServerError::MethodNotAllowed {
                 path: request.path.clone(),
                 allowed: "GET",
             })
         }
-        (_, "/v1/recommend") => Err(ServerError::MethodNotAllowed {
+        (_, "/v1/recommend") | (_, "/v1/admin/reload") => Err(ServerError::MethodNotAllowed {
             path: request.path.clone(),
             allowed: "POST",
         }),
         _ => Err(ServerError::NotFound(request.path.clone())),
     }
+}
+
+/// Parses the optional `{"path": "..."}` reload body; an empty body or a
+/// missing/`null` `path` means "reload the startup file".
+fn parse_reload_body(body: &[u8]) -> Result<Option<PathBuf>, ServerError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ServerError::BadRequest("body is not valid UTF-8".to_owned()))?;
+    if text.trim().is_empty() {
+        return Ok(None);
+    }
+    let doc: Value = serde_json::from_str(text)
+        .map_err(|e| ServerError::BadRequest(format!("invalid JSON body: {e}")))?;
+    match doc.get("path") {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(PathBuf::from(s)))
+            .ok_or_else(|| ServerError::BadRequest("'path' must be a string".to_owned())),
+    }
+}
+
+fn admin_reload(ctx: &ServeCtx, request: &Request) -> Result<Response, ServerError> {
+    let Some(handle) = ctx.reload() else {
+        return Err(ServerError::ReloadFailed(
+            "hot reload is not enabled on this server".to_owned(),
+        ));
+    };
+    let path = match parse_reload_body(&request.body)? {
+        Some(path) => path,
+        None => handle.default_path().map(PathBuf::from).ok_or_else(|| {
+            ServerError::BadRequest(
+                "no 'path' in the body and the server was not started from a library file"
+                    .to_owned(),
+            )
+        })?,
+    };
+    let generation = handle.reload_blocking(path.clone())?;
+    let doc = serde_json::json!({
+        "status": "reloaded",
+        "path": path.display().to_string(),
+        "generation": generation,
+    });
+    Ok(Response::json(200, doc.to_string()))
 }
 
 /// Parsed `/v1/recommend` body.
@@ -224,7 +345,7 @@ mod tests {
     use super::*;
     use goalrec_core::LibraryBuilder;
 
-    fn state() -> AppState {
+    fn state() -> ServeCtx {
         let mut b = LibraryBuilder::new();
         b.add_impl("olivier salad", ["potatoes", "carrots", "pickles"])
             .unwrap();
@@ -232,7 +353,7 @@ mod tests {
             .unwrap();
         b.add_impl("pan-fried carrots", ["carrots", "nutmeg"])
             .unwrap();
-        AppState::new(b.build().unwrap()).unwrap()
+        ServeCtx::fixed(AppState::new(b.build().unwrap()).unwrap())
     }
 
     fn get(path: &str) -> Request {
@@ -257,7 +378,13 @@ mod tests {
     #[test]
     fn healthz_and_metrics_and_stats() {
         let st = state();
-        assert_eq!(handle(&st, &get("/healthz")).unwrap().status, 200);
+        let health = handle(&st, &get("/healthz")).unwrap();
+        assert_eq!(health.status, 200);
+        assert_eq!(health.content_type, "application/json");
+        let health_text = String::from_utf8(health.body).unwrap();
+        assert!(health_text.contains("\"status\":\"ok\""), "{health_text}");
+        assert!(health_text.contains("\"generation\":1"), "{health_text}");
+        assert!(health_text.contains("\"model_age_ms\""), "{health_text}");
         let metrics = handle(&st, &get("/metrics")).unwrap();
         assert_eq!(metrics.content_type, "text/plain; charset=utf-8");
         let stats = handle(&st, &get("/v1/stats")).unwrap();
@@ -346,9 +473,32 @@ mod tests {
             Err(ServerError::MethodNotAllowed { .. })
         ));
         assert!(matches!(
+            handle(&st, &get("/v1/admin/reload")),
+            Err(ServerError::MethodNotAllowed { .. })
+        ));
+        assert!(matches!(
             handle(&st, &get("/nope")),
             Err(ServerError::NotFound(_))
         ));
+    }
+
+    #[test]
+    fn reload_route_without_a_supervisor_is_a_typed_error() {
+        let st = state();
+        assert!(matches!(
+            handle(&st, &post("/v1/admin/reload", "")),
+            Err(ServerError::ReloadFailed(_))
+        ));
+        // Body validation still runs ahead of dispatch semantics.
+        assert!(matches!(
+            parse_reload_body(br#"{"path": 7}"#),
+            Err(ServerError::BadRequest(_))
+        ));
+        assert_eq!(parse_reload_body(b"").unwrap(), None);
+        assert_eq!(
+            parse_reload_body(br#"{"path": "x.grlb"}"#).unwrap(),
+            Some(PathBuf::from("x.grlb"))
+        );
     }
 
     #[test]

@@ -9,16 +9,20 @@
 //! flag, so either path drains the server the same way.
 
 use std::os::raw::c_int;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// `SIGHUP` — the classic "reload your configuration" signal; here it
+/// asks the server to hot-reload its library file.
+pub const SIGHUP: c_int = 1;
 /// `SIGINT` — ctrl-c.
 pub const SIGINT: c_int = 2;
 /// `SIGTERM` — polite termination, e.g. from an orchestrator.
 pub const SIGTERM: c_int = 15;
 
 static SIGNAL_RECEIVED: AtomicBool = AtomicBool::new(false);
+static RELOAD_SIGNALS: AtomicU64 = AtomicU64::new(0);
 
 extern "C" {
     fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
@@ -29,15 +33,21 @@ extern "C" fn on_signal(_signum: c_int) {
     SIGNAL_RECEIVED.store(true, Ordering::SeqCst);
 }
 
-/// Installs `SIGTERM` and `SIGINT` handlers that set the process-global
-/// shutdown flag. Idempotent; later installs simply re-register the same
-/// handler.
+extern "C" fn on_reload_signal(_signum: c_int) {
+    RELOAD_SIGNALS.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Installs the `SIGTERM`/`SIGINT` shutdown handlers and the `SIGHUP`
+/// reload handler. Each handler performs a single atomic store/add — the
+/// only async-signal-safe things a handler may do. Idempotent; later
+/// installs simply re-register the same handlers.
 pub fn install_signal_handlers() {
-    // Safety: registering an async-signal-safe handler (a single atomic
-    // store) for two standard signals; `signal` itself cannot fault.
+    // Safety: registering async-signal-safe handlers (single atomic
+    // operations) for three standard signals; `signal` itself cannot fault.
     unsafe {
         signal(SIGTERM, on_signal);
         signal(SIGINT, on_signal);
+        signal(SIGHUP, on_reload_signal);
     }
 }
 
@@ -53,6 +63,13 @@ pub fn raise_signal(signum: c_int) {
 /// Whether a termination signal has been received by this process.
 pub fn signal_received() -> bool {
     SIGNAL_RECEIVED.load(Ordering::SeqCst)
+}
+
+/// How many `SIGHUP` reload requests this process has received. The
+/// reload supervisor compares successive readings, so every delivered
+/// signal triggers exactly one reload attempt.
+pub fn reload_signal_count() -> u64 {
+    RELOAD_SIGNALS.load(Ordering::SeqCst)
 }
 
 /// A cloneable shutdown token shared by the accept loop and the workers.

@@ -130,7 +130,22 @@ fn routes_round_trip() {
 
     let health = get(addr, "/healthz");
     assert_eq!(health.status, 200);
-    assert_eq!(health.body, "ok\n");
+    assert_eq!(health.header("content-type"), Some("application/json"));
+    assert!(
+        health.body.contains("\"status\":\"ok\""),
+        "body: {}",
+        health.body
+    );
+    assert!(
+        health.body.contains("\"generation\":1"),
+        "body: {}",
+        health.body
+    );
+    assert!(
+        health.body.contains("\"model_age_ms\""),
+        "body: {}",
+        health.body
+    );
 
     let stats = get(addr, "/v1/stats");
     assert_eq!(stats.status, 200);
@@ -168,6 +183,89 @@ fn routes_round_trip() {
         400
     );
     assert_eq!(post_json(addr, "/v1/recommend", "{not json").status, 400);
+
+    handle.shutdown();
+}
+
+/// Hot reload end to end: path-less admin reload re-reads the startup
+/// file, explicit paths load other files, a corrupt file answers 500 and
+/// rolls back (old generation keeps serving), and `SIGHUP` reloads like
+/// the admin endpoint does. One test on purpose: `SIGHUP` is
+/// process-global, so raising it concurrently with the other reload
+/// assertions would race.
+#[test]
+fn hot_reload_swaps_generations_and_rolls_back_on_bad_files() {
+    let dir = std::env::temp_dir().join("goalrec-server-reload-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let lib_path = dir.join("serving.jsonl");
+    goalrec_datasets::io::write_library_jsonl(&tiny_library(), &lib_path).unwrap();
+
+    let mut cfg = config(2, 16, 2_000);
+    cfg.library_path = Some(lib_path.clone());
+    let handle = start(tiny_library(), cfg).unwrap();
+    let addr = handle.local_addr();
+
+    // Path-less reload re-reads the startup file → generation 2.
+    let reply = post_json(addr, "/v1/admin/reload", "");
+    assert_eq!(reply.status, 200, "body: {}", reply.body);
+    assert!(
+        reply.body.contains("\"generation\":2"),
+        "body: {}",
+        reply.body
+    );
+    assert!(
+        get(addr, "/healthz").body.contains("\"generation\":2"),
+        "healthz must report the reloaded generation"
+    );
+
+    // A corrupt file answers 500; generation 2 keeps serving.
+    let bad = dir.join("corrupt.jsonl");
+    std::fs::write(&bad, b"{definitely not a library}\n").unwrap();
+    let reply = post_json(
+        addr,
+        "/v1/admin/reload",
+        &format!(r#"{{"path": "{}"}}"#, bad.display()),
+    );
+    assert_eq!(reply.status, 500, "body: {}", reply.body);
+    assert!(
+        get(addr, "/healthz").body.contains("\"generation\":2"),
+        "failed reload must leave the old generation serving"
+    );
+    assert_eq!(
+        post_json(addr, "/v1/recommend", r#"{"activity": [0]}"#).status,
+        200,
+        "requests must keep being served after a failed reload"
+    );
+
+    // An explicit good path (binary this time) → generation 3.
+    let good = dir.join("replacement.grlb");
+    goalrec_datasets::binary::write_library_binary(&tiny_library(), &good).unwrap();
+    let reply = post_json(
+        addr,
+        "/v1/admin/reload",
+        &format!(r#"{{"path": "{}"}}"#, good.display()),
+    );
+    assert_eq!(reply.status, 200, "body: {}", reply.body);
+    assert!(
+        reply.body.contains("\"generation\":3"),
+        "body: {}",
+        reply.body
+    );
+
+    // SIGHUP drives the same path as a path-less admin reload.
+    goalrec_server::shutdown::install_signal_handlers();
+    goalrec_server::shutdown::raise_signal(goalrec_server::shutdown::SIGHUP);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        if get(addr, "/healthz").body.contains("\"generation\":4") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "SIGHUP did not trigger a reload within 5s"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
 
     handle.shutdown();
 }
