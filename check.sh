@@ -1,7 +1,25 @@
 #!/usr/bin/env bash
 # Full verification pipeline: what CI would run.
+#
+#   ./check.sh                full pipeline
+#   ./check.sh --perf-smoke   only the hot-path perf gate (build timing,
+#                             per-strategy latency, serve throughput →
+#                             BENCH_perf.json; fails on >30% throughput
+#                             regression or BestMatch p95 ≥ 1 ms)
 set -euo pipefail
 cd "$(dirname "$0")"
+
+perf_smoke() {
+    echo "== perf smoke (hot-path regression gate) =="
+    cargo run -q --release -p goalrec-bench --bin loadgen -- --perf --seconds 2
+    cargo run -q --release -p goalrec-bench --bin repro -- stats table6 --scale test > /dev/null
+}
+
+if [[ "${1:-}" == "--perf-smoke" ]]; then
+    perf_smoke
+    echo "OK"
+    exit 0
+fi
 
 echo "== build =="
 cargo build --workspace --all-targets
@@ -31,5 +49,7 @@ cargo run -q --release -p goalrec-bench --bin loadgen -- --smoke
 
 echo "== chaos-reload smoke (faulted reloads roll back under live traffic) =="
 cargo run -q --release -p goalrec-bench --bin loadgen -- --chaos-smoke
+
+perf_smoke
 
 echo "OK"

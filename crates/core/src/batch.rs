@@ -5,6 +5,12 @@
 //! for each of seven methods. [`recommend_batch`] fans those requests out
 //! with rayon; the per-request algorithms stay single-threaded, matching
 //! the per-request timings of Fig. 7.
+//!
+//! Each rayon worker thread reuses its own [`crate::Scratch`] arena via
+//! the thread-local in [`crate::scratch::with_thread_scratch`] — the goal
+//! recommenders route `recommend` through it — so a batch run performs no
+//! per-request scoreboard/buffer allocations after each worker's first
+//! request.
 
 use crate::activity::Activity;
 use crate::recommend::Recommender;

@@ -1,0 +1,430 @@
+//! Compressed-sparse-row (CSR) posting-list storage and its parallel
+//! counting-sort builders.
+//!
+//! The compiled model (§4) is a set of posting-list indexes. Storing every
+//! posting list as its own boxed slice costs one heap allocation per
+//! implementation/goal/action and scatters the lists across the heap; a CSR
+//! layout packs each index into exactly two flat arrays — `offsets`
+//! (`rows + 1` entries) and `data` (all postings concatenated) — so walking
+//! `IS(H)` streams contiguous memory and the whole model is six allocations.
+//!
+//! Row `i` is `data[offsets[i] .. offsets[i + 1]]`, always a strictly
+//! increasing `u32` sequence, so the set algebra of [`crate::setops`]
+//! applies to rows directly.
+//!
+//! The inverted indexes (`goal → impls`, `action → impls`) are built with a
+//! two-phase parallel counting sort: the item range is split into contiguous
+//! partitions, each partition counts its per-row postings independently
+//! ([`invert_count`]), a serial prefix sum turns the per-partition counts
+//! into disjoint write cursors, and each partition then fills its slots
+//! without synchronisation ([`invert_fill`]). Because partitions cover
+//! increasing item ranges and each partition visits items in order, the
+//! output is identical to the sequential counting sort: every row lists its
+//! items in strictly increasing order.
+
+use rayon::prelude::*;
+use std::sync::{Mutex, PoisonError};
+
+/// A CSR matrix of `u32` postings. Fields are `pub(crate)` so the model's
+/// corruption tests can damage the arrays directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Csr {
+    /// `rows + 1` monotone offsets into `data`; first is 0, last is
+    /// `data.len()`.
+    pub(crate) offsets: Box<[u32]>,
+    /// All postings, row by row.
+    pub(crate) data: Box<[u32]>,
+}
+
+impl Csr {
+    /// Wraps pre-built arrays without checking invariants; callers are
+    /// responsible for shape validation (see [`Csr::check_shape`]).
+    pub(crate) fn from_parts(offsets: Vec<u32>, data: Vec<u32>) -> Self {
+        Self {
+            offsets: offsets.into_boxed_slice(),
+            data: data.into_boxed_slice(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub(crate) fn rows(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub(crate) fn row(&self, i: usize) -> &[u32] {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.data[lo..hi]
+    }
+
+    /// Length of row `i` without touching `data`.
+    #[inline]
+    pub(crate) fn row_len(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Heap footprint of the two flat arrays in bytes.
+    pub(crate) fn memory_bytes(&self) -> usize {
+        (self.offsets.len() + self.data.len()) * std::mem::size_of::<u32>()
+    }
+
+    /// Checks the CSR structural invariants: `rows + 1` offsets, first 0,
+    /// monotone non-decreasing, last equal to `data.len()`. Row *contents*
+    /// (sortedness, ranges) are the caller's domain.
+    pub(crate) fn check_shape(&self, rows: usize, name: &str) -> Result<(), String> {
+        if self.offsets.len() != rows + 1 {
+            return Err(format!(
+                "{name}: {} offsets for {rows} rows (want rows + 1)",
+                self.offsets.len()
+            ));
+        }
+        if self.offsets.first() != Some(&0) {
+            return Err(format!("{name}: first offset is not 0"));
+        }
+        if let Some(w) = self.offsets.windows(2).find(|w| w[0] > w[1]) {
+            return Err(format!(
+                "{name}: offsets not monotone ({} > {})",
+                w[0], w[1]
+            ));
+        }
+        if self.offsets.last().copied() != Some(self.data.len() as u32) {
+            return Err(format!(
+                "{name}: last offset {:?} != data length {}",
+                self.offsets.last(),
+                self.data.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Number of contiguous item partitions the counting-sort phases use.
+///
+/// One partition per available core, but never so many that a partition
+/// drops below a few thousand items — below that the per-partition count
+/// arrays cost more than the parallelism wins. `GOALREC_BUILD_SERIAL=1`
+/// forces a single partition (the sequential baseline the perf bench
+/// reports as "before"); `GOALREC_BUILD_PARTITIONS=N` pins an exact
+/// count, so tests exercise the multi-partition merge even on one core.
+fn partitions(num_items: usize) -> usize {
+    const MIN_ITEMS_PER_PART: usize = 4096;
+    if let Some(forced) = std::env::var_os("GOALREC_BUILD_PARTITIONS") {
+        if let Some(n) = forced.to_str().and_then(|s| s.parse::<usize>().ok()) {
+            return n.clamp(1, num_items.max(1));
+        }
+    }
+    if std::env::var_os("GOALREC_BUILD_SERIAL").is_some() {
+        return 1;
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    threads.min(num_items / MIN_ITEMS_PER_PART).max(1)
+}
+
+/// The counting phase of the parallel counting sort: per-partition,
+/// per-row posting counts, ready for [`invert_fill`].
+///
+/// `keys_of(item, emit)` must call `emit(row)` once per posting of `item`,
+/// with `row < num_rows`, and must be deterministic — the fill phase
+/// replays it.
+pub(crate) struct InvertPlan {
+    num_rows: usize,
+    /// Contiguous `[start, end)` item ranges, one per partition.
+    bounds: Vec<(usize, usize)>,
+    /// `part_counts[p][row]`: postings partition `p` contributes to `row`.
+    part_counts: Vec<Vec<u32>>,
+}
+
+/// Runs the counting phase over `num_items` items split into partitions.
+pub(crate) fn invert_count<F>(num_rows: usize, num_items: usize, keys_of: F) -> InvertPlan
+where
+    F: Fn(usize, &mut dyn FnMut(u32)) + Sync,
+{
+    let parts = partitions(num_items);
+    let bounds: Vec<(usize, usize)> = (0..parts)
+        .map(|p| (p * num_items / parts, (p + 1) * num_items / parts))
+        .collect();
+    let part_counts: Vec<Vec<u32>> = bounds
+        .par_iter()
+        .map(|&(lo, hi)| {
+            let mut counts = vec![0u32; num_rows];
+            for item in lo..hi {
+                keys_of(item, &mut |row| counts[row as usize] += 1);
+            }
+            counts
+        })
+        .collect();
+    InvertPlan {
+        num_rows,
+        bounds,
+        part_counts,
+    }
+}
+
+/// Shared write target for the disjoint partition fills.
+struct SyncPtr(*mut u32);
+// SAFETY: every partition writes through cursors that start at disjoint
+// exclusive prefix-sum positions and advance by exactly the partition's own
+// counted postings, so no two threads ever touch the same index.
+unsafe impl Sync for SyncPtr {}
+
+/// The fill phase: materialises the inverted CSR index from a counting
+/// plan. Each row lists the item ids that emitted it, in increasing order
+/// (partitions cover increasing item ranges and write behind disjoint
+/// cursors).
+pub(crate) fn invert_fill<F>(plan: &InvertPlan, keys_of: F) -> Csr
+where
+    F: Fn(usize, &mut dyn FnMut(u32)) + Sync,
+{
+    let num_rows = plan.num_rows;
+    // Serial prefix sums: total per-row counts -> global offsets, and
+    // per-partition starting cursors (each partition starts where the
+    // previous partitions' contributions to that row end).
+    let mut running = vec![0u32; num_rows];
+    let mut cursors: Vec<Vec<u32>> = Vec::with_capacity(plan.part_counts.len());
+    for pc in &plan.part_counts {
+        cursors.push(running.clone());
+        for (r, c) in running.iter_mut().zip(pc) {
+            *r += c;
+        }
+    }
+    let mut offsets = vec![0u32; num_rows + 1];
+    let mut acc = 0u32;
+    for (o, &c) in offsets.iter_mut().zip(&running) {
+        *o = acc;
+        acc += c;
+    }
+    offsets[num_rows] = acc;
+    for cur in &mut cursors {
+        for (c, &o) in cur.iter_mut().zip(&offsets[..num_rows]) {
+            *c += o;
+        }
+    }
+
+    let mut data = vec![0u32; acc as usize];
+    let ptr = SyncPtr(data.as_mut_ptr());
+    let ptr = &ptr;
+    // The cursor arrays are per-partition mutable state; the Mutex is
+    // locked exactly once per partition, so it costs nothing on the fill
+    // itself.
+    let cursor_cells: Vec<Mutex<Vec<u32>>> = cursors.into_iter().map(Mutex::new).collect();
+    (0..plan.bounds.len()).into_par_iter().for_each(|pi| {
+        let (lo, hi) = plan.bounds[pi];
+        let mut cur = cursor_cells[pi]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for item in lo..hi {
+            keys_of(item, &mut |row| {
+                let slot = cur[row as usize];
+                // SAFETY: `slot` lies in this partition's exclusive
+                // [cursor start, start + own count) range for `row`; see
+                // the SyncPtr invariant above.
+                unsafe {
+                    *ptr.0.add(slot as usize) = item as u32;
+                }
+                cur[row as usize] = slot + 1;
+            });
+        }
+    });
+    Csr::from_parts(offsets, data)
+}
+
+/// Builds the *forward* CSR (row `i` = the postings of item `i`) by
+/// concatenating per-item slices — offsets by a serial prefix sum over the
+/// lengths, data filled by a parallel partitioned copy.
+pub(crate) fn concat<'a, F>(num_items: usize, row_of: F) -> Csr
+where
+    F: Fn(usize) -> &'a [u32] + Sync,
+{
+    let mut offsets = vec![0u32; num_items + 1];
+    let mut acc = 0u32;
+    for (i, off) in offsets.iter_mut().enumerate().take(num_items) {
+        *off = acc;
+        acc += row_of(i).len() as u32;
+    }
+    offsets[num_items] = acc;
+
+    let mut data = vec![0u32; acc as usize];
+    let ptr = SyncPtr(data.as_mut_ptr());
+    let ptr = &ptr;
+    let offsets_ref = &offsets;
+    let parts = partitions(num_items);
+    let bounds: Vec<(usize, usize)> = (0..parts)
+        .map(|p| (p * num_items / parts, (p + 1) * num_items / parts))
+        .collect();
+    bounds.par_iter().for_each(|&(lo, hi)| {
+        for (i, &off) in offsets_ref.iter().enumerate().take(hi).skip(lo) {
+            let src = row_of(i);
+            // SAFETY: item `i`'s destination [offsets[i], offsets[i+1]) is
+            // disjoint from every other item's range by construction.
+            unsafe {
+                std::ptr::copy_nonoverlapping(src.as_ptr(), ptr.0.add(off as usize), src.len());
+            }
+        }
+    });
+    Csr::from_parts(offsets, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sequential reference: invert `items` (item -> key list) into
+    /// row -> sorted item ids.
+    fn invert_naive(num_rows: usize, items: &[Vec<u32>]) -> Vec<Vec<u32>> {
+        let mut rows = vec![Vec::new(); num_rows];
+        for (i, keys) in items.iter().enumerate() {
+            for &k in keys {
+                rows[k as usize].push(i as u32);
+            }
+        }
+        rows
+    }
+
+    fn invert_csr(num_rows: usize, items: &[Vec<u32>]) -> Csr {
+        let plan = invert_count(num_rows, items.len(), |i, emit| {
+            for &k in &items[i] {
+                emit(k);
+            }
+        });
+        invert_fill(&plan, |i, emit| {
+            for &k in &items[i] {
+                emit(k);
+            }
+        })
+    }
+
+    #[test]
+    fn invert_small_matches_naive() {
+        let items = vec![vec![0, 2], vec![1], vec![0, 1, 2], vec![2]];
+        let csr = invert_csr(3, &items);
+        let naive = invert_naive(3, &items);
+        assert_eq!(csr.rows(), 3);
+        for (r, want) in naive.iter().enumerate() {
+            assert_eq!(csr.row(r), &want[..], "row {r}");
+            assert_eq!(csr.row_len(r), want.len());
+        }
+        assert!(csr.check_shape(3, "t").is_ok());
+    }
+
+    #[test]
+    fn invert_large_parallel_matches_naive() {
+        // Enough items to cross the partition threshold on any machine.
+        let num_rows = 97;
+        let items: Vec<Vec<u32>> = (0..40_000u32)
+            .map(|i| {
+                // Deterministic pseudo-random key lists, varying lengths.
+                let n = (i % 4) + 1;
+                let mut keys: Vec<u32> = (0..n)
+                    .map(|j| (i.wrapping_mul(31).wrapping_add(j * 7)) % 97)
+                    .collect();
+                keys.sort_unstable();
+                keys.dedup();
+                keys
+            })
+            .collect();
+        let csr = invert_csr(num_rows, &items);
+        let naive = invert_naive(num_rows, &items);
+        for (r, want) in naive.iter().enumerate() {
+            assert_eq!(csr.row(r), &want[..], "row {r}");
+            // Rows of an inverted index built in item order are strictly
+            // increasing.
+            assert!(csr.row(r).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn invert_empty_rows_and_items() {
+        let items: Vec<Vec<u32>> = vec![vec![4], vec![4]];
+        let csr = invert_csr(6, &items);
+        assert_eq!(csr.row(4), &[0, 1]);
+        for r in [0, 1, 2, 3, 5] {
+            assert!(csr.row(r).is_empty());
+        }
+    }
+
+    #[test]
+    fn concat_round_trips_rows() {
+        let rows: Vec<Vec<u32>> = vec![vec![5, 9], vec![], vec![1, 2, 3], vec![7]];
+        let csr = concat(rows.len(), |i| &rows[i][..]);
+        assert_eq!(csr.rows(), 4);
+        for (i, want) in rows.iter().enumerate() {
+            assert_eq!(csr.row(i), &want[..]);
+        }
+        assert_eq!(csr.data.len(), 6);
+    }
+
+    #[test]
+    fn concat_large_parallel() {
+        let rows: Vec<Vec<u32>> = (0..30_000u32).map(|i| vec![i, i + 1, i + 2]).collect();
+        let csr = concat(rows.len(), |i| &rows[i][..]);
+        for (i, want) in rows.iter().enumerate() {
+            assert_eq!(csr.row(i), &want[..]);
+        }
+    }
+
+    #[test]
+    fn shape_violations_are_reported() {
+        let ok = Csr::from_parts(vec![0, 2, 3], vec![1, 2, 9]);
+        assert!(ok.check_shape(2, "t").is_ok());
+        assert!(ok.check_shape(3, "t").is_err()); // row-count mismatch
+
+        let bad_first = Csr::from_parts(vec![1, 2, 3], vec![1, 2, 9]);
+        assert!(bad_first.check_shape(2, "t").is_err());
+
+        let non_monotone = Csr::from_parts(vec![0, 3, 2], vec![1, 2]);
+        assert!(non_monotone.check_shape(2, "t").is_err());
+
+        let bad_last = Csr::from_parts(vec![0, 2, 2], vec![1, 2, 9]);
+        assert!(bad_last.check_shape(2, "t").is_err());
+    }
+
+    #[test]
+    fn serial_env_forces_one_partition() {
+        // partitions() itself is private; exercise the public effect: a
+        // build under the env var must equal the parallel build.
+        std::env::set_var("GOALREC_BUILD_SERIAL", "1");
+        let items: Vec<Vec<u32>> = (0..10_000u32).map(|i| vec![i % 13]).collect();
+        let serial = invert_csr(13, &items);
+        std::env::remove_var("GOALREC_BUILD_SERIAL");
+        let parallel = invert_csr(13, &items);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn forced_partition_counts_agree_with_serial() {
+        // Single-core machines never pick more than one partition on
+        // their own; pin the count so the multi-partition merge (disjoint
+        // prefix-sum cursors, increasing item ranges) is exercised
+        // everywhere. Uneven counts include partitions smaller than a
+        // row's posting list and a partition count that doesn't divide
+        // the item count.
+        let items: Vec<Vec<u32>> = (0..5_000u32)
+            .map(|i| {
+                let n = (i % 3) + 1;
+                let mut keys: Vec<u32> = (0..n).map(|j| (i * 17 + j * 5) % 23).collect();
+                keys.sort_unstable();
+                keys.dedup();
+                keys
+            })
+            .collect();
+        std::env::set_var("GOALREC_BUILD_SERIAL", "1");
+        let serial = invert_csr(23, &items);
+        let serial_cat = concat(items.len(), |i| &items[i][..]);
+        std::env::remove_var("GOALREC_BUILD_SERIAL");
+        for forced in ["2", "3", "7", "64"] {
+            std::env::set_var("GOALREC_BUILD_PARTITIONS", forced);
+            assert_eq!(invert_csr(23, &items), serial, "{forced} partitions");
+            assert_eq!(
+                concat(items.len(), |i| &items[i][..]),
+                serial_cat,
+                "{forced} partitions (concat)"
+            );
+            std::env::remove_var("GOALREC_BUILD_PARTITIONS");
+        }
+    }
+}

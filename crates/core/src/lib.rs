@@ -50,6 +50,7 @@
 
 pub mod activity;
 pub mod batch;
+pub(crate) mod csr;
 pub mod distance;
 pub mod dynamic;
 pub mod error;
@@ -61,6 +62,7 @@ pub mod model;
 pub mod profile;
 pub mod recommend;
 pub mod rerank;
+pub mod scratch;
 pub mod setops;
 pub mod strategies;
 pub mod topk;
@@ -76,6 +78,7 @@ pub use library::{GoalLibrary, Implementation, LibraryBuilder, LibraryStats, Sta
 pub use model::GoalModel;
 pub use recommend::{GoalRecommender, Recommender};
 pub use rerank::mmr_rerank;
+pub use scratch::Scratch;
 pub use strategies::{
     BestMatch, Breadth, Focus, FocusVariant, GoalWeights, Strategy, WeightedBestMatch,
     WeightedBreadth, WeightedFocus,

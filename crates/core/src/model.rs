@@ -9,10 +9,13 @@
 //! * `A-GI-idx` — action id → the implementation ids it contributes to
 //!   (the action's *implementation space* `IS(a)`).
 //!
-//! [`GoalModel`] stores every posting list as a strictly increasing boxed
-//! `u32` slice, which makes the set algebra of [`crate::setops`] directly
-//! applicable and keeps the whole model in three flat allocations per index.
+//! [`GoalModel`] stores each posting-list index in CSR form (see
+//! [`crate::csr`]): one flat offsets array plus one flat data array, so a
+//! whole index is two allocations and walking `IS(H)` streams contiguous
+//! memory. Every row is a strictly increasing `u32` slice, which makes the
+//! set algebra of [`crate::setops`] directly applicable.
 
+use crate::csr::{self, Csr};
 use crate::error::{Error, Result};
 use crate::ids::{ActionId, GoalId, ImplId};
 use crate::library::{actions_as_raw, GoalLibrary};
@@ -24,17 +27,18 @@ use goalrec_obs::{self as obs, names, Timer};
 /// Hypergraph reading (Fig. 2 of the paper): every implementation is a
 /// hyperedge connecting its actions, labelled by its goal. The model is
 /// immutable after construction; rebuilding after library changes is the
-/// intended workflow (construction is a single linear pass).
+/// intended workflow (construction is a handful of linear passes, the
+/// counting-sort fills running partition-parallel).
 #[derive(Debug, Clone)]
 pub struct GoalModel {
     /// `GI-A-idx`: implementation → sorted actions.
-    impl_actions: Vec<Box<[u32]>>,
+    impl_actions: Csr,
     /// `GI-G-idx` (forward): implementation → goal.
     impl_goal: Vec<u32>,
     /// `GI-G-idx` (inverse): goal → sorted implementation ids.
-    goal_impls: Vec<Box<[u32]>>,
+    goal_impls: Csr,
     /// `A-GI-idx`: action → sorted implementation ids (`IS(a)`).
-    action_impls: Vec<Box<[u32]>>,
+    action_impls: Csr,
     num_actions: usize,
     num_goals: usize,
 }
@@ -42,84 +46,145 @@ pub struct GoalModel {
 impl GoalModel {
     /// Compiles the index structures from a library.
     ///
-    /// Cost: `O(Σ|A_p|)` per phase — a linear pass per index. Each phase
-    /// records a `model.build.<index>` span in the metrics registry
-    /// (`a_idx`, `g_idx`, `gi_a_idx`, `gi_g_idx`, `a_gi_idx`), with the
-    /// whole build under `model.build.total`.
+    /// Cost: `O(Σ|A_p|)` per phase — a linear pass per index, with the two
+    /// counting-sort fills (inverse `GI-G-idx` and `A-GI-idx`) split into
+    /// per-thread count/fill partitions that produce output identical to
+    /// the sequential build. Each phase records a `model.build.<index>`
+    /// span in the metrics registry (`a_idx`, `g_idx`, `gi_a_idx`,
+    /// `gi_g_idx`, `a_gi_idx`), with the whole build under
+    /// `model.build.total`.
     pub fn build(library: &GoalLibrary) -> Result<Self> {
         if library.is_empty() {
             return Err(Error::EmptyLibrary);
         }
         let _total = Timer::scoped(names::MODEL_BUILD_TOTAL);
         obs::counter(names::MODEL_BUILDS).inc();
-        let num_actions = library.num_actions();
-        let num_goals = library.num_goals();
         let impls = library.implementations();
 
-        // A-idx: per-action occurrence counts, sizing the A-GI posting
-        // lists so the fill below never reallocates.
-        let span = Timer::scoped(names::MODEL_BUILD_A_IDX);
-        let mut action_counts = vec![0usize; num_actions];
-        for imp in impls {
-            for a in &imp.actions {
-                action_counts[a.index()] += 1;
-            }
-        }
-        drop(span);
-
-        // G-idx: per-goal implementation counts, sizing the inverse
-        // GI-G posting lists.
-        let span = Timer::scoped(names::MODEL_BUILD_G_IDX);
-        let mut goal_counts = vec![0usize; num_goals];
-        for imp in impls {
-            goal_counts[imp.goal.index()] += 1;
-        }
-        drop(span);
-
-        // GI-A-idx: forward implementation → activity index.
+        // GI-A-idx: forward implementation → activity index, a parallel
+        // concatenation into CSR.
         let span = Timer::scoped(names::MODEL_BUILD_GI_A_IDX);
-        let impl_actions: Vec<Box<[u32]>> = impls
-            .iter()
-            .map(|imp| actions_as_raw(imp).to_vec().into_boxed_slice())
-            .collect();
+        let impl_actions = csr::concat(impls.len(), |i| actions_as_raw(&impls[i]));
+        let impl_goal: Vec<u32> = impls.iter().map(|imp| imp.goal.raw()).collect();
         drop(span);
 
-        // GI-G-idx: forward goal labels plus the inverse goal →
-        // implementation lists. The counting-sort style fill keeps the
-        // posting lists sorted because implementation ids are visited in
-        // increasing order.
-        let span = Timer::scoped(names::MODEL_BUILD_GI_G_IDX);
-        let mut impl_goal = Vec::with_capacity(impls.len());
-        let mut goal_impls: Vec<Vec<u32>> =
-            goal_counts.iter().map(|&c| Vec::with_capacity(c)).collect();
-        for (pid, imp) in impls.iter().enumerate() {
-            impl_goal.push(imp.goal.raw());
-            goal_impls[imp.goal.index()].push(pid as u32);
+        Self::assemble(
+            library.num_actions(),
+            library.num_goals(),
+            impl_goal,
+            impl_actions,
+        )
+    }
+
+    /// Assembles a model directly from pre-built flat `GI-A-idx` CSR arrays
+    /// plus the forward goal labels — the zero-copy entry point the binary
+    /// `GRLB` reader uses to load a model without per-implementation
+    /// allocations.
+    ///
+    /// `offsets`/`data` describe implementation `p`'s activity as
+    /// `data[offsets[p]..offsets[p + 1]]`. The arrays are fully validated
+    /// (shape, per-row strict sortedness, id ranges) before the inverse
+    /// indexes are built, so corrupt input yields [`Error::CorruptModel`]
+    /// rather than a wrong model.
+    pub fn from_csr_parts(
+        num_actions: usize,
+        num_goals: usize,
+        impl_goal: Vec<u32>,
+        offsets: Vec<u32>,
+        data: Vec<u32>,
+    ) -> Result<Self> {
+        if impl_goal.is_empty() {
+            return Err(Error::EmptyLibrary);
         }
-        drop(span);
+        let _total = Timer::scoped(names::MODEL_BUILD_TOTAL);
+        obs::counter(names::MODEL_BUILDS).inc();
+        let corrupt = |detail: String| Error::CorruptModel { detail };
 
-        // A-GI-idx: action → implementation lists (`IS(a)`), same
-        // counting-sort fill.
-        let span = Timer::scoped(names::MODEL_BUILD_A_GI_IDX);
-        let mut action_impls: Vec<Vec<u32>> = action_counts
-            .iter()
-            .map(|&c| Vec::with_capacity(c))
-            .collect();
-        for (pid, imp) in impls.iter().enumerate() {
-            for a in &imp.actions {
-                action_impls[a.index()].push(pid as u32);
+        // The forward index is handed to us, so the GI-A phase is pure
+        // validation here.
+        let span = Timer::scoped(names::MODEL_BUILD_GI_A_IDX);
+        let impl_actions = Csr::from_parts(offsets, data);
+        impl_actions
+            .check_shape(impl_goal.len(), "GI-A-idx")
+            .map_err(corrupt)?;
+        for (pid, &g) in impl_goal.iter().enumerate() {
+            let actions = impl_actions.row(pid);
+            if actions.is_empty() {
+                return Err(corrupt(format!("GI-A-idx[p{pid}] is empty")));
+            }
+            if !setops::is_strictly_sorted(actions) {
+                return Err(corrupt(format!(
+                    "GI-A-idx[p{pid}] is not a strictly sorted set"
+                )));
+            }
+            if let Some(&max) = actions.last() {
+                if max as usize >= num_actions {
+                    return Err(corrupt(format!(
+                        "GI-A-idx[p{pid}] references unknown action a{max}"
+                    )));
+                }
+            }
+            if g as usize >= num_goals {
+                return Err(corrupt(format!(
+                    "GI-G-idx[p{pid}] references unknown goal g{g}"
+                )));
             }
         }
+        drop(span);
+
+        Self::assemble(num_actions, num_goals, impl_goal, impl_actions)
+    }
+
+    /// Shared back half of [`GoalModel::build`] and
+    /// [`GoalModel::from_csr_parts`]: the counting phases (A-idx, G-idx)
+    /// and the two parallel counting-sort fills producing the inverse
+    /// indexes.
+    fn assemble(
+        num_actions: usize,
+        num_goals: usize,
+        impl_goal: Vec<u32>,
+        impl_actions: Csr,
+    ) -> Result<Self> {
+        let n = impl_actions.rows();
+
+        // A-idx: per-action occurrence counts (partition-parallel), sizing
+        // and positioning the A-GI fill below.
+        let span = Timer::scoped(names::MODEL_BUILD_A_IDX);
+        let a_plan = csr::invert_count(num_actions, n, |i, emit| {
+            for &a in impl_actions.row(i) {
+                emit(a);
+            }
+        });
+        drop(span);
+
+        // G-idx: per-goal implementation counts, sizing the inverse GI-G
+        // fill.
+        let span = Timer::scoped(names::MODEL_BUILD_G_IDX);
+        let g_plan = csr::invert_count(num_goals, n, |i, emit| emit(impl_goal[i]));
+        drop(span);
+
+        // Inverse GI-G-idx: goal → implementation ids. The partitioned
+        // counting-sort fill keeps every posting list sorted because
+        // partitions cover increasing implementation ranges and each visits
+        // its implementations in increasing order.
+        let span = Timer::scoped(names::MODEL_BUILD_GI_G_IDX);
+        let goal_impls = csr::invert_fill(&g_plan, |i, emit| emit(impl_goal[i]));
+        drop(span);
+
+        // A-GI-idx: action → implementation ids (`IS(a)`), same fill.
+        let span = Timer::scoped(names::MODEL_BUILD_A_GI_IDX);
+        let action_impls = csr::invert_fill(&a_plan, |i, emit| {
+            for &a in impl_actions.row(i) {
+                emit(a);
+            }
+        });
         drop(span);
 
         let model = Self {
             impl_actions,
             impl_goal,
-            goal_impls: goal_impls.into_iter().map(Vec::into_boxed_slice).collect(),
-            action_impls: action_impls
-                .into_iter()
-                .map(Vec::into_boxed_slice)
-                .collect(),
+            goal_impls,
+            action_impls,
             num_actions,
             num_goals,
         };
@@ -135,7 +200,7 @@ impl GoalModel {
     /// Number of implementations `|L|`.
     #[inline]
     pub fn num_impls(&self) -> usize {
-        self.impl_actions.len()
+        self.impl_actions.rows()
     }
 
     /// Number of actions `|𝒜|` (dictionary size, including actions that
@@ -154,7 +219,7 @@ impl GoalModel {
     /// `GI-A-idx[p]`: the activity of implementation `p`.
     #[inline]
     pub fn impl_actions(&self, p: ImplId) -> &[u32] {
-        &self.impl_actions[p.index()]
+        self.impl_actions.row(p.index())
     }
 
     /// `GI-G-idx[p]`: the goal implementation `p` fulfils.
@@ -166,19 +231,19 @@ impl GoalModel {
     /// Inverse `GI-G-idx`: all implementation ids for goal `g`.
     #[inline]
     pub fn goal_impls(&self, g: GoalId) -> &[u32] {
-        &self.goal_impls[g.index()]
+        self.goal_impls.row(g.index())
     }
 
     /// `A-GI-idx[a]`: the implementation space `IS(a)` of action `a`.
     #[inline]
     pub fn action_impls(&self, a: ActionId) -> &[u32] {
-        &self.action_impls[a.index()]
+        self.action_impls.row(a.index())
     }
 
     /// The paper's *connectivity* of one action: `|IS(a)|`.
     #[inline]
     pub fn connectivity(&self, a: ActionId) -> usize {
-        self.action_impls[a.index()].len()
+        self.action_impls.row_len(a.index())
     }
 
     /// Validates that an action id belongs to the model.
@@ -207,41 +272,72 @@ impl GoalModel {
     /// i.e. every implementation associated with the user activity
     /// (`A ∩ H ≠ ∅`).
     pub fn implementation_space(&self, activity: &[u32]) -> Vec<u32> {
-        setops::union_many(
-            activity
-                .iter()
-                .filter(|&&a| (a as usize) < self.num_actions)
-                .map(|&a| &*self.action_impls[a as usize]),
-        )
+        let mut out = Vec::new();
+        self.implementation_space_into(activity, &mut out);
+        out
+    }
+
+    /// [`GoalModel::implementation_space`] into a caller-owned buffer
+    /// (cleared first) — the allocation-free form the scratch-arena hot
+    /// path uses.
+    pub fn implementation_space_into(&self, activity: &[u32], out: &mut Vec<u32>) {
+        out.clear();
+        for &a in activity {
+            if (a as usize) < self.num_actions {
+                out.extend_from_slice(self.action_impls.row(a as usize));
+            }
+        }
+        setops::normalize(out);
     }
 
     /// Goal space of an activity (Definition 4.1 extended to sets, Eq. 1):
     /// every goal some action of the activity contributes to.
     pub fn goal_space(&self, activity: &[u32]) -> Vec<u32> {
-        let mut goals: Vec<u32> = self
-            .implementation_space(activity)
-            .into_iter()
-            .map(|p| self.impl_goal[p as usize])
-            .collect();
-        setops::normalize(&mut goals);
+        let impls = self.implementation_space(activity);
+        let mut goals = Vec::new();
+        self.goals_of_impls_into(&impls, &mut goals);
         goals
+    }
+
+    /// The distinct goals of a pre-computed implementation set, into a
+    /// caller-owned buffer (cleared first).
+    pub(crate) fn goals_of_impls_into(&self, impls: &[u32], out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(impls.iter().map(|&p| self.impl_goal[p as usize]));
+        setops::normalize(out);
     }
 
     /// Action space of an activity (Definition 4.2 extended to sets, Eq. 2):
     /// every action co-contributing with an activity action through some
     /// implementation, *excluding* the activity's own actions.
     pub fn action_space(&self, activity: &[u32]) -> Vec<u32> {
-        let mut acts: Vec<u32> = Vec::new();
-        for p in self.implementation_space(activity) {
-            acts.extend_from_slice(&self.impl_actions[p as usize]);
+        let impls = self.implementation_space(activity);
+        let mut out = Vec::new();
+        self.action_space_into(activity, &impls, &mut out);
+        out
+    }
+
+    /// [`GoalModel::action_space`] from a pre-computed `IS(H)`, into a
+    /// caller-owned buffer (cleared first).
+    pub(crate) fn action_space_into(
+        &self,
+        activity: &[u32],
+        impl_space: &[u32],
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        for &p in impl_space {
+            out.extend_from_slice(self.impl_actions.row(p as usize));
         }
-        setops::normalize(&mut acts);
-        setops::difference(&acts, activity)
+        setops::normalize(out);
+        out.retain(|&x| !setops::contains(activity, x));
     }
 
     /// Goal space of a single action: `GS(a)` (Definition 4.1).
     pub fn goal_space_of_action(&self, a: ActionId) -> Vec<u32> {
-        let mut goals: Vec<u32> = self.action_impls[a.index()]
+        let mut goals: Vec<u32> = self
+            .action_impls
+            .row(a.index())
             .iter()
             .map(|&p| self.impl_goal[p as usize])
             .collect();
@@ -253,8 +349,8 @@ impl GoalModel {
     /// co-contributors, excluding `a` itself.
     pub fn action_space_of_action(&self, a: ActionId) -> Vec<u32> {
         let mut acts: Vec<u32> = Vec::new();
-        for &p in self.action_impls[a.index()].iter() {
-            acts.extend_from_slice(&self.impl_actions[p as usize]);
+        for &p in self.action_impls.row(a.index()) {
+            acts.extend_from_slice(self.impl_actions.row(p as usize));
         }
         setops::normalize(&mut acts);
         acts.retain(|&x| x != a.raw());
@@ -266,10 +362,11 @@ impl GoalModel {
     /// §6.1.1 C.1.3, where goal completeness after following a
     /// recommendation list is reported).
     pub fn goal_completeness(&self, g: GoalId, activity: &[u32]) -> f64 {
-        self.goal_impls[g.index()]
+        self.goal_impls
+            .row(g.index())
             .iter()
             .map(|&p| {
-                let acts = &*self.impl_actions[p as usize];
+                let acts = self.impl_actions.row(p as usize);
                 setops::intersection_len(acts, activity) as f64 / acts.len() as f64
             })
             .fold(0.0, f64::max)
@@ -277,36 +374,50 @@ impl GoalModel {
 
     /// Cross-checks that the five index structures describe one library.
     ///
-    /// The compiled model stores the same `(g, A)` pairs five ways (A-idx
-    /// and G-idx as the dense id spaces, plus the three GI posting-list
-    /// indexes); any drift between them — ids out of range, unsorted
-    /// posting lists, a forward edge without its inverse — is a
-    /// construction bug that would otherwise surface as silently wrong
-    /// recommendations. `build` runs this check in debug builds.
+    /// First the CSR structural invariants of each flat index (offsets
+    /// monotone, first 0, last equal to the data length, one row per id),
+    /// then the content invariants: the compiled model stores the same
+    /// `(g, A)` pairs five ways (A-idx and G-idx as the dense id spaces,
+    /// plus the three GI posting-list indexes); any drift between them —
+    /// ids out of range, unsorted posting lists, a forward edge without its
+    /// inverse — is a construction bug that would otherwise surface as
+    /// silently wrong recommendations. `build` runs this check in debug
+    /// builds.
     ///
     /// Cost: `O(Σ|A_p| · log)` — a membership probe per posting.
     pub fn validate(&self) -> Result<()> {
         let corrupt = |detail: String| Err(Error::CorruptModel { detail });
-        if self.impl_goal.len() != self.impl_actions.len() {
-            return corrupt(format!(
-                "GI-G-idx covers {} impls but GI-A-idx covers {}",
-                self.impl_goal.len(),
-                self.impl_actions.len()
-            ));
+        // CSR shape first: every content check below slices rows, which is
+        // only safe once the offset arrays are known to be well-formed.
+        if let Err(detail) = self
+            .impl_actions
+            .check_shape(self.impl_goal.len(), "GI-A-idx")
+        {
+            return corrupt(detail);
+        }
+        if let Err(detail) = self
+            .goal_impls
+            .check_shape(self.num_goals, "inverse GI-G-idx")
+        {
+            return corrupt(detail);
+        }
+        if let Err(detail) = self.action_impls.check_shape(self.num_actions, "A-GI-idx") {
+            return corrupt(detail);
         }
         let num_impls = self.num_impls();
-        for (pid, actions) in self.impl_actions.iter().enumerate() {
+        for pid in 0..num_impls {
+            let actions = self.impl_actions.row(pid);
             if actions.is_empty() {
                 return corrupt(format!("GI-A-idx[p{pid}] is empty"));
             }
             if !setops::is_strictly_sorted(actions) {
                 return corrupt(format!("GI-A-idx[p{pid}] is not a strictly sorted set"));
             }
-            for &a in actions.iter() {
+            for &a in actions {
                 if a as usize >= self.num_actions {
                     return corrupt(format!("GI-A-idx[p{pid}] references unknown action a{a}"));
                 }
-                if !setops::contains(&self.action_impls[a as usize], pid as u32) {
+                if !setops::contains(self.action_impls.row(a as usize), pid as u32) {
                     return corrupt(format!("A-GI-idx[a{a}] is missing p{pid} from GI-A-idx"));
                 }
             }
@@ -314,15 +425,16 @@ impl GoalModel {
             if g as usize >= self.num_goals {
                 return corrupt(format!("GI-G-idx[p{pid}] references unknown goal g{g}"));
             }
-            if !setops::contains(&self.goal_impls[g as usize], pid as u32) {
+            if !setops::contains(self.goal_impls.row(g as usize), pid as u32) {
                 return corrupt(format!("inverse GI-G-idx[g{g}] is missing p{pid}"));
             }
         }
-        for (g, impls) in self.goal_impls.iter().enumerate() {
+        for g in 0..self.num_goals {
+            let impls = self.goal_impls.row(g);
             if !setops::is_strictly_sorted(impls) {
                 return corrupt(format!("GI-G-idx[g{g}] is not a strictly sorted set"));
             }
-            for &p in impls.iter() {
+            for &p in impls {
                 if p as usize >= num_impls {
                     return corrupt(format!("GI-G-idx[g{g}] references unknown impl p{p}"));
                 }
@@ -334,34 +446,21 @@ impl GoalModel {
                 }
             }
         }
-        for (a, impls) in self.action_impls.iter().enumerate() {
+        for a in 0..self.num_actions {
+            let impls = self.action_impls.row(a);
             if !setops::is_strictly_sorted(impls) {
                 return corrupt(format!("A-GI-idx[a{a}] is not a strictly sorted set"));
             }
-            for &p in impls.iter() {
+            for &p in impls {
                 if p as usize >= num_impls {
                     return corrupt(format!("A-GI-idx[a{a}] references unknown impl p{p}"));
                 }
-                if !setops::contains(&self.impl_actions[p as usize], a as u32) {
+                if !setops::contains(self.impl_actions.row(p as usize), a as u32) {
                     return corrupt(format!("A-GI-idx[a{a}] lists p{p}, which omits a{a}"));
                 }
             }
         }
-        if self.goal_impls.len() != self.num_goals {
-            return corrupt(format!(
-                "inverse GI-G-idx covers {} goals, G-idx declares {}",
-                self.goal_impls.len(),
-                self.num_goals
-            ));
-        }
-        if self.action_impls.len() != self.num_actions {
-            return corrupt(format!(
-                "A-GI-idx covers {} actions, A-idx declares {}",
-                self.action_impls.len(),
-                self.num_actions
-            ));
-        }
-        let goal_postings: usize = self.goal_impls.iter().map(|v| v.len()).sum();
+        let goal_postings = self.goal_impls.data.len();
         if goal_postings != num_impls {
             return corrupt(format!(
                 "inverse GI-G-idx holds {goal_postings} postings for {num_impls} impls"
@@ -370,18 +469,14 @@ impl GoalModel {
         Ok(())
     }
 
-    /// Approximate heap footprint of the model in bytes. Reported by the
-    /// scalability experiment alongside Fig. 7 timings.
+    /// Approximate heap footprint of the model in bytes: the six flat CSR
+    /// arrays plus the forward goal labels. Reported by the scalability
+    /// experiment alongside Fig. 7 timings.
     pub fn memory_bytes(&self) -> usize {
-        let posting = |v: &Vec<Box<[u32]>>| -> usize {
-            v.iter()
-                .map(|b| b.len() * 4 + std::mem::size_of::<Box<[u32]>>())
-                .sum()
-        };
-        posting(&self.impl_actions)
-            + posting(&self.goal_impls)
-            + posting(&self.action_impls)
-            + self.impl_goal.len() * 4
+        self.impl_actions.memory_bytes()
+            + self.goal_impls.memory_bytes()
+            + self.action_impls.memory_bytes()
+            + self.impl_goal.len() * std::mem::size_of::<u32>()
     }
 }
 
@@ -474,6 +569,20 @@ mod tests {
     }
 
     #[test]
+    fn space_into_buffers_are_cleared_and_reused() {
+        let m = model();
+        let mut buf = vec![7, 7, 7]; // stale content must vanish
+        m.implementation_space_into(&[1], &mut buf);
+        assert_eq!(buf, vec![0, 4]);
+        let mut goals = vec![9];
+        m.goals_of_impls_into(&buf, &mut goals);
+        assert_eq!(goals, vec![0, 3]);
+        let mut acts = vec![1, 2, 3];
+        m.action_space_into(&[1], &buf, &mut acts);
+        assert_eq!(acts, vec![0, 5]);
+    }
+
+    #[test]
     fn goal_completeness_takes_best_implementation() {
         let m = model();
         // g1 has p1={a1,a2}, p2={a1,a3}. H={a1,a2} completes p1 fully.
@@ -499,6 +608,13 @@ mod tests {
     fn memory_accounting_positive() {
         let m = model();
         assert!(m.memory_bytes() > 0);
+        // Flat layout: 3 CSR indexes (offsets + data) + forward labels,
+        // counted exactly.
+        let want = (m.impl_actions.offsets.len() + m.impl_actions.data.len()) * 4
+            + (m.goal_impls.offsets.len() + m.goal_impls.data.len()) * 4
+            + (m.action_impls.offsets.len() + m.action_impls.data.len()) * 4
+            + m.impl_goal.len() * 4;
+        assert_eq!(m.memory_bytes(), want);
     }
 
     #[test]
@@ -521,19 +637,113 @@ mod tests {
         assert!(matches!(m.validate(), Err(Error::CorruptModel { .. })));
 
         let mut m = model();
-        m.goal_impls[0] = vec![0].into_boxed_slice(); // drop p2 from g1's inverse list
+        // g1's inverse row is data[0..2] = [0, 1]; repeating p1 both breaks
+        // strict sortedness and drops p2.
+        m.goal_impls.data[0] = 1;
         assert!(matches!(m.validate(), Err(Error::CorruptModel { .. })));
 
         let mut m = model();
-        m.action_impls[0] = vec![0, 1, 2].into_boxed_slice(); // drop p5 from IS(a1)
+        // IS(a1) = data[0..4] = [0, 1, 2, 4]; rewriting the 4 to 3 claims
+        // p4 contains a1 (it does not) and drops p5.
+        m.action_impls.data[3] = 3;
         assert!(matches!(m.validate(), Err(Error::CorruptModel { .. })));
 
         let mut m = model();
-        m.impl_actions[2] = vec![3, 0, 4].into_boxed_slice(); // unsorted activity
+        // p3's activity is data[4..7] = [0, 3, 4]; swap to [3, 0, 4].
+        m.impl_actions.data[4] = 3;
+        m.impl_actions.data[5] = 0;
         assert!(matches!(m.validate(), Err(Error::CorruptModel { .. })));
 
         let mut m = model();
         m.num_actions = 3; // A-idx disagrees with the posting tables
         assert!(matches!(m.validate(), Err(Error::CorruptModel { .. })));
+    }
+
+    #[test]
+    fn validate_detects_corrupted_csr_offsets() {
+        // Non-monotone offsets.
+        let mut m = model();
+        m.goal_impls.offsets[1] = 5; // > offsets[2] = 3
+        assert!(matches!(m.validate(), Err(Error::CorruptModel { .. })));
+
+        // Last offset disagreeing with the data length.
+        let mut m = model();
+        let last = m.action_impls.offsets.len() - 1;
+        m.action_impls.offsets[last] -= 1;
+        assert!(matches!(m.validate(), Err(Error::CorruptModel { .. })));
+
+        // First offset not zero.
+        let mut m = model();
+        m.impl_actions.offsets[0] = 1;
+        assert!(matches!(m.validate(), Err(Error::CorruptModel { .. })));
+    }
+
+    #[test]
+    fn from_csr_parts_round_trips_build() {
+        let m = model();
+        let rebuilt = GoalModel::from_csr_parts(
+            m.num_actions(),
+            m.num_goals(),
+            m.impl_goal.clone(),
+            m.impl_actions.offsets.to_vec(),
+            m.impl_actions.data.to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.validate(), Ok(()));
+        for p in 0..m.num_impls() {
+            let p = ImplId::new(p as u32);
+            assert_eq!(rebuilt.impl_actions(p), m.impl_actions(p));
+            assert_eq!(rebuilt.impl_goal(p), m.impl_goal(p));
+        }
+        for g in 0..m.num_goals() {
+            let g = GoalId::new(g as u32);
+            assert_eq!(rebuilt.goal_impls(g), m.goal_impls(g));
+        }
+        for a in 0..m.num_actions() {
+            let a = ActionId::new(a as u32);
+            assert_eq!(rebuilt.action_impls(a), m.action_impls(a));
+        }
+    }
+
+    #[test]
+    fn from_csr_parts_rejects_corrupt_input() {
+        let m = model();
+        let goals = m.impl_goal.clone();
+        let offs = m.impl_actions.offsets.to_vec();
+        let data = m.impl_actions.data.to_vec();
+
+        // Empty input.
+        assert!(matches!(
+            GoalModel::from_csr_parts(6, 4, Vec::new(), vec![0], Vec::new()),
+            Err(Error::EmptyLibrary)
+        ));
+        // Unsorted row.
+        let mut bad = data.clone();
+        bad.swap(0, 1);
+        assert!(matches!(
+            GoalModel::from_csr_parts(6, 4, goals.clone(), offs.clone(), bad),
+            Err(Error::CorruptModel { .. })
+        ));
+        // Action id out of range.
+        let mut bad = data.clone();
+        if let Some(x) = bad.last_mut() {
+            *x = 99;
+        }
+        assert!(matches!(
+            GoalModel::from_csr_parts(6, 4, goals.clone(), offs.clone(), bad),
+            Err(Error::CorruptModel { .. })
+        ));
+        // Goal id out of range.
+        let mut badg = goals.clone();
+        badg[0] = 42;
+        assert!(matches!(
+            GoalModel::from_csr_parts(6, 4, badg, offs.clone(), data.clone()),
+            Err(Error::CorruptModel { .. })
+        ));
+        // Offsets shape: wrong length.
+        assert!(matches!(
+            GoalModel::from_csr_parts(6, 4, goals, offs[..offs.len() - 1].to_vec(), data),
+            Err(Error::CorruptModel { .. })
+        ));
     }
 }

@@ -13,7 +13,7 @@ use crate::setops;
 
 /// A dense vector in the goal feature space `F_GS(H)`, together with the
 /// goal ids that label each coordinate.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct GoalVector {
     /// Sorted goal ids labelling the coordinates.
     pub goals: Vec<u32>,
@@ -61,6 +61,16 @@ impl GoalVector {
     pub fn is_zero(&self) -> bool {
         self.counts.iter().all(|&c| c == 0.0)
     }
+
+    /// Re-labels a reused vector over a new (sorted) goal space, zeroing
+    /// every coordinate while keeping both backing allocations — the
+    /// allocation-free counterpart of [`GoalVector::zeros`].
+    pub fn reset(&mut self, goal_space: &[u32]) {
+        self.goals.clear();
+        self.goals.extend_from_slice(goal_space);
+        self.counts.clear();
+        self.counts.resize(goal_space.len(), 0.0);
+    }
 }
 
 /// Builds the goal-based user profile `H⃗` (Algorithm 3,
@@ -98,8 +108,26 @@ pub fn action_vector(model: &GoalModel, action: ActionId, goal_space: &[u32]) ->
 /// Computes the goal space and user profile together, avoiding a second
 /// pass over the implementation space.
 pub fn goal_space_and_profile(model: &GoalModel, activity: &[u32]) -> (Vec<u32>, GoalVector) {
+    let mut pairs = Vec::new();
+    let mut space = Vec::new();
+    let mut profile = GoalVector::zeros(&[]);
+    goal_space_and_profile_into(model, activity, &mut pairs, &mut space, &mut profile);
+    (space, profile)
+}
+
+/// [`goal_space_and_profile`] into caller-owned buffers (all cleared
+/// first): `pairs` holds the raw (goal, +1) contribution stream, `space`
+/// the normalised goal space, `profile` the user profile over it. The
+/// allocation-free form used by the Best Match hot path.
+pub fn goal_space_and_profile_into(
+    model: &GoalModel,
+    activity: &[u32],
+    pairs: &mut Vec<u32>,
+    space: &mut Vec<u32>,
+    profile: &mut GoalVector,
+) {
     // First pass: collect (goal, +1) pairs.
-    let mut pairs: Vec<u32> = Vec::new();
+    pairs.clear();
     for &a in activity {
         if (a as usize) >= model.num_actions() {
             continue;
@@ -108,13 +136,13 @@ pub fn goal_space_and_profile(model: &GoalModel, activity: &[u32]) -> (Vec<u32>,
             pairs.push(model.impl_goal(crate::ids::ImplId::new(p)).raw());
         }
     }
-    let mut space = pairs.clone();
-    setops::normalize(&mut space);
-    let mut profile = GoalVector::zeros(&space);
-    for g in pairs {
+    space.clear();
+    space.extend_from_slice(pairs);
+    setops::normalize(space);
+    profile.reset(space);
+    for &g in pairs.iter() {
         profile.add(GoalId::new(g), 1.0);
     }
-    (space, profile)
 }
 
 #[cfg(test)]
@@ -203,6 +231,21 @@ mod tests {
         // a6 (id 5) contributes to g3 via p4.
         let v6 = action_vector(&m, ActionId::new(5), &[2]);
         assert_eq!(v6.get(GoalId::new(2)), Some(1.0));
+    }
+
+    #[test]
+    fn into_buffers_are_reusable_across_activities() {
+        let m = model();
+        let (mut pairs, mut space, mut profile) = (Vec::new(), Vec::new(), GoalVector::zeros(&[]));
+        goal_space_and_profile_into(&m, &[0, 5], &mut pairs, &mut space, &mut profile);
+        let (s1, p1) = goal_space_and_profile(&m, &[0, 5]);
+        assert_eq!(space, s1);
+        assert_eq!(profile, p1);
+        // Second, smaller activity over the same (now dirty) buffers.
+        goal_space_and_profile_into(&m, &[1], &mut pairs, &mut space, &mut profile);
+        let (s2, p2) = goal_space_and_profile(&m, &[1]);
+        assert_eq!(space, s2);
+        assert_eq!(profile, p2);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::error::Result;
 use crate::ids::ActionId;
 use crate::library::GoalLibrary;
 use crate::model::GoalModel;
+use crate::scratch::{with_thread_scratch, Scratch};
 use crate::strategies::{BestMatch, Breadth, Focus, FocusVariant, Strategy};
 use crate::topk::Scored;
 use goalrec_obs::{self as obs, names};
@@ -80,6 +81,26 @@ impl GoalRecommender {
         &self.model
     }
 
+    /// Like [`Recommender::recommend`], but ranks into a caller-owned
+    /// [`Scratch`] and returns a borrow of its result buffer — the
+    /// allocation-free entry point for workers that serve many requests
+    /// (each `goalrec-serve` worker owns one arena across its
+    /// connections). Records the same per-strategy metrics as
+    /// `recommend`.
+    pub fn recommend_into<'s>(
+        &self,
+        activity: &Activity,
+        k: usize,
+        scratch: &'s mut Scratch,
+    ) -> &'s [Scored] {
+        self.requests.inc();
+        let span = obs::Timer::into_histogram(Arc::clone(&self.latency));
+        let num_candidates = self.strategy.rank_into(&self.model, activity, k, scratch);
+        drop(span);
+        self.candidates.record(num_candidates as u64);
+        scratch.out()
+    }
+
     /// One recommender per paper mechanism, sharing a single model:
     /// Best Match, Focus_cmp, Focus_cl, Breadth.
     pub fn all_strategies(model: Arc<GoalModel>) -> Vec<GoalRecommender> {
@@ -104,12 +125,9 @@ impl Recommender for GoalRecommender {
     }
 
     fn recommend(&self, activity: &Activity, k: usize) -> Vec<Scored> {
-        self.requests.inc();
-        let span = obs::Timer::into_histogram(Arc::clone(&self.latency));
-        let (ranked, num_candidates) = self.strategy.rank_observed(&self.model, activity, k);
-        drop(span);
-        self.candidates.record(num_candidates as u64);
-        ranked
+        // Route through the thread-local arena so the ranking itself is
+        // allocation-free; the only allocation left is the returned Vec.
+        with_thread_scratch(|scratch| self.recommend_into(activity, k, scratch).to_vec())
     }
 }
 
@@ -164,6 +182,20 @@ mod tests {
             ids,
             with_scores.iter().map(|s| s.action).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn recommend_into_matches_recommend_with_reused_scratch() {
+        let lib = library();
+        let model = Arc::new(GoalModel::build(&lib).unwrap());
+        let mut scratch = Scratch::new();
+        for rec in GoalRecommender::all_strategies(model) {
+            for h in [Activity::from_raw([0]), Activity::from_raw([0, 5])] {
+                let expect = rec.recommend(&h, 4);
+                let got = rec.recommend_into(&h, 4, &mut scratch);
+                assert_eq!(got, &expect[..], "{} H={:?}", rec.name(), h);
+            }
+        }
     }
 
     #[test]

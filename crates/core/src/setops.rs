@@ -152,14 +152,24 @@ pub fn union_many<'a, I>(sets: I) -> Vec<u32>
 where
     I: IntoIterator<Item = &'a [u32]>,
 {
+    let mut all: Vec<u32> = Vec::new();
+    union_many_into(sets, &mut all);
+    all
+}
+
+/// [`union_many`] into a caller-owned buffer (cleared first), so hot paths
+/// can reuse one allocation across requests.
+pub fn union_many_into<'a, I>(sets: I, out: &mut Vec<u32>)
+where
+    I: IntoIterator<Item = &'a [u32]>,
+{
     // Concatenate-then-normalise beats a k-way heap merge for the posting
     // list counts seen here (|H| ≲ 100 lists), and is simpler.
-    let mut all: Vec<u32> = Vec::new();
+    out.clear();
     for s in sets {
-        all.extend_from_slice(s);
+        out.extend_from_slice(s);
     }
-    normalize(&mut all);
-    all
+    normalize(out);
 }
 
 /// Binary-search membership test.
@@ -365,6 +375,9 @@ mod tests {
         assert_eq!(buf, vec![2, 3]);
         difference_into(&[1, 2, 3], &[2], &mut buf);
         assert_eq!(buf, vec![1, 3]);
+        let sets: Vec<&[u32]> = vec![&[1, 4], &[2, 4]];
+        union_many_into(sets, &mut buf);
+        assert_eq!(buf, vec![1, 2, 4]);
     }
 
     fn sorted_set() -> impl Strategy<Value = Vec<u32>> {

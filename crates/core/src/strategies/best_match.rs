@@ -12,9 +12,10 @@ use crate::activity::Activity;
 use crate::distance::DistanceMetric;
 use crate::ids::{ActionId, ImplId};
 use crate::model::GoalModel;
-use crate::profile::{goal_space_and_profile, GoalVector};
+use crate::profile::goal_space_and_profile_into;
+use crate::scratch::{with_thread_scratch, Scratch};
 use crate::strategies::Strategy;
-use crate::topk::{Scored, TopK};
+use crate::topk::Scored;
 
 /// The Best Match strategy with a configurable distance metric.
 #[derive(Debug, Clone, Copy, Default)]
@@ -49,21 +50,49 @@ impl Strategy for BestMatch {
         activity: &Activity,
         k: usize,
     ) -> (Vec<Scored>, usize) {
+        with_thread_scratch(|scratch| {
+            let candidates = self.rank_into(model, activity, k, scratch);
+            (scratch.out().to_vec(), candidates)
+        })
+    }
+
+    fn rank_into(
+        &self,
+        model: &GoalModel,
+        activity: &Activity,
+        k: usize,
+        scratch: &mut Scratch,
+    ) -> usize {
+        scratch.out.clear();
         if k == 0 || activity.is_empty() {
-            return (Vec::new(), 0);
+            return 0;
         }
         let h = activity.raw();
-        let (goal_space, profile) = goal_space_and_profile(model, h);
-        if goal_space.is_empty() {
-            return (Vec::new(), 0);
+        let Scratch {
+            pairs,
+            space,
+            profile,
+            impl_space,
+            candidates,
+            vec,
+            topk,
+            out,
+            ..
+        } = scratch;
+        goal_space_and_profile_into(model, h, pairs, space, profile);
+        if space.is_empty() {
+            return 0;
         }
 
-        // Algorithm 4: CA = AS(H) − H (action_space already excludes H).
-        let candidates = model.action_space(h);
+        // Algorithm 4: CA = AS(H) − H (action_space_into already excludes
+        // H). Both the candidate pool and the per-candidate goal vector
+        // live in the arena — no per-call allocations.
+        model.implementation_space_into(h, impl_space);
+        model.action_space_into(h, impl_space, candidates);
         let num_candidates = candidates.len();
-        let mut top = TopK::new(k);
-        let mut vec = GoalVector::zeros(&goal_space);
-        for a in candidates {
+        topk.reset(k);
+        vec.reset(space);
+        for &a in candidates.iter() {
             // Re-zero the workhorse vector instead of reallocating.
             vec.counts.iter_mut().for_each(|c| *c = 0.0);
             for &p in model.action_impls(ActionId::new(a)) {
@@ -71,9 +100,10 @@ impl Strategy for BestMatch {
             }
             let dist = self.metric.distance(&profile.counts, &vec.counts);
             // Scores are higher-is-better across the crate; negate distance.
-            top.push(Scored::new(ActionId::new(a), -dist));
+            topk.push(Scored::new(ActionId::new(a), -dist));
         }
-        (top.into_sorted(), num_candidates)
+        topk.drain_sorted_into(out);
+        num_candidates
     }
 }
 

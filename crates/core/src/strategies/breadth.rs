@@ -17,9 +17,10 @@
 use crate::activity::Activity;
 use crate::ids::{ActionId, ImplId};
 use crate::model::GoalModel;
+use crate::scratch::{with_thread_scratch, Scratch};
 use crate::setops;
 use crate::strategies::Strategy;
-use crate::topk::{Scored, TopK};
+use crate::topk::Scored;
 use std::collections::HashMap;
 
 /// The Breadth strategy. Stateless; see the module docs.
@@ -27,25 +28,44 @@ use std::collections::HashMap;
 pub struct Breadth;
 
 impl Breadth {
-    /// Computes the full candidate→score map (Algorithm 2 lines 2–11)
-    /// without the final top-k cut. Exposed for the naive-vs-accumulating
-    /// ablation and for tests.
-    pub fn scores(model: &GoalModel, activity: &Activity) -> HashMap<u32, u64> {
-        let h = activity.raw();
-        let mut scores: HashMap<u32, u64> = HashMap::new();
-        for p in model.implementation_space(h) {
+    /// Runs Algorithm 2's single accumulation pass (lines 2–11) over the
+    /// scratch scoreboard: after this, `scratch.touched` holds every action
+    /// of `IS(H)`'s implementations and the board holds its Eq. 6 score.
+    /// Performed actions are still on the board — each ranking consumer
+    /// filters them out.
+    fn accumulate(model: &GoalModel, h: &[u32], scratch: &mut Scratch) {
+        scratch.begin(model.num_actions());
+        // Take the buffer out so the loop can both read the implementation
+        // space and mutate the scoreboard.
+        let mut impl_space = std::mem::take(&mut scratch.impl_space);
+        model.implementation_space_into(h, &mut impl_space);
+        for &p in &impl_space {
             let actions = model.impl_actions(ImplId::new(p));
             let comm = setops::intersection_len(actions, h) as u64;
             debug_assert!(comm > 0, "IS(H) must only contain associated impls");
             for &a in actions {
-                *scores.entry(a).or_insert(0) += comm;
+                scratch.board_add(a, comm);
             }
         }
-        // Candidates are actions *not* performed yet.
-        for &a in h {
-            scores.remove(&a);
-        }
-        scores
+        scratch.impl_space = impl_space;
+    }
+
+    /// Computes the full candidate→score map (Algorithm 2 lines 2–11)
+    /// without the final top-k cut, as a thin wrapper over the same dense
+    /// scoreboard the ranking path uses — the `HashMap` is materialised
+    /// only for the caller's convenience. The independent per-candidate
+    /// rescan lives in [`Breadth::scores_naive`] as the ablation reference.
+    pub fn scores(model: &GoalModel, activity: &Activity) -> HashMap<u32, u64> {
+        let h = activity.raw();
+        with_thread_scratch(|scratch| {
+            Self::accumulate(model, h, scratch);
+            scratch
+                .touched
+                .iter()
+                .filter(|&&a| !setops::contains(h, a))
+                .map(|&a| (a, scratch.board_get(a)))
+                .collect()
+        })
     }
 
     /// Reference implementation scoring each candidate independently by
@@ -86,38 +106,53 @@ impl Strategy for Breadth {
         activity: &Activity,
         k: usize,
     ) -> (Vec<Scored>, usize) {
+        with_thread_scratch(|scratch| {
+            let candidates = self.rank_into(model, activity, k, scratch);
+            (scratch.out().to_vec(), candidates)
+        })
+    }
+
+    fn rank_into(
+        &self,
+        model: &GoalModel,
+        activity: &Activity,
+        k: usize,
+        scratch: &mut Scratch,
+    ) -> usize {
+        scratch.out.clear();
         if k == 0 || activity.is_empty() {
-            return (Vec::new(), 0);
+            return 0;
         }
-        // Hot path: a dense scoreboard with a dirty list. The accumulation
-        // touches each candidate many times (once per shared
-        // implementation), so a flat Vec beats hashing; the dirty list
-        // keeps iteration proportional to the touched candidates instead
-        // of |𝒜|. `benches/strategies.rs` (breadth_scoreboard group)
-        // quantifies the win over the HashMap in `Self::scores`.
+        // Hot path: the arena's epoch-stamped dense scoreboard with a dirty
+        // list. The accumulation touches each candidate many times (once
+        // per shared implementation), so a flat Vec beats hashing; the
+        // dirty list keeps iteration proportional to the touched candidates
+        // instead of |𝒜|, and the epoch stamp replaces the O(|𝒜|) re-zero
+        // between requests. `benches/strategies.rs` (breadth_scoreboard
+        // group) quantifies the win over the HashMap in `Self::scores`.
         let h = activity.raw();
-        let mut board = vec![0u64; model.num_actions()];
-        let mut touched: Vec<u32> = Vec::new();
-        for p in model.implementation_space(h) {
-            let actions = model.impl_actions(ImplId::new(p));
-            let comm = setops::intersection_len(actions, h) as u64;
-            for &a in actions {
-                let slot = &mut board[a as usize];
-                if *slot == 0 {
-                    touched.push(a);
-                }
-                *slot += comm;
-            }
-        }
-        let num_candidates = touched.len();
-        let mut top = TopK::new(k);
-        for a in touched {
+        Self::accumulate(model, h, scratch);
+        let num_candidates = scratch.touched.len();
+        scratch.topk.reset(k);
+        let epoch = scratch.epoch;
+        let Scratch {
+            touched,
+            board,
+            topk,
+            ..
+        } = scratch;
+        for &a in touched.iter() {
             if setops::contains(h, a) {
                 continue;
             }
-            top.push(Scored::new(ActionId::new(a), board[a as usize] as f64));
+            let (score, stamp) = board[a as usize];
+            debug_assert_eq!(stamp, epoch, "touched entries are always stamped");
+            if stamp == epoch {
+                topk.push(Scored::new(ActionId::new(a), score as f64));
+            }
         }
-        (top.into_sorted(), num_candidates)
+        scratch.topk.drain_sorted_into(&mut scratch.out);
+        num_candidates
     }
 }
 

@@ -18,6 +18,7 @@
 use crate::activity::Activity;
 use crate::ids::{ActionId, GoalId, ImplId};
 use crate::model::GoalModel;
+use crate::scratch::{with_thread_scratch, Scratch};
 use crate::setops;
 use crate::strategies::Strategy;
 use crate::topk::Scored;
@@ -67,14 +68,21 @@ impl Focus {
     /// `GS(H)` (§5.1 considers action sets of implementations `(g, A)` with
     /// `g ∈ GS(H)` — a superset of the directly-associated `IS(H)`, which
     /// lets Focus "extend to a few more [implementations] to complete the
-    /// recommendation list").
-    pub(crate) fn candidate_impls(model: &GoalModel, h: &[u32]) -> Vec<u32> {
-        setops::union_many(
-            model
-                .goal_space(h)
-                .iter()
-                .map(|&g| model.goal_impls(GoalId::new(g))),
-        )
+    /// recommendation list"). Assembled in the caller's buffers:
+    /// `IS(H)` → `GS(H)` → ∪ goal_impls, all cleared first.
+    pub(crate) fn candidate_impls_into(
+        model: &GoalModel,
+        h: &[u32],
+        impl_space: &mut Vec<u32>,
+        goal_space: &mut Vec<u32>,
+        out: &mut Vec<u32>,
+    ) {
+        model.implementation_space_into(h, impl_space);
+        model.goals_of_impls_into(impl_space, goal_space);
+        setops::union_many_into(
+            goal_space.iter().map(|&g| model.goal_impls(GoalId::new(g))),
+            out,
+        );
     }
 }
 
@@ -96,44 +104,70 @@ impl Strategy for Focus {
         activity: &Activity,
         k: usize,
     ) -> (Vec<Scored>, usize) {
+        with_thread_scratch(|scratch| {
+            let candidates = self.rank_into(model, activity, k, scratch);
+            (scratch.out().to_vec(), candidates)
+        })
+    }
+
+    fn rank_into(
+        &self,
+        model: &GoalModel,
+        activity: &Activity,
+        k: usize,
+        scratch: &mut Scratch,
+    ) -> usize {
+        scratch.out.clear();
         if k == 0 || activity.is_empty() {
-            return (Vec::new(), 0);
+            return 0;
         }
         let h = activity.raw();
+        let Scratch {
+            impl_space,
+            space,
+            candidates,
+            scored_impls,
+            seen,
+            remaining,
+            out,
+            ..
+        } = scratch;
+
+        Self::candidate_impls_into(model, h, impl_space, space, candidates);
 
         // Rank candidate implementations by the measure; deterministic
-        // tie-break by implementation id.
-        let mut ranked: Vec<(f64, u32)> = Self::candidate_impls(model, h)
-            .into_iter()
-            .filter_map(|p| {
-                self.score_impl(model.impl_actions(ImplId::new(p)), h)
-                    .map(|s| (s, p))
-            })
-            .collect();
-        ranked.sort_by(|a, b| {
+        // tie-break by implementation id (the comparator is total — scores
+        // are never NaN — so the allocation-free unstable sort produces
+        // the same order as a stable one).
+        scored_impls.clear();
+        scored_impls.extend(candidates.iter().filter_map(|&p| {
+            self.score_impl(model.impl_actions(ImplId::new(p)), h)
+                .map(|s| (s, p))
+        }));
+        scored_impls.sort_unstable_by(|a, b| {
             b.0.partial_cmp(&a.0)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.1.cmp(&b.1))
         });
         // Focus scores implementations, not actions: report those.
-        let num_candidates = ranked.len();
+        let num_candidates = scored_impls.len();
 
         // Pop the remaining actions of each implementation in rank order.
-        let mut out: Vec<Scored> = Vec::with_capacity(k);
-        let mut seen: Vec<u32> = h.to_vec(); // sorted set of excluded actions
-        let mut remaining = Vec::new();
-        'fill: for (score, p) in ranked {
-            setops::difference_into(model.impl_actions(ImplId::new(p)), &seen, &mut remaining);
-            for &a in &remaining {
+        seen.clear();
+        seen.extend_from_slice(h); // sorted set of excluded actions
+        'fill: for &(score, p) in scored_impls.iter() {
+            setops::difference_into(model.impl_actions(ImplId::new(p)), seen, remaining);
+            for &a in remaining.iter() {
                 out.push(Scored::new(ActionId::new(a), score));
-                let pos = seen.binary_search(&a).unwrap_err();
-                seen.insert(pos, a);
+                if let Err(pos) = seen.binary_search(&a) {
+                    seen.insert(pos, a);
+                }
                 if out.len() == k {
                     break 'fill;
                 }
             }
         }
-        (out, num_candidates)
+        num_candidates
     }
 }
 

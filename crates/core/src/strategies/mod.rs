@@ -24,6 +24,7 @@ pub use weights::GoalWeights;
 
 use crate::activity::Activity;
 use crate::model::GoalModel;
+use crate::scratch::Scratch;
 use crate::topk::Scored;
 
 /// A ranking strategy over the association-based goal model.
@@ -57,6 +58,30 @@ pub trait Strategy: Send + Sync {
         let ranked = self.rank(model, activity, k);
         let candidates = ranked.len();
         (ranked, candidates)
+    }
+
+    /// The allocation-free form of [`Strategy::rank_observed`]: ranks into
+    /// `scratch`'s buffers, leaving the top-k list best-first in
+    /// [`Scratch::out`] and returning the pre-truncation candidate count.
+    ///
+    /// A warm `scratch` reused across calls makes the built-in strategies'
+    /// steady-state requests heap-allocation-free (see
+    /// `tests/alloc_counting.rs`); callers that do not hold an arena can
+    /// keep using `rank`/`rank_observed`, which route through a
+    /// thread-local one. The default implementation delegates to
+    /// `rank_observed` and copies the result — correct for any strategy,
+    /// allocation-free only for those that override it.
+    fn rank_into(
+        &self,
+        model: &GoalModel,
+        activity: &Activity,
+        k: usize,
+        scratch: &mut Scratch,
+    ) -> usize {
+        let (ranked, candidates) = self.rank_observed(model, activity, k);
+        scratch.out.clear();
+        scratch.out.extend_from_slice(&ranked);
+        candidates
     }
 }
 
@@ -137,6 +162,27 @@ mod tests {
         for s in default_strategies() {
             assert!(s.rank(&m, &h, 2).len() <= 2);
             assert!(s.rank(&m, &h, 0).is_empty());
+        }
+    }
+
+    #[test]
+    fn all_strategies_rank_into_matches_rank_with_dirty_scratch() {
+        let m = testutil::example_model();
+        let mut scratch = crate::scratch::Scratch::new();
+        // Reuse one arena across every strategy and activity: results must
+        // be independent of whatever the previous call left behind.
+        for s in default_strategies() {
+            for h in [
+                Activity::from_raw([0]),
+                Activity::from_raw([0, 5]),
+                Activity::from_raw([1, 2, 5]),
+                Activity::new(),
+            ] {
+                let (expect, expect_n) = s.rank_observed(&m, &h, 3);
+                let n = s.rank_into(&m, &h, 3, &mut scratch);
+                assert_eq!(scratch.out(), &expect[..], "{} H={:?}", s.name(), h);
+                assert_eq!(n, expect_n, "{} H={:?}", s.name(), h);
+            }
         }
     }
 

@@ -10,12 +10,12 @@ use crate::activity::Activity;
 use crate::distance::DistanceMetric;
 use crate::ids::{ActionId, GoalId, ImplId};
 use crate::model::GoalModel;
-use crate::profile::GoalVector;
+use crate::profile::goal_space_and_profile_into;
+use crate::scratch::{with_thread_scratch, Scratch};
 use crate::setops;
 use crate::strategies::weights::GoalWeights;
 use crate::strategies::{Focus, FocusVariant, Strategy};
-use crate::topk::{Scored, TopK};
-use std::collections::HashMap;
+use crate::topk::Scored;
 
 /// Focus with goal priorities: an implementation's completeness/closeness
 /// score is multiplied by its goal's weight before ranking.
@@ -53,46 +53,70 @@ impl Strategy for WeightedFocus {
         activity: &Activity,
         k: usize,
     ) -> (Vec<Scored>, usize) {
+        with_thread_scratch(|scratch| {
+            let candidates = self.rank_into(model, activity, k, scratch);
+            (scratch.out().to_vec(), candidates)
+        })
+    }
+
+    fn rank_into(
+        &self,
+        model: &GoalModel,
+        activity: &Activity,
+        k: usize,
+        scratch: &mut Scratch,
+    ) -> usize {
+        scratch.out.clear();
         if k == 0 || activity.is_empty() {
-            return (Vec::new(), 0);
+            return 0;
         }
         let h = activity.raw();
-        let mut ranked: Vec<(f64, u32)> = Focus::candidate_impls(model, h)
-            .into_iter()
-            .filter_map(|p| {
-                let pid = ImplId::new(p);
-                let w = self.weights.get(model.impl_goal(pid));
-                if w == 0.0 {
-                    return None;
-                }
-                self.base
-                    .score_impl(model.impl_actions(pid), h)
-                    .map(|s| (s * w, p))
-            })
-            .collect();
-        ranked.sort_by(|a, b| {
+        let Scratch {
+            impl_space,
+            space,
+            candidates,
+            scored_impls,
+            seen,
+            remaining,
+            out,
+            ..
+        } = scratch;
+        // Candidate implementations as in Focus, assembled in the arena.
+        Focus::candidate_impls_into(model, h, impl_space, space, candidates);
+        scored_impls.clear();
+        scored_impls.extend(candidates.iter().filter_map(|&p| {
+            let pid = ImplId::new(p);
+            let w = self.weights.get(model.impl_goal(pid));
+            if w == 0.0 {
+                return None;
+            }
+            self.base
+                .score_impl(model.impl_actions(pid), h)
+                .map(|s| (s * w, p))
+        }));
+        scored_impls.sort_unstable_by(|a, b| {
             b.0.partial_cmp(&a.0)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.1.cmp(&b.1))
         });
         // Like Focus: the strategy scores implementations, so report those.
-        let num_candidates = ranked.len();
+        let num_candidates = scored_impls.len();
 
-        let mut out: Vec<Scored> = Vec::with_capacity(k);
-        let mut seen: Vec<u32> = h.to_vec();
-        let mut remaining = Vec::new();
-        'fill: for (score, p) in ranked {
-            setops::difference_into(model.impl_actions(ImplId::new(p)), &seen, &mut remaining);
-            for &a in &remaining {
+        seen.clear();
+        seen.extend_from_slice(h);
+        'fill: for &(score, p) in scored_impls.iter() {
+            setops::difference_into(model.impl_actions(ImplId::new(p)), seen, remaining);
+            for &a in remaining.iter() {
                 out.push(Scored::new(ActionId::new(a), score));
-                let pos = seen.binary_search(&a).unwrap_err();
-                seen.insert(pos, a);
+                if let Err(pos) = seen.binary_search(&a) {
+                    seen.insert(pos, a);
+                }
                 if out.len() == k {
                     break 'fill;
                 }
             }
         }
-        (out, num_candidates)
+        num_candidates
     }
 }
 
@@ -125,12 +149,30 @@ impl Strategy for WeightedBreadth {
         activity: &Activity,
         k: usize,
     ) -> (Vec<Scored>, usize) {
+        with_thread_scratch(|scratch| {
+            let candidates = self.rank_into(model, activity, k, scratch);
+            (scratch.out().to_vec(), candidates)
+        })
+    }
+
+    fn rank_into(
+        &self,
+        model: &GoalModel,
+        activity: &Activity,
+        k: usize,
+        scratch: &mut Scratch,
+    ) -> usize {
+        scratch.out.clear();
         if k == 0 || activity.is_empty() {
-            return (Vec::new(), 0);
+            return 0;
         }
         let h = activity.raw();
-        let mut scores: HashMap<u32, f64> = HashMap::new();
-        for p in model.implementation_space(h) {
+        // Accumulate on the float scoreboard; zero-weight implementations
+        // never touch it, mirroring the unweighted accumulation pass.
+        scratch.begin(model.num_actions());
+        let mut impl_space = std::mem::take(&mut scratch.impl_space);
+        model.implementation_space_into(h, &mut impl_space);
+        for &p in &impl_space {
             let pid = ImplId::new(p);
             let w = self.weights.get(model.impl_goal(pid));
             if w == 0.0 {
@@ -139,20 +181,26 @@ impl Strategy for WeightedBreadth {
             let actions = model.impl_actions(pid);
             let comm = setops::intersection_len(actions, h) as f64 * w;
             for &a in actions {
-                *scores.entry(a).or_insert(0.0) += comm;
+                scratch.fboard_add(a, comm);
             }
         }
-        for &a in h {
-            scores.remove(&a);
-        }
+        scratch.impl_space = impl_space;
+        scratch.topk.reset(k);
         // Like Breadth: every touched candidate action counts, weighted
-        // down to the ones that survive the zero-weight filter.
-        let num_candidates = scores.len();
-        let mut top = TopK::new(k);
-        for (a, sc) in scores {
-            top.push(Scored::new(ActionId::new(a), sc));
+        // down to the ones that survive the zero-weight filter; performed
+        // actions are excluded from both the count and the ranking.
+        let mut num_candidates = 0;
+        for i in 0..scratch.touched.len() {
+            let a = scratch.touched[i];
+            if setops::contains(h, a) {
+                continue;
+            }
+            num_candidates += 1;
+            let score = scratch.fboard_get(a);
+            scratch.topk.push(Scored::new(ActionId::new(a), score));
         }
-        (top.into_sorted(), num_candidates)
+        scratch.topk.drain_sorted_into(&mut scratch.out);
+        num_candidates
     }
 }
 
@@ -186,39 +234,65 @@ impl Strategy for WeightedBestMatch {
         activity: &Activity,
         k: usize,
     ) -> (Vec<Scored>, usize) {
+        with_thread_scratch(|scratch| {
+            let candidates = self.rank_into(model, activity, k, scratch);
+            (scratch.out().to_vec(), candidates)
+        })
+    }
+
+    fn rank_into(
+        &self,
+        model: &GoalModel,
+        activity: &Activity,
+        k: usize,
+        scratch: &mut Scratch,
+    ) -> usize {
+        scratch.out.clear();
         if k == 0 || activity.is_empty() {
-            return (Vec::new(), 0);
+            return 0;
         }
         let h = activity.raw();
-        let (goal_space, mut profile) = crate::profile::goal_space_and_profile(model, h);
-        if goal_space.is_empty() {
-            return (Vec::new(), 0);
+        let Scratch {
+            pairs,
+            space,
+            profile,
+            impl_space,
+            candidates,
+            vec,
+            weights_buf,
+            topk,
+            out,
+            ..
+        } = scratch;
+        goal_space_and_profile_into(model, h, pairs, space, profile);
+        if space.is_empty() {
+            return 0;
         }
-        let coord_weights: Vec<f64> = goal_space
-            .iter()
-            .map(|&g| self.weights.get(GoalId::new(g)))
-            .collect();
-        for (c, w) in profile.counts.iter_mut().zip(&coord_weights) {
+        weights_buf.clear();
+        weights_buf.extend(space.iter().map(|&g| self.weights.get(GoalId::new(g))));
+        for (c, w) in profile.counts.iter_mut().zip(weights_buf.iter()) {
             *c *= w;
         }
 
         // Like Best Match: candidates are the full action space of H.
-        let candidates = model.action_space(h);
+        model.implementation_space_into(h, impl_space);
+        model.action_space_into(h, impl_space, candidates);
         let num_candidates = candidates.len();
-        let mut top = TopK::new(k);
-        let mut vec = GoalVector::zeros(&goal_space);
-        for a in candidates {
+        topk.reset(k);
+        vec.reset(space);
+        for &a in candidates.iter() {
             vec.counts.iter_mut().for_each(|c| *c = 0.0);
             for &p in model.action_impls(ActionId::new(a)) {
                 vec.add(model.impl_goal(ImplId::new(p)), 1.0);
             }
-            for (c, w) in vec.counts.iter_mut().zip(&coord_weights) {
+            for (c, w) in vec.counts.iter_mut().zip(weights_buf.iter()) {
                 *c *= w;
             }
             let dist = self.metric.distance(&profile.counts, &vec.counts);
-            top.push(Scored::new(ActionId::new(a), -dist));
+            topk.push(Scored::new(ActionId::new(a), -dist));
         }
-        (top.into_sorted(), num_candidates)
+        topk.drain_sorted_into(out);
+        num_candidates
     }
 }
 

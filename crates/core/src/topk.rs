@@ -35,7 +35,7 @@ impl Scored {
 /// Total order used for ranking: score descending, then id ascending.
 /// NaN scores sort last (treated as −∞), so a pathological distance
 /// computation can never crowd out real candidates.
-fn rank_cmp(a: &Scored, b: &Scored) -> Ordering {
+pub(crate) fn rank_cmp(a: &Scored, b: &Scored) -> Ordering {
     let sa = if a.score.is_nan() {
         f64::NEG_INFINITY
     } else {
@@ -111,8 +111,32 @@ impl TopK {
     /// Finalises into a list sorted best-first.
     pub fn into_sorted(self) -> Vec<Scored> {
         let mut v: Vec<Scored> = self.heap.into_iter().map(|h| h.0).collect();
-        v.sort_by(rank_cmp);
+        // rank_cmp is a total order with an id tie-break, so the unstable
+        // sort is deterministic and avoids the temporary buffer a stable
+        // sort would allocate.
+        v.sort_unstable_by(rank_cmp);
         v
+    }
+
+    /// Re-arms a reused accumulator for a new query, keeping the heap's
+    /// backing allocation. Part of the allocation-free hot path: a
+    /// [`crate::Scratch`]-owned `TopK` is reset per request instead of
+    /// being rebuilt.
+    pub fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.heap.clear();
+        let want = k.saturating_add(1);
+        if self.heap.capacity() < want {
+            self.heap.reserve(want - self.heap.capacity());
+        }
+    }
+
+    /// Drains the kept items into `out` (cleared first), sorted best-first,
+    /// leaving the accumulator empty but its allocation intact.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<Scored>) {
+        out.clear();
+        out.extend(self.heap.drain().map(|h| h.0));
+        out.sort_unstable_by(rank_cmp);
     }
 
     /// Number of items currently held (≤ k).
@@ -195,6 +219,29 @@ mod tests {
         t.push(s(3, 3.0));
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn reset_and_drain_reuse_the_accumulator() {
+        let mut t = TopK::new(1);
+        t.push(s(1, 1.0));
+        let mut out = vec![s(9, 9.0)]; // stale content must vanish
+        t.drain_sorted_into(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].action, ActionId::new(1));
+        assert!(t.is_empty());
+        // Re-arm with a different k; results match a fresh accumulator.
+        t.reset(2);
+        for it in [s(1, 0.5), s(2, 0.9), s(3, 0.1), s(4, 0.7)] {
+            t.push(it);
+        }
+        t.drain_sorted_into(&mut out);
+        let fresh = top_k(vec![s(1, 0.5), s(2, 0.9), s(3, 0.1), s(4, 0.7)], 2);
+        assert_eq!(out, fresh);
+        // reset(0) keeps nothing.
+        t.reset(0);
+        t.push(s(5, 5.0));
+        assert!(t.is_empty());
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! stored (use the JSON sidecar of `goalrec-cli extract` when names
 //! matter).
 
-use goalrec_core::{ActionId, GoalId, GoalLibrary};
+use goalrec_core::{ActionId, GoalId, GoalLibrary, GoalModel};
 use std::fs::File;
 use std::io::{self, BufReader, Read, Write};
 use std::path::Path;
@@ -105,10 +105,18 @@ fn invalid(msg: &str) -> io::Error {
 /// before the checksum gets a chance to reject the file.
 const PREALLOC_CAP: usize = 1 << 16;
 
-/// Reads a `GRLB` library, validating magic, version and checksum. The
-/// file handle goes through `goalrec-faults`, so chaos plans can fail,
-/// stall, or truncate this read path on demand.
-pub fn read_library_binary(path: &Path) -> io::Result<GoalLibrary> {
+/// The fixed-size `GRLB` header fields (after magic + version).
+struct GrlbHeader {
+    num_actions: u32,
+    num_goals: u32,
+    num_impls: u32,
+}
+
+/// Opens `path` (through `goalrec-faults`, so chaos plans can fail, stall
+/// or truncate this read path on demand) and validates magic + version.
+type GrlbReader = CountingReader<BufReader<goalrec_faults::FaultyRead<File>>>;
+
+fn open_grlb(path: &Path) -> io::Result<(GrlbReader, GrlbHeader)> {
     let file = BufReader::new(goalrec_faults::read_wrap(path, File::open(path)?));
     let mut r = CountingReader {
         inner: file,
@@ -125,24 +133,17 @@ pub fn read_library_binary(path: &Path) -> io::Result<GoalLibrary> {
             "unsupported GRLB version {version} (this reader supports version {VERSION})"
         )));
     }
-    let num_actions = r.get_u32()?;
-    let num_goals = r.get_u32()?;
-    let num_impls = r.get_u32()?;
+    let header = GrlbHeader {
+        num_actions: r.get_u32()?,
+        num_goals: r.get_u32()?,
+        num_impls: r.get_u32()?,
+    };
+    Ok((r, header))
+}
 
-    let mut impls = Vec::with_capacity((num_impls as usize).min(PREALLOC_CAP));
-    for _ in 0..num_impls {
-        let goal = r.get_u32()?;
-        let len = r.get_u32()?;
-        if len as usize > num_actions as usize {
-            return Err(invalid("implementation longer than the action universe"));
-        }
-        let mut actions = Vec::with_capacity((len as usize).min(PREALLOC_CAP));
-        for _ in 0..len {
-            actions.push(ActionId::new(r.get_u32()?));
-        }
-        impls.push((GoalId::new(goal), actions));
-    }
-
+/// Consumes the trailer: the FNV checksum must match everything hashed so
+/// far, and nothing may follow it.
+fn finish_grlb<R: Read>(r: &mut CountingReader<R>) -> io::Result<()> {
     let expected = r.hash.0;
     let mut tail = [0u8; 8];
     r.inner.read_exact(&mut tail)?;
@@ -154,11 +155,80 @@ pub fn read_library_binary(path: &Path) -> io::Result<GoalLibrary> {
     if r.inner.read(&mut extra)? != 0 {
         return Err(invalid("trailing bytes after checksum"));
     }
+    Ok(())
+}
 
-    GoalLibrary::from_id_implementations(num_actions, num_goals, impls).map_err(|e| match e {
+/// Maps core build errors onto io errors, treating an empty library as the
+/// shared "empty library" condition of [`crate::io`].
+fn core_to_io(path: &Path, e: goalrec_core::Error) -> io::Error {
+    match e {
         goalrec_core::Error::EmptyLibrary => crate::io::empty_library(path),
         other => invalid(&other.to_string()),
-    })
+    }
+}
+
+/// Reads a `GRLB` library, validating magic, version and checksum.
+pub fn read_library_binary(path: &Path) -> io::Result<GoalLibrary> {
+    let (mut r, header) = open_grlb(path)?;
+    let mut impls = Vec::with_capacity((header.num_impls as usize).min(PREALLOC_CAP));
+    for _ in 0..header.num_impls {
+        let goal = r.get_u32()?;
+        let len = r.get_u32()?;
+        if len as usize > header.num_actions as usize {
+            return Err(invalid("implementation longer than the action universe"));
+        }
+        let mut actions = Vec::with_capacity((len as usize).min(PREALLOC_CAP));
+        for _ in 0..len {
+            actions.push(ActionId::new(r.get_u32()?));
+        }
+        impls.push((GoalId::new(goal), actions));
+    }
+    finish_grlb(&mut r)?;
+
+    GoalLibrary::from_id_implementations(header.num_actions, header.num_goals, impls)
+        .map_err(|e| core_to_io(path, e))
+}
+
+/// Reads a `GRLB` file straight into a compiled [`GoalModel`], skipping
+/// the intermediate [`GoalLibrary`].
+///
+/// The per-implementation records land verbatim in the model's forward
+/// CSR arrays (`offsets` + flat `data`, one goal id per row), so loading
+/// performs exactly one pass over the file with three flat allocations —
+/// no per-implementation `Vec`s — and the build only has to invert the
+/// index. Content validation (per-row sortedness, id bounds) happens in
+/// [`GoalModel::from_csr_parts`] after the checksum has vouched for the
+/// bytes.
+pub fn read_model_binary(path: &Path) -> io::Result<GoalModel> {
+    let (mut r, header) = open_grlb(path)?;
+    let mut impl_goal = Vec::with_capacity((header.num_impls as usize).min(PREALLOC_CAP));
+    let mut offsets = Vec::with_capacity((header.num_impls as usize + 1).min(PREALLOC_CAP));
+    let mut data = Vec::with_capacity((header.num_impls as usize).min(PREALLOC_CAP));
+    offsets.push(0u32);
+    for _ in 0..header.num_impls {
+        let goal = r.get_u32()?;
+        let len = r.get_u32()?;
+        if len as usize > header.num_actions as usize {
+            return Err(invalid("implementation longer than the action universe"));
+        }
+        impl_goal.push(goal);
+        for _ in 0..len {
+            data.push(r.get_u32()?);
+        }
+        let end = u32::try_from(data.len())
+            .map_err(|_| invalid("library exceeds the u32 posting capacity"))?;
+        offsets.push(end);
+    }
+    finish_grlb(&mut r)?;
+
+    GoalModel::from_csr_parts(
+        header.num_actions as usize,
+        header.num_goals as usize,
+        impl_goal,
+        offsets,
+        data,
+    )
+    .map_err(|e| core_to_io(path, e))
 }
 
 #[cfg(test)]
@@ -320,6 +390,94 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let err = read_library_binary(&path).unwrap_err();
         assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn read_model_binary_matches_build_from_library() {
+        use goalrec_core::{GoalRecommender, Recommender};
+        use std::sync::Arc;
+        let fm = FoodMart::generate(&FoodMartConfig::test_scale());
+        let path = tmp("model.grlb");
+        write_library_binary(&fm.library, &path).unwrap();
+        let direct = read_model_binary(&path).unwrap();
+        let via_library = GoalModel::build(&read_library_binary(&path).unwrap()).unwrap();
+        direct.validate().unwrap();
+        assert_eq!(direct.num_impls(), via_library.num_impls());
+        assert_eq!(direct.num_actions(), via_library.num_actions());
+        assert_eq!(direct.num_goals(), via_library.num_goals());
+        assert_eq!(direct.memory_bytes(), via_library.memory_bytes());
+        for rec_pair in GoalRecommender::all_strategies(Arc::new(direct))
+            .into_iter()
+            .zip(GoalRecommender::all_strategies(Arc::new(via_library)))
+        {
+            let (a, b) = rec_pair;
+            for cart in fm.carts.iter().take(10) {
+                assert_eq!(a.recommend(cart, 10), b.recommend(cart, 10), "{}", a.name());
+            }
+        }
+    }
+
+    /// Hand-assembles a GRLB byte stream (with a valid checksum) from raw
+    /// implementation records, so tests can express content corruption the
+    /// writer cannot produce.
+    fn raw_grlb(num_actions: u32, num_goals: u32, impls: &[(u32, &[u32])]) -> Vec<u8> {
+        let mut body: Vec<u8> = Vec::new();
+        for v in [VERSION, num_actions, num_goals, impls.len() as u32] {
+            body.extend_from_slice(&v.to_le_bytes());
+        }
+        for &(goal, actions) in impls {
+            body.extend_from_slice(&goal.to_le_bytes());
+            body.extend_from_slice(&(actions.len() as u32).to_le_bytes());
+            for &a in actions {
+                body.extend_from_slice(&a.to_le_bytes());
+            }
+        }
+        let mut hash = Fnv::new();
+        hash.update(&body);
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&body);
+        bytes.extend_from_slice(&hash.0.to_le_bytes());
+        bytes
+    }
+
+    #[test]
+    fn read_model_binary_rejects_invalid_content_after_checksum_passes() {
+        // Each file checksums fine; the CSR content validation must still
+        // reject it: unsorted row, duplicate actions, out-of-range action,
+        // out-of-range goal, empty implementation.
+        type Impls<'a> = &'a [(u32, &'a [u32])];
+        let cases: [(&str, u32, u32, Impls<'_>); 5] = [
+            ("unsorted row", 4, 2, &[(0, &[2, 1][..])]),
+            ("duplicate actions", 4, 2, &[(0, &[1, 1][..])]),
+            ("action out of range", 2, 2, &[(0, &[0, 5][..])]),
+            ("goal out of range", 4, 1, &[(3, &[0, 1][..])]),
+            ("empty implementation", 4, 2, &[(0, &[][..])]),
+        ];
+        for (name, num_actions, num_goals, impls) in cases {
+            let path = tmp("badcontent.grlb");
+            std::fs::write(&path, raw_grlb(num_actions, num_goals, impls)).unwrap();
+            let err = read_model_binary(&path).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{name}: {err}");
+        }
+    }
+
+    #[test]
+    fn read_model_binary_rejects_corruption_and_truncation() {
+        let path = tmp("modelcorrupt.grlb");
+        write_library_binary(&tiny_library(), &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xFF;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(read_model_binary(&path).is_err());
+
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(read_model_binary(&path).is_err());
+
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_model_binary(&path).is_ok());
     }
 
     #[test]

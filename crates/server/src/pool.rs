@@ -23,6 +23,7 @@ use crate::http::{self, HttpReader, Limits, Response};
 use crate::queue::{Bounded, Pop};
 use crate::router::{self, ServeCtx};
 use crate::shutdown::Shutdown;
+use goalrec_core::Scratch;
 use goalrec_obs::{self as obs, names};
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -138,7 +139,9 @@ impl Write for ConnStream {
 }
 
 /// The worker thread body: drain connections until the queue is closed
-/// *and* empty — exactly the graceful-drain contract.
+/// *and* empty — exactly the graceful-drain contract. Each worker owns one
+/// [`Scratch`] arena for the whole loop, so recommend requests rank into
+/// warm buffers instead of allocating per request.
 pub(crate) fn worker_loop(
     ctx: Arc<ServeCtx>,
     queue: Arc<Bounded<Conn>>,
@@ -146,9 +149,12 @@ pub(crate) fn worker_loop(
     metrics: Arc<ServerMetrics>,
     policy: ConnPolicy,
 ) {
+    let mut scratch = Scratch::new();
     loop {
         match queue.pop(QUEUE_POLL) {
-            Pop::Item(conn) => handle_connection(conn, &ctx, &shutdown, &metrics, &policy),
+            Pop::Item(conn) => {
+                handle_connection(conn, &ctx, &shutdown, &metrics, &policy, &mut scratch)
+            }
             Pop::Empty => {}
             Pop::Closed => break,
         }
@@ -179,6 +185,7 @@ fn handle_connection(
     shutdown: &Shutdown,
     metrics: &ServerMetrics,
     policy: &ConnPolicy,
+    scratch: &mut Scratch,
 ) {
     let stream = conn.stream;
     let _ = stream.set_nodelay(true);
@@ -255,7 +262,7 @@ fn handle_connection(
                         None => false,
                     }
                 } else {
-                    let response = match router::handle(ctx, &request) {
+                    let response = match router::handle(ctx, &request, scratch) {
                         Ok(resp) => resp,
                         Err(err) => match Response::from_error(&err) {
                             Some(resp) => resp,

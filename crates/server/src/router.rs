@@ -16,9 +16,11 @@
 //! and the connection layer turns errors into their status-coded JSON
 //! envelopes, so nothing in here can abort a worker.
 //!
-//! Workers hand requests to [`handle`] with a [`ServeCtx`]; the handler
-//! loads one [`AppState`] snapshot up front, so a hot reload landing
-//! mid-request never changes the model a request is being answered from.
+//! Workers hand requests to [`handle`] with a [`ServeCtx`] and their own
+//! [`Scratch`] arena; the handler loads one [`AppState`] snapshot up
+//! front, so a hot reload landing mid-request never changes the model a
+//! request is being answered from, and the ranking pass reuses the
+//! worker's arena so steady-state recommends never touch the allocator.
 
 use crate::error::ServerError;
 use crate::http::{Request, Response};
@@ -26,7 +28,7 @@ use crate::reload::{ReloadHandle, StateCell};
 use goalrec_core::ids::ActionId;
 use goalrec_core::{
     Activity, BestMatch, Breadth, Focus, FocusVariant, GoalLibrary, GoalModel, GoalRecommender,
-    LibraryStats, Recommender, StatsReport,
+    LibraryStats, Scratch, StatsReport,
 };
 use goalrec_obs::{self as obs, names};
 use serde_json::Value;
@@ -160,8 +162,13 @@ impl ServeCtx {
 }
 
 /// Dispatches one request. The per-route counters are recorded here so
-/// they count exactly the requests that reached routing.
-pub fn handle(ctx: &ServeCtx, request: &Request) -> Result<Response, ServerError> {
+/// they count exactly the requests that reached routing. `scratch` is the
+/// calling worker's reusable arena; only the recommend route uses it.
+pub fn handle(
+    ctx: &ServeCtx,
+    request: &Request,
+    scratch: &mut Scratch,
+) -> Result<Response, ServerError> {
     let route = match (request.method.as_str(), request.path.as_str()) {
         (_, "/healthz") => "healthz",
         (_, "/metrics") => "metrics",
@@ -191,7 +198,7 @@ pub fn handle(ctx: &ServeCtx, request: &Request) -> Result<Response, ServerError
             let report = StatsReport::new(state.stats.clone(), Some(obs::snapshot()));
             Ok(Response::json(200, report.to_json_pretty()))
         }
-        ("POST", "/v1/recommend") => recommend(&state, request),
+        ("POST", "/v1/recommend") => recommend(&state, request, scratch),
         ("POST", "/v1/admin/reload") => admin_reload(ctx, request),
         (_, "/healthz") | (_, "/metrics") | (_, "/v1/stats") => {
             Err(ServerError::MethodNotAllowed {
@@ -312,14 +319,20 @@ fn parse_recommend_body(body: &[u8]) -> Result<RecommendParams, ServerError> {
     })
 }
 
-fn recommend(state: &AppState, request: &Request) -> Result<Response, ServerError> {
+fn recommend(
+    state: &AppState,
+    request: &Request,
+    scratch: &mut Scratch,
+) -> Result<Response, ServerError> {
     let params = parse_recommend_body(&request.body)?;
     for &id in &params.activity {
         state.model.check_action(ActionId::new(id))?;
     }
     let recommender = state.recommender(&params.strategy)?;
     let activity = Activity::from_raw(params.activity.iter().copied());
-    let ranked = recommender.recommend(&activity, params.k);
+    // The ranking pass reuses the worker's arena; the response body is the
+    // only per-request allocation left on this route.
+    let ranked = recommender.recommend_into(&activity, params.k, scratch);
 
     let items: Vec<Value> = ranked
         .iter()
@@ -344,6 +357,12 @@ fn recommend(state: &AppState, request: &Request) -> Result<Response, ServerErro
 mod tests {
     use super::*;
     use goalrec_core::LibraryBuilder;
+
+    /// Test shim: routes with a fresh arena, shadowing [`super::handle`]
+    /// so call sites stay signature-free.
+    fn handle(ctx: &ServeCtx, request: &Request) -> Result<Response, ServerError> {
+        super::handle(ctx, request, &mut Scratch::new())
+    }
 
     fn state() -> ServeCtx {
         let mut b = LibraryBuilder::new();
