@@ -14,7 +14,13 @@
 //!                 through injected fault plans (IO error, torn write,
 //!                 slow read); assert every faulted reload rolls back,
 //!                 no request is dropped or 5xx'd, and a clean reload
-//!                 then bumps the model generation
+//!                 then bumps the model generation. Then validates the
+//!                 tracing pipeline: every response carries an
+//!                 `X-Goalrec-Trace` id, and the final `/debug/traces`
+//!                 snapshot (written to DEBUG_traces.json for CI
+//!                 artifacts) holds ≥1 trace per strategy, each with a
+//!                 `span.rank` span and top-level spans summing to
+//!                 within 10% of the trace total
 //! --perf          hot-path regression bench: serial vs parallel model
 //!                 build at scalability size, per-strategy rank_into
 //!                 latency over the FoodMart test-scale carts (the
@@ -395,6 +401,136 @@ fn admin_reload(addr: SocketAddr, body: &str) -> u16 {
     fetch(addr, &raw).0
 }
 
+/// One traced recommend round-trip: asserts a 200 and returns the
+/// response's `X-Goalrec-Trace` id.
+fn recommend_traced(addr: SocketAddr, strategy: &str) -> String {
+    let body = format!(r#"{{"activity": [1, 2, 3, 4], "strategy": "{strategy}", "k": 10}}"#);
+    let raw = format!(
+        "POST /v1/recommend HTTP/1.1\r\nhost: chaos\r\ncontent-length: {}\r\n\
+         connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let mut stream = TcpStream::connect(addr).expect("chaos: connect");
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    stream.write_all(raw.as_bytes()).expect("chaos: write");
+    let mut raw_reply = Vec::new();
+    stream.read_to_end(&mut raw_reply).expect("chaos: read");
+    let text = String::from_utf8_lossy(&raw_reply);
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("chaos: status line");
+    assert_eq!(status, 200, "traced {strategy} recommend must answer 200");
+    text.lines()
+        .take_while(|l| !l.is_empty())
+        .filter_map(|l| l.split_once(':'))
+        .find(|(name, _)| name.trim().eq_ignore_ascii_case("x-goalrec-trace"))
+        .map(|(_, v)| v.trim().to_owned())
+        .expect("every response from a tracing server must carry X-Goalrec-Trace")
+}
+
+/// The strategies the API accepts, paired with the internal names traces
+/// are tagged with.
+const TRACE_STRATEGIES: &[(&str, &str)] = &[
+    ("breadth", "Breadth"),
+    ("best-match", "BestMatch"),
+    ("focus-cmp", "Focus_cmp"),
+    ("focus-cl", "Focus_cl"),
+];
+
+/// Drives a few requests per strategy, snapshots `/debug/traces`, writes
+/// the dump to `out`, and checks the coherence invariants: at least one
+/// captured trace per strategy; every completed recommend trace carries a
+/// `span.rank` span and a positive total; and on every captured trace the
+/// top-level spans sum to within 10% of the trace total (which is, by
+/// construction, the request's `server.latency` observation).
+fn validate_traces(addr: SocketAddr, out: &std::path::Path) {
+    use serde_json::Value;
+
+    for (api, _) in TRACE_STRATEGIES {
+        for _ in 0..4 {
+            let id = recommend_traced(addr, api);
+            assert_eq!(id.len(), 16, "trace ids are 16 hex chars, got '{id}'");
+            assert!(
+                id.chars().all(|c| c.is_ascii_hexdigit()),
+                "trace id '{id}' is not hex"
+            );
+        }
+    }
+
+    let (status, body) = fetch(
+        addr,
+        "GET /debug/traces HTTP/1.1\r\nhost: chaos\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200, "/debug/traces must answer 200, body: {body}");
+    std::fs::write(out, &body).expect("chaos: write trace dump");
+
+    let doc: Value = serde_json::from_str(&body).expect("chaos: parse /debug/traces");
+    let traces = match doc.get("traces") {
+        Some(Value::Array(items)) => items,
+        other => panic!("/debug/traces must hold a 'traces' array, got {other:?}"),
+    };
+    assert!(
+        !traces.is_empty(),
+        "chaos left no traces in the tail sampler"
+    );
+
+    let mut seen_strategies: Vec<&str> = Vec::new();
+    for trace in traces {
+        let total = trace
+            .get("total_ns")
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("trace without a numeric total_ns: {trace}"));
+        assert!(total > 0, "captured trace with zero total: {trace}");
+        let spans = match trace.get("spans") {
+            Some(Value::Array(items)) => items,
+            other => panic!("trace without a spans array: {other:?}"),
+        };
+        let top_level_sum: u64 = spans
+            .iter()
+            .filter(|s| s.get("child") != Some(&Value::Bool(true)))
+            .filter_map(|s| s.get("dur_ns").and_then(Value::as_u64))
+            .sum();
+        assert!(
+            total.abs_diff(top_level_sum) * 10 <= total,
+            "top-level spans ({top_level_sum} ns) must sum to within 10% of the \
+             trace total ({total} ns): {trace}"
+        );
+        let route = trace.get("route").and_then(Value::as_str).unwrap_or("");
+        let status = trace.get("status").and_then(Value::as_u64).unwrap_or(0);
+        if route == "recommend" && status == 200 {
+            assert!(
+                spans.iter().any(|s| s.get("name").and_then(Value::as_str)
+                    == Some(goalrec_obs::names::SPAN_RANK)),
+                "completed recommend trace without a span.rank span: {trace}"
+            );
+            if let Some(strategy) = trace.get("strategy").and_then(Value::as_str) {
+                if let Some(known) = TRACE_STRATEGIES
+                    .iter()
+                    .map(|(_, internal)| *internal)
+                    .find(|internal| *internal == strategy)
+                {
+                    if !seen_strategies.contains(&known) {
+                        seen_strategies.push(known);
+                    }
+                }
+            }
+        }
+    }
+    for (_, internal) in TRACE_STRATEGIES {
+        assert!(
+            seen_strategies.contains(internal),
+            "no captured trace for strategy {internal} (saw {seen_strategies:?})"
+        );
+    }
+    eprintln!(
+        "chaos: {} traces captured, all strategies covered, span sums coherent → {}",
+        traces.len(),
+        out.display()
+    );
+}
+
 /// Chaos smoke: recommend traffic flows continuously while reload
 /// attempts are pushed through injected fault plans. Every faulted
 /// attempt must answer 500 and leave the last good generation serving;
@@ -493,6 +629,11 @@ fn chaos_smoke() {
         merged.other += tally.other;
         merged.errors += tally.errors;
     }
+
+    // With the background traffic stopped, validate the tracing pipeline
+    // end to end and leave the dump behind for CI artifacts.
+    validate_traces(addr, std::path::Path::new("DEBUG_traces.json"));
+
     handle.shutdown();
 
     assert!(
@@ -656,7 +797,7 @@ fn perf(clients: usize, seconds: f64, out: &std::path::Path) {
         "pr3_baseline_req_per_s": PR3_BASELINE_KEEPALIVE_RPS,
     });
     let report = serde_json::json!({
-        "bench": "goalrec perf — CSR index layout + scratch arenas",
+        "bench": "goalrec perf — request-scoped tracing on the hot path",
         "build": build_report,
         "strategy_latency": strategy_reports,
         "throughput": phase.value,

@@ -38,7 +38,8 @@ const USAGE: &str = "usage:\n  \
     goalrec recommend --library FILE.jsonl --activity a1,a2,... \
 [--strategy breadth|best-match|focus-cmp|focus-cl] [--k N] [--explain]\n  \
     goalrec serve     --library FILE.jsonl [--addr HOST] [--port N] [--workers N] \
-[--queue-depth N] [--deadline-ms N] [--idle-ms N]\n  \
+[--queue-depth N] [--deadline-ms N] [--idle-ms N] [--no-trace] \
+[--trace-sample-every N] [--access-log] [--access-log-every N]\n  \
     goalrec demo";
 
 fn generate(args: &Args) -> CmdResult {
@@ -300,6 +301,16 @@ fn serve(args: &Args) -> CmdResult {
         Duration::from_millis(u64::try_from(args.num("deadline-ms", 1000)?).unwrap_or(u64::MAX));
     cfg.idle_timeout =
         Duration::from_millis(u64::try_from(args.num("idle-ms", 5000)?).unwrap_or(u64::MAX));
+    cfg.trace_enabled = !args.has("no-trace");
+    cfg.trace_sample_every = u64::try_from(args.num("trace-sample-every", 64)?).unwrap_or(u64::MAX);
+    if args.has("access-log") {
+        cfg.access_log_every = 1;
+    }
+    cfg.access_log_every = u64::try_from(args.num(
+        "access-log-every",
+        usize::try_from(cfg.access_log_every).unwrap_or(0),
+    )?)
+    .unwrap_or(u64::MAX);
     // SIGHUP and path-less admin reloads re-read the same file.
     cfg.library_path = args.required("library").ok().map(std::path::PathBuf::from);
     goalrec_server::run_blocking(lib, cfg).map_err(|e| e.to_string())

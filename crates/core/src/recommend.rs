@@ -93,10 +93,52 @@ impl GoalRecommender {
         k: usize,
         scratch: &'s mut Scratch,
     ) -> &'s [Scored] {
+        self.recommend_into_traced(activity, k, scratch, &mut obs::TraceContext::disabled())
+    }
+
+    /// [`GoalRecommender::recommend_into`], additionally recording the
+    /// ranking into `trace` as a `span.rank` span with
+    /// `span.rank.candidates`/`span.rank.topk` child spans (the phase
+    /// boundary every built-in strategy marks in its [`Scratch`]).
+    ///
+    /// With a disabled trace this is exactly `recommend_into`; with an
+    /// enabled one it adds a few clock reads and fixed-slot span writes —
+    /// the steady state stays allocation-free either way (proven by
+    /// `tests/alloc_counting.rs`).
+    pub fn recommend_into_traced<'s>(
+        &self,
+        activity: &Activity,
+        k: usize,
+        scratch: &'s mut Scratch,
+        trace: &mut obs::TraceContext,
+    ) -> &'s [Scored] {
         self.requests.inc();
+        let traced = trace.is_enabled();
+        if traced {
+            trace.set_strategy(self.strategy.name());
+        }
+        scratch.phase.begin(traced);
+        let rank_start_ns = if traced { trace.elapsed_ns() } else { 0 };
+        // A child span: the server nests the ranking inside its own
+        // top-level `span.handle`, which alone accounts for this window.
+        let rank_token = trace.start_child_span(names::SPAN_RANK);
         let span = obs::Timer::into_histogram(Arc::clone(&self.latency));
         let num_candidates = self.strategy.rank_into(&self.model, activity, k, scratch);
         drop(span);
+        trace.end_span(rank_token);
+        if traced {
+            let rank_ns = trace.elapsed_ns().saturating_sub(rank_start_ns);
+            let cand_ns = scratch.phase.candidates_ns().min(rank_ns);
+            if cand_ns > 0 {
+                trace.add_span(names::SPAN_RANK_CANDIDATES, rank_start_ns, cand_ns, true);
+                trace.add_span(
+                    names::SPAN_RANK_TOPK,
+                    rank_start_ns + cand_ns,
+                    rank_ns - cand_ns,
+                    true,
+                );
+            }
+        }
         self.candidates.record(num_candidates as u64);
         scratch.out()
     }
@@ -196,6 +238,56 @@ mod tests {
                 assert_eq!(got, &expect[..], "{} H={:?}", rec.name(), h);
             }
         }
+    }
+
+    #[test]
+    fn traced_recommend_records_rank_and_phase_spans() {
+        let lib = library();
+        let model = Arc::new(GoalModel::build(&lib).unwrap());
+        let mut scratch = Scratch::new();
+        let h = Activity::from_raw([0, 5]);
+        for rec in GoalRecommender::all_strategies(Arc::clone(&model)) {
+            let mut trace = obs::TraceContext::new(true);
+            trace.begin(obs::TraceId(1), std::time::Instant::now());
+            let expect = rec.recommend(&h, 4);
+            let got = rec.recommend_into_traced(&h, 4, &mut scratch, &mut trace);
+            assert_eq!(got, &expect[..], "{}", rec.name());
+            trace.finish(200);
+            let snap = trace.snapshot();
+            assert_eq!(snap.strategy, rec.name());
+            assert!(snap.has_span(names::SPAN_RANK), "{}", rec.name());
+            assert!(snap.has_span(names::SPAN_RANK_CANDIDATES), "{}", rec.name());
+            assert!(snap.has_span(names::SPAN_RANK_TOPK), "{}", rec.name());
+            // The child phases subdivide the rank span.
+            let rank = snap
+                .spans()
+                .iter()
+                .find(|s| s.name == names::SPAN_RANK)
+                .unwrap();
+            let child_sum: u64 = snap
+                .spans()
+                .iter()
+                .filter(|s| {
+                    s.name == names::SPAN_RANK_CANDIDATES || s.name == names::SPAN_RANK_TOPK
+                })
+                .map(|s| s.dur_ns)
+                .sum();
+            assert!(
+                child_sum <= rank.dur_ns + 1_000,
+                "{}: children {child_sum} ns exceed rank {} ns",
+                rec.name(),
+                rank.dur_ns
+            );
+        }
+    }
+
+    #[test]
+    fn untraced_recommend_records_no_spans() {
+        let rec = GoalRecommender::from_library(&library(), Box::new(Breadth)).unwrap();
+        let mut scratch = Scratch::new();
+        let mut trace = obs::TraceContext::disabled();
+        let _ = rec.recommend_into_traced(&Activity::from_raw([0]), 3, &mut scratch, &mut trace);
+        assert!(trace.spans().is_empty());
     }
 
     #[test]

@@ -29,6 +29,51 @@
 use crate::profile::GoalVector;
 use crate::topk::{Scored, TopK};
 use std::cell::RefCell;
+use std::time::Instant;
+
+/// Phase-boundary marks for the per-request `span.rank` trace span.
+///
+/// Every built-in strategy has the same two-phase shape — generate the
+/// candidate set, then select the top k — and the tracing layer wants
+/// those phases as separate child spans. Strategies cannot talk to a
+/// `TraceContext` directly (the trait must stay obs-agnostic), so they
+/// mark the boundary here and `GoalRecommender::recommend_into_traced`
+/// converts the mark into `span.rank.candidates`/`span.rank.topk`.
+/// Disabled (the default, and whenever tracing is off) the mark is a
+/// single branch; enabled it adds one monotonic clock read per request —
+/// never an allocation.
+#[derive(Default)]
+pub(crate) struct PhaseMarks {
+    started: Option<Instant>,
+    candidates_ns: u64,
+}
+
+impl PhaseMarks {
+    /// Arms (or disarms) the marks for a new request.
+    #[inline]
+    pub(crate) fn begin(&mut self, enabled: bool) {
+        self.started = if enabled { Some(Instant::now()) } else { None };
+        self.candidates_ns = 0;
+    }
+
+    /// Marks the candidate-generation → top-k-selection boundary. Only
+    /// the first mark of a request sticks.
+    #[inline]
+    pub(crate) fn mark(&mut self) {
+        if let Some(t0) = self.started {
+            if self.candidates_ns == 0 {
+                self.candidates_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            }
+        }
+    }
+
+    /// Nanoseconds from `begin` to the first `mark`; 0 when disarmed or
+    /// never marked.
+    #[inline]
+    pub(crate) fn candidates_ns(&self) -> u64 {
+        self.candidates_ns
+    }
+}
 
 /// Reusable per-thread working memory for one recommend request.
 ///
@@ -69,6 +114,8 @@ pub struct Scratch {
     pub(crate) topk: TopK,
     /// The ranked result of the last `rank_into` call.
     pub(crate) out: Vec<Scored>,
+    /// Phase-boundary marks for the tracing layer (see [`PhaseMarks`]).
+    pub(crate) phase: PhaseMarks,
 }
 
 impl Scratch {

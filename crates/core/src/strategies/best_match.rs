@@ -77,6 +77,7 @@ impl Strategy for BestMatch {
             vec,
             topk,
             out,
+            phase,
             ..
         } = scratch;
         goal_space_and_profile_into(model, h, pairs, space, profile);
@@ -90,6 +91,7 @@ impl Strategy for BestMatch {
         model.implementation_space_into(h, impl_space);
         model.action_space_into(h, impl_space, candidates);
         let num_candidates = candidates.len();
+        phase.mark(); // candidate pool complete; distance scoring next
         topk.reset(k);
         vec.reset(space);
         for &a in candidates.iter() {

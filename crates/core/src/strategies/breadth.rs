@@ -133,6 +133,7 @@ impl Strategy for Breadth {
         let h = activity.raw();
         Self::accumulate(model, h, scratch);
         let num_candidates = scratch.touched.len();
+        scratch.phase.mark(); // candidate accumulation done; top-k next
         scratch.topk.reset(k);
         let epoch = scratch.epoch;
         let Scratch {

@@ -130,6 +130,7 @@ impl Strategy for Focus {
             seen,
             remaining,
             out,
+            phase,
             ..
         } = scratch;
 
@@ -151,6 +152,7 @@ impl Strategy for Focus {
         });
         // Focus scores implementations, not actions: report those.
         let num_candidates = scored_impls.len();
+        phase.mark(); // implementations ranked; fill loop next
 
         // Pop the remaining actions of each implementation in rank order.
         seen.clear();

@@ -115,4 +115,32 @@ fn steady_state_rank_into_performs_zero_heap_allocations() {
         delta, 0,
         "recommend_into allocated {delta} time(s) on the steady-state path"
     );
+
+    // With tracing ENABLED the path must stay allocation-free too: spans
+    // land in the trace's fixed array and the phase marks are plain clock
+    // reads. This is the guarantee that lets the server trace every
+    // request by default.
+    let mut trace = goalrec_obs::TraceContext::new(true);
+    for _ in 0..2 {
+        trace.begin(goalrec_obs::TraceId(7), std::time::Instant::now());
+        rec.recommend_into_traced(&activities[1], 10, &mut scratch, &mut trace);
+        trace.finish(200);
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    trace.begin(goalrec_obs::TraceId(8), std::time::Instant::now());
+    let ranked = rec.recommend_into_traced(&activities[1], 10, &mut scratch, &mut trace);
+    assert!(!ranked.is_empty());
+    trace.finish(200);
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        delta, 0,
+        "recommend_into_traced with an enabled trace allocated {delta} time(s)"
+    );
+    assert!(
+        trace
+            .spans()
+            .iter()
+            .any(|s| s.name == goalrec_obs::names::SPAN_RANK),
+        "the traced call must actually record a rank span"
+    );
 }

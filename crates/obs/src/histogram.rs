@@ -92,6 +92,12 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Number of values recorded into bucket `i` (`i < NUM_BUCKETS`),
+    /// for cumulative exposition formats.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i].load(Ordering::Relaxed)
+    }
+
     /// Sum of recorded values (wrapping only past `u64::MAX` total).
     pub fn sum(&self) -> u64 {
         self.sum.load(Ordering::Relaxed)

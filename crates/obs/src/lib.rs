@@ -45,12 +45,16 @@ mod histogram;
 pub mod names;
 mod registry;
 mod report;
+pub mod tail;
 mod timer;
+pub mod trace;
 
 pub use histogram::{Histogram, Unit};
 pub use registry::{Counter, Gauge, Registry};
 pub use report::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsReport};
+pub use tail::{TailConfig, TailSampler};
 pub use timer::Timer;
+pub use trace::{fresh_trace_id, CompletedTrace, Span, SpanToken, TraceContext, TraceId};
 
 use std::sync::Arc;
 
@@ -82,6 +86,11 @@ pub fn histogram_ns(name: &str) -> Arc<Histogram> {
 /// Snapshot of every metric in the global registry.
 pub fn snapshot() -> MetricsReport {
     global().snapshot()
+}
+
+/// Prometheus text exposition of every metric in the global registry.
+pub fn render_prometheus() -> String {
+    global().render_prometheus()
 }
 
 /// Zeroes every metric in the global registry in place.

@@ -112,11 +112,47 @@ pub const SERVER_RELOAD_LATENCY: &str = "server.reload.latency";
 /// Gauge: generation of the model currently serving (bumps on every
 /// successful reload).
 pub const SERVER_MODEL_GENERATION: &str = "server.model_generation";
+/// Gauge: milliseconds since the serving model was built (refreshed on
+/// every `/healthz` probe).
+pub const SERVER_MODEL_AGE_MS: &str = "server.model_age_ms";
+/// Counter: completed traces offered to the tail sampler.
+pub const SERVER_TRACE_SAMPLED: &str = "server.trace.sampled";
+/// Gauge: completed traces currently retained by the tail sampler
+/// (slow sets + uniform ring), refreshed on every `/healthz` probe.
+pub const SERVER_TRACE_TAIL_OCCUPANCY: &str = "server.trace.tail_occupancy";
 
 /// `server.route.<route>.requests` for a concrete route name.
 pub fn server_route_requests(route: &str) -> String {
     expand(SERVER_ROUTE_REQUESTS, route)
 }
+
+// ---------------------------------------------------------------------
+// Trace span names (`TraceContext` spans; same registry discipline as
+// metric names — the `span` namespace is protected by `goalrec-lint`).
+// ---------------------------------------------------------------------
+
+/// Span: time an admitted connection waited in the admission queue
+/// before a worker picked it up (first request of a connection only).
+pub const SPAN_QUEUE_WAIT: &str = "span.queue_wait";
+/// Span: awaiting the first byte plus parsing the request head and body.
+pub const SPAN_PARSE: &str = "span.parse";
+/// Span: `router::handle` — routing plus the handler body.
+pub const SPAN_HANDLE: &str = "span.handle";
+/// Span: one `Strategy::rank_into` call inside the recommend handler.
+pub const SPAN_RANK: &str = "span.rank";
+/// Child span of `span.rank`: candidate generation.
+pub const SPAN_RANK_CANDIDATES: &str = "span.rank.candidates";
+/// Child span of `span.rank`: top-k selection over the candidates.
+pub const SPAN_RANK_TOPK: &str = "span.rank.topk";
+/// Span: serializing and writing the response bytes.
+pub const SPAN_WRITE: &str = "span.write";
+/// Span: reading the library file during a hot reload.
+pub const SPAN_RELOAD_LOAD: &str = "span.reload.load";
+/// Span: `GoalModel::validate` during a hot reload.
+pub const SPAN_RELOAD_VALIDATE: &str = "span.reload.validate";
+/// Span: `GoalModel::build` plus recommender construction (reloads and
+/// first boot).
+pub const SPAN_MODEL_BUILD: &str = "span.model_build";
 
 // ---------------------------------------------------------------------
 // Evaluation harness (eval context + `repro`).
@@ -167,6 +203,19 @@ pub const ALL: &[&str] = &[
     SERVER_RELOAD_FAILURES,
     SERVER_RELOAD_LATENCY,
     SERVER_MODEL_GENERATION,
+    SERVER_MODEL_AGE_MS,
+    SERVER_TRACE_SAMPLED,
+    SERVER_TRACE_TAIL_OCCUPANCY,
+    SPAN_QUEUE_WAIT,
+    SPAN_PARSE,
+    SPAN_HANDLE,
+    SPAN_RANK,
+    SPAN_RANK_CANDIDATES,
+    SPAN_RANK_TOPK,
+    SPAN_WRITE,
+    SPAN_RELOAD_LOAD,
+    SPAN_RELOAD_VALIDATE,
+    SPAN_MODEL_BUILD,
     EVAL_CONTEXT_BUILD,
     EVAL_CONTEXT_FOODMART,
     EVAL_CONTEXT_FORTYTHREE,
@@ -200,7 +249,7 @@ mod tests {
         for name in ALL {
             assert!(seen.insert(*name), "duplicate registry entry {name}");
         }
-        assert_eq!(ALL.len(), 33);
+        assert_eq!(ALL.len(), 46);
     }
 
     #[test]

@@ -157,6 +157,64 @@ impl Registry {
         }
     }
 
+    /// Renders every metric in the Prometheus text exposition format.
+    ///
+    /// Dots in the registry's names become underscores under a
+    /// `goalrec_` prefix (`server.latency` → `goalrec_server_latency`).
+    /// Counters and gauges map one-to-one; log2 histograms are emitted as
+    /// the standard cumulative `_bucket{le="…"}`/`_sum`/`_count` series,
+    /// with one `le` boundary per occupied log2 bucket (upper bound
+    /// inclusive) and the mandatory `+Inf` terminator.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, c) in self
+            .counters
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+        {
+            let prom = prom_name(name);
+            let _ = writeln!(out, "# TYPE {prom} counter");
+            let _ = writeln!(out, "{prom} {}", c.get());
+        }
+        for (name, g) in self
+            .gauges
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+        {
+            let prom = prom_name(name);
+            let _ = writeln!(out, "# TYPE {prom} gauge");
+            let _ = writeln!(out, "{prom} {}", g.get());
+        }
+        for (name, h) in self
+            .histograms
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+        {
+            let prom = prom_name(name);
+            let _ = writeln!(out, "# TYPE {prom} histogram");
+            let highest = (0..crate::histogram::NUM_BUCKETS)
+                .rev()
+                .find(|&i| h.bucket_count(i) > 0);
+            let mut cumulative = 0u64;
+            for i in 0..=highest.unwrap_or(0) {
+                cumulative += h.bucket_count(i);
+                let _ = writeln!(
+                    out,
+                    "{prom}_bucket{{le=\"{}\"}} {cumulative}",
+                    Histogram::bucket_upper(i)
+                );
+            }
+            let _ = writeln!(out, "{prom}_bucket{{le=\"+Inf\"}} {}", h.count());
+            let _ = writeln!(out, "{prom}_sum {}", h.sum());
+            let _ = writeln!(out, "{prom}_count {}", h.count());
+        }
+        out
+    }
+
     /// Zeroes every registered metric in place. Outstanding handles stay
     /// bound to their metrics and keep recording.
     pub fn reset(&self) {
@@ -185,6 +243,20 @@ impl Registry {
             h.reset();
         }
     }
+}
+
+/// Maps a dotted registry name onto the Prometheus grammar.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("goalrec_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
 }
 
 static GLOBAL: OnceLock<Registry> = OnceLock::new();
@@ -219,6 +291,32 @@ mod tests {
         assert_eq!(names, vec!["a.count", "b.count"]);
         assert_eq!(snap.gauges[0].value, 1.25);
         assert_eq!(snap.histograms[0].count, 1);
+    }
+
+    #[test]
+    fn prometheus_names_and_cumulative_buckets() {
+        assert_eq!(prom_name("server.latency"), "goalrec_server_latency");
+        assert_eq!(
+            prom_name("strategy.Breadth.requests"),
+            "goalrec_strategy_Breadth_requests"
+        );
+        let r = Registry::new();
+        let h = r.histogram("sizes");
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        let text = r.render_prometheus();
+        // Buckets 0 (value 0) and 2 (values 2..=3) are occupied; the
+        // series is cumulative and closes with +Inf, sum, count.
+        assert!(text.contains("goalrec_sizes_bucket{le=\"0\"} 1"), "{text}");
+        assert!(text.contains("goalrec_sizes_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("goalrec_sizes_bucket{le=\"3\"} 3"), "{text}");
+        assert!(
+            text.contains("goalrec_sizes_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("goalrec_sizes_sum 6"), "{text}");
+        assert!(text.contains("goalrec_sizes_count 3"), "{text}");
     }
 
     #[test]

@@ -39,17 +39,26 @@ pub struct HistogramSnapshot {
     pub max: u64,
     /// Arithmetic mean.
     pub mean: f64,
-    /// Median estimate (bucket resolution).
-    pub p50: u64,
-    /// 95th percentile estimate (bucket resolution).
-    pub p95: u64,
-    /// 99th percentile estimate (bucket resolution).
-    pub p99: u64,
+    /// Median estimate (bucket resolution); `None` when no value was
+    /// recorded — a clamped 0 would be ambiguous with a real 0
+    /// observation.
+    pub p50: Option<u64>,
+    /// 95th percentile estimate (bucket resolution); `None` when empty.
+    pub p95: Option<u64>,
+    /// 99th percentile estimate (bucket resolution); `None` when empty.
+    pub p99: Option<u64>,
 }
 
 impl HistogramSnapshot {
     /// Summarizes a live histogram.
     pub fn of(name: &str, h: &Histogram) -> Self {
+        let quantile = |q| {
+            if h.count() == 0 {
+                None
+            } else {
+                Some(h.quantile(q))
+            }
+        };
         HistogramSnapshot {
             name: name.to_string(),
             unit: h.unit(),
@@ -58,9 +67,9 @@ impl HistogramSnapshot {
             min: h.min(),
             max: h.max(),
             mean: h.mean(),
-            p50: h.quantile(0.50),
-            p95: h.quantile(0.95),
-            p99: h.quantile(0.99),
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
         }
     }
 }
@@ -104,6 +113,14 @@ impl MetricsReport {
     pub fn to_json(&self) -> String {
         // goalrec-lint:allow(no-panic-paths): serializing a plain struct of names and numbers cannot fail; an error here is a serializer bug, not input
         serde_json::to_string_pretty(self).expect("report serialization is infallible")
+    }
+}
+
+/// Renders an optional value (empty-histogram percentiles) as `-`.
+fn fmt_opt(v: Option<u64>, unit: Unit) -> String {
+    match v {
+        Some(v) => fmt_value(v, unit),
+        None => "-".to_owned(),
     }
 }
 
@@ -155,9 +172,9 @@ impl fmt::Display for MetricsReport {
                     h.name,
                     h.count,
                     fmt_value(h.mean as u64, h.unit),
-                    fmt_value(h.p50, h.unit),
-                    fmt_value(h.p95, h.unit),
-                    fmt_value(h.p99, h.unit),
+                    fmt_opt(h.p50, h.unit),
+                    fmt_opt(h.p95, h.unit),
+                    fmt_opt(h.p99, h.unit),
                     fmt_value(h.max, h.unit),
                 )?;
             }
@@ -210,5 +227,29 @@ mod tests {
         assert!(MetricsReport::default()
             .to_string()
             .contains("none recorded"));
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_none_not_zero() {
+        let r = Registry::new();
+        let _ = r.histogram_ns("idle.latency");
+        let zeros = r.histogram("real.zeros");
+        zeros.record(0);
+        let snap = r.snapshot();
+        let idle = snap.histogram("idle.latency").unwrap();
+        assert_eq!(idle.count, 0);
+        assert_eq!((idle.p50, idle.p95, idle.p99), (None, None, None));
+        // A genuine 0 observation stays distinguishable.
+        let real = snap.histogram("real.zeros").unwrap();
+        assert_eq!(real.p50, Some(0));
+        // Serialization keeps the distinction: null vs 0.
+        let json = snap.to_json();
+        assert!(json.contains("null"), "{json}");
+        let back: MetricsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.histogram("idle.latency").unwrap().p50, None);
+        assert_eq!(back.histogram("real.zeros").unwrap().p50, Some(0));
+        // Text rendering shows a placeholder, not a fake 0.
+        let text = snap.to_string();
+        assert!(text.contains('-'), "{text}");
     }
 }

@@ -1,0 +1,70 @@
+//! Golden-file tests for the two metric exposition formats: the console
+//! text rendering (`MetricsReport`'s `Display`) and the Prometheus text
+//! exposition (`Registry::render_prometheus`).
+//!
+//! The fixtures are deterministic (a fresh registry, hand-picked values)
+//! so both renderings are asserted byte-for-byte. If a format changes on
+//! purpose, update the goldens here and the README examples together.
+
+use goalrec_obs::Registry;
+
+/// A fresh registry with one of each metric kind plus an empty histogram
+/// (the empty-percentile edge case).
+fn fixture() -> Registry {
+    let r = Registry::new();
+    r.counter("server.requests").inc_by(5);
+    r.gauge("batch.throughput_rps").set(1234.5);
+    let latency = r.histogram_ns("server.latency");
+    latency.record(900);
+    latency.record(1_500);
+    // Registered but never recorded: percentiles must render as `-`.
+    let _ = r.histogram("strategy.Breadth.candidates");
+    r
+}
+
+#[test]
+fn text_report_golden() {
+    let expected = "\
+counters
+  server.requests                                       5
+gauges
+  batch.throughput_rps                           1234.500
+histograms
+  name                                           count       mean        p50        p95        p99        max
+  server.latency                                     2      1.2µs      1.0µs      1.5µs      1.5µs      1.5µs
+  strategy.Breadth.candidates                        0          0          -          -          -          0
+";
+    assert_eq!(fixture().snapshot().to_string(), expected);
+}
+
+#[test]
+fn prometheus_exposition_golden() {
+    let expected = "\
+# TYPE goalrec_server_requests counter
+goalrec_server_requests 5
+# TYPE goalrec_batch_throughput_rps gauge
+goalrec_batch_throughput_rps 1234.5
+# TYPE goalrec_server_latency histogram
+goalrec_server_latency_bucket{le=\"0\"} 0
+goalrec_server_latency_bucket{le=\"1\"} 0
+goalrec_server_latency_bucket{le=\"3\"} 0
+goalrec_server_latency_bucket{le=\"7\"} 0
+goalrec_server_latency_bucket{le=\"15\"} 0
+goalrec_server_latency_bucket{le=\"31\"} 0
+goalrec_server_latency_bucket{le=\"63\"} 0
+goalrec_server_latency_bucket{le=\"127\"} 0
+goalrec_server_latency_bucket{le=\"255\"} 0
+goalrec_server_latency_bucket{le=\"511\"} 0
+goalrec_server_latency_bucket{le=\"1023\"} 1
+goalrec_server_latency_bucket{le=\"2047\"} 2
+goalrec_server_latency_bucket{le=\"+Inf\"} 2
+goalrec_server_latency_sum 2400
+goalrec_server_latency_count 2
+# TYPE goalrec_strategy_Breadth_candidates histogram
+goalrec_strategy_Breadth_candidates_bucket{le=\"0\"} 0
+goalrec_strategy_Breadth_candidates_bucket{le=\"+Inf\"} 0
+goalrec_strategy_Breadth_candidates_sum 0
+goalrec_strategy_Breadth_candidates_count 0
+";
+    assert_eq!(fixture().render_prometheus(), expected);
+}

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod debug;
 pub mod error;
 pub mod http;
 mod pool;
@@ -42,6 +43,7 @@ pub use reload::{ReloadHandle, StateCell};
 pub use router::{AppState, ServeCtx, STRATEGY_NAMES};
 pub use shutdown::Shutdown;
 
+use goalrec_obs as obs;
 use pool::{Conn, ConnPolicy, ServerMetrics};
 use queue::{Bounded, TryPush};
 use std::io::Write as _;
@@ -74,6 +76,17 @@ pub struct ServerConfig {
     /// synthetic in-memory library) makes those reloads require an
     /// explicit path.
     pub library_path: Option<PathBuf>,
+    /// Whether workers record request-scoped traces. When off, the whole
+    /// tracing layer collapses to a no-op (`/debug/traces` serves an
+    /// empty set, no `X-Goalrec-Trace` header is emitted).
+    pub trace_enabled: bool,
+    /// Uniform-sampling period of the tail sampler: 1 in N completed
+    /// traces is kept regardless of speed (slow outliers are always
+    /// kept). Clamped to at least 1.
+    pub trace_sample_every: u64,
+    /// Emit a single-line JSON access-log record for every Nth traced
+    /// request per worker; `0` disables the access log entirely.
+    pub access_log_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +103,9 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(5),
             limits: Limits::default(),
             library_path: None,
+            trace_enabled: true,
+            trace_sample_every: 64,
+            access_log_every: 0,
         }
     }
 }
@@ -182,12 +198,17 @@ pub fn start_with_shutdown(
             detail: e.to_string(),
         })?;
 
+    let tail = Arc::new(obs::TailSampler::new(obs::TailConfig {
+        sample_every: config.trace_sample_every.max(1),
+        ..obs::TailConfig::default()
+    }));
     let (reload, reloader) = reload::spawn_reloader(
         Arc::clone(&states),
         shutdown.clone(),
         config.library_path.clone(),
+        Arc::clone(&tail),
     )?;
-    let ctx = Arc::new(ServeCtx::new(states, Some(reload.clone())));
+    let ctx = Arc::new(ServeCtx::new(states, Some(reload.clone())).with_tail(tail));
 
     let queue: Arc<Bounded<Conn>> = Arc::new(Bounded::new(config.queue_depth));
     let metrics = Arc::new(ServerMetrics::new());
@@ -195,6 +216,8 @@ pub fn start_with_shutdown(
         deadline: config.deadline,
         idle_timeout: config.idle_timeout,
         limits: config.limits.clone(),
+        trace_enabled: config.trace_enabled,
+        access_log_every: config.access_log_every,
     };
 
     let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
@@ -206,7 +229,7 @@ pub fn start_with_shutdown(
             let policy = policy.clone();
             std::thread::Builder::new()
                 .name(format!("goalrec-worker-{i}"))
-                .spawn(move || pool::worker_loop(ctx, queue, shutdown, metrics, policy))
+                .spawn(move || pool::worker_loop(i, ctx, queue, shutdown, metrics, policy))
                 .map_err(|e| ServerError::Io {
                     context: "spawning worker thread",
                     detail: e.to_string(),
@@ -313,8 +336,10 @@ pub fn run_blocking(
     println!("  POST /v1/recommend     {{\"activity\": [ids…], \"strategy\": name, \"k\": n}}");
     println!("  POST /v1/admin/reload  hot-swap the model ({{\"path\": file}} or startup file)");
     println!("  GET  /v1/stats         library statistics + metrics snapshot (JSON)");
-    println!("  GET  /metrics          metrics snapshot (text)");
-    println!("  GET  /healthz          liveness JSON (generation, model age)");
+    println!("  GET  /metrics          metrics snapshot (text; ?format=prometheus for exposition)");
+    println!("  GET  /healthz          liveness JSON (generation, model age, uptime)");
+    println!("  GET  /debug/traces     sampled tail traces (?route=&strategy=&min_us=)");
+    println!("  GET  /debug/requests   in-flight request snapshot");
     println!("reload with SIGHUP; stop with SIGTERM or ctrl-c (in-flight requests drain)");
     handle.wait();
     eprintln!("goalrec-serve: drained, bye");

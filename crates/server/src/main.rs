@@ -4,6 +4,8 @@
 //! goalrec-serve --library FILE[.jsonl|.grlb]
 //!               [--addr HOST] [--port N] [--workers N]
 //!               [--queue-depth N] [--deadline-ms N] [--idle-ms N]
+//!               [--no-trace] [--trace-sample-every N]
+//!               [--access-log] [--access-log-every N]
 //! ```
 //!
 //! Loads the library once, compiles the [`goalrec_core::GoalModel`], and
@@ -16,7 +18,8 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: goalrec-serve --library FILE[.jsonl|.grlb] \
     [--addr HOST] [--port N] [--workers N] [--queue-depth N] \
-    [--deadline-ms N] [--idle-ms N]";
+    [--deadline-ms N] [--idle-ms N] [--no-trace] [--trace-sample-every N] \
+    [--access-log] [--access-log-every N]";
 
 fn parse_args(argv: &[String]) -> Result<(String, ServerConfig), String> {
     let mut config = ServerConfig::default();
@@ -43,6 +46,16 @@ fn parse_args(argv: &[String]) -> Result<(String, ServerConfig), String> {
             "--idle-ms" => {
                 config.idle_timeout =
                     Duration::from_millis(parse_num(value("--idle-ms")?, "--idle-ms")?)
+            }
+            "--no-trace" => config.trace_enabled = false,
+            "--trace-sample-every" => {
+                config.trace_sample_every =
+                    parse_num(value("--trace-sample-every")?, "--trace-sample-every")?
+            }
+            "--access-log" => config.access_log_every = config.access_log_every.max(1),
+            "--access-log-every" => {
+                config.access_log_every =
+                    parse_num(value("--access-log-every")?, "--access-log-every")?
             }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
@@ -104,6 +117,11 @@ mod tests {
             "250",
             "--idle-ms",
             "750",
+            "--no-trace",
+            "--trace-sample-every",
+            "16",
+            "--access-log-every",
+            "32",
         ]))
         .unwrap();
         assert_eq!(lib, "x.jsonl");
@@ -113,6 +131,18 @@ mod tests {
         assert_eq!(cfg.queue_depth, 17);
         assert_eq!(cfg.deadline, Duration::from_millis(250));
         assert_eq!(cfg.idle_timeout, Duration::from_millis(750));
+        assert!(!cfg.trace_enabled);
+        assert_eq!(cfg.trace_sample_every, 16);
+        assert_eq!(cfg.access_log_every, 32);
+    }
+
+    #[test]
+    fn defaults_trace_on_and_access_log_off() {
+        let (_, cfg) = parse_args(&args(&["--library", "x.jsonl"])).unwrap();
+        assert!(cfg.trace_enabled);
+        assert_eq!(cfg.access_log_every, 0);
+        let (_, cfg) = parse_args(&args(&["--library", "x.jsonl", "--access-log"])).unwrap();
+        assert_eq!(cfg.access_log_every, 1);
     }
 
     #[test]

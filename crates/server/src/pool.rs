@@ -18,6 +18,7 @@
 //!   shutdown token and the idle budget, so an idle keep-alive connection
 //!   neither blocks shutdown nor holds a worker forever.
 
+use crate::debug::{self, InflightSlot};
 use crate::error::ServerError;
 use crate::http::{self, HttpReader, Limits, Response};
 use crate::queue::{Bounded, Pop};
@@ -47,12 +48,17 @@ pub(crate) struct Conn {
     pub accepted: Instant,
 }
 
-/// Per-connection timing knobs handed to each worker.
+/// Per-connection timing and tracing knobs handed to each worker.
 #[derive(Clone)]
 pub(crate) struct ConnPolicy {
     pub deadline: Duration,
     pub idle_timeout: Duration,
     pub limits: Limits,
+    /// Request-scoped tracing: spans, tail capture, `X-Goalrec-Trace`.
+    pub trace_enabled: bool,
+    /// Print every Nth traced request as a JSON access-log line on
+    /// stderr; `0` disables the log.
+    pub access_log_every: u64,
 }
 
 /// The serving metrics, resolved once and shared by every thread.
@@ -140,9 +146,11 @@ impl Write for ConnStream {
 
 /// The worker thread body: drain connections until the queue is closed
 /// *and* empty — exactly the graceful-drain contract. Each worker owns one
-/// [`Scratch`] arena for the whole loop, so recommend requests rank into
-/// warm buffers instead of allocating per request.
+/// [`Scratch`] arena and one reusable [`obs::TraceContext`] for the whole
+/// loop, so recommend requests rank (and trace) into warm buffers instead
+/// of allocating per request.
 pub(crate) fn worker_loop(
+    worker: usize,
     ctx: Arc<ServeCtx>,
     queue: Arc<Bounded<Conn>>,
     shutdown: Shutdown,
@@ -150,35 +158,101 @@ pub(crate) fn worker_loop(
     policy: ConnPolicy,
 ) {
     let mut scratch = Scratch::new();
+    let mut trace = obs::TraceContext::new(policy.trace_enabled);
+    let mut wobs = WorkerObs {
+        tail: Arc::clone(ctx.tail()),
+        slot: ctx.inflight().register(worker),
+        access_every: policy.access_log_every,
+        served: 0,
+    };
     loop {
         match queue.pop(QUEUE_POLL) {
-            Pop::Item(conn) => {
-                handle_connection(conn, &ctx, &shutdown, &metrics, &policy, &mut scratch)
-            }
+            Pop::Item(conn) => handle_connection(
+                conn,
+                &ctx,
+                &shutdown,
+                &metrics,
+                &policy,
+                &mut scratch,
+                &mut trace,
+                &mut wobs,
+            ),
             Pop::Empty => {}
             Pop::Closed => break,
         }
     }
 }
 
-/// Writes one response and maintains the request/latency metrics.
-/// Returns whether the socket is still usable.
+/// Per-worker tracing sinks: the shared tail sampler, this worker's
+/// in-flight slot, and the access-log sampling state.
+struct WorkerObs {
+    tail: Arc<obs::TailSampler>,
+    slot: Arc<InflightSlot>,
+    access_every: u64,
+    served: u64,
+}
+
+/// Writes one response and maintains the request/latency metrics plus the
+/// trace epilogue: the `X-Goalrec-Trace` header, the `span.write` span,
+/// the tail-sampler offer and the sampled access log. Returns whether the
+/// socket is still usable.
 fn respond(
     reader: &mut HttpReader<ConnStream>,
-    response: &Response,
+    response: &mut Response,
     keep_alive: bool,
-    t0: Instant,
     metrics: &ServerMetrics,
+    trace: &mut obs::TraceContext,
+    wobs: &mut WorkerObs,
 ) -> bool {
+    let traced = trace.is_enabled();
+    if traced {
+        response
+            .extra_headers
+            .push(("X-Goalrec-Trace", trace.id().to_hex()));
+    }
+    wobs.slot.set_stage(debug::STAGE_WRITE);
+    let write = trace.start_span(names::SPAN_WRITE);
     let ok = response.write_to(reader.get_mut(), keep_alive).is_ok();
+    trace.end_span(write);
     metrics.requests.inc();
-    metrics
-        .latency
-        .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    // One clock read seals the trace AND feeds the latency histogram, so
+    // a trace's total_ns is byte-identical to its latency observation.
+    // (begin() anchored the trace at t0, so this holds untraced too.)
+    let total_ns = trace.finish(response.status);
+    metrics.latency.record(total_ns);
+    if traced {
+        let snap = trace.snapshot();
+        wobs.tail.offer(&snap);
+        wobs.served += 1;
+        if wobs.access_every > 0 && wobs.served.is_multiple_of(wobs.access_every) {
+            access_log(&snap);
+        }
+    }
     ok && keep_alive && !response.close
 }
 
+/// One single-line JSON access-log record on stderr.
+fn access_log(snap: &obs::CompletedTrace) {
+    let handler_us = snap
+        .spans()
+        .iter()
+        .find(|s| s.name == names::SPAN_HANDLE)
+        .map(|s| s.dur_ns / 1_000)
+        .unwrap_or(0);
+    let doc = serde_json::json!({
+        "ts_ms": snap.unix_ms,
+        "trace": snap.id.to_hex(),
+        "route": snap.route,
+        "status": snap.status,
+        "queue_wait_us": snap.queue_wait_ns / 1_000,
+        "handler_us": handler_us,
+        "total_us": snap.total_ns / 1_000,
+    });
+    eprintln!("{doc}");
+}
+
 /// Serves every request of one connection.
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     conn: Conn,
     ctx: &ServeCtx,
@@ -186,7 +260,17 @@ fn handle_connection(
     metrics: &ServerMetrics,
     policy: &ConnPolicy,
     scratch: &mut Scratch,
+    trace: &mut obs::TraceContext,
+    wobs: &mut WorkerObs,
 ) {
+    // Queue wait: accept → this worker picking the connection up. It is
+    // charged to the first request only (whose clock starts at accept).
+    let queue_wait_ns = u64::try_from(
+        Instant::now()
+            .saturating_duration_since(conn.accepted)
+            .as_nanos(),
+    )
+    .unwrap_or(u64::MAX);
     let stream = conn.stream;
     let _ = stream.set_nodelay(true);
     if stream.set_write_timeout(Some(WRITE_TIMEOUT)).is_err() {
@@ -229,50 +313,96 @@ fn handle_connection(
             break;
         }
 
-        let t0 = pending_t0.take().unwrap_or(idle_started);
+        // First request: clocked from accept, charged with the queue
+        // wait. Keep-alive successors: clocked from their idle start.
+        let (t0, queue_wait) = match pending_t0.take() {
+            Some(accepted) => (accepted, queue_wait_ns),
+            None => (idle_started, 0),
+        };
         metrics.enter_inflight();
+
+        // --- trace prologue: one id per request, spans offset from t0 --
+        let id = if trace.is_enabled() {
+            obs::fresh_trace_id()
+        } else {
+            obs::TraceId(0)
+        };
+        trace.begin(id, t0);
+        wobs.slot.begin(id, ctx.inflight().offset_us(t0));
+        if queue_wait > 0 {
+            trace.add_span(names::SPAN_QUEUE_WAIT, 0, queue_wait, false);
+            trace.set_queue_wait_ns(queue_wait);
+        }
 
         // Queue-aged admission: the deadline may already be gone before a
         // single byte is parsed.
         if t0.elapsed() >= policy.deadline {
             metrics.timeouts.inc();
-            if let Some(resp) = Response::from_error(&ServerError::Timeout) {
-                let _ = respond(&mut reader, &resp, false, t0, metrics);
+            if let Some(mut resp) = Response::from_error(&ServerError::Timeout) {
+                let _ = respond(&mut reader, &mut resp, false, metrics, trace, wobs);
             }
+            wobs.slot.end();
             metrics.exit_inflight();
             break;
         }
 
         // --- parse phase: every read capped by the remaining deadline ---
+        // The parse span starts where the queue wait ended, so it also
+        // absorbs the wait for the request's first byte: the top-level
+        // spans of a completed trace partition [0, total_ns].
         reader.get_mut().deadline = Some(t0 + policy.deadline);
         let parsed = http::read_request(&mut reader, &policy.limits);
         reader.get_mut().deadline = None;
+        let parse_end = trace.elapsed_ns();
+        trace.add_span(
+            names::SPAN_PARSE,
+            queue_wait,
+            parse_end.saturating_sub(queue_wait),
+            false,
+        );
 
         let alive = match parsed {
             Ok(None) => {
+                wobs.slot.end();
                 metrics.exit_inflight();
                 break;
             }
             Ok(Some(request)) => {
+                // An inbound trace id (from a caller propagating its own
+                // context) replaces the generated one.
+                if let Some(inbound) = request
+                    .header("x-goalrec-trace")
+                    .and_then(obs::TraceId::parse_hex)
+                {
+                    trace.set_id(inbound);
+                    wobs.slot.set_trace(inbound);
+                }
                 let keep = request.keep_alive && !shutdown.is_set();
                 if t0.elapsed() >= policy.deadline {
                     metrics.timeouts.inc();
                     match Response::from_error(&ServerError::Timeout) {
-                        Some(resp) => respond(&mut reader, &resp, false, t0, metrics),
+                        Some(mut resp) => {
+                            respond(&mut reader, &mut resp, false, metrics, trace, wobs)
+                        }
                         None => false,
                     }
                 } else {
-                    let response = match router::handle(ctx, &request, scratch) {
+                    wobs.slot.set_stage(debug::STAGE_HANDLE);
+                    let handling = trace.start_span(names::SPAN_HANDLE);
+                    let routed = router::handle(ctx, &request, scratch, trace);
+                    trace.end_span(handling);
+                    let mut response = match routed {
                         Ok(resp) => resp,
                         Err(err) => match Response::from_error(&err) {
                             Some(resp) => resp,
                             None => {
+                                wobs.slot.end();
                                 metrics.exit_inflight();
                                 break;
                             }
                         },
                     };
-                    respond(&mut reader, &response, keep, t0, metrics)
+                    respond(&mut reader, &mut response, keep, metrics, trace, wobs)
                 }
             }
             Err(err) => {
@@ -280,14 +410,16 @@ fn handle_connection(
                     metrics.timeouts.inc();
                 }
                 match Response::from_error(&err) {
-                    Some(resp) => respond(&mut reader, &resp, false, t0, metrics),
+                    Some(mut resp) => respond(&mut reader, &mut resp, false, metrics, trace, wobs),
                     None => {
+                        wobs.slot.end();
                         metrics.exit_inflight();
                         break;
                     }
                 }
             }
         };
+        wobs.slot.end();
         metrics.exit_inflight();
         if !alive {
             break;

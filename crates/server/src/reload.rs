@@ -146,20 +146,27 @@ impl ReloadHandle {
 }
 
 /// Starts the reload supervisor for `cell`. `default_path` is what
-/// `SIGHUP` (and path-less admin requests) reload.
+/// `SIGHUP` (and path-less admin requests) reload. Every attempt is
+/// traced (load / model-build / validate spans, generation-tagged) and
+/// offered to `tail` under the `reload` route, so `/debug/traces` can
+/// answer "what did the last reload spend its time on".
 pub(crate) fn spawn_reloader(
     cell: Arc<StateCell>,
     shutdown: Shutdown,
     default_path: Option<PathBuf>,
+    tail: Arc<obs::TailSampler>,
 ) -> Result<(ReloadHandle, JoinHandle<()>), ServerError> {
     let queue: Arc<Bounded<ReloadJob>> = Arc::new(Bounded::new(RELOAD_QUEUE_DEPTH));
     let handle = ReloadHandle {
         queue: Arc::clone(&queue),
         default_path: default_path.clone(),
     };
+    // Publish the serving generation before the supervisor thread is
+    // even scheduled, so a freshly started server's gauge is never blank.
+    obs::gauge(names::SERVER_MODEL_GENERATION).set(cell.load().generation() as f64);
     let thread = std::thread::Builder::new()
         .name("goalrec-reload".to_owned())
-        .spawn(move || reloader_loop(cell, queue, shutdown, default_path))
+        .spawn(move || reloader_loop(cell, queue, shutdown, default_path, tail))
         .map_err(|e| ServerError::Io {
             context: "spawning reload thread",
             detail: e.to_string(),
@@ -191,6 +198,7 @@ fn reloader_loop(
     queue: Arc<Bounded<ReloadJob>>,
     shutdown: Shutdown,
     default_path: Option<PathBuf>,
+    tail: Arc<obs::TailSampler>,
 ) {
     let metrics = ReloadMetrics::new();
     metrics.generation.set(cell.load().generation() as f64);
@@ -198,7 +206,7 @@ fn reloader_loop(
     loop {
         match queue.pop(RELOAD_POLL) {
             Pop::Item(job) => {
-                let result = attempt(&cell, &job.path, &metrics);
+                let result = attempt(&cell, &job.path, &metrics, &tail);
                 if let Some(done) = job.done {
                     let (slot, ready) = &*done;
                     *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
@@ -211,7 +219,7 @@ fn reloader_loop(
                     seen_hups = hups;
                     match &default_path {
                         Some(path) => {
-                            let _ = attempt(&cell, path, &metrics);
+                            let _ = attempt(&cell, path, &metrics, &tail);
                         }
                         None => eprintln!(
                             "goalrec-serve: SIGHUP received but no library file is \
@@ -231,47 +239,75 @@ fn reloader_loop(
 }
 
 /// One reload attempt: build-and-validate off to the side, swap only on
-/// success, roll back (i.e. do nothing) on any failure.
-fn attempt(cell: &Arc<StateCell>, path: &Path, metrics: &ReloadMetrics) -> ReloadResult {
+/// success, roll back (i.e. do nothing) on any failure. The whole attempt
+/// is traced under the `reload` route and retained by the tail sampler.
+fn attempt(
+    cell: &Arc<StateCell>,
+    path: &Path,
+    metrics: &ReloadMetrics,
+    tail: &obs::TailSampler,
+) -> ReloadResult {
     metrics.attempts.inc();
     let t0 = Instant::now();
-    let loaded = load_state(cell, path);
+    let mut trace = obs::TraceContext::new(true);
+    trace.begin(obs::fresh_trace_id(), t0);
+    trace.set_route("reload");
+    let loaded = load_state(cell, path, &mut trace);
     metrics
         .latency
         .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
-    match loaded {
+    let result = match loaded {
         Ok(next) => {
             let generation = next.generation();
             cell.swap(next);
             metrics.generation.set(generation as f64);
+            trace.set_generation(generation);
+            trace.finish(200);
             eprintln!(
-                "goalrec-serve: reloaded {} (generation {generation})",
-                path.display()
+                "goalrec-serve: reloaded {} (generation {generation}, trace {})",
+                path.display(),
+                trace.id()
             );
             Ok(generation)
         }
         Err(err) => {
             metrics.failures.inc();
             let serving = cell.load().generation();
+            trace.set_generation(serving);
+            trace.finish(500);
             eprintln!(
                 "goalrec-serve: reload of {} failed ({err}); generation {serving} keeps serving",
                 path.display()
             );
             Err(err)
         }
-    }
+    };
+    tail.offer(&trace.snapshot());
+    result
 }
 
-fn load_state(cell: &StateCell, path: &Path) -> Result<Arc<AppState>, ServerError> {
+fn load_state(
+    cell: &StateCell,
+    path: &Path,
+    trace: &mut obs::TraceContext,
+) -> Result<Arc<AppState>, ServerError> {
+    // Spans close on the error paths too, so a failed attempt's trace
+    // still accounts for the time the failing phase consumed.
+    let load = trace.start_span(names::SPAN_RELOAD_LOAD);
     let library = goalrec_datasets::io::read_library_auto(path)
-        .map_err(|e| ServerError::ReloadFailed(format!("cannot load {}: {e}", path.display())))?;
+        .map_err(|e| ServerError::ReloadFailed(format!("cannot load {}: {e}", path.display())));
+    trace.end_span(load);
+    let library = library?;
     let next_generation = cell.load().generation() + 1;
-    let state = AppState::with_generation(library, next_generation)
+    let state = AppState::with_generation_traced(library, next_generation, trace)
         .map_err(|e| ServerError::ReloadFailed(format!("model rebuild failed: {e}")))?;
-    state
+    let validate = trace.start_span(names::SPAN_RELOAD_VALIDATE);
+    let validated = state
         .model()
         .validate()
-        .map_err(|e| ServerError::ReloadFailed(format!("model failed validation: {e}")))?;
+        .map_err(|e| ServerError::ReloadFailed(format!("model failed validation: {e}")));
+    trace.end_span(validate);
+    validated?;
     Ok(Arc::new(state))
 }
 
@@ -294,6 +330,10 @@ mod tests {
         dir.join(name)
     }
 
+    fn tail() -> Arc<obs::TailSampler> {
+        Arc::new(obs::TailSampler::new(obs::TailConfig::default()))
+    }
+
     #[test]
     fn state_cell_swaps_without_disturbing_held_arcs() {
         let cell = StateCell::new(AppState::new(library("a")).unwrap());
@@ -314,11 +354,28 @@ mod tests {
         goalrec_datasets::io::write_library_jsonl(&library("fresh"), &good).unwrap();
         let cell = Arc::new(StateCell::new(AppState::new(library("old")).unwrap()));
         let shutdown = Shutdown::new();
-        let (handle, thread) = spawn_reloader(Arc::clone(&cell), shutdown.clone(), None).unwrap();
+        let sampler = tail();
+        let (handle, thread) = spawn_reloader(
+            Arc::clone(&cell),
+            shutdown.clone(),
+            None,
+            Arc::clone(&sampler),
+        )
+        .unwrap();
 
         let generation = handle.reload_blocking(good).unwrap();
         assert_eq!(generation, 2);
         assert_eq!(cell.load().generation(), 2);
+
+        // The attempt was traced and retained: load + model-build +
+        // validate spans, generation-tagged, under the `reload` route.
+        let traces = sampler.snapshot(Some("reload"), None, 0);
+        assert_eq!(traces.len(), 1, "one reload attempt so far");
+        assert_eq!(traces[0].generation, 2);
+        assert_eq!(traces[0].status, 200);
+        assert!(traces[0].has_span(names::SPAN_RELOAD_LOAD));
+        assert!(traces[0].has_span(names::SPAN_MODEL_BUILD));
+        assert!(traces[0].has_span(names::SPAN_RELOAD_VALIDATE));
 
         // A missing file must fail the attempt and leave generation 2.
         let err = handle
@@ -333,6 +390,16 @@ mod tests {
         assert!(handle.reload_blocking(bad).is_err());
         assert_eq!(cell.load().generation(), 2);
 
+        // Failed attempts are retained too, tagged with the generation
+        // that kept serving and a 500 status.
+        let failed: Vec<_> = sampler
+            .snapshot(Some("reload"), None, 0)
+            .into_iter()
+            .filter(|t| t.status == 500)
+            .collect();
+        assert_eq!(failed.len(), 2);
+        assert!(failed.iter().all(|t| t.generation == 2));
+
         shutdown.request();
         handle.close();
         let _ = thread.join();
@@ -342,7 +409,7 @@ mod tests {
     fn closed_supervisor_refuses_new_reloads() {
         let cell = Arc::new(StateCell::new(AppState::new(library("x")).unwrap()));
         let shutdown = Shutdown::new();
-        let (handle, thread) = spawn_reloader(cell, shutdown, None).unwrap();
+        let (handle, thread) = spawn_reloader(cell, shutdown, None, tail()).unwrap();
         handle.close();
         let _ = thread.join();
         assert!(handle.reload_blocking(tmp("never.jsonl")).is_err());

@@ -22,6 +22,7 @@
 //! request is being answered from, and the ranking pass reuses the
 //! worker's arena so steady-state recommends never touch the allocator.
 
+use crate::debug::InflightRegistry;
 use crate::error::ServerError;
 use crate::http::{Request, Response};
 use crate::reload::{ReloadHandle, StateCell};
@@ -61,6 +62,18 @@ impl AppState {
     /// [`AppState::new`] with an explicit generation — what the reload
     /// supervisor uses to stamp each successor state.
     pub fn with_generation(library: GoalLibrary, generation: u64) -> Result<Self, ServerError> {
+        Self::with_generation_traced(library, generation, &mut obs::TraceContext::disabled())
+    }
+
+    /// [`AppState::with_generation`], recording the model compilation as
+    /// a `span.model_build` span on `trace` — the reload supervisor uses
+    /// this to make rebuild cost visible in `/debug/traces`.
+    pub fn with_generation_traced(
+        library: GoalLibrary,
+        generation: u64,
+        trace: &mut obs::TraceContext,
+    ) -> Result<Self, ServerError> {
+        let build = trace.start_span(names::SPAN_MODEL_BUILD);
         let model = Arc::new(GoalModel::build(&library)?);
         let stats = library.stats();
         let recommenders = vec![
@@ -87,6 +100,7 @@ impl AppState {
                 ),
             ),
         ];
+        trace.end_span(build);
         Ok(AppState {
             library: Arc::new(library),
             model,
@@ -128,26 +142,40 @@ impl AppState {
     }
 }
 
-/// Everything the routing layer needs: the swappable serving state plus
-/// the reload supervisor (absent in contexts that never reload, e.g.
-/// unit tests).
+/// Everything the routing layer needs: the swappable serving state, the
+/// reload supervisor (absent in contexts that never reload, e.g. unit
+/// tests), the trace tail sampler and the in-flight request registry.
 pub struct ServeCtx {
     states: Arc<StateCell>,
     reload: Option<ReloadHandle>,
+    tail: Arc<obs::TailSampler>,
+    inflight: Arc<InflightRegistry>,
+    started: Instant,
 }
 
 impl ServeCtx {
-    /// Wires a state cell to an optional reload supervisor.
+    /// Wires a state cell to an optional reload supervisor, with a
+    /// default-configured tail sampler and a fresh in-flight registry.
     pub fn new(states: Arc<StateCell>, reload: Option<ReloadHandle>) -> Self {
-        ServeCtx { states, reload }
+        ServeCtx {
+            states,
+            reload,
+            tail: Arc::new(obs::TailSampler::new(obs::TailConfig::default())),
+            inflight: Arc::new(InflightRegistry::new()),
+            started: Instant::now(),
+        }
+    }
+
+    /// Replaces the tail sampler — the server shares one between the
+    /// request path and the reload supervisor.
+    pub fn with_tail(mut self, tail: Arc<obs::TailSampler>) -> Self {
+        self.tail = tail;
+        self
     }
 
     /// A reload-less context over a fixed state — test and embedding aid.
     pub fn fixed(state: AppState) -> Self {
-        ServeCtx {
-            states: Arc::new(StateCell::new(state)),
-            reload: None,
-        }
+        ServeCtx::new(Arc::new(StateCell::new(state)), None)
     }
 
     /// One consistent snapshot of the serving state.
@@ -159,15 +187,34 @@ impl ServeCtx {
     pub fn reload(&self) -> Option<&ReloadHandle> {
         self.reload.as_ref()
     }
+
+    /// The tail sampler behind `GET /debug/traces`.
+    pub fn tail(&self) -> &Arc<obs::TailSampler> {
+        &self.tail
+    }
+
+    /// The in-flight registry behind `GET /debug/requests`.
+    pub(crate) fn inflight(&self) -> &Arc<InflightRegistry> {
+        &self.inflight
+    }
+
+    /// Milliseconds since this context was built — the serving uptime.
+    pub fn uptime_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
 }
 
 /// Dispatches one request. The per-route counters are recorded here so
 /// they count exactly the requests that reached routing. `scratch` is the
 /// calling worker's reusable arena; only the recommend route uses it.
+/// `trace` is the worker's request-scoped trace — routing tags it with
+/// the route name and serving generation, and the recommend route records
+/// its ranking spans into it.
 pub fn handle(
     ctx: &ServeCtx,
     request: &Request,
     scratch: &mut Scratch,
+    trace: &mut obs::TraceContext,
 ) -> Result<Response, ServerError> {
     let route = match (request.method.as_str(), request.path.as_str()) {
         (_, "/healthz") => "healthz",
@@ -175,43 +222,132 @@ pub fn handle(
         (_, "/v1/stats") => "stats",
         (_, "/v1/recommend") => "recommend",
         (_, "/v1/admin/reload") => "admin_reload",
+        (_, "/debug/traces") => "debug_traces",
+        (_, "/debug/requests") => "debug_requests",
         _ => "other",
     };
     obs::counter(&names::server_route_requests(route)).inc();
+    trace.set_route(route);
 
     // One snapshot per request: a hot reload that lands after this line
     // does not change what this request is answered from.
     let state = ctx.state();
+    trace.set_generation(state.generation());
 
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => {
-            let doc = serde_json::json!({
-                "status": "ok",
-                "generation": state.generation(),
-                "model_age_ms":
-                    u64::try_from(state.model_age().as_millis()).unwrap_or(u64::MAX),
-            });
-            Ok(Response::json(200, doc.to_string()))
+        ("GET", "/healthz") => Ok(healthz(ctx, &state)),
+        ("GET", "/metrics") => {
+            let prometheus = request
+                .query
+                .as_deref()
+                .and_then(|q| query_param(q, "format"))
+                .is_some_and(|f| f == "prometheus");
+            if prometheus {
+                Ok(Response::text(200, obs::render_prometheus()))
+            } else {
+                Ok(Response::text(200, obs::snapshot().to_string()))
+            }
         }
-        ("GET", "/metrics") => Ok(Response::text(200, obs::snapshot().to_string())),
-        ("GET", "/v1/stats") => {
-            let report = StatsReport::new(state.stats.clone(), Some(obs::snapshot()));
-            Ok(Response::json(200, report.to_json_pretty()))
-        }
-        ("POST", "/v1/recommend") => recommend(&state, request, scratch),
+        ("GET", "/v1/stats") => Ok(stats(ctx, &state)),
+        ("GET", "/debug/traces") => Ok(debug_traces(ctx, request)),
+        ("GET", "/debug/requests") => Ok(debug_requests(ctx)),
+        ("POST", "/v1/recommend") => recommend(&state, request, scratch, trace),
         ("POST", "/v1/admin/reload") => admin_reload(ctx, request),
-        (_, "/healthz") | (_, "/metrics") | (_, "/v1/stats") => {
-            Err(ServerError::MethodNotAllowed {
-                path: request.path.clone(),
-                allowed: "GET",
-            })
-        }
+        (_, "/healthz")
+        | (_, "/metrics")
+        | (_, "/v1/stats")
+        | (_, "/debug/traces")
+        | (_, "/debug/requests") => Err(ServerError::MethodNotAllowed {
+            path: request.path.clone(),
+            allowed: "GET",
+        }),
         (_, "/v1/recommend") | (_, "/v1/admin/reload") => Err(ServerError::MethodNotAllowed {
             path: request.path.clone(),
             allowed: "POST",
         }),
         _ => Err(ServerError::NotFound(request.path.clone())),
     }
+}
+
+/// First value of `key` in a raw query string (`k=v&k2=v2`). No
+/// percent-decoding: the filters only take identifier-shaped values.
+fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        (k == key).then_some(v)
+    })
+}
+
+/// `GET /healthz`: liveness JSON. Also refreshes the `server.model_age_ms`
+/// and `server.trace.tail_occupancy` gauges, so scrapes that only read
+/// `/metrics` see the same numbers the health probe reports.
+fn healthz(ctx: &ServeCtx, state: &AppState) -> Response {
+    let model_age_ms = u64::try_from(state.model_age().as_millis()).unwrap_or(u64::MAX);
+    let occupancy = ctx.tail().occupancy();
+    obs::gauge(names::SERVER_MODEL_AGE_MS).set(model_age_ms as f64);
+    obs::gauge(names::SERVER_TRACE_TAIL_OCCUPANCY).set(occupancy as f64);
+    let doc = serde_json::json!({
+        "status": "ok",
+        "generation": state.generation(),
+        "model_age_ms": model_age_ms,
+        "uptime_ms": ctx.uptime_ms(),
+        "trace_tail_occupancy": occupancy,
+    });
+    Response::json(200, doc.to_string())
+}
+
+/// `GET /v1/stats`: the [`StatsReport`] JSON prefixed with serving-side
+/// fields (`uptime_ms`, tail-sampler occupancy).
+fn stats(ctx: &ServeCtx, state: &AppState) -> Response {
+    let report = StatsReport::new(state.stats.clone(), Some(obs::snapshot()));
+    let text = report.to_json_pretty();
+    let mut fields = match serde_json::from_str(&text) {
+        Ok(Value::Object(fields)) => fields,
+        // Unreachable: the report always serializes as a JSON object.
+        _ => Vec::new(),
+    };
+    let occupancy = u64::try_from(ctx.tail().occupancy()).unwrap_or(u64::MAX);
+    fields.insert(
+        0,
+        ("trace_tail_occupancy".to_owned(), Value::UInt(occupancy)),
+    );
+    fields.insert(0, ("uptime_ms".to_owned(), Value::UInt(ctx.uptime_ms())));
+    let doc = Value::Object(fields);
+    let body = serde_json::to_string_pretty(&doc).unwrap_or_else(|_| doc.to_string());
+    Response::json(200, body)
+}
+
+/// `GET /debug/traces`: the retained tail traces, slowest first, with
+/// optional `route=`, `strategy=` and `min_us=` query filters.
+fn debug_traces(ctx: &ServeCtx, request: &Request) -> Response {
+    let query = request.query.as_deref().unwrap_or("");
+    let route = query_param(query, "route").filter(|v| !v.is_empty());
+    let strategy = query_param(query, "strategy").filter(|v| !v.is_empty());
+    let min_ns = query_param(query, "min_us")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0)
+        .saturating_mul(1_000);
+    let traces = ctx.tail().snapshot(route, strategy, min_ns);
+    let rows: Vec<Value> = traces.iter().map(|t| t.to_value()).collect();
+    let doc = serde_json::json!({
+        "count": rows.len(),
+        "offered": ctx.tail().offered(),
+        "occupancy": ctx.tail().occupancy(),
+        "traces": rows,
+    });
+    Response::json(200, doc.to_string())
+}
+
+/// `GET /debug/requests`: a point-in-time snapshot of every request a
+/// worker is currently inside, with age and current span.
+fn debug_requests(ctx: &ServeCtx) -> Response {
+    let rows = ctx.inflight().snapshot_rows();
+    let doc = serde_json::json!({
+        "uptime_ms": ctx.uptime_ms(),
+        "count": rows.len(),
+        "inflight": rows,
+    });
+    Response::json(200, doc.to_string())
 }
 
 /// Parses the optional `{"path": "..."}` reload body; an empty body or a
@@ -323,6 +459,7 @@ fn recommend(
     state: &AppState,
     request: &Request,
     scratch: &mut Scratch,
+    trace: &mut obs::TraceContext,
 ) -> Result<Response, ServerError> {
     let params = parse_recommend_body(&request.body)?;
     for &id in &params.activity {
@@ -331,8 +468,10 @@ fn recommend(
     let recommender = state.recommender(&params.strategy)?;
     let activity = Activity::from_raw(params.activity.iter().copied());
     // The ranking pass reuses the worker's arena; the response body is the
-    // only per-request allocation left on this route.
-    let ranked = recommender.recommend_into(&activity, params.k, scratch);
+    // only per-request allocation left on this route. The traced variant
+    // tags `trace` with the strategy and records the rank/candidates/topk
+    // spans — still allocation-free (see core's alloc_counting test).
+    let ranked = recommender.recommend_into_traced(&activity, params.k, scratch, trace);
 
     let items: Vec<Value> = ranked
         .iter()
@@ -358,10 +497,15 @@ mod tests {
     use super::*;
     use goalrec_core::LibraryBuilder;
 
-    /// Test shim: routes with a fresh arena, shadowing [`super::handle`]
-    /// so call sites stay signature-free.
+    /// Test shim: routes with a fresh arena and a disabled trace,
+    /// shadowing [`super::handle`] so call sites stay signature-free.
     fn handle(ctx: &ServeCtx, request: &Request) -> Result<Response, ServerError> {
-        super::handle(ctx, request, &mut Scratch::new())
+        super::handle(
+            ctx,
+            request,
+            &mut Scratch::new(),
+            &mut obs::TraceContext::disabled(),
+        )
     }
 
     fn state() -> ServeCtx {
@@ -394,6 +538,13 @@ mod tests {
         }
     }
 
+    fn get_q(path: &str, query: &str) -> Request {
+        Request {
+            query: Some(query.to_owned()),
+            ..get(path)
+        }
+    }
+
     #[test]
     fn healthz_and_metrics_and_stats() {
         let st = state();
@@ -404,6 +555,11 @@ mod tests {
         assert!(health_text.contains("\"status\":\"ok\""), "{health_text}");
         assert!(health_text.contains("\"generation\":1"), "{health_text}");
         assert!(health_text.contains("\"model_age_ms\""), "{health_text}");
+        assert!(health_text.contains("\"uptime_ms\""), "{health_text}");
+        assert!(
+            health_text.contains("\"trace_tail_occupancy\""),
+            "{health_text}"
+        );
         let metrics = handle(&st, &get("/metrics")).unwrap();
         assert_eq!(metrics.content_type, "text/plain; charset=utf-8");
         let stats = handle(&st, &get("/v1/stats")).unwrap();
@@ -411,6 +567,104 @@ mod tests {
         let text = String::from_utf8(stats.body).unwrap();
         assert!(text.contains("num_implementations"), "{text}");
         assert!(text.contains("\"metrics\""), "{text}");
+        assert!(text.contains("\"uptime_ms\""), "{text}");
+        assert!(text.contains("\"trace_tail_occupancy\""), "{text}");
+    }
+
+    #[test]
+    fn healthz_refreshes_the_promoted_gauges() {
+        let st = state();
+        handle(&st, &get("/healthz")).unwrap();
+        let snap = goalrec_obs::snapshot();
+        assert!(snap.gauge(names::SERVER_MODEL_AGE_MS).is_some());
+        assert!(snap.gauge(names::SERVER_TRACE_TAIL_OCCUPANCY).is_some());
+    }
+
+    #[test]
+    fn metrics_format_prometheus_renders_exposition() {
+        let st = state();
+        // Tick at least one counter so the exposition is non-empty.
+        handle(&st, &get("/healthz")).unwrap();
+        let resp = handle(&st, &get_q("/metrics", "format=prometheus")).unwrap();
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("# TYPE "), "{text}");
+        assert!(text.contains("goalrec_"), "{text}");
+        // An unknown format value falls back to the text snapshot.
+        let fallback = handle(&st, &get_q("/metrics", "format=wide")).unwrap();
+        assert!(!String::from_utf8(fallback.body).unwrap().contains("# TYPE"));
+    }
+
+    #[test]
+    fn debug_traces_reports_and_filters_offered_traces() {
+        let st = state();
+        // Serve one traced recommend and offer its trace, as a worker
+        // would after responding.
+        let mut trace = obs::TraceContext::new(true);
+        trace.begin(obs::TraceId(0x51ab), std::time::Instant::now());
+        super::handle(
+            &st,
+            &post("/v1/recommend", r#"{"activity": [0, 1], "k": 2}"#),
+            &mut Scratch::new(),
+            &mut trace,
+        )
+        .unwrap();
+        trace.finish(200);
+        st.tail().offer(&trace.snapshot());
+
+        let resp = handle(&st, &get("/debug/traces")).unwrap();
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"trace\":\"00000000000051ab\""), "{text}");
+        assert!(text.contains(names::SPAN_RANK), "{text}");
+        assert!(text.contains("\"route\":\"recommend\""), "{text}");
+
+        // Route and strategy filters narrow; a bogus filter empties.
+        let hit = handle(
+            &st,
+            &get_q("/debug/traces", "route=recommend&strategy=Breadth"),
+        )
+        .unwrap();
+        assert!(String::from_utf8(hit.body)
+            .unwrap()
+            .contains("00000000000051ab"));
+        let miss = handle(&st, &get_q("/debug/traces", "route=healthz")).unwrap();
+        let miss_text = String::from_utf8(miss.body).unwrap();
+        assert!(miss_text.contains("\"count\":0"), "{miss_text}");
+        // min_us beyond any plausible duration filters everything out.
+        let too_slow = handle(&st, &get_q("/debug/traces", "min_us=60000000")).unwrap();
+        assert!(String::from_utf8(too_slow.body)
+            .unwrap()
+            .contains("\"count\":0"));
+    }
+
+    #[test]
+    fn debug_requests_snapshots_active_slots() {
+        let st = state();
+        let empty = handle(&st, &get("/debug/requests")).unwrap();
+        let text = String::from_utf8(empty.body).unwrap();
+        assert!(text.contains("\"count\":0"), "{text}");
+
+        let slot = st.inflight().register(7);
+        slot.begin(
+            obs::TraceId(0xfeed),
+            st.inflight().offset_us(std::time::Instant::now()),
+        );
+        let busy = handle(&st, &get("/debug/requests")).unwrap();
+        let text = String::from_utf8(busy.body).unwrap();
+        assert!(text.contains("\"count\":1"), "{text}");
+        assert!(text.contains("000000000000feed"), "{text}");
+        assert!(text.contains("\"worker\":7"), "{text}");
+        assert!(text.contains(names::SPAN_PARSE), "{text}");
+    }
+
+    #[test]
+    fn query_param_parses_raw_query_strings() {
+        assert_eq!(query_param("a=1&b=2", "b"), Some("2"));
+        assert_eq!(query_param("a=1&b=2", "a"), Some("1"));
+        assert_eq!(query_param("a=1&b", "b"), Some(""));
+        assert_eq!(query_param("a=1", "c"), None);
+        assert_eq!(query_param("", "a"), None);
     }
 
     #[test]
@@ -493,6 +747,14 @@ mod tests {
         ));
         assert!(matches!(
             handle(&st, &get("/v1/admin/reload")),
+            Err(ServerError::MethodNotAllowed { .. })
+        ));
+        assert!(matches!(
+            handle(&st, &post("/debug/traces", "")),
+            Err(ServerError::MethodNotAllowed { .. })
+        ));
+        assert!(matches!(
+            handle(&st, &post("/debug/requests", "")),
             Err(ServerError::MethodNotAllowed { .. })
         ));
         assert!(matches!(

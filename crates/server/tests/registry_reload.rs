@@ -1,0 +1,159 @@
+//! Registry continuity across hot reloads (its own test binary, so the
+//! process-global metrics registry is not shared with other suites).
+//!
+//! A model reload swaps the `Arc<AppState>` — but the metric handles
+//! live in the process-global registry, so per-strategy histograms must
+//! *survive* the generation swap: no reset (counts keep accumulating)
+//! and no double-count (one request observes exactly one latency
+//! sample). `server.model_generation` must move monotonically.
+
+use goalrec_core::LibraryBuilder;
+use goalrec_obs::{self as obs, names};
+use goalrec_server::{start, ServerConfig, STRATEGY_NAMES};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn tiny_library() -> goalrec_core::GoalLibrary {
+    let mut b = LibraryBuilder::new();
+    b.add_impl("olivier salad", ["potatoes", "carrots", "pickles", "peas"])
+        .unwrap();
+    b.add_impl("mashed potatoes", ["potatoes", "nutmeg", "butter"])
+        .unwrap();
+    b.add_impl("pan-fried carrots", ["carrots", "nutmeg", "butter"])
+        .unwrap();
+    b.add_impl("pea soup", ["peas", "carrots", "onion"])
+        .unwrap();
+    b.build().unwrap()
+}
+
+/// API strategy name → the internal name metrics are registered under.
+const METRIC_NAMES: &[(&str, &str)] = &[
+    ("breadth", "Breadth"),
+    ("best-match", "BestMatch"),
+    ("focus-cmp", "Focus_cmp"),
+    ("focus-cl", "Focus_cl"),
+];
+
+fn post_recommend(addr: SocketAddr, strategy: &str) -> u16 {
+    let body = format!(r#"{{"activity": [0, 1], "strategy": "{strategy}", "k": 3}}"#);
+    let raw = format!(
+        "POST /v1/recommend HTTP/1.1\r\nhost: t\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut buf).expect("read response");
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    String::from_utf8_lossy(&head)
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code")
+}
+
+fn latency_count(report: &obs::MetricsReport, strategy_metric: &str) -> u64 {
+    report
+        .histogram(&names::strategy_latency(strategy_metric))
+        .map(|h| h.count)
+        .unwrap_or(0)
+}
+
+#[test]
+fn per_strategy_histograms_survive_hot_reloads() {
+    let dir = std::env::temp_dir().join("goalrec-registry-reload-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let lib_path = dir.join("serving.jsonl");
+    goalrec_datasets::io::write_library_jsonl(&tiny_library(), &lib_path).unwrap();
+
+    let cfg = ServerConfig {
+        port: 0,
+        workers: 2,
+        queue_depth: 32,
+        deadline: Duration::from_millis(5_000),
+        library_path: Some(lib_path.clone()),
+        ..ServerConfig::default()
+    };
+    let handle = start(tiny_library(), cfg).unwrap();
+    let addr = handle.local_addr();
+    let reload = handle.reload_handle();
+
+    assert_eq!(
+        obs::snapshot().gauge(names::SERVER_MODEL_GENERATION),
+        Some(1.0),
+        "fresh server must serve generation 1"
+    );
+
+    // Round 1: two requests per strategy against generation 1.
+    for (api, _) in METRIC_NAMES {
+        for _ in 0..2 {
+            assert_eq!(post_recommend(addr, api), 200);
+        }
+    }
+    let before = obs::snapshot();
+    for (_, metric) in METRIC_NAMES {
+        assert_eq!(
+            latency_count(&before, metric),
+            2,
+            "strategy {metric} must observe one latency sample per request"
+        );
+    }
+
+    // Reload #1: generation 1 → 2. The histograms must not reset.
+    assert_eq!(reload.reload_blocking(lib_path.clone()), Ok(2));
+    let after_reload = obs::snapshot();
+    assert_eq!(
+        after_reload.gauge(names::SERVER_MODEL_GENERATION),
+        Some(2.0),
+        "generation gauge must follow the reload"
+    );
+    for (_, metric) in METRIC_NAMES {
+        assert_eq!(
+            latency_count(&after_reload, metric),
+            2,
+            "reloading must not reset strategy {metric} histograms"
+        );
+    }
+
+    // Round 2: three more requests per strategy against generation 2 —
+    // exactly +3 per histogram (no reset, no double-count through the
+    // rebuilt recommenders).
+    for (api, _) in METRIC_NAMES {
+        for _ in 0..3 {
+            assert_eq!(post_recommend(addr, api), 200);
+        }
+    }
+    let after_traffic = obs::snapshot();
+    for (_, metric) in METRIC_NAMES {
+        assert_eq!(
+            latency_count(&after_traffic, metric),
+            5,
+            "strategy {metric} must accumulate across the generation swap"
+        );
+    }
+
+    // Reload #2: the gauge keeps moving monotonically, 2 → 3.
+    assert_eq!(reload.reload_blocking(lib_path), Ok(3));
+    assert_eq!(
+        obs::snapshot().gauge(names::SERVER_MODEL_GENERATION),
+        Some(3.0)
+    );
+
+    // Sanity: the API accepts every documented strategy name.
+    assert_eq!(STRATEGY_NAMES.len(), METRIC_NAMES.len());
+    handle.shutdown();
+}
