@@ -25,7 +25,7 @@ echo "== build =="
 cargo build --workspace --all-targets
 
 echo "== static analysis =="
-cargo run -q -p goalrec-lint --bin goalrec-lint
+cargo run -q -p goalrec-lint --bin goalrec-lint -- --baseline lint-baseline.json
 
 echo "== tests =="
 cargo test --workspace

@@ -150,6 +150,8 @@ fn keep_alive_client(addr: SocketAddr, stop: Arc<AtomicBool>) -> ClientTally {
     let mut tally = ClientTally::default();
     let request = recommend_request(true);
     let mut buf = Vec::with_capacity(8192);
+    // ordering: Relaxed — `stop` only quiesces the request loop; the
+    // tallies are handed back through thread join, which synchronizes.
     'reconnect: while !stop.load(Ordering::Relaxed) {
         let Ok(mut stream) = TcpStream::connect(addr) else {
             tally.errors += 1;
@@ -158,6 +160,7 @@ fn keep_alive_client(addr: SocketAddr, stop: Arc<AtomicBool>) -> ClientTally {
         };
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        // ordering: as above
         while !stop.load(Ordering::Relaxed) {
             let t0 = Instant::now();
             if stream.write_all(&request).is_err() {
@@ -196,6 +199,8 @@ fn reconnect_client(addr: SocketAddr, stop: Arc<AtomicBool>) -> ClientTally {
     let mut tally = ClientTally::default();
     let request = recommend_request(false);
     let mut buf = Vec::with_capacity(8192);
+    // ordering: Relaxed — `stop` only quiesces the request loop; the
+    // tallies are handed back through thread join, which synchronizes.
     while !stop.load(Ordering::Relaxed) {
         let t0 = Instant::now();
         let Ok(mut stream) = TcpStream::connect(addr) else {
@@ -259,6 +264,8 @@ fn run_phase(
         })
         .collect();
     std::thread::sleep(Duration::from_secs_f64(seconds));
+    // ordering: Relaxed — quiesce signal only; the join below is the
+    // synchronization point for the tallies.
     stop.store(true, Ordering::Relaxed);
     let mut merged = ClientTally::default();
     for t in threads {
@@ -620,6 +627,8 @@ fn chaos_smoke() {
     assert_eq!(generation(addr), 2, "clean reload must bump the generation");
     eprintln!("chaos: clean reload bumped to generation 2");
 
+    // ordering: Relaxed — quiesce signal only; the join below is the
+    // synchronization point for the tallies.
     stop.store(true, Ordering::Relaxed);
     let mut merged = ClientTally::default();
     for c in clients {

@@ -82,6 +82,7 @@ impl Hybrid {
 }
 
 impl Recommender for Hybrid {
+    // goalrec-lint:allow(hot-path-alloc): offline-eval Recommender; only name-aliases with Strategy::name
     fn name(&self) -> String {
         self.name.clone()
     }

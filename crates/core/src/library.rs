@@ -107,6 +107,7 @@ impl GoalLibrary {
         self.actions
             .resolve(a.raw())
             .map(str::to_owned)
+            // goalrec-lint:allow(hot-path-alloc): response assembly renders display names per request
             .unwrap_or_else(|| a.to_string())
     }
 

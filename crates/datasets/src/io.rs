@@ -67,6 +67,8 @@ fn tmp_sibling(path: &Path) -> PathBuf {
         .file_name()
         .map(|n| n.to_string_lossy().into_owned())
         .unwrap_or_else(|| "library".to_owned());
+    // ordering: Relaxed — only the atomicity matters: each caller gets a
+    // distinct suffix; nothing is published through the counter.
     let n = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
     parent.join(format!(".{name}.tmp.{}.{n}", std::process::id()))
 }

@@ -22,6 +22,9 @@ static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
 pub fn arm(plan: FaultPlan) {
     let mut slot = PLAN.lock().unwrap_or_else(PoisonError::into_inner);
     *slot = Some(plan);
+    // ordering: Release pairs with the Acquire loads in is_armed and
+    // plan_for; the PLAN mutex separately synchronizes the plan contents,
+    // so the flag only needs to order itself after the install above.
     ARMED.store(true, Ordering::Release);
 }
 
@@ -29,11 +32,14 @@ pub fn arm(plan: FaultPlan) {
 pub fn disarm() {
     let mut slot = PLAN.lock().unwrap_or_else(PoisonError::into_inner);
     *slot = None;
+    // ordering: Release, mirroring arm — a disarm observed via Acquire
+    // happens-after the plan was cleared under the mutex.
     ARMED.store(false, Ordering::Release);
 }
 
 /// Whether any plan is currently armed (regardless of path filters).
 pub fn is_armed() -> bool {
+    // ordering: Acquire pairs with the Release stores in arm/disarm.
     ARMED.load(Ordering::Acquire)
 }
 
@@ -53,6 +59,8 @@ pub fn with_plan<T>(plan: FaultPlan, f: impl FnOnce() -> T) -> T {
 
 /// The armed plan, if one exists and matches `path`.
 fn plan_for(path: &Path) -> Option<FaultPlan> {
+    // ordering: Acquire pairs with the Release store in arm — the fast
+    // path skips the mutex entirely, so the flag carries the ordering.
     if !ARMED.load(Ordering::Acquire) {
         return None;
     }
@@ -84,6 +92,7 @@ impl StreamFaults {
 }
 
 fn injected(kind: &str) -> io::Error {
+    // goalrec-lint:allow(hot-path-alloc): fault injection — the error is the deliberately injected failure
     io::Error::other(format!("injected fault: {kind}"))
 }
 
@@ -116,6 +125,7 @@ impl StreamFaults {
                 match &event.kind {
                     FaultKind::ReadError => return Action::Fail("read error"),
                     FaultKind::ShortRead => return Action::Short,
+                    // goalrec-lint:allow(hot-path-alloc): fault injection — the stall IS the injected fault
                     FaultKind::Stall(d) => std::thread::sleep(*d),
                     // Write-side kinds are filtered out above.
                     FaultKind::WriteError | FaultKind::TornWrite => {}

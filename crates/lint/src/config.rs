@@ -1,20 +1,34 @@
-//! `lint.toml` allowlist parsing.
+//! `lint.toml` parsing.
 //!
 //! The workspace is registry-less, so instead of a TOML dependency this
-//! module parses the strict subset the allowlist needs:
+//! module parses the strict subset the configuration needs: `[[allow]]`
+//! entries (rule + path prefix + reason), the `[[atomic]]` registry of
+//! cross-thread atomics (name + path + role), and the `[[lock_order]]`
+//! hierarchy (outer + inner + reason):
 //!
 //! ```toml
 //! [[allow]]
 //! rule = "raw-id-cast"
 //! path = "crates/core/src/model.rs"
 //! reason = "posting lists are raw u32 by design"
+//!
+//! [[atomic]]
+//! name = "SIGNAL_RECEIVED"
+//! path = "crates/server/src/shutdown.rs"
+//! role = "signal handler → accept/worker threads"
+//!
+//! [[lock_order]]
+//! outer = "slot"
+//! inner = "stripes"
+//! reason = "reload holds the state slot while tail stripes flush"
 //! ```
 //!
-//! Every entry requires all three keys; `reason` must be non-empty. `path`
-//! is a workspace-relative prefix, so a directory allows a whole subtree.
-//! Unknown keys, unknown sections and malformed lines are hard errors —
-//! the allowlist is part of the lint's trusted configuration, so it fails
-//! closed.
+//! Every entry requires all of its keys with non-empty values. Unknown
+//! keys, unknown sections, malformed lines, `outer == inner`, and cycles
+//! in the declared lock hierarchy are hard errors — the configuration is
+//! part of the lint's trusted input, so it fails closed.
+
+use std::collections::BTreeMap;
 
 /// One allowlist entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,36 +48,100 @@ impl AllowEntry {
     }
 }
 
-/// Parses the `lint.toml` allowlist. `source_name` labels error messages.
-pub fn parse_allowlist(text: &str, source_name: &str) -> Result<Vec<AllowEntry>, String> {
-    let mut entries: Vec<AllowEntry> = Vec::new();
-    let mut current: Option<(Option<String>, Option<String>, Option<String>)> = None;
+/// One registered cross-thread atomic (for `atomic-ordering`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicEntry {
+    /// The static/field identifier as it appears at call sites.
+    pub name: String,
+    /// Workspace-relative file the atomic lives in.
+    pub path: String,
+    /// Which threads communicate through it (the annotation).
+    pub role: String,
+}
 
-    let finish = |slot: Option<(Option<String>, Option<String>, Option<String>)>,
-                  entries: &mut Vec<AllowEntry>,
-                  line_no: usize|
+/// One declared lock-ordering pair (for `lock-discipline`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockOrderEntry {
+    /// Label of the lock acquired first.
+    pub outer: String,
+    /// Label of the lock that may be acquired while `outer` is held.
+    pub inner: String,
+    /// Why this nesting is deadlock-free.
+    pub reason: String,
+}
+
+/// The parsed `lint.toml`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct LintConfig {
+    /// `[[allow]]` entries.
+    pub allow: Vec<AllowEntry>,
+    /// `[[atomic]]` cross-thread registry.
+    pub atomics: Vec<AtomicEntry>,
+    /// `[[lock_order]]` hierarchy.
+    pub lock_order: Vec<LockOrderEntry>,
+}
+
+const SECTIONS: &[(&str, &[&str])] = &[
+    ("allow", &["rule", "path", "reason"]),
+    ("atomic", &["name", "path", "role"]),
+    ("lock_order", &["outer", "inner", "reason"]),
+];
+
+/// Parses the full `lint.toml`. `source_name` labels error messages.
+pub fn parse_config(text: &str, source_name: &str) -> Result<LintConfig, String> {
+    let mut config = LintConfig::default();
+    let mut current: Option<(String, BTreeMap<String, String>, usize)> = None;
+
+    let finish = |slot: Option<(String, BTreeMap<String, String>, usize)>,
+                  config: &mut LintConfig|
      -> Result<(), String> {
-        let Some((rule, path, reason)) = slot else {
+        let Some((section, keys, line_no)) = slot else {
             return Ok(());
         };
-        let entry = AllowEntry {
-            rule: rule.ok_or_else(|| {
-                format!("{source_name}:{line_no}: [[allow]] entry is missing `rule`")
-            })?,
-            path: path.ok_or_else(|| {
-                format!("{source_name}:{line_no}: [[allow]] entry is missing `path`")
-            })?,
-            reason: reason.ok_or_else(|| {
-                format!("{source_name}:{line_no}: [[allow]] entry is missing `reason`")
-            })?,
+        let required = SECTIONS
+            .iter()
+            .find(|(s, _)| *s == section)
+            .map(|(_, keys)| *keys)
+            .unwrap_or_default();
+        let get = |key: &str| -> Result<String, String> {
+            let v = keys.get(key).ok_or_else(|| {
+                format!("{source_name}:{line_no}: [[{section}]] entry is missing `{key}`")
+            })?;
+            if v.trim().is_empty() {
+                return Err(format!(
+                    "{source_name}:{line_no}: [[{section}]] entry has an empty `{key}`"
+                ));
+            }
+            Ok(v.clone())
         };
-        if entry.reason.trim().is_empty() {
-            return Err(format!(
-                "{source_name}:{line_no}: allowlist entry for `{}` has an empty reason",
-                entry.rule
-            ));
+        let values: Vec<String> = required.iter().map(|k| get(k)).collect::<Result<_, _>>()?;
+        match section.as_str() {
+            "allow" => config.allow.push(AllowEntry {
+                rule: values[0].clone(),
+                path: values[1].clone(),
+                reason: values[2].clone(),
+            }),
+            "atomic" => config.atomics.push(AtomicEntry {
+                name: values[0].clone(),
+                path: values[1].clone(),
+                role: values[2].clone(),
+            }),
+            "lock_order" => {
+                if values[0] == values[1] {
+                    return Err(format!(
+                        "{source_name}:{line_no}: [[lock_order]] entry declares `{}` \
+                         inside itself; same-label nesting is never allowed",
+                        values[0]
+                    ));
+                }
+                config.lock_order.push(LockOrderEntry {
+                    outer: values[0].clone(),
+                    inner: values[1].clone(),
+                    reason: values[2].clone(),
+                });
+            }
+            _ => unreachable!("validated on open"),
         }
-        entries.push(entry);
         Ok(())
     };
 
@@ -73,14 +151,21 @@ pub fn parse_allowlist(text: &str, source_name: &str) -> Result<Vec<AllowEntry>,
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        if line == "[[allow]]" {
-            finish(current.take(), &mut entries, line_no)?;
-            current = Some((None, None, None));
+        if let Some(section) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            if !SECTIONS.iter().any(|(s, _)| *s == section) {
+                return Err(format!(
+                    "{source_name}:{line_no}: unknown section [[{section}]]; supported: \
+                     [[allow]], [[atomic]], [[lock_order]]"
+                ));
+            }
+            finish(current.take(), &mut config)?;
+            current = Some((section.to_owned(), BTreeMap::new(), line_no));
             continue;
         }
         if line.starts_with('[') {
             return Err(format!(
-                "{source_name}:{line_no}: unknown section {line}; only [[allow]] is supported"
+                "{source_name}:{line_no}: unknown section {line}; only [[allow]], \
+                 [[atomic]] and [[lock_order]] are supported"
             ));
         }
         let Some((key, value)) = line.split_once('=') else {
@@ -95,24 +180,74 @@ pub fn parse_allowlist(text: &str, source_name: &str) -> Result<Vec<AllowEntry>,
             .ok_or_else(|| {
                 format!("{source_name}:{line_no}: value must be a double-quoted string")
             })?;
-        let Some(slot) = current.as_mut() else {
-            return Err(format!(
-                "{source_name}:{line_no}: key outside of an [[allow]] entry"
-            ));
+        let Some((section, keys, _)) = current.as_mut() else {
+            return Err(format!("{source_name}:{line_no}: key outside of an entry"));
         };
-        match key.trim() {
-            "rule" => slot.0 = Some(value.to_owned()),
-            "path" => slot.1 = Some(value.to_owned()),
-            "reason" => slot.2 = Some(value.to_owned()),
-            other => {
-                return Err(format!(
-                    "{source_name}:{line_no}: unknown key `{other}` in [[allow]] entry"
-                ));
+        let key = key.trim();
+        let known = SECTIONS
+            .iter()
+            .find(|(s, _)| s == section)
+            .is_some_and(|(_, ks)| ks.contains(&key));
+        if !known {
+            return Err(format!(
+                "{source_name}:{line_no}: unknown key `{key}` in [[{section}]] entry"
+            ));
+        }
+        keys.insert(key.to_owned(), value.to_owned());
+    }
+    finish(current.take(), &mut config)?;
+
+    check_lock_order_acyclic(&config.lock_order, source_name)?;
+    Ok(config)
+}
+
+/// Rejects cycles in the declared hierarchy: a cycle would make every
+/// acquisition order "declared" while still being deadlock-prone.
+fn check_lock_order_acyclic(order: &[LockOrderEntry], source_name: &str) -> Result<(), String> {
+    let labels: Vec<&str> = {
+        let mut v: Vec<&str> = order
+            .iter()
+            .flat_map(|e| [e.outer.as_str(), e.inner.as_str()])
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    // Iterative DFS with colors over the tiny declared graph.
+    let index = |l: &str| labels.binary_search(&l).unwrap_or_default();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); labels.len()];
+    for e in order {
+        adj[index(&e.outer)].push(index(&e.inner));
+    }
+    let mut color = vec![0u8; labels.len()]; // 0 white, 1 gray, 2 black
+    for s in 0..labels.len() {
+        if color[s] != 0 {
+            continue;
+        }
+        let mut stack = vec![(s, 0usize)];
+        color[s] = 1;
+        while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+            if *next < adj[u].len() {
+                let v = adj[u][*next];
+                *next += 1;
+                if color[v] == 1 {
+                    return Err(format!(
+                        "{source_name}: [[lock_order]] hierarchy contains a cycle through \
+                         `{}` — a cyclic hierarchy permits deadlock",
+                        labels[v]
+                    ));
+                }
+                if color[v] == 0 {
+                    color[v] = 1;
+                    stack.push((v, 0));
+                }
+            } else {
+                color[u] = 2;
+                stack.pop();
             }
         }
     }
-    finish(current.take(), &mut entries, text.lines().count())?;
-    Ok(entries)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -120,48 +255,95 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_entries_and_prefix_matching() {
+    fn parses_all_three_sections() {
         let toml = r#"
-# workspace allowlist
+# workspace config
 [[allow]]
 rule = "raw-id-cast"
 path = "crates/core/src/model.rs"
 reason = "posting lists are raw u32 by design"
 
-[[allow]]
-rule = "no-panic-paths"
-path = "crates/eval/src/experiments/"
-reason = "offline drivers may abort"
+[[atomic]]
+name = "SIGNAL_RECEIVED"
+path = "crates/server/src/shutdown.rs"
+role = "signal handler to accept loop"
+
+[[lock_order]]
+outer = "slot"
+inner = "stripes"
+reason = "reload flushes tails while holding the state slot"
 "#;
-        let entries = parse_allowlist(toml, "lint.toml").unwrap();
-        assert_eq!(entries.len(), 2);
-        assert!(entries[0].covers("raw-id-cast", "crates/core/src/model.rs"));
-        assert!(!entries[0].covers("raw-id-cast", "crates/core/src/dynamic.rs"));
-        assert!(entries[1].covers("no-panic-paths", "crates/eval/src/experiments/table2.rs"));
-        assert!(!entries[1].covers("raw-id-cast", "crates/eval/src/experiments/table2.rs"));
+        let config = parse_config(toml, "lint.toml").unwrap();
+        assert_eq!(config.allow.len(), 1);
+        assert!(config.allow[0].covers("raw-id-cast", "crates/core/src/model.rs"));
+        assert!(!config.allow[0].covers("raw-id-cast", "crates/core/src/dynamic.rs"));
+        assert_eq!(config.atomics[0].name, "SIGNAL_RECEIVED");
+        assert_eq!(config.lock_order[0].outer, "slot");
     }
 
     #[test]
-    fn missing_reason_is_an_error() {
+    fn missing_or_empty_values_are_errors() {
         let toml = "[[allow]]\nrule = \"raw-id-cast\"\npath = \"crates/\"\n";
-        assert!(parse_allowlist(toml, "lint.toml").is_err());
+        assert!(parse_config(toml, "lint.toml").is_err());
         let toml = "[[allow]]\nrule = \"x\"\npath = \"y\"\nreason = \"  \"\n";
-        assert!(parse_allowlist(toml, "lint.toml").is_err());
+        assert!(parse_config(toml, "lint.toml").is_err());
+        let toml = "[[atomic]]\nname = \"X\"\npath = \"y\"\n";
+        assert!(parse_config(toml, "lint.toml").is_err());
     }
 
     #[test]
     fn malformed_lines_are_errors() {
-        assert!(parse_allowlist("[deny]\n", "lint.toml").is_err());
-        assert!(parse_allowlist("rule = \"x\"\n", "lint.toml").is_err());
-        assert!(parse_allowlist("[[allow]]\nbogus = \"x\"\n", "lint.toml").is_err());
-        assert!(parse_allowlist("[[allow]]\nrule = unquoted\n", "lint.toml").is_err());
+        assert!(parse_config("[deny]\n", "lint.toml").is_err());
+        assert!(parse_config("rule = \"x\"\n", "lint.toml").is_err());
+        assert!(parse_config("[[allow]]\nbogus = \"x\"\n", "lint.toml").is_err());
+        assert!(parse_config("[[allow]]\nrule = unquoted\n", "lint.toml").is_err());
+        assert!(parse_config("[[atomic]]\nrule = \"x\"\n", "lint.toml").is_err());
+    }
+
+    #[test]
+    fn lock_order_rejects_self_and_cycles() {
+        let self_pair = "[[lock_order]]\nouter = \"a\"\ninner = \"a\"\nreason = \"r\"\n";
+        assert!(parse_config(self_pair, "lint.toml").is_err());
+        let cycle = "\
+[[lock_order]]
+outer = \"a\"
+inner = \"b\"
+reason = \"r\"
+[[lock_order]]
+outer = \"b\"
+inner = \"c\"
+reason = \"r\"
+[[lock_order]]
+outer = \"c\"
+inner = \"a\"
+reason = \"r\"
+";
+        let err = parse_config(cycle, "lint.toml").unwrap_err();
+        assert!(err.contains("cycle"), "got: {err}");
+        // A diamond (a→b, a→c, b→c) is fine.
+        let dag = "\
+[[lock_order]]
+outer = \"a\"
+inner = \"b\"
+reason = \"r\"
+[[lock_order]]
+outer = \"a\"
+inner = \"c\"
+reason = \"r\"
+[[lock_order]]
+outer = \"b\"
+inner = \"c\"
+reason = \"r\"
+";
+        assert!(parse_config(dag, "lint.toml").is_ok());
     }
 
     #[test]
     fn empty_config_is_fine() {
-        assert!(parse_allowlist("", "lint.toml").unwrap().is_empty());
-        assert!(parse_allowlist("# only comments\n", "lint.toml")
+        assert!(parse_config("", "lint.toml").unwrap() == LintConfig::default());
+        assert!(parse_config("# only comments\n", "lint.toml")
             .unwrap()
+            .allow
             .is_empty());
     }
 }

@@ -1,14 +1,21 @@
-//! The lint driver: walks the workspace, runs the rules, applies inline
+//! The lint driver: walks the workspace, lexes every file once, builds the
+//! call graph, runs the per-file and call-graph rules, applies inline
 //! suppressions and the `lint.toml` allowlist, and cross-checks the metric
 //! registry against the README.
+//!
+//! Allowlisted findings are not dropped — they are reported separately in
+//! [`RunResult::allowed`] so the baseline machinery can diff them (new
+//! findings stay visible even for allow-listed rules).
 
-use crate::config::{parse_allowlist, AllowEntry};
+use crate::callgraph;
+use crate::config::{parse_config, LintConfig};
+use crate::graph;
 use crate::lexer::{lex, Lexed};
 use crate::rules::{
     readme_metrics, registry_names, registry_namespaces, source_rules, Finding,
     METRIC_NAME_REGISTRY, METRIC_REGISTRY_PATH, RULES, SUPPRESSION_FORMAT,
 };
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -17,14 +24,31 @@ use std::path::{Path, PathBuf};
 pub struct RunResult {
     /// Surviving findings, sorted by (file, line, rule).
     pub findings: Vec<Finding>,
+    /// Findings swallowed by the `lint.toml` allowlist, same order —
+    /// the input to `lint-baseline.json`.
+    pub allowed: Vec<Finding>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+}
+
+/// Knobs for one run.
+#[derive(Debug, Default)]
+pub struct RunOptions {
+    /// When set, only findings in these workspace-relative files are
+    /// reported. The call graph is still built over the whole workspace,
+    /// so reachability through unchanged files is intact.
+    pub changed_files: Option<BTreeSet<String>>,
+}
+
+/// Lints the workspace rooted at `root` with default options.
+pub fn run_workspace(root: &Path) -> Result<RunResult, String> {
+    run_workspace_with(root, &RunOptions::default())
 }
 
 /// Lints the workspace rooted at `root`. Configuration problems (missing
 /// registry, malformed `lint.toml`, unreadable files) are `Err`s, distinct
 /// from findings.
-pub fn run_workspace(root: &Path) -> Result<RunResult, String> {
+pub fn run_workspace_with(root: &Path, opts: &RunOptions) -> Result<RunResult, String> {
     let crates_dir = root.join("crates");
     if !crates_dir.is_dir() {
         return Err(format!(
@@ -33,7 +57,7 @@ pub fn run_workspace(root: &Path) -> Result<RunResult, String> {
         ));
     }
 
-    let allowlist = load_allowlist(root)?;
+    let config = load_config(root)?;
 
     // The registry is the source of truth for metric names; a workspace
     // without it cannot satisfy the metric-name-registry rule at all.
@@ -45,32 +69,120 @@ pub fn run_workspace(root: &Path) -> Result<RunResult, String> {
     let documented = readme_metrics(&readme);
 
     let files = collect_rs_files(root, &crates_dir)?;
-    let mut findings = Vec::new();
+    let mut lexed_files: Vec<(String, Lexed)> = Vec::with_capacity(files.len());
     for (rel, abs) in &files {
-        let lexed = lex(&read(abs)?);
-        let raw = source_rules(rel, &lexed, &namespaces);
-        findings.extend(apply_suppressions(rel, &lexed, raw));
+        lexed_files.push((rel.clone(), lex(&read(abs)?)));
     }
+
+    // Per-file rules, then the workspace-level call-graph pass.
+    let mut raw: Vec<Finding> = Vec::new();
+    for (rel, lexed) in &lexed_files {
+        raw.extend(source_rules(rel, lexed, &namespaces));
+        callgraph::atomic_ordering(rel, lexed, &config.atomics, &mut raw);
+        callgraph::lock_discipline(rel, lexed, &config.lock_order, &mut raw);
+    }
+    let deps = crate_deps(&crates_dir);
+    let call_graph = graph::build_with_deps(&lexed_files, &deps);
+    callgraph::hot_path_alloc(&call_graph, &lexed_files, &mut raw);
+
+    // Inline suppressions apply at the finding's site, per file.
+    let mut raw_by_file: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for f in raw {
+        raw_by_file.entry(f.file.clone()).or_default().push(f);
+    }
+    let mut findings = Vec::new();
+    for (rel, lexed) in &lexed_files {
+        let file_raw = raw_by_file.remove(rel.as_str()).unwrap_or_default();
+        findings.extend(apply_suppressions(rel, lexed, file_raw));
+    }
+    // Findings in files without a lexed source (shouldn't happen) pass
+    // through unsuppressed.
+    findings.extend(raw_by_file.into_values().flatten());
 
     registry_readme_drift(&registry, &documented, &mut findings);
 
-    findings.retain(|f| !allowlist.iter().any(|e| e.covers(f.rule, &f.file)));
-    findings.sort_by(|a, b| {
-        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
-    });
+    let (allowed, mut findings): (Vec<Finding>, Vec<Finding>) = findings
+        .into_iter()
+        .partition(|f| config.allow.iter().any(|e| e.covers(f.rule, &f.file)));
+    if let Some(changed) = &opts.changed_files {
+        findings.retain(|f| changed.contains(&f.file));
+    }
+    let sort = |v: &mut Vec<Finding>| {
+        v.sort_by(|a, b| {
+            (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+        });
+    };
+    let mut allowed = allowed;
+    sort(&mut findings);
+    sort(&mut allowed);
     Ok(RunResult {
         findings,
+        allowed,
         files_scanned: files.len(),
     })
 }
 
-fn load_allowlist(root: &Path) -> Result<Vec<AllowEntry>, String> {
+/// Transitive crate→crate dependency map from the workspace manifests.
+/// Dependencies are declared as `goalrec-<dir>` (workspace path deps), so
+/// a line scan of each `crates/<dir>/Cargo.toml` suffices. Crates without
+/// a manifest get no entry and stay unrestricted in call resolution —
+/// that keeps manifest-less test fixtures working.
+fn crate_deps(crates_dir: &Path) -> graph::CrateDeps {
+    let mut direct: graph::CrateDeps = BTreeMap::new();
+    let Ok(entries) = fs::read_dir(crates_dir) else {
+        return direct;
+    };
+    for entry in entries.flatten() {
+        let Ok(name) = entry.file_name().into_string() else {
+            continue;
+        };
+        let Ok(manifest) = fs::read_to_string(entry.path().join("Cargo.toml")) else {
+            continue;
+        };
+        let mut deps = BTreeSet::new();
+        for line in manifest.lines() {
+            let line = line.trim();
+            // Skip the crate's own `name = "goalrec-x"` line; dependency
+            // lines start with the bare `goalrec-` key.
+            let Some(rest) = line.strip_prefix("goalrec-") else {
+                continue;
+            };
+            let dep: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !dep.is_empty() && dep != name {
+                deps.insert(dep);
+            }
+        }
+        direct.insert(name, deps);
+    }
+    // Transitive closure: small map, iterate to a fixed point.
+    loop {
+        let mut grew = false;
+        let snapshot = direct.clone();
+        for deps in direct.values_mut() {
+            for d in deps.clone() {
+                if let Some(indirect) = snapshot.get(&d) {
+                    for i in indirect {
+                        grew |= deps.insert(i.clone());
+                    }
+                }
+            }
+        }
+        if !grew {
+            return direct;
+        }
+    }
+}
+
+fn load_config(root: &Path) -> Result<LintConfig, String> {
     let path = root.join("lint.toml");
     if !path.is_file() {
-        return Ok(Vec::new());
+        return Ok(LintConfig::default());
     }
-    let entries = parse_allowlist(&read(&path)?, "lint.toml")?;
-    for e in &entries {
+    let config = parse_config(&read(&path)?, "lint.toml")?;
+    for e in &config.allow {
         if !RULES.contains(&e.rule.as_str()) {
             return Err(format!(
                 "lint.toml: unknown rule `{}` in allowlist (known: {})",
@@ -79,7 +191,7 @@ fn load_allowlist(root: &Path) -> Result<Vec<AllowEntry>, String> {
             ));
         }
     }
-    Ok(entries)
+    Ok(config)
 }
 
 fn read(path: &Path) -> Result<String, String> {

@@ -1,0 +1,858 @@
+//! Conservative workspace call graph over the token streams.
+//!
+//! The container is registry-less, so there is no real name resolution to
+//! lean on; this pass builds the best call graph a token scan can support
+//! and errs on the side of **over**-approximation (extra edges), which is
+//! the safe direction for reachability rules like `hot-path-alloc`:
+//!
+//! * every `fn` item becomes a node, annotated with the type it is
+//!   implemented on (`impl Foo` / `impl Trait for Foo`) and the trait, if
+//!   any — both reduced to their last path segment;
+//! * call sites are recognized syntactically in four forms — `name(…)`,
+//!   `expr.name(…)`, `Qualifier::name(…)` (turbofish included) and
+//!   `<Type as Trait>::name(…)` — and resolved by name:
+//!   - a bare call resolves to free functions of that name only;
+//!   - a method call resolves to every method of that name, narrowed to
+//!     the enclosing impl's type (and its trait) when the receiver is
+//!     literally `self`;
+//!   - a qualified call resolves to methods of the named type or trait
+//!     when the workspace knows it, and to free functions otherwise
+//!     (which is what makes module-qualified calls like `names::f(…)`
+//!     work);
+//!   - a qualified-path call resolves to implementations of the named
+//!     trait, falling back to methods of the named type.
+//!
+//! Known over-approximations (documented in DESIGN.md): same-name methods
+//! on unrelated types alias into one callee set when the receiver is not
+//! `self`; closures attribute their calls to the enclosing `fn`; calls
+//! through function pointers/references are invisible. The `hot-path-alloc`
+//! rule provides the escape hatch (a justified cold-mark on the callee).
+
+use crate::lexer::{Lexed, Tok, Token};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Transitive workspace dependencies per crate directory name: an entry
+/// `core → {obs}` means code in `crates/core` can call into `crates/obs`.
+/// Crates absent from the map are unrestricted (no manifest was found).
+pub type CrateDeps = BTreeMap<String, BTreeSet<String>>;
+
+/// Crate directory name of a workspace-relative path
+/// (`crates/core/src/model.rs` → `core`).
+pub fn crate_of(file: &str) -> Option<&str> {
+    file.strip_prefix("crates/")?.split('/').next()
+}
+
+/// One `fn` item (free function, inherent/trait method, or trait-provided
+/// default).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnDef {
+    /// Workspace-relative file the item lives in.
+    pub file: String,
+    /// Function name, raw-identifier prefix kept (`r#fn`).
+    pub name: String,
+    /// Last path segment of the impl'd type, or the trait name for
+    /// trait-provided defaults; `None` for free functions.
+    pub receiver: Option<String>,
+    /// Trait being implemented (`impl Tr for Foo`), or the declaring
+    /// trait for defaults.
+    pub trait_name: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token range of the body including both braces; `None` for
+    /// signature-only declarations.
+    pub body: Option<(usize, usize)>,
+    /// Whether the item sits inside a `#[cfg(test)]`/`#[test]` range.
+    pub is_test: bool,
+}
+
+/// How a call site is written, which decides how it resolves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `name(…)` — free function call.
+    Free,
+    /// `expr.name(…)`; `self_recv` when the receiver is literally `self`.
+    Method {
+        /// Receiver is the bare `self` token.
+        self_recv: bool,
+    },
+    /// `Qualifier::name(…)` — the last path segment before the method.
+    Qualified {
+        /// Last path segment before `::name` (empty when unknowable).
+        qualifier: String,
+    },
+    /// `<Type as Trait>::name(…)`.
+    TraitCast {
+        /// First identifier inside the angle brackets.
+        ty: String,
+        /// Last identifier inside the angle brackets (the trait).
+        trait_name: String,
+    },
+}
+
+/// One syntactic call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Callee name as written.
+    pub name: String,
+    /// 1-based line of the callee identifier.
+    pub line: u32,
+    /// Syntactic form.
+    pub kind: CallKind,
+}
+
+/// The workspace call graph: nodes are [`FnDef`]s, edges carry the call
+/// line for reachability traces.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All function definitions, in file/token order.
+    pub defs: Vec<FnDef>,
+    /// `edges[i]` = (callee def index, call line) pairs out of `defs[i]`.
+    pub edges: Vec<Vec<(usize, u32)>>,
+}
+
+/// BFS result: for each def, the (caller def, call line) it was first
+/// reached through, or `None` if unreached (roots point at themselves).
+#[derive(Debug)]
+pub struct Reachability {
+    /// Parent pointers; `parent[i] == Some((i, _))` marks a root.
+    pub parent: Vec<Option<(usize, u32)>>,
+}
+
+impl Reachability {
+    /// Whether `def` is reachable from any root.
+    pub fn reached(&self, def: usize) -> bool {
+        self.parent[def].is_some()
+    }
+
+    /// The root-to-`def` chain of def indices (inclusive both ends).
+    pub fn path_to(&self, def: usize) -> Vec<usize> {
+        let mut path = vec![def];
+        let mut cur = def;
+        while let Some((p, _)) = self.parent[cur] {
+            if p == cur {
+                break;
+            }
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "type", "union",
+    "unsafe", "use", "where", "while", "yield",
+];
+
+fn ident(t: Option<&Token>) -> Option<&str> {
+    match t {
+        Some(Token {
+            tok: Tok::Ident(s), ..
+        }) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn is_punct(t: Option<&Token>, c: char) -> bool {
+    matches!(t, Some(Token { tok: Tok::Punct(p), .. }) if *p == c)
+}
+
+/// Index of the `}` matching the `{` at `open` (or the stream end).
+pub fn matching_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 1usize;
+    let mut i = open + 1;
+    while i < toks.len() && depth > 0 {
+        match toks[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i - 1
+}
+
+/// Skips a balanced `<…>` group starting at `open` (a `<`), tolerant of
+/// `->` arrows inside; returns the index just past the closing `>`.
+fn skip_angles(toks: &[Token], open: usize) -> usize {
+    let mut depth = 1usize;
+    let mut i = open + 1;
+    while i < toks.len() && depth > 0 {
+        match toks[i].tok {
+            Tok::Punct('<') => depth += 1,
+            Tok::Punct('>') if !is_punct(toks.get(i - 1), '-') => depth -= 1,
+            Tok::Punct('{') | Tok::Punct(';') => break, // lost; bail out
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Extracts all function definitions from one lexed file.
+pub fn parse_defs(file: &str, lexed: &Lexed) -> Vec<FnDef> {
+    let mut defs = Vec::new();
+    scan_items(file, lexed, 0, lexed.tokens.len(), None, None, &mut defs);
+    defs
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_items(
+    file: &str,
+    lexed: &Lexed,
+    start: usize,
+    end: usize,
+    receiver: Option<&str>,
+    trait_name: Option<&str>,
+    defs: &mut Vec<FnDef>,
+) {
+    let toks = &lexed.tokens;
+    let mut i = start;
+    while i < end {
+        match ident(toks.get(i)) {
+            Some("impl") => {
+                let (recv, tr, body_open) = parse_impl_header(toks, i + 1, end);
+                let Some(open) = body_open else {
+                    i += 1;
+                    continue;
+                };
+                let close = matching_brace(toks, open);
+                scan_items(
+                    file,
+                    lexed,
+                    open + 1,
+                    close,
+                    recv.as_deref(),
+                    tr.as_deref(),
+                    defs,
+                );
+                i = close + 1;
+            }
+            Some("trait") => {
+                let name = ident(toks.get(i + 1)).map(str::to_owned);
+                let mut j = i + 2;
+                while j < end && !is_punct(toks.get(j), '{') && !is_punct(toks.get(j), ';') {
+                    j += 1;
+                }
+                if !is_punct(toks.get(j), '{') {
+                    i = j + 1;
+                    continue;
+                }
+                let close = matching_brace(toks, j);
+                scan_items(
+                    file,
+                    lexed,
+                    j + 1,
+                    close,
+                    name.as_deref(),
+                    name.as_deref(),
+                    defs,
+                );
+                i = close + 1;
+            }
+            Some("fn") => {
+                // `fn` in type position (`fn(u32) -> u32`) has no name.
+                let Some(name) = ident(toks.get(i + 1)) else {
+                    i += 1;
+                    continue;
+                };
+                let line = toks[i].line;
+                let mut j = i + 2;
+                while j < end && !is_punct(toks.get(j), '{') && !is_punct(toks.get(j), ';') {
+                    j += 1;
+                }
+                let body = if is_punct(toks.get(j), '{') {
+                    Some((j, matching_brace(toks, j)))
+                } else {
+                    None
+                };
+                defs.push(FnDef {
+                    file: file.to_owned(),
+                    name: name.to_owned(),
+                    receiver: receiver.map(str::to_owned),
+                    trait_name: trait_name.map(str::to_owned),
+                    line,
+                    body,
+                    is_test: lexed.is_test_line(line),
+                });
+                i = body.map_or(j + 1, |(_, close)| close + 1);
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Parses an impl header from just after the `impl` keyword: returns the
+/// (type, trait) last path segments and the index of the body's `{`.
+fn parse_impl_header(
+    toks: &[Token],
+    mut i: usize,
+    end: usize,
+) -> (Option<String>, Option<String>, Option<usize>) {
+    if is_punct(toks.get(i), '<') {
+        i = skip_angles(toks, i);
+    }
+    // Collect angle-depth-0 identifiers up to `{`, truncated at `where`.
+    let mut before_for: Vec<&str> = Vec::new();
+    let mut after_for: Vec<&str> = Vec::new();
+    let mut saw_for = false;
+    let mut saw_where = false;
+    while i < end && !is_punct(toks.get(i), '{') {
+        if is_punct(toks.get(i), '<') {
+            i = skip_angles(toks, i);
+            continue;
+        }
+        match ident(toks.get(i)) {
+            Some("for") => saw_for = true,
+            Some("where") => saw_where = true,
+            Some("dyn") | Some("mut") | Some("ref") | None => {}
+            Some(name) if !saw_where => {
+                if saw_for {
+                    after_for.push(name);
+                } else {
+                    before_for.push(name);
+                }
+            }
+            Some(_) => {}
+        }
+        i += 1;
+    }
+    if !is_punct(toks.get(i), '{') {
+        return (None, None, None);
+    }
+    let (recv, tr) = if saw_for {
+        (
+            after_for.last().map(|s| (*s).to_owned()),
+            before_for.last().map(|s| (*s).to_owned()),
+        )
+    } else {
+        (before_for.last().map(|s| (*s).to_owned()), None)
+    };
+    (recv, tr, Some(i))
+}
+
+/// Extracts the call sites inside a body token range `(open, close)`.
+pub fn call_sites(toks: &[Token], body: (usize, usize)) -> Vec<CallSite> {
+    let (open, close) = body;
+    let mut out = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        let Some(name) = ident(toks.get(k)) else {
+            k += 1;
+            continue;
+        };
+        if KEYWORDS.contains(&name) || ident(toks.get(k.wrapping_sub(1))) == Some("fn") {
+            k += 1;
+            continue;
+        }
+        // A call follows as `(` directly or through a `::<…>` turbofish.
+        let after = k + 1;
+        let call_paren = if is_punct(toks.get(after), '(') {
+            Some(after)
+        } else if is_punct(toks.get(after), ':')
+            && is_punct(toks.get(after + 1), ':')
+            && is_punct(toks.get(after + 2), '<')
+        {
+            let past = skip_angles(toks, after + 2);
+            is_punct(toks.get(past), '(').then_some(past)
+        } else {
+            None
+        };
+        if call_paren.is_none() {
+            k += 1;
+            continue;
+        }
+        let kind = classify_call(toks, k, open);
+        out.push(CallSite {
+            name: name.to_owned(),
+            line: toks[k].line,
+            kind,
+        });
+        k += 1;
+    }
+    out
+}
+
+/// Classifies the call at token `k` (the callee identifier) by what
+/// precedes it; `floor` bounds the backward scan.
+fn classify_call(toks: &[Token], k: usize, floor: usize) -> CallKind {
+    if k == 0 || k <= floor {
+        return CallKind::Free;
+    }
+    if is_punct(toks.get(k - 1), '.') {
+        let self_recv = k >= 2
+            && ident(toks.get(k - 2)) == Some("self")
+            && (k < 3 || !is_punct(toks.get(k - 3), '.'));
+        return CallKind::Method { self_recv };
+    }
+    if k >= 2 && is_punct(toks.get(k - 1), ':') && is_punct(toks.get(k - 2), ':') {
+        if k >= 3 {
+            if let Some(q) = ident(toks.get(k - 3)) {
+                return CallKind::Qualified {
+                    qualifier: q.to_owned(),
+                };
+            }
+            if is_punct(toks.get(k - 3), '>') {
+                return classify_angle_qualifier(toks, k - 3, floor);
+            }
+        }
+        return CallKind::Qualified {
+            qualifier: String::new(),
+        };
+    }
+    CallKind::Free
+}
+
+/// Resolves the `<…>::name(…)` and `Path::<…>::name(…)` forms: `close`
+/// points at the `>` directly before the `::`.
+fn classify_angle_qualifier(toks: &[Token], close: usize, floor: usize) -> CallKind {
+    // Walk back to the matching `<`.
+    let mut depth = 1usize;
+    let mut i = close;
+    while i > floor && depth > 0 {
+        i -= 1;
+        match toks[i].tok {
+            Tok::Punct('>') if !is_punct(toks.get(i.wrapping_sub(1)), '-') => depth += 1,
+            Tok::Punct('<') => depth -= 1,
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return CallKind::Qualified {
+            qualifier: String::new(),
+        };
+    }
+    let inner: Vec<&str> = toks[i + 1..close]
+        .iter()
+        .filter_map(|t| match &t.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    if let Some(as_pos) = inner.iter().position(|s| *s == "as") {
+        let ty = inner.first().copied().unwrap_or_default();
+        let tr = inner.last().copied().unwrap_or_default();
+        if as_pos > 0 && as_pos < inner.len() - 1 {
+            return CallKind::TraitCast {
+                ty: ty.to_owned(),
+                trait_name: tr.to_owned(),
+            };
+        }
+    }
+    // Turbofish on a path: `Vec::<u32>::new(…)` — the qualifier is the
+    // identifier before the `::<`.
+    if i >= 3 && is_punct(toks.get(i - 1), ':') && is_punct(toks.get(i - 2), ':') {
+        if let Some(q) = ident(toks.get(i - 3)) {
+            return CallKind::Qualified {
+                qualifier: q.to_owned(),
+            };
+        }
+    }
+    CallKind::Qualified {
+        qualifier: String::new(),
+    }
+}
+
+/// Builds the call graph over every non-test `fn` in `files`
+/// (workspace-relative path → lexed file, in deterministic order).
+/// Unlike [`build_with_deps`], name resolution is not restricted by crate
+/// dependencies.
+pub fn build(files: &[(String, Lexed)]) -> CallGraph {
+    build_with_deps(files, &CrateDeps::new())
+}
+
+/// [`build`], with candidate callees filtered by the crate dependency map:
+/// a def in crate D only resolves from a caller in crate C when C == D or
+/// C (transitively) depends on D. Cuts same-name aliasing across unrelated
+/// crates — a server routine cannot "call" a CLI helper it cannot link to.
+pub fn build_with_deps(files: &[(String, Lexed)], deps: &CrateDeps) -> CallGraph {
+    let mut defs: Vec<FnDef> = Vec::new();
+    for (rel, lexed) in files {
+        defs.extend(parse_defs(rel, lexed).into_iter().filter(|d| !d.is_test));
+    }
+
+    // Name indexes for resolution.
+    let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, d) in defs.iter().enumerate() {
+        if d.receiver.is_none() {
+            free_by_name.entry(&d.name).or_default().push(i);
+        } else {
+            methods_by_name.entry(&d.name).or_default().push(i);
+        }
+    }
+
+    let lexed_of: BTreeMap<&str, &Lexed> = files.iter().map(|(r, l)| (r.as_str(), l)).collect();
+    let mut edges: Vec<Vec<(usize, u32)>> = vec![Vec::new(); defs.len()];
+    for i in 0..defs.len() {
+        let Some(body) = defs[i].body else { continue };
+        let lexed = lexed_of[defs[i].file.as_str()];
+        for site in call_sites(&lexed.tokens, body) {
+            let mut callees = resolve(&defs, &free_by_name, &methods_by_name, i, &site);
+            callees.retain(|&c| callable(deps, &defs[i].file, &defs[c].file));
+            for c in callees {
+                if !edges[i].iter().any(|&(e, _)| e == c) {
+                    edges[i].push((c, site.line));
+                }
+            }
+        }
+    }
+    CallGraph { defs, edges }
+}
+
+/// Whether a def in `callee_file`'s crate is visible to `caller_file`'s
+/// crate under `deps`. Files outside `crates/` and crates without a map
+/// entry are unrestricted.
+fn callable(deps: &CrateDeps, caller_file: &str, callee_file: &str) -> bool {
+    let (Some(caller), Some(callee)) = (crate_of(caller_file), crate_of(callee_file)) else {
+        return true;
+    };
+    if caller == callee {
+        return true;
+    }
+    deps.get(caller).is_none_or(|set| set.contains(callee))
+}
+
+fn resolve(
+    defs: &[FnDef],
+    free_by_name: &BTreeMap<&str, Vec<usize>>,
+    methods_by_name: &BTreeMap<&str, Vec<usize>>,
+    caller: usize,
+    site: &CallSite,
+) -> Vec<usize> {
+    let free = || {
+        free_by_name
+            .get(site.name.as_str())
+            .cloned()
+            .unwrap_or_default()
+    };
+    let methods = || {
+        methods_by_name
+            .get(site.name.as_str())
+            .cloned()
+            .unwrap_or_default()
+    };
+    match &site.kind {
+        CallKind::Free => {
+            // A bare call names an item in scope. If the caller's own file
+            // defines a free fn with this name, that one shadows (a
+            // clashing module-level `use` would be a conflict), so prefer
+            // it; otherwise fall back to every free fn with the name.
+            let all = free();
+            let same_file: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&m| defs[m].file == defs[caller].file)
+                .collect();
+            if !same_file.is_empty() {
+                return same_file;
+            }
+            all
+        }
+        CallKind::Method { self_recv } => {
+            let all = methods();
+            if *self_recv {
+                let caller_recv = defs[caller].receiver.as_deref();
+                let caller_trait = defs[caller].trait_name.as_deref();
+                let narrowed: Vec<usize> = all
+                    .iter()
+                    .copied()
+                    .filter(|&m| {
+                        let r = defs[m].receiver.as_deref();
+                        r == caller_recv || (caller_trait.is_some() && r == caller_trait)
+                    })
+                    .collect();
+                if !narrowed.is_empty() {
+                    return narrowed;
+                }
+            }
+            all
+        }
+        CallKind::Qualified { qualifier } => {
+            let q = if qualifier == "Self" {
+                defs[caller].receiver.clone().unwrap_or_default()
+            } else {
+                qualifier.clone()
+            };
+            let of_type: Vec<usize> = methods()
+                .into_iter()
+                .filter(|&m| {
+                    defs[m].receiver.as_deref() == Some(q.as_str())
+                        || defs[m].trait_name.as_deref() == Some(q.as_str())
+                })
+                .collect();
+            if !of_type.is_empty() {
+                return of_type;
+            }
+            // Unknown qualifier: module path (`names::f(…)`) or a std
+            // type. Free functions by name cover the former.
+            free()
+        }
+        CallKind::TraitCast { ty, trait_name } => {
+            let all = methods();
+            let of_trait: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&m| defs[m].trait_name.as_deref() == Some(trait_name.as_str()))
+                .collect();
+            if !of_trait.is_empty() {
+                return of_trait;
+            }
+            let of_type: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&m| defs[m].receiver.as_deref() == Some(ty.as_str()))
+                .collect();
+            if !of_type.is_empty() {
+                return of_type;
+            }
+            all
+        }
+    }
+}
+
+impl CallGraph {
+    /// BFS from `roots`, never entering defs for which `blocked` returns
+    /// true (cold-marked functions). Roots that are blocked stay
+    /// unreached.
+    pub fn reach(&self, roots: &[usize], blocked: &dyn Fn(usize) -> bool) -> Reachability {
+        let mut parent: Vec<Option<(usize, u32)>> = vec![None; self.defs.len()];
+        let mut queue = VecDeque::new();
+        for &r in roots {
+            if !blocked(r) && parent[r].is_none() {
+                parent[r] = Some((r, self.defs[r].line));
+                queue.push_back(r);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &(v, line) in &self.edges[u] {
+                if parent[v].is_none() && !blocked(v) {
+                    parent[v] = Some((u, line));
+                    queue.push_back(v);
+                }
+            }
+        }
+        Reachability { parent }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn graph_of(src: &str) -> CallGraph {
+        build(&[("crates/x/src/lib.rs".to_owned(), lex(src))])
+    }
+
+    fn def(g: &CallGraph, name: &str) -> usize {
+        g.defs.iter().position(|d| d.name == name).unwrap()
+    }
+
+    fn callees<'g>(g: &'g CallGraph, name: &str) -> Vec<&'g str> {
+        let i = def(g, name);
+        let mut out: Vec<&str> = g.edges[i]
+            .iter()
+            .map(|&(c, _)| g.defs[c].name.as_str())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn defs_carry_receiver_and_trait() {
+        let g = graph_of(
+            "fn free() {}\n\
+             struct Foo;\n\
+             impl Foo { fn m(&self) {} }\n\
+             trait Tr { fn t(&self) { self.m2(); } fn m2(&self); }\n\
+             impl Tr for Foo { fn m2(&self) {} }\n",
+        );
+        let free = &g.defs[def(&g, "free")];
+        assert_eq!(
+            (free.receiver.as_deref(), free.trait_name.as_deref()),
+            (None, None)
+        );
+        let m = &g.defs[def(&g, "m")];
+        assert_eq!(m.receiver.as_deref(), Some("Foo"));
+        let t = &g.defs[def(&g, "t")];
+        assert_eq!(
+            (t.receiver.as_deref(), t.trait_name.as_deref()),
+            (Some("Tr"), Some("Tr"))
+        );
+        // Both the trait declaration and the impl produce an `m2` def.
+        assert!(g.defs.iter().any(|d| d.name == "m2"
+            && d.receiver.as_deref() == Some("Foo")
+            && d.trait_name.as_deref() == Some("Tr")
+            && d.body.is_some()));
+        assert!(g
+            .defs
+            .iter()
+            .any(|d| d.name == "m2" && d.receiver.as_deref() == Some("Tr") && d.body.is_none()));
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_the_type_not_the_params() {
+        let g = graph_of(
+            "struct Bounded<T>(T);\n\
+             impl<T: Clone> Bounded<T> where T: Send { fn push(&self) {} }\n\
+             impl<F: Fn() -> u32> Bounded<F> { fn call(&self) {} }\n",
+        );
+        assert_eq!(g.defs[def(&g, "push")].receiver.as_deref(), Some("Bounded"));
+        assert_eq!(g.defs[def(&g, "call")].receiver.as_deref(), Some("Bounded"));
+    }
+
+    #[test]
+    fn bare_calls_resolve_to_free_fns_only() {
+        let g = graph_of(
+            "fn helper() {}\n\
+             struct S;\n\
+             impl S { fn helper(&self) {} }\n\
+             fn root() { helper(); }\n",
+        );
+        let root = def(&g, "root");
+        assert_eq!(g.edges[root].len(), 1);
+        let (c, _) = g.edges[root][0];
+        assert!(g.defs[c].receiver.is_none(), "must not hit the method");
+    }
+
+    #[test]
+    fn self_method_calls_narrow_to_the_impl_type() {
+        let g = graph_of(
+            "struct A; struct B;\n\
+             impl A { fn go(&self) {} fn root(&self) { self.go(); } }\n\
+             impl B { fn go(&self) {} }\n",
+        );
+        let root = def(&g, "root");
+        assert_eq!(g.edges[root].len(), 1);
+        let (c, _) = g.edges[root][0];
+        assert_eq!(g.defs[c].receiver.as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn unknown_receiver_methods_fan_out_to_all_candidates() {
+        let g = graph_of(
+            "struct A; struct B;\n\
+             impl A { fn go(&self) {} }\n\
+             impl B { fn go(&self) {} }\n\
+             fn root(x: &A) { x.go(); }\n",
+        );
+        assert_eq!(callees(&g, "root"), vec!["go", "go"]);
+    }
+
+    #[test]
+    fn qualified_and_trait_cast_calls_resolve() {
+        let g = graph_of(
+            "struct Scratch;\n\
+             impl Scratch { fn new() -> Self { Scratch } }\n\
+             trait Rank { fn rank(&self); }\n\
+             struct Best;\n\
+             impl Rank for Best { fn rank(&self) {} }\n\
+             fn a() { let _ = Scratch::new(); }\n\
+             fn b(x: &Best) { <Best as Rank>::rank(x); }\n\
+             fn c(x: &Best) { Rank::rank(x); }\n",
+        );
+        assert_eq!(callees(&g, "a"), vec!["new"]);
+        // Both the trait declaration (bodyless sink) and the impl match.
+        assert_eq!(callees(&g, "b"), vec!["rank", "rank"]);
+        assert_eq!(callees(&g, "c"), vec!["rank", "rank"]);
+    }
+
+    #[test]
+    fn module_qualified_free_calls_fall_back_by_name() {
+        let g = graph_of(
+            "mod names { }\n\
+             fn server_route(x: u32) -> u32 { x }\n\
+             fn root() { let _ = names::server_route(1); }\n",
+        );
+        assert_eq!(callees(&g, "root"), vec!["server_route"]);
+    }
+
+    #[test]
+    fn turbofish_calls_are_still_calls() {
+        let g = graph_of(
+            "fn make<T>() -> Option<T> { None }\n\
+             struct S;\n\
+             impl S { fn pick<T>(&self) {} }\n\
+             fn root(s: &S) { let _ = make::<u32>(); s.pick::<u32>(); }\n",
+        );
+        assert_eq!(callees(&g, "root"), vec!["make", "pick"]);
+    }
+
+    #[test]
+    fn method_calls_split_across_lines_resolve() {
+        let g = graph_of(
+            "struct S;\n\
+             impl S { fn step(&self) {} }\n\
+             fn root(s: &S) {\n\
+                 s\n\
+                     .step();\n\
+             }\n",
+        );
+        assert_eq!(callees(&g, "root"), vec!["step"]);
+        let root = def(&g, "root");
+        assert_eq!(g.edges[root][0].1, 5, "edge carries the callee line");
+    }
+
+    #[test]
+    fn raw_identifier_fns_do_not_collide_with_keywords() {
+        let g = graph_of(
+            "fn r#fn() {}\n\
+             fn root() { r#fn(); }\n",
+        );
+        assert_eq!(callees(&g, "root"), vec!["r#fn"]);
+        // And the `r#fn` def did not swallow the rest of the file.
+        assert_eq!(g.defs.len(), 2);
+    }
+
+    #[test]
+    fn fn_pointer_types_and_nested_fns_are_not_separate_defs() {
+        let g = graph_of(
+            "fn outer() {\n\
+                 let _f: fn(u32) -> u32 = |x| x;\n\
+                 fn inner() {}\n\
+                 inner;\n\
+             }\n",
+        );
+        let names: Vec<&str> = g.defs.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["outer"]);
+    }
+
+    #[test]
+    fn test_code_is_excluded_from_the_graph() {
+        let g = graph_of(
+            "fn live() {}\n\
+             #[cfg(test)]\n\
+             mod tests { fn helper() { } }\n",
+        );
+        assert_eq!(g.defs.len(), 1);
+    }
+
+    #[test]
+    fn reachability_paths_and_cold_blocking() {
+        let g = graph_of(
+            "fn root() { mid(); }\n\
+             fn mid() { leaf(); }\n\
+             fn leaf() {}\n\
+             fn island() {}\n",
+        );
+        let r = def(&g, "root");
+        let reach = g.reach(&[r], &|_| false);
+        let leaf = def(&g, "leaf");
+        assert!(reach.reached(leaf));
+        let path: Vec<&str> = reach
+            .path_to(leaf)
+            .into_iter()
+            .map(|i| g.defs[i].name.as_str())
+            .collect();
+        assert_eq!(path, vec!["root", "mid", "leaf"]);
+        assert!(!reach.reached(def(&g, "island")));
+
+        let mid = def(&g, "mid");
+        let blocked = g.reach(&[r], &|i| i == mid);
+        assert!(!blocked.reached(leaf), "cold mid must sever the path");
+    }
+}

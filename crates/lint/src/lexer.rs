@@ -46,6 +46,25 @@ pub struct Suppression {
     pub justification: String,
 }
 
+/// A comment's text and the lines it spans (equal for line comments).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on.
+    pub end_line: u32,
+    /// Comment text, delimiters included.
+    pub text: String,
+}
+
+impl Comment {
+    /// Whether this comment can annotate code on `line`: it sits on the
+    /// same line (trailing) or ends on the line directly above.
+    pub fn annotates(&self, line: u32) -> bool {
+        self.line <= line && line <= self.end_line + 1
+    }
+}
+
 /// The full scan result for one file.
 #[derive(Debug, Default)]
 pub struct Lexed {
@@ -55,6 +74,8 @@ pub struct Lexed {
     pub suppressions: Vec<Suppression>,
     /// Inclusive line ranges covered by test-only items.
     pub test_ranges: Vec<(u32, u32)>,
+    /// Every comment, in source order (mined for justification tags).
+    pub comments: Vec<Comment>,
 }
 
 impl Lexed {
@@ -63,6 +84,14 @@ impl Lexed {
         self.test_ranges
             .iter()
             .any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    /// Whether a comment containing `tag` annotates `line` (trailing on
+    /// the same line or ending on the line above).
+    pub fn has_comment_tag(&self, line: u32, tag: &str) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.annotates(line) && c.text.contains(tag))
     }
 }
 
@@ -73,6 +102,7 @@ pub fn lex(src: &str) -> Lexed {
     let cs: Vec<char> = src.chars().collect();
     let mut tokens = Vec::new();
     let mut suppressions = Vec::new();
+    let mut comments: Vec<Comment> = Vec::new();
     let mut i = 0usize;
     let mut line = 1u32;
 
@@ -92,7 +122,31 @@ pub fn lex(src: &str) -> Lexed {
             if let Some(s) = parse_suppression(&text, line) {
                 suppressions.push(s);
             }
+            // A run of `//` lines with no code between them is one logical
+            // comment block: merge so a tag anywhere in the block annotates
+            // the line after its last line. Any code on or after the block's
+            // first line (a trailing comment, or code before this one) breaks
+            // the run and starts a fresh block instead.
+            let last_tok_line = tokens.last().map(|t: &Token| t.line);
+            match comments.last_mut() {
+                Some(prev)
+                    if prev.text.starts_with("//")
+                        && prev.end_line + 1 == line
+                        && last_tok_line.is_none_or(|l| l < prev.line) =>
+                {
+                    prev.end_line = line;
+                    prev.text.push('\n');
+                    prev.text.push_str(&text);
+                }
+                _ => comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text,
+                }),
+            }
         } else if c == '/' && cs.get(i + 1) == Some(&'*') {
+            let start = i;
+            let start_line = line;
             let mut depth = 1;
             i += 2;
             while i < cs.len() && depth > 0 {
@@ -109,6 +163,11 @@ pub fn lex(src: &str) -> Lexed {
                     i += 1;
                 }
             }
+            comments.push(Comment {
+                line: start_line,
+                end_line: line,
+                text: cs[start..i].iter().collect(),
+            });
         } else if c == '"' {
             let (tok, ni, nl) = lex_plain_string(&cs, i, line);
             tokens.push(tok);
@@ -151,6 +210,7 @@ pub fn lex(src: &str) -> Lexed {
         tokens,
         suppressions,
         test_ranges,
+        comments,
     }
 }
 
@@ -226,13 +286,18 @@ fn starts_raw_or_byte_string(cs: &[char], i: usize) -> bool {
         || rest.starts_with("br#")
 }
 
-/// Lexes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` and `b'…'` forms.
+/// Lexes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` and `b'…'` forms, plus raw
+/// identifiers (`r#type`), which keep their `r#` prefix in the token so
+/// they can never collide with the bare keyword.
 fn lex_prefixed_string(cs: &[char], mut i: usize, mut line: u32) -> (Option<Token>, usize, u32) {
     let start_line = line;
     // Skip the r/b/br prefix.
+    let prefix_start = i;
     while i < cs.len() && (cs[i] == 'r' || cs[i] == 'b') {
         i += 1;
     }
+    let prefix_len = i - prefix_start;
+    let prefix_is_r = prefix_len == 1 && cs[prefix_start] == 'r';
     if cs.get(i) == Some(&'\'') {
         // Byte char literal b'x'.
         return (None, skip_char_or_lifetime(cs, i), line);
@@ -243,18 +308,24 @@ fn lex_prefixed_string(cs: &[char], mut i: usize, mut line: u32) -> (Option<Toke
         i += 1;
     }
     if cs.get(i) != Some(&'"') {
-        // Not a string after all (e.g. `r#type` raw identifier): emit the
-        // identifier that follows the hashes.
+        // Not a string after all: a raw identifier like `r#type`. Emit it
+        // with the `r#` prefix intact — `r#fn` is a name, not the `fn`
+        // keyword, and the call-graph pass relies on the distinction.
         let start = i;
         while i < cs.len() && (cs[i] == '_' || cs[i].is_alphanumeric()) {
             i += 1;
         }
-        let text: String = cs[start..i].iter().collect();
-        let tok = if text.is_empty() {
+        let name: String = cs[start..i].iter().collect();
+        let tok = if name.is_empty() {
             None
+        } else if prefix_is_r && hashes == 1 {
+            Some(Token {
+                tok: Tok::Ident(format!("r#{name}")),
+                line,
+            })
         } else {
             Some(Token {
-                tok: Tok::Ident(text),
+                tok: Tok::Ident(name),
                 line,
             })
         };
@@ -487,6 +558,73 @@ fn t() {
 ";
         let lexed = lex(src);
         assert_eq!(lexed.test_ranges, vec![(1, 5)]);
+    }
+
+    #[test]
+    fn raw_identifiers_keep_their_prefix() {
+        // `r#fn` is a name, not the keyword; `r#type` likewise. A raw
+        // string must still lex as a string, not a raw identifier.
+        let lexed = lex("fn r#fn() {} let r#type = 1; let s = r#\"str\"#;");
+        assert_eq!(
+            idents(&lexed),
+            vec!["fn", "r#fn", "let", "r#type", "let", "s"]
+        );
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Str(s) if s == "str")));
+    }
+
+    #[test]
+    fn comments_are_captured_with_spans() {
+        let src = "\
+// ordering: relaxed is fine, gauge only
+x.load(o);
+/* block
+   spanning */ y.load(o);
+z.load(o);
+";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[0].end_line, 1);
+        assert_eq!(lexed.comments[1].line, 3);
+        assert_eq!(lexed.comments[1].end_line, 4);
+        // The line comment annotates itself and the next line only.
+        assert!(lexed.has_comment_tag(1, "ordering:"));
+        assert!(lexed.has_comment_tag(2, "ordering:"));
+        assert!(!lexed.has_comment_tag(3, "ordering:"));
+        // The block comment annotates through its end line + 1.
+        assert!(lexed.has_comment_tag(4, "spanning"));
+        assert!(lexed.has_comment_tag(5, "spanning"));
+        assert!(!lexed.has_comment_tag(6, "spanning"));
+    }
+
+    #[test]
+    fn adjacent_line_comments_merge_into_one_block() {
+        let src = "\
+// ordering: Release pairs with the Acquire load in is_set;
+// the flag itself is the only state this store publishes.
+x.store(true, Ordering::Release);
+y.load(o); // trailing note
+// fresh block after a trailing comment
+z.load(o);
+";
+        let lexed = lex(src);
+        // Lines 1-2 merge; the trailing comment on line 4 and the line-5
+        // comment stay separate (code sits between / before them).
+        assert_eq!(lexed.comments.len(), 3);
+        assert_eq!((lexed.comments[0].line, lexed.comments[0].end_line), (1, 2));
+        assert!(lexed.comments[0].text.contains("ordering:"));
+        assert!(lexed.comments[0].text.contains("only state"));
+        assert_eq!((lexed.comments[1].line, lexed.comments[1].end_line), (4, 4));
+        assert_eq!((lexed.comments[2].line, lexed.comments[2].end_line), (5, 5));
+        // The tag on the block's first line now annotates the op two
+        // lines below — the multi-line justification case.
+        assert!(lexed.has_comment_tag(3, "ordering:"));
+        assert!(!lexed.has_comment_tag(4, "ordering:"));
+        // A trailing comment does not absorb the block above its line.
+        assert!(lexed.has_comment_tag(6, "fresh block"));
     }
 
     #[test]

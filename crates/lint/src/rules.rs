@@ -19,6 +19,16 @@ pub const RAW_ID_CAST: &str = "raw-id-cast";
 pub const METRIC_NAME_REGISTRY: &str = "metric-name-registry";
 /// Rule id: every `Strategy` impl must override `rank_observed`.
 pub const STRATEGY_SURFACE: &str = "strategy-surface";
+/// Rule id: no allocation or blocking call reachable from the serving
+/// hot-path roots (see [`crate::callgraph`]).
+pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
+/// Rule id: every `Ordering::*` use carries an `// ordering:` justification
+/// comment; `SeqCst` is deny-by-default; `Relaxed` on registered
+/// cross-thread atomics is flagged.
+pub const ATOMIC_ORDERING: &str = "atomic-ordering";
+/// Rule id: nested lock acquisition must match the `[[lock_order]]`
+/// hierarchy declared in `lint.toml`.
+pub const LOCK_DISCIPLINE: &str = "lock-discipline";
 /// Pseudo-rule for malformed `goalrec-lint:allow` directives. Not
 /// suppressible and not allowlistable.
 pub const SUPPRESSION_FORMAT: &str = "suppression-format";
@@ -29,6 +39,9 @@ pub const RULES: &[&str] = &[
     RAW_ID_CAST,
     METRIC_NAME_REGISTRY,
     STRATEGY_SURFACE,
+    HOT_PATH_ALLOC,
+    ATOMIC_ORDERING,
+    LOCK_DISCIPLINE,
 ];
 
 /// Library crates whose `src/` trees are held to the panic-free and

@@ -1,0 +1,15 @@
+//! Known-bad: `b` is taken while the guard on `a` is still held, and no
+//! hierarchy declares `a → b`.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+pub fn cross(p: &Pair) -> u32 {
+    let g = p.a.lock().unwrap_or_else(PoisonError::into_inner);
+    let h = p.b.lock().unwrap_or_else(PoisonError::into_inner);
+    *g + *h
+}

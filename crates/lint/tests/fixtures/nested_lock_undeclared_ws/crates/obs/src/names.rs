@@ -1,0 +1,3 @@
+//! Fixture registry.
+
+pub const MODEL_BUILDS: &str = "model.builds";

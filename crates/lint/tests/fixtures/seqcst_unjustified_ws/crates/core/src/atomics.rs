@@ -1,0 +1,11 @@
+//! Known-bad: SeqCst (comment or not) plus an unjustified Relaxed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn stamp(c: &AtomicU64) {
+    // ordering: a comment cannot excuse SeqCst
+    c.store(1, Ordering::SeqCst);
+    c.store(2, Ordering::Relaxed);
+    // ordering: pure statistic, nothing published through it
+    c.store(3, Ordering::Relaxed);
+}

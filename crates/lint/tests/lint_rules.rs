@@ -6,7 +6,8 @@
 //! asserted exactly (file, line, rule).
 
 use goalrec_lint::rules::{
-    METRIC_NAME_REGISTRY, NO_PANIC_PATHS, RAW_ID_CAST, STRATEGY_SURFACE, SUPPRESSION_FORMAT,
+    ATOMIC_ORDERING, HOT_PATH_ALLOC, LOCK_DISCIPLINE, METRIC_NAME_REGISTRY, NO_PANIC_PATHS,
+    RAW_ID_CAST, STRATEGY_SURFACE, SUPPRESSION_FORMAT,
 };
 use goalrec_lint::run_workspace;
 use std::path::PathBuf;
@@ -16,6 +17,14 @@ fn fixture(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(name)
+}
+
+fn triples(result: &goalrec_lint::engine::RunResult) -> Vec<(&str, u32, &str)> {
+    result
+        .findings
+        .iter()
+        .map(|f| (f.file.as_str(), f.line, f.rule))
+        .collect()
 }
 
 #[test]
@@ -121,4 +130,207 @@ fn binary_exit_codes_and_json_are_stable() {
 
     let usage = Command::new(bin).arg("--bogus").output().unwrap();
     assert_eq!(usage.status.code(), Some(2));
+}
+
+#[test]
+fn hot_alloc_reachable_findings_carry_the_trace() {
+    let result = run_workspace(&fixture("hot_alloc_reachable_ws")).unwrap();
+    assert_eq!(
+        triples(&result),
+        vec![
+            ("crates/core/src/hot.rs", 28, HOT_PATH_ALLOC),
+            // The multi-line `.collect()` chain is still one call.
+            ("crates/core/src/hot.rs", 33, HOT_PATH_ALLOC),
+            ("crates/core/src/hot.rs", 38, HOT_PATH_ALLOC),
+        ]
+    );
+    // Every finding explains how the root reaches the site. `Wide`'s
+    // qualified `<Greedy as Strategy>::rank_into` call also reaches
+    // `scratch`, but each definition is reported once, from one path.
+    assert!(result.findings[0].message.contains(
+        "trace: rank_into (crates/core/src/hot.rs:12) → scratch (crates/core/src/hot.rs:27)"
+    ));
+    assert!(result.findings[1]
+        .message
+        .contains("`.collect()` allocates"));
+    assert!(result.findings[2]
+        .message
+        .contains("→ nap (crates/core/src/hot.rs:37)"));
+    assert!(result.findings[2]
+        .message
+        .contains("`thread::sleep` blocks"));
+}
+
+#[test]
+fn hot_alloc_clean_workspace_reports_nothing() {
+    // The root writes only into caller-provided scratch; the allocating
+    // `report` helper exists but no root reaches it.
+    let result = run_workspace(&fixture("hot_alloc_clean_ws")).unwrap();
+    assert!(result.findings.is_empty(), "got: {:?}", result.findings);
+}
+
+#[test]
+fn seqcst_is_flagged_even_with_a_comment() {
+    let result = run_workspace(&fixture("seqcst_unjustified_ws")).unwrap();
+    assert_eq!(
+        triples(&result),
+        vec![
+            // SeqCst: the `// ordering:` comment above does not excuse it.
+            ("crates/core/src/atomics.rs", 7, ATOMIC_ORDERING),
+            // Relaxed without a justification comment.
+            ("crates/core/src/atomics.rs", 8, ATOMIC_ORDERING),
+            // The commented Relaxed on line 10 is clean.
+        ]
+    );
+    assert!(result.findings[0].message.contains("deny-by-default"));
+    assert!(result.findings[1].message.contains("lacks a justification"));
+}
+
+#[test]
+fn undeclared_nested_locks_are_flagged() {
+    let result = run_workspace(&fixture("nested_lock_undeclared_ws")).unwrap();
+    assert_eq!(
+        triples(&result),
+        vec![("crates/core/src/locks.rs", 13, LOCK_DISCIPLINE)]
+    );
+    assert!(result.findings[0]
+        .message
+        .contains("`a → b` is not in the declared hierarchy"));
+}
+
+#[test]
+fn changed_files_mode_narrows_the_report() {
+    let bin = env!("CARGO_BIN_EXE_goalrec-lint");
+    let root = fixture("ws");
+
+    // Only bad_casts.rs is "changed": the cast finding survives, the
+    // panics and strategy findings elsewhere do not.
+    let out = Command::new(bin)
+        .args([
+            "--root",
+            root.to_str().unwrap(),
+            "--changed-files",
+            "crates/core/src/bad_casts.rs",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("bad_casts.rs:6"), "got: {text}");
+    assert!(!text.contains("bad_panics.rs"), "got: {text}");
+
+    // A clean changed file exits 0 even though the workspace has findings.
+    let clean = Command::new(bin)
+        .args([
+            "--root",
+            root.to_str().unwrap(),
+            "--changed-files",
+            "crates/core/src/clean.rs",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(clean.status.code(), Some(0));
+}
+
+#[test]
+fn github_format_emits_error_annotations() {
+    let bin = env!("CARGO_BIN_EXE_goalrec-lint");
+    let out = Command::new(bin)
+        .args([
+            "--root",
+            fixture("nested_lock_undeclared_ws").to_str().unwrap(),
+            "--format",
+            "github",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains(
+            "::error file=crates/core/src/locks.rs,line=13,title=goalrec-lint[lock-discipline]::"
+        ),
+        "got: {text}"
+    );
+}
+
+#[test]
+fn baseline_round_trip_detects_drift() {
+    let bin = env!("CARGO_BIN_EXE_goalrec-lint");
+    let root = fixture("ws");
+    let dir = std::env::temp_dir().join(format!("goalrec-lint-baseline-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("baseline.json");
+
+    // Bootstrap: --write-baseline records the allow-listed findings.
+    let write = Command::new(bin)
+        .args([
+            "--root",
+            root.to_str().unwrap(),
+            "--write-baseline",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(path.exists(), "write-baseline produced no file");
+
+    // Same workspace, same baseline: no drift (exit still 1 — the ws
+    // fixture has real findings — but no drift message).
+    let same = Command::new(bin)
+        .args([
+            "--root",
+            root.to_str().unwrap(),
+            "--baseline",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let same_out = String::from_utf8(same.stdout).unwrap();
+    assert!(same_out.contains("baseline in sync"), "got: {same_out}");
+
+    // A doctored baseline (one extra allow-listed row) is drift: exit 1
+    // and a drift explanation.
+    let doctored = std::fs::read_to_string(&path).unwrap();
+    let injected = doctored.replacen(
+        "[",
+        "[\n  {\"rule\": \"raw-id-cast\", \"file\": \"crates/core/src/ghost.rs\", \"count\": 2},",
+        1,
+    );
+    let doctored_path = dir.join("doctored.json");
+    std::fs::write(&doctored_path, injected).unwrap();
+    let drift = Command::new(bin)
+        .args([
+            "--root",
+            root.to_str().unwrap(),
+            "--baseline",
+            doctored_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(drift.status.code(), Some(1));
+    let drift_out = String::from_utf8(drift.stdout).unwrap();
+    assert!(
+        drift_out.contains("baseline drift") && drift_out.contains("ghost.rs"),
+        "got: {drift_out}"
+    );
+
+    // A missing baseline file is a config error with a bootstrap hint.
+    let missing = Command::new(bin)
+        .args([
+            "--root",
+            root.to_str().unwrap(),
+            "--baseline",
+            dir.join("nope.json").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(missing.status.code(), Some(2));
+    let missing_err = String::from_utf8(missing.stderr).unwrap();
+    assert!(
+        missing_err.contains("--write-baseline"),
+        "got: {missing_err}"
+    );
+
+    drop(write);
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -74,11 +74,15 @@ impl Histogram {
     /// Records one value.
     #[inline]
     pub fn record(&self, value: u64) {
+        // ordering: Relaxed throughout — the histogram is pure statistics;
+        // no reader infers the visibility of other memory from a counter
+        // value, and the fields are never read as a consistent snapshot
+        // (quantile/mean tolerate torn reads across buckets by design).
         self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
-        self.min.fetch_min(value, Ordering::Relaxed);
-        self.max.fetch_max(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed); // ordering: as above
+        self.sum.fetch_add(value, Ordering::Relaxed); // ordering: as above
+        self.min.fetch_min(value, Ordering::Relaxed); // ordering: as above
+        self.max.fetch_max(value, Ordering::Relaxed); // ordering: as above
     }
 
     /// Records a duration as nanoseconds (saturating at `u64::MAX`).
@@ -89,22 +93,26 @@ impl Histogram {
 
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
+        // ordering: Relaxed — statistics read, no cross-field consistency.
         self.count.load(Ordering::Relaxed)
     }
 
     /// Number of values recorded into bucket `i` (`i < NUM_BUCKETS`),
     /// for cumulative exposition formats.
     pub fn bucket_count(&self, i: usize) -> u64 {
+        // ordering: Relaxed — statistics read, no cross-field consistency.
         self.buckets[i].load(Ordering::Relaxed)
     }
 
     /// Sum of recorded values (wrapping only past `u64::MAX` total).
     pub fn sum(&self) -> u64 {
+        // ordering: Relaxed — statistics read, no cross-field consistency.
         self.sum.load(Ordering::Relaxed)
     }
 
     /// Smallest recorded value, 0 when empty.
     pub fn min(&self) -> u64 {
+        // ordering: Relaxed — statistics read, no cross-field consistency.
         let m = self.min.load(Ordering::Relaxed);
         if m == u64::MAX && self.count() == 0 {
             0
@@ -115,6 +123,7 @@ impl Histogram {
 
     /// Largest recorded value.
     pub fn max(&self) -> u64 {
+        // ordering: Relaxed — statistics read, no cross-field consistency.
         self.max.load(Ordering::Relaxed)
     }
 
@@ -140,6 +149,8 @@ impl Histogram {
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut cumulative = 0u64;
         for i in 0..NUM_BUCKETS {
+            // ordering: Relaxed — the quantile is a bucket-resolution
+            // estimate and tolerates concurrent recording mid-scan.
             cumulative += self.buckets[i].load(Ordering::Relaxed);
             if cumulative >= rank {
                 return Self::bucket_upper(i).min(self.max());
@@ -150,13 +161,16 @@ impl Histogram {
 
     /// Zeroes all state in place; concurrent recorders stay valid.
     pub fn reset(&self) {
+        // ordering: Relaxed — reset races benignly with recorders; a value
+        // recorded mid-reset may survive partially, which the statistical
+        // contract (bucket-resolution estimates) already absorbs.
         for b in &self.buckets {
-            b.store(0, Ordering::Relaxed);
+            b.store(0, Ordering::Relaxed); // ordering: as above
         }
-        self.count.store(0, Ordering::Relaxed);
-        self.sum.store(0, Ordering::Relaxed);
-        self.min.store(u64::MAX, Ordering::Relaxed);
-        self.max.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed); // ordering: as above
+        self.sum.store(0, Ordering::Relaxed); // ordering: as above
+        self.min.store(u64::MAX, Ordering::Relaxed); // ordering: as above
+        self.max.store(0, Ordering::Relaxed); // ordering: as above
     }
 }
 

@@ -20,15 +20,20 @@ impl Counter {
     /// Adds `n`.
     #[inline]
     pub fn inc_by(&self, n: u64) {
+        // ordering: Relaxed — a pure statistic; atomicity keeps the total
+        // exact and no reader infers other memory's visibility from it.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ordering: Relaxed — scrape-side read of a pure statistic.
         self.0.load(Ordering::Relaxed)
     }
 
     fn reset(&self) {
+        // ordering: Relaxed — races with concurrent increments benignly;
+        // an increment landing mid-reset survives or vanishes whole.
         self.0.store(0, Ordering::Relaxed);
     }
 }
@@ -41,15 +46,20 @@ impl Gauge {
     /// Overwrites the value.
     #[inline]
     pub fn set(&self, v: f64) {
+        // ordering: Relaxed — last-value-wins gauge; the single u64 store
+        // is indivisible, so readers always see a complete bit pattern.
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> f64 {
+        // ordering: Relaxed — scrape-side read of a last-value-wins gauge.
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 
     fn reset(&self) {
+        // ordering: Relaxed — races with concurrent sets benignly; one of
+        // the complete values wins.
         self.0.store(0f64.to_bits(), Ordering::Relaxed);
     }
 }
@@ -122,6 +132,7 @@ impl Registry {
     }
 
     /// A point-in-time, serializable copy of every metric, sorted by name.
+    // goalrec-lint:allow(hot-path-alloc): scrape-side introspection; name-aliases with TraceContext::snapshot
     pub fn snapshot(&self) -> MetricsReport {
         let counters = self
             .counters

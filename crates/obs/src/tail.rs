@@ -103,6 +103,9 @@ impl TailSampler {
     /// Offers one completed trace for retention. Call once per request.
     pub fn offer(&self, t: &CompletedTrace) {
         self.sampled.inc();
+        // ordering: Relaxed — the counter only drives uniform sampling
+        // cadence and the offered() statistic; the stripe mutex below
+        // synchronizes the retained traces themselves.
         let n = self.offered.fetch_add(1, Ordering::Relaxed);
         let uniform = self.config.sample_every > 0 && n.is_multiple_of(self.config.sample_every);
         let mut stripe = self.stripes[stripe_index(t.route, t.strategy)]
@@ -149,6 +152,7 @@ impl TailSampler {
 
     /// Retained traces matching the filters, slowest first, deduplicated
     /// by trace id (a trace can sit in both a slow set and the ring).
+    // goalrec-lint:allow(hot-path-alloc): debug-side introspection; name-aliases with TraceContext::snapshot
     pub fn snapshot(
         &self,
         route: Option<&str>,
@@ -194,6 +198,7 @@ impl TailSampler {
 
     /// Total traces ever offered.
     pub fn offered(&self) -> u64 {
+        // ordering: Relaxed — scrape-side read of a pure statistic.
         self.offered.load(Ordering::Relaxed)
     }
 }

@@ -48,6 +48,7 @@ impl TraceId {
 
     /// The 16-hex-digit wire form (header value, JSON field).
     pub fn to_hex(self) -> String {
+        // goalrec-lint:allow(hot-path-alloc): trace epilogue — renders the response header id for traced requests only
         format!("{:016x}", self.0)
     }
 }
@@ -67,6 +68,8 @@ thread_local! {
 fn thread_seed() -> u64 {
     // Golden-ratio stride keeps per-thread seeds far apart; the wall
     // clock decorrelates seeds across process restarts.
+    // ordering: Relaxed — only the atomicity matters: each thread draws a
+    // distinct stride; nothing is published through the counter.
     let stride = SEED_COUNTER
         .fetch_add(1, Ordering::Relaxed)
         .wrapping_mul(0x9e37_79b9_7f4a_7c15);

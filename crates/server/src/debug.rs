@@ -47,27 +47,39 @@ impl InflightSlot {
     /// `started_us` is the request start in the owning registry's time
     /// base (see [`InflightRegistry::offset_us`]).
     pub(crate) fn begin(&self, id: TraceId, started_us: u64) {
+        // ordering: the payload fields are Relaxed and published by the
+        // Release store of `active`, which pairs with the Acquire load in
+        // snapshot_rows — a snapshot that observes active=true also
+        // observes the trace id, start time and stage written before it.
         self.trace_id.store(id.0, Ordering::Relaxed);
-        self.started_us.store(started_us, Ordering::Relaxed);
-        self.stage.store(STAGE_PARSE, Ordering::Relaxed);
-        self.active.store(true, Ordering::Release);
+        self.started_us.store(started_us, Ordering::Relaxed); // ordering: as above
+        self.stage.store(STAGE_PARSE, Ordering::Relaxed); // ordering: as above
+        self.active.store(true, Ordering::Release); // ordering: as above
     }
 
     /// Re-stamps the trace id (an inbound `X-Goalrec-Trace` header landed
     /// after the slot was begun).
     pub(crate) fn set_trace(&self, id: TraceId) {
+        // ordering: Relaxed — a mid-request re-stamp; a snapshot racing
+        // with it may report either id, both of which were current.
         self.trace_id.store(id.0, Ordering::Relaxed);
     }
 
     /// Moves the request to a new phase (one of the `STAGE_*` constants).
     pub(crate) fn set_stage(&self, stage: u8) {
+        // ordering: Relaxed — stage is advisory; a snapshot racing with a
+        // transition reports the adjacent phase, which is equally true.
         self.stage.store(stage, Ordering::Relaxed);
     }
 
     /// Marks the slot idle again.
     pub(crate) fn end(&self) {
+        // ordering: Release so a snapshot that still sees active=true saw
+        // payload fields from this request, not a later reuse; the stage
+        // reset below is advisory (Relaxed) — an idle slot is filtered out
+        // by the active check before stage is read.
         self.active.store(false, Ordering::Release);
-        self.stage.store(STAGE_IDLE, Ordering::Relaxed);
+        self.stage.store(STAGE_IDLE, Ordering::Relaxed); // ordering: as above
     }
 }
 
@@ -100,6 +112,7 @@ impl InflightRegistry {
     }
 
     /// Registers one worker's slot.
+    // goalrec-lint:allow(hot-path-alloc): runs once per worker thread at startup, not per request
     pub(crate) fn register(&self, worker: usize) -> Arc<InflightSlot> {
         let slot = Arc::new(InflightSlot {
             worker: worker as u64,
@@ -122,13 +135,18 @@ impl InflightRegistry {
         let slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
         slots
             .iter()
+            // ordering: Acquire pairs with the Release store in begin —
+            // observing active=true makes the Relaxed payload loads below
+            // read values from this request (or newer re-stamps).
             .filter(|slot| slot.active.load(Ordering::Acquire))
             .map(|slot| {
-                let started = slot.started_us.load(Ordering::Relaxed);
+                let started = slot.started_us.load(Ordering::Relaxed); // ordering: as above
                 serde_json::json!({
+                    // ordering: as above
                     "trace": TraceId(slot.trace_id.load(Ordering::Relaxed)).to_hex(),
                     "worker": slot.worker,
                     "age_ms": now_us.saturating_sub(started) / 1_000,
+                    // ordering: as above
                     "span": stage_name(slot.stage.load(Ordering::Relaxed)),
                 })
             })

@@ -93,6 +93,7 @@ impl ServerError {
             }
             _ => ServerError::Io {
                 context,
+                // goalrec-lint:allow(hot-path-alloc): IO error path — the detail string is built only on failure
                 detail: e.to_string(),
             },
         }

@@ -86,12 +86,16 @@ impl ServerMetrics {
     }
 
     fn enter_inflight(&self) {
-        let now = self.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        // ordering: pure occupancy counter feeding the inflight gauge;
+        // fetch_add keeps the count exact and publishes nothing else.
+        let now = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
         self.inflight_gauge.set(now as f64);
     }
 
     fn exit_inflight(&self) {
-        let now = self.inflight.fetch_sub(1, Ordering::SeqCst) - 1;
+        // ordering: pure occupancy counter feeding the inflight gauge;
+        // fetch_sub keeps the count exact and publishes nothing else.
+        let now = self.inflight.fetch_sub(1, Ordering::Relaxed) - 1;
         self.inflight_gauge.set(now as f64);
     }
 }
@@ -232,6 +236,7 @@ fn respond(
 }
 
 /// One single-line JSON access-log record on stderr.
+// goalrec-lint:allow(hot-path-alloc): sampled access log — writes one stderr line every Nth traced request
 fn access_log(snap: &obs::CompletedTrace) {
     let handler_us = snap
         .spans()

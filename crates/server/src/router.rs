@@ -142,6 +142,19 @@ impl AppState {
     }
 }
 
+/// Every route label `handle` can classify a request into. The last entry
+/// is the catch-all and backs [`ServeCtx::route_counter`]'s fallback.
+const ROUTES: [&str; 8] = [
+    "healthz",
+    "metrics",
+    "stats",
+    "recommend",
+    "admin_reload",
+    "debug_traces",
+    "debug_requests",
+    "other",
+];
+
 /// Everything the routing layer needs: the swappable serving state, the
 /// reload supervisor (absent in contexts that never reload, e.g. unit
 /// tests), the trace tail sampler and the in-flight request registry.
@@ -151,6 +164,10 @@ pub struct ServeCtx {
     tail: Arc<obs::TailSampler>,
     inflight: Arc<InflightRegistry>,
     started: Instant,
+    /// Per-route request counters, resolved once at construction and
+    /// indexed in lockstep with [`ROUTES`] — `handle` must not pay the
+    /// registry's name formatting and lock on every request.
+    route_counters: [Arc<obs::Counter>; 8],
 }
 
 impl ServeCtx {
@@ -163,7 +180,18 @@ impl ServeCtx {
             tail: Arc::new(obs::TailSampler::new(obs::TailConfig::default())),
             inflight: Arc::new(InflightRegistry::new()),
             started: Instant::now(),
+            route_counters: ROUTES.map(|r| obs::counter(&names::server_route_requests(r))),
         }
+    }
+
+    /// The pre-resolved request counter for `route`; unknown labels fall
+    /// back to the catch-all slot.
+    fn route_counter(&self, route: &str) -> &obs::Counter {
+        let i = ROUTES
+            .iter()
+            .position(|r| *r == route)
+            .unwrap_or(ROUTES.len() - 1);
+        &self.route_counters[i]
     }
 
     /// Replaces the tail sampler — the server shares one between the
@@ -226,7 +254,7 @@ pub fn handle(
         (_, "/debug/requests") => "debug_requests",
         _ => "other",
     };
-    obs::counter(&names::server_route_requests(route)).inc();
+    ctx.route_counter(route).inc();
     trace.set_route(route);
 
     // One snapshot per request: a hot reload that lands after this line
@@ -236,18 +264,7 @@ pub fn handle(
 
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Ok(healthz(ctx, &state)),
-        ("GET", "/metrics") => {
-            let prometheus = request
-                .query
-                .as_deref()
-                .and_then(|q| query_param(q, "format"))
-                .is_some_and(|f| f == "prometheus");
-            if prometheus {
-                Ok(Response::text(200, obs::render_prometheus()))
-            } else {
-                Ok(Response::text(200, obs::snapshot().to_string()))
-            }
-        }
+        ("GET", "/metrics") => Ok(metrics(request)),
         ("GET", "/v1/stats") => Ok(stats(ctx, &state)),
         ("GET", "/debug/traces") => Ok(debug_traces(ctx, request)),
         ("GET", "/debug/requests") => Ok(debug_requests(ctx)),
@@ -258,13 +275,16 @@ pub fn handle(
         | (_, "/v1/stats")
         | (_, "/debug/traces")
         | (_, "/debug/requests") => Err(ServerError::MethodNotAllowed {
+            // goalrec-lint:allow(hot-path-alloc): reject path — the error response owns the offending path
             path: request.path.clone(),
             allowed: "GET",
         }),
         (_, "/v1/recommend") | (_, "/v1/admin/reload") => Err(ServerError::MethodNotAllowed {
+            // goalrec-lint:allow(hot-path-alloc): reject path — the error response owns the offending path
             path: request.path.clone(),
             allowed: "POST",
         }),
+        // goalrec-lint:allow(hot-path-alloc): reject path — the error response owns the offending path
         _ => Err(ServerError::NotFound(request.path.clone())),
     }
 }
@@ -278,9 +298,26 @@ fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
     })
 }
 
+/// `GET /metrics`: the metrics snapshot, JSON by default and Prometheus
+/// text when `?format=prometheus`.
+// goalrec-lint:allow(hot-path-alloc): control-plane route — scrapes render a fresh snapshot per request
+fn metrics(request: &Request) -> Response {
+    let prometheus = request
+        .query
+        .as_deref()
+        .and_then(|q| query_param(q, "format"))
+        .is_some_and(|f| f == "prometheus");
+    if prometheus {
+        Response::text(200, obs::render_prometheus())
+    } else {
+        Response::text(200, obs::snapshot().to_string())
+    }
+}
+
 /// `GET /healthz`: liveness JSON. Also refreshes the `server.model_age_ms`
 /// and `server.trace.tail_occupancy` gauges, so scrapes that only read
 /// `/metrics` see the same numbers the health probe reports.
+// goalrec-lint:allow(hot-path-alloc): control-plane route — probes assemble their JSON per request
 fn healthz(ctx: &ServeCtx, state: &AppState) -> Response {
     let model_age_ms = u64::try_from(state.model_age().as_millis()).unwrap_or(u64::MAX);
     let occupancy = ctx.tail().occupancy();
@@ -298,6 +335,7 @@ fn healthz(ctx: &ServeCtx, state: &AppState) -> Response {
 
 /// `GET /v1/stats`: the [`StatsReport`] JSON prefixed with serving-side
 /// fields (`uptime_ms`, tail-sampler occupancy).
+// goalrec-lint:allow(hot-path-alloc): control-plane route — the stats report is rebuilt per request
 fn stats(ctx: &ServeCtx, state: &AppState) -> Response {
     let report = StatsReport::new(state.stats.clone(), Some(obs::snapshot()));
     let text = report.to_json_pretty();
@@ -319,6 +357,7 @@ fn stats(ctx: &ServeCtx, state: &AppState) -> Response {
 
 /// `GET /debug/traces`: the retained tail traces, slowest first, with
 /// optional `route=`, `strategy=` and `min_us=` query filters.
+// goalrec-lint:allow(hot-path-alloc): control-plane route — trace introspection copies the retained tail
 fn debug_traces(ctx: &ServeCtx, request: &Request) -> Response {
     let query = request.query.as_deref().unwrap_or("");
     let route = query_param(query, "route").filter(|v| !v.is_empty());
@@ -340,6 +379,7 @@ fn debug_traces(ctx: &ServeCtx, request: &Request) -> Response {
 
 /// `GET /debug/requests`: a point-in-time snapshot of every request a
 /// worker is currently inside, with age and current span.
+// goalrec-lint:allow(hot-path-alloc): control-plane route — in-flight introspection snapshots per request
 fn debug_requests(ctx: &ServeCtx) -> Response {
     let rows = ctx.inflight().snapshot_rows();
     let doc = serde_json::json!({
@@ -369,6 +409,7 @@ fn parse_reload_body(body: &[u8]) -> Result<Option<PathBuf>, ServerError> {
     }
 }
 
+// goalrec-lint:allow(hot-path-alloc): control-plane route — reload swaps whole model generations by design
 fn admin_reload(ctx: &ServeCtx, request: &Request) -> Result<Response, ServerError> {
     let Some(handle) = ctx.reload() else {
         return Err(ServerError::ReloadFailed(
@@ -409,6 +450,7 @@ fn parse_recommend_body(body: &[u8]) -> Result<RecommendParams, ServerError> {
         ));
     }
     let doc: Value = serde_json::from_str(text)
+        // goalrec-lint:allow(hot-path-alloc): reject path — the parse error message is built only for bad bodies
         .map_err(|e| ServerError::BadRequest(format!("invalid JSON body: {e}")))?;
 
     let activity = match doc.get("activity") {
@@ -482,6 +524,7 @@ fn recommend(
                 "score": s.score,
             })
         })
+        // goalrec-lint:allow(hot-path-alloc): the response body is the documented per-request allocation
         .collect();
     let doc = serde_json::json!({
         "strategy": params.strategy,
@@ -489,6 +532,7 @@ fn recommend(
         "activity": activity.raw().to_vec(),
         "recommendations": items,
     });
+    // goalrec-lint:allow(hot-path-alloc): the response body is the documented per-request allocation
     Ok(Response::json(200, doc.to_string()))
 }
 

@@ -30,11 +30,15 @@ extern "C" {
 }
 
 extern "C" fn on_signal(_signum: c_int) {
-    SIGNAL_RECEIVED.store(true, Ordering::SeqCst);
+    // ordering: Release pairs with the Acquire load in signal_received;
+    // the flag itself is the only state the handler publishes.
+    SIGNAL_RECEIVED.store(true, Ordering::Release);
 }
 
 extern "C" fn on_reload_signal(_signum: c_int) {
-    RELOAD_SIGNALS.fetch_add(1, Ordering::SeqCst);
+    // ordering: Release pairs with the Acquire load in reload_signal_count;
+    // the count itself is the only state the handler publishes.
+    RELOAD_SIGNALS.fetch_add(1, Ordering::Release);
 }
 
 /// Installs the `SIGTERM`/`SIGINT` shutdown handlers and the `SIGHUP`
@@ -62,14 +66,16 @@ pub fn raise_signal(signum: c_int) {
 
 /// Whether a termination signal has been received by this process.
 pub fn signal_received() -> bool {
-    SIGNAL_RECEIVED.load(Ordering::SeqCst)
+    // ordering: Acquire pairs with the handler's Release store.
+    SIGNAL_RECEIVED.load(Ordering::Acquire)
 }
 
 /// How many `SIGHUP` reload requests this process has received. The
 /// reload supervisor compares successive readings, so every delivered
 /// signal triggers exactly one reload attempt.
 pub fn reload_signal_count() -> u64 {
-    RELOAD_SIGNALS.load(Ordering::SeqCst)
+    // ordering: Acquire pairs with the handler's Release increment.
+    RELOAD_SIGNALS.load(Ordering::Acquire)
 }
 
 /// A cloneable shutdown token shared by the accept loop and the workers.
@@ -100,13 +106,17 @@ impl Shutdown {
 
     /// Requests shutdown programmatically.
     pub fn request(&self) {
-        self.requested.store(true, Ordering::SeqCst);
+        // ordering: Release pairs with the Acquire load in is_set; shutdown
+        // consumers re-check their own queues after observing the flag, so
+        // the flag itself is all this store publishes.
+        self.requested.store(true, Ordering::Release);
     }
 
     /// Whether shutdown has been requested (or signalled, for tokens from
     /// [`Shutdown::watching_signals`]).
     pub fn is_set(&self) -> bool {
-        self.requested.load(Ordering::SeqCst) || (self.watch_signals && signal_received())
+        // ordering: Acquire pairs with the Release store in request.
+        self.requested.load(Ordering::Acquire) || (self.watch_signals && signal_received())
     }
 
     /// Blocks until the token trips, polling every 25 ms.
