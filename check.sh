@@ -47,6 +47,9 @@ cargo run -q --release -p goalrec-bench --bin repro -- stats table6 --scale test
 echo "== server smoke (healthz + recommend + SIGTERM drain) =="
 cargo run -q --release -p goalrec-bench --bin loadgen -- --smoke
 
+echo "== sharded server smoke (scatter-gather path, 2 shards) =="
+cargo run -q --release -p goalrec-bench --bin loadgen -- --smoke --shards 2
+
 echo "== chaos-reload smoke (faulted reloads roll back under live traffic) =="
 cargo run -q --release -p goalrec-bench --bin loadgen -- --chaos-smoke
 

@@ -1,7 +1,8 @@
 //! `loadgen` — closed-loop load generator for `goalrec-server`.
 //!
 //! ```text
-//! loadgen [--clients N] [--seconds S] [--out FILE] [--smoke] [--chaos-smoke] [--perf]
+//! loadgen [--clients N] [--seconds S] [--out FILE] [--smoke [--shards N]]
+//!         [--chaos-smoke] [--perf]
 //!
 //! --clients N     keep-alive client threads for the throughput phase (default 8)
 //! --seconds S     measurement window per phase, seconds (default 3)
@@ -9,7 +10,8 @@
 //!                 or BENCH_perf.json under --perf)
 //! --smoke         CI mode: probe /healthz and /v1/recommend against an
 //!                 in-process server, raise a real SIGTERM, assert a clean
-//!                 drain, exit 0 — no load, no report
+//!                 drain, exit 0 — no load, no report; `--shards N` boots
+//!                 the server on the sharded scatter-gather path
 //! --chaos-smoke   CI mode: drive recommend traffic while hot reloads go
 //!                 through injected fault plans (IO error, torn write,
 //!                 slow read); assert every faulted reload rolls back,
@@ -20,14 +22,21 @@
 //!                 snapshot (written to DEBUG_traces.json for CI
 //!                 artifacts) holds ≥1 trace per strategy, each with a
 //!                 `span.rank` span and top-level spans summing to
-//!                 within 10% of the trace total
+//!                 within 10% of the trace total. A second, sharded
+//!                 server then takes the same treatment: a faulted
+//!                 *targeted* reload (`{"shard": i}`) must roll back
+//!                 that shard alone while the other shards keep
+//!                 answering 200 on their old generation, with zero
+//!                 requests dropped
 //! --perf          hot-path regression bench: serial vs parallel model
 //!                 build at scalability size, per-strategy rank_into
 //!                 latency over the FoodMart test-scale carts (the
-//!                 table6 workload), and the keep-alive throughput
-//!                 phase; writes BENCH_perf.json and FAILS if BestMatch
-//!                 p95 ≥ 1 ms or throughput regresses >30% against the
-//!                 committed baseline
+//!                 table6 workload), the sharded scatter-gather sweep
+//!                 over shard counts {1, 2, 4, 8}, and the keep-alive
+//!                 throughput phase; writes BENCH_perf.json and FAILS
+//!                 if BestMatch p95 ≥ 1 ms, single-shard scatter-gather
+//!                 costs >10% over the unsharded path, or throughput
+//!                 regresses >30% against the committed baseline
 //! ```
 //!
 //! Two measurement phases, both against an in-process server on an
@@ -248,11 +257,14 @@ struct PhaseOutcome {
 fn run_phase(
     workers: usize,
     queue_depth: usize,
+    shards: usize,
     clients: usize,
     seconds: f64,
     client: fn(SocketAddr, Arc<AtomicBool>) -> ClientTally,
 ) -> PhaseOutcome {
-    let handle = start(synthetic_library(), config(workers, queue_depth)).expect("start server");
+    let mut cfg = config(workers, queue_depth);
+    cfg.shards = shards;
+    let handle = start(synthetic_library(), cfg).expect("start server");
     let addr = handle.local_addr();
     let stop = Arc::new(AtomicBool::new(false));
 
@@ -302,6 +314,7 @@ fn run_phase(
     let value = serde_json::json!({
         "workers": workers,
         "queue_depth": queue_depth,
+        "shards": shards,
         "clients": clients,
         "seconds": (elapsed * 100.0).round() / 100.0,
         "requests": total,
@@ -322,13 +335,15 @@ fn run_phase(
     }
 }
 
-/// CI smoke: boot, probe every route once, then exercise the *real*
-/// SIGTERM path and require a clean drain.
-fn smoke() {
+/// CI smoke: boot (sharded when `shards > 0`), probe every route once,
+/// then exercise the *real* SIGTERM path and require a clean drain.
+fn smoke(shards: usize) {
     shutdown::install_signal_handlers();
     let token = Shutdown::watching_signals();
-    let handle = goalrec_server::start_with_shutdown(synthetic_library(), config(2, 16), token)
-        .expect("start server");
+    let mut cfg = config(2, 16);
+    cfg.shards = shards;
+    let handle =
+        goalrec_server::start_with_shutdown(synthetic_library(), cfg, token).expect("start server");
     let addr = handle.local_addr();
     let mut buf = Vec::new();
 
@@ -396,6 +411,28 @@ fn generation(addr: SocketAddr) -> u64 {
                 .ok()
         })
         .unwrap_or_else(|| panic!("no generation in /healthz body: {body}"))
+}
+
+/// The per-shard generation vector from a sharded server's `/healthz`.
+fn shard_generations(addr: SocketAddr) -> Vec<u64> {
+    use serde_json::Value;
+    let (status, body) = fetch(
+        addr,
+        "GET /healthz HTTP/1.1\r\nhost: chaos\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200, "/healthz must stay green, body: {body}");
+    let doc: Value = serde_json::from_str(&body).expect("chaos: parse /healthz");
+    match doc.get("shards") {
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|s| {
+                s.get("generation")
+                    .and_then(Value::as_u64)
+                    .unwrap_or_else(|| panic!("shard row without a generation: {s}"))
+            })
+            .collect(),
+        other => panic!("sharded /healthz must carry a shards array, got {other:?}"),
+    }
 }
 
 /// `POST /v1/admin/reload` with `body`; returns the status code.
@@ -665,6 +702,134 @@ fn chaos_smoke() {
     );
 }
 
+/// Sharded chaos: the same faulted-reload treatment against a 3-shard
+/// server, but *targeted* — a reload of one shard goes through injected
+/// faults and must roll back that shard alone. The other shards keep
+/// answering 200 on their old generation the whole time (the traffic
+/// tally proves zero dropped or non-200 requests), a clean targeted
+/// reload then bumps only its shard, and a full reload bumps every shard
+/// in lockstep.
+fn sharded_chaos() {
+    use goalrec_faults::{with_plan, FaultPlan};
+
+    let dir = std::env::temp_dir().join("goalrec-chaos-sharded");
+    std::fs::create_dir_all(&dir).expect("chaos: temp dir");
+    let serving = dir.join("sharded-serving.grlb");
+    goalrec_datasets::binary::write_library_binary(&synthetic_library(), &serving)
+        .expect("chaos: seed library");
+    let good_bytes = std::fs::read(&serving).expect("chaos: read seed");
+
+    let mut cfg = config(8, 64);
+    cfg.library_path = Some(serving.clone());
+    cfg.shards = 3;
+    let handle = start(synthetic_library(), cfg).expect("chaos: start sharded server");
+    let addr = handle.local_addr();
+
+    // Continuous recommend traffic across every shard for the whole window.
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || keep_alive_client(addr, stop))
+        })
+        .collect();
+
+    assert_eq!(shard_generations(addr), vec![1, 1, 1]);
+
+    // Faulted targeted reload: shard 1's library read dies mid-file. Only
+    // shard 1's swap is in flight, and it must roll back alone.
+    with_plan(
+        FaultPlan::parse("path=sharded-serving;read-error@byte=8").expect("chaos: plan"),
+        || {
+            assert_eq!(
+                admin_reload(addr, r#"{"shard": 1}"#),
+                500,
+                "faulted targeted reload must 500"
+            );
+        },
+    );
+    assert_eq!(
+        shard_generations(addr),
+        vec![1, 1, 1],
+        "a faulted shard reload must roll back that shard and touch no other"
+    );
+    eprintln!("chaos: targeted reload of shard 1 under injected read error rolled back alone");
+
+    // A torn library file aimed at one shard must be rejected whole.
+    let torn = dir.join("sharded-torn.grlb");
+    std::fs::write(&torn, &good_bytes[..good_bytes.len() * 3 / 5]).expect("chaos: torn file");
+    assert_eq!(
+        admin_reload(
+            addr,
+            &format!(r#"{{"path": "{}", "shard": 0}}"#, torn.display())
+        ),
+        500,
+        "a torn library file must never be swapped into a shard"
+    );
+    assert_eq!(shard_generations(addr), vec![1, 1, 1]);
+    eprintln!("chaos: torn-file targeted reload of shard 0 rejected, all shards on generation 1");
+
+    // Out-of-range shard ids are a client error, not a crash or a swap.
+    assert_eq!(
+        admin_reload(addr, r#"{"shard": 9}"#),
+        400,
+        "an out-of-range shard id must be a 400"
+    );
+
+    // Chaos over: a clean targeted reload bumps only its shard, and the
+    // top-level generation reports the minimum across the vector.
+    assert_eq!(admin_reload(addr, r#"{"shard": 1}"#), 200);
+    assert_eq!(shard_generations(addr), vec![1, 2, 1]);
+    assert_eq!(
+        generation(addr),
+        1,
+        "the top-level generation is the minimum across shards"
+    );
+    eprintln!("chaos: clean targeted reload bumped shard 1 to generation 2, others untouched");
+
+    // And a full reload swaps every shard in lockstep.
+    assert_eq!(
+        admin_reload(addr, ""),
+        200,
+        "clean full reload must succeed"
+    );
+    assert_eq!(shard_generations(addr), vec![2, 3, 2]);
+    assert_eq!(generation(addr), 2);
+    eprintln!("chaos: full reload bumped every shard in lockstep");
+
+    // ordering: Relaxed — quiesce signal only; the join below is the
+    // synchronization point for the tallies.
+    stop.store(true, Ordering::Relaxed);
+    let mut merged = ClientTally::default();
+    for c in clients {
+        let tally = c.join().expect("chaos: client thread");
+        merged.ok += tally.ok;
+        merged.rejected += tally.rejected;
+        merged.other += tally.other;
+        merged.errors += tally.errors;
+    }
+    handle.shutdown();
+
+    assert!(
+        merged.ok > 0,
+        "sharded chaos traffic produced no successful requests"
+    );
+    assert_eq!(
+        (merged.other, merged.errors, merged.rejected),
+        (0, 0, 0),
+        "shard faults must not fail, drop, or shed recommend traffic \
+         (ok {}, non-200 {}, transport errors {}, 503s {})",
+        merged.ok,
+        merged.other,
+        merged.errors,
+        merged.rejected
+    );
+    eprintln!(
+        "chaos: {} sharded recommend requests answered 200, zero dropped, zero 5xx, zero 503",
+        merged.ok
+    );
+}
+
 /// Keep-alive throughput committed with the CSR + scratch-arena PR; the
 /// `--perf` guardrail fails when a run lands more than 30% below this.
 /// Refresh it (and BENCH_perf.json) when the hot path changes on purpose.
@@ -673,6 +838,11 @@ const PERF_BASELINE_KEEPALIVE_RPS: f64 = 30_000.0;
 /// The pre-CSR baseline (PR 3's BENCH_serve.json), kept in the report so
 /// the before/after story travels with the numbers.
 const PR3_BASELINE_KEEPALIVE_RPS: f64 = 26_700.0;
+
+/// Single-shard scatter-gather may cost at most this factor over the
+/// unsharded BestMatch p95 — the k-way merge replay must stay ~free when
+/// there is nothing to merge across.
+const SHARD_OVERHEAD_LIMIT: f64 = 1.1;
 
 /// Best-of-3 model build, seconds (one untimed warm-up first).
 fn best_build_seconds(lib: &goalrec_core::GoalLibrary) -> f64 {
@@ -696,10 +866,11 @@ fn perf(clients: usize, seconds: f64, out: &std::path::Path) {
     use goalrec_core::strategies::default_strategies;
     use goalrec_core::{GoalModel, Scratch};
     use goalrec_datasets::foodmart::{FoodMart, FoodMartConfig};
+    use goalrec_shard::{ShardScratch, ShardStrategy, ShardedModel};
 
     // Phase 1: serial vs parallel counting-sort fill on a library at the
     // scalability example's top size (40k impls × 8 actions, 3k vocab).
-    eprintln!("phase 1/3: model build — serial vs parallel counting sort (40k impls)");
+    eprintln!("phase 1/4: model build — serial vs parallel counting sort (40k impls)");
     let big = synthetic_library_sized(40_000, 3_000, 8);
     std::env::set_var("GOALREC_BUILD_SERIAL", "1");
     let serial_s = best_build_seconds(&big);
@@ -715,7 +886,7 @@ fn perf(clients: usize, seconds: f64, out: &std::path::Path) {
     // Phase 2: steady-state rank_into latency per strategy over the
     // FoodMart test-scale carts — the workload `repro table6 --scale
     // test` ranks.
-    eprintln!("phase 2/3: per-strategy rank_into latency (FoodMart test-scale carts)");
+    eprintln!("phase 2/4: per-strategy rank_into latency (FoodMart test-scale carts)");
     let fm = FoodMart::generate(&FoodMartConfig::test_scale());
     let model = GoalModel::build(&fm.library).expect("perf: foodmart model");
     let mut scratch = Scratch::new();
@@ -757,17 +928,95 @@ fn perf(clients: usize, seconds: f64, out: &std::path::Path) {
         }));
     }
 
-    // Phase 3: the keep-alive serving phase, workers allocation-free
+    // Phase 3: the sharded scatter-gather path over the same carts and
+    // the same model data, across shard counts. The shard crate's
+    // property tests prove the merge bit-exact; this phase prices it.
+    // At one shard the scatter is the unsharded ranking plus the merge
+    // replay, so the N=1 BestMatch p95 against phase 2 is the pure
+    // scatter-gather overhead — guard-railed at 10%.
+    eprintln!("phase 3/4: sharded scatter-gather latency — shards {{1, 2, 4, 8}}, same carts");
+    let mut shard_reports = Vec::new();
+    let mut sharded_best_match_p95_n1_us = 0.0f64;
+    for num_shards in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let sharded = ShardedModel::build(
+            &fm.library,
+            num_shards,
+            goalrec_shard::PartitionMode::HashGoal,
+        )
+        .expect("perf: sharded model");
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let shards = sharded.shards();
+        let mut shard_scratch = ShardScratch::new();
+        let mut per_strategy = Vec::new();
+        for (api, internal) in TRACE_STRATEGIES {
+            let strategy = ShardStrategy::for_api_name(api).expect("perf: shard strategy");
+            for cart in &fm.carts {
+                std::hint::black_box(strategy.rank_into(shards, cart, 10, &mut shard_scratch));
+            }
+            let mut lat_ns: Vec<u64> = fm
+                .carts
+                .iter()
+                .map(|cart| {
+                    let t0 = Instant::now();
+                    std::hint::black_box(strategy.rank_into(shards, cart, 10, &mut shard_scratch));
+                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                })
+                .collect();
+            lat_ns.sort_unstable();
+            let (p50, p95, p99) = (
+                percentile_us(&lat_ns, 50.0),
+                percentile_us(&lat_ns, 95.0),
+                percentile_us(&lat_ns, 99.0),
+            );
+            if num_shards == 1 && *internal == "BestMatch" {
+                sharded_best_match_p95_n1_us = p95;
+            }
+            eprintln!(
+                "  {num_shards} shard(s) {internal:<10} p50 {p50:.0} µs, p95 {p95:.0} µs, \
+                 p99 {p99:.0} µs"
+            );
+            per_strategy.push(serde_json::json!({
+                "strategy": *internal,
+                "requests": fm.carts.len(),
+                "p50_us": p50,
+                "p95_us": p95,
+                "p99_us": p99,
+            }));
+        }
+        // End-to-end serving throughput at this shard count: a short
+        // keep-alive window against a live server routing through the
+        // scatter-gather path (0 shards = unsharded baseline elsewhere).
+        let tp = run_phase(
+            ServerConfig::default().workers,
+            ServerConfig::default().queue_depth,
+            num_shards,
+            clients,
+            seconds.min(2.0),
+            keep_alive_client,
+        );
+        eprintln!("  {num_shards} shard(s) serving: {}", tp.summary);
+        shard_reports.push(serde_json::json!({
+            "shards": num_shards,
+            "partition_mode": "hash",
+            "build_ms": build_ms,
+            "strategy_latency": per_strategy,
+            "throughput": tp.value,
+        }));
+    }
+
+    // Phase 4: the keep-alive serving phase, workers allocation-free
     // after warm-up.
     // Best of three windows: a closed-loop load test only loses
     // throughput to scheduler noise (this gate must not flap on shared
     // CI runners), so the best window is the machine's capability.
-    eprintln!("phase 3/3: keep-alive serving throughput — {clients} clients, best of 3 windows");
+    eprintln!("phase 4/4: keep-alive serving throughput — {clients} clients, best of 3 windows");
     let mut phase = None::<PhaseOutcome>;
     for window in 1..=3 {
         let run = run_phase(
             ServerConfig::default().workers,
             ServerConfig::default().queue_depth,
+            0,
             clients,
             seconds,
             keep_alive_client,
@@ -800,15 +1049,18 @@ fn perf(clients: usize, seconds: f64, out: &std::path::Path) {
     let guardrails = serde_json::json!({
         "best_match_p95_us": best_match_p95_us,
         "best_match_p95_limit_us": 1_000.0,
+        "sharded_best_match_p95_n1_us": sharded_best_match_p95_n1_us,
+        "sharded_overhead_limit": SHARD_OVERHEAD_LIMIT,
         "req_per_s": req_per_s,
         "req_per_s_floor": floor,
         "baseline_req_per_s": PERF_BASELINE_KEEPALIVE_RPS,
         "pr3_baseline_req_per_s": PR3_BASELINE_KEEPALIVE_RPS,
     });
     let report = serde_json::json!({
-        "bench": "goalrec perf — request-scoped tracing on the hot path",
+        "bench": "goalrec perf — sharded scatter-gather on the hot path",
         "build": build_report,
         "strategy_latency": strategy_reports,
+        "sharded_latency": shard_reports,
         "throughput": phase.value,
         "guardrails": guardrails,
     });
@@ -821,6 +1073,14 @@ fn perf(clients: usize, seconds: f64, out: &std::path::Path) {
     if best_match_p95_us >= 1_000.0 {
         eprintln!(
             "PERF REGRESSION: BestMatch p95 {best_match_p95_us:.0} µs breaches the 1 ms budget"
+        );
+        failed = true;
+    }
+    if sharded_best_match_p95_n1_us > best_match_p95_us * SHARD_OVERHEAD_LIMIT {
+        eprintln!(
+            "PERF REGRESSION: single-shard BestMatch p95 {sharded_best_match_p95_n1_us:.0} µs \
+             costs more than {SHARD_OVERHEAD_LIMIT}x the unsharded path \
+             ({best_match_p95_us:.0} µs) — the scatter-gather overhead budget is 10%"
         );
         failed = true;
     }
@@ -844,6 +1104,7 @@ fn main() {
     let mut is_smoke = false;
     let mut is_chaos = false;
     let mut is_perf = false;
+    let mut shards = 0usize;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -863,6 +1124,11 @@ fn main() {
                     .unwrap_or_else(|_| usage("--seconds expects a number"))
             }
             "--out" => out = Some(value("--out").into()),
+            "--shards" => {
+                shards = value("--shards")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--shards expects a number"))
+            }
             "--smoke" => is_smoke = true,
             "--chaos-smoke" => is_chaos = true,
             "--perf" => is_perf = true,
@@ -880,16 +1146,21 @@ fn main() {
 
     if is_chaos {
         chaos_smoke();
+        sharded_chaos();
         println!(
-            "loadgen --chaos-smoke: faulted reloads rolled back, traffic unharmed, \
-             clean reload bumped the generation"
+            "loadgen --chaos-smoke: faulted reloads rolled back (whole-model and per-shard), \
+             traffic unharmed, clean reloads bumped the generations"
         );
         return;
     }
 
     if is_smoke {
-        smoke();
-        println!("loadgen --smoke: all probes ok, graceful drain ok");
+        smoke(shards);
+        if shards > 0 {
+            println!("loadgen --smoke ({shards} shards): all probes ok, graceful drain ok");
+        } else {
+            println!("loadgen --smoke: all probes ok, graceful drain ok");
+        }
         return;
     }
 
@@ -897,6 +1168,7 @@ fn main() {
     let throughput_phase = run_phase(
         ServerConfig::default().workers,
         ServerConfig::default().queue_depth,
+        0,
         clients,
         seconds,
         keep_alive_client,
@@ -909,7 +1181,7 @@ fn main() {
         eprintln!(
             "phase 2/2: overload sweep — queue depth {depth}, 2 workers, 16 reconnecting clients"
         );
-        let phase = run_phase(2, depth, 16, seconds.min(2.0), reconnect_client);
+        let phase = run_phase(2, depth, 0, 16, seconds.min(2.0), reconnect_client);
         eprintln!("  {}", phase.summary);
         sweep.push(phase.value);
     }
@@ -930,7 +1202,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: loadgen [--clients N] [--seconds S] [--out FILE] [--smoke] [--chaos-smoke] [--perf]"
+        "usage: loadgen [--clients N] [--seconds S] [--out FILE] [--smoke [--shards N]] \
+         [--chaos-smoke] [--perf]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

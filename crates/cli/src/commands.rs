@@ -39,7 +39,8 @@ const USAGE: &str = "usage:\n  \
 [--strategy breadth|best-match|focus-cmp|focus-cl] [--k N] [--explain]\n  \
     goalrec serve     --library FILE.jsonl [--addr HOST] [--port N] [--workers N] \
 [--queue-depth N] [--deadline-ms N] [--idle-ms N] [--no-trace] \
-[--trace-sample-every N] [--access-log] [--access-log-every N]\n  \
+[--trace-sample-every N] [--access-log] [--access-log-every N] \
+[--shards N] [--shard-mode hash|balanced]\n  \
     goalrec demo";
 
 fn generate(args: &Args) -> CmdResult {
@@ -311,6 +312,11 @@ fn serve(args: &Args) -> CmdResult {
         usize::try_from(cfg.access_log_every).unwrap_or(0),
     )?)
     .unwrap_or(u64::MAX);
+    cfg.shards = args.num("shards", cfg.shards)?;
+    if let Some(mode) = args.flag("shard-mode") {
+        cfg.shard_mode = goalrec_server::PartitionMode::parse(mode)
+            .ok_or_else(|| format!("--shard-mode expects 'hash' or 'balanced', got '{mode}'"))?;
+    }
     // SIGHUP and path-less admin reloads re-read the same file.
     cfg.library_path = args.required("library").ok().map(std::path::PathBuf::from);
     goalrec_server::run_blocking(lib, cfg).map_err(|e| e.to_string())

@@ -300,8 +300,9 @@ impl GoalModel {
     }
 
     /// The distinct goals of a pre-computed implementation set, into a
-    /// caller-owned buffer (cleared first).
-    pub(crate) fn goals_of_impls_into(&self, impls: &[u32], out: &mut Vec<u32>) {
+    /// caller-owned buffer (cleared first). Public so the scatter-gather
+    /// layer can reproduce each shard's goal space exactly.
+    pub fn goals_of_impls_into(&self, impls: &[u32], out: &mut Vec<u32>) {
         out.clear();
         out.extend(impls.iter().map(|&p| self.impl_goal[p as usize]));
         setops::normalize(out);
@@ -318,13 +319,9 @@ impl GoalModel {
     }
 
     /// [`GoalModel::action_space`] from a pre-computed `IS(H)`, into a
-    /// caller-owned buffer (cleared first).
-    pub(crate) fn action_space_into(
-        &self,
-        activity: &[u32],
-        impl_space: &[u32],
-        out: &mut Vec<u32>,
-    ) {
+    /// caller-owned buffer (cleared first). Public so the scatter-gather
+    /// layer can enumerate per-shard candidate sets without allocating.
+    pub fn action_space_into(&self, activity: &[u32], impl_space: &[u32], out: &mut Vec<u32>) {
         out.clear();
         for &p in impl_space {
             out.extend_from_slice(self.impl_actions.row(p as usize));

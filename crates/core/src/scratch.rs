@@ -198,6 +198,25 @@ impl Scratch {
     pub fn out(&self) -> &[Scored] {
         &self.out
     }
+
+    /// The `(score, impl_id)` ranking left by the last
+    /// [`crate::strategies::Focus::rank_impls_into`] call on this arena,
+    /// sorted score-descending with ascending-id tie-break. The
+    /// scatter-gather layer reads per-shard rankings through this to
+    /// k-way-merge them without copying.
+    pub fn scored_impls(&self) -> &[(f64, u32)] {
+        &self.scored_impls
+    }
+
+    /// Clears the per-request result buffers (`out`, `scored_impls`)
+    /// without touching the backing allocations. The scatter-gather layer
+    /// calls this before each shard's scatter phase so a shard that has no
+    /// model this generation can never leak the previous request's results
+    /// into the merge.
+    pub fn clear_results(&mut self) {
+        self.out.clear();
+        self.scored_impls.clear();
+    }
 }
 
 thread_local! {

@@ -84,6 +84,41 @@ impl Focus {
             out,
         );
     }
+
+    /// The implementation-ranking half of [`Strategy::rank_into`]: finds
+    /// and scores the candidate implementations, leaving them sorted by
+    /// the measure (tie-break: ascending implementation id) in
+    /// [`Scratch::scored_impls`], and returns how many were scored.
+    ///
+    /// The scatter-gather layer calls this per shard and replays the fill
+    /// loop over a k-way merge of the per-shard rankings, which is what
+    /// keeps sharded Focus bit-identical to the unsharded path.
+    pub fn rank_impls_into(&self, model: &GoalModel, activity: &Activity, scratch: &mut Scratch) {
+        let h = activity.raw();
+        let Scratch {
+            impl_space,
+            space,
+            candidates,
+            scored_impls,
+            ..
+        } = scratch;
+        Self::candidate_impls_into(model, h, impl_space, space, candidates);
+
+        // Rank candidate implementations by the measure; deterministic
+        // tie-break by implementation id (the comparator is total — scores
+        // are never NaN — so the allocation-free unstable sort produces
+        // the same order as a stable one).
+        scored_impls.clear();
+        scored_impls.extend(candidates.iter().filter_map(|&p| {
+            self.score_impl(model.impl_actions(ImplId::new(p)), h)
+                .map(|s| (s, p))
+        }));
+        scored_impls.sort_unstable_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.1.cmp(&b.1))
+        });
+    }
 }
 
 impl Strategy for Focus {
@@ -122,10 +157,8 @@ impl Strategy for Focus {
             return 0;
         }
         let h = activity.raw();
+        self.rank_impls_into(model, activity, scratch);
         let Scratch {
-            impl_space,
-            space,
-            candidates,
             scored_impls,
             seen,
             remaining,
@@ -133,23 +166,6 @@ impl Strategy for Focus {
             phase,
             ..
         } = scratch;
-
-        Self::candidate_impls_into(model, h, impl_space, space, candidates);
-
-        // Rank candidate implementations by the measure; deterministic
-        // tie-break by implementation id (the comparator is total — scores
-        // are never NaN — so the allocation-free unstable sort produces
-        // the same order as a stable one).
-        scored_impls.clear();
-        scored_impls.extend(candidates.iter().filter_map(|&p| {
-            self.score_impl(model.impl_actions(ImplId::new(p)), h)
-                .map(|s| (s, p))
-        }));
-        scored_impls.sort_unstable_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.1.cmp(&b.1))
-        });
         // Focus scores implementations, not actions: report those.
         let num_candidates = scored_impls.len();
         phase.mark(); // implementations ranked; fill loop next

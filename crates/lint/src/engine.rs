@@ -286,7 +286,11 @@ fn apply_suppressions(file: &str, lexed: &Lexed, raw: Vec<Finding>) -> Vec<Findi
 }
 
 /// The README half of `metric-name-registry`: every registered name must
-/// appear in the README's Observability table and vice versa.
+/// appear in the README's Observability table and vice versa. A registry
+/// name also counts as documented when it matches a documented *pattern*
+/// row — `span.shard.3` is covered by `span.shard.<i>` — so pre-expanded
+/// per-instance names (arrays of `&'static str` for hot-path use) need one
+/// pattern row, not one row per expansion.
 fn registry_readme_drift(
     registry: &[(String, u32)],
     documented: &[(String, u32)],
@@ -294,8 +298,11 @@ fn registry_readme_drift(
 ) {
     let documented_set: BTreeSet<&str> = documented.iter().map(|(n, _)| n.as_str()).collect();
     let registry_set: BTreeSet<&str> = registry.iter().map(|(n, _)| n.as_str()).collect();
+    let covered = |name: &str| {
+        documented_set.contains(name) || documented_set.iter().any(|pat| pattern_covers(pat, name))
+    };
     for (name, line) in registry {
-        if !documented_set.contains(name.as_str()) {
+        if !covered(name.as_str()) {
             findings.push(Finding {
                 rule: METRIC_NAME_REGISTRY,
                 file: METRIC_REGISTRY_PATH.to_owned(),
@@ -307,6 +314,9 @@ fn registry_readme_drift(
             });
         }
     }
+    // Pattern rows themselves must still exist verbatim in the registry
+    // (the registry keeps the `<placeholder>` form as its own constant),
+    // so the reverse direction stays an exact check.
     for (name, line) in documented {
         if !registry_set.contains(name.as_str()) {
             findings.push(Finding {
@@ -320,6 +330,27 @@ fn registry_readme_drift(
             });
         }
     }
+}
+
+/// Does the documented pattern (`span.shard.<i>`) cover the concrete
+/// registry name (`span.shard.3`)? Segment-wise: a `<placeholder>`
+/// segment matches exactly one non-empty concrete segment, every other
+/// segment must match verbatim. Patterns without a placeholder never
+/// "cover" anything — exact names are handled by the set lookup.
+fn pattern_covers(pattern: &str, name: &str) -> bool {
+    if !pattern.contains('<') {
+        return false;
+    }
+    let pats: Vec<&str> = pattern.split('.').collect();
+    let segs: Vec<&str> = name.split('.').collect();
+    pats.len() == segs.len()
+        && pats.iter().zip(&segs).all(|(p, s)| {
+            if p.starts_with('<') && p.ends_with('>') {
+                !s.is_empty()
+            } else {
+                p == s
+            }
+        })
 }
 
 #[cfg(test)]
@@ -391,5 +422,33 @@ y.unwrap(); // goalrec-lint:allow(no-such-rule): justified
         assert!(findings[0].message.contains("model.orphan"));
         assert_eq!(findings[1].file, "README.md");
         assert!(findings[1].message.contains("model.ghost"));
+    }
+
+    #[test]
+    fn documented_pattern_rows_cover_expanded_registry_names() {
+        let registry = vec![
+            ("span.shard.<i>".to_owned(), 10),
+            ("span.shard.0".to_owned(), 11),
+            ("span.shard.15".to_owned(), 12),
+            ("span.shard.0.extra".to_owned(), 13),
+        ];
+        let documented = vec![("span.shard.<i>".to_owned(), 5)];
+        let mut findings = Vec::new();
+        registry_readme_drift(&registry, &documented, &mut findings);
+        // The pattern row covers its expansions but not a deeper name.
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("span.shard.0.extra"));
+    }
+
+    #[test]
+    fn pattern_covers_is_segment_exact() {
+        assert!(pattern_covers("span.shard.<i>", "span.shard.3"));
+        assert!(pattern_covers(
+            "strategy.<name>.requests",
+            "strategy.Breadth.requests"
+        ));
+        assert!(!pattern_covers("span.shard.<i>", "span.shard"));
+        assert!(!pattern_covers("span.shard.<i>", "span.reload.load"));
+        assert!(!pattern_covers("span.shard.3", "span.shard.3"));
     }
 }

@@ -56,6 +56,7 @@ pub const LIBRARY_CRATES: &[&str] = &[
     "faults",
     "obs",
     "server",
+    "shard",
     "textmine",
 ];
 

@@ -127,6 +127,26 @@ pub fn server_route_requests(route: &str) -> String {
 }
 
 // ---------------------------------------------------------------------
+// Sharded scatter-gather serving (`goalrec-serve --shards N`).
+// ---------------------------------------------------------------------
+
+/// Pattern — counter: recommend requests scattered to one shard.
+pub const SHARD_REQUESTS: &str = "shard.<i>.requests";
+/// Pattern — histogram (ns): one shard's scatter-phase latency (its part
+/// of the per-request fan-out, before the global merge).
+pub const SHARD_LATENCY: &str = "shard.<i>.latency";
+
+/// `shard.<i>.requests` for a concrete shard index.
+pub fn shard_requests(i: usize) -> String {
+    expand(SHARD_REQUESTS, &i.to_string())
+}
+
+/// `shard.<i>.latency` for a concrete shard index.
+pub fn shard_latency(i: usize) -> String {
+    expand(SHARD_LATENCY, &i.to_string())
+}
+
+// ---------------------------------------------------------------------
 // Trace span names (`TraceContext` spans; same registry discipline as
 // metric names — the `span` namespace is protected by `goalrec-lint`).
 // ---------------------------------------------------------------------
@@ -153,6 +173,41 @@ pub const SPAN_RELOAD_VALIDATE: &str = "span.reload.validate";
 /// Span: `GoalModel::build` plus recommender construction (reloads and
 /// first boot).
 pub const SPAN_MODEL_BUILD: &str = "span.model_build";
+/// Pattern — child span of `span.rank`: one shard's scatter phase inside
+/// a sharded recommend.
+pub const SPAN_SHARD: &str = "span.shard.<i>";
+
+/// How many shards get individually named `span.shard.<i>` spans and
+/// pre-expanded static names; the server clamps `--shards` to this.
+pub const MAX_NAMED_SHARDS: usize = 16;
+
+/// Pre-expanded `span.shard.<i>` names: span names must be `&'static
+/// str` (the trace recorder is allocation-free), so the pattern is
+/// expanded at compile time for every shard index the server can run.
+const SPAN_SHARD_NAMES: [&str; MAX_NAMED_SHARDS] = [
+    "span.shard.0",
+    "span.shard.1",
+    "span.shard.2",
+    "span.shard.3",
+    "span.shard.4",
+    "span.shard.5",
+    "span.shard.6",
+    "span.shard.7",
+    "span.shard.8",
+    "span.shard.9",
+    "span.shard.10",
+    "span.shard.11",
+    "span.shard.12",
+    "span.shard.13",
+    "span.shard.14",
+    "span.shard.15",
+];
+
+/// The static `span.shard.<i>` name for shard `i`; indexes past
+/// [`MAX_NAMED_SHARDS`] share the last slot rather than panicking.
+pub fn span_shard(i: usize) -> &'static str {
+    SPAN_SHARD_NAMES[i.min(MAX_NAMED_SHARDS - 1)]
+}
 
 // ---------------------------------------------------------------------
 // Evaluation harness (eval context + `repro`).
@@ -206,6 +261,8 @@ pub const ALL: &[&str] = &[
     SERVER_MODEL_AGE_MS,
     SERVER_TRACE_SAMPLED,
     SERVER_TRACE_TAIL_OCCUPANCY,
+    SHARD_REQUESTS,
+    SHARD_LATENCY,
     SPAN_QUEUE_WAIT,
     SPAN_PARSE,
     SPAN_HANDLE,
@@ -216,6 +273,7 @@ pub const ALL: &[&str] = &[
     SPAN_RELOAD_LOAD,
     SPAN_RELOAD_VALIDATE,
     SPAN_MODEL_BUILD,
+    SPAN_SHARD,
     EVAL_CONTEXT_BUILD,
     EVAL_CONTEXT_FOODMART,
     EVAL_CONTEXT_FORTYTHREE,
@@ -249,7 +307,7 @@ mod tests {
         for name in ALL {
             assert!(seen.insert(*name), "duplicate registry entry {name}");
         }
-        assert_eq!(ALL.len(), 46);
+        assert_eq!(ALL.len(), 49);
     }
 
     #[test]
@@ -285,6 +343,17 @@ mod tests {
             "server.route.healthz.requests"
         );
         assert_eq!(eval_experiment_wall("table6"), "eval.table6.wall");
+        assert_eq!(shard_requests(3), "shard.3.requests");
+        assert_eq!(shard_latency(11), "shard.11.latency");
+    }
+
+    #[test]
+    fn span_shard_table_matches_the_pattern() {
+        for i in 0..MAX_NAMED_SHARDS {
+            assert_eq!(span_shard(i), expand(SPAN_SHARD, &i.to_string()));
+        }
+        // Out-of-range indexes saturate instead of panicking.
+        assert_eq!(span_shard(MAX_NAMED_SHARDS + 5), span_shard(15));
     }
 
     #[test]

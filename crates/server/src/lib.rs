@@ -35,12 +35,15 @@ mod pool;
 pub mod queue;
 pub mod reload;
 pub mod router;
+pub mod shards;
 pub mod shutdown;
 
 pub use error::ServerError;
+pub use goalrec_shard::PartitionMode;
 pub use http::{Limits, Request, Response};
 pub use reload::{ReloadHandle, StateCell};
-pub use router::{AppState, ServeCtx, STRATEGY_NAMES};
+pub use router::{AppState, ServeCtx, WorkerArena, STRATEGY_NAMES};
+pub use shards::{ShardArena, ShardSet, ShardState};
 pub use shutdown::Shutdown;
 
 use goalrec_obs as obs;
@@ -87,6 +90,14 @@ pub struct ServerConfig {
     /// Emit a single-line JSON access-log record for every Nth traced
     /// request per worker; `0` disables the access log entirely.
     pub access_log_every: u64,
+    /// Number of shards to partition the goal library into; `0` (the
+    /// default) serves the classic single-model path. Positive values are
+    /// clamped to `goalrec-obs`'s named-shard budget (16) and route every
+    /// recommend through the scatter-gather merge — bit-identical
+    /// results, per-shard metrics/spans/reload.
+    pub shards: usize,
+    /// How goals are placed onto shards when `shards > 0`.
+    pub shard_mode: PartitionMode,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +117,8 @@ impl Default for ServerConfig {
             trace_enabled: true,
             trace_sample_every: 64,
             access_log_every: 0,
+            shards: 0,
+            shard_mode: PartitionMode::HashGoal,
         }
     }
 }
@@ -181,6 +194,18 @@ pub fn start_with_shutdown(
     config: ServerConfig,
     shutdown: Shutdown,
 ) -> Result<ServerHandle, ServerError> {
+    // The shard plane is built from the same library before it moves into
+    // the global state (every shard keeps the full global id spaces, so
+    // the global model still backs names, stats and id validation).
+    let shard_set = if config.shards > 0 {
+        Some(Arc::new(ShardSet::build(
+            &library,
+            config.shards,
+            config.shard_mode,
+        )?))
+    } else {
+        None
+    };
     let states = Arc::new(StateCell::new(AppState::new(library)?));
     let bind_addr = format!("{}:{}", config.addr, config.port);
     let listener = TcpListener::bind(&bind_addr).map_err(|e| ServerError::Bind {
@@ -207,8 +232,13 @@ pub fn start_with_shutdown(
         shutdown.clone(),
         config.library_path.clone(),
         Arc::clone(&tail),
+        shard_set.clone(),
     )?;
-    let ctx = Arc::new(ServeCtx::new(states, Some(reload.clone())).with_tail(tail));
+    let ctx = Arc::new(
+        ServeCtx::new(states, Some(reload.clone()))
+            .with_tail(tail)
+            .with_shards(shard_set),
+    );
 
     let queue: Arc<Bounded<Conn>> = Arc::new(Bounded::new(config.queue_depth));
     let metrics = Arc::new(ServerMetrics::new());
@@ -331,8 +361,16 @@ pub fn run_blocking(
 ) -> Result<(), ServerError> {
     shutdown::install_signal_handlers();
     let token = Shutdown::watching_signals();
+    let shards = config.shards;
+    let shard_mode = config.shard_mode;
     let handle = start_with_shutdown(library, config, token)?;
     println!("goalrec-serve listening on http://{}", handle.local_addr());
+    if shards > 0 {
+        println!(
+            "serving sharded: {shards} shards ({shard_mode:?} placement), exact k-way merge; \
+             per-shard reload via {{\"shard\": i}}"
+        );
+    }
     println!("  POST /v1/recommend     {{\"activity\": [ids…], \"strategy\": name, \"k\": n}}");
     println!("  POST /v1/admin/reload  hot-swap the model ({{\"path\": file}} or startup file)");
     println!("  GET  /v1/stats         library statistics + metrics snapshot (JSON)");

@@ -6,6 +6,7 @@
 //!               [--queue-depth N] [--deadline-ms N] [--idle-ms N]
 //!               [--no-trace] [--trace-sample-every N]
 //!               [--access-log] [--access-log-every N]
+//!               [--shards N] [--shard-mode hash|balanced]
 //! ```
 //!
 //! Loads the library once, compiles the [`goalrec_core::GoalModel`], and
@@ -13,13 +14,14 @@
 //! exit. The `goalrec serve` CLI subcommand is a thin wrapper over the
 //! same [`goalrec_server::run_blocking`] entry point.
 
-use goalrec_server::ServerConfig;
+use goalrec_server::{PartitionMode, ServerConfig};
 use std::time::Duration;
 
 const USAGE: &str = "usage: goalrec-serve --library FILE[.jsonl|.grlb] \
     [--addr HOST] [--port N] [--workers N] [--queue-depth N] \
     [--deadline-ms N] [--idle-ms N] [--no-trace] [--trace-sample-every N] \
-    [--access-log] [--access-log-every N]";
+    [--access-log] [--access-log-every N] \
+    [--shards N] [--shard-mode hash|balanced]";
 
 fn parse_args(argv: &[String]) -> Result<(String, ServerConfig), String> {
     let mut config = ServerConfig::default();
@@ -56,6 +58,13 @@ fn parse_args(argv: &[String]) -> Result<(String, ServerConfig), String> {
             "--access-log-every" => {
                 config.access_log_every =
                     parse_num(value("--access-log-every")?, "--access-log-every")?
+            }
+            "--shards" => config.shards = parse_num(value("--shards")?, "--shards")?,
+            "--shard-mode" => {
+                let raw = value("--shard-mode")?;
+                config.shard_mode = PartitionMode::parse(raw).ok_or_else(|| {
+                    format!("--shard-mode expects 'hash' or 'balanced', got '{raw}'")
+                })?
             }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
@@ -122,6 +131,10 @@ mod tests {
             "16",
             "--access-log-every",
             "32",
+            "--shards",
+            "4",
+            "--shard-mode",
+            "balanced",
         ]))
         .unwrap();
         assert_eq!(lib, "x.jsonl");
@@ -134,6 +147,17 @@ mod tests {
         assert!(!cfg.trace_enabled);
         assert_eq!(cfg.trace_sample_every, 16);
         assert_eq!(cfg.access_log_every, 32);
+        assert_eq!(cfg.shards, 4);
+        assert!(matches!(cfg.shard_mode, PartitionMode::BalancedMass));
+    }
+
+    #[test]
+    fn defaults_unsharded_and_rejects_bad_shard_modes() {
+        let (_, cfg) = parse_args(&args(&["--library", "x.jsonl"])).unwrap();
+        assert_eq!(cfg.shards, 0);
+        assert!(matches!(cfg.shard_mode, PartitionMode::HashGoal));
+        assert!(parse_args(&args(&["--library", "x", "--shards", "two"])).is_err());
+        assert!(parse_args(&args(&["--library", "x", "--shard-mode", "zig"])).is_err());
     }
 
     #[test]

@@ -22,9 +22,8 @@ use crate::debug::{self, InflightSlot};
 use crate::error::ServerError;
 use crate::http::{self, HttpReader, Limits, Response};
 use crate::queue::{Bounded, Pop};
-use crate::router::{self, ServeCtx};
+use crate::router::{self, ServeCtx, WorkerArena};
 use crate::shutdown::Shutdown;
-use goalrec_core::Scratch;
 use goalrec_obs::{self as obs, names};
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -150,9 +149,9 @@ impl Write for ConnStream {
 
 /// The worker thread body: drain connections until the queue is closed
 /// *and* empty — exactly the graceful-drain contract. Each worker owns one
-/// [`Scratch`] arena and one reusable [`obs::TraceContext`] for the whole
+/// [`WorkerArena`] and one reusable [`obs::TraceContext`] for the whole
 /// loop, so recommend requests rank (and trace) into warm buffers instead
-/// of allocating per request.
+/// of allocating per request, on both the unsharded and sharded paths.
 pub(crate) fn worker_loop(
     worker: usize,
     ctx: Arc<ServeCtx>,
@@ -161,7 +160,7 @@ pub(crate) fn worker_loop(
     metrics: Arc<ServerMetrics>,
     policy: ConnPolicy,
 ) {
-    let mut scratch = Scratch::new();
+    let mut arena = WorkerArena::new();
     let mut trace = obs::TraceContext::new(policy.trace_enabled);
     let mut wobs = WorkerObs {
         tail: Arc::clone(ctx.tail()),
@@ -172,14 +171,7 @@ pub(crate) fn worker_loop(
     loop {
         match queue.pop(QUEUE_POLL) {
             Pop::Item(conn) => handle_connection(
-                conn,
-                &ctx,
-                &shutdown,
-                &metrics,
-                &policy,
-                &mut scratch,
-                &mut trace,
-                &mut wobs,
+                conn, &ctx, &shutdown, &metrics, &policy, &mut arena, &mut trace, &mut wobs,
             ),
             Pop::Empty => {}
             Pop::Closed => break,
@@ -264,7 +256,7 @@ fn handle_connection(
     shutdown: &Shutdown,
     metrics: &ServerMetrics,
     policy: &ConnPolicy,
-    scratch: &mut Scratch,
+    arena: &mut WorkerArena,
     trace: &mut obs::TraceContext,
     wobs: &mut WorkerObs,
 ) {
@@ -394,7 +386,7 @@ fn handle_connection(
                 } else {
                     wobs.slot.set_stage(debug::STAGE_HANDLE);
                     let handling = trace.start_span(names::SPAN_HANDLE);
-                    let routed = router::handle(ctx, &request, scratch, trace);
+                    let routed = router::handle(ctx, &request, arena, trace);
                     trace.end_span(handling);
                     let mut response = match routed {
                         Ok(resp) => resp,

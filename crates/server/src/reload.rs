@@ -21,12 +21,21 @@
 //! any failure (missing file, torn write, injected fault, corrupt model)
 //! leaves the previous generation serving. The `server.reload.*` metrics
 //! and the `server.model_generation` gauge record every attempt.
+//!
+//! On a sharded server the supervisor also owns the [`ShardSet`]: a full
+//! reload rebuilds and validates **every** sub-model before swapping any
+//! of them (all-or-nothing, in lockstep with the global state), and a
+//! targeted `{"shard": i}` reload rebuilds and swaps cell `i` alone — a
+//! failure there rolls back that one shard while every other shard keeps
+//! serving untouched.
 
 use crate::error::ServerError;
 use crate::queue::{Bounded, Pop, TryPush};
 use crate::router::AppState;
+use crate::shards::ShardSet;
 use crate::shutdown::{self, Shutdown};
 use goalrec_obs::{self as obs, names};
+use goalrec_shard::ShardModel;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
@@ -75,8 +84,10 @@ type DoneSlot = Arc<(Mutex<Option<ReloadResult>>, Condvar)>;
 
 /// One queued reload request. `done` is `None` for fire-and-forget
 /// requests (`SIGHUP`), `Some` when a caller is waiting for the outcome.
+/// `shard` targets a single shard cell; `None` reloads everything.
 struct ReloadJob {
     path: PathBuf,
+    shard: Option<usize>,
     done: Option<DoneSlot>,
 }
 
@@ -96,11 +107,24 @@ impl ReloadHandle {
 
     /// Submits a reload of `path` and blocks until the supervisor reports
     /// the outcome: the new generation on success, the error (with the
-    /// old generation still serving) on failure.
+    /// old generation still serving) on failure. On a sharded server the
+    /// shard cells move in lockstep with the global state.
     pub fn reload_blocking(&self, path: PathBuf) -> ReloadResult {
+        self.submit(path, None)
+    }
+
+    /// Submits a reload of **only** `shard` from `path` and blocks for
+    /// the outcome: that shard's new generation on success. The global
+    /// state and every other shard are untouched either way.
+    pub fn reload_shard_blocking(&self, path: PathBuf, shard: usize) -> ReloadResult {
+        self.submit(path, Some(shard))
+    }
+
+    fn submit(&self, path: PathBuf, shard: Option<usize>) -> ReloadResult {
         let done: DoneSlot = Arc::new((Mutex::new(None), Condvar::new()));
         let job = ReloadJob {
             path,
+            shard,
             done: Some(Arc::clone(&done)),
         };
         match self.queue.try_push(job) {
@@ -155,6 +179,7 @@ pub(crate) fn spawn_reloader(
     shutdown: Shutdown,
     default_path: Option<PathBuf>,
     tail: Arc<obs::TailSampler>,
+    shards: Option<Arc<ShardSet>>,
 ) -> Result<(ReloadHandle, JoinHandle<()>), ServerError> {
     let queue: Arc<Bounded<ReloadJob>> = Arc::new(Bounded::new(RELOAD_QUEUE_DEPTH));
     let handle = ReloadHandle {
@@ -166,7 +191,7 @@ pub(crate) fn spawn_reloader(
     obs::gauge(names::SERVER_MODEL_GENERATION).set(cell.load().generation() as f64);
     let thread = std::thread::Builder::new()
         .name("goalrec-reload".to_owned())
-        .spawn(move || reloader_loop(cell, queue, shutdown, default_path, tail))
+        .spawn(move || reloader_loop(cell, queue, shutdown, default_path, tail, shards))
         .map_err(|e| ServerError::Io {
             context: "spawning reload thread",
             detail: e.to_string(),
@@ -199,6 +224,7 @@ fn reloader_loop(
     shutdown: Shutdown,
     default_path: Option<PathBuf>,
     tail: Arc<obs::TailSampler>,
+    shards: Option<Arc<ShardSet>>,
 ) {
     let metrics = ReloadMetrics::new();
     metrics.generation.set(cell.load().generation() as f64);
@@ -206,7 +232,12 @@ fn reloader_loop(
     loop {
         match queue.pop(RELOAD_POLL) {
             Pop::Item(job) => {
-                let result = attempt(&cell, &job.path, &metrics, &tail);
+                let result = match job.shard {
+                    Some(shard) => {
+                        attempt_shard(&cell, shards.as_deref(), &job.path, shard, &metrics, &tail)
+                    }
+                    None => attempt(&cell, shards.as_deref(), &job.path, &metrics, &tail),
+                };
                 if let Some(done) = job.done {
                     let (slot, ready) = &*done;
                     *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
@@ -219,7 +250,7 @@ fn reloader_loop(
                     seen_hups = hups;
                     match &default_path {
                         Some(path) => {
-                            let _ = attempt(&cell, path, &metrics, &tail);
+                            let _ = attempt(&cell, shards.as_deref(), path, &metrics, &tail);
                         }
                         None => eprintln!(
                             "goalrec-serve: SIGHUP received but no library file is \
@@ -238,11 +269,15 @@ fn reloader_loop(
     }
 }
 
-/// One reload attempt: build-and-validate off to the side, swap only on
-/// success, roll back (i.e. do nothing) on any failure. The whole attempt
-/// is traced under the `reload` route and retained by the tail sampler.
+/// One full reload attempt: build-and-validate off to the side, swap only
+/// on success, roll back (i.e. do nothing) on any failure. On a sharded
+/// server every sub-model is rebuilt and validated before anything swaps,
+/// then the global state and all shard cells move together. The whole
+/// attempt is traced under the `reload` route and retained by the tail
+/// sampler.
 fn attempt(
     cell: &Arc<StateCell>,
+    shards: Option<&ShardSet>,
     path: &Path,
     metrics: &ReloadMetrics,
     tail: &obs::TailSampler,
@@ -252,14 +287,17 @@ fn attempt(
     let mut trace = obs::TraceContext::new(true);
     trace.begin(obs::fresh_trace_id(), t0);
     trace.set_route("reload");
-    let loaded = load_state(cell, path, &mut trace);
+    let loaded = load_state(cell, shards, path, &mut trace);
     metrics
         .latency
         .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
     let result = match loaded {
-        Ok(next) => {
+        Ok((next, parts)) => {
             let generation = next.generation();
             cell.swap(next);
+            if let (Some(set), Some(parts)) = (shards, parts) {
+                set.swap_all(parts);
+            }
             metrics.generation.set(generation as f64);
             trace.set_generation(generation);
             trace.finish(200);
@@ -286,11 +324,67 @@ fn attempt(
     result
 }
 
+/// One targeted attempt: rebuild a single shard's sub-model from `path`
+/// and swap only that cell. The global state and every other shard are
+/// untouched — a failure rolls back this one shard alone, and the
+/// `server.model_generation` gauge keeps tracking the global state.
+fn attempt_shard(
+    cell: &Arc<StateCell>,
+    shards: Option<&ShardSet>,
+    path: &Path,
+    shard: usize,
+    metrics: &ReloadMetrics,
+    tail: &obs::TailSampler,
+) -> ReloadResult {
+    metrics.attempts.inc();
+    let t0 = Instant::now();
+    let mut trace = obs::TraceContext::new(true);
+    trace.begin(obs::fresh_trace_id(), t0);
+    trace.set_route("reload");
+    let loaded = match shards {
+        Some(set) => load_shard(set, path, shard, &mut trace).map(|part| (set, part)),
+        None => Err(ServerError::BadRequest(
+            "this server is not sharded; reload without 'shard'".to_owned(),
+        )),
+    };
+    metrics
+        .latency
+        .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    let result = match loaded {
+        Ok((set, part)) => {
+            let generation = set.swap_shard(shard, part);
+            trace.set_generation(generation);
+            trace.finish(200);
+            eprintln!(
+                "goalrec-serve: reloaded shard {shard} from {} (shard generation \
+                 {generation}, trace {})",
+                path.display(),
+                trace.id()
+            );
+            Ok(generation)
+        }
+        Err(err) => {
+            metrics.failures.inc();
+            trace.set_generation(cell.load().generation());
+            trace.finish(500);
+            eprintln!(
+                "goalrec-serve: shard {shard} reload of {} failed ({err}); the previous \
+                 shard snapshot keeps serving",
+                path.display()
+            );
+            Err(err)
+        }
+    };
+    tail.offer(&trace.snapshot());
+    result
+}
+
 fn load_state(
     cell: &StateCell,
+    shards: Option<&ShardSet>,
     path: &Path,
     trace: &mut obs::TraceContext,
-) -> Result<Arc<AppState>, ServerError> {
+) -> Result<(Arc<AppState>, Option<Vec<ShardModel>>), ServerError> {
     // Spans close on the error paths too, so a failed attempt's trace
     // still accounts for the time the failing phase consumed.
     let load = trace.start_span(names::SPAN_RELOAD_LOAD);
@@ -298,6 +392,13 @@ fn load_state(
         .map_err(|e| ServerError::ReloadFailed(format!("cannot load {}: {e}", path.display())));
     trace.end_span(load);
     let library = library?;
+    // Rebuild and validate every shard before the library moves into the
+    // global state: a sub-model failure rolls the whole attempt back with
+    // the shard cells untouched.
+    let parts = match shards {
+        Some(set) => Some(set.rebuild_all(&library)?),
+        None => None,
+    };
     let next_generation = cell.load().generation() + 1;
     let state = AppState::with_generation_traced(library, next_generation, trace)
         .map_err(|e| ServerError::ReloadFailed(format!("model rebuild failed: {e}")))?;
@@ -308,7 +409,23 @@ fn load_state(
         .map_err(|e| ServerError::ReloadFailed(format!("model failed validation: {e}")));
     trace.end_span(validate);
     validated?;
-    Ok(Arc::new(state))
+    Ok((Arc::new(state), parts))
+}
+
+fn load_shard(
+    set: &ShardSet,
+    path: &Path,
+    shard: usize,
+    trace: &mut obs::TraceContext,
+) -> Result<ShardModel, ServerError> {
+    let load = trace.start_span(names::SPAN_RELOAD_LOAD);
+    let library = goalrec_datasets::io::read_library_auto(path)
+        .map_err(|e| ServerError::ReloadFailed(format!("cannot load {}: {e}", path.display())));
+    trace.end_span(load);
+    let library = library?;
+    // `rebuild_shard` re-partitions under the set's policy and validates
+    // the target sub-model before anything is swapped.
+    set.rebuild_shard(&library, shard)
 }
 
 #[cfg(test)]
@@ -360,6 +477,7 @@ mod tests {
             shutdown.clone(),
             None,
             Arc::clone(&sampler),
+            None,
         )
         .unwrap();
 
@@ -409,9 +527,80 @@ mod tests {
     fn closed_supervisor_refuses_new_reloads() {
         let cell = Arc::new(StateCell::new(AppState::new(library("x")).unwrap()));
         let shutdown = Shutdown::new();
-        let (handle, thread) = spawn_reloader(cell, shutdown, None, tail()).unwrap();
+        let (handle, thread) = spawn_reloader(cell, shutdown, None, tail(), None).unwrap();
         handle.close();
         let _ = thread.join();
         assert!(handle.reload_blocking(tmp("never.jsonl")).is_err());
+    }
+
+    #[test]
+    fn sharded_reload_swaps_per_shard_and_in_lockstep() {
+        let good = tmp("reload-sharded-good.jsonl");
+        goalrec_datasets::io::write_library_jsonl(&library("fresh"), &good).unwrap();
+        let lib = library("old");
+        let set =
+            Arc::new(ShardSet::build(&lib, 2, goalrec_shard::PartitionMode::HashGoal).unwrap());
+        let cell = Arc::new(StateCell::new(AppState::new(lib).unwrap()));
+        let shutdown = Shutdown::new();
+        let (handle, thread) = spawn_reloader(
+            Arc::clone(&cell),
+            shutdown.clone(),
+            None,
+            tail(),
+            Some(Arc::clone(&set)),
+        )
+        .unwrap();
+
+        // A targeted reload bumps only shard 1; the global state and
+        // shard 0 stay on their generations.
+        let generation = handle.reload_shard_blocking(good.clone(), 1).unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(set.load(0).unwrap().generation(), 1);
+        assert_eq!(set.load(1).unwrap().generation(), 2);
+        assert_eq!(cell.load().generation(), 1);
+
+        // An out-of-range shard is a typed error and nothing moves.
+        assert!(matches!(
+            handle.reload_shard_blocking(good.clone(), 9),
+            Err(ServerError::BadRequest(_))
+        ));
+        assert_eq!(set.min_generation(), 1);
+
+        // A failed targeted reload rolls back that shard alone.
+        assert!(handle
+            .reload_shard_blocking(tmp("reload-sharded-missing.jsonl"), 0)
+            .is_err());
+        assert_eq!(set.load(0).unwrap().generation(), 1);
+        assert_eq!(set.load(1).unwrap().generation(), 2);
+
+        // A full reload moves the global state and every shard together,
+        // each shard bumping from wherever it was.
+        let generation = handle.reload_blocking(good).unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(cell.load().generation(), 2);
+        assert_eq!(set.load(0).unwrap().generation(), 2);
+        assert_eq!(set.load(1).unwrap().generation(), 3);
+
+        shutdown.request();
+        handle.close();
+        let _ = thread.join();
+    }
+
+    #[test]
+    fn targeted_reload_on_an_unsharded_server_is_rejected() {
+        let good = tmp("reload-unsharded-target.jsonl");
+        goalrec_datasets::io::write_library_jsonl(&library("fresh"), &good).unwrap();
+        let cell = Arc::new(StateCell::new(AppState::new(library("x")).unwrap()));
+        let shutdown = Shutdown::new();
+        let (handle, thread) =
+            spawn_reloader(Arc::clone(&cell), shutdown.clone(), None, tail(), None).unwrap();
+        assert!(matches!(
+            handle.reload_shard_blocking(good, 0),
+            Err(ServerError::BadRequest(_))
+        ));
+        assert_eq!(cell.load().generation(), 1);
+        shutdown.request();
+        handle.close();
+        let _ = thread.join();
     }
 }

@@ -8,7 +8,7 @@
 //! | `/metrics` | GET | `goalrec-obs` snapshot, text form |
 //! | `/v1/stats` | GET | [`StatsReport`] JSON (same shape as `goalrec stats --json`) |
 //! | `/v1/recommend` | POST | ranked actions for an activity |
-//! | `/v1/admin/reload` | POST | hot-swap the model from `{"path": …}` (or the startup file) |
+//! | `/v1/admin/reload` | POST | hot-swap the model from `{"path": …, "shard": …}` (or the startup file) |
 //!
 //! The recommend body is `{"activity": [u32, …], "strategy": "breadth" |
 //! "best-match" | "focus-cmp" | "focus-cl", "k": usize}` with `strategy`
@@ -17,21 +17,28 @@
 //! envelopes, so nothing in here can abort a worker.
 //!
 //! Workers hand requests to [`handle`] with a [`ServeCtx`] and their own
-//! [`Scratch`] arena; the handler loads one [`AppState`] snapshot up
+//! [`WorkerArena`]; the handler loads one [`AppState`] snapshot up
 //! front, so a hot reload landing mid-request never changes the model a
 //! request is being answered from, and the ranking pass reuses the
 //! worker's arena so steady-state recommends never touch the allocator.
+//!
+//! When the context carries a [`ShardSet`] (`--shards N`), the recommend
+//! route scatters across per-shard snapshots and k-way merges instead of
+//! ranking the global model — same wire shape, bit-identical results —
+//! and `/healthz` + `/v1/stats` report the per-shard generation vector.
 
 use crate::debug::InflightRegistry;
 use crate::error::ServerError;
 use crate::http::{Request, Response};
 use crate::reload::{ReloadHandle, StateCell};
+use crate::shards::{ShardArena, ShardSet};
 use goalrec_core::ids::ActionId;
 use goalrec_core::{
     Activity, BestMatch, Breadth, Focus, FocusVariant, GoalLibrary, GoalModel, GoalRecommender,
-    LibraryStats, Scratch, StatsReport,
+    LibraryStats, Scored, Scratch, StatsReport,
 };
 use goalrec_obs::{self as obs, names};
+use goalrec_shard::ShardStrategy;
 use serde_json::Value;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -164,6 +171,11 @@ pub struct ServeCtx {
     tail: Arc<obs::TailSampler>,
     inflight: Arc<InflightRegistry>,
     started: Instant,
+    /// The sharded serving plane; `None` runs the classic single-model
+    /// path. When set, `POST /v1/recommend` scatters across the shard
+    /// cells and k-way merges, and `/healthz` + `/v1/stats` report the
+    /// per-shard generation vector.
+    shards: Option<Arc<ShardSet>>,
     /// Per-route request counters, resolved once at construction and
     /// indexed in lockstep with [`ROUTES`] — `handle` must not pay the
     /// registry's name formatting and lock on every request.
@@ -180,6 +192,7 @@ impl ServeCtx {
             tail: Arc::new(obs::TailSampler::new(obs::TailConfig::default())),
             inflight: Arc::new(InflightRegistry::new()),
             started: Instant::now(),
+            shards: None,
             route_counters: ROUTES.map(|r| obs::counter(&names::server_route_requests(r))),
         }
     }
@@ -199,6 +212,18 @@ impl ServeCtx {
     pub fn with_tail(mut self, tail: Arc<obs::TailSampler>) -> Self {
         self.tail = tail;
         self
+    }
+
+    /// Attaches the sharded serving plane (`--shards N`); `None` keeps
+    /// the classic single-model path.
+    pub fn with_shards(mut self, shards: Option<Arc<ShardSet>>) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The sharded serving plane, when the server runs sharded.
+    pub fn shards(&self) -> Option<&Arc<ShardSet>> {
+        self.shards.as_ref()
     }
 
     /// A reload-less context over a fixed state — test and embedding aid.
@@ -232,16 +257,45 @@ impl ServeCtx {
     }
 }
 
+/// One worker's reusable per-request memory: the core ranking arena plus
+/// the scatter-gather arena for the sharded path. Workers own exactly one
+/// for their lifetime, so steady-state recommends on either path never
+/// touch the allocator.
+pub struct WorkerArena {
+    /// The unsharded ranking arena.
+    pub scratch: Scratch,
+    /// Per-shard merge slots and snapshot holder for the sharded path.
+    pub shards: ShardArena,
+}
+
+impl WorkerArena {
+    /// An empty arena; buffers grow to their steady-state high-water mark
+    /// over the first requests and are reused from then on.
+    // goalrec-lint:allow(hot-path-alloc): worker startup — arenas are built once per worker thread, not per request
+    pub fn new() -> Self {
+        WorkerArena {
+            scratch: Scratch::new(),
+            shards: ShardArena::new(),
+        }
+    }
+}
+
+impl Default for WorkerArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Dispatches one request. The per-route counters are recorded here so
-/// they count exactly the requests that reached routing. `scratch` is the
-/// calling worker's reusable arena; only the recommend route uses it.
+/// they count exactly the requests that reached routing. `arena` is the
+/// calling worker's reusable memory; only the recommend route uses it.
 /// `trace` is the worker's request-scoped trace — routing tags it with
 /// the route name and serving generation, and the recommend route records
 /// its ranking spans into it.
 pub fn handle(
     ctx: &ServeCtx,
     request: &Request,
-    scratch: &mut Scratch,
+    arena: &mut WorkerArena,
     trace: &mut obs::TraceContext,
 ) -> Result<Response, ServerError> {
     let route = match (request.method.as_str(), request.path.as_str()) {
@@ -268,7 +322,10 @@ pub fn handle(
         ("GET", "/v1/stats") => Ok(stats(ctx, &state)),
         ("GET", "/debug/traces") => Ok(debug_traces(ctx, request)),
         ("GET", "/debug/requests") => Ok(debug_requests(ctx)),
-        ("POST", "/v1/recommend") => recommend(&state, request, scratch, trace),
+        ("POST", "/v1/recommend") => match ctx.shards() {
+            Some(set) => recommend_sharded(set, &state, request, &mut arena.shards, trace),
+            None => recommend(&state, request, &mut arena.scratch, trace),
+        },
         ("POST", "/v1/admin/reload") => admin_reload(ctx, request),
         (_, "/healthz")
         | (_, "/metrics")
@@ -314,22 +371,52 @@ fn metrics(request: &Request) -> Response {
     }
 }
 
+/// One JSON row per shard (`{"shard", "generation", "model_age_ms"}`),
+/// read from the current snapshot of each cell — what `/healthz` and
+/// `/v1/stats` publish when the server runs sharded.
+fn shard_rows(set: &ShardSet) -> Vec<Value> {
+    let mut rows = Vec::with_capacity(set.num_shards());
+    for i in 0..set.num_shards() {
+        let Some(snap) = set.load(i) else { continue };
+        let age_ms = u64::try_from(snap.model_age().as_millis()).unwrap_or(u64::MAX);
+        rows.push(serde_json::json!({
+            "shard": i,
+            "generation": snap.generation(),
+            "model_age_ms": age_ms,
+        }));
+    }
+    rows
+}
+
 /// `GET /healthz`: liveness JSON. Also refreshes the `server.model_age_ms`
 /// and `server.trace.tail_occupancy` gauges, so scrapes that only read
-/// `/metrics` see the same numbers the health probe reports.
+/// `/metrics` see the same numbers the health probe reports. Sharded
+/// servers report the per-shard generation vector, with the top-level
+/// `generation` as the floor across shards so existing probes keep a
+/// single monotone number to watch.
 // goalrec-lint:allow(hot-path-alloc): control-plane route — probes assemble their JSON per request
 fn healthz(ctx: &ServeCtx, state: &AppState) -> Response {
     let model_age_ms = u64::try_from(state.model_age().as_millis()).unwrap_or(u64::MAX);
     let occupancy = ctx.tail().occupancy();
     obs::gauge(names::SERVER_MODEL_AGE_MS).set(model_age_ms as f64);
     obs::gauge(names::SERVER_TRACE_TAIL_OCCUPANCY).set(occupancy as f64);
-    let doc = serde_json::json!({
-        "status": "ok",
-        "generation": state.generation(),
-        "model_age_ms": model_age_ms,
-        "uptime_ms": ctx.uptime_ms(),
-        "trace_tail_occupancy": occupancy,
-    });
+    let doc = match ctx.shards() {
+        Some(set) => serde_json::json!({
+            "status": "ok",
+            "generation": set.min_generation(),
+            "model_age_ms": model_age_ms,
+            "uptime_ms": ctx.uptime_ms(),
+            "trace_tail_occupancy": occupancy,
+            "shards": shard_rows(set),
+        }),
+        None => serde_json::json!({
+            "status": "ok",
+            "generation": state.generation(),
+            "model_age_ms": model_age_ms,
+            "uptime_ms": ctx.uptime_ms(),
+            "trace_tail_occupancy": occupancy,
+        }),
+    };
     Response::json(200, doc.to_string())
 }
 
@@ -345,6 +432,9 @@ fn stats(ctx: &ServeCtx, state: &AppState) -> Response {
         _ => Vec::new(),
     };
     let occupancy = u64::try_from(ctx.tail().occupancy()).unwrap_or(u64::MAX);
+    if let Some(set) = ctx.shards() {
+        fields.insert(0, ("shards".to_owned(), Value::Array(shard_rows(set))));
+    }
     fields.insert(
         0,
         ("trace_tail_occupancy".to_owned(), Value::UInt(occupancy)),
@@ -390,23 +480,37 @@ fn debug_requests(ctx: &ServeCtx) -> Response {
     Response::json(200, doc.to_string())
 }
 
-/// Parses the optional `{"path": "..."}` reload body; an empty body or a
-/// missing/`null` `path` means "reload the startup file".
-fn parse_reload_body(body: &[u8]) -> Result<Option<PathBuf>, ServerError> {
+/// Parses the optional `{"path": "...", "shard": n}` reload body; an
+/// empty body or a missing/`null` `path` means "reload the startup file",
+/// and a present `shard` asks the supervisor to rebuild and swap only
+/// that shard's cell.
+fn parse_reload_body(body: &[u8]) -> Result<(Option<PathBuf>, Option<usize>), ServerError> {
     let text = std::str::from_utf8(body)
         .map_err(|_| ServerError::BadRequest("body is not valid UTF-8".to_owned()))?;
     if text.trim().is_empty() {
-        return Ok(None);
+        return Ok((None, None));
     }
     let doc: Value = serde_json::from_str(text)
         .map_err(|e| ServerError::BadRequest(format!("invalid JSON body: {e}")))?;
-    match doc.get("path") {
-        None | Some(Value::Null) => Ok(None),
-        Some(v) => v
-            .as_str()
-            .map(|s| Some(PathBuf::from(s)))
-            .ok_or_else(|| ServerError::BadRequest("'path' must be a string".to_owned())),
-    }
+    let path = match doc.get("path") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(
+            v.as_str()
+                .map(PathBuf::from)
+                .ok_or_else(|| ServerError::BadRequest("'path' must be a string".to_owned()))?,
+        ),
+    };
+    let shard = match doc.get("shard") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(
+            v.as_u64()
+                .and_then(|u| usize::try_from(u).ok())
+                .ok_or_else(|| {
+                    ServerError::BadRequest("'shard' must be a non-negative integer".to_owned())
+                })?,
+        ),
+    };
+    Ok((path, shard))
 }
 
 // goalrec-lint:allow(hot-path-alloc): control-plane route — reload swaps whole model generations by design
@@ -416,7 +520,8 @@ fn admin_reload(ctx: &ServeCtx, request: &Request) -> Result<Response, ServerErr
             "hot reload is not enabled on this server".to_owned(),
         ));
     };
-    let path = match parse_reload_body(&request.body)? {
+    let (path, shard) = parse_reload_body(&request.body)?;
+    let path = match path {
         Some(path) => path,
         None => handle.default_path().map(PathBuf::from).ok_or_else(|| {
             ServerError::BadRequest(
@@ -425,12 +530,25 @@ fn admin_reload(ctx: &ServeCtx, request: &Request) -> Result<Response, ServerErr
             )
         })?,
     };
-    let generation = handle.reload_blocking(path.clone())?;
-    let doc = serde_json::json!({
-        "status": "reloaded",
-        "path": path.display().to_string(),
-        "generation": generation,
-    });
+    let doc = match shard {
+        Some(shard) => {
+            let generation = handle.reload_shard_blocking(path.clone(), shard)?;
+            serde_json::json!({
+                "status": "reloaded",
+                "path": path.display().to_string(),
+                "shard": shard,
+                "generation": generation,
+            })
+        }
+        None => {
+            let generation = handle.reload_blocking(path.clone())?;
+            serde_json::json!({
+                "status": "reloaded",
+                "path": path.display().to_string(),
+                "generation": generation,
+            })
+        }
+    };
     Ok(Response::json(200, doc.to_string()))
 }
 
@@ -497,6 +615,37 @@ fn parse_recommend_body(body: &[u8]) -> Result<RecommendParams, ServerError> {
     })
 }
 
+/// Renders the recommend response from a ranked slice — shared by the
+/// unsharded and sharded paths so the wire shape cannot drift between
+/// them. The response body is the documented per-request allocation.
+fn render_recommendation(
+    state: &AppState,
+    strategy: &str,
+    k: usize,
+    activity: &Activity,
+    ranked: &[Scored],
+) -> Response {
+    let items: Vec<Value> = ranked
+        .iter()
+        .map(|s| {
+            serde_json::json!({
+                "action": s.action.raw(),
+                "name": state.library.action_name(s.action),
+                "score": s.score,
+            })
+        })
+        // goalrec-lint:allow(hot-path-alloc): the response body is the documented per-request allocation
+        .collect();
+    let doc = serde_json::json!({
+        "strategy": strategy,
+        "k": k,
+        "activity": activity.raw().to_vec(),
+        "recommendations": items,
+    });
+    // goalrec-lint:allow(hot-path-alloc): the response body is the documented per-request allocation
+    Response::json(200, doc.to_string())
+}
+
 fn recommend(
     state: &AppState,
     request: &Request,
@@ -514,26 +663,68 @@ fn recommend(
     // tags `trace` with the strategy and records the rank/candidates/topk
     // spans — still allocation-free (see core's alloc_counting test).
     let ranked = recommender.recommend_into_traced(&activity, params.k, scratch, trace);
+    Ok(render_recommendation(
+        state,
+        &params.strategy,
+        params.k,
+        &activity,
+        ranked,
+    ))
+}
 
-    let items: Vec<Value> = ranked
+/// The sharded recommend path: scatter the activity across one coherent
+/// set of per-shard snapshots (one `span.shard.<i>` child span and one
+/// `shard.<i>.*` observation each), then k-way merge into the worker's
+/// arena. Results are bit-identical to [`recommend`] — the `goalrec-shard`
+/// property tests prove the merge exact — and `state` still provides the
+/// global id-space check and action names, which every shard shares.
+fn recommend_sharded(
+    set: &ShardSet,
+    state: &AppState,
+    request: &Request,
+    arena: &mut ShardArena,
+    trace: &mut obs::TraceContext,
+) -> Result<Response, ServerError> {
+    let params = parse_recommend_body(&request.body)?;
+    for &id in &params.activity {
+        state.model.check_action(ActionId::new(id))?;
+    }
+    let strategy = ShardStrategy::for_api_name(&params.strategy)
+        // goalrec-lint:allow(hot-path-alloc): reject path — the error response owns the unknown name
+        .ok_or_else(|| ServerError::UnknownStrategy(params.strategy.to_owned()))?;
+    let activity = Activity::from_raw(params.activity.iter().copied());
+    trace.set_strategy(strategy.name());
+
+    let rank = trace.start_child_span(names::SPAN_RANK);
+    // One coherent snapshot per request: a per-shard reload landing after
+    // this line cannot change what this request is answered from. The
+    // generation tag is the floor across the snapshot — during a rolling
+    // per-shard reload one request can legitimately span generations.
+    set.snapshot_into(&mut arena.snapshots);
+    let generation = arena
+        .snapshots
         .iter()
-        .map(|s| {
-            serde_json::json!({
-                "action": s.action.raw(),
-                "name": state.library.action_name(s.action),
-                "score": s.score,
-            })
-        })
-        // goalrec-lint:allow(hot-path-alloc): the response body is the documented per-request allocation
-        .collect();
-    let doc = serde_json::json!({
-        "strategy": params.strategy,
-        "k": params.k,
-        "activity": activity.raw().to_vec(),
-        "recommendations": items,
-    });
-    // goalrec-lint:allow(hot-path-alloc): the response body is the documented per-request allocation
-    Ok(Response::json(200, doc.to_string()))
+        .map(|s| s.generation())
+        .min()
+        .unwrap_or(0);
+    trace.set_generation(generation);
+    for (i, snap) in arena.snapshots.iter().enumerate() {
+        let span = trace.start_child_span(names::span_shard(i));
+        let t0 = Instant::now();
+        strategy.scatter(snap, i, &activity, &mut arena.scratch);
+        set.observe(i, t0.elapsed());
+        trace.end_span(span);
+    }
+    strategy.gather(&arena.snapshots, &activity, params.k, &mut arena.scratch);
+    trace.end_span(rank);
+
+    Ok(render_recommendation(
+        state,
+        &params.strategy,
+        params.k,
+        &activity,
+        arena.scratch.out(),
+    ))
 }
 
 #[cfg(test)]
@@ -547,12 +738,12 @@ mod tests {
         super::handle(
             ctx,
             request,
-            &mut Scratch::new(),
+            &mut WorkerArena::new(),
             &mut obs::TraceContext::disabled(),
         )
     }
 
-    fn state() -> ServeCtx {
+    fn library() -> GoalLibrary {
         let mut b = LibraryBuilder::new();
         b.add_impl("olivier salad", ["potatoes", "carrots", "pickles"])
             .unwrap();
@@ -560,7 +751,18 @@ mod tests {
             .unwrap();
         b.add_impl("pan-fried carrots", ["carrots", "nutmeg"])
             .unwrap();
-        ServeCtx::fixed(AppState::new(b.build().unwrap()).unwrap())
+        b.build().unwrap()
+    }
+
+    fn state() -> ServeCtx {
+        ServeCtx::fixed(AppState::new(library()).unwrap())
+    }
+
+    /// A sharded context over the same library `state()` serves.
+    fn sharded_state(shards: usize) -> ServeCtx {
+        let lib = library();
+        let set = ShardSet::build(&lib, shards, goalrec_shard::PartitionMode::HashGoal).unwrap();
+        ServeCtx::fixed(AppState::new(lib).unwrap()).with_shards(Some(Arc::new(set)))
     }
 
     fn get(path: &str) -> Request {
@@ -649,7 +851,7 @@ mod tests {
         super::handle(
             &st,
             &post("/v1/recommend", r#"{"activity": [0, 1], "k": 2}"#),
-            &mut Scratch::new(),
+            &mut WorkerArena::new(),
             &mut trace,
         )
         .unwrap();
@@ -819,11 +1021,138 @@ mod tests {
             parse_reload_body(br#"{"path": 7}"#),
             Err(ServerError::BadRequest(_))
         ));
-        assert_eq!(parse_reload_body(b"").unwrap(), None);
+        assert!(matches!(
+            parse_reload_body(br#"{"shard": "zero"}"#),
+            Err(ServerError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_reload_body(br#"{"shard": -1}"#),
+            Err(ServerError::BadRequest(_))
+        ));
+        assert_eq!(parse_reload_body(b"").unwrap(), (None, None));
         assert_eq!(
             parse_reload_body(br#"{"path": "x.grlb"}"#).unwrap(),
-            Some(PathBuf::from("x.grlb"))
+            (Some(PathBuf::from("x.grlb")), None)
         );
+        assert_eq!(
+            parse_reload_body(br#"{"path": "x.grlb", "shard": 1}"#).unwrap(),
+            (Some(PathBuf::from("x.grlb")), Some(1))
+        );
+        assert_eq!(
+            parse_reload_body(br#"{"shard": 0}"#).unwrap(),
+            (None, Some(0))
+        );
+    }
+
+    #[test]
+    fn sharded_recommend_matches_unsharded_bytes() {
+        let plain = state();
+        for shards in [1usize, 2, 3] {
+            let sharded = sharded_state(shards);
+            for name in STRATEGY_NAMES {
+                let body = format!("{{\"activity\": [0, 1], \"strategy\": \"{name}\", \"k\": 4}}");
+                let expect = handle(&plain, &post("/v1/recommend", &body)).unwrap();
+                let got = handle(&sharded, &post("/v1/recommend", &body)).unwrap();
+                assert_eq!(got.status, 200, "strategy {name} shards {shards}");
+                assert_eq!(
+                    String::from_utf8(got.body).unwrap(),
+                    String::from_utf8(expect.body.clone()).unwrap(),
+                    "strategy {name} shards {shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_recommend_reuses_one_arena_and_traces_per_shard() {
+        let st = sharded_state(2);
+        let mut arena = WorkerArena::new();
+        let mut trace = obs::TraceContext::new(true);
+        trace.begin(obs::TraceId(0x54a2), std::time::Instant::now());
+        // Two requests through one arena: no state may leak between them.
+        super::handle(
+            &st,
+            &post("/v1/recommend", r#"{"activity": [0, 1, 3], "k": 5}"#),
+            &mut arena,
+            &mut trace,
+        )
+        .unwrap();
+        let resp = super::handle(
+            &st,
+            &post("/v1/recommend", r#"{"activity": [0, 1], "k": 2}"#),
+            &mut arena,
+            &mut trace,
+        )
+        .unwrap();
+        trace.finish(200);
+        let fresh = handle(
+            &st,
+            &post("/v1/recommend", r#"{"activity": [0, 1], "k": 2}"#),
+        )
+        .unwrap();
+        assert_eq!(resp.body, fresh.body);
+        // The trace carries the rank span plus one child span per shard.
+        st.tail().offer(&trace.snapshot());
+        let traces = handle(&st, &get("/debug/traces")).unwrap();
+        let text = String::from_utf8(traces.body).unwrap();
+        assert!(text.contains(names::SPAN_RANK), "{text}");
+        assert!(text.contains("span.shard.0"), "{text}");
+        assert!(text.contains("span.shard.1"), "{text}");
+    }
+
+    #[test]
+    fn sharded_recommend_ticks_per_shard_metrics() {
+        let st = sharded_state(2);
+        let before: Vec<u64> = (0..2)
+            .map(|i| {
+                goalrec_obs::snapshot()
+                    .counter(&names::shard_requests(i))
+                    .unwrap_or(0)
+            })
+            .collect();
+        handle(&st, &post("/v1/recommend", r#"{"activity": [0], "k": 3}"#)).unwrap();
+        for (i, was) in before.iter().enumerate() {
+            let now = goalrec_obs::snapshot()
+                .counter(&names::shard_requests(i))
+                .unwrap_or(0);
+            assert_eq!(now, was + 1, "shard {i}");
+        }
+    }
+
+    #[test]
+    fn sharded_healthz_and_stats_report_the_generation_vector() {
+        let st = sharded_state(2);
+        let health = handle(&st, &get("/healthz")).unwrap();
+        let text = String::from_utf8(health.body).unwrap();
+        assert!(text.contains("\"generation\":1"), "{text}");
+        assert!(text.contains("\"shards\":["), "{text}");
+        assert!(text.contains("\"shard\":0"), "{text}");
+        assert!(text.contains("\"shard\":1"), "{text}");
+        let stats = handle(&st, &get("/v1/stats")).unwrap();
+        let text = String::from_utf8(stats.body).unwrap();
+        assert!(text.contains("\"shards\""), "{text}");
+        assert!(text.contains("\"shard\""), "{text}");
+    }
+
+    #[test]
+    fn sharded_recommend_still_rejects_bad_input() {
+        let st = sharded_state(2);
+        assert!(matches!(
+            handle(
+                &st,
+                &post(
+                    "/v1/recommend",
+                    r#"{"activity": [0], "strategy": "voodoo"}"#
+                )
+            ),
+            Err(ServerError::UnknownStrategy(_))
+        ));
+        assert!(matches!(
+            handle(&st, &post("/v1/recommend", r#"{"activity": [999]}"#)),
+            Err(ServerError::Recommend(goalrec_core::Error::UnknownAction(
+                999
+            )))
+        ));
     }
 
     #[test]

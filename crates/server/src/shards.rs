@@ -1,0 +1,365 @@
+//! Serving-side sharding: per-shard swappable snapshots behind the
+//! scatter-gather router.
+//!
+//! `goalrec-serve --shards N` partitions the goal library into `N`
+//! sub-models (see `goalrec-shard`) and serves `POST /v1/recommend` by
+//! scattering the request across every shard and k-way merging the
+//! per-shard results into the exact global top-k. Each shard lives behind
+//! its own [`ShardCell`] — the same `RwLock<Arc<…>>` swap discipline as
+//! the global [`crate::reload::StateCell`] — so the reload supervisor can
+//! rebuild and swap **one shard at a time**: a failed rebuild of shard
+//! `i` rolls back shard `i` alone while every other shard keeps serving
+//! its current snapshot, and an in-flight request holds the `Arc`s it
+//! loaded, so a swap never changes the shards a request is being answered
+//! from.
+//!
+//! Generations are **per shard**: every shard starts at generation 1 and
+//! bumps independently on each successful swap. `/healthz` and
+//! `/v1/stats` report the full per-shard vector plus a scalar
+//! `generation` (the minimum across shards) for probe compatibility.
+
+use crate::error::ServerError;
+use goalrec_core::GoalLibrary;
+use goalrec_obs::{self as obs, names};
+use goalrec_shard::{PartitionMode, ShardModel, ShardScratch, ShardView, ShardedModel};
+use std::sync::{Arc, PoisonError, RwLock};
+use std::time::{Duration, Instant};
+
+/// One shard's immutable serving snapshot: the compiled sub-model plus
+/// its reload lineage. Swapped atomically through a [`ShardCell`].
+pub struct ShardState {
+    shard: ShardModel,
+    generation: u64,
+    built_at: Instant,
+}
+
+impl ShardState {
+    fn new(shard: ShardModel, generation: u64) -> Self {
+        ShardState {
+            shard,
+            generation,
+            built_at: Instant::now(),
+        }
+    }
+
+    /// Which reload generation this shard snapshot is: 1 at startup, +1
+    /// per successful swap of **this shard** (shards move independently).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// How long ago this shard snapshot was built.
+    pub fn model_age(&self) -> Duration {
+        self.built_at.elapsed()
+    }
+}
+
+impl ShardView for ShardState {
+    fn model(&self) -> Option<&goalrec_core::GoalModel> {
+        self.shard.model()
+    }
+
+    fn impl_global(&self) -> &[u32] {
+        self.shard.impl_global()
+    }
+}
+
+/// The generation-swappable cell holding one shard's snapshot. Same
+/// poison-recovering swap discipline as the global `StateCell`.
+struct ShardCell {
+    slot: RwLock<Arc<ShardState>>,
+}
+
+impl ShardCell {
+    fn new(initial: ShardState) -> Self {
+        ShardCell {
+            slot: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    fn load(&self) -> Arc<ShardState> {
+        // A poisoned lock only means some thread panicked while holding
+        // it; the Arc inside is still intact, so recover and serve.
+        Arc::clone(&self.slot.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    fn swap(&self, next: Arc<ShardState>) {
+        *self.slot.write().unwrap_or_else(PoisonError::into_inner) = next;
+    }
+}
+
+/// Pre-resolved per-shard instrumentation handles, so the scatter path
+/// never pays the registry's name formatting and lock per request.
+struct ShardMetrics {
+    requests: Arc<obs::Counter>,
+    latency: Arc<obs::Histogram>,
+}
+
+/// The sharded serving plane: one swappable cell per shard, the partition
+/// policy the library was split under (reloads must re-split the same
+/// way), and the per-shard metric handles.
+pub struct ShardSet {
+    cells: Vec<ShardCell>,
+    mode: PartitionMode,
+    metrics: Vec<ShardMetrics>,
+}
+
+impl ShardSet {
+    /// Partitions `library` into `num_shards` sub-models under `mode` and
+    /// wraps each in a generation-1 cell. `num_shards` is clamped to
+    /// `1..=`[`names::MAX_NAMED_SHARDS`] so every shard gets its own
+    /// `span.shard.<i>` name and `shard.<i>.*` metrics.
+    pub fn build(
+        library: &GoalLibrary,
+        num_shards: usize,
+        mode: PartitionMode,
+    ) -> Result<Self, ServerError> {
+        let n = num_shards.clamp(1, names::MAX_NAMED_SHARDS);
+        let sharded = ShardedModel::build(library, n, mode).map_err(build_error)?;
+        let parts = validate_parts(sharded.into_shards())?;
+        let cells: Vec<ShardCell> = parts
+            .into_iter()
+            .map(|part| ShardCell::new(ShardState::new(part, 1)))
+            .collect();
+        let metrics = (0..n)
+            .map(|i| ShardMetrics {
+                requests: obs::counter(&names::shard_requests(i)),
+                latency: obs::histogram_ns(&names::shard_latency(i)),
+            })
+            .collect();
+        Ok(ShardSet {
+            cells,
+            mode,
+            metrics,
+        })
+    }
+
+    /// Number of shards (fixed for the life of the server).
+    pub fn num_shards(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The partition policy the library was split under.
+    pub fn mode(&self) -> PartitionMode {
+        self.mode
+    }
+
+    /// One shard's current snapshot.
+    pub fn load(&self, shard: usize) -> Option<Arc<ShardState>> {
+        self.cells.get(shard).map(ShardCell::load)
+    }
+
+    /// Loads one consistent-per-shard snapshot vector into `out` (cleared
+    /// first). Each entry is independently atomic; the vector as a whole
+    /// may mix generations when a swap lands mid-loop — by design, since
+    /// shards reload independently (the crate docs call this out).
+    pub fn snapshot_into(&self, out: &mut Vec<Arc<ShardState>>) {
+        out.clear();
+        for cell in &self.cells {
+            out.push(cell.load());
+        }
+    }
+
+    /// The minimum generation across shards — the scalar `generation`
+    /// that `/healthz` keeps reporting for probe compatibility.
+    pub fn min_generation(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|cell| cell.load().generation())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Records one shard's share of a scatter: request count + latency.
+    pub(crate) fn observe(&self, shard: usize, elapsed: Duration) {
+        if let Some(m) = self.metrics.get(shard) {
+            m.requests.inc();
+            m.latency
+                .record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Rebuilds **every** shard from `library` (a full sharded reload).
+    /// Nothing is swapped unless every sub-model compiles and validates —
+    /// the all-or-nothing counterpart of the global state swap.
+    pub(crate) fn rebuild_all(
+        &self,
+        library: &GoalLibrary,
+    ) -> Result<Vec<ShardModel>, ServerError> {
+        let sharded =
+            ShardedModel::build(library, self.num_shards(), self.mode).map_err(build_error)?;
+        validate_parts(sharded.into_shards())
+    }
+
+    /// Rebuilds **one** shard from `library`, leaving every other cell
+    /// untouched. The whole library is re-partitioned under the set's
+    /// policy so the target shard's goal assignment stays consistent with
+    /// its peers.
+    pub(crate) fn rebuild_shard(
+        &self,
+        library: &GoalLibrary,
+        shard: usize,
+    ) -> Result<ShardModel, ServerError> {
+        if shard >= self.num_shards() {
+            return Err(ServerError::BadRequest(format!(
+                "shard {shard} out of range (server has {} shards)",
+                self.num_shards()
+            )));
+        }
+        let sharded =
+            ShardedModel::build(library, self.num_shards(), self.mode).map_err(build_error)?;
+        let mut parts = validate_parts(sharded.into_shards())?;
+        Ok(parts.swap_remove(shard))
+    }
+
+    /// Swaps every cell to its rebuilt sub-model, bumping each shard's
+    /// generation by one. Single-writer: only the reload supervisor calls
+    /// this, so read-generation-then-swap is race-free.
+    pub(crate) fn swap_all(&self, parts: Vec<ShardModel>) {
+        for (cell, part) in self.cells.iter().zip(parts) {
+            let generation = cell.load().generation() + 1;
+            cell.swap(Arc::new(ShardState::new(part, generation)));
+        }
+    }
+
+    /// Swaps one cell to its rebuilt sub-model, bumping only that shard's
+    /// generation. Returns the shard's new generation.
+    pub(crate) fn swap_shard(&self, shard: usize, part: ShardModel) -> u64 {
+        match self.cells.get(shard) {
+            Some(cell) => {
+                let generation = cell.load().generation() + 1;
+                cell.swap(Arc::new(ShardState::new(part, generation)));
+                generation
+            }
+            None => 0,
+        }
+    }
+}
+
+/// A shard (re)build failure, as a reload-shaped error: the attempt rolls
+/// back and whatever was serving keeps serving.
+fn build_error(e: goalrec_core::Error) -> ServerError {
+    ServerError::ReloadFailed(format!("shard model rebuild failed: {e}"))
+}
+
+/// Runs `GoalModel::validate` on every non-empty sub-model — the sharded
+/// counterpart of the unsharded reload's validate phase.
+fn validate_parts(parts: Vec<ShardModel>) -> Result<Vec<ShardModel>, ServerError> {
+    for part in &parts {
+        if let Some(model) = part.model() {
+            model.validate().map_err(|e| {
+                ServerError::ReloadFailed(format!("shard model failed validation: {e}"))
+            })?;
+        }
+    }
+    Ok(parts)
+}
+
+/// Per-worker sharded-serving arena: the scatter-gather scratch plus the
+/// per-request snapshot vector. Owned by each worker thread alongside its
+/// core `Scratch`, so steady-state sharded recommends are allocation-free
+/// (the snapshot vector's capacity reaches the shard count on the first
+/// request and stays).
+pub struct ShardArena {
+    pub(crate) scratch: ShardScratch,
+    pub(crate) snapshots: Vec<Arc<ShardState>>,
+}
+
+impl ShardArena {
+    /// A fresh arena; buffers grow to steady state on first use.
+    pub fn new() -> Self {
+        ShardArena {
+            scratch: ShardScratch::new(),
+            snapshots: Vec::new(),
+        }
+    }
+}
+
+impl Default for ShardArena {
+    fn default() -> Self {
+        ShardArena::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goalrec_core::LibraryBuilder;
+
+    fn library() -> GoalLibrary {
+        let mut b = LibraryBuilder::new();
+        b.add_impl("olivier salad", ["potatoes", "carrots", "pickles"])
+            .unwrap();
+        b.add_impl("mashed potatoes", ["potatoes", "nutmeg", "butter"])
+            .unwrap();
+        b.add_impl("pan-fried carrots", ["carrots", "nutmeg"])
+            .unwrap();
+        b.add_impl("pea soup", ["peas", "carrots", "onion"])
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_clamped_and_generation_one() {
+        let set = ShardSet::build(&library(), 3, PartitionMode::HashGoal).unwrap();
+        assert_eq!(set.num_shards(), 3);
+        assert_eq!(set.min_generation(), 1);
+        for i in 0..3 {
+            assert_eq!(set.load(i).unwrap().generation(), 1);
+        }
+        assert!(set.load(3).is_none());
+        // Clamping: 0 shards → 1, absurd counts → MAX_NAMED_SHARDS.
+        let one = ShardSet::build(&library(), 0, PartitionMode::HashGoal).unwrap();
+        assert_eq!(one.num_shards(), 1);
+        let many = ShardSet::build(&library(), 999, PartitionMode::BalancedMass).unwrap();
+        assert_eq!(many.num_shards(), names::MAX_NAMED_SHARDS);
+    }
+
+    #[test]
+    fn swap_shard_bumps_only_that_shard() {
+        let lib = library();
+        let set = ShardSet::build(&lib, 2, PartitionMode::BalancedMass).unwrap();
+        let part = set.rebuild_shard(&lib, 1).unwrap();
+        let generation = set.swap_shard(1, part);
+        assert_eq!(generation, 2);
+        assert_eq!(set.load(0).unwrap().generation(), 1);
+        assert_eq!(set.load(1).unwrap().generation(), 2);
+        assert_eq!(set.min_generation(), 1);
+    }
+
+    #[test]
+    fn swap_all_moves_every_shard_in_lockstep() {
+        let lib = library();
+        let set = ShardSet::build(&lib, 2, PartitionMode::HashGoal).unwrap();
+        let parts = set.rebuild_all(&lib).unwrap();
+        set.swap_all(parts);
+        assert_eq!(set.min_generation(), 2);
+        assert_eq!(set.load(0).unwrap().generation(), 2);
+        assert_eq!(set.load(1).unwrap().generation(), 2);
+    }
+
+    #[test]
+    fn held_snapshots_survive_swaps() {
+        let lib = library();
+        let set = ShardSet::build(&lib, 2, PartitionMode::HashGoal).unwrap();
+        let mut held = Vec::new();
+        set.snapshot_into(&mut held);
+        let part = set.rebuild_shard(&lib, 0).unwrap();
+        set.swap_shard(0, part);
+        // The request that loaded generation 1 still answers from it.
+        assert_eq!(held[0].generation(), 1);
+        let mut fresh = Vec::new();
+        set.snapshot_into(&mut fresh);
+        assert_eq!(fresh[0].generation(), 2);
+    }
+
+    #[test]
+    fn rebuild_shard_rejects_out_of_range() {
+        let lib = library();
+        let set = ShardSet::build(&lib, 2, PartitionMode::HashGoal).unwrap();
+        assert!(matches!(
+            set.rebuild_shard(&lib, 7),
+            Err(ServerError::BadRequest(_))
+        ));
+    }
+}

@@ -1,0 +1,546 @@
+//! The scatter-gather ranking itself.
+//!
+//! [`ShardStrategy::scatter`] runs one shard's share of the work into that
+//! shard's [`crate::scratch::ShardSlot`]; [`ShardStrategy::gather`] merges
+//! the per-shard results into the global top-k. The contract is
+//! **bit-exactness**: for every supported strategy the merged ranking is
+//! identical — ids, scores and tie-break order — to running the strategy's
+//! `rank_into` on the unsharded model (`tests/exactness.rs` proves it
+//! property-style). The merge is exact because shards partition the
+//! implementation set by goal; see the [crate docs](crate) for the
+//! per-strategy argument.
+//!
+//! Both phases run on a caller-owned [`ShardScratch`] arena and allocate
+//! nothing at steady state (`tests/alloc_counting.rs`).
+
+use crate::model::ShardView;
+use crate::scratch::ShardScratch;
+use goalrec_core::activity::Activity;
+use goalrec_core::distance::DistanceMetric;
+use goalrec_core::ids::{ActionId, ImplId};
+use goalrec_core::profile::goal_space_and_profile_into;
+use goalrec_core::setops;
+use goalrec_core::strategies::{Breadth, Focus, FocusVariant, Strategy};
+use goalrec_core::topk::{kway_next, Scored};
+use std::cmp::Ordering;
+
+/// A strategy that can be served through the scatter-gather path.
+///
+/// Mirrors the subset of [`goalrec_core::strategies`] whose rankings
+/// decompose exactly over a goal partition — the weighted variants are
+/// deliberately absent (their cross-goal `f64` summation order differs
+/// between the sharded and unsharded paths, breaking bit-exactness).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShardStrategy {
+    /// The Breadth strategy (§5.2): per-shard integer partial sums merged
+    /// on a `u64` scoreboard.
+    Breadth,
+    /// A Focus variant (§5.1): per-shard implementation rankings k-way
+    /// merged under (score desc, global implementation id asc), replaying
+    /// the unsharded fill loop.
+    Focus(FocusVariant),
+    /// Best Match (§5.3) with the given metric: disjoint per-shard goal
+    /// spaces merged, candidates re-scored against the merged profile.
+    BestMatch(DistanceMetric),
+}
+
+impl ShardStrategy {
+    /// Every shardable strategy, in documentation order.
+    pub const ALL: [ShardStrategy; 6] = [
+        ShardStrategy::Breadth,
+        ShardStrategy::Focus(FocusVariant::Completeness),
+        ShardStrategy::Focus(FocusVariant::Closeness),
+        ShardStrategy::BestMatch(DistanceMetric::Cosine),
+        ShardStrategy::BestMatch(DistanceMetric::Euclidean),
+        ShardStrategy::BestMatch(DistanceMetric::Manhattan),
+    ];
+
+    /// Resolves the serving API's strategy spelling (`breadth` |
+    /// `best-match` | `focus-cmp` | `focus-cl`) to its sharded
+    /// counterpart. `best-match` uses the cosine metric, matching the
+    /// unsharded server's default.
+    pub fn for_api_name(name: &str) -> Option<Self> {
+        match name {
+            "breadth" => Some(Self::Breadth),
+            "focus-cmp" => Some(Self::Focus(FocusVariant::Completeness)),
+            "focus-cl" => Some(Self::Focus(FocusVariant::Closeness)),
+            "best-match" => Some(Self::BestMatch(DistanceMetric::Cosine)),
+            _ => None,
+        }
+    }
+
+    /// The unsharded strategy's display name (matches
+    /// [`Strategy::name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Breadth => "Breadth",
+            Self::Focus(FocusVariant::Completeness) => "Focus_cmp",
+            Self::Focus(FocusVariant::Closeness) => "Focus_cl",
+            Self::BestMatch(_) => "BestMatch",
+        }
+    }
+
+    /// Runs shard `idx`'s share of the work for `activity` into the
+    /// arena's slot `idx`. Safe to call for empty shards (the slot is
+    /// cleared so the merge sees no stale state) and in any shard order —
+    /// slots are independent, which is what lets the serving layer scatter
+    /// across differently-generated per-shard snapshots.
+    pub fn scatter<V: ShardView>(
+        &self,
+        shard: &V,
+        idx: usize,
+        activity: &Activity,
+        scratch: &mut ShardScratch,
+    ) {
+        scratch.ensure_shards(idx + 1);
+        let slot = &mut scratch.slots[idx];
+        slot.clear();
+        let Some(model) = shard.model() else {
+            return;
+        };
+        if activity.is_empty() {
+            return;
+        }
+        match self {
+            Self::Breadth => {
+                // Full per-shard ranking (k = |𝒜| keeps every candidate):
+                // integer-valued partial sums the gather phase adds up.
+                Breadth.rank_into(model, activity, model.num_actions(), &mut slot.scratch);
+            }
+            Self::Focus(variant) => {
+                // Rank this shard's candidate implementations only; the
+                // fill loop runs globally in the gather phase.
+                Focus::new(*variant).rank_impls_into(model, activity, &mut slot.scratch);
+            }
+            Self::BestMatch(_) => {
+                // Per-shard goal space + partial profile + candidate pool;
+                // scoring happens in the gather phase against the merged
+                // global profile.
+                let h = activity.raw();
+                goal_space_and_profile_into(
+                    model,
+                    h,
+                    &mut slot.pairs,
+                    &mut slot.space,
+                    &mut slot.profile,
+                );
+                model.implementation_space_into(h, &mut slot.impl_space);
+                model.action_space_into(h, &slot.impl_space, &mut slot.cand);
+            }
+        }
+    }
+
+    /// Merges the per-shard scatter results in the arena into the global
+    /// top-`k`, leaving the ranking in [`ShardScratch::out`] and returning
+    /// the candidate count (same meaning as the unsharded
+    /// `rank_into` for Focus and Best Match; for Breadth it counts the
+    /// merged candidate pool, which excludes already-performed actions).
+    pub fn gather<V: ShardView>(
+        &self,
+        shards: &[V],
+        activity: &Activity,
+        k: usize,
+        scratch: &mut ShardScratch,
+    ) -> usize {
+        scratch.ensure_shards(shards.len());
+        scratch.out.clear();
+        if k == 0 || activity.is_empty() {
+            return 0;
+        }
+        match self {
+            Self::Breadth => gather_breadth(shards, k, scratch),
+            Self::Focus(_) => gather_focus(shards, activity, k, scratch),
+            Self::BestMatch(metric) => gather_best_match(shards, *metric, k, scratch),
+        }
+    }
+
+    /// Convenience scatter-all-then-gather over a uniform shard slice.
+    /// The serving layer drives the phases separately (it wraps each
+    /// scatter in a per-shard trace span); tests and offline callers use
+    /// this.
+    pub fn rank_into<V: ShardView>(
+        &self,
+        shards: &[V],
+        activity: &Activity,
+        k: usize,
+        scratch: &mut ShardScratch,
+    ) -> usize {
+        if k > 0 && !activity.is_empty() {
+            for (i, shard) in shards.iter().enumerate() {
+                self.scatter(shard, i, activity, scratch);
+            }
+        }
+        self.gather(shards, activity, k, scratch)
+    }
+}
+
+/// Breadth merge: per-action scores are integer sums over `IS(H)`, and the
+/// per-shard implementation spaces partition `IS(H)`, so summing the
+/// per-shard partial scores in `u64` is order-independent and exact.
+fn gather_breadth<V: ShardView>(shards: &[V], k: usize, scratch: &mut ShardScratch) -> usize {
+    let num_actions = shards
+        .iter()
+        .filter_map(|s| s.model())
+        .map(|m| m.num_actions())
+        .max()
+        .unwrap_or(0);
+    let ShardScratch {
+        slots,
+        board,
+        topk,
+        out,
+        ..
+    } = scratch;
+    board.begin(num_actions);
+    for slot in slots.iter().take(shards.len()) {
+        for sc in slot.scratch.out() {
+            // Per-shard Breadth scores are exact small integers in f64
+            // (counts of implementation overlaps), so the u64 round-trip
+            // is lossless.
+            board.add(sc.action, sc.score as u64);
+        }
+    }
+    topk.reset(k);
+    for &a in board.touched() {
+        topk.push(Scored::new(a, board.get(a) as f64));
+    }
+    topk.drain_sorted_into(out);
+    board.touched().len()
+}
+
+/// Orders Focus implementation entries `(score, impl id)` best-first:
+/// score descending, id ascending — the same total order the per-shard
+/// sort uses, lifted to global implementation ids.
+fn focus_entry_cmp(a: &(f64, u32), b: &(f64, u32)) -> Ordering {
+    // Focus scores are in (0, 1] — never NaN — so partial_cmp is total.
+    b.0.partial_cmp(&a.0)
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| a.1.cmp(&b.1))
+}
+
+/// Focus merge: the per-shard candidate implementation sets are disjoint
+/// and each shard's ranking is sorted under the global total order
+/// (`impl_global` is monotone), so a k-way merge visits implementations in
+/// exactly the unsharded rank order and the fill loop can be replayed
+/// verbatim.
+fn gather_focus<V: ShardView>(
+    shards: &[V],
+    activity: &Activity,
+    k: usize,
+    scratch: &mut ShardScratch,
+) -> usize {
+    let n = shards.len();
+    let ShardScratch {
+        slots,
+        heads,
+        seen,
+        remaining,
+        out,
+        ..
+    } = scratch;
+    heads[..n].fill(0);
+    let num_candidates: usize = slots
+        .iter()
+        .take(n)
+        .map(|s| s.scratch.scored_impls().len())
+        .sum();
+
+    let h = activity.raw();
+    seen.clear();
+    seen.extend_from_slice(h);
+    'fill: loop {
+        let next = kway_next(
+            n,
+            heads,
+            |i, pos| {
+                let (score, local) = *slots[i].scratch.scored_impls().get(pos)?;
+                let global = *shards[i]
+                    .impl_global()
+                    .get(usize::try_from(local).unwrap_or(usize::MAX))?;
+                Some((score, global))
+            },
+            focus_entry_cmp,
+        );
+        let Some(s) = next else { break };
+        let (score, local) = slots[s].scratch.scored_impls()[heads[s] - 1];
+        let Some(model) = shards[s].model() else {
+            continue;
+        };
+        // The unsharded fill loop (Focus::rank_into), verbatim: emit the
+        // implementation's not-yet-seen actions at its score, growing the
+        // exclusion set as we go.
+        setops::difference_into(model.impl_actions(ImplId::new(local)), seen, remaining);
+        for &a in remaining.iter() {
+            out.push(Scored::new(ActionId::new(a), score));
+            if let Err(pos) = seen.binary_search(&a) {
+                seen.insert(pos, a);
+            }
+            if out.len() == k {
+                break 'fill;
+            }
+        }
+    }
+    num_candidates
+}
+
+/// Best Match merge: the per-shard goal spaces are disjoint, so the global
+/// space/profile is a plain k-way merge (no summation); candidates are the
+/// deduplicated union of the per-shard pools; and every goal coordinate of
+/// a candidate's vector is computed entirely on that goal's home shard, so
+/// the distance inputs are bit-identical to the unsharded path.
+fn gather_best_match<V: ShardView>(
+    shards: &[V],
+    metric: DistanceMetric,
+    k: usize,
+    scratch: &mut ShardScratch,
+) -> usize {
+    let n = shards.len();
+    let ShardScratch {
+        slots,
+        heads,
+        gspace,
+        gprofile,
+        candidates,
+        vec,
+        topk,
+        out,
+        ..
+    } = scratch;
+
+    // Merged goal space + profile. The streams never share a goal, so the
+    // merge is a disjoint interleave: no key ever needs its counts summed.
+    // One shard degenerates to a copy — its stream is already sorted —
+    // which keeps the single-shard configuration priced like the unsharded
+    // path (the `--perf` guardrail holds it to 10%).
+    gspace.clear();
+    gprofile.clear();
+    if n == 1 {
+        gspace.extend_from_slice(&slots[0].space);
+        gprofile.extend_from_slice(&slots[0].profile.counts);
+    } else {
+        heads[..n].fill(0);
+        while let Some(s) = kway_next(
+            n,
+            heads,
+            |i, pos| slots[i].space.get(pos).copied(),
+            |a, b| a.cmp(b),
+        ) {
+            let pos = heads[s] - 1;
+            gspace.push(slots[s].space[pos]);
+            gprofile.push(slots[s].profile.counts[pos]);
+        }
+    }
+    if gspace.is_empty() {
+        // Matches the unsharded early return for an empty goal space.
+        return 0;
+    }
+
+    // Merged candidate pool: deduplicated union of the per-shard
+    // `AS_s(H) − H` pools (an action can appear on several shards; a
+    // single shard's pool is already sorted and unique, so copy it).
+    candidates.clear();
+    if n == 1 {
+        candidates.extend_from_slice(&slots[0].cand);
+    } else {
+        heads[..n].fill(0);
+        while let Some(s) = kway_next(
+            n,
+            heads,
+            |i, pos| slots[i].cand.get(pos).copied(),
+            |a, b| a.cmp(b),
+        ) {
+            let v = slots[s].cand[heads[s] - 1];
+            if candidates.last() != Some(&v) {
+                candidates.push(v);
+            }
+        }
+    }
+    let num_candidates = candidates.len();
+
+    // Score each candidate against the merged profile. Every goal's
+    // implementations live on one shard, so walking all shards feeds each
+    // coordinate from exactly one source — the resulting vector equals the
+    // unsharded one bit-for-bit, and so does the distance.
+    topk.reset(k);
+    vec.reset(gspace);
+    for &a in candidates.iter() {
+        vec.counts.iter_mut().for_each(|c| *c = 0.0);
+        for shard in shards {
+            let Some(model) = shard.model() else { continue };
+            for &p in model.action_impls(ActionId::new(a)) {
+                vec.add(model.impl_goal(ImplId::new(p)), 1.0);
+            }
+        }
+        let dist = metric.distance(gprofile, &vec.counts);
+        topk.push(Scored::new(ActionId::new(a), -dist));
+    }
+    topk.drain_sorted_into(out);
+    num_candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ShardedModel;
+    use crate::partition::PartitionMode;
+    use goalrec_core::scratch::Scratch;
+    use goalrec_core::strategies::BestMatch;
+    use goalrec_core::{GoalLibrary, GoalModel, LibraryBuilder};
+
+    /// Example 3.2 / Figure 1 library.
+    fn example_library() -> GoalLibrary {
+        let mut b = LibraryBuilder::new();
+        b.add_impl("g1", ["a1", "a2"]).unwrap();
+        b.add_impl("g1", ["a1", "a3"]).unwrap();
+        b.add_impl("g2", ["a1", "a4", "a5"]).unwrap();
+        b.add_impl("g3", ["a4", "a6"]).unwrap();
+        b.add_impl("g5", ["a1", "a2", "a6"]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn unsharded(
+        strategy: &ShardStrategy,
+        model: &GoalModel,
+        h: &Activity,
+        k: usize,
+    ) -> (Vec<Scored>, usize) {
+        let mut scratch = Scratch::default();
+        let n = match strategy {
+            ShardStrategy::Breadth => Breadth.rank_into(model, h, k, &mut scratch),
+            ShardStrategy::Focus(v) => Focus::new(*v).rank_into(model, h, k, &mut scratch),
+            ShardStrategy::BestMatch(m) => BestMatch::new(*m).rank_into(model, h, k, &mut scratch),
+        };
+        (scratch.out().to_vec(), n)
+    }
+
+    #[test]
+    fn api_name_round_trip() {
+        assert_eq!(
+            ShardStrategy::for_api_name("breadth"),
+            Some(ShardStrategy::Breadth)
+        );
+        assert_eq!(
+            ShardStrategy::for_api_name("focus-cmp"),
+            Some(ShardStrategy::Focus(FocusVariant::Completeness))
+        );
+        assert_eq!(
+            ShardStrategy::for_api_name("focus-cl"),
+            Some(ShardStrategy::Focus(FocusVariant::Closeness))
+        );
+        assert_eq!(
+            ShardStrategy::for_api_name("best-match"),
+            Some(ShardStrategy::BestMatch(DistanceMetric::Cosine))
+        );
+        assert_eq!(ShardStrategy::for_api_name("weighted-breadth"), None);
+        assert_eq!(ShardStrategy::for_api_name(""), None);
+    }
+
+    #[test]
+    fn names_match_the_unsharded_strategies() {
+        assert_eq!(ShardStrategy::Breadth.name(), Breadth.name());
+        assert_eq!(
+            ShardStrategy::Focus(FocusVariant::Completeness).name(),
+            Focus::new(FocusVariant::Completeness).name()
+        );
+        assert_eq!(
+            ShardStrategy::Focus(FocusVariant::Closeness).name(),
+            Focus::new(FocusVariant::Closeness).name()
+        );
+        assert_eq!(
+            ShardStrategy::BestMatch(DistanceMetric::Cosine).name(),
+            BestMatch::default().name()
+        );
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_on_the_paper_example() {
+        let lib = example_library();
+        let model = GoalModel::build(&lib).unwrap();
+        let activities = [
+            Activity::from_raw([0]),
+            Activity::from_raw([0, 1]),
+            Activity::from_raw([1, 2]),
+            Activity::from_raw([3]),
+            Activity::from_raw([1, 2, 5]),
+        ];
+        for strategy in ShardStrategy::ALL {
+            for mode in [PartitionMode::HashGoal, PartitionMode::BalancedMass] {
+                for n in [1usize, 2, 3, 7] {
+                    let sharded = ShardedModel::build(&lib, n, mode).unwrap();
+                    let mut sc = ShardScratch::new();
+                    for h in &activities {
+                        for k in [1usize, 3, 10] {
+                            let cand = strategy.rank_into(sharded.shards(), h, k, &mut sc);
+                            let (expect, expect_cand) = unsharded(&strategy, &model, h, k);
+                            assert_eq!(
+                                sc.out(),
+                                &expect[..],
+                                "{} {mode:?} n={n} h={h:?} k={k}",
+                                strategy.name()
+                            );
+                            if !matches!(strategy, ShardStrategy::Breadth) {
+                                assert_eq!(
+                                    cand,
+                                    expect_cand,
+                                    "{} {mode:?} n={n} h={h:?} k={k}",
+                                    strategy.name()
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_activity_and_zero_k_yield_empty() {
+        let lib = example_library();
+        let sharded = ShardedModel::build(&lib, 2, PartitionMode::HashGoal).unwrap();
+        let mut sc = ShardScratch::new();
+        for strategy in ShardStrategy::ALL {
+            assert_eq!(
+                strategy.rank_into(sharded.shards(), &Activity::new(), 5, &mut sc),
+                0
+            );
+            assert!(sc.out().is_empty());
+            assert_eq!(
+                strategy.rank_into(sharded.shards(), &Activity::from_raw([0]), 0, &mut sc),
+                0
+            );
+            assert!(sc.out().is_empty());
+        }
+    }
+
+    #[test]
+    fn stale_slot_state_cannot_leak_between_requests() {
+        // A broad first request followed by a narrow second one: the second
+        // merge must not see the first request's per-shard results.
+        let lib = example_library();
+        let model = GoalModel::build(&lib).unwrap();
+        let sharded = ShardedModel::build(&lib, 3, PartitionMode::HashGoal).unwrap();
+        let mut sc = ShardScratch::new();
+        for strategy in ShardStrategy::ALL {
+            let broad = Activity::from_raw([0, 1, 2, 3]);
+            strategy.rank_into(sharded.shards(), &broad, 10, &mut sc);
+            let narrow = Activity::from_raw([3]);
+            strategy.rank_into(sharded.shards(), &narrow, 10, &mut sc);
+            let (expect, _) = unsharded(&strategy, &model, &narrow, 10);
+            assert_eq!(sc.out(), &expect[..], "{}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn unknown_actions_are_ignored_like_unsharded() {
+        let lib = example_library();
+        let model = GoalModel::build(&lib).unwrap();
+        let sharded = ShardedModel::build(&lib, 2, PartitionMode::BalancedMass).unwrap();
+        let mut sc = ShardScratch::new();
+        let h = Activity::from_raw([0, 999]);
+        for strategy in ShardStrategy::ALL {
+            strategy.rank_into(sharded.shards(), &h, 10, &mut sc);
+            let (expect, _) = unsharded(&strategy, &model, &h, 10);
+            assert_eq!(sc.out(), &expect[..], "{}", strategy.name());
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Goal → shard assignment.
+//!
+//! The unit of placement is the *goal*: all implementations of one goal
+//! land on the same shard, which keeps the per-shard implementation sets
+//! disjoint and is what makes the scatter-gather merge exact (see the
+//! [crate docs](crate)). Two deterministic policies are offered:
+//!
+//! * [`PartitionMode::HashGoal`] — a stateless integer hash of the goal
+//!   id. Placement is independent of library content, so a goal stays on
+//!   the same shard across reloads that don't change the goal dictionary.
+//! * [`PartitionMode::BalancedMass`] — greedy longest-processing-time
+//!   placement by *posting-list mass* (the total number of action postings
+//!   across the goal's implementations). Shards end up with near-equal
+//!   index volume even when goal sizes are heavily skewed, at the cost of
+//!   placement depending on the library contents.
+
+use goalrec_core::GoalLibrary;
+
+/// How goals are assigned to shards. See the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionMode {
+    /// `shard(g) = hash(g) mod N`: stateless, reload-stable placement.
+    HashGoal,
+    /// Greedy LPT by posting-list mass: heaviest goals first, each to the
+    /// currently lightest shard (ties: lowest shard index). Deterministic
+    /// for a given library.
+    BalancedMass,
+}
+
+impl PartitionMode {
+    /// Parses the CLI spelling (`hash` / `balanced`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "hash" => Some(Self::HashGoal),
+            "balanced" => Some(Self::BalancedMass),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of the mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::HashGoal => "hash",
+            Self::BalancedMass => "balanced",
+        }
+    }
+}
+
+/// SplitMix64 finalizer over the goal id: cheap, stateless, and well
+/// dispersed even though consecutive goal ids differ in few bits.
+fn mix(g: u64) -> u64 {
+    let mut x = g.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Computes the goal → shard assignment: `assignment[g]` is the shard
+/// index of goal `g`. `num_shards` is clamped to at least 1; every entry
+/// is `< num_shards`. Deterministic for a given `(library, num_shards,
+/// mode)` triple.
+pub fn goal_assignments(
+    library: &GoalLibrary,
+    num_shards: usize,
+    mode: PartitionMode,
+) -> Vec<usize> {
+    let shards = num_shards.max(1);
+    let num_goals = library.num_goals();
+    match mode {
+        PartitionMode::HashGoal => (0..num_goals).map(|g| hash_shard(g, shards)).collect(),
+        PartitionMode::BalancedMass => {
+            // Posting-list mass per goal: Σ |A_p| over the goal's impls.
+            let mut mass = vec![0u64; num_goals];
+            for imp in library.implementations() {
+                mass[imp.goal.index()] += imp.len() as u64;
+            }
+            // LPT: heaviest goal first (ties: lowest goal id), each onto
+            // the lightest shard so far (ties: lowest shard index).
+            let mut order: Vec<usize> = (0..num_goals).collect();
+            order.sort_unstable_by(|&a, &b| mass[b].cmp(&mass[a]).then_with(|| a.cmp(&b)));
+            let mut load = vec![0u64; shards];
+            let mut assignment = vec![0usize; num_goals];
+            for g in order {
+                let mut best = 0usize;
+                for (s, &l) in load.iter().enumerate().skip(1) {
+                    if l < load[best] {
+                        best = s;
+                    }
+                }
+                assignment[g] = best;
+                load[best] += mass[g];
+            }
+            assignment
+        }
+    }
+}
+
+/// `hash(g) mod shards`, with the modulo result safely narrowed.
+fn hash_shard(g: usize, shards: usize) -> usize {
+    let h = mix(g as u64) % (shards as u64);
+    // h < shards ≤ usize::MAX, so the narrowing can never actually fail.
+    usize::try_from(h).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goalrec_core::LibraryBuilder;
+
+    fn skewed_library() -> GoalLibrary {
+        // Goal g0 is huge (8 impls × 4 actions), the rest are small.
+        let mut b = LibraryBuilder::new();
+        for v in 0..8u32 {
+            let acts: Vec<String> = (0..4u32).map(|i| format!("a{}", v * 4 + i)).collect();
+            b.add_impl("g0", acts.iter().map(String::as_str)).unwrap();
+        }
+        for g in 1..9u32 {
+            b.add_impl(&format!("g{g}"), [format!("a{}", g % 5)])
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn mode_parse_round_trips() {
+        for mode in [PartitionMode::HashGoal, PartitionMode::BalancedMass] {
+            assert_eq!(PartitionMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(PartitionMode::parse("nope"), None);
+    }
+
+    #[test]
+    fn assignments_cover_every_goal_and_stay_in_range() {
+        let lib = skewed_library();
+        for mode in [PartitionMode::HashGoal, PartitionMode::BalancedMass] {
+            for n in [1usize, 2, 3, 7] {
+                let a = goal_assignments(&lib, n, mode);
+                assert_eq!(a.len(), lib.num_goals());
+                assert!(a.iter().all(|&s| s < n), "{mode:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_assignment_is_stable_and_library_independent() {
+        let lib = skewed_library();
+        let a1 = goal_assignments(&lib, 4, PartitionMode::HashGoal);
+        let a2 = goal_assignments(&lib, 4, PartitionMode::HashGoal);
+        assert_eq!(a1, a2);
+        // Hash placement only looks at the goal id, not the content.
+        let mut b = LibraryBuilder::new();
+        for g in 0..9u32 {
+            b.add_impl(&format!("g{g}"), ["a0"]).unwrap();
+        }
+        let other = b.build().unwrap();
+        assert_eq!(a1, goal_assignments(&other, 4, PartitionMode::HashGoal));
+    }
+
+    #[test]
+    fn single_shard_gets_everything() {
+        let lib = skewed_library();
+        for mode in [PartitionMode::HashGoal, PartitionMode::BalancedMass] {
+            assert!(goal_assignments(&lib, 1, mode).iter().all(|&s| s == 0));
+            // 0 shards is clamped to 1 rather than dividing by zero.
+            assert!(goal_assignments(&lib, 0, mode).iter().all(|&s| s == 0));
+        }
+    }
+
+    #[test]
+    fn balanced_mass_splits_the_skew() {
+        let lib = skewed_library();
+        let a = goal_assignments(&lib, 2, PartitionMode::BalancedMass);
+        // g0 carries mass 32; all others together carry 8. LPT must put g0
+        // alone on one shard and every light goal on the other.
+        let g0 = a[0];
+        for (g, &s) in a.iter().enumerate().skip(1) {
+            assert_ne!(s, g0, "goal g{g} landed on the heavy shard");
+        }
+    }
+
+    #[test]
+    fn balanced_mass_is_deterministic() {
+        let lib = skewed_library();
+        assert_eq!(
+            goal_assignments(&lib, 3, PartitionMode::BalancedMass),
+            goal_assignments(&lib, 3, PartitionMode::BalancedMass)
+        );
+    }
+}

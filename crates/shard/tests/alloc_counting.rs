@@ -1,0 +1,102 @@
+//! Counting-allocator proof that the scatter-gather recommend path is
+//! allocation-free at steady state.
+//!
+//! Same shape as the core crate's `alloc_counting` test: a global
+//! allocator wrapper counts every `alloc`/`realloc`; after two warm-up
+//! requests per (strategy, activity) pair have grown the
+//! [`ShardScratch`] arena to its high-water mark, a steady-state
+//! scatter + gather across every shard must perform exactly zero heap
+//! allocations.
+//!
+//! Deliberately a single `#[test]`: the counter is process-global, so a
+//! second concurrent test would pollute the measurement.
+
+use goalrec_core::{Activity, LibraryBuilder};
+use goalrec_shard::{PartitionMode, ShardScratch, ShardStrategy, ShardedModel};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_scatter_gather_performs_zero_heap_allocations() {
+    // Dozens of goals with overlapping action sets, so every shard gets
+    // real work and sloppy per-request allocation would show up.
+    let mut b = LibraryBuilder::new();
+    for g in 0..24u32 {
+        for v in 0..3u32 {
+            let actions: Vec<String> = (0..4u32)
+                .map(|i| format!("a{}", (g * 7 + v * 13 + i * 5) % 40))
+                .collect();
+            let refs: Vec<&str> = actions.iter().map(String::as_str).collect();
+            b.add_impl(&format!("g{g}"), refs).unwrap();
+        }
+    }
+    let lib = b.build().unwrap();
+    let sharded = ShardedModel::build(&lib, 3, PartitionMode::BalancedMass).unwrap();
+
+    let activities = [
+        Activity::from_raw([0]),
+        Activity::from_raw([1, 5, 9]),
+        Activity::from_raw([2, 3, 17, 30]),
+    ];
+    let mut scratch = ShardScratch::new();
+
+    // Warm-up: two rounds per (strategy, activity) pair grow every arena
+    // buffer — per-shard slots included — to steady-state capacity.
+    for _ in 0..2 {
+        for strategy in ShardStrategy::ALL {
+            for h in &activities {
+                strategy.rank_into(sharded.shards(), h, 10, &mut scratch);
+            }
+        }
+    }
+
+    for strategy in ShardStrategy::ALL {
+        for h in &activities {
+            let before = ALLOCATIONS.load(Ordering::Relaxed);
+            let n = strategy.rank_into(sharded.shards(), h, 10, &mut scratch);
+            let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+            assert_eq!(
+                delta,
+                0,
+                "sharded {} allocated {delta} time(s) on a steady-state \
+                 scatter-gather (H={:?})",
+                strategy.name(),
+                h
+            );
+            assert!(
+                n > 0,
+                "sharded {} found no candidates — vacuous measurement",
+                strategy.name()
+            );
+            assert!(!scratch.out().is_empty());
+        }
+    }
+}
