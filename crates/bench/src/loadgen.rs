@@ -27,16 +27,27 @@
 //!                 *targeted* reload (`{"shard": i}`) must roll back
 //!                 that shard alone while the other shards keep
 //!                 answering 200 on their old generation, with zero
-//!                 requests dropped
+//!                 requests dropped. A third section drives the live
+//!                 mutation plane: rows are appended into the delta and
+//!                 three consecutive background compactions are faulted
+//!                 (read error at the read-back verify, torn write at
+//!                 the persist, stall-then-error write) — each must roll
+//!                 back whole with the old generation serving and the
+//!                 delta and WAL intact, and the clean backoff retry
+//!                 must then compact, bump the generation, and clear
+//!                 the WAL, all with zero dropped or non-200 requests
 //! --perf          hot-path regression bench: serial vs parallel model
 //!                 build at scalability size, per-strategy rank_into
 //!                 latency over the FoodMart test-scale carts (the
 //!                 table6 workload), the sharded scatter-gather sweep
-//!                 over shard counts {1, 2, 4, 8}, and the keep-alive
-//!                 throughput phase; writes BENCH_perf.json and FAILS
-//!                 if BestMatch p95 ≥ 1 ms, single-shard scatter-gather
-//!                 costs >10% over the unsharded path, or throughput
-//!                 regresses >30% against the committed baseline
+//!                 over shard counts {1, 2, 4, 8}, the keep-alive
+//!                 throughput phase, and the append-under-load sweep
+//!                 (appends/s {0, 50, 200} against the live delta);
+//!                 writes BENCH_perf.json and FAILS if BestMatch p95
+//!                 ≥ 1 ms, single-shard scatter-gather costs >10% over
+//!                 the unsharded path, throughput regresses >30%
+//!                 against the committed baseline, or the idle (empty
+//!                 delta) live plane costs more than 5% of throughput
 //! ```
 //!
 //! Two measurement phases, both against an in-process server on an
@@ -394,14 +405,14 @@ fn fetch(addr: SocketAddr, raw: &str) -> (u16, String) {
     (status, body)
 }
 
-/// The serving generation as reported by `/healthz`.
-fn generation(addr: SocketAddr) -> u64 {
+/// A numeric field from the `/healthz` body.
+fn healthz_u64(addr: SocketAddr, key: &str) -> u64 {
     let (status, body) = fetch(
         addr,
         "GET /healthz HTTP/1.1\r\nhost: chaos\r\nconnection: close\r\n\r\n",
     );
     assert_eq!(status, 200, "/healthz must stay green, body: {body}");
-    body.split("\"generation\":")
+    body.split(&format!("\"{key}\":"))
         .nth(1)
         .and_then(|rest| {
             rest.chars()
@@ -410,7 +421,28 @@ fn generation(addr: SocketAddr) -> u64 {
                 .parse()
                 .ok()
         })
-        .unwrap_or_else(|| panic!("no generation in /healthz body: {body}"))
+        .unwrap_or_else(|| panic!("no {key} in /healthz body: {body}"))
+}
+
+/// The serving generation as reported by `/healthz`.
+fn generation(addr: SocketAddr) -> u64 {
+    healthz_u64(addr, "generation")
+}
+
+/// One counter's value from `/metrics?format=prometheus` (the registry is
+/// process-global, so chaos sections diff against a baseline read).
+fn metric_counter(addr: SocketAddr, prom: &str) -> u64 {
+    let (status, body) = fetch(
+        addr,
+        "GET /metrics?format=prometheus HTTP/1.1\r\nhost: chaos\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200, "/metrics must stay green");
+    body.lines()
+        .find_map(|l| {
+            let mut parts = l.split_whitespace();
+            (parts.next() == Some(prom)).then(|| parts.next().and_then(|v| v.parse().ok()))?
+        })
+        .unwrap_or_else(|| panic!("no {prom} counter in /metrics"))
 }
 
 /// The per-shard generation vector from a sharded server's `/healthz`.
@@ -830,6 +862,195 @@ fn sharded_chaos() {
     );
 }
 
+/// `POST /v1/admin/library/append` with `body`; returns status and body.
+fn admin_append(addr: SocketAddr, body: &str) -> (u16, String) {
+    let raw = format!(
+        "POST /v1/admin/library/append HTTP/1.1\r\nhost: chaos\r\ncontent-length: {}\r\n\
+         connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    fetch(addr, &raw)
+}
+
+/// Polls `probe` every 25 ms until it returns true, or panics with `what`
+/// after ten seconds.
+fn wait_until(what: &str, mut probe: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !probe() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Faulted-compaction chaos: rows are appended into the live delta, and
+/// the age-triggered background compaction is then driven through three
+/// consecutive injected fault plans — a read error at the read-back
+/// verify, a torn write at the persist, and a stall-then-error write.
+/// Every faulted compaction must roll back whole (old generation serving,
+/// delta and WAL intact, serving file never torn), recommend traffic must
+/// see zero drops and zero non-200s throughout, and once the faults are
+/// lifted the backoff-gated retry must compact cleanly: generation
+/// bumped, delta emptied, WAL cleared, merged library on disk.
+fn compaction_chaos() {
+    use goalrec_faults::{arm, disarm, FaultPlan};
+
+    let dir = std::env::temp_dir().join("goalrec-chaos-compact");
+    std::fs::create_dir_all(&dir).expect("chaos: temp dir");
+    let serving = dir.join("chaos-live.jsonl");
+    goalrec_datasets::io::write_library_jsonl(&synthetic_library(), &serving)
+        .expect("chaos: seed library");
+    let _ = std::fs::remove_file(dir.join("chaos-live.jsonl.wal"));
+    let base_impls = synthetic_library().len();
+
+    let mut cfg = config(8, 64);
+    cfg.library_path = Some(serving.clone());
+    cfg.compact_threshold = 0; // no count trigger —
+    cfg.compact_max_age = Duration::from_millis(500); // — age drives it
+    let handle = start(synthetic_library(), cfg).expect("chaos: start live server");
+    let addr = handle.local_addr();
+
+    // Continuous recommend traffic for the whole faulted-compaction window.
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || keep_alive_client(addr, stop))
+        })
+        .collect();
+
+    let failures0 = metric_counter(addr, "goalrec_library_compaction_failures");
+    let compactions0 = metric_counter(addr, "goalrec_library_compactions");
+
+    // Three consecutive fault plans, armed back to back with no unarmed
+    // gap (a plan faults every attempt while armed, so a backoff retry
+    // landing before the next plan is armed still fails and rolls back).
+    let plans = [
+        (
+            "read error at the read-back verify",
+            "path=chaos-live.jsonl;read-error@op=1",
+        ),
+        (
+            "torn write at the persist",
+            "path=chaos-live.jsonl;torn-write@byte=64",
+        ),
+        (
+            "stall-then-error write",
+            "path=chaos-live.jsonl;stall-50ms@op=1;write-error@op=2",
+        ),
+    ];
+    arm(FaultPlan::parse(plans[0].1).expect("chaos: plan"));
+
+    // Stage two rows; the age trigger fires the first compaction ~500ms on.
+    for body in [
+        r#"{"goal": 0, "actions": [1, 2, 3]}"#,
+        r#"{"implementations": [{"goal": 1, "actions": [4, 5]}]}"#,
+    ] {
+        let (status, reply) = admin_append(addr, body);
+        assert_eq!(status, 200, "append must stage: {reply}");
+    }
+    assert_eq!(healthz_u64(addr, "delta_size"), 2);
+    assert_eq!(generation(addr), 1);
+
+    for (i, (what, plan)) in plans.iter().enumerate() {
+        if i > 0 {
+            arm(FaultPlan::parse(plan).expect("chaos: plan"));
+        }
+        let want = failures0 + i as u64 + 1;
+        wait_until(&format!("faulted compaction #{} ({what})", i + 1), || {
+            metric_counter(addr, "goalrec_library_compaction_failures") >= want
+        });
+        assert_eq!(
+            generation(addr),
+            1,
+            "a faulted compaction must leave the old generation serving"
+        );
+        assert_eq!(
+            healthz_u64(addr, "delta_size"),
+            2,
+            "a faulted compaction must leave the delta intact"
+        );
+        // The serving file is never torn: every line parses, and the row
+        // count is either the base or the merged library (a failure after
+        // the atomic rename but before the WAL clear legitimately leaves
+        // the merge behind). Read with std::fs — the datasets readers
+        // would go through the armed fault plan.
+        let raw = std::fs::read(&serving).expect("chaos: raw read of the serving file");
+        let rows = String::from_utf8_lossy(&raw)
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .inspect(|l| {
+                goalrec_datasets::io::parse_implementation_line(l)
+                    .expect("chaos: the serving file must never be torn");
+            })
+            .count();
+        assert!(
+            rows == base_impls || rows == base_impls + 2,
+            "serving file holds {rows} implementations, expected {base_impls} or {}",
+            base_impls + 2
+        );
+        eprintln!(
+            "chaos: compaction under {what} rolled back — generation 1 serving, delta intact"
+        );
+    }
+    disarm();
+
+    // Faults lifted: the backoff-gated retry must compact cleanly.
+    wait_until("the clean compaction retry", || generation(addr) == 2);
+    wait_until("the delta to empty", || {
+        healthz_u64(addr, "delta_size") == 0
+    });
+    assert!(
+        metric_counter(addr, "goalrec_library_compactions") > compactions0,
+        "the clean retry must count as a compaction"
+    );
+    let on_disk = goalrec_datasets::io::read_library_auto(&serving).expect("chaos: reread");
+    assert_eq!(
+        on_disk.len(),
+        base_impls + 2,
+        "the merged library must be persisted after the clean compaction"
+    );
+    let wal = dir.join("chaos-live.jsonl.wal");
+    assert_eq!(
+        std::fs::read(&wal).map(|b| b.len()).unwrap_or(0),
+        0,
+        "the WAL must be cleared by the clean compaction"
+    );
+    eprintln!("chaos: clean retry compacted to generation 2, delta 0, WAL cleared");
+
+    // ordering: Relaxed — quiesce signal only; the join below is the
+    // synchronization point for the tallies.
+    stop.store(true, Ordering::Relaxed);
+    let mut merged = ClientTally::default();
+    for c in clients {
+        let tally = c.join().expect("chaos: client thread");
+        merged.ok += tally.ok;
+        merged.rejected += tally.rejected;
+        merged.other += tally.other;
+        merged.errors += tally.errors;
+    }
+    handle.shutdown();
+
+    assert!(
+        merged.ok > 0,
+        "compaction chaos traffic produced no successful requests"
+    );
+    assert_eq!(
+        (merged.other, merged.errors, merged.rejected),
+        (0, 0, 0),
+        "faulted compactions must not fail, drop, or shed recommend traffic \
+         (ok {}, non-200 {}, transport errors {}, 503s {})",
+        merged.ok,
+        merged.other,
+        merged.errors,
+        merged.rejected
+    );
+    eprintln!(
+        "chaos: {} recommend requests answered 200 across three faulted compactions, \
+         zero dropped, zero 5xx, zero 503",
+        merged.ok
+    );
+}
+
 /// Keep-alive throughput committed with the CSR + scratch-arena PR; the
 /// `--perf` guardrail fails when a run lands more than 30% below this.
 /// Refresh it (and BENCH_perf.json) when the hot path changes on purpose.
@@ -859,6 +1080,114 @@ fn best_build_seconds(lib: &goalrec_core::GoalLibrary) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
+/// One append-under-load window: keep-alive recommend traffic against a
+/// live-mutation server while a background thread posts single-row
+/// appends at `append_per_s` (0 = empty delta for the whole window).
+/// Auto-compaction is disabled so the window measures the overlay itself.
+fn run_live_phase(
+    dir: &std::path::Path,
+    append_per_s: u64,
+    clients: usize,
+    seconds: f64,
+) -> serde_json::Value {
+    let serving = dir.join(format!("perf-live-{append_per_s}.jsonl"));
+    goalrec_datasets::io::write_library_jsonl(&synthetic_library(), &serving)
+        .expect("perf: seed live library");
+    let _ = std::fs::remove_file(dir.join(format!("perf-live-{append_per_s}.jsonl.wal")));
+
+    let mut cfg = config(
+        ServerConfig::default().workers,
+        ServerConfig::default().queue_depth,
+    );
+    cfg.library_path = Some(serving);
+    cfg.compact_threshold = 0;
+    cfg.compact_max_age = Duration::ZERO;
+    let handle = start(synthetic_library(), cfg).expect("perf: start live server");
+    let addr = handle.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let threads: Vec<_> = (0..clients)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || keep_alive_client(addr, stop))
+        })
+        .collect();
+    let appender = (append_per_s > 0).then(|| {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let gap = Duration::from_nanos(1_000_000_000 / append_per_s);
+            let mut landed = 0u64;
+            // ordering: Relaxed — quiesce signal only; joined below.
+            while !stop.load(Ordering::Relaxed) {
+                let (status, body) = admin_append(addr, r#"{"goal": 0, "actions": [1, 2, 3]}"#);
+                assert_eq!(status, 200, "append under load must stage: {body}");
+                landed += 1;
+                std::thread::sleep(gap);
+            }
+            landed
+        })
+    });
+
+    let t0 = Instant::now();
+    std::thread::sleep(Duration::from_secs_f64(seconds));
+    // ordering: Relaxed — quiesce signal only; joins below synchronize.
+    stop.store(true, Ordering::Relaxed);
+    let appends_landed = appender
+        .map(|t| t.join().expect("perf: appender"))
+        .unwrap_or(0);
+    let mut merged = ClientTally::default();
+    for t in threads {
+        let tally = t.join().expect("perf: live client");
+        merged.latencies_ns.extend(tally.latencies_ns);
+        merged.ok += tally.ok;
+        merged.rejected += tally.rejected;
+        merged.other += tally.other;
+        merged.errors += tally.errors;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    // Compaction is disabled in this phase, so the staged delta is stable
+    // once the appender has joined — read it on the now-quiet server
+    // instead of racing the saturating keep-alive clients for a worker.
+    let delta_size = healthz_u64(addr, "delta_size");
+    handle.shutdown();
+
+    merged.latencies_ns.sort_unstable();
+    let req_per_s = if elapsed > 0.0 {
+        merged.ok as f64 / elapsed
+    } else {
+        0.0
+    };
+    // Transport must stay clean; occasional deadline 408s under scheduler
+    // jitter are tolerated (and recorded) exactly as in `run_phase` —
+    // they already depress `req_per_s`, which the guardrail gates.
+    assert_eq!(
+        merged.errors, 0,
+        "append-under-load traffic hit {} transport errors",
+        merged.errors
+    );
+    eprintln!(
+        "  {append_per_s:>4} appends/s: {req_per_s:.0} req/s ok, delta {delta_size} rows, \
+         p50 {:.0} µs, p95 {:.0} µs, p99 {:.0} µs",
+        percentile_us(&merged.latencies_ns, 50.0),
+        percentile_us(&merged.latencies_ns, 95.0),
+        percentile_us(&merged.latencies_ns, 99.0),
+    );
+    serde_json::json!({
+        "append_per_s": append_per_s,
+        "appends_landed": appends_landed,
+        "delta_rows_end": delta_size,
+        "clients": clients,
+        "seconds": (elapsed * 100.0).round() / 100.0,
+        "ok": merged.ok,
+        "rejected_503": merged.rejected,
+        "other_status": merged.other,
+        "req_per_s": req_per_s,
+        "p50_us": percentile_us(&merged.latencies_ns, 50.0),
+        "p95_us": percentile_us(&merged.latencies_ns, 95.0),
+        "p99_us": percentile_us(&merged.latencies_ns, 99.0),
+    })
+}
+
 /// Hot-path regression bench: build timing, per-strategy latency, serving
 /// throughput. Writes the report to `out`; exits non-zero when a
 /// guardrail trips.
@@ -870,7 +1199,7 @@ fn perf(clients: usize, seconds: f64, out: &std::path::Path) {
 
     // Phase 1: serial vs parallel counting-sort fill on a library at the
     // scalability example's top size (40k impls × 8 actions, 3k vocab).
-    eprintln!("phase 1/4: model build — serial vs parallel counting sort (40k impls)");
+    eprintln!("phase 1/5: model build — serial vs parallel counting sort (40k impls)");
     let big = synthetic_library_sized(40_000, 3_000, 8);
     std::env::set_var("GOALREC_BUILD_SERIAL", "1");
     let serial_s = best_build_seconds(&big);
@@ -886,7 +1215,7 @@ fn perf(clients: usize, seconds: f64, out: &std::path::Path) {
     // Phase 2: steady-state rank_into latency per strategy over the
     // FoodMart test-scale carts — the workload `repro table6 --scale
     // test` ranks.
-    eprintln!("phase 2/4: per-strategy rank_into latency (FoodMart test-scale carts)");
+    eprintln!("phase 2/5: per-strategy rank_into latency (FoodMart test-scale carts)");
     let fm = FoodMart::generate(&FoodMartConfig::test_scale());
     let model = GoalModel::build(&fm.library).expect("perf: foodmart model");
     let mut scratch = Scratch::new();
@@ -934,7 +1263,7 @@ fn perf(clients: usize, seconds: f64, out: &std::path::Path) {
     // At one shard the scatter is the unsharded ranking plus the merge
     // replay, so the N=1 BestMatch p95 against phase 2 is the pure
     // scatter-gather overhead — guard-railed at 10%.
-    eprintln!("phase 3/4: sharded scatter-gather latency — shards {{1, 2, 4, 8}}, same carts");
+    eprintln!("phase 3/5: sharded scatter-gather latency — shards {{1, 2, 4, 8}}, same carts");
     let mut shard_reports = Vec::new();
     let mut sharded_best_match_p95_n1_us = 0.0f64;
     for num_shards in [1usize, 2, 4, 8] {
@@ -1010,7 +1339,7 @@ fn perf(clients: usize, seconds: f64, out: &std::path::Path) {
     // Best of three windows: a closed-loop load test only loses
     // throughput to scheduler noise (this gate must not flap on shared
     // CI runners), so the best window is the machine's capability.
-    eprintln!("phase 4/4: keep-alive serving throughput — {clients} clients, best of 3 windows");
+    eprintln!("phase 4/5: keep-alive serving throughput — {clients} clients, best of 3 windows");
     let mut phase = None::<PhaseOutcome>;
     for window in 1..=3 {
         let run = run_phase(
@@ -1031,6 +1360,43 @@ fn perf(clients: usize, seconds: f64, out: &std::path::Path) {
     }
     let phase = phase.expect("perf: at least one throughput window");
     let req_per_s = phase.req_per_s;
+
+    // Phase 5: the append-under-load sweep. The 0-appends/s row is the
+    // empty-delta case — the live mutation plane enabled but idle — and
+    // is guard-railed to within 5% of the phase-4 throughput from this
+    // same run (same machine, same windows), proving the overlay costs
+    // nothing until rows are actually staged. Best of three windows for
+    // the gated row, single windows for the loaded rows.
+    eprintln!("phase 5/5: append-under-load sweep — appends/s {{0, 50, 200}}, live delta overlay");
+    let live_dir = std::env::temp_dir().join("goalrec-perf-live");
+    std::fs::create_dir_all(&live_dir).expect("perf: live temp dir");
+    let mut live_rows = Vec::new();
+    let mut empty_delta_rps = 0.0f64;
+    for _ in 0..3 {
+        let row = run_live_phase(&live_dir, 0, clients, seconds.min(2.0));
+        let rps = row
+            .get("req_per_s")
+            .and_then(serde_json::Value::as_f64)
+            .unwrap_or(0.0);
+        if rps > empty_delta_rps {
+            empty_delta_rps = rps;
+            if let Some(first) = live_rows.first_mut() {
+                *first = row;
+            } else {
+                live_rows.push(row);
+            }
+        } else if live_rows.is_empty() {
+            live_rows.push(row);
+        }
+    }
+    for rate in [50u64, 200] {
+        live_rows.push(run_live_phase(&live_dir, rate, clients, seconds.min(2.0)));
+    }
+    let empty_delta_ratio = if req_per_s > 0.0 {
+        empty_delta_rps / req_per_s
+    } else {
+        0.0
+    };
 
     let floor = PERF_BASELINE_KEEPALIVE_RPS * 0.7;
     let build_report = serde_json::json!({
@@ -1055,6 +1421,9 @@ fn perf(clients: usize, seconds: f64, out: &std::path::Path) {
         "req_per_s_floor": floor,
         "baseline_req_per_s": PERF_BASELINE_KEEPALIVE_RPS,
         "pr3_baseline_req_per_s": PR3_BASELINE_KEEPALIVE_RPS,
+        "empty_delta_req_per_s": empty_delta_rps,
+        "empty_delta_ratio": empty_delta_ratio,
+        "empty_delta_ratio_floor": 0.95,
     });
     let report = serde_json::json!({
         "bench": "goalrec perf — sharded scatter-gather on the hot path",
@@ -1062,6 +1431,7 @@ fn perf(clients: usize, seconds: f64, out: &std::path::Path) {
         "strategy_latency": strategy_reports,
         "sharded_latency": shard_reports,
         "throughput": phase.value,
+        "append_under_load": live_rows,
         "guardrails": guardrails,
     });
     let text = serde_json::to_string_pretty(&report).expect("serialise perf report");
@@ -1088,6 +1458,15 @@ fn perf(clients: usize, seconds: f64, out: &std::path::Path) {
         eprintln!(
             "PERF REGRESSION: {req_per_s:.0} req/s is >30% below the committed \
              baseline of {PERF_BASELINE_KEEPALIVE_RPS:.0} req/s (floor {floor:.0})"
+        );
+        failed = true;
+    }
+    if empty_delta_ratio < 0.95 {
+        eprintln!(
+            "PERF REGRESSION: empty-delta throughput {empty_delta_rps:.0} req/s is \
+             {:.1}% of the plain-server phase ({req_per_s:.0} req/s) — the idle live \
+             mutation plane must cost under 5%",
+            empty_delta_ratio * 100.0
         );
         failed = true;
     }
@@ -1147,9 +1526,10 @@ fn main() {
     if is_chaos {
         chaos_smoke();
         sharded_chaos();
+        compaction_chaos();
         println!(
-            "loadgen --chaos-smoke: faulted reloads rolled back (whole-model and per-shard), \
-             traffic unharmed, clean reloads bumped the generations"
+            "loadgen --chaos-smoke: faulted reloads and compactions rolled back (whole-model, \
+             per-shard, and live-delta), traffic unharmed, clean retries bumped the generations"
         );
         return;
     }

@@ -40,7 +40,8 @@ const USAGE: &str = "usage:\n  \
     goalrec serve     --library FILE.jsonl [--addr HOST] [--port N] [--workers N] \
 [--queue-depth N] [--deadline-ms N] [--idle-ms N] [--no-trace] \
 [--trace-sample-every N] [--access-log] [--access-log-every N] \
-[--shards N] [--shard-mode hash|balanced]\n  \
+[--shards N] [--shard-mode hash|balanced] [--admin-deadline-ms N] \
+[--append-max-entries N] [--watch] [--compact-threshold N] [--compact-max-age-ms N]\n  \
     goalrec demo";
 
 fn generate(args: &Args) -> CmdResult {
@@ -317,6 +318,15 @@ fn serve(args: &Args) -> CmdResult {
         cfg.shard_mode = goalrec_server::PartitionMode::parse(mode)
             .ok_or_else(|| format!("--shard-mode expects 'hash' or 'balanced', got '{mode}'"))?;
     }
+    cfg.admin_deadline = Duration::from_millis(
+        u64::try_from(args.num("admin-deadline-ms", 10_000)?).unwrap_or(u64::MAX),
+    );
+    cfg.append_max_entries = args.num("append-max-entries", cfg.append_max_entries)?;
+    cfg.watch = args.has("watch");
+    cfg.compact_threshold = args.num("compact-threshold", cfg.compact_threshold)?;
+    cfg.compact_max_age = Duration::from_millis(
+        u64::try_from(args.num("compact-max-age-ms", 60_000)?).unwrap_or(u64::MAX),
+    );
     // SIGHUP and path-less admin reloads re-read the same file.
     cfg.library_path = args.required("library").ok().map(std::path::PathBuf::from);
     goalrec_server::run_blocking(lib, cfg).map_err(|e| e.to_string())

@@ -1,16 +1,26 @@
-//! Incrementally updatable goal model.
+//! Incrementally updatable goal model over a base + delta overlay.
 //!
 //! [`crate::GoalModel`] is an immutable compiled snapshot — ideal for
 //! serving, wrong for ingestion: real libraries grow continuously (new
-//! recipes, new success stories). [`DynamicGoalModel`] maintains the same
-//! five index structures as growable posting lists and supports
+//! recipes, new success stories). [`DynamicGoalModel`] stages mutations
+//! in an append-only [`DeltaSegment`] side-index, optionally overlaid on
+//! an immutable compiled base:
 //! * O(|A|) [`DynamicGoalModel::add_implementation`] — appends keep every
-//!   posting list sorted because implementation ids are handed out in
-//!   increasing order;
-//! * O(|A|) [`DynamicGoalModel::remove_implementation`] — tombstones the
-//!   implementation and purges it from the inverted lists;
-//! * O(total postings) [`DynamicGoalModel::compile`] — snapshots into an
-//!   immutable [`crate::GoalModel`] for the serving path.
+//!   staged posting list sorted because implementation ids are handed out
+//!   in increasing order;
+//! * O(|A|) [`DynamicGoalModel::remove_implementation`] — tombstones a
+//!   *staged* implementation and purges it from the side-indexes
+//!   (base-era implementations are frozen until the next compile);
+//! * O(total postings) [`DynamicGoalModel::compile`] — merges base ⊕
+//!   delta into an immutable [`crate::GoalModel`] for the serving path —
+//!   exactly what the server's background compaction runs off-thread;
+//! * zero-copy [`DynamicGoalModel::live`] — a [`LiveRef`] overlay view
+//!   that every ranking strategy can read *without* compiling, giving
+//!   bit-identical rankings to the compiled merge.
+//!
+//! Without a base (the pure-ingestion pattern, [`DynamicGoalModel::new`]),
+//! everything is staged and any implementation can be retracted — the
+//! pre-overlay behaviour, unchanged.
 //!
 //! The epoch counter lets callers cheaply detect "has anything changed
 //! since my last snapshot".
@@ -18,8 +28,9 @@
 use crate::error::{Error, Result};
 use crate::ids::{ActionId, GoalId, ImplId};
 use crate::library::GoalLibrary;
+use crate::live::{self, DeltaSegment, LiveRef};
 use crate::model::GoalModel;
-use crate::setops;
+use std::sync::Arc;
 
 /// A mutable, incrementally indexed goal implementation store.
 ///
@@ -36,27 +47,40 @@ use crate::setops;
 /// let snapshot = dm.compile().unwrap(); // immutable serving model
 /// assert_eq!(snapshot.num_impls(), 1);
 /// ```
+///
+/// Overlay mode seeds from a compiled base and stages appends on top:
+///
+/// ```
+/// use goalrec_core::{ActionId, DynamicGoalModel, GoalId, GoalModel, LibraryBuilder};
+/// use std::sync::Arc;
+///
+/// let mut b = LibraryBuilder::new();
+/// b.add_impl("g", ["a", "b"]).unwrap();
+/// let base = Arc::new(GoalModel::build(&b.build().unwrap()).unwrap());
+///
+/// let mut dm = DynamicGoalModel::over(base);
+/// dm.add_implementation(GoalId::new(1), vec![ActionId::new(0)]).unwrap();
+/// assert_eq!(dm.goal_space(&[0]), vec![0, 1]); // base + staged, no rebuild
+/// assert_eq!(dm.compile().unwrap().num_impls(), 2);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct DynamicGoalModel {
-    /// impl → sorted actions; empty slot = tombstone.
-    impl_actions: Vec<Vec<u32>>,
-    /// impl → goal id (undefined for tombstones).
-    impl_goal: Vec<u32>,
-    /// goal → sorted live implementation ids.
-    goal_impls: Vec<Vec<u32>>,
-    /// action → sorted live implementation ids.
-    action_impls: Vec<Vec<u32>>,
-    live: usize,
+    /// Compiled immutable base, if overlaying (`None` = pure ingestion).
+    base: Option<Arc<GoalModel>>,
+    /// Append-only staging segment continuing the base's id spaces.
+    delta: DeltaSegment,
     epoch: u64,
 }
 
 impl DynamicGoalModel {
-    /// Creates an empty dynamic model.
+    /// Creates an empty dynamic model with no compiled base.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Seeds a dynamic model from an existing library.
+    /// Seeds a dynamic model from an existing library. All
+    /// implementations are staged (no compiled base), so any of them can
+    /// still be removed.
     pub fn from_library(library: &GoalLibrary) -> Result<Self> {
         let mut dm = Self::new();
         for imp in library.implementations() {
@@ -65,63 +89,46 @@ impl DynamicGoalModel {
         Ok(dm)
     }
 
+    /// Overlays an empty staging segment on a compiled base model. New
+    /// implementations continue the base's dense id space; base-era
+    /// implementations are frozen until the next [`Self::compile`].
+    pub fn over(base: Arc<GoalModel>) -> Self {
+        let delta = DeltaSegment::for_base(&base);
+        Self {
+            base: Some(base),
+            delta,
+            epoch: 0,
+        }
+    }
+
     /// Adds one implementation, growing the action/goal id spaces as
     /// needed. Returns the new implementation's id.
     pub fn add_implementation(&mut self, goal: GoalId, actions: Vec<ActionId>) -> Result<ImplId> {
-        let mut acts: Vec<u32> = actions.into_iter().map(ActionId::raw).collect();
-        setops::normalize(&mut acts);
-        let Some(&last_action) = acts.last() else {
-            return Err(Error::EmptyImplementation {
-                goal: goal.to_string(),
-            });
-        };
-        let pid = self.impl_actions.len() as u32;
-        if goal.index() >= self.goal_impls.len() {
-            self.goal_impls.resize(goal.index() + 1, Vec::new());
-        }
-        let max_action = last_action as usize;
-        if max_action >= self.action_impls.len() {
-            self.action_impls.resize(max_action + 1, Vec::new());
-        }
-        self.goal_impls[goal.index()].push(pid);
-        for &a in &acts {
-            self.action_impls[a as usize].push(pid);
-        }
-        self.impl_actions.push(acts);
-        self.impl_goal.push(goal.raw());
-        self.live += 1;
+        let id = self.delta.append(goal, actions)?;
         self.epoch += 1;
-        Ok(ImplId::new(pid))
+        Ok(id)
     }
 
-    /// Removes an implementation. Idempotent; unknown ids are an error.
+    /// Removes a *staged* implementation. Idempotent; ids never assigned
+    /// are [`Error::UnknownGoal`], base-era ids are
+    /// [`Error::FrozenImplementation`].
     pub fn remove_implementation(&mut self, id: ImplId) -> Result<()> {
-        let slot = self
-            .impl_actions
-            .get_mut(id.index())
-            .ok_or(Error::UnknownGoal(id.raw()))?;
-        if slot.is_empty() {
-            return Ok(()); // already tombstoned
+        let before = self.delta.len();
+        self.delta.remove(id)?;
+        if self.delta.len() != before {
+            self.epoch += 1;
         }
-        let actions = std::mem::take(slot);
-        let goal = self.impl_goal[id.index()] as usize;
-        self.goal_impls[goal].retain(|&p| p != id.raw());
-        for &a in &actions {
-            self.action_impls[a as usize].retain(|&p| p != id.raw());
-        }
-        self.live -= 1;
-        self.epoch += 1;
         Ok(())
     }
 
-    /// Number of live implementations.
+    /// Number of live implementations (base + staged).
     pub fn len(&self) -> usize {
-        self.live
+        self.base.as_ref().map_or(0, |b| b.num_impls()) + self.delta.len()
     }
 
     /// Whether no live implementation exists.
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.len() == 0
     }
 
     /// Monotonic change counter: bumps on every add/remove.
@@ -129,57 +136,52 @@ impl DynamicGoalModel {
         self.epoch
     }
 
-    /// Implementation space of an action over the *live* set.
+    /// The compiled base model, if overlaying one.
+    pub fn base(&self) -> Option<&Arc<GoalModel>> {
+        self.base.as_ref()
+    }
+
+    /// The staging segment holding implementations not yet compiled in.
+    pub fn delta(&self) -> &DeltaSegment {
+        &self.delta
+    }
+
+    /// A zero-copy overlay view of base ⊕ delta for the ranking path.
+    pub fn live(&self) -> LiveRef<'_> {
+        LiveRef::from_parts(self.base.as_deref(), Some(&self.delta))
+    }
+
+    /// *Staged* implementations of an action (base postings are read
+    /// through [`Self::live`]).
     pub fn action_impls(&self, a: ActionId) -> &[u32] {
-        self.action_impls
-            .get(a.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.delta.action_impls(a)
     }
 
-    /// Live implementations of a goal.
+    /// *Staged* implementations of a goal (base postings are read
+    /// through [`Self::live`]).
     pub fn goal_impls(&self, g: GoalId) -> &[u32] {
-        self.goal_impls
-            .get(g.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.delta.goal_impls(g)
     }
 
-    /// Goal space of an activity over the live set (Eq. 1, fresh view).
+    /// Goal space of an activity over the live base ⊕ delta set
+    /// (Eq. 1, fresh view).
     pub fn goal_space(&self, activity: &[u32]) -> Vec<u32> {
-        let mut goals: Vec<u32> = Vec::new();
-        for &a in activity {
-            for &p in self.action_impls(ActionId::new(a)) {
-                goals.push(self.impl_goal[p as usize]);
-            }
-        }
-        setops::normalize(&mut goals);
+        let view = self.live();
+        let mut impls = Vec::new();
+        live::implementation_space_into(&view, activity, &mut impls);
+        let mut goals = Vec::new();
+        live::goals_of_impls_into(&view, &impls, &mut goals);
         goals
     }
 
-    /// Compiles an immutable serving snapshot. Tombstoned slots are
-    /// *compacted away*: snapshot implementation ids are dense and need
-    /// not match dynamic ids.
+    /// Compiles an immutable serving snapshot of base ⊕ delta.
+    /// Tombstoned slots are *compacted away*: snapshot implementation ids
+    /// are dense and need not match dynamic ids.
     pub fn compile(&self) -> Result<GoalModel> {
-        if self.live == 0 {
+        if self.is_empty() {
             return Err(Error::EmptyLibrary);
         }
-        let num_goals = self.goal_impls.len() as u32;
-        let num_actions = self.action_impls.len() as u32;
-        let impls: Vec<(GoalId, Vec<ActionId>)> = self
-            .impl_actions
-            .iter()
-            .zip(&self.impl_goal)
-            .filter(|(acts, _)| !acts.is_empty())
-            .map(|(acts, &g)| {
-                (
-                    GoalId::new(g),
-                    acts.iter().copied().map(ActionId::new).collect(),
-                )
-            })
-            .collect();
-        let library = GoalLibrary::from_id_implementations(num_actions, num_goals, impls)?;
-        GoalModel::build(&library)
+        self.live().to_model()
     }
 }
 
@@ -188,6 +190,7 @@ mod tests {
     use super::*;
     use crate::activity::Activity;
     use crate::recommend::{GoalRecommender, Recommender};
+    use crate::setops;
     use crate::strategies::Breadth;
     use std::sync::Arc;
 
@@ -310,5 +313,47 @@ mod tests {
         let rec2 = GoalRecommender::new(Arc::new(dm.compile().unwrap()), Box::new(Breadth));
         let after = rec2.recommend_actions(&Activity::from_raw([0]), 5);
         assert!(after.contains(&ActionId::new(9)));
+    }
+
+    #[test]
+    fn over_stages_on_a_frozen_base() {
+        let mut dm0 = DynamicGoalModel::new();
+        dm0.add_implementation(GoalId::new(0), ids(&[0, 1]))
+            .unwrap();
+        dm0.add_implementation(GoalId::new(1), ids(&[2])).unwrap();
+        let base = Arc::new(dm0.compile().unwrap());
+
+        let mut dm = DynamicGoalModel::over(Arc::clone(&base));
+        assert_eq!(dm.len(), 2);
+        assert!(dm.delta().is_empty());
+        // Ids continue the base space.
+        let p = dm.add_implementation(GoalId::new(2), ids(&[0, 5])).unwrap();
+        assert_eq!(p, ImplId::new(2));
+        assert_eq!(dm.len(), 3);
+        assert_eq!(dm.goal_space(&[0]), vec![0, 2]);
+        // Base-era implementations are frozen; staged ones retract.
+        assert!(matches!(
+            dm.remove_implementation(ImplId::new(0)),
+            Err(Error::FrozenImplementation(0))
+        ));
+        dm.remove_implementation(p).unwrap();
+        assert_eq!(dm.goal_space(&[0]), vec![0]);
+        // Compile with an empty delta reproduces the base.
+        let merged = dm.compile().unwrap();
+        assert_eq!(merged.num_impls(), base.num_impls());
+    }
+
+    #[test]
+    fn over_compile_merges_base_and_delta() {
+        let mut dm0 = DynamicGoalModel::new();
+        dm0.add_implementation(GoalId::new(0), ids(&[0, 1]))
+            .unwrap();
+        let base = Arc::new(dm0.compile().unwrap());
+        let mut dm = DynamicGoalModel::over(base);
+        dm.add_implementation(GoalId::new(1), ids(&[1, 3])).unwrap();
+        let merged = dm.compile().unwrap();
+        assert_eq!(merged.num_impls(), 2);
+        assert_eq!(merged.action_impls(ActionId::new(1)), &[0, 1]);
+        assert_eq!(merged.impl_goal(ImplId::new(1)), GoalId::new(1));
     }
 }

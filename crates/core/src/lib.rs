@@ -58,6 +58,7 @@ pub mod explain;
 pub mod fusion;
 pub mod ids;
 pub mod library;
+pub mod live;
 pub mod model;
 pub mod profile;
 pub mod recommend;
@@ -75,6 +76,7 @@ pub use explain::{explain, Explanation, Justification};
 pub use fusion::{FusionRule, Hybrid};
 pub use ids::{ActionId, GoalId, ImplId, Interner};
 pub use library::{GoalLibrary, Implementation, LibraryBuilder, LibraryStats, StatsReport};
+pub use live::{AssocView, DeltaSegment, LiveRef};
 pub use model::GoalModel;
 pub use recommend::{GoalRecommender, Recommender};
 pub use rerank::mmr_rerank;

@@ -7,7 +7,8 @@
 //! (Eq. 8); the user profile is the sum of the vectors of the actions in
 //! `H` (Eq. 9).
 
-use crate::ids::{ActionId, GoalId};
+use crate::ids::{ActionId, GoalId, ImplId};
+use crate::live::AssocView;
 use crate::model::GoalModel;
 use crate::setops;
 
@@ -118,9 +119,12 @@ pub fn goal_space_and_profile(model: &GoalModel, activity: &[u32]) -> (Vec<u32>,
 /// [`goal_space_and_profile`] into caller-owned buffers (all cleared
 /// first): `pairs` holds the raw (goal, +1) contribution stream, `space`
 /// the normalised goal space, `profile` the user profile over it. The
-/// allocation-free form used by the Best Match hot path.
-pub fn goal_space_and_profile_into(
-    model: &GoalModel,
+/// allocation-free form used by the Best Match hot path; generic over
+/// [`AssocView`] so a live base ⊕ delta overlay profiles identically to
+/// a compiled model (delta postings are a suffix of each action's row,
+/// and the pair stream is normalised before use).
+pub fn goal_space_and_profile_into<V: AssocView + ?Sized>(
+    view: &V,
     activity: &[u32],
     pairs: &mut Vec<u32>,
     space: &mut Vec<u32>,
@@ -129,11 +133,12 @@ pub fn goal_space_and_profile_into(
     // First pass: collect (goal, +1) pairs.
     pairs.clear();
     for &a in activity {
-        if (a as usize) >= model.num_actions() {
+        if (a as usize) >= view.num_actions() {
             continue;
         }
-        for &p in model.action_impls(ActionId::new(a)) {
-            pairs.push(model.impl_goal(crate::ids::ImplId::new(p)).raw());
+        let (base, delta) = view.action_impls_parts(ActionId::new(a));
+        for &p in base.iter().chain(delta) {
+            pairs.push(view.impl_goal(ImplId::new(p)).raw());
         }
     }
     space.clear();

@@ -13,6 +13,7 @@ use crate::activity::Activity;
 use crate::error::Result;
 use crate::ids::ActionId;
 use crate::library::GoalLibrary;
+use crate::live::LiveRef;
 use crate::model::GoalModel;
 use crate::scratch::{with_thread_scratch, Scratch};
 use crate::strategies::{BestMatch, Breadth, Focus, FocusVariant, Strategy};
@@ -112,6 +113,39 @@ impl GoalRecommender {
         scratch: &'s mut Scratch,
         trace: &mut obs::TraceContext,
     ) -> &'s [Scored] {
+        self.ranked_traced(scratch, trace, |strategy, scratch| {
+            strategy.rank_into(&self.model, activity, k, scratch)
+        })
+    }
+
+    /// [`GoalRecommender::recommend_into_traced`] over a live base ⊕
+    /// delta overlay instead of the bound model: the serving path for a
+    /// state whose staging segment holds appends not yet compacted into
+    /// the CSR base. With an empty delta this ranks exactly like the
+    /// model path (and stays allocation-free); records the same metrics
+    /// and spans.
+    pub fn recommend_live_into_traced<'s>(
+        &self,
+        live: LiveRef<'_>,
+        activity: &Activity,
+        k: usize,
+        scratch: &'s mut Scratch,
+        trace: &mut obs::TraceContext,
+    ) -> &'s [Scored] {
+        self.ranked_traced(scratch, trace, |strategy, scratch| {
+            strategy.rank_live_into(live, activity, k, scratch)
+        })
+    }
+
+    /// The shared observation wrapper: counts the request, times the
+    /// ranking closure into the strategy's latency histogram, and (when
+    /// tracing) records the `span.rank` family around it.
+    fn ranked_traced<'s>(
+        &self,
+        scratch: &'s mut Scratch,
+        trace: &mut obs::TraceContext,
+        rank: impl FnOnce(&dyn Strategy, &mut Scratch) -> usize,
+    ) -> &'s [Scored] {
         self.requests.inc();
         let traced = trace.is_enabled();
         if traced {
@@ -123,7 +157,7 @@ impl GoalRecommender {
         // top-level `span.handle`, which alone accounts for this window.
         let rank_token = trace.start_child_span(names::SPAN_RANK);
         let span = obs::Timer::into_histogram(Arc::clone(&self.latency));
-        let num_candidates = self.strategy.rank_into(&self.model, activity, k, scratch);
+        let num_candidates = rank(&*self.strategy, scratch);
         drop(span);
         trace.end_span(rank_token);
         if traced {

@@ -11,6 +11,7 @@
 use crate::activity::Activity;
 use crate::distance::DistanceMetric;
 use crate::ids::{ActionId, ImplId};
+use crate::live::{self, AssocView, LiveRef};
 use crate::model::GoalModel;
 use crate::profile::goal_space_and_profile_into;
 use crate::scratch::{with_thread_scratch, Scratch};
@@ -32,6 +33,61 @@ impl BestMatch {
     /// The configured metric.
     pub fn metric(&self) -> DistanceMetric {
         self.metric
+    }
+
+    /// The [`Strategy::rank_into`] body, generic over the view so the
+    /// same pass serves both a compiled model and a live overlay.
+    fn rank_view_into<V: AssocView + ?Sized>(
+        &self,
+        view: &V,
+        activity: &Activity,
+        k: usize,
+        scratch: &mut Scratch,
+    ) -> usize {
+        scratch.out.clear();
+        if k == 0 || activity.is_empty() {
+            return 0;
+        }
+        let h = activity.raw();
+        let Scratch {
+            pairs,
+            space,
+            profile,
+            impl_space,
+            candidates,
+            vec,
+            topk,
+            out,
+            phase,
+            ..
+        } = scratch;
+        goal_space_and_profile_into(view, h, pairs, space, profile);
+        if space.is_empty() {
+            return 0;
+        }
+
+        // Algorithm 4: CA = AS(H) − H (action_space_into already excludes
+        // H). Both the candidate pool and the per-candidate goal vector
+        // live in the arena — no per-call allocations.
+        live::implementation_space_into(view, h, impl_space);
+        live::action_space_into(view, h, impl_space, candidates);
+        let num_candidates = candidates.len();
+        phase.mark(); // candidate pool complete; distance scoring next
+        topk.reset(k);
+        vec.reset(space);
+        for &a in candidates.iter() {
+            // Re-zero the workhorse vector instead of reallocating.
+            vec.counts.iter_mut().for_each(|c| *c = 0.0);
+            let (base, delta) = view.action_impls_parts(ActionId::new(a));
+            for &p in base.iter().chain(delta) {
+                vec.add(view.impl_goal(ImplId::new(p)), 1.0);
+            }
+            let dist = self.metric.distance(&profile.counts, &vec.counts);
+            // Scores are higher-is-better across the crate; negate distance.
+            topk.push(Scored::new(ActionId::new(a), -dist));
+        }
+        topk.drain_sorted_into(out);
+        num_candidates
     }
 }
 
@@ -63,49 +119,24 @@ impl Strategy for BestMatch {
         k: usize,
         scratch: &mut Scratch,
     ) -> usize {
-        scratch.out.clear();
-        if k == 0 || activity.is_empty() {
-            return 0;
-        }
-        let h = activity.raw();
-        let Scratch {
-            pairs,
-            space,
-            profile,
-            impl_space,
-            candidates,
-            vec,
-            topk,
-            out,
-            phase,
-            ..
-        } = scratch;
-        goal_space_and_profile_into(model, h, pairs, space, profile);
-        if space.is_empty() {
-            return 0;
-        }
+        self.rank_view_into(model, activity, k, scratch)
+    }
 
-        // Algorithm 4: CA = AS(H) − H (action_space_into already excludes
-        // H). Both the candidate pool and the per-candidate goal vector
-        // live in the arena — no per-call allocations.
-        model.implementation_space_into(h, impl_space);
-        model.action_space_into(h, impl_space, candidates);
-        let num_candidates = candidates.len();
-        phase.mark(); // candidate pool complete; distance scoring next
-        topk.reset(k);
-        vec.reset(space);
-        for &a in candidates.iter() {
-            // Re-zero the workhorse vector instead of reallocating.
-            vec.counts.iter_mut().for_each(|c| *c = 0.0);
-            for &p in model.action_impls(ActionId::new(a)) {
-                vec.add(model.impl_goal(ImplId::new(p)), 1.0);
+    fn rank_live_into(
+        &self,
+        live: LiveRef<'_>,
+        activity: &Activity,
+        k: usize,
+        scratch: &mut Scratch,
+    ) -> usize {
+        match (live.delta(), live.base()) {
+            (None, Some(base)) => self.rank_view_into(base, activity, k, scratch),
+            (None, None) => {
+                scratch.out.clear();
+                0
             }
-            let dist = self.metric.distance(&profile.counts, &vec.counts);
-            // Scores are higher-is-better across the crate; negate distance.
-            topk.push(Scored::new(ActionId::new(a), -dist));
+            _ => self.rank_view_into(&live, activity, k, scratch),
         }
-        topk.drain_sorted_into(out);
-        num_candidates
     }
 }
 

@@ -16,6 +16,7 @@
 
 use crate::activity::Activity;
 use crate::ids::{ActionId, ImplId};
+use crate::live::{self, AssocView, LiveRef};
 use crate::model::GoalModel;
 use crate::scratch::{with_thread_scratch, Scratch};
 use crate::setops;
@@ -33,14 +34,14 @@ impl Breadth {
     /// of `IS(H)`'s implementations and the board holds its Eq. 6 score.
     /// Performed actions are still on the board — each ranking consumer
     /// filters them out.
-    fn accumulate(model: &GoalModel, h: &[u32], scratch: &mut Scratch) {
-        scratch.begin(model.num_actions());
+    fn accumulate<V: AssocView + ?Sized>(view: &V, h: &[u32], scratch: &mut Scratch) {
+        scratch.begin(view.num_actions());
         // Take the buffer out so the loop can both read the implementation
         // space and mutate the scoreboard.
         let mut impl_space = std::mem::take(&mut scratch.impl_space);
-        model.implementation_space_into(h, &mut impl_space);
+        live::implementation_space_into(view, h, &mut impl_space);
         for &p in &impl_space {
-            let actions = model.impl_actions(ImplId::new(p));
+            let actions = view.impl_actions(ImplId::new(p));
             let comm = setops::intersection_len(actions, h) as u64;
             debug_assert!(comm > 0, "IS(H) must only contain associated impls");
             for &a in actions {
@@ -48,6 +49,53 @@ impl Breadth {
             }
         }
         scratch.impl_space = impl_space;
+    }
+
+    /// The [`Strategy::rank_into`] body, generic over the view so the
+    /// same monomorphised pass serves both a compiled model and a live
+    /// base ⊕ delta overlay.
+    fn rank_view_into<V: AssocView + ?Sized>(
+        &self,
+        view: &V,
+        activity: &Activity,
+        k: usize,
+        scratch: &mut Scratch,
+    ) -> usize {
+        scratch.out.clear();
+        if k == 0 || activity.is_empty() {
+            return 0;
+        }
+        // Hot path: the arena's epoch-stamped dense scoreboard with a dirty
+        // list. The accumulation touches each candidate many times (once
+        // per shared implementation), so a flat Vec beats hashing; the
+        // dirty list keeps iteration proportional to the touched candidates
+        // instead of |𝒜|, and the epoch stamp replaces the O(|𝒜|) re-zero
+        // between requests. `benches/strategies.rs` (breadth_scoreboard
+        // group) quantifies the win over the HashMap in `Self::scores`.
+        let h = activity.raw();
+        Self::accumulate(view, h, scratch);
+        let num_candidates = scratch.touched.len();
+        scratch.phase.mark(); // candidate accumulation done; top-k next
+        scratch.topk.reset(k);
+        let epoch = scratch.epoch;
+        let Scratch {
+            touched,
+            board,
+            topk,
+            ..
+        } = scratch;
+        for &a in touched.iter() {
+            if setops::contains(h, a) {
+                continue;
+            }
+            let (score, stamp) = board[a as usize];
+            debug_assert_eq!(stamp, epoch, "touched entries are always stamped");
+            if stamp == epoch {
+                topk.push(Scored::new(ActionId::new(a), score as f64));
+            }
+        }
+        scratch.topk.drain_sorted_into(&mut scratch.out);
+        num_candidates
     }
 
     /// Computes the full candidate→score map (Algorithm 2 lines 2–11)
@@ -119,41 +167,25 @@ impl Strategy for Breadth {
         k: usize,
         scratch: &mut Scratch,
     ) -> usize {
-        scratch.out.clear();
-        if k == 0 || activity.is_empty() {
-            return 0;
-        }
-        // Hot path: the arena's epoch-stamped dense scoreboard with a dirty
-        // list. The accumulation touches each candidate many times (once
-        // per shared implementation), so a flat Vec beats hashing; the
-        // dirty list keeps iteration proportional to the touched candidates
-        // instead of |𝒜|, and the epoch stamp replaces the O(|𝒜|) re-zero
-        // between requests. `benches/strategies.rs` (breadth_scoreboard
-        // group) quantifies the win over the HashMap in `Self::scores`.
-        let h = activity.raw();
-        Self::accumulate(model, h, scratch);
-        let num_candidates = scratch.touched.len();
-        scratch.phase.mark(); // candidate accumulation done; top-k next
-        scratch.topk.reset(k);
-        let epoch = scratch.epoch;
-        let Scratch {
-            touched,
-            board,
-            topk,
-            ..
-        } = scratch;
-        for &a in touched.iter() {
-            if setops::contains(h, a) {
-                continue;
+        self.rank_view_into(model, activity, k, scratch)
+    }
+
+    fn rank_live_into(
+        &self,
+        live: LiveRef<'_>,
+        activity: &Activity,
+        k: usize,
+        scratch: &mut Scratch,
+    ) -> usize {
+        match (live.delta(), live.base()) {
+            // Empty delta: the exact compiled-model pass, no parts reads.
+            (None, Some(base)) => self.rank_view_into(base, activity, k, scratch),
+            (None, None) => {
+                scratch.out.clear();
+                0
             }
-            let (score, stamp) = board[a as usize];
-            debug_assert_eq!(stamp, epoch, "touched entries are always stamped");
-            if stamp == epoch {
-                topk.push(Scored::new(ActionId::new(a), score as f64));
-            }
+            _ => self.rank_view_into(&live, activity, k, scratch),
         }
-        scratch.topk.drain_sorted_into(&mut scratch.out);
-        num_candidates
     }
 }
 

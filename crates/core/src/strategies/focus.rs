@@ -17,6 +17,7 @@
 
 use crate::activity::Activity;
 use crate::ids::{ActionId, GoalId, ImplId};
+use crate::live::{self, AssocView, LiveRef};
 use crate::model::GoalModel;
 use crate::scratch::{with_thread_scratch, Scratch};
 use crate::setops;
@@ -70,17 +71,20 @@ impl Focus {
     /// lets Focus "extend to a few more [implementations] to complete the
     /// recommendation list"). Assembled in the caller's buffers:
     /// `IS(H)` → `GS(H)` → ∪ goal_impls, all cleared first.
-    pub(crate) fn candidate_impls_into(
-        model: &GoalModel,
+    pub(crate) fn candidate_impls_into<V: AssocView + ?Sized>(
+        view: &V,
         h: &[u32],
         impl_space: &mut Vec<u32>,
         goal_space: &mut Vec<u32>,
         out: &mut Vec<u32>,
     ) {
-        model.implementation_space_into(h, impl_space);
-        model.goals_of_impls_into(impl_space, goal_space);
+        live::implementation_space_into(view, h, impl_space);
+        live::goals_of_impls_into(view, impl_space, goal_space);
         setops::union_many_into(
-            goal_space.iter().map(|&g| model.goal_impls(GoalId::new(g))),
+            goal_space.iter().flat_map(|&g| {
+                let (base, delta) = view.goal_impls_parts(GoalId::new(g));
+                [base, delta]
+            }),
             out,
         );
     }
@@ -93,7 +97,12 @@ impl Focus {
     /// The scatter-gather layer calls this per shard and replays the fill
     /// loop over a k-way merge of the per-shard rankings, which is what
     /// keeps sharded Focus bit-identical to the unsharded path.
-    pub fn rank_impls_into(&self, model: &GoalModel, activity: &Activity, scratch: &mut Scratch) {
+    pub fn rank_impls_into<V: AssocView + ?Sized>(
+        &self,
+        view: &V,
+        activity: &Activity,
+        scratch: &mut Scratch,
+    ) {
         let h = activity.raw();
         let Scratch {
             impl_space,
@@ -102,7 +111,7 @@ impl Focus {
             scored_impls,
             ..
         } = scratch;
-        Self::candidate_impls_into(model, h, impl_space, space, candidates);
+        Self::candidate_impls_into(view, h, impl_space, space, candidates);
 
         // Rank candidate implementations by the measure; deterministic
         // tie-break by implementation id (the comparator is total — scores
@@ -110,7 +119,7 @@ impl Focus {
         // the same order as a stable one).
         scored_impls.clear();
         scored_impls.extend(candidates.iter().filter_map(|&p| {
-            self.score_impl(model.impl_actions(ImplId::new(p)), h)
+            self.score_impl(view.impl_actions(ImplId::new(p)), h)
                 .map(|s| (s, p))
         }));
         scored_impls.sort_unstable_by(|a, b| {
@@ -118,6 +127,51 @@ impl Focus {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.1.cmp(&b.1))
         });
+    }
+
+    /// The [`Strategy::rank_into`] body, generic over the view so the
+    /// same pass serves both a compiled model and a live overlay.
+    fn rank_view_into<V: AssocView + ?Sized>(
+        &self,
+        view: &V,
+        activity: &Activity,
+        k: usize,
+        scratch: &mut Scratch,
+    ) -> usize {
+        scratch.out.clear();
+        if k == 0 || activity.is_empty() {
+            return 0;
+        }
+        let h = activity.raw();
+        self.rank_impls_into(view, activity, scratch);
+        let Scratch {
+            scored_impls,
+            seen,
+            remaining,
+            out,
+            phase,
+            ..
+        } = scratch;
+        // Focus scores implementations, not actions: report those.
+        let num_candidates = scored_impls.len();
+        phase.mark(); // implementations ranked; fill loop next
+
+        // Pop the remaining actions of each implementation in rank order.
+        seen.clear();
+        seen.extend_from_slice(h); // sorted set of excluded actions
+        'fill: for &(score, p) in scored_impls.iter() {
+            setops::difference_into(view.impl_actions(ImplId::new(p)), seen, remaining);
+            for &a in remaining.iter() {
+                out.push(Scored::new(ActionId::new(a), score));
+                if let Err(pos) = seen.binary_search(&a) {
+                    seen.insert(pos, a);
+                }
+                if out.len() == k {
+                    break 'fill;
+                }
+            }
+        }
+        num_candidates
     }
 }
 
@@ -152,40 +206,24 @@ impl Strategy for Focus {
         k: usize,
         scratch: &mut Scratch,
     ) -> usize {
-        scratch.out.clear();
-        if k == 0 || activity.is_empty() {
-            return 0;
-        }
-        let h = activity.raw();
-        self.rank_impls_into(model, activity, scratch);
-        let Scratch {
-            scored_impls,
-            seen,
-            remaining,
-            out,
-            phase,
-            ..
-        } = scratch;
-        // Focus scores implementations, not actions: report those.
-        let num_candidates = scored_impls.len();
-        phase.mark(); // implementations ranked; fill loop next
+        self.rank_view_into(model, activity, k, scratch)
+    }
 
-        // Pop the remaining actions of each implementation in rank order.
-        seen.clear();
-        seen.extend_from_slice(h); // sorted set of excluded actions
-        'fill: for &(score, p) in scored_impls.iter() {
-            setops::difference_into(model.impl_actions(ImplId::new(p)), seen, remaining);
-            for &a in remaining.iter() {
-                out.push(Scored::new(ActionId::new(a), score));
-                if let Err(pos) = seen.binary_search(&a) {
-                    seen.insert(pos, a);
-                }
-                if out.len() == k {
-                    break 'fill;
-                }
+    fn rank_live_into(
+        &self,
+        live: LiveRef<'_>,
+        activity: &Activity,
+        k: usize,
+        scratch: &mut Scratch,
+    ) -> usize {
+        match (live.delta(), live.base()) {
+            (None, Some(base)) => self.rank_view_into(base, activity, k, scratch),
+            (None, None) => {
+                scratch.out.clear();
+                0
             }
+            _ => self.rank_view_into(&live, activity, k, scratch),
         }
-        num_candidates
     }
 }
 

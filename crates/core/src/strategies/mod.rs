@@ -23,6 +23,7 @@ pub use weighted::{WeightedBestMatch, WeightedBreadth, WeightedFocus};
 pub use weights::GoalWeights;
 
 use crate::activity::Activity;
+use crate::live::LiveRef;
 use crate::model::GoalModel;
 use crate::scratch::Scratch;
 use crate::topk::Scored;
@@ -82,6 +83,42 @@ pub trait Strategy: Send + Sync {
         scratch.out.clear();
         scratch.out.extend_from_slice(&ranked);
         candidates
+    }
+
+    /// Like [`Strategy::rank_into`], but over a live base ⊕ delta overlay
+    /// ([`LiveRef`]) instead of a compiled model. Results must be
+    /// bit-identical to `rank_into` on a full rebuild of the merged
+    /// library (pinned for the built-ins by `tests/live_overlay.rs`).
+    ///
+    /// With an empty (or absent) delta this MUST behave exactly like
+    /// `rank_into` on the base — the default does precisely that, so the
+    /// serving hot path stays allocation-free. With a non-empty delta the
+    /// default falls back to compiling the merged model and ranking it —
+    /// correct for any strategy but allocating; the built-ins override
+    /// this with a direct overlay read. A vacant view ranks nothing.
+    fn rank_live_into(
+        &self,
+        live: LiveRef<'_>,
+        activity: &Activity,
+        k: usize,
+        scratch: &mut Scratch,
+    ) -> usize {
+        if live.delta().is_none() {
+            return match live.base() {
+                Some(base) => self.rank_into(base, activity, k, scratch),
+                None => {
+                    scratch.out.clear();
+                    0
+                }
+            };
+        }
+        match live.to_model() {
+            Ok(merged) => self.rank_into(&merged, activity, k, scratch),
+            Err(_) => {
+                scratch.out.clear();
+                0
+            }
+        }
     }
 }
 

@@ -9,6 +9,7 @@
 use crate::activity::Activity;
 use crate::distance::DistanceMetric;
 use crate::ids::{ActionId, GoalId, ImplId};
+use crate::live::{self, AssocView, LiveRef};
 use crate::model::GoalModel;
 use crate::profile::goal_space_and_profile_into;
 use crate::scratch::{with_thread_scratch, Scratch};
@@ -32,6 +33,66 @@ impl WeightedFocus {
             base: Focus::new(variant),
             weights,
         }
+    }
+
+    fn rank_view_into<V: AssocView + ?Sized>(
+        &self,
+        view: &V,
+        activity: &Activity,
+        k: usize,
+        scratch: &mut Scratch,
+    ) -> usize {
+        scratch.out.clear();
+        if k == 0 || activity.is_empty() {
+            return 0;
+        }
+        let h = activity.raw();
+        let Scratch {
+            impl_space,
+            space,
+            candidates,
+            scored_impls,
+            seen,
+            remaining,
+            out,
+            ..
+        } = scratch;
+        // Candidate implementations as in Focus, assembled in the arena.
+        Focus::candidate_impls_into(view, h, impl_space, space, candidates);
+        scored_impls.clear();
+        scored_impls.extend(candidates.iter().filter_map(|&p| {
+            let pid = ImplId::new(p);
+            let w = self.weights.get(view.impl_goal(pid));
+            if w == 0.0 {
+                return None;
+            }
+            self.base
+                .score_impl(view.impl_actions(pid), h)
+                .map(|s| (s * w, p))
+        }));
+        scored_impls.sort_unstable_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        // Like Focus: the strategy scores implementations, so report those.
+        let num_candidates = scored_impls.len();
+
+        seen.clear();
+        seen.extend_from_slice(h);
+        'fill: for &(score, p) in scored_impls.iter() {
+            setops::difference_into(view.impl_actions(ImplId::new(p)), seen, remaining);
+            for &a in remaining.iter() {
+                out.push(Scored::new(ActionId::new(a), score));
+                if let Err(pos) = seen.binary_search(&a) {
+                    seen.insert(pos, a);
+                }
+                if out.len() == k {
+                    break 'fill;
+                }
+            }
+        }
+        num_candidates
     }
 }
 
@@ -66,57 +127,24 @@ impl Strategy for WeightedFocus {
         k: usize,
         scratch: &mut Scratch,
     ) -> usize {
-        scratch.out.clear();
-        if k == 0 || activity.is_empty() {
-            return 0;
-        }
-        let h = activity.raw();
-        let Scratch {
-            impl_space,
-            space,
-            candidates,
-            scored_impls,
-            seen,
-            remaining,
-            out,
-            ..
-        } = scratch;
-        // Candidate implementations as in Focus, assembled in the arena.
-        Focus::candidate_impls_into(model, h, impl_space, space, candidates);
-        scored_impls.clear();
-        scored_impls.extend(candidates.iter().filter_map(|&p| {
-            let pid = ImplId::new(p);
-            let w = self.weights.get(model.impl_goal(pid));
-            if w == 0.0 {
-                return None;
-            }
-            self.base
-                .score_impl(model.impl_actions(pid), h)
-                .map(|s| (s * w, p))
-        }));
-        scored_impls.sort_unstable_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.1.cmp(&b.1))
-        });
-        // Like Focus: the strategy scores implementations, so report those.
-        let num_candidates = scored_impls.len();
+        self.rank_view_into(model, activity, k, scratch)
+    }
 
-        seen.clear();
-        seen.extend_from_slice(h);
-        'fill: for &(score, p) in scored_impls.iter() {
-            setops::difference_into(model.impl_actions(ImplId::new(p)), seen, remaining);
-            for &a in remaining.iter() {
-                out.push(Scored::new(ActionId::new(a), score));
-                if let Err(pos) = seen.binary_search(&a) {
-                    seen.insert(pos, a);
-                }
-                if out.len() == k {
-                    break 'fill;
-                }
+    fn rank_live_into(
+        &self,
+        live: LiveRef<'_>,
+        activity: &Activity,
+        k: usize,
+        scratch: &mut Scratch,
+    ) -> usize {
+        match (live.delta(), live.base()) {
+            (None, Some(base)) => self.rank_view_into(base, activity, k, scratch),
+            (None, None) => {
+                scratch.out.clear();
+                0
             }
+            _ => self.rank_view_into(&live, activity, k, scratch),
         }
-        num_candidates
     }
 }
 
@@ -131,6 +159,54 @@ impl WeightedBreadth {
     /// Creates a prioritised Breadth strategy.
     pub fn new(weights: GoalWeights) -> Self {
         Self { weights }
+    }
+
+    fn rank_view_into<V: AssocView + ?Sized>(
+        &self,
+        view: &V,
+        activity: &Activity,
+        k: usize,
+        scratch: &mut Scratch,
+    ) -> usize {
+        scratch.out.clear();
+        if k == 0 || activity.is_empty() {
+            return 0;
+        }
+        let h = activity.raw();
+        // Accumulate on the float scoreboard; zero-weight implementations
+        // never touch it, mirroring the unweighted accumulation pass.
+        scratch.begin(view.num_actions());
+        let mut impl_space = std::mem::take(&mut scratch.impl_space);
+        live::implementation_space_into(view, h, &mut impl_space);
+        for &p in &impl_space {
+            let pid = ImplId::new(p);
+            let w = self.weights.get(view.impl_goal(pid));
+            if w == 0.0 {
+                continue;
+            }
+            let actions = view.impl_actions(pid);
+            let comm = setops::intersection_len(actions, h) as f64 * w;
+            for &a in actions {
+                scratch.fboard_add(a, comm);
+            }
+        }
+        scratch.impl_space = impl_space;
+        scratch.topk.reset(k);
+        // Like Breadth: every touched candidate action counts, weighted
+        // down to the ones that survive the zero-weight filter; performed
+        // actions are excluded from both the count and the ranking.
+        let mut num_candidates = 0;
+        for i in 0..scratch.touched.len() {
+            let a = scratch.touched[i];
+            if setops::contains(h, a) {
+                continue;
+            }
+            num_candidates += 1;
+            let score = scratch.fboard_get(a);
+            scratch.topk.push(Scored::new(ActionId::new(a), score));
+        }
+        scratch.topk.drain_sorted_into(&mut scratch.out);
+        num_candidates
     }
 }
 
@@ -162,45 +238,24 @@ impl Strategy for WeightedBreadth {
         k: usize,
         scratch: &mut Scratch,
     ) -> usize {
-        scratch.out.clear();
-        if k == 0 || activity.is_empty() {
-            return 0;
-        }
-        let h = activity.raw();
-        // Accumulate on the float scoreboard; zero-weight implementations
-        // never touch it, mirroring the unweighted accumulation pass.
-        scratch.begin(model.num_actions());
-        let mut impl_space = std::mem::take(&mut scratch.impl_space);
-        model.implementation_space_into(h, &mut impl_space);
-        for &p in &impl_space {
-            let pid = ImplId::new(p);
-            let w = self.weights.get(model.impl_goal(pid));
-            if w == 0.0 {
-                continue;
+        self.rank_view_into(model, activity, k, scratch)
+    }
+
+    fn rank_live_into(
+        &self,
+        live: LiveRef<'_>,
+        activity: &Activity,
+        k: usize,
+        scratch: &mut Scratch,
+    ) -> usize {
+        match (live.delta(), live.base()) {
+            (None, Some(base)) => self.rank_view_into(base, activity, k, scratch),
+            (None, None) => {
+                scratch.out.clear();
+                0
             }
-            let actions = model.impl_actions(pid);
-            let comm = setops::intersection_len(actions, h) as f64 * w;
-            for &a in actions {
-                scratch.fboard_add(a, comm);
-            }
+            _ => self.rank_view_into(&live, activity, k, scratch),
         }
-        scratch.impl_space = impl_space;
-        scratch.topk.reset(k);
-        // Like Breadth: every touched candidate action counts, weighted
-        // down to the ones that survive the zero-weight filter; performed
-        // actions are excluded from both the count and the ranking.
-        let mut num_candidates = 0;
-        for i in 0..scratch.touched.len() {
-            let a = scratch.touched[i];
-            if setops::contains(h, a) {
-                continue;
-            }
-            num_candidates += 1;
-            let score = scratch.fboard_get(a);
-            scratch.topk.push(Scored::new(ActionId::new(a), score));
-        }
-        scratch.topk.drain_sorted_into(&mut scratch.out);
-        num_candidates
     }
 }
 
@@ -216,6 +271,62 @@ impl WeightedBestMatch {
     /// Creates a prioritised Best Match strategy.
     pub fn new(metric: DistanceMetric, weights: GoalWeights) -> Self {
         Self { metric, weights }
+    }
+
+    fn rank_view_into<V: AssocView + ?Sized>(
+        &self,
+        view: &V,
+        activity: &Activity,
+        k: usize,
+        scratch: &mut Scratch,
+    ) -> usize {
+        scratch.out.clear();
+        if k == 0 || activity.is_empty() {
+            return 0;
+        }
+        let h = activity.raw();
+        let Scratch {
+            pairs,
+            space,
+            profile,
+            impl_space,
+            candidates,
+            vec,
+            weights_buf,
+            topk,
+            out,
+            ..
+        } = scratch;
+        goal_space_and_profile_into(view, h, pairs, space, profile);
+        if space.is_empty() {
+            return 0;
+        }
+        weights_buf.clear();
+        weights_buf.extend(space.iter().map(|&g| self.weights.get(GoalId::new(g))));
+        for (c, w) in profile.counts.iter_mut().zip(weights_buf.iter()) {
+            *c *= w;
+        }
+
+        // Like Best Match: candidates are the full action space of H.
+        live::implementation_space_into(view, h, impl_space);
+        live::action_space_into(view, h, impl_space, candidates);
+        let num_candidates = candidates.len();
+        topk.reset(k);
+        vec.reset(space);
+        for &a in candidates.iter() {
+            vec.counts.iter_mut().for_each(|c| *c = 0.0);
+            let (base, delta) = view.action_impls_parts(ActionId::new(a));
+            for &p in base.iter().chain(delta) {
+                vec.add(view.impl_goal(ImplId::new(p)), 1.0);
+            }
+            for (c, w) in vec.counts.iter_mut().zip(weights_buf.iter()) {
+                *c *= w;
+            }
+            let dist = self.metric.distance(&profile.counts, &vec.counts);
+            topk.push(Scored::new(ActionId::new(a), -dist));
+        }
+        topk.drain_sorted_into(out);
+        num_candidates
     }
 }
 
@@ -247,52 +358,24 @@ impl Strategy for WeightedBestMatch {
         k: usize,
         scratch: &mut Scratch,
     ) -> usize {
-        scratch.out.clear();
-        if k == 0 || activity.is_empty() {
-            return 0;
-        }
-        let h = activity.raw();
-        let Scratch {
-            pairs,
-            space,
-            profile,
-            impl_space,
-            candidates,
-            vec,
-            weights_buf,
-            topk,
-            out,
-            ..
-        } = scratch;
-        goal_space_and_profile_into(model, h, pairs, space, profile);
-        if space.is_empty() {
-            return 0;
-        }
-        weights_buf.clear();
-        weights_buf.extend(space.iter().map(|&g| self.weights.get(GoalId::new(g))));
-        for (c, w) in profile.counts.iter_mut().zip(weights_buf.iter()) {
-            *c *= w;
-        }
+        self.rank_view_into(model, activity, k, scratch)
+    }
 
-        // Like Best Match: candidates are the full action space of H.
-        model.implementation_space_into(h, impl_space);
-        model.action_space_into(h, impl_space, candidates);
-        let num_candidates = candidates.len();
-        topk.reset(k);
-        vec.reset(space);
-        for &a in candidates.iter() {
-            vec.counts.iter_mut().for_each(|c| *c = 0.0);
-            for &p in model.action_impls(ActionId::new(a)) {
-                vec.add(model.impl_goal(ImplId::new(p)), 1.0);
+    fn rank_live_into(
+        &self,
+        live: LiveRef<'_>,
+        activity: &Activity,
+        k: usize,
+        scratch: &mut Scratch,
+    ) -> usize {
+        match (live.delta(), live.base()) {
+            (None, Some(base)) => self.rank_view_into(base, activity, k, scratch),
+            (None, None) => {
+                scratch.out.clear();
+                0
             }
-            for (c, w) in vec.counts.iter_mut().zip(weights_buf.iter()) {
-                *c *= w;
-            }
-            let dist = self.metric.distance(&profile.counts, &vec.counts);
-            topk.push(Scored::new(ActionId::new(a), -dist));
+            _ => self.rank_view_into(&live, activity, k, scratch),
         }
-        topk.drain_sorted_into(out);
-        num_candidates
     }
 }
 

@@ -143,4 +143,34 @@ fn steady_state_rank_into_performs_zero_heap_allocations() {
             .any(|s| s.name == goalrec_obs::names::SPAN_RANK),
         "the traced call must actually record a rank span"
     );
+
+    // The live-mutation hot path with an EMPTY delta — what the server
+    // serves between appends — must be exactly as allocation-free as the
+    // plain path: `LiveRef::overlay` drops an empty delta, so every
+    // strategy's `rank_live_into` dispatches straight to the compiled
+    // base with no per-request overlay bookkeeping.
+    let empty_delta = goalrec_core::DeltaSegment::for_base(&model);
+    let live = goalrec_core::LiveRef::overlay(&model, &empty_delta);
+    assert!(
+        live.delta().is_none(),
+        "an empty delta must vanish from the read path"
+    );
+    for s in &strategies {
+        for h in &activities {
+            for _ in 0..2 {
+                s.rank_live_into(live, h, 10, &mut scratch);
+            }
+            let before = ALLOCATIONS.load(Ordering::Relaxed);
+            let n = s.rank_live_into(live, h, 10, &mut scratch);
+            let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+            assert_eq!(
+                delta,
+                0,
+                "{} allocated {delta} time(s) on an empty-delta rank_live_into (H={:?})",
+                s.name(),
+                h
+            );
+            assert!(n > 0, "{} found no candidates on the live path", s.name());
+        }
+    }
 }

@@ -16,9 +16,10 @@
 //!   stalls and torn writes against these exact code paths. With no plan
 //!   armed the wrappers are passthrough.
 
-use goalrec_core::{GoalLibrary, Implementation};
+use goalrec_core::{ActionId, GoalId, GoalLibrary};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
+use serde_json::Value;
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
@@ -153,6 +154,61 @@ fn invalid_line(path: &Path, line: usize, detail: impl fmt::Display) -> io::Erro
     )
 }
 
+/// Validates one implementation object — `{"goal": g, "actions": [a, ...]}`
+/// — returning the raw ids, or an error that names the offending **field**
+/// (not just a position), so a rejected JSONL line or append body pinpoints
+/// exactly which part of the record is wrong. Unknown extra fields are
+/// ignored, matching the serde-derived reader this replaces.
+///
+/// Shared by [`read_library_auto`], [`read_library_jsonl`], the append WAL
+/// ([`crate::wal`]), and the server's live-append admission check, so a
+/// record rejected at the HTTP boundary and one rejected at replay produce
+/// the same message.
+pub fn implementation_from_value(value: &Value) -> Result<(u32, Vec<u32>), String> {
+    let fields = match value {
+        Value::Object(fields) => fields,
+        other => {
+            return Err(format!(
+                "expected an object with `goal` and `actions` fields, got {other}"
+            ))
+        }
+    };
+    let id_of = |v: &Value| v.as_u64().and_then(|n| u32::try_from(n).ok());
+    let goal = match fields.iter().find(|(k, _)| k == "goal") {
+        None => return Err("field `goal`: missing".to_owned()),
+        Some((_, v)) => id_of(v)
+            .ok_or_else(|| format!("field `goal`: expected a non-negative integer id, got {v}"))?,
+    };
+    let actions = match fields.iter().find(|(k, _)| k == "actions") {
+        None => return Err("field `actions`: missing".to_owned()),
+        Some((_, Value::Array(items))) => {
+            if items.is_empty() {
+                return Err("field `actions`: must list at least one action".to_owned());
+            }
+            let mut out = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                out.push(id_of(item).ok_or_else(|| {
+                    format!("field `actions`[{i}]: expected a non-negative integer id, got {item}")
+                })?);
+            }
+            out
+        }
+        Some((_, v)) => {
+            return Err(format!(
+                "field `actions`: expected an array of action ids, got {v}"
+            ))
+        }
+    };
+    Ok((goal, actions))
+}
+
+/// Parses one JSONL line as an implementation record with field-named
+/// errors — the string form of [`implementation_from_value`].
+pub fn parse_implementation_line(line: &str) -> Result<(u32, Vec<u32>), String> {
+    let value: Value = serde_json::from_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    implementation_from_value(&value)
+}
+
 /// Reads a library from `path`, choosing the format by extension
 /// (`.grlb` binary, JSON-lines otherwise) and inferring the action/goal
 /// id spaces from the data itself. This is the one-argument loader the
@@ -161,7 +217,9 @@ fn invalid_line(path: &Path, line: usize, detail: impl fmt::Display) -> io::Erro
 /// A file with zero implementations is rejected here with the typed
 /// [`EmptyLibraryError`] (see [`is_empty_library`]) instead of letting an
 /// empty library surface as a confusing model-build failure downstream.
-/// JSON parse failures report the offending line number.
+/// Parse failures report the offending line number, and schema failures
+/// additionally name the offending field (see
+/// [`implementation_from_value`]).
 pub fn read_library_auto(path: &Path) -> std::io::Result<GoalLibrary> {
     if path.extension().is_some_and(|e| e == "grlb") {
         return crate::binary::read_library_binary(path);
@@ -174,13 +232,16 @@ pub fn read_library_auto(path: &Path) -> std::io::Result<GoalLibrary> {
         if line.trim().is_empty() {
             continue;
         }
-        let imp: Implementation = serde_json::from_str(&line)
-            .map_err(|e| invalid_line(path, idx + 1, format_args!("invalid JSON: {e}")))?;
-        max_goal = max_goal.max(imp.goal.raw());
-        for a in &imp.actions {
-            max_action = max_action.max(a.raw());
+        let (goal, actions) = parse_implementation_line(&line)
+            .map_err(|detail| invalid_line(path, idx + 1, detail))?;
+        max_goal = max_goal.max(goal);
+        for &a in &actions {
+            max_action = max_action.max(a);
         }
-        impls.push((imp.goal, imp.actions));
+        impls.push((
+            GoalId::new(goal),
+            actions.into_iter().map(ActionId::new).collect(),
+        ));
     }
     if impls.is_empty() {
         return Err(empty_library(path));
@@ -201,8 +262,8 @@ pub(crate) fn empty_library(path: &Path) -> io::Error {
 
 /// Reads implementations from a JSON-lines file and rebuilds a library.
 /// `num_actions`/`num_goals` bound the id spaces (as in
-/// [`GoalLibrary::from_id_implementations`]). JSON parse failures report
-/// the offending line number.
+/// [`GoalLibrary::from_id_implementations`]). Parse failures report the
+/// offending line number, and schema failures name the offending field.
 pub fn read_library_jsonl(
     path: &Path,
     num_actions: u32,
@@ -215,9 +276,12 @@ pub fn read_library_jsonl(
         if line.trim().is_empty() {
             continue;
         }
-        let imp: Implementation = serde_json::from_str(&line)
-            .map_err(|e| invalid_line(path, idx + 1, format_args!("invalid JSON: {e}")))?;
-        impls.push((imp.goal, imp.actions));
+        let (goal, actions) = parse_implementation_line(&line)
+            .map_err(|detail| invalid_line(path, idx + 1, detail))?;
+        impls.push((
+            GoalId::new(goal),
+            actions.into_iter().map(ActionId::new).collect(),
+        ));
     }
     GoalLibrary::from_id_implementations(num_actions, num_goals, impls)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
@@ -306,6 +370,39 @@ mod tests {
         assert!(err.to_string().contains(":3:"), "no line number in: {err}");
         let err = read_library_jsonl(&path, 1000, 1000).unwrap_err();
         assert!(err.to_string().contains(":3:"), "no line number in: {err}");
+    }
+
+    #[test]
+    fn jsonl_errors_name_the_offending_field() {
+        let path = tmp("bad-field.jsonl");
+        // Wrong type for `goal` on line 2.
+        std::fs::write(
+            &path,
+            "{\"goal\":1,\"actions\":[2]}\n{\"goal\":\"g9\",\"actions\":[2]}\n",
+        )
+        .unwrap();
+        let err = read_library_auto(&path).unwrap_err();
+        assert!(err.to_string().contains(":2:"), "{err}");
+        assert!(err.to_string().contains("field `goal`"), "{err}");
+        // Missing `actions`.
+        std::fs::write(&path, "{\"goal\":1}\n").unwrap();
+        let err = read_library_auto(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("field `actions`: missing"),
+            "{err}"
+        );
+        // A bad element names its index within the field.
+        std::fs::write(&path, "{\"goal\":1,\"actions\":[2,-3]}\n").unwrap();
+        let err = read_library_auto(&path).unwrap_err();
+        assert!(err.to_string().contains("field `actions`[1]"), "{err}");
+        // Empty `actions` is rejected at the line, not at model build.
+        std::fs::write(&path, "{\"goal\":1,\"actions\":[]}\n").unwrap();
+        let err = read_library_auto(&path).unwrap_err();
+        assert!(err.to_string().contains("at least one action"), "{err}");
+        // Non-object lines are named as such.
+        assert!(parse_implementation_line("[1,2]")
+            .unwrap_err()
+            .contains("expected an object"));
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`zipf`] — the skewed samplers both generators share.
 //! * [`io`] — JSON / JSON-lines persistence; [`binary`] — the compact
 //!   checksummed `GRLB` format for large libraries.
+//! * [`wal`] — the append-ahead log that makes live library appends
+//!   durable between admission and background compaction.
 //!
 //! Both real sources are gone (the FoodMart mirror and food ontology, and
 //! the 43Things site); DESIGN.md §3 documents how the synthetic stand-ins
@@ -24,9 +26,11 @@ pub mod foodmart;
 pub mod fortythree;
 pub mod io;
 pub mod split;
+pub mod wal;
 pub mod zipf;
 
 pub use foodmart::{FoodMart, FoodMartConfig};
 pub use fortythree::{FortyThings, FortyThingsConfig};
 pub use split::{hide_split, hide_split_all, SplitActivity};
+pub use wal::AppendWal;
 pub use zipf::Zipf;

@@ -127,6 +127,26 @@ pub fn server_route_requests(route: &str) -> String {
 }
 
 // ---------------------------------------------------------------------
+// Live library mutation (`/v1/admin/library/append` + background
+// compaction, crates/server).
+// ---------------------------------------------------------------------
+
+/// Counter: implementations accepted into the staging delta segment.
+pub const LIBRARY_APPENDS: &str = "library.appends";
+/// Gauge: live implementations currently staged in the delta segment
+/// (sums over shards on the sharded plane; drops to 0 on compaction).
+pub const LIBRARY_DELTA_SIZE: &str = "library.delta_size";
+/// Counter: compactions that merged the delta into a fresh CSR base and
+/// swapped it in generation-atomically.
+pub const LIBRARY_COMPACTIONS: &str = "library.compactions";
+/// Counter: compaction attempts that failed at any phase and rolled
+/// back, leaving the old generation serving and the delta intact.
+pub const LIBRARY_COMPACTION_FAILURES: &str = "library.compaction_failures";
+/// Histogram (ns): wall time of one compaction attempt
+/// (merge + persist + swap).
+pub const LIBRARY_COMPACTION_LATENCY: &str = "library.compaction_latency";
+
+// ---------------------------------------------------------------------
 // Sharded scatter-gather serving (`goalrec-serve --shards N`).
 // ---------------------------------------------------------------------
 
@@ -176,6 +196,14 @@ pub const SPAN_MODEL_BUILD: &str = "span.model_build";
 /// Pattern — child span of `span.rank`: one shard's scatter phase inside
 /// a sharded recommend.
 pub const SPAN_SHARD: &str = "span.shard.<i>";
+/// Span: compaction merge phase — base ⊕ delta into a fresh CSR model.
+pub const SPAN_COMPACT_MERGE: &str = "span.compact.merge";
+/// Span: compaction persist phase — crash-safe `atomic_write` of the
+/// merged library (plus read-back verification) and WAL truncation.
+pub const SPAN_COMPACT_PERSIST: &str = "span.compact.persist";
+/// Span: compaction swap phase — generation-atomic publication of the
+/// merged base with an empty delta.
+pub const SPAN_COMPACT_SWAP: &str = "span.compact.swap";
 
 /// How many shards get individually named `span.shard.<i>` spans and
 /// pre-expanded static names; the server clamps `--shards` to this.
@@ -261,6 +289,11 @@ pub const ALL: &[&str] = &[
     SERVER_MODEL_AGE_MS,
     SERVER_TRACE_SAMPLED,
     SERVER_TRACE_TAIL_OCCUPANCY,
+    LIBRARY_APPENDS,
+    LIBRARY_DELTA_SIZE,
+    LIBRARY_COMPACTIONS,
+    LIBRARY_COMPACTION_FAILURES,
+    LIBRARY_COMPACTION_LATENCY,
     SHARD_REQUESTS,
     SHARD_LATENCY,
     SPAN_QUEUE_WAIT,
@@ -274,6 +307,9 @@ pub const ALL: &[&str] = &[
     SPAN_RELOAD_VALIDATE,
     SPAN_MODEL_BUILD,
     SPAN_SHARD,
+    SPAN_COMPACT_MERGE,
+    SPAN_COMPACT_PERSIST,
+    SPAN_COMPACT_SWAP,
     EVAL_CONTEXT_BUILD,
     EVAL_CONTEXT_FOODMART,
     EVAL_CONTEXT_FORTYTHREE,
@@ -307,7 +343,7 @@ mod tests {
         for name in ALL {
             assert!(seen.insert(*name), "duplicate registry entry {name}");
         }
-        assert_eq!(ALL.len(), 49);
+        assert_eq!(ALL.len(), 57);
     }
 
     #[test]

@@ -50,6 +50,14 @@ pub enum ServerError {
         /// Methods the route accepts.
         allowed: &'static str,
     },
+    /// An append body staged more implementations than the server admits
+    /// in one request.
+    AppendTooLarge {
+        /// Implementations in the rejected body.
+        entries: usize,
+        /// The configured per-request cap.
+        max: usize,
+    },
     /// The request named a strategy the server does not serve.
     UnknownStrategy(String),
     /// The recommendation core rejected the request (unknown ids, …).
@@ -74,7 +82,7 @@ impl ServerError {
             | ServerError::Recommend(_) => Some(400),
             ServerError::UriTooLong(_) => Some(414),
             ServerError::HeadersTooLarge(_) => Some(431),
-            ServerError::BodyTooLarge(_) => Some(413),
+            ServerError::BodyTooLarge(_) | ServerError::AppendTooLarge { .. } => Some(413),
             ServerError::QueueFull => Some(503),
             ServerError::NotFound(_) => Some(404),
             ServerError::MethodNotAllowed { .. } => Some(405),
@@ -115,6 +123,11 @@ impl fmt::Display for ServerError {
                 write!(f, "header block exceeds the {max}-byte limit")
             }
             ServerError::BodyTooLarge(max) => write!(f, "body exceeds the {max}-byte limit"),
+            ServerError::AppendTooLarge { entries, max } => write!(
+                f,
+                "append stages {entries} implementations, above the {max}-per-request cap; \
+                 split the batch"
+            ),
             ServerError::QueueFull => write!(f, "admission queue full, try again later"),
             ServerError::NotFound(path) => write!(f, "no route for {path}"),
             ServerError::MethodNotAllowed { path, allowed } => {
@@ -151,6 +164,10 @@ mod tests {
         assert_eq!(ServerError::QueueFull.status(), Some(503));
         assert_eq!(ServerError::BadRequest("x".into()).status(), Some(400));
         assert_eq!(ServerError::BodyTooLarge(1).status(), Some(413));
+        assert_eq!(
+            ServerError::AppendTooLarge { entries: 9, max: 4 }.status(),
+            Some(413)
+        );
         assert_eq!(ServerError::UriTooLong(1).status(), Some(414));
         assert_eq!(ServerError::HeadersTooLarge(1).status(), Some(431));
         assert_eq!(ServerError::NotFound("/x".into()).status(), Some(404));

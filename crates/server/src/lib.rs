@@ -98,6 +98,22 @@ pub struct ServerConfig {
     pub shards: usize,
     /// How goals are placed onto shards when `shards > 0`.
     pub shard_mode: PartitionMode,
+    /// Deadline for `/v1/admin/*` requests. Admin work (reload, append,
+    /// compaction) legitimately takes longer than a recommend, so it gets
+    /// its own, longer budget instead of inheriting `deadline`.
+    pub admin_deadline: Duration,
+    /// Most implementations one `POST /v1/admin/library/append` body may
+    /// stage; larger batches are answered `413`.
+    pub append_max_entries: usize,
+    /// Watch the startup library file for mtime changes and hot-reload it
+    /// automatically (debounced polling; no OS-specific watcher APIs).
+    pub watch: bool,
+    /// Auto-compact the live delta once it holds this many staged
+    /// implementations; `0` disables the count trigger.
+    pub compact_threshold: usize,
+    /// Auto-compact once the oldest staged implementation is this old;
+    /// zero disables the age trigger.
+    pub compact_max_age: Duration,
 }
 
 impl Default for ServerConfig {
@@ -119,6 +135,11 @@ impl Default for ServerConfig {
             access_log_every: 0,
             shards: 0,
             shard_mode: PartitionMode::HashGoal,
+            admin_deadline: Duration::from_secs(10),
+            append_max_entries: router::DEFAULT_APPEND_CAP,
+            watch: false,
+            compact_threshold: 1024,
+            compact_max_age: Duration::from_secs(60),
         }
     }
 }
@@ -131,6 +152,7 @@ pub struct ServerHandle {
     workers: Vec<JoinHandle<()>>,
     reload: ReloadHandle,
     reloader: Option<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -170,6 +192,11 @@ impl ServerHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // The watcher only submits fire-and-forget jobs; stop it before
+        // the supervisor so nothing new is enqueued during the drain.
+        if let Some(watcher) = self.watcher.take() {
+            let _ = watcher.join();
+        }
         // Last: the reload supervisor answers any queued jobs, then exits.
         self.reload.close();
         if let Some(reloader) = self.reloader.take() {
@@ -207,6 +234,17 @@ pub fn start_with_shutdown(
         None
     };
     let states = Arc::new(StateCell::new(AppState::new(library)?));
+    // Boot the live mutation plane: bind the append WAL next to the
+    // library file and re-stage anything a previous process acknowledged
+    // but had not compacted — before the first request is admitted.
+    let live = reload::LivePlane::boot(
+        config.library_path.as_deref(),
+        config.compact_threshold,
+        config.compact_max_age,
+    )?;
+    if !live.entries().is_empty() {
+        reload::publish_staged(&states, shard_set.as_deref(), live.entries())?;
+    }
     let bind_addr = format!("{}:{}", config.addr, config.port);
     let listener = TcpListener::bind(&bind_addr).map_err(|e| ServerError::Bind {
         addr: bind_addr.clone(),
@@ -233,17 +271,20 @@ pub fn start_with_shutdown(
         config.library_path.clone(),
         Arc::clone(&tail),
         shard_set.clone(),
+        live,
     )?;
     let ctx = Arc::new(
         ServeCtx::new(states, Some(reload.clone()))
             .with_tail(tail)
-            .with_shards(shard_set),
+            .with_shards(shard_set)
+            .with_append_cap(config.append_max_entries),
     );
 
     let queue: Arc<Bounded<Conn>> = Arc::new(Bounded::new(config.queue_depth));
     let metrics = Arc::new(ServerMetrics::new());
     let policy = ConnPolicy {
         deadline: config.deadline,
+        admin_deadline: config.admin_deadline.max(config.deadline),
         idle_timeout: config.idle_timeout,
         limits: config.limits.clone(),
         trace_enabled: config.trace_enabled,
@@ -280,6 +321,24 @@ pub fn start_with_shutdown(
             })?
     };
 
+    let watcher = match (&config.library_path, config.watch) {
+        (Some(path), true) => {
+            let path = path.clone();
+            let reload = reload.clone();
+            let shutdown = shutdown.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("goalrec-watch".to_owned())
+                    .spawn(move || watch_loop(path, reload, shutdown))
+                    .map_err(|e| ServerError::Io {
+                        context: "spawning watch thread",
+                        detail: e.to_string(),
+                    })?,
+            )
+        }
+        _ => None,
+    };
+
     Ok(ServerHandle {
         addr,
         shutdown,
@@ -287,7 +346,54 @@ pub fn start_with_shutdown(
         workers,
         reload,
         reloader: Some(reloader),
+        watcher,
     })
+}
+
+/// How often the `--watch` thread polls the library file's mtime.
+const WATCH_POLL: Duration = Duration::from_millis(500);
+
+/// Debounced stat polling (std-only — no OS watcher APIs): a change is
+/// acted on only after the new `(mtime, len)` signature has been stable
+/// across two consecutive polls, so a writer mid-stream does not trigger
+/// a reload of a half-written file. The length rides along because mtime
+/// granularity is filesystem-dependent (whole seconds on some) — a
+/// rewrite landing within the same tick as the previous observation
+/// would otherwise go unseen. Atomic writers (like this repo's own
+/// tooling) rename into place, so their single signature step debounces
+/// in one extra poll. Reloads are submitted fire-and-forget; a full
+/// queue simply leaves the change for the next tick. A compaction's own
+/// persist also steps the signature — the resulting self-triggered
+/// reload re-reads the file the server just wrote, which is redundant
+/// but harmless.
+fn watch_loop(path: PathBuf, reload: ReloadHandle, shutdown: Shutdown) {
+    let sig = |p: &std::path::Path| {
+        let m = std::fs::metadata(p).ok()?;
+        Some((m.modified().ok()?, m.len()))
+    };
+    let mut last_known = sig(&path);
+    let mut pending: Option<(std::time::SystemTime, u64)> = None;
+    while !shutdown.is_set() {
+        std::thread::sleep(WATCH_POLL);
+        let now = sig(&path);
+        match (now, pending) {
+            (Some(t), Some(p)) if t == p => {
+                // Stable across two polls — debounced; fire if it is
+                // genuinely new.
+                if last_known != Some(t) {
+                    eprintln!(
+                        "goalrec-serve: {} changed on disk; reloading",
+                        path.display()
+                    );
+                    reload.reload_async(path.clone());
+                    last_known = Some(t);
+                }
+                pending = None;
+            }
+            (Some(t), _) if last_known != Some(t) => pending = Some(t),
+            _ => pending = None,
+        }
+    }
 }
 
 /// How many backlog connections the accept loop still admits after the
@@ -363,6 +469,7 @@ pub fn run_blocking(
     let token = Shutdown::watching_signals();
     let shards = config.shards;
     let shard_mode = config.shard_mode;
+    let watching = config.watch && config.library_path.is_some();
     let handle = start_with_shutdown(library, config, token)?;
     println!("goalrec-serve listening on http://{}", handle.local_addr());
     if shards > 0 {
@@ -371,8 +478,15 @@ pub fn run_blocking(
              per-shard reload via {{\"shard\": i}}"
         );
     }
+    if watching {
+        println!("watching the library file for changes (debounced mtime polling)");
+    }
     println!("  POST /v1/recommend     {{\"activity\": [ids…], \"strategy\": name, \"k\": n}}");
     println!("  POST /v1/admin/reload  hot-swap the model ({{\"path\": file}} or startup file)");
+    println!(
+        "  POST /v1/admin/library/append  stage implementations live \
+         ({{\"goal\", \"actions\"}} or {{\"implementations\": […]}})"
+    );
     println!("  GET  /v1/stats         library statistics + metrics snapshot (JSON)");
     println!("  GET  /metrics          metrics snapshot (text; ?format=prometheus for exposition)");
     println!("  GET  /healthz          liveness JSON (generation, model age, uptime)");

@@ -4,6 +4,8 @@
 //! goalrec-serve --library FILE[.jsonl|.grlb]
 //!               [--addr HOST] [--port N] [--workers N]
 //!               [--queue-depth N] [--deadline-ms N] [--idle-ms N]
+//!               [--admin-deadline-ms N] [--append-max-entries N]
+//!               [--watch] [--compact-threshold N] [--compact-max-age-ms N]
 //!               [--no-trace] [--trace-sample-every N]
 //!               [--access-log] [--access-log-every N]
 //!               [--shards N] [--shard-mode hash|balanced]
@@ -19,7 +21,10 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: goalrec-serve --library FILE[.jsonl|.grlb] \
     [--addr HOST] [--port N] [--workers N] [--queue-depth N] \
-    [--deadline-ms N] [--idle-ms N] [--no-trace] [--trace-sample-every N] \
+    [--deadline-ms N] [--idle-ms N] \
+    [--admin-deadline-ms N] [--append-max-entries N] \
+    [--watch] [--compact-threshold N] [--compact-max-age-ms N] \
+    [--no-trace] [--trace-sample-every N] \
     [--access-log] [--access-log-every N] \
     [--shards N] [--shard-mode hash|balanced]";
 
@@ -48,6 +53,27 @@ fn parse_args(argv: &[String]) -> Result<(String, ServerConfig), String> {
             "--idle-ms" => {
                 config.idle_timeout =
                     Duration::from_millis(parse_num(value("--idle-ms")?, "--idle-ms")?)
+            }
+            "--admin-deadline-ms" => {
+                config.admin_deadline = Duration::from_millis(parse_num(
+                    value("--admin-deadline-ms")?,
+                    "--admin-deadline-ms",
+                )?)
+            }
+            "--append-max-entries" => {
+                config.append_max_entries =
+                    parse_num(value("--append-max-entries")?, "--append-max-entries")?
+            }
+            "--watch" => config.watch = true,
+            "--compact-threshold" => {
+                config.compact_threshold =
+                    parse_num(value("--compact-threshold")?, "--compact-threshold")?
+            }
+            "--compact-max-age-ms" => {
+                config.compact_max_age = Duration::from_millis(parse_num(
+                    value("--compact-max-age-ms")?,
+                    "--compact-max-age-ms",
+                )?)
             }
             "--no-trace" => config.trace_enabled = false,
             "--trace-sample-every" => {
@@ -158,6 +184,38 @@ mod tests {
         assert!(matches!(cfg.shard_mode, PartitionMode::HashGoal));
         assert!(parse_args(&args(&["--library", "x", "--shards", "two"])).is_err());
         assert!(parse_args(&args(&["--library", "x", "--shard-mode", "zig"])).is_err());
+    }
+
+    #[test]
+    fn parses_the_live_mutation_flags() {
+        let (_, cfg) = parse_args(&args(&[
+            "--library",
+            "x.jsonl",
+            "--admin-deadline-ms",
+            "30000",
+            "--append-max-entries",
+            "64",
+            "--watch",
+            "--compact-threshold",
+            "256",
+            "--compact-max-age-ms",
+            "5000",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.admin_deadline, Duration::from_millis(30_000));
+        assert_eq!(cfg.append_max_entries, 64);
+        assert!(cfg.watch);
+        assert_eq!(cfg.compact_threshold, 256);
+        assert_eq!(cfg.compact_max_age, Duration::from_millis(5_000));
+    }
+
+    #[test]
+    fn live_mutation_flags_default_off() {
+        let (_, cfg) = parse_args(&args(&["--library", "x.jsonl"])).unwrap();
+        assert!(!cfg.watch);
+        assert!(cfg.admin_deadline >= cfg.deadline);
+        assert!(cfg.append_max_entries > 0);
+        assert!(parse_args(&args(&["--library", "x", "--compact-threshold", "many"])).is_err());
     }
 
     #[test]

@@ -51,6 +51,10 @@ pub(crate) struct Conn {
 #[derive(Clone)]
 pub(crate) struct ConnPolicy {
     pub deadline: Duration,
+    /// Deadline for `/v1/admin/*` routes. Admin work (reloads, appends)
+    /// legitimately outlives the data-plane budget, so it gets its own;
+    /// reads are capped by the larger of the two until the path is known.
+    pub admin_deadline: Duration,
     pub idle_timeout: Duration,
     pub limits: Limits,
     /// Request-scoped tracing: spans, tail capture, `X-Goalrec-Trace`.
@@ -331,9 +335,14 @@ fn handle_connection(
             trace.set_queue_wait_ns(queue_wait);
         }
 
+        // Until the request line is parsed the route is unknown, so the
+        // read path is budgeted by the most generous deadline on offer;
+        // the per-route deadline is enforced right after parsing.
+        let read_budget = policy.deadline.max(policy.admin_deadline);
+
         // Queue-aged admission: the deadline may already be gone before a
         // single byte is parsed.
-        if t0.elapsed() >= policy.deadline {
+        if t0.elapsed() >= read_budget {
             metrics.timeouts.inc();
             if let Some(mut resp) = Response::from_error(&ServerError::Timeout) {
                 let _ = respond(&mut reader, &mut resp, false, metrics, trace, wobs);
@@ -347,7 +356,7 @@ fn handle_connection(
         // The parse span starts where the queue wait ended, so it also
         // absorbs the wait for the request's first byte: the top-level
         // spans of a completed trace partition [0, total_ns].
-        reader.get_mut().deadline = Some(t0 + policy.deadline);
+        reader.get_mut().deadline = Some(t0 + read_budget);
         let parsed = http::read_request(&mut reader, &policy.limits);
         reader.get_mut().deadline = None;
         let parse_end = trace.elapsed_ns();
@@ -375,7 +384,14 @@ fn handle_connection(
                     wobs.slot.set_trace(inbound);
                 }
                 let keep = request.keep_alive && !shutdown.is_set();
-                if t0.elapsed() >= policy.deadline {
+                // Route known: admin routes live on their own budget, the
+                // data plane on the tight one.
+                let route_deadline = if request.path.starts_with("/v1/admin/") {
+                    policy.admin_deadline
+                } else {
+                    policy.deadline
+                };
+                if t0.elapsed() >= route_deadline {
                     metrics.timeouts.inc();
                     match Response::from_error(&ServerError::Timeout) {
                         Some(mut resp) => {

@@ -28,12 +28,30 @@
 //! targeted `{"shard": i}` reload rebuilds and swaps cell `i` alone — a
 //! failure there rolls back that one shard while every other shard keeps
 //! serving untouched.
+//!
+//! The same supervisor thread owns the **live mutation plane**
+//! ([`LivePlane`]): `POST /v1/admin/library/append` jobs are WAL-logged
+//! (crash-safe, fsync-per-batch) before being staged into a fresh
+//! [`DeltaSegment`] overlaid on the compiled base — no rebuild, the
+//! published `AppState` shares the old compiled half. When the delta
+//! crosses the configured count or age threshold the supervisor compacts
+//! in the background: merge base ⊕ delta into one library, rebuild and
+//! validate off to the side, persist atomically (temp + fsync + rename,
+//! read-back verified), clear the WAL, and only then swap the new
+//! generation in. **Any** compaction failure — torn write, injected
+//! fault, validation error — leaves the old generation serving with the
+//! delta and WAL intact, and retries under bounded exponential backoff.
+//! Rollback is free because nothing observable mutates before the final
+//! generation-atomic swap.
 
 use crate::error::ServerError;
 use crate::queue::{Bounded, Pop, TryPush};
 use crate::router::AppState;
 use crate::shards::ShardSet;
 use crate::shutdown::{self, Shutdown};
+use goalrec_core::ids::{ActionId, GoalId};
+use goalrec_core::DeltaSegment;
+use goalrec_datasets::wal::{AppendWal, WalEntry};
 use goalrec_obs::{self as obs, names};
 use goalrec_shard::ShardModel;
 use std::path::{Path, PathBuf};
@@ -42,7 +60,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// How long the supervisor blocks on its queue before re-checking the
-/// `SIGHUP` counter and the shutdown token.
+/// `SIGHUP` counter, the shutdown token, and the compaction thresholds.
 const RELOAD_POLL: Duration = Duration::from_millis(50);
 /// Upper bound a caller of [`ReloadHandle::reload_blocking`] waits for
 /// the supervisor to report back before giving up.
@@ -50,6 +68,11 @@ const MAX_RELOAD_WAIT: Duration = Duration::from_secs(60);
 /// Pending reload requests beyond this are refused, not queued — piling
 /// up identical reloads helps nobody.
 const RELOAD_QUEUE_DEPTH: usize = 4;
+/// First retry delay after a failed compaction; doubles per consecutive
+/// failure up to [`COMPACT_BACKOFF_CAP`].
+const COMPACT_BACKOFF_BASE: Duration = Duration::from_millis(250);
+/// Ceiling of the compaction retry backoff.
+const COMPACT_BACKOFF_CAP: Duration = Duration::from_secs(30);
 
 /// The generation-swappable serving state.
 pub struct StateCell {
@@ -82,12 +105,24 @@ type ReloadResult = Result<u64, ServerError>;
 /// One-shot mailbox a blocking requester waits on.
 type DoneSlot = Arc<(Mutex<Option<ReloadResult>>, Condvar)>;
 
-/// One queued reload request. `done` is `None` for fire-and-forget
-/// requests (`SIGHUP`), `Some` when a caller is waiting for the outcome.
-/// `shard` targets a single shard cell; `None` reloads everything.
+/// What a queued supervisor job asks for.
+enum JobKind {
+    /// Reload the model from `path`; `shard` targets a single shard cell,
+    /// `None` reloads everything.
+    Reload { path: PathBuf, shard: Option<usize> },
+    /// Stage validated implementations into the live delta (WAL-logged
+    /// before acknowledgement).
+    Append { entries: Vec<WalEntry> },
+    /// Merge base ⊕ delta into a new compiled generation now, regardless
+    /// of the auto-compaction thresholds.
+    Compact,
+}
+
+/// One queued supervisor job. `done` is `None` for fire-and-forget
+/// requests (`SIGHUP`, the file watcher), `Some` when a caller is
+/// waiting for the outcome.
 struct ReloadJob {
-    path: PathBuf,
-    shard: Option<usize>,
+    kind: JobKind,
     done: Option<DoneSlot>,
 }
 
@@ -110,21 +145,50 @@ impl ReloadHandle {
     /// old generation still serving) on failure. On a sharded server the
     /// shard cells move in lockstep with the global state.
     pub fn reload_blocking(&self, path: PathBuf) -> ReloadResult {
-        self.submit(path, None)
+        self.submit(JobKind::Reload { path, shard: None })
     }
 
     /// Submits a reload of **only** `shard` from `path` and blocks for
     /// the outcome: that shard's new generation on success. The global
     /// state and every other shard are untouched either way.
     pub fn reload_shard_blocking(&self, path: PathBuf, shard: usize) -> ReloadResult {
-        self.submit(path, Some(shard))
+        self.submit(JobKind::Reload {
+            path,
+            shard: Some(shard),
+        })
     }
 
-    fn submit(&self, path: PathBuf, shard: Option<usize>) -> ReloadResult {
+    /// Submits a fire-and-forget reload of `path` — what the file watcher
+    /// uses, since nobody is around to read the outcome. A full queue
+    /// just drops the request; the next poll tick will observe the same
+    /// mtime again.
+    pub(crate) fn reload_async(&self, path: PathBuf) {
+        let _ = self.queue.try_push(ReloadJob {
+            kind: JobKind::Reload { path, shard: None },
+            done: None,
+        });
+    }
+
+    /// Stages `entries` into the live delta and blocks until the
+    /// supervisor has WAL-logged and published them; returns the staged
+    /// total after this batch. A `200` from the append route therefore
+    /// means the entries survive a crash.
+    pub fn append_blocking(&self, entries: Vec<WalEntry>) -> ReloadResult {
+        self.submit(JobKind::Append { entries })
+    }
+
+    /// Forces a compaction now and blocks for the outcome: the new
+    /// generation on success (unchanged if there was nothing staged), the
+    /// error — with the old generation still serving and the delta intact
+    /// — on failure.
+    pub fn compact_blocking(&self) -> ReloadResult {
+        self.submit(JobKind::Compact)
+    }
+
+    fn submit(&self, kind: JobKind) -> ReloadResult {
         let done: DoneSlot = Arc::new((Mutex::new(None), Condvar::new()));
         let job = ReloadJob {
-            path,
-            shard,
+            kind,
             done: Some(Arc::clone(&done)),
         };
         match self.queue.try_push(job) {
@@ -169,17 +233,178 @@ impl ReloadHandle {
     }
 }
 
+/// The supervisor-owned state of the live mutation plane: the write-ahead
+/// log, the in-memory mirror of its acknowledged entries (the single
+/// source of truth every published delta is derived from), the compaction
+/// thresholds, and the failure-backoff bookkeeping.
+pub(crate) struct LivePlane {
+    /// Crash-safety log, sibling of the library file. `None` when the
+    /// server was not started from a file — appends then live in memory
+    /// only (still generation-consistent, just not crash-durable).
+    wal: Option<AppendWal>,
+    /// Acknowledged append entries, in acceptance order — the WAL's
+    /// in-memory mirror. Every published overlay (global delta, per-shard
+    /// deltas) is rebuilt from this log, so publishing is stateless.
+    entries: Vec<WalEntry>,
+    /// Where compaction persists the merged library (the startup library
+    /// file). `None` compacts in memory only.
+    persist_path: Option<PathBuf>,
+    /// Auto-compact when the delta holds at least this many entries
+    /// (0 disables the count trigger).
+    threshold: usize,
+    /// Auto-compact when the oldest staged entry is at least this old
+    /// (zero disables the age trigger).
+    max_age: Duration,
+    /// When the oldest currently-staged entry was accepted.
+    staged_since: Option<Instant>,
+    /// Consecutive compaction failures since the last success.
+    failures: u32,
+    /// Do not retry a failed compaction before this instant.
+    retry_after: Option<Instant>,
+}
+
+impl LivePlane {
+    /// A plane with no WAL, no persistence, and no auto-compaction — what
+    /// embedded and test servers that never append use.
+    pub(crate) fn disabled() -> Self {
+        LivePlane {
+            wal: None,
+            entries: Vec::new(),
+            persist_path: None,
+            threshold: 0,
+            max_age: Duration::ZERO,
+            staged_since: None,
+            failures: 0,
+            retry_after: None,
+        }
+    }
+
+    /// Opens the plane for `library` (the startup file): binds the
+    /// sibling WAL and replays any entries a previous process
+    /// acknowledged but had not compacted before it died. Mid-file
+    /// garbage is a hard error — a torn *tail* is tolerated (the crash
+    /// interrupted the final write, which was never acknowledged), but
+    /// corruption before the tail means the log cannot be trusted.
+    pub(crate) fn boot(
+        library: Option<&Path>,
+        threshold: usize,
+        max_age: Duration,
+    ) -> Result<Self, ServerError> {
+        let mut plane = LivePlane::disabled();
+        plane.threshold = threshold;
+        plane.max_age = max_age;
+        let Some(library) = library else {
+            return Ok(plane);
+        };
+        let wal = AppendWal::for_library(library);
+        let entries = wal.replay().map_err(|e| {
+            ServerError::ReloadFailed(format!(
+                "cannot replay append WAL {}: {e}",
+                wal.path().display()
+            ))
+        })?;
+        if !entries.is_empty() {
+            plane.staged_since = Some(Instant::now());
+            eprintln!(
+                "goalrec-serve: replayed {} staged append(s) from {}",
+                entries.len(),
+                wal.path().display()
+            );
+        }
+        plane.entries = entries;
+        plane.persist_path = Some(library.to_path_buf());
+        plane.wal = Some(wal);
+        Ok(plane)
+    }
+
+    /// The replayed (or staged) entries, in acceptance order.
+    pub(crate) fn entries(&self) -> &[WalEntry] {
+        &self.entries
+    }
+
+    /// Whether the auto-compaction thresholds say "compact now".
+    fn should_compact(&self, now: Instant) -> bool {
+        if self.entries.is_empty() {
+            return false;
+        }
+        if let Some(t) = self.retry_after {
+            if now < t {
+                return false;
+            }
+        }
+        let by_count = self.threshold > 0 && self.entries.len() >= self.threshold;
+        let by_age = !self.max_age.is_zero()
+            && self
+                .staged_since
+                .is_some_and(|t| now.duration_since(t) >= self.max_age);
+        by_count || by_age
+    }
+
+    /// Registers a compaction failure: bounded exponential backoff.
+    fn note_failure(&mut self, now: Instant) {
+        self.failures = self.failures.saturating_add(1);
+        let factor = 1u32 << self.failures.saturating_sub(1).min(10);
+        let delay = COMPACT_BACKOFF_BASE
+            .saturating_mul(factor)
+            .min(COMPACT_BACKOFF_CAP);
+        self.retry_after = Some(now + delay);
+    }
+
+    /// Clears the failure bookkeeping after a successful compaction.
+    fn note_success(&mut self) {
+        self.failures = 0;
+        self.retry_after = None;
+        self.staged_since = None;
+    }
+}
+
+/// Derives a fresh [`DeltaSegment`] over `state`'s compiled base from the
+/// acknowledged entry log and publishes it: the global cell swaps to a
+/// successor sharing the compiled half, and on a sharded server every
+/// shard cell republishes its own overlay of the same log. Returns the
+/// staged total.
+pub(crate) fn publish_staged(
+    cell: &StateCell,
+    shards: Option<&ShardSet>,
+    entries: &[WalEntry],
+) -> Result<u64, ServerError> {
+    let state = cell.load();
+    let mut delta = DeltaSegment::for_base(state.model());
+    for (goal, actions) in entries {
+        delta
+            .append(
+                GoalId::new(*goal),
+                actions.iter().copied().map(ActionId::new).collect(),
+            )
+            .map_err(|e| {
+                ServerError::ReloadFailed(format!("staged implementation rejected: {e}"))
+            })?;
+    }
+    let base_total = delta.first_impl();
+    let staged = u64::try_from(delta.len()).unwrap_or(u64::MAX);
+    cell.swap(Arc::new(state.with_staged(Arc::new(delta))));
+    if let Some(set) = shards {
+        set.stage_entries(base_total, entries);
+    }
+    obs::gauge(names::LIBRARY_DELTA_SIZE).set(staged as f64);
+    Ok(staged)
+}
+
 /// Starts the reload supervisor for `cell`. `default_path` is what
 /// `SIGHUP` (and path-less admin requests) reload. Every attempt is
 /// traced (load / model-build / validate spans, generation-tagged) and
 /// offered to `tail` under the `reload` route, so `/debug/traces` can
-/// answer "what did the last reload spend its time on".
+/// answer "what did the last reload spend its time on". `live` is the
+/// booted live mutation plane ([`LivePlane::disabled`] when the server
+/// does not take appends); its replayed entries must already be staged
+/// into `cell` by the caller.
 pub(crate) fn spawn_reloader(
     cell: Arc<StateCell>,
     shutdown: Shutdown,
     default_path: Option<PathBuf>,
     tail: Arc<obs::TailSampler>,
     shards: Option<Arc<ShardSet>>,
+    live: LivePlane,
 ) -> Result<(ReloadHandle, JoinHandle<()>), ServerError> {
     let queue: Arc<Bounded<ReloadJob>> = Arc::new(Bounded::new(RELOAD_QUEUE_DEPTH));
     let handle = ReloadHandle {
@@ -191,7 +416,7 @@ pub(crate) fn spawn_reloader(
     obs::gauge(names::SERVER_MODEL_GENERATION).set(cell.load().generation() as f64);
     let thread = std::thread::Builder::new()
         .name("goalrec-reload".to_owned())
-        .spawn(move || reloader_loop(cell, queue, shutdown, default_path, tail, shards))
+        .spawn(move || reloader_loop(cell, queue, shutdown, default_path, tail, shards, live))
         .map_err(|e| ServerError::Io {
             context: "spawning reload thread",
             detail: e.to_string(),
@@ -205,6 +430,10 @@ struct ReloadMetrics {
     failures: Arc<obs::Counter>,
     latency: Arc<obs::Histogram>,
     generation: Arc<obs::Gauge>,
+    appends: Arc<obs::Counter>,
+    compactions: Arc<obs::Counter>,
+    compaction_failures: Arc<obs::Counter>,
+    compaction_latency: Arc<obs::Histogram>,
 }
 
 impl ReloadMetrics {
@@ -214,10 +443,15 @@ impl ReloadMetrics {
             failures: obs::counter(names::SERVER_RELOAD_FAILURES),
             latency: obs::histogram_ns(names::SERVER_RELOAD_LATENCY),
             generation: obs::gauge(names::SERVER_MODEL_GENERATION),
+            appends: obs::counter(names::LIBRARY_APPENDS),
+            compactions: obs::counter(names::LIBRARY_COMPACTIONS),
+            compaction_failures: obs::counter(names::LIBRARY_COMPACTION_FAILURES),
+            compaction_latency: obs::histogram_ns(names::LIBRARY_COMPACTION_LATENCY),
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn reloader_loop(
     cell: Arc<StateCell>,
     queue: Arc<Bounded<ReloadJob>>,
@@ -225,6 +459,7 @@ fn reloader_loop(
     default_path: Option<PathBuf>,
     tail: Arc<obs::TailSampler>,
     shards: Option<Arc<ShardSet>>,
+    mut live: LivePlane,
 ) {
     let metrics = ReloadMetrics::new();
     metrics.generation.set(cell.load().generation() as f64);
@@ -232,11 +467,22 @@ fn reloader_loop(
     loop {
         match queue.pop(RELOAD_POLL) {
             Pop::Item(job) => {
-                let result = match job.shard {
-                    Some(shard) => {
-                        attempt_shard(&cell, shards.as_deref(), &job.path, shard, &metrics, &tail)
+                let result = match job.kind {
+                    JobKind::Reload { path, shard } => attempt_reload(
+                        &cell,
+                        shards.as_deref(),
+                        &path,
+                        shard,
+                        &live,
+                        &metrics,
+                        &tail,
+                    ),
+                    JobKind::Append { entries } => {
+                        attempt_append(&cell, shards.as_deref(), entries, &mut live, &metrics)
                     }
-                    None => attempt(&cell, shards.as_deref(), &job.path, &metrics, &tail),
+                    JobKind::Compact => {
+                        attempt_compact(&cell, shards.as_deref(), &mut live, &metrics, &tail)
+                    }
                 };
                 if let Some(done) = job.done {
                     let (slot, ready) = &*done;
@@ -250,13 +496,27 @@ fn reloader_loop(
                     seen_hups = hups;
                     match &default_path {
                         Some(path) => {
-                            let _ = attempt(&cell, shards.as_deref(), path, &metrics, &tail);
+                            let _ = attempt_reload(
+                                &cell,
+                                shards.as_deref(),
+                                path,
+                                None,
+                                &live,
+                                &metrics,
+                                &tail,
+                            );
                         }
                         None => eprintln!(
                             "goalrec-serve: SIGHUP received but no library file is \
                              configured; ignoring"
                         ),
                     }
+                }
+                // Idle ticks are where the background compactor runs: the
+                // delta crossed a threshold (or a failed attempt's backoff
+                // expired) and no admin job is waiting.
+                if live.should_compact(Instant::now()) {
+                    let _ = attempt_compact(&cell, shards.as_deref(), &mut live, &metrics, &tail);
                 }
                 if shutdown.is_set() {
                     // Stop taking new jobs; the next iterations drain
@@ -267,6 +527,239 @@ fn reloader_loop(
             Pop::Closed => break,
         }
     }
+}
+
+/// One append attempt: WAL-log the batch (fsync) so a `200` survives a
+/// crash, extend the acknowledged log, and republish the overlay. The
+/// compiled base is shared, so this is O(delta), never a rebuild.
+fn attempt_append(
+    cell: &Arc<StateCell>,
+    shards: Option<&ShardSet>,
+    entries: Vec<WalEntry>,
+    live: &mut LivePlane,
+    metrics: &ReloadMetrics,
+) -> ReloadResult {
+    if entries.is_empty() {
+        return Ok(u64::try_from(live.entries.len()).unwrap_or(u64::MAX));
+    }
+    if let Some(wal) = &live.wal {
+        wal.append_batch(&entries).map_err(|e| {
+            ServerError::ReloadFailed(format!(
+                "cannot WAL-log the append ({}): {e}; nothing was staged",
+                wal.path().display()
+            ))
+        })?;
+    }
+    let accepted = entries.len();
+    let before = live.entries.len();
+    live.entries.extend(entries);
+    match publish_staged(cell, shards, &live.entries) {
+        Ok(staged) => {
+            if live.staged_since.is_none() {
+                live.staged_since = Some(Instant::now());
+            }
+            metrics
+                .appends
+                .inc_by(u64::try_from(accepted).unwrap_or(u64::MAX));
+            Ok(staged)
+        }
+        Err(err) => {
+            // Publishing validated entries cannot fail in practice (the
+            // route validated every field); if it somehow does, drop the
+            // batch from the log so memory and WAL mirror stay aligned
+            // for the *accepted* prefix.
+            live.entries.truncate(before);
+            Err(err)
+        }
+    }
+}
+
+/// One compaction attempt: merge base ⊕ delta into a single library,
+/// rebuild and validate the next generation off to the side, persist it
+/// crash-safely (atomic temp + fsync + rename, then a read-back verify
+/// through the fault-injectable reader), clear the WAL, and only then
+/// swap. Every failure path returns **before** the swap, so rollback is
+/// literally "do nothing": the old generation keeps serving and the
+/// delta + WAL stay intact for the backoff retry.
+fn attempt_compact(
+    cell: &Arc<StateCell>,
+    shards: Option<&ShardSet>,
+    live: &mut LivePlane,
+    metrics: &ReloadMetrics,
+    tail: &obs::TailSampler,
+) -> ReloadResult {
+    let state = cell.load();
+    if live.entries.is_empty() {
+        return Ok(state.generation());
+    }
+    let t0 = Instant::now();
+    let mut trace = obs::TraceContext::new(true);
+    trace.begin(obs::fresh_trace_id(), t0);
+    trace.set_route("compact");
+    let result = compact_once(cell, shards, live, &state, &mut trace);
+    metrics
+        .compaction_latency
+        .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    let result = match result {
+        Ok(generation) => {
+            live.note_success();
+            metrics.compactions.inc();
+            metrics.generation.set(generation as f64);
+            obs::gauge(names::LIBRARY_DELTA_SIZE).set(0.0);
+            trace.set_generation(generation);
+            trace.finish(200);
+            eprintln!(
+                "goalrec-serve: compacted the live delta (generation {generation}, trace {})",
+                trace.id()
+            );
+            Ok(generation)
+        }
+        Err(err) => {
+            live.note_failure(Instant::now());
+            metrics.compaction_failures.inc();
+            let serving = state.generation();
+            trace.set_generation(serving);
+            trace.finish(500);
+            eprintln!(
+                "goalrec-serve: compaction failed ({err}); generation {serving} keeps \
+                 serving with the delta intact, retry #{} backed off",
+                live.failures
+            );
+            Err(err)
+        }
+    };
+    tail.offer(&trace.snapshot());
+    result
+}
+
+/// The fallible middle of a compaction attempt, in strict
+/// merge → build/validate → persist → swap order. Returns the new
+/// generation; *no* observable state mutates unless every step succeeded.
+fn compact_once(
+    cell: &Arc<StateCell>,
+    shards: Option<&ShardSet>,
+    live: &mut LivePlane,
+    state: &Arc<AppState>,
+    trace: &mut obs::TraceContext,
+) -> ReloadResult {
+    let merge = trace.start_span(names::SPAN_COMPACT_MERGE);
+    let merged = state
+        .live()
+        .to_library()
+        .map_err(|e| ServerError::ReloadFailed(format!("base ⊕ delta merge failed: {e}")));
+    trace.end_span(merge);
+    let merged = merged?;
+
+    // Rebuild every shard and the global state before anything persists
+    // or swaps — a validation failure rolls the whole attempt back.
+    let rebuilt = match shards {
+        Some(set) => Some(set.rebuild_all(&merged)?),
+        None => None,
+    };
+    let next_generation = state.generation() + 1;
+    let next = AppState::with_generation_traced(merged, next_generation, trace)
+        .map_err(|e| ServerError::ReloadFailed(format!("compacted model rebuild failed: {e}")))?;
+    let validate = trace.start_span(names::SPAN_RELOAD_VALIDATE);
+    let validated = next
+        .model()
+        .validate()
+        .map_err(|e| ServerError::ReloadFailed(format!("compacted model failed validation: {e}")));
+    trace.end_span(validate);
+    validated?;
+
+    let persist = trace.start_span(names::SPAN_COMPACT_PERSIST);
+    let persisted = persist_compacted(live, &next);
+    trace.end_span(persist);
+    persisted?;
+
+    // The point of no return — and it cannot fail. Workers loading after
+    // this line see the compacted base with an empty delta; workers
+    // mid-request keep the base ⊕ delta snapshot they already hold.
+    let swap = trace.start_span(names::SPAN_COMPACT_SWAP);
+    cell.swap(Arc::new(next));
+    if let Some((set, rebuilt)) = shards.zip(rebuilt) {
+        set.swap_all(rebuilt);
+    }
+    live.entries.clear();
+    trace.end_span(swap);
+    Ok(next_generation)
+}
+
+/// Persists the compacted library crash-safely and clears the WAL. The
+/// atomic write goes through `goalrec-datasets` (temp sibling + fsync +
+/// rename + directory sync) and the read-back verify re-reads the renamed
+/// file through the fault-injectable reader — a torn or corrupted persist
+/// fails *here*, before anything swapped.
+fn persist_compacted(live: &LivePlane, next: &AppState) -> Result<(), ServerError> {
+    let Some(path) = &live.persist_path else {
+        // In-memory server: compaction still swaps generations, there is
+        // just nothing to persist (and no WAL to clear).
+        return Ok(());
+    };
+    // Match the serving file's format (the read-back below chooses its
+    // parser by extension, as does every other loader of this file).
+    let write = if path.extension().is_some_and(|e| e == "grlb") {
+        goalrec_datasets::binary::write_library_binary
+    } else {
+        goalrec_datasets::io::write_library_jsonl
+    };
+    write(next.library(), path).map_err(|e| {
+        ServerError::ReloadFailed(format!(
+            "cannot persist the compacted library to {}: {e}",
+            path.display()
+        ))
+    })?;
+    let reread = goalrec_datasets::io::read_library_auto(path).map_err(|e| {
+        ServerError::ReloadFailed(format!(
+            "read-back verify of {} failed: {e}",
+            path.display()
+        ))
+    })?;
+    if reread.len() != next.library().len() {
+        return Err(ServerError::ReloadFailed(format!(
+            "read-back verify of {} found {} implementations, expected {}",
+            path.display(),
+            reread.len(),
+            next.library().len()
+        )));
+    }
+    if let Some(wal) = &live.wal {
+        wal.clear().map_err(|e| {
+            ServerError::ReloadFailed(format!(
+                "cannot clear the append WAL {}: {e}",
+                wal.path().display()
+            ))
+        })?;
+    }
+    Ok(())
+}
+
+/// A reload attempt that respects the live plane: after a successful
+/// swap the surviving staged entries are re-derived onto the freshly
+/// reloaded base (append entries are raw `(goal, actions)` ids, so they
+/// re-stage onto *any* base), keeping uncompacted appends visible across
+/// reloads. The re-stage of already-validated entries cannot fail in
+/// practice; if it does, the reload itself still stands.
+#[allow(clippy::too_many_arguments)]
+fn attempt_reload(
+    cell: &Arc<StateCell>,
+    shards: Option<&ShardSet>,
+    path: &Path,
+    shard: Option<usize>,
+    live: &LivePlane,
+    metrics: &ReloadMetrics,
+    tail: &obs::TailSampler,
+) -> ReloadResult {
+    let result = match shard {
+        Some(shard) => attempt_shard(cell, shards, path, shard, metrics, tail),
+        None => attempt(cell, shards, path, metrics, tail),
+    };
+    if result.is_ok() && !live.entries.is_empty() {
+        if let Err(err) = publish_staged(cell, shards, &live.entries) {
+            eprintln!("goalrec-serve: could not re-stage the live delta after reload: {err}");
+        }
+    }
+    result
 }
 
 /// One full reload attempt: build-and-validate off to the side, swap only
@@ -384,7 +877,7 @@ fn load_state(
     shards: Option<&ShardSet>,
     path: &Path,
     trace: &mut obs::TraceContext,
-) -> Result<(Arc<AppState>, Option<Vec<ShardModel>>), ServerError> {
+) -> Result<(Arc<AppState>, Option<crate::shards::RebuiltShards>), ServerError> {
     // Spans close on the error paths too, so a failed attempt's trace
     // still accounts for the time the failing phase consumed.
     let load = trace.start_span(names::SPAN_RELOAD_LOAD);
@@ -478,6 +971,7 @@ mod tests {
             None,
             Arc::clone(&sampler),
             None,
+            LivePlane::disabled(),
         )
         .unwrap();
 
@@ -527,7 +1021,8 @@ mod tests {
     fn closed_supervisor_refuses_new_reloads() {
         let cell = Arc::new(StateCell::new(AppState::new(library("x")).unwrap()));
         let shutdown = Shutdown::new();
-        let (handle, thread) = spawn_reloader(cell, shutdown, None, tail(), None).unwrap();
+        let (handle, thread) =
+            spawn_reloader(cell, shutdown, None, tail(), None, LivePlane::disabled()).unwrap();
         handle.close();
         let _ = thread.join();
         assert!(handle.reload_blocking(tmp("never.jsonl")).is_err());
@@ -548,6 +1043,7 @@ mod tests {
             None,
             tail(),
             Some(Arc::clone(&set)),
+            LivePlane::disabled(),
         )
         .unwrap();
 
@@ -586,14 +1082,316 @@ mod tests {
         let _ = thread.join();
     }
 
+    /// Boots a WAL-backed plane over a fresh library file and a running
+    /// supervisor; manual compaction only (both auto thresholds off).
+    fn live_fixture(
+        name: &str,
+    ) -> (
+        PathBuf,
+        Arc<StateCell>,
+        Shutdown,
+        ReloadHandle,
+        JoinHandle<()>,
+    ) {
+        let path = tmp(name);
+        let lib = library("base");
+        goalrec_datasets::io::write_library_jsonl(&lib, &path).unwrap();
+        // A stale WAL from a previous test run must not leak in.
+        let _ = std::fs::remove_file(AppendWal::for_library(&path).path());
+        let cell = Arc::new(StateCell::new(AppState::new(lib).unwrap()));
+        let shutdown = Shutdown::new();
+        let live = LivePlane::boot(Some(&path), 0, Duration::ZERO).unwrap();
+        let (handle, thread) = spawn_reloader(
+            Arc::clone(&cell),
+            shutdown.clone(),
+            Some(path.clone()),
+            tail(),
+            None,
+            live,
+        )
+        .unwrap();
+        (path, cell, shutdown, handle, thread)
+    }
+
+    #[test]
+    fn append_stages_without_a_generation_bump_and_compaction_folds_in() {
+        let (path, cell, shutdown, handle, thread) = live_fixture("live-append.jsonl");
+        let base_impls = cell.load().library().len();
+
+        // Two appends: the second extends both id spaces past the base.
+        let staged = handle.append_blocking(vec![(0, vec![0, 1])]).unwrap();
+        assert_eq!(staged, 1);
+        let staged = handle.append_blocking(vec![(5, vec![2, 9])]).unwrap();
+        assert_eq!(staged, 2);
+        let st = cell.load();
+        assert_eq!(st.delta_len(), 2);
+        assert_eq!(st.generation(), 1, "appends must not mint a generation");
+        // The WAL holds both acknowledged entries, replayable.
+        let wal = AppendWal::for_library(&path);
+        assert_eq!(wal.replay().unwrap().len(), 2);
+
+        // Compaction folds the delta into a new compiled generation…
+        let generation = handle.compact_blocking().unwrap();
+        assert_eq!(generation, 2);
+        let st = cell.load();
+        assert_eq!(st.generation(), 2);
+        assert_eq!(
+            st.delta_len(),
+            0,
+            "the delta must be empty after compaction"
+        );
+        assert_eq!(st.library().len(), base_impls + 2);
+        // …persists the merged library crash-safely…
+        let merged = goalrec_datasets::io::read_library_auto(&path).unwrap();
+        assert_eq!(merged.len(), base_impls + 2);
+        // …and clears the WAL.
+        assert!(wal.replay().unwrap().is_empty());
+
+        // Compacting an empty delta is a no-op at the same generation.
+        assert_eq!(handle.compact_blocking().unwrap(), 2);
+
+        shutdown.request();
+        handle.close();
+        let _ = thread.join();
+    }
+
+    #[test]
+    fn replayed_wal_entries_are_restaged_at_boot() {
+        let path = tmp("live-replay.jsonl");
+        let lib = library("base");
+        goalrec_datasets::io::write_library_jsonl(&lib, &path).unwrap();
+        let wal = AppendWal::for_library(&path);
+        let _ = std::fs::remove_file(wal.path());
+        // A "previous process" acknowledged two appends, then died before
+        // compacting.
+        wal.append_batch(&[(1, vec![0, 2]), (3, vec![1])]).unwrap();
+
+        let live = LivePlane::boot(Some(&path), 0, Duration::ZERO).unwrap();
+        assert_eq!(live.entries().len(), 2);
+        // What lib.rs does at startup: stage the replayed entries before
+        // the server takes traffic.
+        let cell = Arc::new(StateCell::new(AppState::new(lib).unwrap()));
+        let staged = publish_staged(&cell, None, live.entries()).unwrap();
+        assert_eq!(staged, 2);
+        assert_eq!(cell.load().delta_len(), 2);
+        assert_eq!(cell.load().generation(), 1);
+    }
+
+    #[test]
+    fn wal_garbage_is_a_hard_boot_error() {
+        let path = tmp("live-garbage.jsonl");
+        goalrec_datasets::io::write_library_jsonl(&library("base"), &path).unwrap();
+        let wal = AppendWal::for_library(&path);
+        std::fs::write(
+            wal.path(),
+            b"{\"goal\": oops}\n{\"goal\": 1, \"actions\": [2]}\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            LivePlane::boot(Some(&path), 0, Duration::ZERO),
+            Err(ServerError::ReloadFailed(_))
+        ));
+        let _ = std::fs::remove_file(wal.path());
+    }
+
+    #[test]
+    fn reload_restages_the_live_delta_onto_the_new_base() {
+        let (path, cell, shutdown, handle, thread) = live_fixture("live-reload.jsonl");
+        handle.append_blocking(vec![(2, vec![0, 1])]).unwrap();
+        assert_eq!(cell.load().delta_len(), 1);
+
+        // A full reload of the (unchanged) library file swaps a fresh
+        // base in; the staged entry must survive on top of it.
+        let generation = handle.reload_blocking(path.clone()).unwrap();
+        assert_eq!(generation, 2);
+        let st = cell.load();
+        assert_eq!(st.generation(), 2);
+        assert_eq!(st.delta_len(), 1, "the delta must survive a reload");
+
+        // And it still compacts cleanly afterwards.
+        assert_eq!(handle.compact_blocking().unwrap(), 3);
+        assert_eq!(cell.load().delta_len(), 0);
+
+        shutdown.request();
+        handle.close();
+        let _ = thread.join();
+    }
+
+    #[test]
+    fn faulted_compactions_roll_back_and_a_clean_retry_succeeds() {
+        let (path, cell, shutdown, handle, thread) = live_fixture("live-faulted.jsonl");
+        let base_impls = cell.load().library().len();
+        handle.append_blocking(vec![(0, vec![1, 2])]).unwrap();
+
+        let compaction_failures = obs::counter(names::LIBRARY_COMPACTION_FAILURES);
+        let failures_before = compaction_failures.get();
+        // Three consecutive faulted compactions: a write error at
+        // persist, a torn write at persist, a read error on the
+        // read-back verify. Every one must roll back completely.
+        let plans = [
+            goalrec_faults::FaultPlan::new()
+                .for_paths("live-faulted.jsonl")
+                .with(
+                    goalrec_faults::FaultKind::WriteError,
+                    goalrec_faults::Trigger::OpCount(1),
+                ),
+            goalrec_faults::FaultPlan::new()
+                .for_paths("live-faulted.jsonl")
+                .with(
+                    goalrec_faults::FaultKind::TornWrite,
+                    goalrec_faults::Trigger::ByteOffset(8),
+                ),
+            goalrec_faults::FaultPlan::new()
+                .for_paths("live-faulted.jsonl")
+                .with(
+                    goalrec_faults::FaultKind::ReadError,
+                    goalrec_faults::Trigger::OpCount(1),
+                ),
+        ];
+        for plan in plans {
+            let err = goalrec_faults::with_plan(plan, || handle.compact_blocking()).unwrap_err();
+            assert!(matches!(err, ServerError::ReloadFailed(_)), "{err}");
+            let st = cell.load();
+            assert_eq!(st.generation(), 1, "old generation must keep serving");
+            assert_eq!(st.delta_len(), 1, "the delta must stay intact");
+            // The WAL still carries the staged entry for the retry.
+            assert_eq!(
+                AppendWal::for_library(&path).replay().unwrap().len(),
+                1,
+                "the WAL must survive a faulted compaction"
+            );
+            // The library file on disk is never torn: either untouched
+            // (persist failed before the rename) or atomically replaced
+            // with the full merged library (the fault hit the read-back
+            // verify, after the rename).
+            let on_disk = goalrec_datasets::io::read_library_auto(&path).unwrap();
+            assert!(
+                on_disk.len() == base_impls || on_disk.len() == base_impls + 1,
+                "on-disk library must be the base or the merged library, got {}",
+                on_disk.len()
+            );
+        }
+        assert_eq!(compaction_failures.get(), failures_before + 3);
+
+        // A clean retry (faults disarmed) compacts and bumps the
+        // generation exactly once.
+        let generation = handle.compact_blocking().unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(cell.load().delta_len(), 0);
+        assert_eq!(
+            goalrec_datasets::io::read_library_auto(&path)
+                .unwrap()
+                .len(),
+            base_impls + 1
+        );
+        assert!(AppendWal::for_library(&path).replay().unwrap().is_empty());
+
+        shutdown.request();
+        handle.close();
+        let _ = thread.join();
+    }
+
+    #[test]
+    fn compaction_backoff_gates_the_auto_trigger() {
+        let mut plane = LivePlane::disabled();
+        plane.threshold = 1;
+        plane.entries.push((0, vec![1]));
+        let now = Instant::now();
+        assert!(plane.should_compact(now), "threshold crossed");
+        plane.note_failure(now);
+        assert!(
+            !plane.should_compact(now),
+            "a fresh failure must back the retry off"
+        );
+        assert!(
+            plane.should_compact(now + Duration::from_secs(60)),
+            "the backoff must expire"
+        );
+        // Backoff grows but stays bounded.
+        for _ in 0..20 {
+            plane.note_failure(now);
+        }
+        let retry = plane.retry_after.unwrap();
+        assert!(retry <= now + COMPACT_BACKOFF_CAP);
+        plane.note_success();
+        assert!(plane.retry_after.is_none());
+        assert_eq!(plane.failures, 0);
+    }
+
+    #[test]
+    fn sharded_appends_route_to_the_owning_shard_and_compact_in_lockstep() {
+        let path = tmp("live-sharded.jsonl");
+        let lib = library("base");
+        goalrec_datasets::io::write_library_jsonl(&lib, &path).unwrap();
+        let _ = std::fs::remove_file(AppendWal::for_library(&path).path());
+        let set =
+            Arc::new(ShardSet::build(&lib, 2, goalrec_shard::PartitionMode::HashGoal).unwrap());
+        let cell = Arc::new(StateCell::new(AppState::new(lib).unwrap()));
+        let shutdown = Shutdown::new();
+        let live = LivePlane::boot(Some(&path), 0, Duration::ZERO).unwrap();
+        let (handle, thread) = spawn_reloader(
+            Arc::clone(&cell),
+            shutdown.clone(),
+            Some(path.clone()),
+            tail(),
+            Some(Arc::clone(&set)),
+            live,
+        )
+        .unwrap();
+
+        // Each staged goal lands in exactly one shard's delta.
+        handle
+            .append_blocking(vec![(0, vec![0, 1]), (1, vec![1, 2]), (7, vec![0, 2])])
+            .unwrap();
+        let staged_total: usize = (0..set.num_shards())
+            .map(|i| set.load(i).unwrap().staged_len())
+            .sum();
+        assert_eq!(
+            staged_total, 3,
+            "every entry must land in exactly one shard"
+        );
+        for (g, expect_owner) in [
+            (0u32, set.owner_of(0)),
+            (1, set.owner_of(1)),
+            (7, set.owner_of(7)),
+        ] {
+            let snap = set.load(expect_owner).unwrap();
+            assert!(
+                snap.staged_len() > 0,
+                "goal {g}'s owner shard {expect_owner} must hold staged entries"
+            );
+        }
+
+        // Compaction swaps the global state and every shard together and
+        // clears the per-shard deltas.
+        let generation = handle.compact_blocking().unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(cell.load().delta_len(), 0);
+        for i in 0..set.num_shards() {
+            assert_eq!(set.load(i).unwrap().staged_len(), 0, "shard {i}");
+        }
+        assert_eq!(set.min_generation(), 2);
+
+        shutdown.request();
+        handle.close();
+        let _ = thread.join();
+    }
+
     #[test]
     fn targeted_reload_on_an_unsharded_server_is_rejected() {
         let good = tmp("reload-unsharded-target.jsonl");
         goalrec_datasets::io::write_library_jsonl(&library("fresh"), &good).unwrap();
         let cell = Arc::new(StateCell::new(AppState::new(library("x")).unwrap()));
         let shutdown = Shutdown::new();
-        let (handle, thread) =
-            spawn_reloader(Arc::clone(&cell), shutdown.clone(), None, tail(), None).unwrap();
+        let (handle, thread) = spawn_reloader(
+            Arc::clone(&cell),
+            shutdown.clone(),
+            None,
+            tail(),
+            None,
+            LivePlane::disabled(),
+        )
+        .unwrap();
         assert!(matches!(
             handle.reload_shard_blocking(good, 0),
             Err(ServerError::BadRequest(_))

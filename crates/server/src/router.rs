@@ -9,6 +9,7 @@
 //! | `/v1/stats` | GET | [`StatsReport`] JSON (same shape as `goalrec stats --json`) |
 //! | `/v1/recommend` | POST | ranked actions for an activity |
 //! | `/v1/admin/reload` | POST | hot-swap the model from `{"path": …, "shard": …}` (or the startup file) |
+//! | `/v1/admin/library/append` | POST | stage implementations into the live delta (`{"goal", "actions"}` or `{"implementations": […]}`) |
 //!
 //! The recommend body is `{"activity": [u32, …], "strategy": "breadth" |
 //! "best-match" | "focus-cmp" | "focus-cl", "k": usize}` with `strategy`
@@ -32,10 +33,9 @@ use crate::error::ServerError;
 use crate::http::{Request, Response};
 use crate::reload::{ReloadHandle, StateCell};
 use crate::shards::{ShardArena, ShardSet};
-use goalrec_core::ids::ActionId;
 use goalrec_core::{
-    Activity, BestMatch, Breadth, Focus, FocusVariant, GoalLibrary, GoalModel, GoalRecommender,
-    LibraryStats, Scored, Scratch, StatsReport,
+    Activity, AssocView, BestMatch, Breadth, DeltaSegment, Focus, FocusVariant, GoalLibrary,
+    GoalModel, GoalRecommender, LibraryStats, LiveRef, Scored, Scratch, StatsReport,
 };
 use goalrec_obs::{self as obs, names};
 use goalrec_shard::ShardStrategy;
@@ -47,21 +47,33 @@ use std::time::{Duration, Instant};
 /// The strategy names the API accepts, in documentation order.
 pub const STRATEGY_NAMES: &[&str] = &["breadth", "best-match", "focus-cmp", "focus-cl"];
 
-/// Everything a worker needs to answer requests: the shared model, the
-/// library (for names and stats), and one pre-built recommender per
-/// strategy so per-request work is just the strategy's ranking pass.
-pub struct AppState {
+/// The expensive-to-build half of the serving state: the compiled model,
+/// its library, stats, and one pre-built recommender per strategy.
+/// Shared (behind one `Arc`) across append swaps, so staging a live
+/// implementation publishes a new [`AppState`] by cloning two `Arc`s —
+/// never by recompiling the model.
+struct CompiledState {
     library: Arc<GoalLibrary>,
     model: Arc<GoalModel>,
     stats: LibraryStats,
     recommenders: Vec<(&'static str, GoalRecommender)>,
-    generation: u64,
     built_at: Instant,
+}
+
+/// Everything a worker needs to answer requests: the compiled base
+/// (model, library, recommenders) plus the live append delta overlaid on
+/// it. One `ctx.state()` load yields a coherent base ⊕ delta snapshot —
+/// an append or compaction landing mid-request never changes what that
+/// request is answered from.
+pub struct AppState {
+    compiled: Arc<CompiledState>,
+    delta: Arc<DeltaSegment>,
+    generation: u64,
 }
 
 impl AppState {
     /// Compiles the model and the per-strategy recommenders as the
-    /// initial serving state (generation 1).
+    /// initial serving state (generation 1), with an empty delta.
     pub fn new(library: GoalLibrary) -> Result<Self, ServerError> {
         AppState::with_generation(library, 1)
     }
@@ -108,40 +120,81 @@ impl AppState {
             ),
         ];
         trace.end_span(build);
+        let delta = Arc::new(DeltaSegment::for_base(&model));
         Ok(AppState {
-            library: Arc::new(library),
-            model,
-            stats,
-            recommenders,
+            compiled: Arc::new(CompiledState {
+                library: Arc::new(library),
+                model,
+                stats,
+                recommenders,
+                built_at: Instant::now(),
+            }),
+            delta,
             generation,
-            built_at: Instant::now(),
         })
     }
 
-    /// The shared model.
+    /// A successor state sharing this state's compiled base but carrying
+    /// `delta` as its live overlay. Generation is preserved: appends stage
+    /// into the *current* generation; only reloads and compactions mint a
+    /// new one.
+    pub(crate) fn with_staged(&self, delta: Arc<DeltaSegment>) -> AppState {
+        AppState {
+            compiled: Arc::clone(&self.compiled),
+            delta,
+            generation: self.generation,
+        }
+    }
+
+    /// The shared compiled model (the base of the overlay).
     pub fn model(&self) -> &Arc<GoalModel> {
-        &self.model
+        &self.compiled.model
     }
 
     /// The library behind the model.
     pub fn library(&self) -> &Arc<GoalLibrary> {
-        &self.library
+        &self.compiled.library
+    }
+
+    /// The precomputed library stats behind `/v1/stats`.
+    pub fn stats(&self) -> &LibraryStats {
+        &self.compiled.stats
+    }
+
+    /// The live read view: compiled base ⊕ append delta. An empty delta
+    /// vanishes (`LiveRef::overlay` drops it), so between appends this is
+    /// exactly the plain compiled view.
+    pub fn live(&self) -> LiveRef<'_> {
+        LiveRef::overlay(&self.compiled.model, &self.delta)
+    }
+
+    /// The live append delta overlaid on the compiled base.
+    pub fn delta(&self) -> &Arc<DeltaSegment> {
+        &self.delta
+    }
+
+    /// Staged-but-uncompacted implementations in this snapshot.
+    pub fn delta_len(&self) -> usize {
+        self.delta.len()
     }
 
     /// Which reload generation this state is: 1 at startup, +1 per
-    /// successful hot reload.
+    /// successful hot reload or compaction. Appends do not bump it.
     pub fn generation(&self) -> u64 {
         self.generation
     }
 
-    /// How long ago this state was built — `/healthz` reports it as
-    /// `model_age_ms` so operators can tell a reload actually took.
+    /// How long ago this state's *compiled base* was built — `/healthz`
+    /// reports it as `model_age_ms` so operators can tell a reload
+    /// actually took. Append swaps share the base, so they do not reset
+    /// the age.
     pub fn model_age(&self) -> Duration {
-        self.built_at.elapsed()
+        self.compiled.built_at.elapsed()
     }
 
     fn recommender(&self, strategy: &str) -> Result<&GoalRecommender, ServerError> {
-        self.recommenders
+        self.compiled
+            .recommenders
             .iter()
             .find(|(name, _)| *name == strategy)
             .map(|(_, r)| r)
@@ -151,16 +204,22 @@ impl AppState {
 
 /// Every route label `handle` can classify a request into. The last entry
 /// is the catch-all and backs [`ServeCtx::route_counter`]'s fallback.
-const ROUTES: [&str; 8] = [
+const ROUTES: [&str; 9] = [
     "healthz",
     "metrics",
     "stats",
     "recommend",
     "admin_reload",
+    "admin_append",
     "debug_traces",
     "debug_requests",
     "other",
 ];
+
+/// How many implementations one `POST /v1/admin/library/append` body may
+/// stage by default; larger batches are answered `413` so a runaway
+/// client cannot balloon the delta in one request.
+pub const DEFAULT_APPEND_CAP: usize = 1024;
 
 /// Everything the routing layer needs: the swappable serving state, the
 /// reload supervisor (absent in contexts that never reload, e.g. unit
@@ -179,7 +238,10 @@ pub struct ServeCtx {
     /// Per-route request counters, resolved once at construction and
     /// indexed in lockstep with [`ROUTES`] — `handle` must not pay the
     /// registry's name formatting and lock on every request.
-    route_counters: [Arc<obs::Counter>; 8],
+    route_counters: [Arc<obs::Counter>; 9],
+    /// Most implementations one append body may stage ([`DEFAULT_APPEND_CAP`]
+    /// unless overridden with [`ServeCtx::with_append_cap`]).
+    append_cap: usize,
 }
 
 impl ServeCtx {
@@ -194,7 +256,14 @@ impl ServeCtx {
             started: Instant::now(),
             shards: None,
             route_counters: ROUTES.map(|r| obs::counter(&names::server_route_requests(r))),
+            append_cap: DEFAULT_APPEND_CAP,
         }
+    }
+
+    /// Overrides the per-request append cap (`--append-max-entries`).
+    pub fn with_append_cap(mut self, cap: usize) -> Self {
+        self.append_cap = cap.max(1);
+        self
     }
 
     /// The pre-resolved request counter for `route`; unknown labels fall
@@ -304,6 +373,7 @@ pub fn handle(
         (_, "/v1/stats") => "stats",
         (_, "/v1/recommend") => "recommend",
         (_, "/v1/admin/reload") => "admin_reload",
+        (_, "/v1/admin/library/append") => "admin_append",
         (_, "/debug/traces") => "debug_traces",
         (_, "/debug/requests") => "debug_requests",
         _ => "other",
@@ -327,6 +397,7 @@ pub fn handle(
             None => recommend(&state, request, &mut arena.scratch, trace),
         },
         ("POST", "/v1/admin/reload") => admin_reload(ctx, request),
+        ("POST", "/v1/admin/library/append") => admin_append(ctx, request),
         (_, "/healthz")
         | (_, "/metrics")
         | (_, "/v1/stats")
@@ -336,11 +407,13 @@ pub fn handle(
             path: request.path.clone(),
             allowed: "GET",
         }),
-        (_, "/v1/recommend") | (_, "/v1/admin/reload") => Err(ServerError::MethodNotAllowed {
-            // goalrec-lint:allow(hot-path-alloc): reject path — the error response owns the offending path
-            path: request.path.clone(),
-            allowed: "POST",
-        }),
+        (_, "/v1/recommend") | (_, "/v1/admin/reload") | (_, "/v1/admin/library/append") => {
+            Err(ServerError::MethodNotAllowed {
+                // goalrec-lint:allow(hot-path-alloc): reject path — the error response owns the offending path
+                path: request.path.clone(),
+                allowed: "POST",
+            })
+        }
         // goalrec-lint:allow(hot-path-alloc): reject path — the error response owns the offending path
         _ => Err(ServerError::NotFound(request.path.clone())),
     }
@@ -405,6 +478,7 @@ fn healthz(ctx: &ServeCtx, state: &AppState) -> Response {
             "status": "ok",
             "generation": set.min_generation(),
             "model_age_ms": model_age_ms,
+            "delta_size": state.delta_len(),
             "uptime_ms": ctx.uptime_ms(),
             "trace_tail_occupancy": occupancy,
             "shards": shard_rows(set),
@@ -413,6 +487,7 @@ fn healthz(ctx: &ServeCtx, state: &AppState) -> Response {
             "status": "ok",
             "generation": state.generation(),
             "model_age_ms": model_age_ms,
+            "delta_size": state.delta_len(),
             "uptime_ms": ctx.uptime_ms(),
             "trace_tail_occupancy": occupancy,
         }),
@@ -424,7 +499,7 @@ fn healthz(ctx: &ServeCtx, state: &AppState) -> Response {
 /// fields (`uptime_ms`, tail-sampler occupancy).
 // goalrec-lint:allow(hot-path-alloc): control-plane route — the stats report is rebuilt per request
 fn stats(ctx: &ServeCtx, state: &AppState) -> Response {
-    let report = StatsReport::new(state.stats.clone(), Some(obs::snapshot()));
+    let report = StatsReport::new(state.stats().clone(), Some(obs::snapshot()));
     let text = report.to_json_pretty();
     let mut fields = match serde_json::from_str(&text) {
         Ok(Value::Object(fields)) => fields,
@@ -435,6 +510,13 @@ fn stats(ctx: &ServeCtx, state: &AppState) -> Response {
     if let Some(set) = ctx.shards() {
         fields.insert(0, ("shards".to_owned(), Value::Array(shard_rows(set))));
     }
+    fields.insert(
+        0,
+        (
+            "delta_size".to_owned(),
+            Value::UInt(state.delta_len() as u64),
+        ),
+    );
     fields.insert(
         0,
         ("trace_tail_occupancy".to_owned(), Value::UInt(occupancy)),
@@ -552,6 +634,79 @@ fn admin_reload(ctx: &ServeCtx, request: &Request) -> Result<Response, ServerErr
     Ok(Response::json(200, doc.to_string()))
 }
 
+/// Parses a `POST /v1/admin/library/append` body: either one
+/// implementation (`{"goal": g, "actions": [a, …]}`) or a batch
+/// (`{"implementations": [{…}, …]}`). Field validation is shared with
+/// the JSONL reader and the WAL ([`implementation_from_value`]), so the
+/// error for a bad entry names the offending field; a batch larger than
+/// `cap` is a typed `413`.
+///
+/// [`implementation_from_value`]: goalrec_datasets::io::implementation_from_value
+fn parse_append_body(body: &[u8], cap: usize) -> Result<Vec<(u32, Vec<u32>)>, ServerError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ServerError::BadRequest("body is not valid UTF-8".to_owned()))?;
+    if text.trim().is_empty() {
+        return Err(ServerError::BadRequest(
+            "empty body; expected {\"goal\": .., \"actions\": [..]} \
+             or {\"implementations\": [..]}"
+                .to_owned(),
+        ));
+    }
+    let doc: Value = serde_json::from_str(text)
+        .map_err(|e| ServerError::BadRequest(format!("invalid JSON body: {e}")))?;
+    let items: Vec<&Value> = match doc.get("implementations") {
+        Some(Value::Array(items)) => items.iter().collect(),
+        Some(_) => {
+            return Err(ServerError::BadRequest(
+                "field `implementations`: expected an array of implementation objects".to_owned(),
+            ))
+        }
+        None => vec![&doc],
+    };
+    if items.is_empty() {
+        return Err(ServerError::BadRequest(
+            "field `implementations`: must stage at least one implementation".to_owned(),
+        ));
+    }
+    if items.len() > cap {
+        return Err(ServerError::AppendTooLarge {
+            entries: items.len(),
+            max: cap,
+        });
+    }
+    let mut entries = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let entry = goalrec_datasets::io::implementation_from_value(item)
+            .map_err(|detail| ServerError::BadRequest(format!("implementation #{i}: {detail}")))?;
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
+/// `POST /v1/admin/library/append`: stage implementations into the live
+/// delta. The supervisor WAL-logs the batch before acknowledging, so a
+/// `200` means the entries survive a crash; `delta_size` in the response
+/// is the staged total after this batch.
+// goalrec-lint:allow(hot-path-alloc): control-plane route — appends stage new library rows by design
+fn admin_append(ctx: &ServeCtx, request: &Request) -> Result<Response, ServerError> {
+    let Some(handle) = ctx.reload() else {
+        return Err(ServerError::ReloadFailed(
+            "live appends are not enabled on this server".to_owned(),
+        ));
+    };
+    let entries = parse_append_body(&request.body, ctx.append_cap)?;
+    let appended = entries.len();
+    let staged_total = handle.append_blocking(entries)?;
+    let state = ctx.state();
+    let doc = serde_json::json!({
+        "status": "staged",
+        "appended": appended,
+        "delta_size": staged_total,
+        "generation": state.generation(),
+    });
+    Ok(Response::json(200, doc.to_string()))
+}
+
 /// Parsed `/v1/recommend` body.
 struct RecommendParams {
     activity: Vec<u32>,
@@ -630,7 +785,7 @@ fn render_recommendation(
         .map(|s| {
             serde_json::json!({
                 "action": s.action.raw(),
-                "name": state.library.action_name(s.action),
+                "name": state.library().action_name(s.action),
                 "score": s.score,
             })
         })
@@ -646,6 +801,21 @@ fn render_recommendation(
     Response::json(200, doc.to_string())
 }
 
+/// Admits an activity against the live id space: every id must fall
+/// inside base ∪ delta. Staged-only actions are servable the moment the
+/// append returns, and the check degrades to the plain compiled extent
+/// when the delta is empty.
+fn check_activity(live: LiveRef<'_>, activity: &[u32]) -> Result<(), ServerError> {
+    for &id in activity {
+        if goalrec_core::ids::ActionId::new(id).index() >= live.num_actions() {
+            return Err(ServerError::Recommend(goalrec_core::Error::UnknownAction(
+                id,
+            )));
+        }
+    }
+    Ok(())
+}
+
 fn recommend(
     state: &AppState,
     request: &Request,
@@ -653,16 +823,17 @@ fn recommend(
     trace: &mut obs::TraceContext,
 ) -> Result<Response, ServerError> {
     let params = parse_recommend_body(&request.body)?;
-    for &id in &params.activity {
-        state.model.check_action(ActionId::new(id))?;
-    }
+    let live = state.live();
+    check_activity(live, &params.activity)?;
     let recommender = state.recommender(&params.strategy)?;
     let activity = Activity::from_raw(params.activity.iter().copied());
     // The ranking pass reuses the worker's arena; the response body is the
-    // only per-request allocation left on this route. The traced variant
-    // tags `trace` with the strategy and records the rank/candidates/topk
-    // spans — still allocation-free (see core's alloc_counting test).
-    let ranked = recommender.recommend_into_traced(&activity, params.k, scratch, trace);
+    // only per-request allocation left on this route. The live variant
+    // reads base ⊕ delta (an empty delta dispatches straight to the
+    // compiled base), tags `trace` with the strategy and records the
+    // rank/candidates/topk spans — still allocation-free with an empty
+    // delta (see core's alloc_counting test).
+    let ranked = recommender.recommend_live_into_traced(live, &activity, params.k, scratch, trace);
     Ok(render_recommendation(
         state,
         &params.strategy,
@@ -686,9 +857,9 @@ fn recommend_sharded(
     trace: &mut obs::TraceContext,
 ) -> Result<Response, ServerError> {
     let params = parse_recommend_body(&request.body)?;
-    for &id in &params.activity {
-        state.model.check_action(ActionId::new(id))?;
-    }
+    // The global state's live view covers every staged append, so the
+    // admission check here matches the per-shard overlays exactly.
+    check_activity(state.live(), &params.activity)?;
     let strategy = ShardStrategy::for_api_name(&params.strategy)
         // goalrec-lint:allow(hot-path-alloc): reject path — the error response owns the unknown name
         .ok_or_else(|| ServerError::UnknownStrategy(params.strategy.to_owned()))?;
@@ -1042,6 +1213,136 @@ mod tests {
             parse_reload_body(br#"{"shard": 0}"#).unwrap(),
             (None, Some(0))
         );
+    }
+
+    #[test]
+    fn append_route_without_a_supervisor_is_a_typed_error() {
+        let st = state();
+        assert!(matches!(
+            handle(
+                &st,
+                &post("/v1/admin/library/append", r#"{"goal": 0, "actions": [1]}"#)
+            ),
+            Err(ServerError::ReloadFailed(_))
+        ));
+        assert!(matches!(
+            handle(&st, &get("/v1/admin/library/append")),
+            Err(ServerError::MethodNotAllowed { .. })
+        ));
+    }
+
+    #[test]
+    fn append_bodies_parse_in_both_forms() {
+        assert_eq!(
+            parse_append_body(br#"{"goal": 2, "actions": [0, 5]}"#, 8).unwrap(),
+            vec![(2, vec![0, 5])]
+        );
+        let batch = parse_append_body(
+            br#"{"implementations": [{"goal": 0, "actions": [1]}, {"goal": 1, "actions": [2, 3]}]}"#,
+            8,
+        )
+        .unwrap();
+        assert_eq!(batch, vec![(0, vec![1]), (1, vec![2, 3])]);
+    }
+
+    #[test]
+    fn append_bodies_above_the_cap_are_a_typed_413() {
+        let body = br#"{"implementations": [
+            {"goal": 0, "actions": [1]},
+            {"goal": 1, "actions": [2]},
+            {"goal": 2, "actions": [3]}
+        ]}"#;
+        assert!(matches!(
+            parse_append_body(body, 2),
+            Err(ServerError::AppendTooLarge { entries: 3, max: 2 })
+        ));
+        // At the cap exactly, the batch is admitted.
+        assert_eq!(parse_append_body(body, 3).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn append_errors_name_the_offending_field() {
+        let cases: [(&[u8], &str); 4] = [
+            (br#"{"goal": "zero", "actions": [1]}"#, "goal"),
+            (br#"{"goal": 0}"#, "actions"),
+            (br#"{"goal": 0, "actions": []}"#, "actions"),
+            (br#"{"goal": 0, "actions": [-1]}"#, "actions"),
+        ];
+        for (body, field) in cases {
+            match parse_append_body(body, 8) {
+                Err(ServerError::BadRequest(msg)) => {
+                    assert!(msg.contains(field), "expected `{field}` in: {msg}");
+                    assert!(msg.contains("implementation #0"), "{msg}");
+                }
+                other => panic!("expected BadRequest naming `{field}`, got {other:?}"),
+            }
+        }
+        // Batch entries report their index.
+        match parse_append_body(
+            br#"{"implementations": [{"goal": 0, "actions": [1]}, {"goal": 1}]}"#,
+            8,
+        ) {
+            Err(ServerError::BadRequest(msg)) => {
+                assert!(msg.contains("implementation #1"), "{msg}");
+            }
+            other => panic!("expected BadRequest for entry #1, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_append_body(br#"{"implementations": []}"#, 8),
+            Err(ServerError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_append_body(br#"{"implementations": 3}"#, 8),
+            Err(ServerError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_append_body(b"", 8),
+            Err(ServerError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn healthz_reports_the_delta_size() {
+        let st = state();
+        let health = handle(&st, &get("/healthz")).unwrap();
+        let text = String::from_utf8(health.body).unwrap();
+        assert!(text.contains("\"delta_size\":0"), "{text}");
+        let stats = handle(&st, &get("/v1/stats")).unwrap();
+        let text = String::from_utf8(stats.body).unwrap();
+        assert!(text.contains("\"delta_size\": 0"), "{text}");
+    }
+
+    #[test]
+    fn staged_state_serves_staged_actions_without_a_rebuild() {
+        use goalrec_core::ids::{ActionId, GoalId};
+        let st = state();
+        let base = st.state();
+        // Stage one implementation over the base: a brand-new goal whose
+        // actions include an id one past the base extent.
+        let base_actions = base.live().num_actions();
+        let mut delta = goalrec_core::DeltaSegment::for_base(base.model());
+        delta
+            .append(
+                GoalId::new(3),
+                vec![
+                    ActionId::new(0),
+                    ActionId::new(u32::try_from(base_actions).unwrap()),
+                ],
+            )
+            .unwrap();
+        let staged = base.with_staged(Arc::new(delta));
+        assert_eq!(staged.delta_len(), 1);
+        assert_eq!(staged.generation(), base.generation());
+        let ctx = ServeCtx::fixed(staged);
+        // An activity naming the staged-only action id is admitted and
+        // ranked; the same id on the un-staged context is a 400.
+        let body = format!("{{\"activity\": [{base_actions}], \"k\": 3}}");
+        let resp = handle(&ctx, &post("/v1/recommend", &body)).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(matches!(
+            handle(&st, &post("/v1/recommend", &body)),
+            Err(ServerError::Recommend(_))
+        ));
     }
 
     #[test]

@@ -19,24 +19,37 @@
 //! `generation` (the minimum across shards) for probe compatibility.
 
 use crate::error::ServerError;
-use goalrec_core::GoalLibrary;
+use goalrec_core::ids::{ActionId, GoalId};
+use goalrec_core::{DeltaSegment, GoalLibrary};
 use goalrec_obs::{self as obs, names};
 use goalrec_shard::{PartitionMode, ShardModel, ShardScratch, ShardView, ShardedModel};
 use std::sync::{Arc, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
-/// One shard's immutable serving snapshot: the compiled sub-model plus
-/// its reload lineage. Swapped atomically through a [`ShardCell`].
+/// One shard's immutable serving snapshot: the compiled sub-model (shared
+/// with its predecessor snapshots across append swaps), the shard's slice
+/// of the staged live-append delta, and its reload lineage. Swapped
+/// atomically through a [`ShardCell`].
 pub struct ShardState {
-    shard: ShardModel,
+    shard: Arc<ShardModel>,
+    /// This shard's staged appends, `None` between mutations. Carried
+    /// inside the snapshot so one `load()` gives a request a coherent
+    /// base ⊕ delta pair.
+    delta: Option<DeltaSegment>,
+    /// Merged `local → global` implementation id map covering base rows
+    /// **and** staged rows; empty when nothing is staged (the base map is
+    /// served directly).
+    merged_global: Vec<u32>,
     generation: u64,
     built_at: Instant,
 }
 
 impl ShardState {
-    fn new(shard: ShardModel, generation: u64) -> Self {
+    fn new(shard: Arc<ShardModel>, generation: u64) -> Self {
         ShardState {
             shard,
+            delta: None,
+            merged_global: Vec::new(),
             generation,
             built_at: Instant::now(),
         }
@@ -44,6 +57,8 @@ impl ShardState {
 
     /// Which reload generation this shard snapshot is: 1 at startup, +1
     /// per successful swap of **this shard** (shards move independently).
+    /// Append swaps share the predecessor's generation — the compiled
+    /// base did not change.
     pub fn generation(&self) -> u64 {
         self.generation
     }
@@ -51,6 +66,11 @@ impl ShardState {
     /// How long ago this shard snapshot was built.
     pub fn model_age(&self) -> Duration {
         self.built_at.elapsed()
+    }
+
+    /// Live staged implementations on this shard (0 between mutations).
+    pub fn staged_len(&self) -> usize {
+        self.delta.as_ref().map(DeltaSegment::len).unwrap_or(0)
     }
 }
 
@@ -60,7 +80,15 @@ impl ShardView for ShardState {
     }
 
     fn impl_global(&self) -> &[u32] {
-        self.shard.impl_global()
+        if self.merged_global.is_empty() {
+            self.shard.impl_global()
+        } else {
+            &self.merged_global
+        }
+    }
+
+    fn delta(&self) -> Option<&DeltaSegment> {
+        self.delta.as_ref().filter(|d| !d.is_empty())
     }
 }
 
@@ -102,6 +130,10 @@ pub struct ShardSet {
     cells: Vec<ShardCell>,
     mode: PartitionMode,
     metrics: Vec<ShardMetrics>,
+    /// The goal → shard placement of the **current** base build — what
+    /// live appends are routed by (goal-wholeness is what keeps the
+    /// k-way merge exact). Replaced wholesale on a full reload swap.
+    assignments: RwLock<Vec<usize>>,
 }
 
 impl ShardSet {
@@ -116,10 +148,11 @@ impl ShardSet {
     ) -> Result<Self, ServerError> {
         let n = num_shards.clamp(1, names::MAX_NAMED_SHARDS);
         let sharded = ShardedModel::build(library, n, mode).map_err(build_error)?;
+        let assignments = sharded.assignments().to_vec();
         let parts = validate_parts(sharded.into_shards())?;
         let cells: Vec<ShardCell> = parts
             .into_iter()
-            .map(|part| ShardCell::new(ShardState::new(part, 1)))
+            .map(|part| ShardCell::new(ShardState::new(Arc::new(part), 1)))
             .collect();
         let metrics = (0..n)
             .map(|i| ShardMetrics {
@@ -131,7 +164,22 @@ impl ShardSet {
             cells,
             mode,
             metrics,
+            assignments: RwLock::new(assignments),
         })
+    }
+
+    /// The shard that owns appends for `goal`: its placement in the
+    /// current base build when the goal exists there, else the
+    /// deterministic `g % n` fallback for brand-new goals.
+    pub fn owner_of(&self, goal: u32) -> usize {
+        let a = self
+            .assignments
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        match a.get(GoalId::new(goal).index()) {
+            Some(&s) => s,
+            None => GoalId::new(goal).index() % self.num_shards().max(1),
+        }
     }
 
     /// Number of shards (fixed for the life of the server).
@@ -181,14 +229,15 @@ impl ShardSet {
 
     /// Rebuilds **every** shard from `library` (a full sharded reload).
     /// Nothing is swapped unless every sub-model compiles and validates —
-    /// the all-or-nothing counterpart of the global state swap.
-    pub(crate) fn rebuild_all(
-        &self,
-        library: &GoalLibrary,
-    ) -> Result<Vec<ShardModel>, ServerError> {
+    /// the all-or-nothing counterpart of the global state swap. Returns
+    /// the validated sub-models plus the new goal placement, which
+    /// [`ShardSet::swap_all`] installs together.
+    pub(crate) fn rebuild_all(&self, library: &GoalLibrary) -> Result<RebuiltShards, ServerError> {
         let sharded =
             ShardedModel::build(library, self.num_shards(), self.mode).map_err(build_error)?;
-        validate_parts(sharded.into_shards())
+        let assignments = sharded.assignments().to_vec();
+        let parts = validate_parts(sharded.into_shards())?;
+        Ok(RebuiltShards { parts, assignments })
     }
 
     /// Rebuilds **one** shard from `library`, leaving every other cell
@@ -212,13 +261,19 @@ impl ShardSet {
         Ok(parts.swap_remove(shard))
     }
 
-    /// Swaps every cell to its rebuilt sub-model, bumping each shard's
-    /// generation by one. Single-writer: only the reload supervisor calls
-    /// this, so read-generation-then-swap is race-free.
-    pub(crate) fn swap_all(&self, parts: Vec<ShardModel>) {
-        for (cell, part) in self.cells.iter().zip(parts) {
+    /// Swaps every cell to its rebuilt sub-model (staged deltas dropped —
+    /// the caller re-stages any surviving append log on the new bases),
+    /// bumping each shard's generation by one and installing the new goal
+    /// placement. Single-writer: only the reload supervisor calls this,
+    /// so read-generation-then-swap is race-free.
+    pub(crate) fn swap_all(&self, rebuilt: RebuiltShards) {
+        *self
+            .assignments
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = rebuilt.assignments;
+        for (cell, part) in self.cells.iter().zip(rebuilt.parts) {
             let generation = cell.load().generation() + 1;
-            cell.swap(Arc::new(ShardState::new(part, generation)));
+            cell.swap(Arc::new(ShardState::new(Arc::new(part), generation)));
         }
     }
 
@@ -228,12 +283,67 @@ impl ShardSet {
         match self.cells.get(shard) {
             Some(cell) => {
                 let generation = cell.load().generation() + 1;
-                cell.swap(Arc::new(ShardState::new(part, generation)));
+                cell.swap(Arc::new(ShardState::new(Arc::new(part), generation)));
                 generation
             }
             None => 0,
         }
     }
+
+    /// Republishes every shard's staged overlay from the full append log.
+    /// `entries[i]` is the implementation the merged rebuild will assign
+    /// global id `base_total + i`; each entry lands on its owning shard's
+    /// delta (see [`ShardSet::owner_of`]) and extends that shard's merged
+    /// id map — still monotone, because entries arrive in global id
+    /// order. Generations and build times are preserved: the compiled
+    /// bases did not change. An empty log clears every staged overlay
+    /// (what a successful compaction publishes).
+    pub(crate) fn stage_entries(&self, base_total: u32, entries: &[(u32, Vec<u32>)]) {
+        for (s, cell) in self.cells.iter().enumerate() {
+            let current = cell.load();
+            let base = Arc::clone(&current.shard);
+            let first = u32::try_from(base.num_impls()).unwrap_or(u32::MAX);
+            let (num_actions, num_goals) = match base.model() {
+                Some(m) => (m.num_actions(), m.num_goals()),
+                None => (0, 0),
+            };
+            let mut delta = DeltaSegment::new(first, num_actions, num_goals);
+            let mut merged: Vec<u32> = Vec::new();
+            for (i, (g, actions)) in entries.iter().enumerate() {
+                if self.owner_of(*g) != s {
+                    continue;
+                }
+                let staged = delta.append(
+                    GoalId::new(*g),
+                    actions.iter().copied().map(ActionId::new).collect(),
+                );
+                // Entries were validated at admission; a reject here
+                // (empty action set) cannot occur, but skipping keeps the
+                // delta and the merged map aligned regardless.
+                if staged.is_ok() {
+                    if merged.is_empty() {
+                        merged.extend_from_slice(base.impl_global());
+                    }
+                    merged.push(base_total + u32::try_from(i).unwrap_or(u32::MAX));
+                }
+            }
+            let mut next = ShardState::new(base, current.generation);
+            next.built_at = current.built_at;
+            if !delta.is_empty() {
+                next.delta = Some(delta);
+                next.merged_global = merged;
+            }
+            cell.swap(Arc::new(next));
+        }
+    }
+}
+
+/// The output of [`ShardSet::rebuild_all`]: every shard's validated
+/// sub-model plus the goal placement they were partitioned under, swapped
+/// in together so append routing can never disagree with the bases.
+pub(crate) struct RebuiltShards {
+    parts: Vec<ShardModel>,
+    assignments: Vec<usize>,
 }
 
 /// A shard (re)build failure, as a reload-shaped error: the attempt rolls

@@ -28,6 +28,10 @@ fn config(workers: usize, queue_depth: usize, deadline_ms: u64) -> ServerConfig 
         workers,
         queue_depth,
         deadline: Duration::from_millis(deadline_ms),
+        // Pin the admin budget to the data-plane one so deadline tests
+        // keep their tight read budget (the pre-parse read is capped by
+        // the larger of the two).
+        admin_deadline: Duration::from_millis(deadline_ms),
         idle_timeout: Duration::from_secs(2),
         ..ServerConfig::default()
     }
@@ -267,6 +271,205 @@ fn hot_reload_swaps_generations_and_rolls_back_on_bad_files() {
         std::thread::sleep(Duration::from_millis(50));
     }
 
+    handle.shutdown();
+}
+
+/// Polls `/healthz` until `needle` appears in the body (or panics after
+/// five seconds) — how the tests observe background swaps landing.
+fn wait_for_healthz(addr: SocketAddr, needle: &str) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        if get(addr, "/healthz").body.contains(needle) {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "healthz never reported {needle}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// The live mutation plane end to end: appends stage over HTTP without a
+/// generation bump (including a brand-new action id, recommendable
+/// immediately), the configured threshold compacts in the background into
+/// generation 2 with an empty delta, and the compacted library is
+/// persisted back to the serving file.
+#[test]
+fn live_appends_stage_then_background_compaction_lands() {
+    let dir = std::env::temp_dir().join("goalrec-server-live-append-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let lib_path = dir.join("serving.jsonl");
+    goalrec_datasets::io::write_library_jsonl(&tiny_library(), &lib_path).unwrap();
+    let wal = lib_path.with_extension("jsonl.wal");
+    let _ = std::fs::remove_file(&wal);
+
+    let mut cfg = config(2, 16, 2_000);
+    cfg.library_path = Some(lib_path.clone());
+    cfg.compact_threshold = 2; // auto-compact once two rows are staged
+    let handle = start(tiny_library(), cfg).unwrap();
+    let addr = handle.local_addr();
+
+    // Single-object form: stages one row, generation stays 1.
+    let reply = post_json(
+        addr,
+        "/v1/admin/library/append",
+        r#"{"goal": 0, "actions": [0, 6]}"#,
+    );
+    assert_eq!(reply.status, 200, "body: {}", reply.body);
+    assert!(
+        reply.body.contains("\"appended\":1"),
+        "body: {}",
+        reply.body
+    );
+    assert!(
+        reply.body.contains("\"delta_size\":1"),
+        "body: {}",
+        reply.body
+    );
+    assert!(
+        reply.body.contains("\"generation\":1"),
+        "body: {}",
+        reply.body
+    );
+
+    // Batch form, introducing action id 7 (one past the base id space):
+    // it must be recommendable immediately, with no rebuild in between.
+    let reply = post_json(
+        addr,
+        "/v1/admin/library/append",
+        r#"{"implementations": [{"goal": 3, "actions": [3, 7]}]}"#,
+    );
+    assert_eq!(reply.status, 200, "body: {}", reply.body);
+    let rec = post_json(addr, "/v1/recommend", r#"{"activity": [7], "k": 2}"#);
+    assert_eq!(rec.status, 200, "staged action must serve: {}", rec.body);
+
+    // Threshold reached → the supervisor compacts in the background.
+    wait_for_healthz(addr, "\"generation\":2");
+    wait_for_healthz(addr, "\"delta_size\":0");
+
+    // The compacted generation still serves the appended action, and the
+    // merged library was persisted back to the serving file (WAL cleared).
+    let rec = post_json(addr, "/v1/recommend", r#"{"activity": [7], "k": 2}"#);
+    assert_eq!(rec.status, 200, "compacted action must serve: {}", rec.body);
+    let on_disk = goalrec_datasets::io::read_library_auto(&lib_path).unwrap();
+    assert_eq!(on_disk.len(), tiny_library().len() + 2);
+    assert_eq!(std::fs::read(&wal).map(|b| b.len()).unwrap_or(0), 0);
+
+    handle.shutdown();
+}
+
+/// The append body cap is enforced over HTTP with a typed `413`, and a
+/// malformed row answers `400` naming the offending field.
+#[test]
+fn append_cap_and_schema_errors_have_typed_statuses() {
+    let mut cfg = config(1, 8, 2_000);
+    cfg.append_max_entries = 1;
+    let handle = start(tiny_library(), cfg).unwrap();
+    let addr = handle.local_addr();
+
+    let reply = post_json(
+        addr,
+        "/v1/admin/library/append",
+        r#"{"implementations": [{"goal": 0, "actions": [0]}, {"goal": 1, "actions": [1]}]}"#,
+    );
+    assert_eq!(reply.status, 413, "body: {}", reply.body);
+    assert!(
+        reply.body.contains("per-request cap"),
+        "body: {}",
+        reply.body
+    );
+
+    let reply = post_json(addr, "/v1/admin/library/append", r#"{"goal": 0}"#);
+    assert_eq!(reply.status, 400, "body: {}", reply.body);
+    assert!(
+        reply.body.contains("field `actions`"),
+        "the error must name the offending field: {}",
+        reply.body
+    );
+
+    handle.shutdown();
+}
+
+/// Admin routes run on their own deadline: a body that dribbles in past
+/// the data-plane deadline 408s on `/v1/recommend` but is answered on
+/// `/v1/admin/reload`, which is budgeted by `admin_deadline`.
+#[test]
+fn admin_routes_get_their_own_deadline() {
+    let dir = std::env::temp_dir().join("goalrec-server-admin-deadline-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let lib_path = dir.join("serving.jsonl");
+    goalrec_datasets::io::write_library_jsonl(&tiny_library(), &lib_path).unwrap();
+
+    let mut cfg = config(2, 8, 150);
+    cfg.admin_deadline = Duration::from_secs(5);
+    cfg.library_path = Some(lib_path);
+    let handle = start(tiny_library(), cfg).unwrap();
+    let addr = handle.local_addr();
+
+    let slow_post = |path: &str, body: &str| {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let (head, tail) = body.split_at(body.len() / 2);
+        stream
+            .write_all(
+                format!(
+                    "POST {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\
+                     connection: close\r\n\r\n{head}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(400)); // past 150ms, inside 5s
+        stream.write_all(tail.as_bytes()).unwrap();
+        read_reply(&mut stream)
+    };
+
+    let reply = slow_post("/v1/recommend", r#"{"activity": [0], "k": 2}"#);
+    assert_eq!(reply.status, 408, "data plane must keep the tight deadline");
+
+    let reply = slow_post("/v1/admin/reload", "{}");
+    assert_eq!(
+        reply.status, 200,
+        "admin plane must run on its own budget: {}",
+        reply.body
+    );
+
+    handle.shutdown();
+}
+
+/// `--watch` end to end: overwriting the library file on disk triggers a
+/// debounced background reload into generation 2.
+#[test]
+fn watch_mode_reloads_on_library_file_changes() {
+    let dir = std::env::temp_dir().join("goalrec-server-watch-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let lib_path = dir.join("serving.jsonl");
+    goalrec_datasets::io::write_library_jsonl(&tiny_library(), &lib_path).unwrap();
+
+    let mut cfg = config(1, 8, 2_000);
+    cfg.library_path = Some(lib_path.clone());
+    cfg.watch = true;
+    let handle = start(tiny_library(), cfg).unwrap();
+    let addr = handle.local_addr();
+    assert!(get(addr, "/healthz").body.contains("\"generation\":1"));
+
+    // Grow the library on disk (atomic rename → one mtime step, so the
+    // debounce clears after one extra poll tick).
+    let mut b = LibraryBuilder::new();
+    b.add_impl("olivier salad", ["potatoes", "carrots", "pickles", "peas"])
+        .unwrap();
+    b.add_impl("mashed potatoes", ["potatoes", "nutmeg", "butter"])
+        .unwrap();
+    b.add_impl("pan-fried carrots", ["carrots", "nutmeg", "butter"])
+        .unwrap();
+    b.add_impl("pea soup", ["peas", "carrots", "onion"])
+        .unwrap();
+    b.add_impl("carrot cake", ["carrots", "flour", "sugar"])
+        .unwrap();
+    goalrec_datasets::io::write_library_jsonl(&b.build().unwrap(), &lib_path).unwrap();
+
+    wait_for_healthz(addr, "\"generation\":2");
     handle.shutdown();
 }
 

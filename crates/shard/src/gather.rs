@@ -14,10 +14,11 @@
 //! nothing at steady state (`tests/alloc_counting.rs`).
 
 use crate::model::ShardView;
-use crate::scratch::ShardScratch;
+use crate::scratch::{ShardScratch, ShardSlot};
 use goalrec_core::activity::Activity;
 use goalrec_core::distance::DistanceMetric;
 use goalrec_core::ids::{ActionId, ImplId};
+use goalrec_core::live::{self as live_view, AssocView};
 use goalrec_core::profile::goal_space_and_profile_into;
 use goalrec_core::setops;
 use goalrec_core::strategies::{Breadth, Focus, FocusVariant, Strategy};
@@ -95,38 +96,33 @@ impl ShardStrategy {
         scratch.ensure_shards(idx + 1);
         let slot = &mut scratch.slots[idx];
         slot.clear();
-        let Some(model) = shard.model() else {
-            return;
-        };
-        if activity.is_empty() {
+        let live = shard.live();
+        if live.is_vacant() || activity.is_empty() {
             return;
         }
         match self {
             Self::Breadth => {
                 // Full per-shard ranking (k = |𝒜| keeps every candidate):
                 // integer-valued partial sums the gather phase adds up.
-                Breadth.rank_into(model, activity, model.num_actions(), &mut slot.scratch);
+                // `rank_live_into` dispatches to the plain model when the
+                // shard has no staged delta, keeping the steady-state path
+                // byte-identical to the pre-delta one.
+                Breadth.rank_live_into(live, activity, live.num_actions(), &mut slot.scratch);
             }
             Self::Focus(variant) => {
                 // Rank this shard's candidate implementations only; the
                 // fill loop runs globally in the gather phase.
-                Focus::new(*variant).rank_impls_into(model, activity, &mut slot.scratch);
+                match (live.delta(), live.base()) {
+                    (None, Some(model)) => {
+                        Focus::new(*variant).rank_impls_into(model, activity, &mut slot.scratch);
+                    }
+                    _ => Focus::new(*variant).rank_impls_into(&live, activity, &mut slot.scratch),
+                }
             }
-            Self::BestMatch(_) => {
-                // Per-shard goal space + partial profile + candidate pool;
-                // scoring happens in the gather phase against the merged
-                // global profile.
-                let h = activity.raw();
-                goal_space_and_profile_into(
-                    model,
-                    h,
-                    &mut slot.pairs,
-                    &mut slot.space,
-                    &mut slot.profile,
-                );
-                model.implementation_space_into(h, &mut slot.impl_space);
-                model.action_space_into(h, &slot.impl_space, &mut slot.cand);
-            }
+            Self::BestMatch(_) => match (live.delta(), live.base()) {
+                (None, Some(model)) => scatter_best_match(model, activity.raw(), slot),
+                _ => scatter_best_match(&live, activity.raw(), slot),
+            },
         }
     }
 
@@ -174,14 +170,25 @@ impl ShardStrategy {
     }
 }
 
+/// The Best Match scatter body, generic over the association view so one
+/// pass serves both a plain shard model and a base ⊕ delta overlay:
+/// per-shard goal space + partial profile + candidate pool; scoring
+/// happens in the gather phase against the merged global profile.
+fn scatter_best_match<V: AssocView + ?Sized>(view: &V, h: &[u32], slot: &mut ShardSlot) {
+    goal_space_and_profile_into(view, h, &mut slot.pairs, &mut slot.space, &mut slot.profile);
+    live_view::implementation_space_into(view, h, &mut slot.impl_space);
+    live_view::action_space_into(view, h, &slot.impl_space, &mut slot.cand);
+}
+
 /// Breadth merge: per-action scores are integer sums over `IS(H)`, and the
 /// per-shard implementation spaces partition `IS(H)`, so summing the
 /// per-shard partial scores in `u64` is order-independent and exact.
 fn gather_breadth<V: ShardView>(shards: &[V], k: usize, scratch: &mut ShardScratch) -> usize {
+    // Action extents come from the live views: a staged delta may have
+    // introduced actions beyond any compiled base model's id space.
     let num_actions = shards
         .iter()
-        .filter_map(|s| s.model())
-        .map(|m| m.num_actions())
+        .map(|s| s.live().num_actions())
         .max()
         .unwrap_or(0);
     let ShardScratch {
@@ -263,13 +270,15 @@ fn gather_focus<V: ShardView>(
         );
         let Some(s) = next else { break };
         let (score, local) = slots[s].scratch.scored_impls()[heads[s] - 1];
-        let Some(model) = shards[s].model() else {
+        let live = shards[s].live();
+        if live.is_vacant() {
             continue;
-        };
+        }
         // The unsharded fill loop (Focus::rank_into), verbatim: emit the
         // implementation's not-yet-seen actions at its score, growing the
-        // exclusion set as we go.
-        setops::difference_into(model.impl_actions(ImplId::new(local)), seen, remaining);
+        // exclusion set as we go. The live view dispatches a staged local
+        // id to the delta and a compiled one to the base model.
+        setops::difference_into(live.impl_actions(ImplId::new(local)), seen, remaining);
         for &a in remaining.iter() {
             out.push(Scored::new(ActionId::new(a), score));
             if let Err(pos) = seen.binary_search(&a) {
@@ -360,15 +369,22 @@ fn gather_best_match<V: ShardView>(
     // Score each candidate against the merged profile. Every goal's
     // implementations live on one shard, so walking all shards feeds each
     // coordinate from exactly one source — the resulting vector equals the
-    // unsharded one bit-for-bit, and so does the distance.
+    // unsharded one bit-for-bit, and so does the distance. Reads go
+    // through each shard's live view: base postings first, then staged
+    // ones, with out-of-range actions (introduced by another shard's
+    // delta) reading as empty rows.
     topk.reset(k);
     vec.reset(gspace);
     for &a in candidates.iter() {
         vec.counts.iter_mut().for_each(|c| *c = 0.0);
         for shard in shards {
-            let Some(model) = shard.model() else { continue };
-            for &p in model.action_impls(ActionId::new(a)) {
-                vec.add(model.impl_goal(ImplId::new(p)), 1.0);
+            let live = shard.live();
+            if live.is_vacant() {
+                continue;
+            }
+            let (base, delta) = live.action_impls_parts(ActionId::new(a));
+            for &p in base.iter().chain(delta) {
+                vec.add(live.impl_goal(ImplId::new(p)), 1.0);
             }
         }
         let dist = metric.distance(gprofile, &vec.counts);

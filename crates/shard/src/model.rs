@@ -13,7 +13,7 @@
 //! type so reload can swap one shard's model without touching the others.
 
 use crate::partition::{goal_assignments, PartitionMode};
-use goalrec_core::{GoalLibrary, GoalModel, Result};
+use goalrec_core::{DeltaSegment, GoalLibrary, GoalModel, LiveRef, Result};
 
 /// One shard's compiled sub-model plus its implementation id map.
 #[derive(Debug)]
@@ -54,8 +54,21 @@ impl ShardModel {
 pub trait ShardView {
     /// The shard's compiled model, or `None` for an empty shard.
     fn model(&self) -> Option<&GoalModel>;
-    /// The monotone local → global implementation id map.
+    /// The monotone local → global implementation id map. When the shard
+    /// carries a live delta, the map must also cover the staged local ids
+    /// (a dense suffix starting at the delta's `first_impl`), still
+    /// monotone — staged implementations get ever-larger global ids.
     fn impl_global(&self) -> &[u32];
+    /// The shard's staged live-append delta, if any. Defaults to `None`
+    /// so existing snapshot types keep compiling unchanged.
+    fn delta(&self) -> Option<&DeltaSegment> {
+        None
+    }
+    /// The base ⊕ delta view this shard serves — what the scatter/gather
+    /// phases rank through.
+    fn live(&self) -> LiveRef<'_> {
+        LiveRef::from_parts(self.model(), self.delta())
+    }
 }
 
 impl ShardView for ShardModel {
@@ -76,6 +89,10 @@ impl<T: ShardView + ?Sized> ShardView for &T {
     fn impl_global(&self) -> &[u32] {
         (**self).impl_global()
     }
+
+    fn delta(&self) -> Option<&DeltaSegment> {
+        (**self).delta()
+    }
 }
 
 impl<T: ShardView + ?Sized> ShardView for std::sync::Arc<T> {
@@ -85,6 +102,10 @@ impl<T: ShardView + ?Sized> ShardView for std::sync::Arc<T> {
 
     fn impl_global(&self) -> &[u32] {
         (**self).impl_global()
+    }
+
+    fn delta(&self) -> Option<&DeltaSegment> {
+        (**self).delta()
     }
 }
 
