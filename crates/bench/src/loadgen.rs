@@ -1065,6 +1065,11 @@ const PR3_BASELINE_KEEPALIVE_RPS: f64 = 26_700.0;
 /// there is nothing to merge across.
 const SHARD_OVERHEAD_LIMIT: f64 = 1.1;
 
+/// Opening a compiled GRLB v2 model (validate checksums + mmap) must beat
+/// parsing the JSONL source and building the model by at least this
+/// factor at the 200k-implementation scale.
+const COLD_START_V2_SPEEDUP_FLOOR: f64 = 10.0;
+
 /// Best-of-3 model build, seconds (one untimed warm-up first).
 fn best_build_seconds(lib: &goalrec_core::GoalLibrary) -> f64 {
     use goalrec_core::GoalModel;
@@ -1188,6 +1193,20 @@ fn run_live_phase(
     })
 }
 
+/// Best-of-3 cold start, milliseconds (one untimed warm-up first so the
+/// page cache holds the file either way — the comparison is about work
+/// per byte, not disk speed).
+fn best_cold_start_ms(mut boot: impl FnMut() -> usize) -> f64 {
+    std::hint::black_box(boot());
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        std::hint::black_box(boot());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
 /// Hot-path regression bench: build timing, per-strategy latency, serving
 /// throughput. Writes the report to `out`; exits non-zero when a
 /// guardrail trips.
@@ -1199,7 +1218,7 @@ fn perf(clients: usize, seconds: f64, out: &std::path::Path) {
 
     // Phase 1: serial vs parallel counting-sort fill on a library at the
     // scalability example's top size (40k impls × 8 actions, 3k vocab).
-    eprintln!("phase 1/5: model build — serial vs parallel counting sort (40k impls)");
+    eprintln!("phase 1/6: model build — serial vs parallel counting sort (40k impls)");
     let big = synthetic_library_sized(40_000, 3_000, 8);
     std::env::set_var("GOALREC_BUILD_SERIAL", "1");
     let serial_s = best_build_seconds(&big);
@@ -1212,28 +1231,97 @@ fn perf(clients: usize, seconds: f64, out: &std::path::Path) {
         parallel_s * 1e3
     );
 
-    // Phase 2: steady-state rank_into latency per strategy over the
+    // Phase 2: cold start — time from an on-disk artifact to a servable
+    // GoalModel, across the three formats a deployment can ship: the
+    // JSONL source (parse + build), the GRLB v1 library stream (decode +
+    // build), and the GRLB v2 model file (validate + mmap in place).
+    // The v2 path skips model construction entirely, which is the whole
+    // point of `goalrec compile`; the guardrail pins that win at ≥10x
+    // over JSONL at the larger scale.
+    eprintln!("phase 2/6: cold start — JSONL build vs GRLB v1 stream vs GRLB v2 mmap");
+    let cold_dir = std::env::temp_dir().join("goalrec-perf-cold");
+    std::fs::create_dir_all(&cold_dir).expect("perf: cold-start temp dir");
+    let mut cold_rows = Vec::new();
+    let mut cold_v2_speedup = 0.0f64;
+    let mut cold_v2_ms_large = 0.0f64;
+    for (impls, vocab) in [(40_000u64, 3_000u64), (200_000, 8_000)] {
+        let lib = if impls == 40_000 {
+            big.clone()
+        } else {
+            synthetic_library_sized(impls, vocab, 8)
+        };
+        let jsonl = cold_dir.join(format!("cold-{impls}.jsonl"));
+        let v1 = cold_dir.join(format!("cold-{impls}.grlb"));
+        let v2 = cold_dir.join(format!("cold-{impls}.grlb2"));
+        goalrec_datasets::io::write_library_jsonl(&lib, &jsonl).expect("perf: write jsonl");
+        goalrec_datasets::binary::write_library_binary(&lib, &v1).expect("perf: write grlb v1");
+        let built = GoalModel::build(&lib).expect("perf: cold-start model");
+        goalrec_datasets::grlb2::write_model_v2(&built, &v2).expect("perf: write grlb v2");
+
+        let jsonl_ms = best_cold_start_ms(|| {
+            let l = goalrec_datasets::io::read_library_auto(&jsonl).expect("perf: read jsonl");
+            GoalModel::build(&l).expect("perf: jsonl build").num_impls()
+        });
+        let v1_ms = best_cold_start_ms(|| {
+            goalrec_datasets::binary::read_model_binary(&v1)
+                .expect("perf: read grlb v1")
+                .num_impls()
+        });
+        let v2_ms = best_cold_start_ms(|| {
+            goalrec_datasets::grlb2::read_model_v2(&v2)
+                .expect("perf: read grlb v2")
+                .num_impls()
+        });
+        let speedup = jsonl_ms / v2_ms.max(f64::EPSILON);
+        eprintln!(
+            "  {impls} impls: jsonl {jsonl_ms:.1} ms, v1 stream {v1_ms:.1} ms, \
+             v2 mmap {v2_ms:.2} ms ({speedup:.0}x vs jsonl)"
+        );
+        if impls == 200_000 {
+            cold_v2_speedup = speedup;
+            cold_v2_ms_large = v2_ms;
+        }
+        cold_rows.push(serde_json::json!({
+            "implementations": impls,
+            "action_vocabulary": vocab,
+            "impl_len": 8,
+            "jsonl_build_ms": jsonl_ms,
+            "grlb_v1_stream_ms": v1_ms,
+            "grlb_v2_mmap_ms": v2_ms,
+            "v2_vs_jsonl_speedup": speedup,
+        }));
+        for p in [&jsonl, &v1, &v2] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    // Phase 3: steady-state rank_into latency per strategy over the
     // FoodMart test-scale carts — the workload `repro table6 --scale
-    // test` ranks.
-    eprintln!("phase 2/5: per-strategy rank_into latency (FoodMart test-scale carts)");
+    // test` ranks. Two untimed passes settle the arena, caches, and
+    // branch predictors, and the timed window covers the cart set three
+    // times over: with a single pass the first Focus ranking after a
+    // strategy switch always paid a cold-cache toll, showing up as a
+    // spurious Focus_cl p99 outlier.
+    eprintln!("phase 3/6: per-strategy rank_into latency (FoodMart test-scale carts)");
     let fm = FoodMart::generate(&FoodMartConfig::test_scale());
     let model = GoalModel::build(&fm.library).expect("perf: foodmart model");
     let mut scratch = Scratch::new();
     let mut strategy_reports = Vec::new();
     let mut best_match_p95_us = 0.0f64;
     for strategy in default_strategies() {
-        for cart in &fm.carts {
-            std::hint::black_box(strategy.rank_into(&model, cart, 10, &mut scratch));
+        for _ in 0..2 {
+            for cart in &fm.carts {
+                std::hint::black_box(strategy.rank_into(&model, cart, 10, &mut scratch));
+            }
         }
-        let mut lat_ns: Vec<u64> = fm
-            .carts
-            .iter()
-            .map(|cart| {
+        let mut lat_ns: Vec<u64> = Vec::with_capacity(fm.carts.len() * 3);
+        for _ in 0..3 {
+            lat_ns.extend(fm.carts.iter().map(|cart| {
                 let t0 = Instant::now();
                 std::hint::black_box(strategy.rank_into(&model, cart, 10, &mut scratch));
                 u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
-            })
-            .collect();
+            }));
+        }
         lat_ns.sort_unstable();
         let (p50, p95, p99) = (
             percentile_us(&lat_ns, 50.0),
@@ -1241,16 +1329,16 @@ fn perf(clients: usize, seconds: f64, out: &std::path::Path) {
             percentile_us(&lat_ns, 99.0),
         );
         eprintln!(
-            "  {:<10} p50 {p50:.0} µs, p95 {p95:.0} µs, p99 {p99:.0} µs over {} carts",
+            "  {:<10} p50 {p50:.0} µs, p95 {p95:.0} µs, p99 {p99:.0} µs over {} rankings",
             strategy.name(),
-            fm.carts.len()
+            lat_ns.len()
         );
         if strategy.name() == "BestMatch" {
             best_match_p95_us = p95;
         }
         strategy_reports.push(serde_json::json!({
             "strategy": strategy.name(),
-            "requests": fm.carts.len(),
+            "requests": lat_ns.len(),
             "p50_us": p50,
             "p95_us": p95,
             "p99_us": p99,
@@ -1263,7 +1351,7 @@ fn perf(clients: usize, seconds: f64, out: &std::path::Path) {
     // At one shard the scatter is the unsharded ranking plus the merge
     // replay, so the N=1 BestMatch p95 against phase 2 is the pure
     // scatter-gather overhead — guard-railed at 10%.
-    eprintln!("phase 3/5: sharded scatter-gather latency — shards {{1, 2, 4, 8}}, same carts");
+    eprintln!("phase 4/6: sharded scatter-gather latency — shards {{1, 2, 4, 8}}, same carts");
     let mut shard_reports = Vec::new();
     let mut sharded_best_match_p95_n1_us = 0.0f64;
     for num_shards in [1usize, 2, 4, 8] {
@@ -1339,7 +1427,7 @@ fn perf(clients: usize, seconds: f64, out: &std::path::Path) {
     // Best of three windows: a closed-loop load test only loses
     // throughput to scheduler noise (this gate must not flap on shared
     // CI runners), so the best window is the machine's capability.
-    eprintln!("phase 4/5: keep-alive serving throughput — {clients} clients, best of 3 windows");
+    eprintln!("phase 5/6: keep-alive serving throughput — {clients} clients, best of 3 windows");
     let mut phase = None::<PhaseOutcome>;
     for window in 1..=3 {
         let run = run_phase(
@@ -1367,7 +1455,7 @@ fn perf(clients: usize, seconds: f64, out: &std::path::Path) {
     // same run (same machine, same windows), proving the overlay costs
     // nothing until rows are actually staged. Best of three windows for
     // the gated row, single windows for the loaded rows.
-    eprintln!("phase 5/5: append-under-load sweep — appends/s {{0, 50, 200}}, live delta overlay");
+    eprintln!("phase 6/6: append-under-load sweep — appends/s {{0, 50, 200}}, live delta overlay");
     let live_dir = std::env::temp_dir().join("goalrec-perf-live");
     std::fs::create_dir_all(&live_dir).expect("perf: live temp dir");
     let mut live_rows = Vec::new();
@@ -1424,10 +1512,14 @@ fn perf(clients: usize, seconds: f64, out: &std::path::Path) {
         "empty_delta_req_per_s": empty_delta_rps,
         "empty_delta_ratio": empty_delta_ratio,
         "empty_delta_ratio_floor": 0.95,
+        "cold_start_v2_vs_jsonl_speedup": cold_v2_speedup,
+        "cold_start_v2_vs_jsonl_speedup_floor": COLD_START_V2_SPEEDUP_FLOOR,
+        "cold_start_v2_mmap_ms_200k": cold_v2_ms_large,
     });
     let report = serde_json::json!({
-        "bench": "goalrec perf — sharded scatter-gather on the hot path",
+        "bench": "goalrec perf — GRLB v2 mmap cold start and the sharded hot path",
         "build": build_report,
+        "cold_start": cold_rows,
         "strategy_latency": strategy_reports,
         "sharded_latency": shard_reports,
         "throughput": phase.value,
@@ -1467,6 +1559,14 @@ fn perf(clients: usize, seconds: f64, out: &std::path::Path) {
              {:.1}% of the plain-server phase ({req_per_s:.0} req/s) — the idle live \
              mutation plane must cost under 5%",
             empty_delta_ratio * 100.0
+        );
+        failed = true;
+    }
+    if cold_v2_speedup < COLD_START_V2_SPEEDUP_FLOOR {
+        eprintln!(
+            "PERF REGRESSION: GRLB v2 cold start is only {cold_v2_speedup:.1}x faster than \
+             the JSONL build at 200k impls (floor {COLD_START_V2_SPEEDUP_FLOOR}x) — the \
+             mmap fast path has stopped paying for itself"
         );
         failed = true;
     }

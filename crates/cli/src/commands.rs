@@ -20,6 +20,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         Some("extract") => extract(&args),
         Some("synth") => synth(&args),
         Some("convert") => convert(&args),
+        Some("compile") => compile(&args),
         Some("stats") => stats(&args),
         Some("recommend") => recommend(&args),
         Some("serve") => serve(&args),
@@ -34,6 +35,7 @@ const USAGE: &str = "usage:\n  \
     goalrec synth     --out FILE.json [--stories N] [--seed N]\n  \
     goalrec extract   --stories FILE.json --out FILE.jsonl\n  \
     goalrec convert   --library FILE.jsonl --out FILE.grlb (and back)\n  \
+    goalrec compile   --library FILE --out MODEL.grlb2 [--shards N] [--shard-mode hash|balanced]\n  \
     goalrec stats     --library FILE.jsonl [--json] [--metrics] [--actions N] [--goals N]\n  \
     goalrec recommend --library FILE.jsonl --activity a1,a2,... \
 [--strategy breadth|best-match|focus-cmp|focus-cl] [--k N] [--explain]\n  \
@@ -149,14 +151,14 @@ fn extract(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// Loads a library: `GRLB` binary when the file has the `.grlb`
-/// extension, JSON-lines otherwise (with id spaces inferred when the
-/// `--actions`/`--goals` flags are absent).
+/// Loads a library: `GRLB` binary (v1 stream or v2 model file, the
+/// reader dispatches on the version stamp) when the file has a `.grlb` /
+/// `.grlb2` extension, JSON-lines otherwise (with id spaces inferred
+/// when the `--actions`/`--goals` flags are absent).
 fn load_library(args: &Args) -> Result<goalrec_core::GoalLibrary, String> {
     let path = args.required("library")?;
-    if path.ends_with(".grlb") {
-        return goalrec_datasets::binary::read_library_binary(Path::new(path))
-            .map_err(|e| e.to_string());
+    if dsio::is_binary_library(Path::new(path)) {
+        return dsio::read_library_auto(Path::new(path)).map_err(|e| e.to_string());
     }
     // First pass to infer bounds if flags are absent.
     let (mut max_a, mut max_g) = (0u32, 0u32);
@@ -177,6 +179,12 @@ fn load_library(args: &Args) -> Result<goalrec_core::GoalLibrary, String> {
 fn convert(args: &Args) -> CmdResult {
     let lib = load_library(args)?;
     let out = args.required("out")?;
+    if out.ends_with(".grlb2") {
+        return Err(
+            "convert writes library formats; use `goalrec compile` for GRLB v2 model files"
+                .to_owned(),
+        );
+    }
     if out.ends_with(".grlb") {
         goalrec_datasets::binary::write_library_binary(&lib, Path::new(out))
             .map_err(|e| e.to_string())?;
@@ -184,6 +192,61 @@ fn convert(args: &Args) -> CmdResult {
         dsio::write_library_jsonl(&lib, Path::new(out)).map_err(|e| e.to_string())?;
     }
     println!("converted {} implementations → {out}", lib.len());
+    Ok(())
+}
+
+/// Compiles a library into the GRLB v2 model format: the aligned,
+/// sectioned, checksummed file `goalrec serve` maps into place (no JSON
+/// parse, no CSR rebuild at startup). With `--shards N` the matching
+/// per-shard snapshot family (`MODEL.shard<i>.grlb2`) is written next to
+/// it, so `goalrec serve --shards N` boots every shard mapped as well.
+fn compile(args: &Args) -> CmdResult {
+    let lib = load_library(args)?;
+    let out = args.required("out")?;
+    if !out.ends_with(".grlb2") {
+        return Err("compile writes GRLB v2 model files; --out must end in .grlb2".to_owned());
+    }
+    let model = GoalModel::build(&lib).map_err(|e| e.to_string())?;
+    goalrec_datasets::grlb2::write_model_v2(&model, Path::new(out)).map_err(|e| e.to_string())?;
+    // Read-back verify through the full validate-before-trust pipeline:
+    // a model file that cannot be served must not leave this command.
+    let reread = goalrec_datasets::grlb2::read_model_v2(Path::new(out))
+        .map_err(|e| format!("read-back verify of {out} failed: {e}"))?;
+    if reread.num_impls() != model.num_impls() {
+        return Err(format!(
+            "read-back verify of {out} found {} implementations, expected {}",
+            reread.num_impls(),
+            model.num_impls()
+        ));
+    }
+    println!(
+        "compiled {} implementations / {} goals / {} actions → {out} ({} bytes, mmap-servable)",
+        lib.len(),
+        lib.num_goals(),
+        lib.num_actions(),
+        std::fs::metadata(out).map(|m| m.len()).unwrap_or(0)
+    );
+    let shards = args.num("shards", 0)?;
+    if shards > 0 {
+        let mode = match args.flag("shard-mode") {
+            Some(m) => goalrec_server::PartitionMode::parse(m)
+                .ok_or_else(|| format!("--shard-mode expects 'hash' or 'balanced', got '{m}'"))?,
+            None => goalrec_server::PartitionMode::HashGoal,
+        };
+        let family = goalrec_server::shards::persist_shard_family(&lib, shards, mode, Path::new(out))
+            .map_err(|e| e.to_string())?;
+        for path in &family {
+            println!("  shard snapshot → {}", path.display());
+        }
+        println!(
+            "serve with: goalrec serve --library {out} --shards {} --shard-mode {}",
+            family.len(),
+            match mode {
+                goalrec_server::PartitionMode::HashGoal => "hash",
+                goalrec_server::PartitionMode::BalancedMass => "balanced",
+            }
+        );
+    }
     Ok(())
 }
 
@@ -470,6 +533,55 @@ mod tests {
             "0",
         ])
         .unwrap();
+    }
+
+    #[test]
+    fn compile_writes_a_servable_v2_model_and_shard_family() {
+        let dir = tmpdir();
+        let ft = FortyThings::generate(&FortyThingsConfig::test_scale());
+        let jsonl = dir.join("compile-src.jsonl");
+        dsio::write_library_jsonl(&ft.library, &jsonl).unwrap();
+        let model = dir.join("compiled.grlb2");
+        run(&[
+            "compile",
+            "--library",
+            jsonl.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--shards",
+            "2",
+        ])
+        .unwrap();
+        assert!(model.exists());
+        assert!(dir.join("compiled.shard0.grlb2").exists());
+        assert!(dir.join("compiled.shard1.grlb2").exists());
+        // The model file round-trips through every read-side command.
+        run(&["stats", "--library", model.to_str().unwrap()]).unwrap();
+        run(&[
+            "recommend",
+            "--library",
+            model.to_str().unwrap(),
+            "--activity",
+            "0",
+        ])
+        .unwrap();
+        // Guard rails: compile insists on .grlb2, convert refuses it.
+        assert!(run(&[
+            "compile",
+            "--library",
+            jsonl.to_str().unwrap(),
+            "--out",
+            dir.join("nope.grlb").to_str().unwrap(),
+        ])
+        .is_err());
+        assert!(run(&[
+            "convert",
+            "--library",
+            jsonl.to_str().unwrap(),
+            "--out",
+            dir.join("nope.grlb2").to_str().unwrap(),
+        ])
+        .is_err());
     }
 
     #[test]

@@ -23,17 +23,136 @@
 //! items in strictly increasing order.
 
 use rayon::prelude::*;
-use std::sync::{Mutex, PoisonError};
+use std::any::Any;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// `Cow`-like backing for one flat `u32` model array: either an owned heap
+/// allocation or a borrowed view into an externally retained buffer
+/// (typically an `mmap`'d GRLB v2 model file).
+///
+/// The mapped variant pairs the slice with an opaque *keepalive* handle;
+/// the slice stays valid exactly as long as at least one clone of that
+/// handle is alive, and the last clone to drop releases the buffer (for a
+/// mapping, that is the `munmap` — the unmap-after-last-snapshot rule).
+/// Core never learns what the handle is, so the mapping machinery lives
+/// entirely in the IO crate.
+///
+/// Both variants deref to `&[u32]`, so every index accessor works
+/// identically over owned and mapped models. Mutable access copies a
+/// mapped backing to the heap first (`DerefMut` is the write fence), which
+/// keeps in-place corruption tests and repair tooling working without ever
+/// writing through a shared mapping.
+pub enum CsrBacking {
+    /// A heap-owned array — what builders and readers-into-heap produce.
+    Owned(Box<[u32]>),
+    /// A borrowed view into a retained buffer (e.g. a file mapping).
+    Mapped {
+        /// The array, viewed in place. The `'static` lifetime is nominal:
+        /// validity is tied to `keepalive`, which every clone shares.
+        slice: &'static [u32],
+        /// Opaque handle whose last drop releases the underlying buffer.
+        keepalive: Arc<dyn Any + Send + Sync>,
+    },
+}
+
+impl CsrBacking {
+    /// Borrows `slice` as a backing, tying its validity to `keepalive`.
+    ///
+    /// # Safety
+    ///
+    /// `slice` must remain valid (readable, unchanging) for as long as any
+    /// clone of `keepalive` is alive. The caller upholds this by deriving
+    /// the slice from the buffer that `keepalive` owns.
+    pub unsafe fn mapped(slice: &'static [u32], keepalive: Arc<dyn Any + Send + Sync>) -> Self {
+        CsrBacking::Mapped { slice, keepalive }
+    }
+
+    /// Whether this backing borrows a retained buffer (vs owning heap).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, CsrBacking::Mapped { .. })
+    }
+}
+
+impl Deref for CsrBacking {
+    type Target = [u32];
+
+    #[inline]
+    fn deref(&self) -> &[u32] {
+        match self {
+            CsrBacking::Owned(b) => b,
+            CsrBacking::Mapped { slice, .. } => slice,
+        }
+    }
+}
+
+impl DerefMut for CsrBacking {
+    /// Copy-on-write: mutable access to a mapped backing first copies the
+    /// array to the heap, dropping this handle's share of the keepalive.
+    fn deref_mut(&mut self) -> &mut [u32] {
+        if let CsrBacking::Mapped { slice, .. } = *self {
+            *self = CsrBacking::Owned(slice.into());
+        }
+        match self {
+            CsrBacking::Owned(b) => b,
+            // goalrec-lint:allow(no-panic-paths): the arm above just replaced Mapped with Owned; this arm is statically unreachable
+            CsrBacking::Mapped { .. } => unreachable!("mapped backing survived copy-on-write"),
+        }
+    }
+}
+
+impl Clone for CsrBacking {
+    /// Owned backings deep-copy; mapped backings stay shared views (the
+    /// keepalive `Arc` clone is what extends the buffer's lifetime).
+    // goalrec-lint:allow(hot-path-alloc): serving shares one Arc<GoalModel>; backings are only cloned by reload/compaction, never per request
+    fn clone(&self) -> Self {
+        match self {
+            CsrBacking::Owned(b) => CsrBacking::Owned(b.clone()),
+            CsrBacking::Mapped { slice, keepalive } => CsrBacking::Mapped {
+                slice,
+                keepalive: Arc::clone(keepalive),
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for CsrBacking {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let tag = if self.is_mapped() { "Mapped" } else { "Owned" };
+        write!(f, "CsrBacking::{tag}(len {})", self.len())
+    }
+}
+
+impl PartialEq for CsrBacking {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for CsrBacking {}
+
+impl From<Vec<u32>> for CsrBacking {
+    fn from(v: Vec<u32>) -> Self {
+        CsrBacking::Owned(v.into_boxed_slice())
+    }
+}
+
+impl From<Box<[u32]>> for CsrBacking {
+    fn from(b: Box<[u32]>) -> Self {
+        CsrBacking::Owned(b)
+    }
+}
 
 /// A CSR matrix of `u32` postings. Fields are `pub(crate)` so the model's
-/// corruption tests can damage the arrays directly.
+/// corruption tests can damage the arrays directly (copy-on-write for
+/// mapped backings, see [`CsrBacking`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct Csr {
     /// `rows + 1` monotone offsets into `data`; first is 0, last is
     /// `data.len()`.
-    pub(crate) offsets: Box<[u32]>,
+    pub(crate) offsets: CsrBacking,
     /// All postings, row by row.
-    pub(crate) data: Box<[u32]>,
+    pub(crate) data: CsrBacking,
 }
 
 impl Csr {
@@ -41,9 +160,20 @@ impl Csr {
     /// responsible for shape validation (see [`Csr::check_shape`]).
     pub(crate) fn from_parts(offsets: Vec<u32>, data: Vec<u32>) -> Self {
         Self {
-            offsets: offsets.into_boxed_slice(),
-            data: data.into_boxed_slice(),
+            offsets: offsets.into(),
+            data: data.into(),
         }
+    }
+
+    /// Wraps two pre-built backings (owned or mapped) without checking
+    /// invariants; callers run [`Csr::check_shape`] plus content checks.
+    pub(crate) fn from_backings(offsets: CsrBacking, data: CsrBacking) -> Self {
+        Self { offsets, data }
+    }
+
+    /// Whether either flat array borrows a retained buffer.
+    pub(crate) fn is_mapped(&self) -> bool {
+        self.offsets.is_mapped() || self.data.is_mapped()
     }
 
     /// Number of rows.

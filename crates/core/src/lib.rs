@@ -69,6 +69,7 @@ pub mod strategies;
 pub mod topk;
 
 pub use activity::Activity;
+pub use csr::CsrBacking;
 pub use distance::DistanceMetric;
 pub use dynamic::DynamicGoalModel;
 pub use error::{Error, Result};

@@ -15,10 +15,10 @@
 //! memory. Every row is a strictly increasing `u32` slice, which makes the
 //! set algebra of [`crate::setops`] directly applicable.
 
-use crate::csr::{self, Csr};
+use crate::csr::{self, Csr, CsrBacking};
 use crate::error::{Error, Result};
 use crate::ids::{ActionId, GoalId, ImplId};
-use crate::library::{actions_as_raw, GoalLibrary};
+use crate::library::{actions_as_raw, GoalLibrary, LibraryStats};
 use crate::setops;
 use goalrec_obs::{self as obs, names, Timer};
 
@@ -34,7 +34,7 @@ pub struct GoalModel {
     /// `GI-A-idx`: implementation → sorted actions.
     impl_actions: Csr,
     /// `GI-G-idx` (forward): implementation → goal.
-    impl_goal: Vec<u32>,
+    impl_goal: CsrBacking,
     /// `GI-G-idx` (inverse): goal → sorted implementation ids.
     goal_impls: Csr,
     /// `A-GI-idx`: action → sorted implementation ids (`IS(a)`).
@@ -71,7 +71,7 @@ impl GoalModel {
         Self::assemble(
             library.num_actions(),
             library.num_goals(),
-            impl_goal,
+            impl_goal.into(),
             impl_actions,
         )
     }
@@ -132,7 +132,53 @@ impl GoalModel {
         }
         drop(span);
 
-        Self::assemble(num_actions, num_goals, impl_goal, impl_actions)
+        Self::assemble(num_actions, num_goals, impl_goal.into(), impl_actions)
+    }
+
+    /// Assembles a model from all **seven** pre-built flat arrays — the
+    /// forward goal labels plus offsets + data of each of the three CSR
+    /// indexes — without rebuilding anything. This is the zero-copy entry
+    /// point of the GRLB v2 mapped reader: every backing may borrow an
+    /// `mmap`'d file in place.
+    ///
+    /// The arrays are fully bound-checked before the model is returned
+    /// ([`GoalModel::check_structure`]: CSR shapes, offset monotonicity,
+    /// per-row strict sortedness, id ranges, posting cardinalities), so a
+    /// garbage file yields [`Error::CorruptModel`] and a model that passed
+    /// can never index out of bounds. The `O(postings · log)` cross-index
+    /// membership probes of [`GoalModel::validate`] are *not* run here —
+    /// the on-disk checksums vouch that the sections are the ones a
+    /// validated writer produced.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_backings(
+        num_actions: usize,
+        num_goals: usize,
+        impl_goal: CsrBacking,
+        ia_offsets: CsrBacking,
+        ia_data: CsrBacking,
+        gi_offsets: CsrBacking,
+        gi_data: CsrBacking,
+        ai_offsets: CsrBacking,
+        ai_data: CsrBacking,
+    ) -> Result<Self> {
+        if impl_goal.is_empty() {
+            return Err(Error::EmptyLibrary);
+        }
+        let model = Self {
+            impl_actions: Csr::from_backings(ia_offsets, ia_data),
+            impl_goal,
+            goal_impls: Csr::from_backings(gi_offsets, gi_data),
+            action_impls: Csr::from_backings(ai_offsets, ai_data),
+            num_actions,
+            num_goals,
+        };
+        model.check_structure()?;
+        obs::counter(names::MODEL_BUILDS).inc();
+        obs::gauge(names::MODEL_IMPLS).set(model.num_impls() as f64);
+        obs::gauge(names::MODEL_ACTIONS).set(num_actions as f64);
+        obs::gauge(names::MODEL_GOALS).set(num_goals as f64);
+        obs::gauge(names::MODEL_MEMORY_BYTES).set(model.memory_bytes() as f64);
+        Ok(model)
     }
 
     /// Shared back half of [`GoalModel::build`] and
@@ -142,7 +188,7 @@ impl GoalModel {
     fn assemble(
         num_actions: usize,
         num_goals: usize,
-        impl_goal: Vec<u32>,
+        impl_goal: CsrBacking,
         impl_actions: Csr,
     ) -> Result<Self> {
         let n = impl_actions.rows();
@@ -383,6 +429,52 @@ impl GoalModel {
     ///
     /// Cost: `O(Σ|A_p| · log)` — a membership probe per posting.
     pub fn validate(&self) -> Result<()> {
+        self.check_structure()?;
+        let corrupt = |detail: String| Err(Error::CorruptModel { detail });
+        let num_impls = self.num_impls();
+        for pid in 0..num_impls {
+            for &a in self.impl_actions.row(pid) {
+                if !setops::contains(self.action_impls.row(a as usize), pid as u32) {
+                    return corrupt(format!("A-GI-idx[a{a}] is missing p{pid} from GI-A-idx"));
+                }
+            }
+            let g = self.impl_goal[pid];
+            if !setops::contains(self.goal_impls.row(g as usize), pid as u32) {
+                return corrupt(format!("inverse GI-G-idx[g{g}] is missing p{pid}"));
+            }
+        }
+        for g in 0..self.num_goals {
+            for &p in self.goal_impls.row(g) {
+                if self.impl_goal[p as usize] != g as u32 {
+                    return corrupt(format!(
+                        "GI-G-idx[g{g}] lists p{p}, but p{p} fulfils g{}",
+                        self.impl_goal[p as usize]
+                    ));
+                }
+            }
+        }
+        for a in 0..self.num_actions {
+            for &p in self.action_impls.row(a) {
+                if !setops::contains(self.impl_actions.row(p as usize), a as u32) {
+                    return corrupt(format!("A-GI-idx[a{a}] lists p{p}, which omits a{a}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The linear half of [`GoalModel::validate`]: CSR shapes (offsets
+    /// monotone, first 0, last equal to the data length, one row per id),
+    /// per-row strict sortedness, id ranges, and posting cardinalities —
+    /// everything needed to guarantee that **no accessor of this model can
+    /// panic or read out of bounds**, in one `O(Σ postings)` pass with no
+    /// membership probes.
+    ///
+    /// This is the validate-before-trust gate the GRLB v2 mapped reader
+    /// runs on every load: a file that passes serves safely; whether its
+    /// inverse indexes also *agree* with the forward index is what the
+    /// full [`GoalModel::validate`] additionally proves.
+    pub fn check_structure(&self) -> Result<()> {
         let corrupt = |detail: String| Err(Error::CorruptModel { detail });
         // CSR shape first: every content check below slices rows, which is
         // only safe once the offset arrays are known to be well-formed.
@@ -410,20 +502,14 @@ impl GoalModel {
             if !setops::is_strictly_sorted(actions) {
                 return corrupt(format!("GI-A-idx[p{pid}] is not a strictly sorted set"));
             }
-            for &a in actions {
-                if a as usize >= self.num_actions {
-                    return corrupt(format!("GI-A-idx[p{pid}] references unknown action a{a}"));
-                }
-                if !setops::contains(self.action_impls.row(a as usize), pid as u32) {
-                    return corrupt(format!("A-GI-idx[a{a}] is missing p{pid} from GI-A-idx"));
+            if let Some(&max) = actions.last() {
+                if max as usize >= self.num_actions {
+                    return corrupt(format!("GI-A-idx[p{pid}] references unknown action a{max}"));
                 }
             }
             let g = self.impl_goal[pid];
             if g as usize >= self.num_goals {
                 return corrupt(format!("GI-G-idx[p{pid}] references unknown goal g{g}"));
-            }
-            if !setops::contains(self.goal_impls.row(g as usize), pid as u32) {
-                return corrupt(format!("inverse GI-G-idx[g{g}] is missing p{pid}"));
             }
         }
         for g in 0..self.num_goals {
@@ -431,15 +517,9 @@ impl GoalModel {
             if !setops::is_strictly_sorted(impls) {
                 return corrupt(format!("GI-G-idx[g{g}] is not a strictly sorted set"));
             }
-            for &p in impls {
-                if p as usize >= num_impls {
-                    return corrupt(format!("GI-G-idx[g{g}] references unknown impl p{p}"));
-                }
-                if self.impl_goal[p as usize] != g as u32 {
-                    return corrupt(format!(
-                        "GI-G-idx[g{g}] lists p{p}, but p{p} fulfils g{}",
-                        self.impl_goal[p as usize]
-                    ));
+            if let Some(&max) = impls.last() {
+                if max as usize >= num_impls {
+                    return corrupt(format!("GI-G-idx[g{g}] references unknown impl p{max}"));
                 }
             }
         }
@@ -448,12 +528,9 @@ impl GoalModel {
             if !setops::is_strictly_sorted(impls) {
                 return corrupt(format!("A-GI-idx[a{a}] is not a strictly sorted set"));
             }
-            for &p in impls {
-                if p as usize >= num_impls {
-                    return corrupt(format!("A-GI-idx[a{a}] references unknown impl p{p}"));
-                }
-                if !setops::contains(self.impl_actions.row(p as usize), a as u32) {
-                    return corrupt(format!("A-GI-idx[a{a}] lists p{p}, which omits a{a}"));
+            if let Some(&max) = impls.last() {
+                if max as usize >= num_impls {
+                    return corrupt(format!("A-GI-idx[a{a}] references unknown impl p{max}"));
                 }
             }
         }
@@ -461,6 +538,13 @@ impl GoalModel {
         if goal_postings != num_impls {
             return corrupt(format!(
                 "inverse GI-G-idx holds {goal_postings} postings for {num_impls} impls"
+            ));
+        }
+        let action_postings = self.action_impls.data.len();
+        let forward_postings = self.impl_actions.data.len();
+        if action_postings != forward_postings {
+            return corrupt(format!(
+                "A-GI-idx holds {action_postings} postings for {forward_postings} forward postings"
             ));
         }
         Ok(())
@@ -474,6 +558,79 @@ impl GoalModel {
             + self.goal_impls.memory_bytes()
             + self.action_impls.memory_bytes()
             + self.impl_goal.len() * std::mem::size_of::<u32>()
+    }
+
+    /// The seven flat arrays in GRLB v2 section order: forward goal
+    /// labels, then offsets + data of `GI-A-idx`, inverse `GI-G-idx` and
+    /// `A-GI-idx`. This is the writer-side mirror of
+    /// [`GoalModel::from_backings`] — `write → read → flat_sections`
+    /// round-trips bit-identically.
+    pub fn flat_sections(&self) -> [&[u32]; 7] {
+        [
+            &self.impl_goal,
+            &self.impl_actions.offsets,
+            &self.impl_actions.data,
+            &self.goal_impls.offsets,
+            &self.goal_impls.data,
+            &self.action_impls.offsets,
+            &self.action_impls.data,
+        ]
+    }
+
+    /// Whether any index array borrows a retained buffer (an `mmap`'d
+    /// model file) instead of owning heap memory.
+    pub fn is_mapped(&self) -> bool {
+        self.impl_goal.is_mapped()
+            || self.impl_actions.is_mapped()
+            || self.goal_impls.is_mapped()
+            || self.action_impls.is_mapped()
+    }
+
+    /// [`LibraryStats`] computed straight off the compiled indexes — no
+    /// [`GoalLibrary`] needed. Per-action connectivity is `A-GI-idx` row
+    /// lengths, per-goal counts are inverse `GI-G-idx` row lengths, and
+    /// implementation lengths come from the `GI-A-idx` offsets, so a
+    /// model-only boot (GRLB v2) serves the same `/v1/stats` numbers a
+    /// library-built server would.
+    pub fn stats(&self) -> LibraryStats {
+        let num_impls = self.num_impls();
+        let mut total_len = 0usize;
+        let mut max_len = 0usize;
+        for p in 0..num_impls {
+            let len = self.impl_actions.row_len(p);
+            total_len += len;
+            max_len = max_len.max(len);
+        }
+        let mut max_connectivity = 0usize;
+        let mut used_actions = 0usize;
+        for a in 0..self.num_actions {
+            let c = self.action_impls.row_len(a);
+            max_connectivity = max_connectivity.max(c);
+            if c > 0 {
+                used_actions += 1;
+            }
+        }
+        let used_goals = (0..self.num_goals)
+            .filter(|&g| self.goal_impls.row_len(g) > 0)
+            .count();
+        LibraryStats {
+            num_implementations: num_impls,
+            num_actions: self.num_actions,
+            num_goals: self.num_goals,
+            connectivity: total_len as f64 / used_actions.max(1) as f64,
+            max_connectivity,
+            avg_impl_len: total_len as f64 / num_impls.max(1) as f64,
+            max_impl_len: max_len,
+            avg_impls_per_goal: num_impls as f64 / used_goals.max(1) as f64,
+        }
+    }
+
+    /// Reconstructs a [`GoalLibrary`] (synthetic `a{i}`/`g{i}` names, as
+    /// with every binary format) from the forward indexes — how a server
+    /// booted from a model file recovers a library view for the cold admin
+    /// paths (append merge, compaction persist).
+    pub fn to_library(&self) -> Result<GoalLibrary> {
+        crate::live::LiveRef::from_parts(Some(self), None).to_library()
     }
 }
 
@@ -681,7 +838,7 @@ mod tests {
         let rebuilt = GoalModel::from_csr_parts(
             m.num_actions(),
             m.num_goals(),
-            m.impl_goal.clone(),
+            m.impl_goal.to_vec(),
             m.impl_actions.offsets.to_vec(),
             m.impl_actions.data.to_vec(),
         )
@@ -705,7 +862,7 @@ mod tests {
     #[test]
     fn from_csr_parts_rejects_corrupt_input() {
         let m = model();
-        let goals = m.impl_goal.clone();
+        let goals = m.impl_goal.to_vec();
         let offs = m.impl_actions.offsets.to_vec();
         let data = m.impl_actions.data.to_vec();
 

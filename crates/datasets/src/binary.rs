@@ -28,15 +28,16 @@ const MAGIC: &[u8; 4] = b"GRLB";
 const VERSION: u32 = 1;
 
 /// FNV-1a, the classic 64-bit variant — cheap, order-sensitive, good
-/// enough for corruption (not adversary) detection.
+/// enough for corruption (not adversary) detection. Shared with the v2
+/// format ([`crate::grlb2`]), which checksums sections with the same hash.
 #[derive(Clone, Copy)]
-struct Fnv(u64);
+pub(crate) struct Fnv(pub(crate) u64);
 
 impl Fnv {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
-    fn update(&mut self, bytes: &[u8]) {
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
@@ -96,7 +97,7 @@ impl<R: Read> CountingReader<R> {
     }
 }
 
-fn invalid(msg: &str) -> io::Error {
+pub(crate) fn invalid(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
 }
 
@@ -158,9 +159,25 @@ fn finish_grlb<R: Read>(r: &mut CountingReader<R>) -> io::Result<()> {
     Ok(())
 }
 
+/// Peeks at the magic + version of a `GRLB` file (through the fault
+/// layer), so [`crate::io::read_library_auto`] and the server boot path
+/// can dispatch between the v1 stream reader and the v2 mapped reader
+/// without trusting the file extension. Bad magic is rejected here; an
+/// unknown version is returned as-is and rejected (with the found version
+/// named) by whichever reader the caller picks.
+pub fn sniff_version(path: &Path) -> io::Result<u32> {
+    let mut f = goalrec_faults::read_wrap(path, File::open(path)?);
+    let mut head = [0u8; 8];
+    f.read_exact(&mut head)?;
+    if &head[0..4] != MAGIC {
+        return Err(invalid("not a GRLB file (bad magic)"));
+    }
+    Ok(u32::from_le_bytes([head[4], head[5], head[6], head[7]]))
+}
+
 /// Maps core build errors onto io errors, treating an empty library as the
 /// shared "empty library" condition of [`crate::io`].
-fn core_to_io(path: &Path, e: goalrec_core::Error) -> io::Error {
+pub(crate) fn core_to_io(path: &Path, e: goalrec_core::Error) -> io::Error {
     match e {
         goalrec_core::Error::EmptyLibrary => crate::io::empty_library(path),
         other => invalid(&other.to_string()),

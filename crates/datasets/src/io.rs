@@ -210,9 +210,14 @@ pub fn parse_implementation_line(line: &str) -> Result<(u32, Vec<u32>), String> 
 }
 
 /// Reads a library from `path`, choosing the format by extension
-/// (`.grlb` binary, JSON-lines otherwise) and inferring the action/goal
-/// id spaces from the data itself. This is the one-argument loader the
-/// server binary, hot reload, and CLI share.
+/// (`.grlb`/`.grlb2` binary, JSON-lines otherwise) and inferring the
+/// action/goal id spaces from the data itself. This is the one-argument
+/// loader the server binary, hot reload, and CLI share.
+///
+/// Binary files are dispatched on the *version stamped in the file*, not
+/// the extension: a `.grlb` holding a v2 image (or a `.grlb2` holding v1)
+/// still loads with the right reader, so `serve`/`repro` accept compiled
+/// `.grlb2` artifacts anywhere a library path is expected.
 ///
 /// A file with zero implementations is rejected here with the typed
 /// [`EmptyLibraryError`] (see [`is_empty_library`]) instead of letting an
@@ -221,8 +226,12 @@ pub fn parse_implementation_line(line: &str) -> Result<(u32, Vec<u32>), String> 
 /// additionally name the offending field (see
 /// [`implementation_from_value`]).
 pub fn read_library_auto(path: &Path) -> std::io::Result<GoalLibrary> {
-    if path.extension().is_some_and(|e| e == "grlb") {
-        return crate::binary::read_library_binary(path);
+    if is_binary_library(path) {
+        return if crate::binary::sniff_version(path)? == 2 {
+            crate::grlb2::read_library_v2(path)
+        } else {
+            crate::binary::read_library_binary(path)
+        };
     }
     let f = open_read(path)?;
     let mut impls = Vec::new();
@@ -248,6 +257,13 @@ pub fn read_library_auto(path: &Path) -> std::io::Result<GoalLibrary> {
     }
     GoalLibrary::from_id_implementations(max_action + 1, max_goal + 1, impls)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Whether `path` is a binary `GRLB` family file by extension (`.grlb`
+/// v1 stream or `.grlb2` mapped model). Which *reader* applies is decided
+/// by [`crate::binary::sniff_version`], not the extension.
+pub fn is_binary_library(path: &Path) -> bool {
+    path.extension().is_some_and(|e| e == "grlb" || e == "grlb2")
 }
 
 /// The typed empty-library `InvalidData` error for `path`.

@@ -10,7 +10,9 @@
 //! * [`split`] — the 30 %-visible / 70 %-hidden evaluation protocol.
 //! * [`zipf`] — the skewed samplers both generators share.
 //! * [`io`] — JSON / JSON-lines persistence; [`binary`] — the compact
-//!   checksummed `GRLB` format for large libraries.
+//!   checksummed `GRLB` v1 stream format for large libraries; [`grlb2`] —
+//!   the aligned, sectioned `GRLB` v2 model format that serves in place
+//!   via [`mmap`].
 //! * [`wal`] — the append-ahead log that makes live library appends
 //!   durable between admission and background compaction.
 //!
@@ -24,7 +26,9 @@
 pub mod binary;
 pub mod foodmart;
 pub mod fortythree;
+pub mod grlb2;
 pub mod io;
+pub mod mmap;
 pub mod split;
 pub mod wal;
 pub mod zipf;

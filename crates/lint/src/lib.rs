@@ -1,6 +1,6 @@
 //! goalrec-lint: in-tree static analysis for the goalrec workspace.
 //!
-//! Seven deny-by-default rules over a hand-rolled, string/comment/attribute
+//! Eight deny-by-default rules over a hand-rolled, string/comment/attribute
 //! aware token scan plus a conservative workspace call graph (the container
 //! is registry-less, so no external parser crates):
 //!
@@ -19,7 +19,10 @@
 //!   justification; `SeqCst` denied outright; `Relaxed` on registered
 //!   cross-thread atomics flagged regardless;
 //! * `lock-discipline` — nested lock acquisition must match the declared
-//!   `[[lock_order]]` hierarchy.
+//!   `[[lock_order]]` hierarchy;
+//! * `justified-unsafe` — every `unsafe` in non-test library code carries
+//!   a `// safety:` comment (or rustdoc `# Safety` section) saying why it
+//!   is sound.
 //!
 //! Escapes: an inline `goalrec-lint:allow` comment directive — the rule
 //! in parentheses, then a mandatory `: justification` tail, covering its

@@ -29,6 +29,10 @@ pub const ATOMIC_ORDERING: &str = "atomic-ordering";
 /// Rule id: nested lock acquisition must match the `[[lock_order]]`
 /// hierarchy declared in `lint.toml`.
 pub const LOCK_DISCIPLINE: &str = "lock-discipline";
+/// Rule id: every `unsafe` keyword in non-test library-crate code carries
+/// a `// safety:` justification comment (or a rustdoc `# Safety` section
+/// for `unsafe fn` contracts).
+pub const JUSTIFIED_UNSAFE: &str = "justified-unsafe";
 /// Pseudo-rule for malformed `goalrec-lint:allow` directives. Not
 /// suppressible and not allowlistable.
 pub const SUPPRESSION_FORMAT: &str = "suppression-format";
@@ -42,6 +46,7 @@ pub const RULES: &[&str] = &[
     HOT_PATH_ALLOC,
     ATOMIC_ORDERING,
     LOCK_DISCIPLINE,
+    JUSTIFIED_UNSAFE,
 ];
 
 /// Library crates whose `src/` trees are held to the panic-free and
@@ -107,7 +112,68 @@ pub fn source_rules(path: &str, lexed: &Lexed, namespaces: &BTreeSet<String>) ->
     raw_id_cast(path, lexed, &mut findings);
     metric_literals(path, lexed, namespaces, &mut findings);
     strategy_surface(path, lexed, &mut findings);
+    justified_unsafe(path, lexed, &mut findings);
     findings
+}
+
+/// The comment tag that justifies an `unsafe` block, fn or impl. Matched
+/// case-insensitively so both `// safety: …` and the rustdoc-conventional
+/// `// SAFETY: …` / `/// # Safety` forms count.
+pub const SAFETY_TAG: &str = "safety:";
+
+fn annotated_with_safety(lexed: &Lexed, line: u32) -> bool {
+    lexed.comments.iter().any(|c| {
+        if !c.annotates(line) {
+            return false;
+        }
+        let text = c.text.to_ascii_lowercase();
+        text.contains(SAFETY_TAG) || text.contains("# safety")
+    })
+}
+
+/// Line of the first token of the statement/item containing `idx` — the
+/// token after the nearest preceding `;`, `{` or `}`. Lets a safety
+/// comment sit above a `#[cfg(...)]` attribute or the start of a
+/// multi-line statement whose `unsafe` lands further down.
+fn stmt_start_line(toks: &[Token], idx: usize) -> u32 {
+    let mut p = idx;
+    while p > 0 {
+        let t = toks.get(p - 1);
+        if is_punct(t, ';') || is_punct(t, '{') || is_punct(t, '}') {
+            break;
+        }
+        p -= 1;
+    }
+    toks.get(p).map_or(0, |t| t.line)
+}
+
+/// `justified-unsafe`: every `unsafe` in non-test library code must say
+/// why it is sound. The mmap fast path and the parallel CSR fill are the
+/// only sanctioned users; a bare `unsafe` is either missing its proof or
+/// should not exist.
+fn justified_unsafe(path: &str, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    if !in_lib_crate_src(path) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ident(Some(t)) != Some("unsafe") || lexed.is_test_line(t.line) {
+            continue;
+        }
+        let justified = annotated_with_safety(lexed, t.line)
+            || annotated_with_safety(lexed, stmt_start_line(toks, i));
+        if !justified {
+            findings.push(Finding {
+                rule: JUSTIFIED_UNSAFE,
+                file: path.to_owned(),
+                line: t.line,
+                message: "`unsafe` lacks a justification — add a `// safety: <why this is \
+                          sound>` comment (or a `# Safety` rustdoc section for an `unsafe fn` \
+                          contract) on or directly above this line"
+                    .to_owned(),
+            });
+        }
+    }
 }
 
 /// `no-panic-paths`: forbid process-aborting calls in non-test library
@@ -416,6 +482,47 @@ mod tests {
         let without = lex("fn f(x: u64) { let _ = x as u32; }\n");
         findings.clear();
         raw_id_cast("crates/core/src/x.rs", &without, &mut findings);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn unsafe_rule_demands_a_safety_comment() {
+        let src = "\
+fn f(p: *const u32) -> u32 {
+    // SAFETY: caller guarantees p is valid for reads.
+    let a = unsafe { *p };
+    let b = unsafe { *p };
+    a + b
+}
+// safety: immutable shared memory, reads only.
+#[cfg(unix)]
+unsafe impl Send for X {}
+unsafe impl Sync for X {}
+/// Docs.
+///
+/// # Safety
+///
+/// `p` must be valid.
+pub unsafe fn g(p: *const u32) -> u32 { *p }
+#[cfg(test)]
+mod tests {
+    fn t(p: *const u32) { unsafe { *p; } }
+}
+";
+        let lexed = lex(src);
+        let mut findings = Vec::new();
+        justified_unsafe("crates/datasets/src/mmap.rs", &lexed, &mut findings);
+        // Line 4 (second block, no comment) and line 10 (Sync impl, the
+        // Send comment does not reach past the intervening item).
+        assert_eq!(
+            findings.iter().map(|f| f.line).collect::<Vec<_>>(),
+            vec![4, 10]
+        );
+        assert!(findings.iter().all(|f| f.rule == JUSTIFIED_UNSAFE));
+
+        // Out of library scope: binaries may keep their unsafe terse.
+        findings.clear();
+        justified_unsafe("crates/cli/src/commands.rs", &lexed, &mut findings);
         assert!(findings.is_empty());
     }
 

@@ -224,12 +224,38 @@ pub fn start_with_shutdown(
     // The shard plane is built from the same library before it moves into
     // the global state (every shard keeps the full global id spaces, so
     // the global model still backs names, stats and id validation).
+    // A persisted per-shard GRLB v2 snapshot family next to the library
+    // file (written by `goalrec compile --shards N`) boots every shard
+    // mapped off disk; without one — or with a stale one — the shards are
+    // partitioned from the library as before.
     let shard_set = if config.shards > 0 {
-        Some(Arc::new(ShardSet::build(
-            &library,
-            config.shards,
-            config.shard_mode,
-        )?))
+        let family = match &config.library_path {
+            Some(path) => {
+                match ShardSet::open_family(path, config.shards, config.shard_mode, &library) {
+                    Ok(set) => set,
+                    Err(e) => {
+                        eprintln!(
+                            "goalrec-serve: shard snapshot family next to {} rejected ({e}); \
+                             rebuilding shards from the library",
+                            path.display()
+                        );
+                        None
+                    }
+                }
+            }
+            None => None,
+        };
+        let set = match family {
+            Some(set) => {
+                eprintln!(
+                    "goalrec-serve: booted {} shards from the persisted snapshot family",
+                    set.num_shards()
+                );
+                set
+            }
+            None => ShardSet::build(&library, config.shards, config.shard_mode)?,
+        };
+        Some(Arc::new(set))
     } else {
         None
     };

@@ -696,32 +696,59 @@ fn persist_compacted(live: &LivePlane, next: &AppState) -> Result<(), ServerErro
         // just nothing to persist (and no WAL to clear).
         return Ok(());
     };
-    // Match the serving file's format (the read-back below chooses its
-    // parser by extension, as does every other loader of this file).
-    let write = if path.extension().is_some_and(|e| e == "grlb") {
-        goalrec_datasets::binary::write_library_binary
+    // Match the serving file's format (the loaders dispatch on the
+    // version stamp, so what we write here is what the next reload — and
+    // the read-back verify below — will parse).
+    if path.extension().is_some_and(|e| e == "grlb2") {
+        // GRLB v2 target: persist the compacted *model* sections directly
+        // (no library materialisation), then re-read through the full
+        // validate-before-trust pipeline so a torn persist fails here.
+        goalrec_datasets::grlb2::write_model_v2(next.model(), path).map_err(|e| {
+            ServerError::ReloadFailed(format!(
+                "cannot persist the compacted model to {}: {e}",
+                path.display()
+            ))
+        })?;
+        let reread = goalrec_datasets::grlb2::read_model_v2(path).map_err(|e| {
+            ServerError::ReloadFailed(format!(
+                "read-back verify of {} failed: {e}",
+                path.display()
+            ))
+        })?;
+        if reread.num_impls() != next.model().num_impls() {
+            return Err(ServerError::ReloadFailed(format!(
+                "read-back verify of {} found {} implementations, expected {}",
+                path.display(),
+                reread.num_impls(),
+                next.model().num_impls()
+            )));
+        }
     } else {
-        goalrec_datasets::io::write_library_jsonl
-    };
-    write(next.library(), path).map_err(|e| {
-        ServerError::ReloadFailed(format!(
-            "cannot persist the compacted library to {}: {e}",
-            path.display()
-        ))
-    })?;
-    let reread = goalrec_datasets::io::read_library_auto(path).map_err(|e| {
-        ServerError::ReloadFailed(format!(
-            "read-back verify of {} failed: {e}",
-            path.display()
-        ))
-    })?;
-    if reread.len() != next.library().len() {
-        return Err(ServerError::ReloadFailed(format!(
-            "read-back verify of {} found {} implementations, expected {}",
-            path.display(),
-            reread.len(),
-            next.library().len()
-        )));
+        let write = if path.extension().is_some_and(|e| e == "grlb") {
+            goalrec_datasets::binary::write_library_binary
+        } else {
+            goalrec_datasets::io::write_library_jsonl
+        };
+        write(next.library()?, path).map_err(|e| {
+            ServerError::ReloadFailed(format!(
+                "cannot persist the compacted library to {}: {e}",
+                path.display()
+            ))
+        })?;
+        let reread = goalrec_datasets::io::read_library_auto(path).map_err(|e| {
+            ServerError::ReloadFailed(format!(
+                "read-back verify of {} failed: {e}",
+                path.display()
+            ))
+        })?;
+        if reread.len() != next.library()?.len() {
+            return Err(ServerError::ReloadFailed(format!(
+                "read-back verify of {} found {} implementations, expected {}",
+                path.display(),
+                reread.len(),
+                next.library()?.len()
+            )));
+        }
     }
     if let Some(wal) = &live.wal {
         wal.clear().map_err(|e| {
@@ -878,6 +905,38 @@ fn load_state(
     path: &Path,
     trace: &mut obs::TraceContext,
 ) -> Result<(Arc<AppState>, Option<crate::shards::RebuiltShards>), ServerError> {
+    // GRLB v2 fast path: the reader hands back an already-trusted model
+    // (header → layout → checksums → structural pass, mapped in place
+    // when the platform allows), so the whole load is the header parse
+    // plus one sequential checksum scan — no JSON parse, no CSR rebuild,
+    // and no separate validate span.
+    if goalrec_datasets::io::is_binary_library(path)
+        && matches!(goalrec_datasets::binary::sniff_version(path), Ok(2))
+    {
+        let load = trace.start_span(names::SPAN_RELOAD_LOAD);
+        let model = goalrec_datasets::grlb2::read_model_v2(path)
+            .map_err(|e| ServerError::ReloadFailed(format!("cannot load {}: {e}", path.display())));
+        trace.end_span(load);
+        let model = model?;
+        // Sharded servers partition by library; derive it from the model
+        // (synthetic names, identical ids — partitioning only reads ids).
+        let parts = match shards {
+            Some(set) => {
+                let library = model.to_library().map_err(|e| {
+                    ServerError::ReloadFailed(format!(
+                        "cannot derive a library from {}: {e}",
+                        path.display()
+                    ))
+                })?;
+                Some(set.rebuild_all(&library)?)
+            }
+            None => None,
+        };
+        let next_generation = cell.load().generation() + 1;
+        let state = AppState::from_model_traced(model, next_generation, trace)
+            .map_err(|e| ServerError::ReloadFailed(format!("model rebuild failed: {e}")))?;
+        return Ok((Arc::new(state), parts));
+    }
     // Spans close on the error paths too, so a failed attempt's trace
     // still accounts for the time the failing phase consumed.
     let load = trace.start_span(names::SPAN_RELOAD_LOAD);
@@ -1082,6 +1141,120 @@ mod tests {
         let _ = thread.join();
     }
 
+    #[test]
+    fn v2_reload_takes_the_fast_path_and_serves_identically() {
+        use goalrec_core::strategies::default_strategies;
+        let lib = library("fresh");
+        let built = goalrec_core::GoalModel::build(&lib).unwrap();
+        let model_path = tmp("reload-fast.grlb2");
+        goalrec_datasets::grlb2::write_model_v2(&built, &model_path).unwrap();
+
+        let cell = Arc::new(StateCell::new(AppState::new(library("old")).unwrap()));
+        let shutdown = Shutdown::new();
+        let sampler = tail();
+        let (handle, thread) = spawn_reloader(
+            Arc::clone(&cell),
+            shutdown.clone(),
+            None,
+            Arc::clone(&sampler),
+            None,
+            LivePlane::disabled(),
+        )
+        .unwrap();
+
+        let generation = handle.reload_blocking(model_path.clone()).unwrap();
+        assert_eq!(generation, 2);
+        let st = cell.load();
+        if goalrec_datasets::mmap::mmap_supported() {
+            assert!(st.model().is_mapped(), "v2 reload must serve the mapped file");
+        }
+
+        // The reader already proved header + checksums + structure, so the
+        // fast path records no separate validate span — that skipped work
+        // *is* the reload speedup.
+        let traces = sampler.snapshot(Some("reload"), None, 0);
+        assert_eq!(traces.len(), 1);
+        assert!(traces[0].has_span(names::SPAN_RELOAD_LOAD));
+        assert!(!traces[0].has_span(names::SPAN_RELOAD_VALIDATE));
+
+        // Bit-identical serving: every strategy ranks the mapped model
+        // exactly as it ranks the heap-built original.
+        let h = goalrec_core::Activity::from_raw([0u32, 1]);
+        for s in default_strategies() {
+            assert_eq!(s.rank(st.model(), &h, 5), s.rank(&built, &h, 5), "{}", s.name());
+        }
+        // Display names degrade to the synthetic ids a v2 file can store.
+        assert_eq!(st.action_name(ActionId::new(0)), "a0");
+        assert_eq!(st.library().unwrap().len(), built.num_impls());
+
+        // A corrupted v2 file is rejected before anything swaps.
+        let mut bytes = std::fs::read(&model_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let bad = tmp("reload-fast-corrupt.grlb2");
+        std::fs::write(&bad, &bytes).unwrap();
+        assert!(matches!(
+            handle.reload_blocking(bad),
+            Err(ServerError::ReloadFailed(_))
+        ));
+        assert_eq!(cell.load().generation(), 2);
+
+        shutdown.request();
+        handle.close();
+        let _ = thread.join();
+    }
+
+    #[test]
+    fn compaction_persists_v2_when_the_library_file_is_grlb2() {
+        let path = tmp("live-compact.grlb2");
+        let lib = library("base");
+        let built = goalrec_core::GoalModel::build(&lib).unwrap();
+        goalrec_datasets::grlb2::write_model_v2(&built, &path).unwrap();
+        let _ = std::fs::remove_file(AppendWal::for_library(&path).path());
+        // Boot the way the server does: the file read through the
+        // version-dispatching loader.
+        let booted = goalrec_datasets::io::read_library_auto(&path).unwrap();
+        let cell = Arc::new(StateCell::new(AppState::new(booted).unwrap()));
+        let shutdown = Shutdown::new();
+        let live = LivePlane::boot(Some(&path), 0, Duration::ZERO).unwrap();
+        let (handle, thread) = spawn_reloader(
+            Arc::clone(&cell),
+            shutdown.clone(),
+            Some(path.clone()),
+            tail(),
+            None,
+            live,
+        )
+        .unwrap();
+
+        let base_impls = built.num_impls();
+        handle.append_blocking(vec![(0, vec![0, 1])]).unwrap();
+        let generation = handle.compact_blocking().unwrap();
+        assert_eq!(generation, 2);
+
+        // The compacted model went to disk as GRLB v2 (not a library
+        // stream), so the *next* cold start is a mapped fast-path load.
+        assert_eq!(
+            goalrec_datasets::binary::sniff_version(&path).unwrap(),
+            2,
+            "compaction must persist v2 to a .grlb2 target"
+        );
+        let reread = goalrec_datasets::grlb2::read_model_v2(&path).unwrap();
+        assert_eq!(reread.num_impls(), base_impls + 1);
+        assert!(AppendWal::for_library(&path).replay().unwrap().is_empty());
+
+        // And a reload of the file the compaction just wrote works — the
+        // post-compaction lifecycle is fully v2.
+        assert_eq!(handle.reload_blocking(path).unwrap(), 3);
+        if goalrec_datasets::mmap::mmap_supported() {
+            assert!(cell.load().model().is_mapped());
+        }
+
+        shutdown.request();
+        handle.close();
+        let _ = thread.join();
+    }
+
     /// Boots a WAL-backed plane over a fresh library file and a running
     /// supervisor; manual compaction only (both auto thresholds off).
     fn live_fixture(
@@ -1116,7 +1289,7 @@ mod tests {
     #[test]
     fn append_stages_without_a_generation_bump_and_compaction_folds_in() {
         let (path, cell, shutdown, handle, thread) = live_fixture("live-append.jsonl");
-        let base_impls = cell.load().library().len();
+        let base_impls = cell.load().library().unwrap().len();
 
         // Two appends: the second extends both id spaces past the base.
         let staged = handle.append_blocking(vec![(0, vec![0, 1])]).unwrap();
@@ -1140,7 +1313,7 @@ mod tests {
             0,
             "the delta must be empty after compaction"
         );
-        assert_eq!(st.library().len(), base_impls + 2);
+        assert_eq!(st.library().unwrap().len(), base_impls + 2);
         // …persists the merged library crash-safely…
         let merged = goalrec_datasets::io::read_library_auto(&path).unwrap();
         assert_eq!(merged.len(), base_impls + 2);
@@ -1220,7 +1393,7 @@ mod tests {
     #[test]
     fn faulted_compactions_roll_back_and_a_clean_retry_succeeds() {
         let (path, cell, shutdown, handle, thread) = live_fixture("live-faulted.jsonl");
-        let base_impls = cell.load().library().len();
+        let base_impls = cell.load().library().unwrap().len();
         handle.append_blocking(vec![(0, vec![1, 2])]).unwrap();
 
         let compaction_failures = obs::counter(names::LIBRARY_COMPACTION_FAILURES);

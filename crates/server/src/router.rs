@@ -41,7 +41,7 @@ use goalrec_obs::{self as obs, names};
 use goalrec_shard::ShardStrategy;
 use serde_json::Value;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// The strategy names the API accepts, in documentation order.
@@ -53,11 +53,45 @@ pub const STRATEGY_NAMES: &[&str] = &["breadth", "best-match", "focus-cmp", "foc
 /// implementation publishes a new [`AppState`] by cloning two `Arc`s —
 /// never by recompiling the model.
 struct CompiledState {
-    library: Arc<GoalLibrary>,
+    /// Lazily materialised when the state was booted straight from a
+    /// GRLB v2 model file (which stores no name dictionaries); eagerly
+    /// set when the state was compiled from a [`GoalLibrary`]. Routes
+    /// that only need display names go through [`AppState::action_name`]
+    /// and never force the rebuild.
+    library: OnceLock<Arc<GoalLibrary>>,
     model: Arc<GoalModel>,
     stats: LibraryStats,
     recommenders: Vec<(&'static str, GoalRecommender)>,
     built_at: Instant,
+}
+
+/// One pre-built recommender per served strategy, all sharing `model` —
+/// the construction both [`AppState`] constructors go through.
+fn recommenders_for(model: &Arc<GoalModel>) -> Vec<(&'static str, GoalRecommender)> {
+    vec![
+        (
+            "breadth",
+            GoalRecommender::new(Arc::clone(model), Box::new(Breadth)),
+        ),
+        (
+            "best-match",
+            GoalRecommender::new(Arc::clone(model), Box::new(BestMatch::default())),
+        ),
+        (
+            "focus-cmp",
+            GoalRecommender::new(
+                Arc::clone(model),
+                Box::new(Focus::new(FocusVariant::Completeness)),
+            ),
+        ),
+        (
+            "focus-cl",
+            GoalRecommender::new(
+                Arc::clone(model),
+                Box::new(Focus::new(FocusVariant::Closeness)),
+            ),
+        ),
+    ]
 }
 
 /// Everything a worker needs to answer requests: the compiled base
@@ -95,35 +129,44 @@ impl AppState {
         let build = trace.start_span(names::SPAN_MODEL_BUILD);
         let model = Arc::new(GoalModel::build(&library)?);
         let stats = library.stats();
-        let recommenders = vec![
-            (
-                "breadth",
-                GoalRecommender::new(Arc::clone(&model), Box::new(Breadth)),
-            ),
-            (
-                "best-match",
-                GoalRecommender::new(Arc::clone(&model), Box::new(BestMatch::default())),
-            ),
-            (
-                "focus-cmp",
-                GoalRecommender::new(
-                    Arc::clone(&model),
-                    Box::new(Focus::new(FocusVariant::Completeness)),
-                ),
-            ),
-            (
-                "focus-cl",
-                GoalRecommender::new(
-                    Arc::clone(&model),
-                    Box::new(Focus::new(FocusVariant::Closeness)),
-                ),
-            ),
-        ];
+        let recommenders = recommenders_for(&model);
+        trace.end_span(build);
+        let delta = Arc::new(DeltaSegment::for_base(&model));
+        let cache = OnceLock::new();
+        let _ = cache.set(Arc::new(library));
+        Ok(AppState {
+            compiled: Arc::new(CompiledState {
+                library: cache,
+                model,
+                stats,
+                recommenders,
+                built_at: Instant::now(),
+            }),
+            delta,
+            generation,
+        })
+    }
+
+    /// Builds serving state directly from an already-validated model —
+    /// the GRLB v2 fast path, where no [`GoalLibrary`] was ever
+    /// materialised. Stats come from the model's CSR sections; the
+    /// library cache starts empty and is only rebuilt (with synthetic
+    /// `a{i}`/`g{i}` names) if something actually asks for it, e.g. a
+    /// compaction persisting to a JSONL target.
+    pub fn from_model_traced(
+        model: GoalModel,
+        generation: u64,
+        trace: &mut obs::TraceContext,
+    ) -> Result<Self, ServerError> {
+        let build = trace.start_span(names::SPAN_MODEL_BUILD);
+        let model = Arc::new(model);
+        let stats = model.stats();
+        let recommenders = recommenders_for(&model);
         trace.end_span(build);
         let delta = Arc::new(DeltaSegment::for_base(&model));
         Ok(AppState {
             compiled: Arc::new(CompiledState {
-                library: Arc::new(library),
+                library: OnceLock::new(),
                 model,
                 stats,
                 recommenders,
@@ -151,9 +194,39 @@ impl AppState {
         &self.compiled.model
     }
 
-    /// The library behind the model.
-    pub fn library(&self) -> &Arc<GoalLibrary> {
-        &self.compiled.library
+    /// The library behind the model, materialising it on first use when
+    /// the state was booted straight from a model file. The rebuild is
+    /// cached per compiled base, so at most one caller per generation
+    /// pays it.
+    pub fn library(&self) -> Result<&Arc<GoalLibrary>, ServerError> {
+        if let Some(lib) = self.compiled.library.get() {
+            return Ok(lib);
+        }
+        // `OnceLock::get_or_try_init` is unstable; do the fallible init by
+        // hand. A racing `set` means another thread finished first — its
+        // value wins and ours is dropped, which is fine.
+        let built = self
+            .compiled
+            .model
+            .to_library()
+            .map_err(ServerError::Recommend)?;
+        let _ = self.compiled.library.set(Arc::new(built));
+        self.compiled
+            .library
+            .get()
+            .ok_or_else(|| ServerError::Internal("library cache lost a completed init".to_owned()))
+    }
+
+    /// Resolves an action id to a display name without forcing the
+    /// library rebuild: real names when the library exists, the same
+    /// synthetic `a{raw}` that [`GoalModel::to_library`] would mint when
+    /// it does not.
+    pub fn action_name(&self, action: goalrec_core::ids::ActionId) -> String {
+        match self.compiled.library.get() {
+            Some(lib) => lib.action_name(action),
+            // goalrec-lint:allow(hot-path-alloc): response assembly renders display names per request
+            None => format!("a{}", action.raw()),
+        }
     }
 
     /// The precomputed library stats behind `/v1/stats`.
@@ -785,7 +858,7 @@ fn render_recommendation(
         .map(|s| {
             serde_json::json!({
                 "action": s.action.raw(),
-                "name": state.library().action_name(s.action),
+                "name": state.action_name(s.action),
                 "score": s.score,
             })
         })

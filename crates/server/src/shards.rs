@@ -23,8 +23,60 @@ use goalrec_core::ids::{ActionId, GoalId};
 use goalrec_core::{DeltaSegment, GoalLibrary};
 use goalrec_obs::{self as obs, names};
 use goalrec_shard::{PartitionMode, ShardModel, ShardScratch, ShardView, ShardedModel};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, PoisonError, RwLock};
 use std::time::{Duration, Instant};
+
+/// The on-disk name of shard `i`'s GRLB v2 snapshot next to the model
+/// file `base`: `model.grlb2` → `model.shard3.grlb2`. One family of
+/// sibling files per model, so `--shards N` can boot every shard mapped
+/// instead of re-partitioning the library.
+pub fn shard_snapshot_path(base: &Path, shard: usize) -> PathBuf {
+    let stem = base
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "model".to_owned());
+    base.with_file_name(format!("{stem}.shard{shard}.grlb2"))
+}
+
+/// Writes the per-shard GRLB v2 snapshot family for `library` next to
+/// `base` (see [`shard_snapshot_path`]), partitioned exactly as a server
+/// started with the same `num_shards`/`mode` would partition it. Returns
+/// the written paths. Empty shards (more shards than goals) have no
+/// snapshot representation; they make the family incomplete and the
+/// server falls back to building from the library, so they are reported
+/// as an error here rather than silently producing a family that will
+/// never be used.
+pub fn persist_shard_family(
+    library: &GoalLibrary,
+    num_shards: usize,
+    mode: PartitionMode,
+    base: &Path,
+) -> Result<Vec<PathBuf>, ServerError> {
+    let n = num_shards.clamp(1, names::MAX_NAMED_SHARDS);
+    let sharded = ShardedModel::build(library, n, mode).map_err(build_error)?;
+    let mut written = Vec::with_capacity(n);
+    for (i, shard) in sharded.shards().iter().enumerate() {
+        let Some(model) = shard.model() else {
+            return Err(ServerError::ReloadFailed(format!(
+                "shard {i} of {n} is empty ({} goals cannot fill {n} shards); \
+                 lower --shards to persist a bootable family",
+                library.num_goals()
+            )));
+        };
+        let path = shard_snapshot_path(base, i);
+        goalrec_datasets::grlb2::write_shard_v2(model, shard.impl_global(), &path).map_err(
+            |e| {
+                ServerError::ReloadFailed(format!(
+                    "cannot persist shard {i} to {}: {e}",
+                    path.display()
+                ))
+            },
+        )?;
+        written.push(path);
+    }
+    Ok(written)
+}
 
 /// One shard's immutable serving snapshot: the compiled sub-model (shared
 /// with its predecessor snapshots across append swaps), the shard's slice
@@ -166,6 +218,100 @@ impl ShardSet {
             metrics,
             assignments: RwLock::new(assignments),
         })
+    }
+
+    /// Boots the shard plane off a persisted GRLB v2 snapshot family next
+    /// to `base` (see [`shard_snapshot_path`]) instead of re-partitioning
+    /// `library` — the mapped cold-start path of `--shards N`.
+    ///
+    /// Returns `Ok(None)` when no usable family is there (a snapshot file
+    /// missing, or the family was written for a different library: id
+    /// spaces or implementation total disagree) — the caller falls back
+    /// to [`ShardSet::build`], which is always correct, just slower.
+    /// Returns `Err` only for a family that *claims* to match but is
+    /// corrupt (failed checksums/structure, or a goal split across
+    /// shards), so damage is surfaced rather than silently rebuilt over.
+    pub fn open_family(
+        base: &Path,
+        num_shards: usize,
+        mode: PartitionMode,
+        library: &GoalLibrary,
+    ) -> Result<Option<Self>, ServerError> {
+        let n = num_shards.clamp(1, names::MAX_NAMED_SHARDS);
+        let paths: Vec<PathBuf> = (0..n).map(|i| shard_snapshot_path(base, i)).collect();
+        if !paths.iter().all(|p| p.exists()) {
+            return Ok(None);
+        }
+        let mut parts = Vec::with_capacity(n);
+        let mut total_impls = 0usize;
+        // Goal placement is re-derived from the snapshots themselves (the
+        // format stores no assignment table): every goal with rows lands
+        // on the shard holding them, goal-wholeness enforced below. Goals
+        // with no implementations anywhere get the same `g % n` fallback
+        // as brand-new appended goals.
+        let mut assignments: Vec<usize> = vec![usize::MAX; library.num_goals()];
+        for (i, path) in paths.iter().enumerate() {
+            let (model, impl_global) =
+                goalrec_datasets::grlb2::read_shard_v2(path).map_err(|e| {
+                    ServerError::ReloadFailed(format!(
+                        "shard snapshot {} is unreadable: {e}",
+                        path.display()
+                    ))
+                })?;
+            if model.num_actions() != library.num_actions()
+                || model.num_goals() != library.num_goals()
+            {
+                // Stale family from another library — not corruption.
+                return Ok(None);
+            }
+            total_impls += model.num_impls();
+            for p in 0..model.num_impls() {
+                let g = model
+                    .impl_goal(goalrec_core::ids::ImplId::new(
+                        u32::try_from(p).unwrap_or(u32::MAX),
+                    ))
+                    .index();
+                let prior = assignments[g];
+                if prior != usize::MAX && prior != i {
+                    return Err(ServerError::ReloadFailed(format!(
+                        "shard family at {} splits goal {g} across shards {prior} and {i}",
+                        base.display()
+                    )));
+                }
+                assignments[g] = i;
+            }
+            parts.push(ShardModel::from_parts(Some(model), impl_global).map_err(|e| {
+                ServerError::ReloadFailed(format!(
+                    "shard snapshot {} is corrupt: {e}",
+                    path.display()
+                ))
+            })?);
+        }
+        if total_impls != library.len() {
+            // The family covers a different build of this library.
+            return Ok(None);
+        }
+        for (g, a) in assignments.iter_mut().enumerate() {
+            if *a == usize::MAX {
+                *a = g % n;
+            }
+        }
+        let cells: Vec<ShardCell> = parts
+            .into_iter()
+            .map(|part| ShardCell::new(ShardState::new(Arc::new(part), 1)))
+            .collect();
+        let metrics = (0..n)
+            .map(|i| ShardMetrics {
+                requests: obs::counter(&names::shard_requests(i)),
+                latency: obs::histogram_ns(&names::shard_latency(i)),
+            })
+            .collect();
+        Ok(Some(ShardSet {
+            cells,
+            mode,
+            metrics,
+            assignments: RwLock::new(assignments),
+        }))
     }
 
     /// The shard that owns appends for `goal`: its placement in the
@@ -461,6 +607,83 @@ mod tests {
         let mut fresh = Vec::new();
         set.snapshot_into(&mut fresh);
         assert_eq!(fresh[0].generation(), 2);
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("goalrec-shard-family-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn shard_family_roundtrip_boots_bit_identically() {
+        let lib = library();
+        let base = tmp("family.grlb2");
+        let written = persist_shard_family(&lib, 2, PartitionMode::HashGoal, &base).unwrap();
+        assert_eq!(written.len(), 2);
+        assert_eq!(written[0], shard_snapshot_path(&base, 0));
+
+        let opened = ShardSet::open_family(&base, 2, PartitionMode::HashGoal, &lib)
+            .unwrap()
+            .expect("a complete matching family must open");
+        let built = ShardSet::build(&lib, 2, PartitionMode::HashGoal).unwrap();
+        assert_eq!(opened.num_shards(), built.num_shards());
+        for i in 0..2 {
+            let a = opened.load(i).unwrap();
+            let b = built.load(i).unwrap();
+            assert_eq!(a.generation(), 1);
+            assert_eq!(a.impl_global(), b.impl_global());
+            match (ShardView::model(&*a), ShardView::model(&*b)) {
+                (Some(ma), Some(mb)) => {
+                    assert_eq!(ma.flat_sections(), mb.flat_sections(), "shard {i}")
+                }
+                (None, None) => {}
+                _ => panic!("shard {i} emptiness disagrees"),
+            }
+        }
+        // Every goal with implementations routes appends to the same
+        // shard either way.
+        for imp in lib.implementations() {
+            let g = imp.goal.raw();
+            assert_eq!(opened.owner_of(g), built.owner_of(g), "goal {g}");
+        }
+    }
+
+    #[test]
+    fn shard_family_falls_back_when_incomplete_or_stale_and_rejects_corruption() {
+        let lib = library();
+        let base = tmp("family-edge.grlb2");
+        persist_shard_family(&lib, 2, PartitionMode::HashGoal, &base).unwrap();
+
+        // Fewer files than shards → no family (the caller rebuilds).
+        assert!(ShardSet::open_family(&base, 3, PartitionMode::HashGoal, &lib)
+            .unwrap()
+            .is_none());
+
+        // A family written for a different library is stale, not corrupt.
+        let mut b = LibraryBuilder::new();
+        b.add_impl("other", ["x", "y"]).unwrap();
+        let other = b.build().unwrap();
+        assert!(
+            ShardSet::open_family(&base, 2, PartitionMode::HashGoal, &other)
+                .unwrap()
+                .is_none()
+        );
+
+        // A flipped byte in one snapshot is surfaced as an error.
+        let victim = shard_snapshot_path(&base, 1);
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&victim, &bytes).unwrap();
+        assert!(matches!(
+            ShardSet::open_family(&base, 2, PartitionMode::HashGoal, &lib),
+            Err(ServerError::ReloadFailed(_))
+        ));
+
+        // Too many shards for the goal count cannot produce a bootable
+        // family, so persisting reports it instead of writing one.
+        assert!(persist_shard_family(&lib, 16, PartitionMode::HashGoal, &base).is_err());
     }
 
     #[test]

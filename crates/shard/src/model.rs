@@ -13,7 +13,7 @@
 //! type so reload can swap one shard's model without touching the others.
 
 use crate::partition::{goal_assignments, PartitionMode};
-use goalrec_core::{DeltaSegment, GoalLibrary, GoalModel, LiveRef, Result};
+use goalrec_core::{DeltaSegment, Error, GoalLibrary, GoalModel, LiveRef, Result};
 
 /// One shard's compiled sub-model plus its implementation id map.
 #[derive(Debug)]
@@ -30,6 +30,33 @@ pub struct ShardModel {
 }
 
 impl ShardModel {
+    /// Reassembles a shard from an already-compiled sub-model and its
+    /// local → global implementation map — the entry point for booting a
+    /// shard off a persisted snapshot instead of re-partitioning a
+    /// library. Enforces what [`ShardedModel::build`] guarantees by
+    /// construction: one map entry per model row, and strictly monotone
+    /// global ids (the k-way merge's global tie-break depends on it).
+    pub fn from_parts(model: Option<GoalModel>, impl_global: Vec<u32>) -> Result<Self> {
+        let rows = model.as_ref().map_or(0, GoalModel::num_impls);
+        if impl_global.len() != rows {
+            return Err(Error::CorruptModel {
+                detail: format!(
+                    "shard impl map has {} entries for {rows} model rows",
+                    impl_global.len()
+                ),
+            });
+        }
+        if let Some(w) = impl_global.windows(2).find(|w| w[0] >= w[1]) {
+            return Err(Error::CorruptModel {
+                detail: format!(
+                    "shard impl map is not strictly monotone ({} then {})",
+                    w[0], w[1]
+                ),
+            });
+        }
+        Ok(ShardModel { model, impl_global })
+    }
+
     /// The shard's compiled model, or `None` for an empty shard.
     pub fn model(&self) -> Option<&GoalModel> {
         self.model.as_ref()
